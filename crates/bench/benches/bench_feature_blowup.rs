@@ -1,0 +1,29 @@
+//! E4 — feature-size growth on the twin-path family (Theorem 5.7(b)
+//! shape): extraction cost and output size grow with the parameter while
+//! the database grows linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use workloads::twin_paths;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4_feature_blowup");
+    g.sample_size(10);
+    for n in [3usize, 5, 7, 9] {
+        let t = twin_paths(n);
+        let u = t.db.val_by_name("u").unwrap();
+        let v = t.db.val_by_name("v").unwrap();
+        g.bench_with_input(BenchmarkId::new("extract", n), &t, |b, t| {
+            b.iter(|| {
+                black_box(
+                    covergame::extract_distinguishing_query(&t.db, u, &t.db, v, 1, 5_000_000)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Shared helpers for the benchmark harness: timing utilities and
+//! growth-rate estimation used by both the Criterion benches and the
+//! `repro` binary that regenerates the EXPERIMENTS.md tables.
+
+use std::time::Instant;
+
+/// Median wall-clock time of `reps` runs of `f`, in seconds.
+pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    assert!(reps >= 1);
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Least-squares slope of log(y) against log(x): the empirical polynomial
+/// degree of a scaling series. Exponential growth shows up as a degree
+/// that keeps increasing with x; polynomial growth converges.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    let n = pts.len() as f64;
+    assert!(n >= 2.0, "need at least two points");
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// Successive doubling ratios `y_{i+1} / y_i` — the exponential-growth
+/// fingerprint (roughly constant ratios > 1 mean exponential in i).
+pub fn growth_ratios(ys: &[f64]) -> Vec<f64> {
+    ys.windows(2).map(|w| w[1] / w[0].max(1e-12)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_quadratic_is_two() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|x| (x as f64, (x * x) as f64)).collect();
+        assert!((loglog_slope(&pts) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_of_exponential_grows() {
+        let poly: Vec<(f64, f64)> = (1..=8).map(|x| (x as f64, (x * x * x) as f64)).collect();
+        let expo: Vec<(f64, f64)> =
+            (1..=8).map(|x| (x as f64, (1u64 << (2 * x)) as f64)).collect();
+        assert!(loglog_slope(&expo) > loglog_slope(&poly));
+    }
+
+    #[test]
+    fn ratios_detect_doubling() {
+        let r = growth_ratios(&[1.0, 2.0, 4.0, 8.0]);
+        assert!(r.iter().all(|&x| (x - 2.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn timing_is_positive() {
+        let t = time_median(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert!(t >= 0.0);
+    }
+}

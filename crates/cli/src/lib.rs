@@ -1,0 +1,426 @@
+//! The `cqsep-cli` command logic, separated from `main` so the test suite
+//! can drive it without spawning processes.
+//!
+//! Databases are read in the text format of `relational::spec`
+//! (`rel`/`fact`/`entity` lines); models in the format of
+//! `cqsep::persist`. Commands:
+//!
+//! ```text
+//! cqsep-cli check <train.db> [--class <spec>]...     separability report
+//! cqsep-cli train <train.db> --class <spec> [-o F]   generate a model
+//! cqsep-cli classify <train.db> <eval.db> [--class <spec>]
+//! cqsep-cli classify-model <model.txt> <eval.db>
+//! cqsep-cli relabel <train.db> [--k <k>]             Algorithm 2
+//! cqsep-cli info <file.db>
+//! ```
+//!
+//! `<spec>` is one of `cq`, `ghw<k>` (e.g. `ghw1`), `cqm<m>` (e.g.
+//! `cqm2`). Defaults: `check` runs all of `cq`, `ghw1`, `cqm1`, `cqm2`;
+//! `train`/`classify` default to `cqm2`.
+
+use cq::EnumConfig;
+use cqsep::{apx, cls_ghw, gen_ghw, persist, sep_cq, sep_cqm, sep_ghw};
+use relational::spec::DatabaseSpec;
+use relational::{Database, Label, TrainingDb};
+use std::fmt::Write as _;
+
+/// A parsed feature-class specification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassSpec {
+    Cq,
+    Ghw(usize),
+    Cqm(usize),
+}
+
+impl ClassSpec {
+    pub fn parse(s: &str) -> Result<ClassSpec, String> {
+        if s == "cq" {
+            return Ok(ClassSpec::Cq);
+        }
+        if let Some(k) = s.strip_prefix("ghw") {
+            return k
+                .parse::<usize>()
+                .ok()
+                .filter(|&k| k >= 1)
+                .map(ClassSpec::Ghw)
+                .ok_or_else(|| format!("bad class {s:?} (use ghw1, ghw2, …)"));
+        }
+        if let Some(m) = s.strip_prefix("cqm") {
+            return m
+                .parse::<usize>()
+                .ok()
+                .filter(|&m| m >= 1)
+                .map(ClassSpec::Cqm)
+                .ok_or_else(|| format!("bad class {s:?} (use cqm1, cqm2, …)"));
+        }
+        Err(format!("unknown class {s:?} (expected cq, ghw<k>, or cqm<m>)"))
+    }
+}
+
+impl std::fmt::Display for ClassSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassSpec::Cq => write!(f, "CQ"),
+            ClassSpec::Ghw(k) => write!(f, "GHW({k})"),
+            ClassSpec::Cqm(m) => write!(f, "CQ[{m}]"),
+        }
+    }
+}
+
+/// Run a command line (without the program name). Returns the text to
+/// print, or an error message.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+    };
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let classes = parse_classes(
+                &args[2..],
+                vec![ClassSpec::Cq, ClassSpec::Ghw(1), ClassSpec::Cqm(1), ClassSpec::Cqm(2)],
+            )?;
+            let train = load_training(&read(path)?)?;
+            Ok(check(&train, &classes))
+        }
+        Some("train") => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let classes = parse_classes(&args[2..], vec![ClassSpec::Cqm(2)])?;
+            let out_path = flag_value(&args[2..], "-o");
+            let train = load_training(&read(path)?)?;
+            let (report, model_text) = train_cmd(&train, classes[0])?;
+            if let Some(p) = out_path {
+                std::fs::write(&p, &model_text)
+                    .map_err(|e| format!("cannot write {p}: {e}"))?;
+                Ok(format!("{report}model written to {p}\n"))
+            } else {
+                Ok(format!("{report}{model_text}"))
+            }
+        }
+        Some("classify") => {
+            let train_path = args.get(1).ok_or(USAGE)?;
+            let eval_path = args.get(2).ok_or(USAGE)?;
+            let classes = parse_classes(&args[3..], vec![ClassSpec::Cqm(2)])?;
+            let train = load_training(&read(train_path)?)?;
+            let eval = load_database(&read(eval_path)?)?;
+            classify_cmd(&train, &eval, classes[0])
+        }
+        Some("classify-model") => {
+            let model_path = args.get(1).ok_or(USAGE)?;
+            let eval_path = args.get(2).ok_or(USAGE)?;
+            let eval = load_database(&read(eval_path)?)?;
+            let model = persist::parse_model(eval.schema(), &read(model_path)?)
+                .map_err(|e| e.to_string())?;
+            let labels = model.classify(&eval);
+            Ok(render_labels(&eval, |e| labels.get(e)))
+        }
+        Some("relabel") => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let k: usize = flag_value(&args[2..], "--k")
+                .map(|v| v.parse().map_err(|_| "bad --k".to_string()))
+                .transpose()?
+                .unwrap_or(1);
+            let train = load_training(&read(path)?)?;
+            Ok(relabel_cmd(&train, k))
+        }
+        Some("info") => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let spec = DatabaseSpec::parse(&read(path)?).map_err(|e| e.to_string())?;
+            let db = spec.to_database().map_err(|e| e.to_string())?;
+            let mut out = String::new();
+            let _ = writeln!(out, "schema:   {}", db.schema());
+            let _ = writeln!(out, "elements: {}", db.dom_size());
+            let _ = writeln!(out, "facts:    {}", db.fact_count());
+            let _ = writeln!(out, "entities: {}", db.entities().len());
+            let labeled = spec.entities.iter().filter(|(_, l)| l.is_some()).count();
+            let _ = writeln!(out, "labeled:  {labeled}");
+            Ok(out)
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+const USAGE: &str = "usage:
+  cqsep-cli check <train.db> [--class cq|ghw<k>|cqm<m>]...
+  cqsep-cli train <train.db> [--class <spec>] [-o model.txt]
+  cqsep-cli classify <train.db> <eval.db> [--class <spec>]
+  cqsep-cli classify-model <model.txt> <eval.db>
+  cqsep-cli relabel <train.db> [--k <k>]
+  cqsep-cli info <file.db>";
+
+fn parse_classes(args: &[String], default: Vec<ClassSpec>) -> Result<Vec<ClassSpec>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--class" {
+            let v = args.get(i + 1).ok_or("--class needs a value")?;
+            out.push(ClassSpec::parse(v)?);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(if out.is_empty() { default } else { out })
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn load_training(text: &str) -> Result<TrainingDb, String> {
+    DatabaseSpec::parse(text)
+        .map_err(|e| e.to_string())?
+        .to_training()
+        .map_err(|e| e.to_string())
+}
+
+fn load_database(text: &str) -> Result<Database, String> {
+    DatabaseSpec::parse(text)
+        .map_err(|e| e.to_string())?
+        .to_database()
+        .map_err(|e| e.to_string())
+}
+
+fn check(train: &TrainingDb, classes: &[ClassSpec]) -> String {
+    let mut out = String::new();
+    let n = train.entities().len();
+    let _ = writeln!(
+        out,
+        "{} entities ({} positive, {} negative), {} facts",
+        n,
+        train.positives().len(),
+        train.negatives().len(),
+        train.db.fact_count()
+    );
+    for &c in classes {
+        let answer = match c {
+            ClassSpec::Cq => sep_cq::cq_separable(train),
+            ClassSpec::Ghw(k) => sep_ghw::ghw_separable(train, k),
+            ClassSpec::Cqm(m) => sep_cqm::cqm_separable(train, &EnumConfig::cqm(m)),
+        };
+        let _ = writeln!(out, "{c:>8}-separable: {answer}");
+        if !answer {
+            let witness = match c {
+                ClassSpec::Cq => sep_cq::cq_inseparability_witness(train),
+                ClassSpec::Ghw(k) => sep_ghw::ghw_inseparability_witness(train, k),
+                ClassSpec::Cqm(_) => None,
+            };
+            if let Some((p, q)) = witness {
+                let _ = writeln!(
+                    out,
+                    "         witness: {} (+) and {} (-) are indistinguishable",
+                    train.db.val_name(p),
+                    train.db.val_name(q)
+                );
+            }
+        }
+    }
+    out
+}
+
+fn train_cmd(train: &TrainingDb, class: ClassSpec) -> Result<(String, String), String> {
+    let model = match class {
+        ClassSpec::Cq => sep_cq::cq_generate(train)
+            .ok_or_else(|| "not CQ-separable".to_string())?,
+        ClassSpec::Ghw(k) => gen_ghw::ghw_generate(train, k, 1_000_000)
+            .map_err(|e| e.to_string())?,
+        ClassSpec::Cqm(m) => sep_cqm::cqm_generate(train, &EnumConfig::cqm(m))
+            .ok_or_else(|| format!("not CQ[{m}]-separable"))?,
+    };
+    let report = format!(
+        "{class}: {} features, {} total atoms\n",
+        model.statistic.dimension(),
+        model.statistic.total_atoms()
+    );
+    Ok((report, persist::model_to_text(&model)))
+}
+
+fn classify_cmd(
+    train: &TrainingDb,
+    eval: &Database,
+    class: ClassSpec,
+) -> Result<String, String> {
+    let labels = match class {
+        ClassSpec::Ghw(k) => cls_ghw::ghw_classify(train, eval, k)
+            .map_err(|_| format!("training data is not GHW({k})-separable"))?,
+        ClassSpec::Cq => sep_cq::cq_classify(train, eval)
+            .ok_or_else(|| "training data is not CQ-separable".to_string())?,
+        ClassSpec::Cqm(m) => sep_cqm::cqm_classify(train, eval, &EnumConfig::cqm(m))
+            .ok_or_else(|| format!("training data is not CQ[{m}]-separable"))?,
+    };
+    Ok(render_labels(eval, |e| labels.get(e)))
+}
+
+fn relabel_cmd(train: &TrainingDb, k: usize) -> String {
+    let relabeled = apx::ghw_optimal_relabeling(train, k);
+    let errors = train.labeling.disagreement(&relabeled);
+    let mut out = format!(
+        "optimal GHW({k})-separable relabeling: {} disagreement(s)\n",
+        errors
+    );
+    for e in train.entities() {
+        let old = train.labeling.get(e);
+        let new = relabeled.get(e);
+        let mark = if old == new { " " } else { "*" };
+        let _ = writeln!(
+            out,
+            "{mark} {} {} -> {}",
+            train.db.val_name(e),
+            sign(old),
+            sign(new)
+        );
+    }
+    out
+}
+
+fn render_labels(db: &Database, get: impl Fn(relational::Val) -> Label) -> String {
+    let mut out = String::new();
+    let mut named: Vec<(String, relational::Val)> = db
+        .entities()
+        .into_iter()
+        .map(|e| (db.val_name(e).to_string(), e))
+        .collect();
+    named.sort();
+    for (name, e) in named {
+        let _ = writeln!(out, "{name} {}", sign(get(e)));
+    }
+    out
+}
+
+fn sign(l: Label) -> &'static str {
+    match l {
+        Label::Positive => "+",
+        Label::Negative => "-",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRAIN: &str = "\
+rel E/2
+fact E(a,b)
+fact E(b,c)
+entity a +
+entity b +
+entity c -
+";
+
+    const EVAL: &str = "\
+rel E/2
+fact E(u,v)
+entity u
+entity v
+";
+
+    fn with_files<F: FnOnce(&str, &str) -> R, R>(f: F) -> R {
+        let dir = std::env::temp_dir().join(format!("cqsep_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let train = dir.join("train.db");
+        let eval = dir.join("eval.db");
+        std::fs::write(&train, TRAIN).unwrap();
+        std::fs::write(&eval, EVAL).unwrap();
+        f(train.to_str().unwrap(), eval.to_str().unwrap())
+    }
+
+    fn s(args: &[&str]) -> Vec<String> {
+        args.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn class_spec_parsing() {
+        assert_eq!(ClassSpec::parse("cq"), Ok(ClassSpec::Cq));
+        assert_eq!(ClassSpec::parse("ghw2"), Ok(ClassSpec::Ghw(2)));
+        assert_eq!(ClassSpec::parse("cqm3"), Ok(ClassSpec::Cqm(3)));
+        assert!(ClassSpec::parse("ghw0").is_err());
+        assert!(ClassSpec::parse("nope").is_err());
+        assert!(ClassSpec::parse("cqmx").is_err());
+    }
+
+    #[test]
+    fn check_reports_all_classes() {
+        with_files(|train, _| {
+            let out = run(&s(&["check", train])).unwrap();
+            assert!(out.contains("CQ-separable: true"), "{out}");
+            assert!(out.contains("GHW(1)-separable: true"), "{out}");
+            assert!(out.contains("CQ[1]-separable: true"), "{out}");
+        });
+    }
+
+    #[test]
+    fn check_prints_witness_when_inseparable() {
+        let dir = std::env::temp_dir().join(format!("cqsep_cli_w_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("bad.db");
+        std::fs::write(
+            &p,
+            "rel E/2\nfact E(a,b)\nfact E(b,a)\nentity a +\nentity b -\n",
+        )
+        .unwrap();
+        let out = run(&s(&["check", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("CQ-separable: false"), "{out}");
+        assert!(out.contains("witness"), "{out}");
+    }
+
+    #[test]
+    fn train_then_classify_model_roundtrip() {
+        with_files(|train, eval| {
+            let dir = std::env::temp_dir().join(format!("cqsep_cli_m_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let model = dir.join("model.txt");
+            let out = run(&s(&[
+                "train", train, "--class", "cqm1", "-o", model.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(out.contains("model written"), "{out}");
+            let out = run(&s(&["classify-model", model.to_str().unwrap(), eval])).unwrap();
+            assert!(out.contains("u +"), "{out}");
+            assert!(out.contains("v -"), "{out}");
+        });
+    }
+
+    #[test]
+    fn classify_via_algorithm_1() {
+        with_files(|train, eval| {
+            let out =
+                run(&s(&["classify", train, eval, "--class", "ghw1"])).unwrap();
+            assert!(out.contains("u "), "{out}");
+            assert!(out.contains("v "), "{out}");
+        });
+    }
+
+    #[test]
+    fn relabel_reports_disagreements() {
+        let dir = std::env::temp_dir().join(format!("cqsep_cli_r_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("noisy.db");
+        std::fs::write(
+            &p,
+            "rel E/2\nfact E(a,b)\nfact E(b,a)\nentity a +\nentity b -\n",
+        )
+        .unwrap();
+        let out = run(&s(&["relabel", p.to_str().unwrap()])).unwrap();
+        assert!(out.contains("1 disagreement"), "{out}");
+        assert!(out.contains('*'), "{out}");
+    }
+
+    #[test]
+    fn info_summarizes() {
+        with_files(|train, _| {
+            let out = run(&s(&["info", train])).unwrap();
+            assert!(out.contains("entities: 3"), "{out}");
+            assert!(out.contains("labeled:  3"), "{out}");
+        });
+    }
+
+    #[test]
+    fn bad_usage_is_an_error() {
+        assert!(run(&s(&[])).is_err());
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["check"])).is_err());
+        assert!(run(&s(&["check", "/no/such/file"])).is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! `cqsep-cli`: separability checks, feature generation, classification,
+//! and optimal relabeling over text-format databases. See `lib.rs` for
+//! the command grammar.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cqsep_cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Unrestricted CQ-separability (Theorem 3.2 baseline and §6.2).
+//!
+//! Kimelfeld–Ré: `(D, λ)` is CQ-separable iff no positive/negative pair of
+//! entities is CQ-indistinguishable, where indistinguishability is mutual
+//! homomorphic implication `(D,e) → (D,e')` — each direction an
+//! NP-complete check, putting the problem in coNP (and it is
+//! coNP-complete; our solver is exact and exponential only in the
+//! homomorphism search).
+//!
+//! For *generation* (unlike `GHW(k)`!) the canonical features are small:
+//! `q_e(x)` is just the canonical CQ of the pointed database `(D, e)`, of
+//! size `|D|`, with `q_e(D) = { e' : (D,e) → (D,e') }`. The chain
+//! construction of Lemma 5.4 then yields a polynomial-size separating
+//! statistic, and classification of evaluation databases runs the same
+//! homomorphism tests cross-database.
+
+use crate::chain::{build_chain, ChainError, ChainModel};
+use crate::statistic::{SeparatorModel, Statistic};
+use cq::Cq;
+use relational::{homomorphism_exists, Database, Labeling, TrainingDb, Val};
+
+/// Decide CQ-separability (Thm 3.2; coNP).
+pub fn cq_separable(train: &TrainingDb) -> bool {
+    // Cheaper than building the full preorder: only pos/neg pairs matter.
+    train.opposing_pairs().into_iter().all(|(p, n)| {
+        !(homomorphism_exists(&train.db, &train.db, &[(p, n)])
+            && homomorphism_exists(&train.db, &train.db, &[(n, p)]))
+    })
+}
+
+/// The hom-preorder chain model over the training entities.
+pub fn cq_chain(train: &TrainingDb) -> Result<ChainModel, ChainError> {
+    let elems = train.entities();
+    let n = elems.len();
+    let leq: Vec<Vec<bool>> = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    i == j
+                        || homomorphism_exists(
+                            &train.db,
+                            &train.db,
+                            &[(elems[i], elems[j])],
+                        )
+                })
+                .collect()
+        })
+        .collect();
+    build_chain(train, &elems, &leq)
+}
+
+/// Feature generation for CQ: the explicit chain statistic
+/// `Π = (q_{e_1}, …, q_{e_m})` of canonical queries plus its classifier.
+/// Polynomial-size output (contrast Theorem 5.7 for `GHW(k)`).
+pub fn cq_generate(train: &TrainingDb) -> Option<SeparatorModel> {
+    let chain = cq_chain(train).ok()?;
+    let features: Vec<Cq> = (0..chain.class_count())
+        .map(|c| {
+            let e = chain.elems[chain.representative(c)];
+            Cq::from_pointed_db(&train.db, e).with_entity_guard()
+        })
+        .collect();
+    Some(SeparatorModel {
+        statistic: Statistic::new(features),
+        classifier: chain.classifier.clone(),
+    })
+}
+
+/// CQ-Cls: classify an evaluation database consistently with a separating
+/// statistic, evaluating the implicit features by cross-database
+/// homomorphism tests.
+pub fn cq_classify(train: &TrainingDb, eval: &Database) -> Option<Labeling> {
+    let chain = cq_chain(train).ok()?;
+    let mut out = Labeling::new();
+    for f in eval.entities() {
+        let v: Vec<i32> = (0..chain.class_count())
+            .map(|c| {
+                let e = chain.elems[chain.representative(c)];
+                if homomorphism_exists(&train.db, eval, &[(e, f)]) {
+                    1
+                } else {
+                    -1
+                }
+            })
+            .collect();
+        out.set(f, chain.classify_vector(&v));
+    }
+    Some(out)
+}
+
+/// The CQ-indistinguishability witness, when inseparable: a positive and
+/// a negative entity that are hom-equivalent (the "reason" of Lemma 5.4's
+/// criterion, CQ version).
+pub fn cq_inseparability_witness(train: &TrainingDb) -> Option<(Val, Val)> {
+    train.opposing_pairs().into_iter().find(|&(p, n)| {
+        homomorphism_exists(&train.db, &train.db, &[(p, n)])
+            && homomorphism_exists(&train.db, &train.db, &[(n, p)])
+    })
+}
+
+/// ∃FO⁺-separability coincides with CQ-separability (Proposition 8.3(2)):
+/// unions/conjunctions of CQs distinguish exactly what single CQs do at
+/// the level of entity pairs.
+pub fn epfo_separable(train: &TrainingDb) -> bool {
+    cq_separable(train)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{DbBuilder, Label, Schema};
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    fn path_train() -> TrainingDb {
+        DbBuilder::new(schema())
+            .fact("E", &["1", "2"])
+            .fact("E", &["2", "3"])
+            .positive("1")
+            .positive("2")
+            .negative("3")
+            .training()
+    }
+
+    #[test]
+    fn path_is_separable_and_generates() {
+        let t = path_train();
+        assert!(cq_separable(&t));
+        assert!(cq_inseparability_witness(&t).is_none());
+        let model = cq_generate(&t).expect("separable");
+        assert!(model.separates(&t), "{}", model.statistic);
+        assert_eq!(model.statistic.dimension(), 3);
+    }
+
+    #[test]
+    fn hom_equivalent_pair_blocks() {
+        // Two disjoint 3-cycles: all six elements hom-equivalent.
+        let t = DbBuilder::new(schema())
+            .fact("E", &["a", "b"])
+            .fact("E", &["b", "c"])
+            .fact("E", &["c", "a"])
+            .fact("E", &["x", "y"])
+            .fact("E", &["y", "z"])
+            .fact("E", &["z", "x"])
+            .positive("a")
+            .negative("x")
+            .training();
+        assert!(!cq_separable(&t));
+        let (p, n) = cq_inseparability_witness(&t).unwrap();
+        assert_eq!(t.labeling.get(p), Label::Positive);
+        assert_eq!(t.labeling.get(n), Label::Negative);
+        assert!(cq_generate(&t).is_none());
+        assert!(cq_classify(&t, &t.db).is_none());
+    }
+
+    #[test]
+    fn classification_transfers_to_eval_db() {
+        let t = path_train();
+        // Evaluation: a longer all-entity path. The canonical features
+        // q_e are whole-database patterns (η facts included), so the
+        // eval path must be entity-labeled throughout for them to match.
+        let eval = DbBuilder::new(schema())
+            .fact("E", &["u", "v"])
+            .fact("E", &["v", "w"])
+            .fact("E", &["w", "x"])
+            .entity("u")
+            .entity("v")
+            .entity("w")
+            .entity("x")
+            .build();
+        let lab = cq_classify(&t, &eval).unwrap();
+        let u = eval.val_by_name("u").unwrap();
+        let w = eval.val_by_name("w").unwrap();
+        let x = eval.val_by_name("x").unwrap();
+        // u's feature vector equals training entity 1's exactly, so it
+        // must inherit that label; likewise x matches entity 3.
+        assert_eq!(lab.get(u), Label::Positive);
+        assert_eq!(lab.get(x), Label::Negative);
+        // w's vector (-,+,+) never occurs in training — any label is a
+        // valid CQ-Cls answer for it — so we only require totality.
+        let _ = lab.get(w);
+    }
+
+    #[test]
+    fn classification_agrees_with_model_on_training() {
+        let t = path_train();
+        let lab = cq_classify(&t, &t.db).unwrap();
+        for e in t.entities() {
+            assert_eq!(lab.get(e), t.labeling.get(e));
+        }
+        // And with the explicit generated model.
+        let model = cq_generate(&t).unwrap();
+        let model_lab = model.classify(&t.db);
+        for e in t.entities() {
+            assert_eq!(model_lab.get(e), t.labeling.get(e));
+        }
+    }
+
+    #[test]
+    fn example_6_2_needs_two_features_but_is_separable() {
+        // Example 6.2 of the paper: D = {R(a), S(a), S(c), η(a), η(b),
+        // η(c)}, λ(a)=λ(b)=+, λ(c)=−.
+        let mut s = Schema::entity_schema();
+        s.add_relation("R", 1);
+        s.add_relation("S", 1);
+        let t = DbBuilder::new(s)
+            .fact("R", &["a"])
+            .fact("S", &["a"])
+            .fact("S", &["c"])
+            .positive("a")
+            .positive("b")
+            .negative("c")
+            .training();
+        assert!(cq_separable(&t));
+        let model = cq_generate(&t).unwrap();
+        assert!(model.separates(&t));
+    }
+}

@@ -1,0 +1,212 @@
+//! `CQ[m]` and `CQ[m,p]` separability, generation, and classification
+//! (§4: Proposition 4.1, Corollary 4.2, Proposition 4.3).
+//!
+//! Proposition 4.1's key observation: `(D, λ)` is `CQ[m]`-separable iff it
+//! is separated by the statistic of **all** `CQ[m]` feature queries over
+//! the relations of `D`, up to equivalence. So the algorithm enumerates
+//! that statistic, evaluates the indicator matrix, and asks the exact LP
+//! for a classifier. The enumeration is `|D|^m · 2^{poly(arity)}` — the
+//! FPT shape of Corollary 4.2 — and bounding occurrences per variable
+//! (`CQ[m,p]`) restores plain PTIME (Proposition 4.3).
+
+use crate::statistic::{SeparatorModel, Statistic};
+use cq::{enumerate_feature_queries, EnumConfig};
+use linsep::separate;
+use relational::{Database, Labeling, TrainingDb};
+
+/// The full `CQ[m]` statistic over the relations populated in `D`
+/// (Prop 4.1's `Π`), with the η guard on every feature.
+pub fn full_statistic(d: &Database, config: &EnumConfig) -> Statistic {
+    let config = match &config.relations {
+        Some(_) => config.clone(),
+        None => {
+            let eta = d.schema().entity_rel();
+            let populated: Vec<_> = d
+                .populated_rels()
+                .into_iter()
+                .filter(|r| Some(*r) != eta)
+                .collect();
+            config.clone().over_relations(populated)
+        }
+    };
+    Statistic::new(enumerate_feature_queries(d.schema(), &config))
+}
+
+/// Decide `CQ[m]`(-`[m,p]`) separability and produce the separating pair
+/// `(Π, Λ_w̄)` when it exists (Proposition 4.1 is constructive).
+///
+/// Optimization over the literal Prop 4.1 statement: logically distinct
+/// features with the *same indicator column on this training database*
+/// are interchangeable for separability, so the enumeration runs with
+/// cheap syntactic deduplication and the statistic keeps one feature per
+/// distinct column. This changes neither the decision nor the
+/// separation guarantee — only the (much smaller) LP dimension.
+pub fn cqm_generate(train: &TrainingDb, config: &EnumConfig) -> Option<SeparatorModel> {
+    let (statistic, rows, labels) = column_reduced_statistic(train, config);
+    let classifier = separate(&rows, &labels)?;
+    Some(SeparatorModel { statistic, classifier })
+}
+
+/// The full (syntactically enumerated) `CQ[m]` statistic reduced to one
+/// feature per distinct indicator column on `train`, with the reduced
+/// feature matrix and the ±1 labels. Shared by the exact and approximate
+/// solvers: column identity is all that matters for (approximate) linear
+/// separability over a fixed training database.
+pub fn column_reduced_statistic(
+    train: &TrainingDb,
+    config: &EnumConfig,
+) -> (Statistic, Vec<Vec<i32>>, Vec<i32>) {
+    let statistic = full_statistic(&train.db, &config.clone().syntactic());
+    let entities = train.entities();
+    let rows = statistic.apply(&train.db, &entities);
+    let nfeat = statistic.dimension();
+    let mut seen = std::collections::HashSet::new();
+    let mut kept_features = Vec::new();
+    let mut kept_cols: Vec<Vec<i32>> = Vec::new();
+    for j in 0..nfeat {
+        let col: Vec<i32> = rows.iter().map(|r| r[j]).collect();
+        if seen.insert(col.clone()) {
+            kept_features.push(statistic.features[j].clone());
+            kept_cols.push(col);
+        }
+    }
+    let reduced_rows: Vec<Vec<i32>> = (0..entities.len())
+        .map(|i| kept_cols.iter().map(|c| c[i]).collect())
+        .collect();
+    let labels: Vec<i32> = entities
+        .iter()
+        .map(|&e| train.labeling.get(e).to_i32())
+        .collect();
+    (Statistic::new(kept_features), reduced_rows, labels)
+}
+
+/// Decision-only variant of [`cqm_generate`].
+pub fn cqm_separable(train: &TrainingDb, config: &EnumConfig) -> bool {
+    cqm_generate(train, config).is_some()
+}
+
+/// `CQ[m]`-Cls: classify an evaluation database with a model generated
+/// from the training database (both constructive per §4).
+pub fn cqm_classify(
+    train: &TrainingDb,
+    eval: &Database,
+    config: &EnumConfig,
+) -> Option<Labeling> {
+    cqm_generate(train, config).map(|model| model.classify(eval))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{DbBuilder, Label, Schema};
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    fn path_train() -> TrainingDb {
+        DbBuilder::new(schema())
+            .fact("E", &["1", "2"])
+            .fact("E", &["2", "3"])
+            .positive("1")
+            .positive("2")
+            .negative("3")
+            .training()
+    }
+
+    #[test]
+    fn one_atom_suffices_for_out_edges() {
+        let t = path_train();
+        let model = cqm_generate(&t, &EnumConfig::cqm(1)).expect("separable at m=1");
+        assert!(model.separates(&t));
+    }
+
+    #[test]
+    fn separability_monotone_in_m() {
+        let t = path_train();
+        for m in 1..=2 {
+            assert!(cqm_separable(&t, &EnumConfig::cqm(m)), "m={m}");
+        }
+    }
+
+    #[test]
+    fn depth_two_pattern_needs_two_atoms() {
+        // Distinguish "has an out-2-path" from "has only an out-1-path":
+        // positives: 1; negatives: 2 (both have out-edges).
+        let t = DbBuilder::new(schema())
+            .fact("E", &["1", "2"])
+            .fact("E", &["2", "3"])
+            .positive("1")
+            .negative("2")
+            .training();
+        // m=1 candidates: out-edge (both +), in-edge (2 only, wrong
+        // direction helps!): E(y,x) is true at 2 and false at 1 — that
+        // separates with one atom after all. Verify the solver finds it.
+        let m1 = cqm_generate(&t, &EnumConfig::cqm(1));
+        assert!(m1.is_some_and(|m| m.separates(&t)));
+    }
+
+    #[test]
+    fn genuinely_inseparable_stays_inseparable() {
+        // Two hom-equivalent entities with opposite labels cannot be
+        // separated by ANY CQ class, in particular CQ[m].
+        let t = DbBuilder::new(schema())
+            .fact("E", &["a", "b"])
+            .fact("E", &["b", "a"])
+            .positive("a")
+            .negative("b")
+            .training();
+        for m in 1..=2 {
+            assert!(!cqm_separable(&t, &EnumConfig::cqm(m)), "m={m}");
+        }
+    }
+
+    #[test]
+    fn cqmp_weaker_than_cqm() {
+        // Self-loop vs 2-cycle: E(x,x) requires two occurrences of x.
+        let t = DbBuilder::new(schema())
+            .fact("E", &["a", "a"])
+            .fact("E", &["b", "z"])
+            .fact("E", &["z", "b"])
+            .positive("a")
+            .negative("b")
+            .training();
+        assert!(!cqm_separable(&t, &EnumConfig::cqmp(1, 1)));
+        assert!(cqm_separable(&t, &EnumConfig::cqmp(1, 2)));
+    }
+
+    #[test]
+    fn classify_eval_db() {
+        let t = path_train();
+        let eval = DbBuilder::new(schema())
+            .fact("E", &["u", "v"])
+            .entity("u")
+            .entity("v")
+            .build();
+        let lab = cqm_classify(&t, &eval, &EnumConfig::cqm(1)).unwrap();
+        let u = eval.val_by_name("u").unwrap();
+        let v = eval.val_by_name("v").unwrap();
+        assert_eq!(lab.get(u), Label::Positive);
+        assert_eq!(lab.get(v), Label::Negative);
+    }
+
+    #[test]
+    fn full_statistic_restricted_to_populated_relations() {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s.add_relation("Unused", 3);
+        let d = DbBuilder::new(s)
+            .fact("E", &["a", "b"])
+            .entity("a")
+            .build();
+        let st = full_statistic(&d, &EnumConfig::cqm(1));
+        for q in &st.features {
+            assert!(
+                !q.to_string().contains("Unused"),
+                "unpopulated relation leaked into {q}"
+            );
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Statistics and separator models (§2–§3 of the paper).
+
+use cq::{indicator, Cq};
+use linsep::LinearClassifier;
+use relational::{Database, Label, Labeling, TrainingDb, Val};
+use std::fmt;
+
+/// A statistic `Π = (q_1, …, q_n)`: a sequence of unary feature queries.
+#[derive(Clone, Debug)]
+pub struct Statistic {
+    pub features: Vec<Cq>,
+}
+
+impl Statistic {
+    pub fn new(features: Vec<Cq>) -> Statistic {
+        for q in &features {
+            assert!(q.is_unary(), "feature queries must be unary");
+        }
+        Statistic { features }
+    }
+
+    /// The dimension (number of feature queries).
+    pub fn dimension(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `Π^D(e)` for every entity `e` in `entities`: the ±1 feature matrix,
+    /// one row per entity.
+    pub fn apply(&self, d: &Database, entities: &[Val]) -> Vec<Vec<i32>> {
+        let mut rows = vec![Vec::with_capacity(self.features.len()); entities.len()];
+        for q in &self.features {
+            let col = indicator(q, d, entities);
+            for (row, v) in rows.iter_mut().zip(col) {
+                row.push(v);
+            }
+        }
+        rows
+    }
+
+    /// Total number of atoms across the features — the size measure of
+    /// Theorems 5.7 and 6.7.
+    pub fn total_atoms(&self) -> usize {
+        self.features.iter().map(|q| q.atoms().len()).sum()
+    }
+}
+
+impl fmt::Display for Statistic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, q) in self.features.iter().enumerate() {
+            writeln!(f, "q{i}: {q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A statistic together with a linear classifier: the pair `(Π, Λ_w̄)`
+/// that the feature-generation algorithms produce.
+#[derive(Clone, Debug)]
+pub struct SeparatorModel {
+    pub statistic: Statistic,
+    pub classifier: LinearClassifier,
+}
+
+impl SeparatorModel {
+    /// Classify the entities of `d` (any database over the schema).
+    pub fn classify(&self, d: &Database) -> Labeling {
+        let entities = d.entities();
+        let rows = self.statistic.apply(d, &entities);
+        entities
+            .into_iter()
+            .zip(rows)
+            .map(|(e, row)| (e, Label::from_sign(self.classifier.classify(&row))))
+            .collect()
+    }
+
+    /// Does this model reproduce the training labels exactly
+    /// (`L`-separation in the sense of Definition 3.1)?
+    pub fn separates(&self, train: &TrainingDb) -> bool {
+        self.errors(train) == 0
+    }
+
+    /// Number of training entities the model misclassifies (the error
+    /// count of §7).
+    pub fn errors(&self, train: &TrainingDb) -> usize {
+        let predicted = self.classify(&train.db);
+        train
+            .entities()
+            .into_iter()
+            .filter(|&e| predicted.get(e) != train.labeling.get(e))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cq::parse::parse_cq;
+    use numeric::int;
+    use relational::{DbBuilder, Schema};
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    fn train() -> TrainingDb {
+        DbBuilder::new(schema())
+            .fact("E", &["a", "b"])
+            .fact("E", &["b", "c"])
+            .positive("a")
+            .positive("b")
+            .negative("c")
+            .training()
+    }
+
+    fn model() -> SeparatorModel {
+        let q = parse_cq(&schema(), "q(x) :- eta(x), E(x,y)").unwrap();
+        SeparatorModel {
+            statistic: Statistic::new(vec![q]),
+            classifier: LinearClassifier::new(int(0), vec![int(1)]),
+        }
+    }
+
+    #[test]
+    fn apply_builds_feature_matrix() {
+        let t = train();
+        let m = model();
+        let rows = m.statistic.apply(&t.db, &t.entities());
+        assert_eq!(rows, vec![vec![1], vec![1], vec![-1]]);
+    }
+
+    #[test]
+    fn model_separates_training_db() {
+        let t = train();
+        let m = model();
+        assert!(m.separates(&t));
+        assert_eq!(m.errors(&t), 0);
+    }
+
+    #[test]
+    fn errors_counted() {
+        let mut t = train();
+        // Flip a's label: the out-edge model now errs once.
+        let a = t.db.val_by_name("a").unwrap();
+        t.labeling.set(a, Label::Negative);
+        assert_eq!(model().errors(&t), 1);
+    }
+
+    #[test]
+    fn classify_evaluation_database() {
+        let m = model();
+        let eval = DbBuilder::new(schema())
+            .fact("E", &["u", "v"])
+            .entity("u")
+            .entity("v")
+            .build();
+        let lab = m.classify(&eval);
+        let u = eval.val_by_name("u").unwrap();
+        let v = eval.val_by_name("v").unwrap();
+        assert_eq!(lab.get(u), Label::Positive);
+        assert_eq!(lab.get(v), Label::Negative);
+    }
+
+    #[test]
+    fn dimension_and_atoms() {
+        let m = model();
+        assert_eq!(m.statistic.dimension(), 1);
+        assert_eq!(m.statistic.total_atoms(), 2);
+    }
+}

@@ -1,0 +1,279 @@
+//! The k-pebble (partial isomorphism) game: FO_k-indistinguishability.
+//!
+//! §8 of the paper shows the k-variable fragment FO_k has the
+//! dimension-collapse property and its separability reduces to
+//! FO_k-indistinguishability of entity pairs. Two pointed structures are
+//! FO_k-equivalent iff Duplicator wins the classic k-pebble game with
+//! **back-and-forth** moves and **partial isomorphism** positions (FO has
+//! equality and negation, so positions must be injective and must reflect
+//! facts, not merely preserve them).
+//!
+//! The solver is the textbook greatest fixpoint: start from all partial
+//! isomorphisms of size ≤ k, repeatedly delete positions that fail the
+//! forth/back extension property (when smaller than k) or whose immediate
+//! subfunctions died. Position counts are `O((|dom| · |dom'|)^k)`, so this
+//! is polynomial for fixed k.
+
+use relational::{Database, Val};
+use std::collections::{HashMap, HashSet};
+
+/// The analyzed k-pebble game between two databases.
+pub struct PebbleGame<'a> {
+    pub d: &'a Database,
+    pub d2: &'a Database,
+    pub k: usize,
+    /// All currently-alive positions (partial isomorphisms, sorted pair
+    /// lists) after the fixpoint.
+    alive: HashSet<Vec<(Val, Val)>>,
+}
+
+impl<'a> PebbleGame<'a> {
+    pub fn analyze(d: &'a Database, d2: &'a Database, k: usize) -> PebbleGame<'a> {
+        assert!(k >= 1, "pebble game needs k >= 1");
+        assert_eq!(d.schema(), d2.schema(), "pebble game requires one schema");
+        let mut game = PebbleGame { d, d2, k, alive: HashSet::new() };
+        game.build();
+        game.fixpoint();
+        game
+    }
+
+    /// Is the position `pairs` (≤ k pebbles) still winning for Duplicator?
+    pub fn duplicator_wins(&self, pairs: &[(Val, Val)]) -> bool {
+        let mut p = pairs.to_vec();
+        p.sort_unstable();
+        p.dedup();
+        self.alive.contains(&p)
+    }
+
+    fn build(&mut self) {
+        // Enumerate all partial isomorphisms of size 0..=k by extension.
+        let dom1: Vec<Val> = self.d.dom().collect();
+        let dom2: Vec<Val> = self.d2.dom().collect();
+        let mut frontier: Vec<Vec<(Val, Val)>> = vec![Vec::new()];
+        self.alive.insert(Vec::new());
+        for _ in 0..self.k {
+            let mut next = Vec::new();
+            for p in &frontier {
+                for &c in &dom1 {
+                    if p.iter().any(|&(x, _)| x == c) {
+                        continue;
+                    }
+                    for &e in &dom2 {
+                        if p.iter().any(|&(_, y)| y == e) {
+                            continue;
+                        }
+                        let mut np = p.clone();
+                        np.push((c, e));
+                        np.sort_unstable();
+                        if self.alive.contains(&np) {
+                            continue;
+                        }
+                        if self.is_partial_iso(&np) {
+                            self.alive.insert(np.clone());
+                            next.push(np);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+    }
+
+    /// Partial isomorphism check: injectivity is structural (pairs have
+    /// distinct components by construction); facts within the domain must
+    /// map to facts, and facts within the image must pull back to facts.
+    fn is_partial_iso(&self, pairs: &[(Val, Val)]) -> bool {
+        let fwd: HashMap<Val, Val> = pairs.iter().copied().collect();
+        let bwd: HashMap<Val, Val> = pairs.iter().map(|&(x, y)| (y, x)).collect();
+        for &(c, _) in pairs {
+            for &fi in self.d.facts_of_val(c) {
+                let f = self.d.fact(fi);
+                if f.args.iter().all(|v| fwd.contains_key(v)) {
+                    let args: Vec<Val> = f.args.iter().map(|v| fwd[v]).collect();
+                    if !self.d2.has_fact(f.rel, &args) {
+                        return false;
+                    }
+                }
+            }
+        }
+        for &(_, e) in pairs {
+            for &fi in self.d2.facts_of_val(e) {
+                let f = self.d2.fact(fi);
+                if f.args.iter().all(|v| bwd.contains_key(v)) {
+                    let args: Vec<Val> = f.args.iter().map(|v| bwd[v]).collect();
+                    if !self.d.has_fact(f.rel, &args) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn fixpoint(&mut self) {
+        let dom1: Vec<Val> = self.d.dom().collect();
+        let dom2: Vec<Val> = self.d2.dom().collect();
+        loop {
+            let mut dead: Vec<Vec<(Val, Val)>> = Vec::new();
+            for p in &self.alive {
+                if !self.position_ok(p, &dom1, &dom2) {
+                    dead.push(p.clone());
+                }
+            }
+            if dead.is_empty() {
+                return;
+            }
+            for p in dead {
+                self.alive.remove(&p);
+            }
+        }
+    }
+
+    fn position_ok(&self, p: &[(Val, Val)], dom1: &[Val], dom2: &[Val]) -> bool {
+        // Immediate subfunctions must be alive (pebble removal).
+        for i in 0..p.len() {
+            let mut sub = p.to_vec();
+            sub.remove(i);
+            if !self.alive.contains(&sub) {
+                return false;
+            }
+        }
+        if p.len() == self.k {
+            return true;
+        }
+        // Forth: every c has a partner d.
+        for &c in dom1 {
+            if p.iter().any(|&(x, _)| x == c) {
+                continue;
+            }
+            let ok = dom2.iter().any(|&e| {
+                if p.iter().any(|&(_, y)| y == e) {
+                    return false;
+                }
+                let mut np = p.to_vec();
+                np.push((c, e));
+                np.sort_unstable();
+                self.alive.contains(&np)
+            });
+            if !ok {
+                return false;
+            }
+        }
+        // Back: every e has a partner c.
+        for &e in dom2 {
+            if p.iter().any(|&(_, y)| y == e) {
+                continue;
+            }
+            let ok = dom1.iter().any(|&c| {
+                if p.iter().any(|&(x, _)| x == c) {
+                    return false;
+                }
+                let mut np = p.to_vec();
+                np.push((c, e));
+                np.sort_unstable();
+                self.alive.contains(&np)
+            });
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Are `(D, a)` and `(D', b)` indistinguishable by FO formulas with at
+/// most `k` variables? (The free variable counts as one of the k, so this
+/// needs `k ≥ 1`.)
+pub fn pebble_equivalent(d: &Database, a: Val, d2: &Database, b: Val, k: usize) -> bool {
+    PebbleGame::analyze(d, d2, k).duplicator_wins(&[(a, b)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{DbBuilder, Schema};
+
+    fn graph(edges: &[(&str, &str)]) -> Database {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        let mut b = DbBuilder::new(s);
+        for &(x, y) in edges {
+            b = b.fact("E", &[x, y]);
+        }
+        b.build()
+    }
+
+    fn v(d: &Database, n: &str) -> Val {
+        d.val_by_name(n).unwrap()
+    }
+
+    #[test]
+    fn automorphic_elements_are_equivalent_at_every_k() {
+        let c4 = graph(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]);
+        for k in 1..=3 {
+            assert!(pebble_equivalent(&c4, v(&c4, "a"), &c4, v(&c4, "c"), k));
+        }
+    }
+
+    #[test]
+    fn two_variables_distinguish_out_degrees() {
+        // q(x) = ∃y E(x,y) uses 2 variables.
+        let d = graph(&[("a", "b")]);
+        assert!(!pebble_equivalent(&d, v(&d, "a"), &d, v(&d, "b"), 2));
+        // With a single variable only E(x,x)-style atoms exist; a and b
+        // are indistinguishable.
+        assert!(pebble_equivalent(&d, v(&d, "a"), &d, v(&d, "b"), 1));
+    }
+
+    #[test]
+    fn fo2_counts_less_than_fo3() {
+        // Distinguishing "has ≥2 distinct out-neighbors" needs 3
+        // variables when phrased with equality... with 2 variables and no
+        // counting quantifiers, a 1-out-star and a 2-out-star center are
+        // FO_2-equivalent? FO_2 *can* say ∃y E(x,y) but to say "two
+        // distinct successors" needs y ≠ z — three variables.
+        let d = graph(&[("a", "b"), ("u", "v1"), ("u", "v2")]);
+        let a = v(&d, "a");
+        let u = v(&d, "u");
+        assert!(!pebble_equivalent(&d, a, &d, u, 3));
+        // NOTE: FO_2 with equality can still distinguish them here via
+        // back-moves counting pebbled neighborhoods; assert only the
+        // FO_3 result and the monotonicity below.
+        if pebble_equivalent(&d, a, &d, u, 2) {
+            // FO_2-equivalence must then also hold at k=1 (fewer vars).
+            assert!(pebble_equivalent(&d, a, &d, u, 1));
+        }
+    }
+
+    #[test]
+    fn equivalence_is_monotone_decreasing_in_k() {
+        let d = graph(&[
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "a"),
+            ("x", "y"),
+            ("y", "x"),
+        ]);
+        let mut prev = true;
+        for k in 1..=3 {
+            let now = pebble_equivalent(&d, v(&d, "a"), &d, v(&d, "x"), k);
+            if !prev {
+                assert!(!now, "FO_k-equivalence not antitone at k={k}");
+            }
+            prev = now;
+        }
+        // At k=3 the triangle is expressible: distinguished.
+        assert!(!pebble_equivalent(&d, v(&d, "a"), &d, v(&d, "x"), 3));
+    }
+
+    #[test]
+    fn structures_of_different_sizes() {
+        // One loop vs two loops: FO_1 already separates nothing pointed
+        // here (both points sit on a loop), but FO_2 sees the second
+        // element.
+        let one = graph(&[("l", "l")]);
+        let two = graph(&[("l", "l"), ("m", "m")]);
+        assert!(pebble_equivalent(&one, v(&one, "l"), &two, v(&two, "l"), 1));
+        assert!(!pebble_equivalent(&one, v(&one, "l"), &two, v(&two, "l"), 2));
+    }
+}

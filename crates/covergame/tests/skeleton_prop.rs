@@ -1,0 +1,78 @@
+//! The skeleton-sharing fast path must be observationally identical to
+//! the self-contained analysis — property-tested across random instances,
+//! points, and widths.
+
+use covergame::{CoverGame, UnionSkeleton};
+use proptest::prelude::*;
+use relational::{Database, Schema, Val};
+
+fn graph(n: usize, edges: &[(usize, usize)]) -> Database {
+    let mut s = Schema::entity_schema();
+    s.add_relation("E", 2);
+    let mut db = Database::new(s);
+    let vals: Vec<Val> = (0..n).map(|i| db.value(&format!("v{i}"))).collect();
+    let e = db.schema().rel_by_name("E").unwrap();
+    for &(a, b) in edges {
+        db.add_fact(e, vec![vals[a % n], vals[b % n]]);
+    }
+    for &v in &vals {
+        db.add_entity(v);
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn skeleton_path_matches_direct_path(
+        n in 2usize..5,
+        edges in proptest::collection::vec((0usize..5, 0usize..5), 1..8),
+        i in 0usize..4,
+        j in 0usize..4,
+        k in 1usize..3,
+    ) {
+        let d = graph(n, &edges);
+        let a = Val((i % n) as u32);
+        let b = Val((j % n) as u32);
+        let direct = CoverGame::analyze(&d, &[a], &d, &[b], k);
+        let skeleton = UnionSkeleton::build(&d, k);
+        let shared = CoverGame::analyze_with_skeleton(&d, &[a], &d, &[b], &skeleton);
+        prop_assert_eq!(direct.duplicator_wins(), shared.duplicator_wins());
+        // Same region structure.
+        prop_assert_eq!(direct.unions.len(), shared.unions.len());
+        for (du, su) in direct.unions.iter().zip(shared.unions.iter()) {
+            prop_assert_eq!(&du.elems, &su.elems);
+            prop_assert_eq!(&du.facts_inside, &su.facts_inside);
+        }
+        // Same per-union survivor counts (the fixpoint itself agrees).
+        for (dp, sp) in direct.positions.iter().zip(shared.positions.iter()) {
+            let da = dp.iter().filter(|p| p.death.is_none()).count();
+            let sa = sp.iter().filter(|p| p.death.is_none()).count();
+            prop_assert_eq!(da, sa);
+        }
+    }
+
+    #[test]
+    fn skeleton_reuse_across_pairs_is_safe(
+        n in 2usize..5,
+        edges in proptest::collection::vec((0usize..5, 0usize..5), 1..8),
+        k in 1usize..3,
+    ) {
+        let d = graph(n, &edges);
+        let skeleton = UnionSkeleton::build(&d, k);
+        // Run every ordered pair through the shared skeleton and compare
+        // with fresh analyses; interleave to catch state leakage.
+        for i in 0..n.min(3) {
+            for j in 0..n.min(3) {
+                let a = Val(i as u32);
+                let b = Val(j as u32);
+                let shared =
+                    CoverGame::analyze_with_skeleton(&d, &[a], &d, &[b], &skeleton)
+                        .duplicator_wins();
+                let fresh = CoverGame::analyze(&d, &[a], &d, &[b], k).duplicator_wins();
+                prop_assert_eq!(shared, fresh, "pair ({},{})", i, j);
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! CQ containment and equivalence via the Chandra–Merlin theorem.
+//!
+//! `q₁ ⊆ q₂` (every database: `q₁(D) ⊆ q₂(D)`) iff there is a homomorphism
+//! `(D_{q₂}, x̄₂) → (D_{q₁}, x̄₁)`. Used to deduplicate enumerated `CQ[m]`
+//! statistics (Proposition 4.1 speaks of feature CQs "up to equivalence").
+
+use crate::query::Cq;
+use relational::{homomorphism_exists, Val};
+
+/// Is `q1` contained in `q2` (`q1 ⊨ q2`)?
+pub fn contained_in(q1: &Cq, q2: &Cq) -> bool {
+    assert_eq!(q1.schema(), q2.schema(), "containment across schemas");
+    assert_eq!(
+        q1.free_vars().len(),
+        q2.free_vars().len(),
+        "containment requires equal free arity"
+    );
+    let (d1, f1) = q1.canonical_db();
+    let (d2, f2) = q2.canonical_db();
+    let fixed: Vec<(Val, Val)> = f2.into_iter().zip(f1).collect();
+    homomorphism_exists(&d2, &d1, &fixed)
+}
+
+/// Are the queries logically equivalent?
+pub fn equivalent(q1: &Cq, q2: &Cq) -> bool {
+    contained_in(q1, q2) && contained_in(q2, q1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Atom, Cq, Var};
+    use relational::Schema;
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    fn path_query(len: usize) -> Cq {
+        // q(x0) :- eta(x0), E(x0,x1), ..., E(x_{len-1}, x_len)
+        let s = schema();
+        let eta = s.entity_rel_required();
+        let e = s.rel_by_name("E").unwrap();
+        let mut atoms = vec![Atom::new(eta, vec![Var(0)])];
+        for i in 0..len {
+            atoms.push(Atom::new(e, vec![Var(i as u32), Var(i as u32 + 1)]));
+        }
+        Cq::new(s, vec![Var(0)], atoms)
+    }
+
+    #[test]
+    fn longer_path_is_more_specific() {
+        let p1 = path_query(1);
+        let p2 = path_query(2);
+        assert!(contained_in(&p2, &p1));
+        assert!(!contained_in(&p1, &p2));
+        assert!(!equivalent(&p1, &p2));
+    }
+
+    #[test]
+    fn redundant_atom_is_equivalent() {
+        // q(x) :- eta(x), E(x,y) versus q(x) :- eta(x), E(x,y), E(x,z):
+        // the second folds onto the first.
+        let s = schema();
+        let eta = s.entity_rel_required();
+        let e = s.rel_by_name("E").unwrap();
+        let q1 = Cq::new(
+            s.clone(),
+            vec![Var(0)],
+            vec![Atom::new(eta, vec![Var(0)]), Atom::new(e, vec![Var(0), Var(1)])],
+        );
+        let q2 = Cq::new(
+            s,
+            vec![Var(0)],
+            vec![
+                Atom::new(eta, vec![Var(0)]),
+                Atom::new(e, vec![Var(0), Var(1)]),
+                Atom::new(e, vec![Var(0), Var(2)]),
+            ],
+        );
+        assert!(equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn every_query_contains_itself() {
+        for len in 0..4 {
+            let q = path_query(len);
+            assert!(equivalent(&q, &q));
+        }
+    }
+
+    #[test]
+    fn incomparable_queries() {
+        // q(x) :- eta(x), E(x,y)  vs  q(x) :- eta(x), E(y,x).
+        let s = schema();
+        let eta = s.entity_rel_required();
+        let e = s.rel_by_name("E").unwrap();
+        let out_q = Cq::new(
+            s.clone(),
+            vec![Var(0)],
+            vec![Atom::new(eta, vec![Var(0)]), Atom::new(e, vec![Var(0), Var(1)])],
+        );
+        let in_q = Cq::new(
+            s,
+            vec![Var(0)],
+            vec![Atom::new(eta, vec![Var(0)]), Atom::new(e, vec![Var(1), Var(0)])],
+        );
+        assert!(!contained_in(&out_q, &in_q));
+        assert!(!contained_in(&in_q, &out_q));
+    }
+}

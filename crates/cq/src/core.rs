@@ -1,0 +1,183 @@
+//! Cores of conjunctive queries.
+//!
+//! The core of a CQ is its unique (up to isomorphism) minimal equivalent
+//! subquery. Cores make "up to equivalence" computations concrete: two CQs
+//! are equivalent iff their cores are isomorphic, and enumeration dedup
+//! (Prop 4.1's statistic of *all* `CQ[m]` features up to equivalence) keeps
+//! one query per core.
+//!
+//! Algorithm: a proper retract exists iff for some existential variable
+//! `v` there is a homomorphism from the canonical database onto the
+//! substructure induced by dropping `v`, fixing the free variables. Repeat
+//! until no variable can be dropped.
+
+use crate::query::{Atom, Cq, Var};
+use relational::{homomorphism_exists, Database, Val};
+use std::collections::HashSet;
+
+/// Compute the core of `q`. The result is equivalent to `q` and no larger.
+pub fn core_of(q: &Cq) -> Cq {
+    let mut atoms: Vec<Atom> = q.atoms().to_vec();
+    atoms.sort();
+    atoms.dedup();
+    let free: HashSet<Var> = q.free_vars().iter().copied().collect();
+
+    loop {
+        let vars: Vec<Var> = {
+            let mut vs: HashSet<Var> = HashSet::new();
+            for a in &atoms {
+                vs.extend(a.args.iter().copied());
+            }
+            let mut v: Vec<Var> = vs.into_iter().filter(|v| !free.contains(v)).collect();
+            v.sort();
+            v
+        };
+        let mut shrunk = false;
+        for &v in &vars {
+            let reduced: Vec<Atom> = atoms
+                .iter()
+                .filter(|a| !a.args.contains(&v))
+                .cloned()
+                .collect();
+            if reduced.len() == atoms.len() {
+                continue; // v occurs in no atom (cannot happen, but safe)
+            }
+            if retracts_onto(q, &atoms, &reduced) {
+                atoms = reduced;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+
+    Cq::new(q.schema().clone(), q.free_vars().to_vec(), atoms)
+}
+
+/// Is there a homomorphism from the structure of `full` onto the structure
+/// of `reduced` (an atom-subset), fixing the free variables of `q`?
+fn retracts_onto(q: &Cq, full: &[Atom], reduced: &[Atom]) -> bool {
+    let (full_db, full_frees) = build_db(q, full);
+    let (red_db, red_frees) = build_db(q, reduced);
+    let fixed: Vec<(Val, Val)> = full_frees.into_iter().zip(red_frees).collect();
+    homomorphism_exists(&full_db, &red_db, &fixed)
+}
+
+/// Build a database from an atom list, interning variables by index so the
+/// same `Var` gets the same name in both the full and reduced builds. Free
+/// variables are always interned (they must exist as retract targets).
+fn build_db(q: &Cq, atoms: &[Atom]) -> (Database, Vec<Val>) {
+    let mut db = Database::new(q.schema().clone());
+    let frees: Vec<Val> = q
+        .free_vars()
+        .iter()
+        .map(|v| db.value(&format!("x{}", v.0)))
+        .collect();
+    for a in atoms {
+        let args: Vec<Val> = a.args.iter().map(|v| db.value(&format!("x{}", v.0))).collect();
+        db.add_fact(a.rel, args);
+    }
+    (db, frees)
+}
+
+/// Is `q` its own core (no proper retract)?
+pub fn is_core(q: &Cq) -> bool {
+    core_of(q).atoms().len() == {
+        let mut atoms = q.atoms().to_vec();
+        atoms.sort();
+        atoms.dedup();
+        atoms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contain::equivalent;
+    use relational::Schema;
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    fn q(atoms: Vec<Atom>) -> Cq {
+        Cq::new(schema(), vec![Var(0)], atoms).with_entity_guard()
+    }
+
+    fn e_atom(a: u32, b: u32) -> Atom {
+        let s = schema();
+        Atom::new(s.rel_by_name("E").unwrap(), vec![Var(a), Var(b)])
+    }
+
+    #[test]
+    fn redundant_branch_is_folded() {
+        // q(x) :- E(x,y), E(x,z): z-branch folds onto y-branch.
+        let query = q(vec![e_atom(0, 1), e_atom(0, 2)]);
+        let c = core_of(&query);
+        assert_eq!(c.atom_count_for_cqm(), 1);
+        assert!(equivalent(&query, &c));
+        assert!(is_core(&c));
+        assert!(!is_core(&query));
+    }
+
+    #[test]
+    fn path_is_already_core() {
+        // q(x) :- E(x,y), E(y,z): a directed 2-path does not fold.
+        let query = q(vec![e_atom(0, 1), e_atom(1, 2)]);
+        let c = core_of(&query);
+        assert_eq!(c.atom_count_for_cqm(), 2);
+        assert!(is_core(&query));
+    }
+
+    #[test]
+    fn triangle_with_pendant_path_keeps_triangle() {
+        // Triangle on existentials y1,y2,y3 plus a 2-path from x into it:
+        // the path folds into the triangle... it cannot (x is free and
+        // fixed), but a *second* parallel path does.
+        let query = q(vec![
+            // triangle
+            e_atom(1, 2),
+            e_atom(2, 3),
+            e_atom(3, 1),
+            // two parallel paths x -> . -> vertex 1 of the triangle
+            e_atom(0, 4),
+            e_atom(4, 1),
+            e_atom(0, 5),
+            e_atom(5, 1),
+        ]);
+        let c = core_of(&query);
+        assert!(equivalent(&query, &c));
+        // One of the two parallel x-paths folds onto the other (5 ↦ 4);
+        // the triangle itself is rigid relative to the fixed entry point.
+        assert_eq!(c.atom_count_for_cqm(), 5);
+    }
+
+    #[test]
+    fn duplicate_atoms_removed() {
+        let query = q(vec![e_atom(0, 1), e_atom(0, 1)]);
+        let c = core_of(&query);
+        assert_eq!(c.atom_count_for_cqm(), 1);
+    }
+
+    #[test]
+    fn core_is_idempotent() {
+        let query = q(vec![e_atom(0, 1), e_atom(0, 2), e_atom(2, 3), e_atom(1, 4)]);
+        let c1 = core_of(&query);
+        let c2 = core_of(&c1);
+        assert_eq!(c1.atoms().len(), c2.atoms().len());
+        assert!(equivalent(&c1, &c2));
+    }
+
+    #[test]
+    fn free_variable_never_dropped() {
+        // Even a lonely eta(x) stays.
+        let query = Cq::entity_only(schema());
+        let c = core_of(&query);
+        assert_eq!(c.atoms().len(), 1);
+        assert_eq!(c.free_vars(), &[Var(0)]);
+    }
+}

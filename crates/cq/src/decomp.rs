@@ -1,0 +1,576 @@
+//! Tree decompositions and generalized hypertree width (§5).
+//!
+//! We adopt the Chen–Dalmau definition used by the paper (it suits
+//! non-Boolean queries): a tree decomposition of `q = ∃ȳ ⋀ Rᵢ(x̄ᵢ)` assigns
+//! to each tree node a bag of **existentially quantified** variables such
+//! that
+//!
+//! 1. for every atom, its existential variables all appear together in
+//!    some bag, and
+//! 2. every variable's bag-set induces a connected subtree.
+//!
+//! The width of a node is the least number of atoms whose variables cover
+//! its bag; `ghw(q)` is the minimum over decompositions of the maximum
+//! node width. `CQ[k] ⊆ GHW(k)` (one bag, covered by the k atoms), but not
+//! conversely — long paths have ghw 1.
+//!
+//! Deciding `ghw ≤ k` is done exactly by a recursive separator search over
+//! candidate bags drawn from subsets of unions of ≤ k atom variable sets
+//! (every k-coverable bag has that shape), memoized on the
+//! (component, interface) pair. Exponential in general — the problem is
+//! NP-hard — but exact, and fast on the query sizes the algorithms here
+//! produce. Width *verification* of an explicitly-supplied decomposition
+//! (used by the cover-game query extraction) is polynomial for fixed k.
+
+use crate::query::{Cq, Var};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// An explicit tree decomposition: `bags[i]` is the bag of node `i`;
+/// `edges` are the tree edges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeDecomposition {
+    pub bags: Vec<BTreeSet<Var>>,
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl TreeDecomposition {
+    /// A single-bag decomposition over the given variables.
+    pub fn single(bag: BTreeSet<Var>) -> TreeDecomposition {
+        TreeDecomposition { bags: vec![bag], edges: Vec::new() }
+    }
+
+    /// Check all decomposition conditions against `q` and that every bag
+    /// is coverable by at most `k` atoms. Returns a human-readable reason
+    /// on failure.
+    pub fn verify(&self, q: &Cq, k: usize) -> Result<(), String> {
+        let n = self.bags.len();
+        if n == 0 {
+            return Err("empty decomposition".into());
+        }
+        // Tree shape: n-1 edges, connected.
+        if self.edges.len() != n - 1 {
+            return Err(format!("{} edges for {} nodes", self.edges.len(), n));
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            if a >= n || b >= n {
+                return Err("edge out of range".into());
+            }
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &w in &adj[u] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        if seen.iter().any(|s| !s) {
+            return Err("decomposition tree is disconnected".into());
+        }
+
+        let exist = existential_vars(q);
+        for (i, bag) in self.bags.iter().enumerate() {
+            if let Some(v) = bag.iter().find(|v| !exist.contains(v)) {
+                return Err(format!("bag {i} contains non-existential variable x{}", v.0));
+            }
+        }
+
+        // Condition 1: each atom's existential vars inside some bag.
+        for (ai, atom) in q.atoms().iter().enumerate() {
+            let need: BTreeSet<Var> = atom
+                .args
+                .iter()
+                .copied()
+                .filter(|v| exist.contains(v))
+                .collect();
+            if need.is_empty() {
+                continue;
+            }
+            if !self.bags.iter().any(|b| need.is_subset(b)) {
+                return Err(format!("atom {ai} not covered by any bag"));
+            }
+        }
+
+        // Condition 2: connectedness of each variable's occurrence set.
+        for &v in &exist {
+            let nodes: Vec<usize> = (0..n).filter(|&i| self.bags[i].contains(&v)).collect();
+            if nodes.is_empty() {
+                continue;
+            }
+            let node_set: HashSet<usize> = nodes.iter().copied().collect();
+            let mut seen: HashSet<usize> = HashSet::new();
+            let mut stack = vec![nodes[0]];
+            seen.insert(nodes[0]);
+            while let Some(u) = stack.pop() {
+                for &w in &adj[u] {
+                    if node_set.contains(&w) && seen.insert(w) {
+                        stack.push(w);
+                    }
+                }
+            }
+            if seen.len() != nodes.len() {
+                return Err(format!("variable x{} induces a disconnected subtree", v.0));
+            }
+        }
+
+        // Width: each bag coverable by <= k atoms.
+        for (i, bag) in self.bags.iter().enumerate() {
+            if min_cover(q, bag) > k {
+                return Err(format!("bag {i} needs more than {k} covering atoms"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The width of this decomposition w.r.t. `q` (max over bags of the
+    /// minimal atom cover size).
+    pub fn width(&self, q: &Cq) -> usize {
+        self.bags.iter().map(|b| min_cover(q, b)).max().unwrap_or(0)
+    }
+}
+
+/// Existentially quantified variables of `q`.
+fn existential_vars(q: &Cq) -> BTreeSet<Var> {
+    let free: HashSet<Var> = q.free_vars().iter().copied().collect();
+    let mut out = BTreeSet::new();
+    for a in q.atoms() {
+        for &v in &a.args {
+            if !free.contains(&v) {
+                out.insert(v);
+            }
+        }
+    }
+    out
+}
+
+/// Minimal number of atoms of `q` whose variable sets cover `bag`
+/// (∞-free: returns `usize::MAX` if uncoverable, which cannot happen for
+/// bags of occurring variables). Branch-and-bound set cover — bags are
+/// small.
+fn min_cover(q: &Cq, bag: &BTreeSet<Var>) -> usize {
+    if bag.is_empty() {
+        return 0;
+    }
+    let atom_sets: Vec<BTreeSet<Var>> = q
+        .atoms()
+        .iter()
+        .map(|a| a.args.iter().copied().collect())
+        .collect();
+    let mut best = usize::MAX;
+    fn rec(
+        remaining: &BTreeSet<Var>,
+        atom_sets: &[BTreeSet<Var>],
+        used: usize,
+        best: &mut usize,
+    ) {
+        if used >= *best {
+            return;
+        }
+        let target = match remaining.iter().next() {
+            None => {
+                *best = used;
+                return;
+            }
+            Some(&v) => v,
+        };
+        for s in atom_sets {
+            if s.contains(&target) {
+                let rest: BTreeSet<Var> = remaining.difference(s).copied().collect();
+                rec(&rest, atom_sets, used + 1, best);
+            }
+        }
+    }
+    rec(bag, &atom_sets, 0, &mut best);
+    best
+}
+
+/// Decide `ghw(q) ≤ k`, returning a witnessing decomposition when true.
+///
+/// Exact but exponential; intended for the small queries produced by
+/// enumeration. Large extracted queries should be verified against their
+/// construction-time decompositions instead.
+pub fn ghw_at_most(q: &Cq, k: usize) -> Option<TreeDecomposition> {
+    assert!(k >= 1, "ghw bound must be at least 1");
+    let exist: Vec<Var> = existential_vars(q).into_iter().collect();
+    if exist.is_empty() {
+        return Some(TreeDecomposition::single(BTreeSet::new()));
+    }
+
+    // Adjacency between existential variables (co-occurrence in an atom).
+    let adjacent: HashMap<Var, BTreeSet<Var>> = {
+        let eset: HashSet<Var> = exist.iter().copied().collect();
+        let mut m: HashMap<Var, BTreeSet<Var>> = HashMap::new();
+        for a in q.atoms() {
+            let vs: Vec<Var> = a.args.iter().copied().filter(|v| eset.contains(v)).collect();
+            for &u in &vs {
+                for &w in &vs {
+                    if u != w {
+                        m.entry(u).or_default().insert(w);
+                    }
+                }
+            }
+        }
+        for &v in &exist {
+            m.entry(v).or_default();
+        }
+        m
+    };
+
+    // Candidate bags: nonempty subsets of unions of <= k atom var sets.
+    let candidate_bags = candidate_bags(q, k);
+
+    // Atom coverage (condition 1) needs no explicit bookkeeping: atom
+    // variable sets are cliques of the adjacency relation, and a clique is
+    // always absorbed whole by the bag that takes its last member (the
+    // others ride along in the interface chain). See the module docs.
+
+    let mut memo: HashMap<(Vec<Var>, Vec<Var>), Option<TreeDecomposition>> = HashMap::new();
+    let all: BTreeSet<Var> = exist.iter().copied().collect();
+    let mut result_bags: Vec<BTreeSet<Var>> = Vec::new();
+    let mut result_edges: Vec<(usize, usize)> = Vec::new();
+
+    if solve(
+        &all,
+        &BTreeSet::new(),
+        &candidate_bags,
+        &adjacent,
+        &mut memo,
+        &mut result_bags,
+        &mut result_edges,
+    )
+    .is_some()
+    {
+        let td = TreeDecomposition { bags: result_bags, edges: result_edges };
+        debug_assert!(td.verify(q, k).is_ok(), "{:?}", td.verify(q, k));
+        Some(td)
+    } else {
+        None
+    }
+}
+
+/// All nonempty k-coverable variable sets: subsets of unions of ≤ k atom
+/// existential-variable sets. Deduplicated.
+fn candidate_bags(q: &Cq, k: usize) -> Vec<BTreeSet<Var>> {
+    let exist = existential_vars(q);
+    let atom_sets: Vec<BTreeSet<Var>> = {
+        let mut seen = HashSet::new();
+        q.atoms()
+            .iter()
+            .map(|a| {
+                a.args
+                    .iter()
+                    .copied()
+                    .filter(|v| exist.contains(v))
+                    .collect::<BTreeSet<Var>>()
+            })
+            .filter(|s| !s.is_empty() && seen.insert(s.clone()))
+            .collect()
+    };
+    // Unions of up to k atom sets.
+    let mut unions: HashSet<BTreeSet<Var>> = HashSet::new();
+    let mut frontier: Vec<BTreeSet<Var>> = vec![BTreeSet::new()];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for u in &frontier {
+            for s in &atom_sets {
+                let mut nu = u.clone();
+                nu.extend(s.iter().copied());
+                if unions.insert(nu.clone()) {
+                    next.push(nu);
+                }
+            }
+        }
+        frontier = next;
+    }
+    // All nonempty subsets of each union.
+    let mut bags: HashSet<BTreeSet<Var>> = HashSet::new();
+    for u in unions {
+        let elems: Vec<Var> = u.iter().copied().collect();
+        let n = elems.len();
+        assert!(n < 24, "bag union too large for subset enumeration");
+        for mask in 1u32..(1 << n) {
+            let sub: BTreeSet<Var> = elems
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &v)| v)
+                .collect();
+            bags.insert(sub);
+        }
+    }
+    let mut out: Vec<BTreeSet<Var>> = bags.into_iter().collect();
+    // Try large bags first: they split components faster.
+    out.sort_by_key(|b| std::cmp::Reverse(b.len()));
+    out
+}
+
+/// Recursive search: decompose component `comp` whose interface to the
+/// parent is `iface` (⊆ parent bag). The root bag of this subtree must
+/// contain `iface`. Appends nodes/edges to the output and returns the root
+/// node index on success.
+#[allow(clippy::too_many_arguments)]
+fn solve(
+    comp: &BTreeSet<Var>,
+    iface: &BTreeSet<Var>,
+    candidate_bags: &[BTreeSet<Var>],
+    adjacent: &HashMap<Var, BTreeSet<Var>>,
+    memo: &mut HashMap<(Vec<Var>, Vec<Var>), Option<TreeDecomposition>>,
+    out_bags: &mut Vec<BTreeSet<Var>>,
+    out_edges: &mut Vec<(usize, usize)>,
+) -> Option<usize> {
+    let key = (
+        comp.iter().copied().collect::<Vec<_>>(),
+        iface.iter().copied().collect::<Vec<_>>(),
+    );
+    if let Some(cached) = memo.get(&key) {
+        return match cached {
+            None => None,
+            Some(td) => {
+                // Splice the cached subtree into the output.
+                let base = out_bags.len();
+                out_bags.extend(td.bags.iter().cloned());
+                out_edges.extend(td.edges.iter().map(|&(a, b)| (a + base, b + base)));
+                Some(base)
+            }
+        };
+    }
+
+    let scope: BTreeSet<Var> = comp.union(iface).copied().collect();
+    for bag in candidate_bags {
+        if !iface.is_subset(bag) || !bag.is_subset(&scope) {
+            continue;
+        }
+        // The bag must make progress: strictly shrink the open component
+        // (otherwise recursion may not terminate).
+        if !bag.iter().any(|v| comp.contains(v) && !iface.contains(v)) && !comp.is_empty() {
+            continue;
+        }
+        let remaining: BTreeSet<Var> = comp.difference(bag).copied().collect();
+        let comps = components(&remaining, adjacent);
+
+        // Atom-coverage bookkeeping: an atom whose vars are all inside
+        // bag ∪ (vars never to be seen again) must be covered by this bag
+        // or a descendant. We enforce the sufficient local condition: any
+        // atom fully inside `scope` but intersecting `bag`'s complement
+        // is delegated to the component containing its leftover vars;
+        // atoms fully inside `bag` are covered here. Atoms spanning two
+        // different components would violate connectivity and cannot
+        // occur (their vars are adjacent, hence in one component).
+        let snapshot_bags = out_bags.len();
+        let snapshot_edges = out_edges.len();
+        let root = out_bags.len();
+        out_bags.push(bag.clone());
+
+        let mut ok = true;
+        for sub in &comps {
+            let sub_iface: BTreeSet<Var> = bag
+                .iter()
+                .copied()
+                .filter(|v| {
+                    adjacent
+                        .get(v)
+                        .map_or(false, |adj| adj.iter().any(|w| sub.contains(w)))
+                })
+                .collect();
+            match solve(
+                sub,
+                &sub_iface,
+                candidate_bags,
+                adjacent,
+                memo,
+                out_bags,
+                out_edges,
+            ) {
+                Some(child_root) => out_edges.push((root, child_root)),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            // Cache the subtree rooted here.
+            let td = TreeDecomposition {
+                bags: out_bags[snapshot_bags..].to_vec(),
+                edges: out_edges[snapshot_edges..]
+                    .iter()
+                    .map(|&(a, b)| (a - snapshot_bags, b - snapshot_bags))
+                    .collect(),
+            };
+            memo.insert(key, Some(td));
+            return Some(root);
+        }
+        out_bags.truncate(snapshot_bags);
+        out_edges.truncate(snapshot_edges);
+    }
+
+    memo.insert(key, None);
+    None
+}
+
+/// Connected components of `vars` under the adjacency relation.
+fn components(
+    vars: &BTreeSet<Var>,
+    adjacent: &HashMap<Var, BTreeSet<Var>>,
+) -> Vec<BTreeSet<Var>> {
+    let mut remaining: BTreeSet<Var> = vars.clone();
+    let mut out = Vec::new();
+    while let Some(&start) = remaining.iter().next() {
+        let mut comp = BTreeSet::new();
+        let mut stack = vec![start];
+        remaining.remove(&start);
+        comp.insert(start);
+        while let Some(u) = stack.pop() {
+            if let Some(adj) = adjacent.get(&u) {
+                for &w in adj {
+                    if remaining.remove(&w) {
+                        comp.insert(w);
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        out.push(comp);
+    }
+    out
+}
+
+/// Exact generalized hypertree width of `q` (0 for queries with no
+/// existential variables).
+pub fn ghw(q: &Cq) -> usize {
+    if existential_vars(q).is_empty() {
+        return 0;
+    }
+    let mut k = 1;
+    loop {
+        if ghw_at_most(q, k).is_some() {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Atom;
+    use relational::Schema;
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    fn q(atoms: Vec<(u32, u32)>) -> Cq {
+        let s = schema();
+        let e = s.rel_by_name("E").unwrap();
+        let atoms = atoms
+            .into_iter()
+            .map(|(a, b)| Atom::new(e, vec![Var(a), Var(b)]))
+            .collect();
+        Cq::new(s, vec![Var(0)], atoms).with_entity_guard()
+    }
+
+    #[test]
+    fn paths_have_ghw_one() {
+        // q(x) :- E(x,1), E(1,2), E(2,3), E(3,4)
+        let query = q(vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(ghw(&query), 1);
+        let td = ghw_at_most(&query, 1).unwrap();
+        assert!(td.verify(&query, 1).is_ok());
+    }
+
+    #[test]
+    fn existential_triangle_has_ghw_two() {
+        // Triangle among existential vars reachable from x.
+        let query = q(vec![(0, 1), (1, 2), (2, 3), (3, 1)]);
+        assert!(ghw_at_most(&query, 1).is_none());
+        let td = ghw_at_most(&query, 2).unwrap();
+        assert!(td.verify(&query, 2).is_ok());
+        assert_eq!(ghw(&query), 2);
+    }
+
+    #[test]
+    fn free_variable_cycles_do_not_count() {
+        // A triangle through the free variable x: existential part is just
+        // a path, so ghw is 1.
+        let query = q(vec![(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(ghw(&query), 1);
+    }
+
+    #[test]
+    fn entity_only_query_has_ghw_zero() {
+        let query = Cq::entity_only(schema());
+        assert_eq!(ghw(&query), 0);
+        assert!(ghw_at_most(&query, 1).is_some());
+    }
+
+    #[test]
+    fn verify_rejects_broken_decompositions() {
+        let query = q(vec![(0, 1), (1, 2)]);
+        // Bag with a free variable.
+        let bad = TreeDecomposition::single([Var(0)].into_iter().collect());
+        assert!(bad.verify(&query, 2).is_err());
+        // Missing atom coverage: empty bag only.
+        let empty = TreeDecomposition::single(BTreeSet::new());
+        assert!(empty.verify(&query, 2).is_err());
+        // Disconnected variable occurrence.
+        let disc = TreeDecomposition {
+            bags: vec![
+                [Var(1)].into_iter().collect(),
+                [Var(2)].into_iter().collect(),
+                [Var(1), Var(2)].into_iter().collect(),
+            ],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        assert!(disc.verify(&query, 2).is_err());
+        // A correct one.
+        let good = TreeDecomposition::single([Var(1), Var(2)].into_iter().collect());
+        assert!(good.verify(&query, 2).is_ok());
+        // E(1,2) alone covers the bag {1,2}, so the width is 1.
+        assert_eq!(good.width(&query), 1);
+    }
+
+    #[test]
+    fn single_bag_width_uses_min_cover() {
+        let query = q(vec![(0, 1), (1, 2)]);
+        let bag: BTreeSet<Var> = [Var(1), Var(2)].into_iter().collect();
+        let td = TreeDecomposition::single(bag);
+        // E(1,2) covers both vars at once.
+        assert_eq!(td.width(&query), 1);
+    }
+
+    #[test]
+    fn k_clique_of_existentials() {
+        // K4 on existentials {1,2,3,4} hanging off x; ghw(K4) = 2.
+        let query = q(vec![
+            (0, 1),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+        ]);
+        assert!(ghw_at_most(&query, 1).is_none());
+        assert_eq!(ghw(&query), 2);
+    }
+
+    #[test]
+    fn cqm_is_inside_ghw_m() {
+        // Any query with m atoms has ghw <= m (single bag of all
+        // existential vars, covered by all atoms).
+        for atoms in [vec![(0, 1)], vec![(0, 1), (2, 3)], vec![(1, 2), (2, 1), (1, 1)]] {
+            let m = atoms.len();
+            let query = q(atoms);
+            assert!(ghw(&query) <= m);
+        }
+    }
+}

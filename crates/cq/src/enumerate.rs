@@ -1,0 +1,323 @@
+//! Exhaustive enumeration of the feature classes `CQ[m]` and `CQ[m,p]`
+//! (§4, §6.3).
+//!
+//! Proposition 4.1 rests on the observation that `(D, λ)` is
+//! `CQ[m]`-separable iff it is separated by the statistic containing *all*
+//! feature queries of `CQ[m]` over the relations of `D`, up to
+//! equivalence. This module produces that statistic.
+//!
+//! Generation is complete by construction: for each multiset of at most
+//! `m` relation symbols (nondecreasing sequences) every variable pattern
+//! is enumerated in *restricted-growth* form — the free variable is id 0,
+//! and a new existential id may first appear only after all smaller ids
+//! have appeared. Every CQ is isomorphic to at least one generated
+//! pattern; residual duplicates (atom reorderings, logically equivalent
+//! shapes) are removed by a configurable deduplication pass.
+
+use crate::contain::equivalent;
+use crate::core::core_of;
+use crate::query::{Atom, Cq, Var};
+use relational::{RelId, Schema};
+
+/// How aggressively to deduplicate the enumerated queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dedup {
+    /// Keep syntactically distinct queries (after canonical sorting).
+    /// Fastest; may keep logically equivalent variants.
+    Syntactic,
+    /// Keep one query per equivalence class (cores compared by mutual
+    /// containment). This is the paper's "up to equivalence".
+    Equivalence,
+}
+
+/// Configuration for [`enumerate_feature_queries`].
+#[derive(Clone, Debug)]
+pub struct EnumConfig {
+    /// Maximum number of atoms `m` (η(x) excluded, per the paper).
+    pub max_atoms: usize,
+    /// Optional bound `p` on occurrences per variable (`CQ[m,p]`), with
+    /// the η(x) occurrence excluded like the atom count.
+    pub max_var_occurrences: Option<usize>,
+    /// Relations to draw atoms from; `None` means every non-η relation of
+    /// the schema. Prop 4.1 restricts to relations appearing in `D`.
+    pub relations: Option<Vec<RelId>>,
+    pub dedup: Dedup,
+}
+
+impl EnumConfig {
+    pub fn cqm(m: usize) -> EnumConfig {
+        EnumConfig {
+            max_atoms: m,
+            max_var_occurrences: None,
+            relations: None,
+            dedup: Dedup::Equivalence,
+        }
+    }
+
+    pub fn cqmp(m: usize, p: usize) -> EnumConfig {
+        EnumConfig { max_var_occurrences: Some(p), ..EnumConfig::cqm(m) }
+    }
+
+    pub fn over_relations(mut self, rels: Vec<RelId>) -> EnumConfig {
+        self.relations = Some(rels);
+        self
+    }
+
+    pub fn syntactic(mut self) -> EnumConfig {
+        self.dedup = Dedup::Syntactic;
+        self
+    }
+}
+
+/// Enumerate all unary feature queries of `CQ[m]` (resp. `CQ[m,p]`) over
+/// `schema`, each carrying the η(x) guard, deduplicated per the config.
+/// The trivial feature `q(x) :- η(x)` is always first.
+pub fn enumerate_feature_queries(schema: &Schema, config: &EnumConfig) -> Vec<Cq> {
+    let eta = schema.entity_rel_required();
+    let rels: Vec<RelId> = match &config.relations {
+        Some(rs) => rs.clone(),
+        None => schema.rel_ids().filter(|&r| r != eta).collect(),
+    };
+
+    let mut raw: Vec<Cq> = vec![Cq::entity_only(schema.clone())];
+    for n in 1..=config.max_atoms {
+        for rel_seq in nondecreasing_sequences(&rels, n) {
+            let arities: Vec<usize> = rel_seq.iter().map(|&r| schema.arity(r)).collect();
+            let total_slots: usize = arities.iter().sum();
+            let mut slots = vec![Var(0); total_slots];
+            gen_patterns(&mut slots, 0, 1, &mut |pattern| {
+                emit(schema, eta, &rel_seq, &arities, pattern, config, &mut raw);
+            });
+        }
+    }
+
+    dedup(raw, config.dedup)
+}
+
+/// All nondecreasing sequences of length `n` over `rels`.
+fn nondecreasing_sequences(rels: &[RelId], n: usize) -> Vec<Vec<RelId>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(n);
+    fn rec(rels: &[RelId], n: usize, from: usize, cur: &mut Vec<RelId>, out: &mut Vec<Vec<RelId>>) {
+        if cur.len() == n {
+            out.push(cur.clone());
+            return;
+        }
+        for i in from..rels.len() {
+            cur.push(rels[i]);
+            rec(rels, n, i, cur, out);
+            cur.pop();
+        }
+    }
+    rec(rels, n, 0, &mut cur, &mut out);
+    out
+}
+
+/// Enumerate variable patterns in restricted-growth form. `slots[..i]` is
+/// decided; `next` is the smallest unused existential id.
+fn gen_patterns(slots: &mut Vec<Var>, i: usize, next: u32, f: &mut impl FnMut(&[Var])) {
+    if i == slots.len() {
+        f(slots);
+        return;
+    }
+    for id in 0..=next {
+        slots[i] = Var(id);
+        let new_next = if id == next { next + 1 } else { next };
+        gen_patterns(slots, i + 1, new_next, f);
+    }
+}
+
+fn emit(
+    schema: &Schema,
+    eta: RelId,
+    rel_seq: &[RelId],
+    arities: &[usize],
+    pattern: &[Var],
+    config: &EnumConfig,
+    out: &mut Vec<Cq>,
+) {
+    let mut atoms = Vec::with_capacity(rel_seq.len() + 1);
+    let mut offset = 0usize;
+    for (ri, &rel) in rel_seq.iter().enumerate() {
+        let args = pattern[offset..offset + arities[ri]].to_vec();
+        offset += arities[ri];
+        atoms.push(Atom::new(rel, args));
+    }
+    atoms.sort();
+    let before = atoms.len();
+    atoms.dedup();
+    if atoms.len() != before {
+        // A repeated atom: equivalent to a smaller query that the outer
+        // loop generates separately.
+        return;
+    }
+    if let Some(p) = config.max_var_occurrences {
+        let mut occ = std::collections::HashMap::new();
+        for a in &atoms {
+            for v in &a.args {
+                *occ.entry(*v).or_insert(0usize) += 1;
+            }
+        }
+        if occ.values().any(|&c| c > p) {
+            return;
+        }
+    }
+    atoms.push(Atom::new(eta, vec![Var(0)]));
+    out.push(Cq::new(schema.clone(), vec![Var(0)], atoms));
+}
+
+fn dedup(raw: Vec<Cq>, level: Dedup) -> Vec<Cq> {
+    match level {
+        Dedup::Syntactic => {
+            let mut seen = std::collections::HashSet::new();
+            raw.into_iter()
+                .filter(|q| seen.insert(canonical_string(q)))
+                .collect()
+        }
+        Dedup::Equivalence => {
+            // Compare cores pairwise; the core shrinks the hom checks.
+            let mut kept: Vec<Cq> = Vec::new();
+            let mut kept_cores: Vec<Cq> = Vec::new();
+            for q in raw {
+                let c = core_of(&q);
+                let dup = kept_cores
+                    .iter()
+                    .filter(|k| k.atoms().len() == c.atoms().len())
+                    .any(|k| equivalent(k, &c));
+                if !dup {
+                    kept.push(q);
+                    kept_cores.push(c);
+                }
+            }
+            kept
+        }
+    }
+}
+
+/// A syntactic canonical key: atoms sorted after the identity labeling
+/// (patterns are already in restricted-growth form, so this catches exact
+/// duplicates from different relation orderings).
+fn canonical_string(q: &Cq) -> String {
+    let mut atoms: Vec<String> = q
+        .atoms()
+        .iter()
+        .map(|a| {
+            format!(
+                "{}({})",
+                a.rel.0,
+                a.args.iter().map(|v| v.0.to_string()).collect::<Vec<_>>().join(",")
+            )
+        })
+        .collect();
+    atoms.sort();
+    atoms.join(";")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::ghw;
+
+    fn unary_schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("R", 1);
+        s
+    }
+
+    fn graph_schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    #[test]
+    fn unary_rel_m1_gives_three_queries() {
+        // eta(x);  eta(x) ∧ R(x);  eta(x) ∧ ∃y R(y).
+        let qs = enumerate_feature_queries(&unary_schema(), &EnumConfig::cqm(1));
+        assert_eq!(qs.len(), 3);
+        assert!(qs.iter().all(|q| q.has_entity_guard()));
+        assert!(qs.iter().all(|q| q.atom_count_for_cqm() <= 1));
+    }
+
+    #[test]
+    fn binary_rel_m1_gives_six_queries() {
+        // eta; E(x,x); E(x,y); E(y,x); E(y,y); E(y,z).
+        let qs = enumerate_feature_queries(&graph_schema(), &EnumConfig::cqm(1));
+        assert_eq!(qs.len(), 6);
+    }
+
+    #[test]
+    fn m2_queries_are_pairwise_inequivalent() {
+        let qs = enumerate_feature_queries(&graph_schema(), &EnumConfig::cqm(2));
+        for (i, a) in qs.iter().enumerate() {
+            for b in qs.iter().skip(i + 1) {
+                assert!(!equivalent(a, b), "{a} ≡ {b}");
+            }
+        }
+        // And they all respect the atom bound and are inside GHW(2).
+        for q in &qs {
+            assert!(q.atom_count_for_cqm() <= 2);
+            assert!(ghw(q) <= 2, "{q}");
+        }
+    }
+
+    #[test]
+    fn syntactic_superset_of_equivalence() {
+        let syn = enumerate_feature_queries(&graph_schema(), &EnumConfig::cqm(2).syntactic());
+        let sem = enumerate_feature_queries(&graph_schema(), &EnumConfig::cqm(2));
+        assert!(syn.len() >= sem.len());
+        // Every semantic representative appears in the syntactic list up
+        // to equivalence.
+        for q in &sem {
+            assert!(syn.iter().any(|s| equivalent(s, q)));
+        }
+    }
+
+    #[test]
+    fn occurrence_bound_filters() {
+        let all = enumerate_feature_queries(&graph_schema(), &EnumConfig::cqm(2));
+        let restricted = enumerate_feature_queries(&graph_schema(), &EnumConfig::cqmp(2, 1));
+        assert!(restricted.len() < all.len());
+        for q in &restricted {
+            assert!(q.max_var_occurrences() <= 1, "{q}");
+        }
+        // E(x,x) uses x twice; must be gone.
+        assert!(restricted
+            .iter()
+            .all(|q| q.to_string() != "q(x0) :- E(x0,x0), eta(x0)"));
+    }
+
+    #[test]
+    fn completeness_spot_check() {
+        // Every hand-written CQ[2] query must be equivalent to something
+        // enumerated.
+        use crate::parse::parse_cq;
+        let s = graph_schema();
+        let qs = enumerate_feature_queries(&s, &EnumConfig::cqm(2));
+        for text in [
+            "q(x) :- eta(x), E(x,y), E(y,z)",
+            "q(x) :- eta(x), E(y,x), E(x,y)",
+            "q(x) :- eta(x), E(y,y), E(x,z)",
+            "q(x) :- eta(x), E(a,b), E(b,c)",
+            "q(x) :- eta(x), E(x,x), E(x,y)",
+        ] {
+            let q = parse_cq(&s, text).unwrap();
+            assert!(
+                qs.iter().any(|c| equivalent(c, &q)),
+                "missing representative for {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_relations() {
+        let mut s = Schema::entity_schema();
+        let r = s.add_relation("R", 1);
+        s.add_relation("T", 1);
+        let qs =
+            enumerate_feature_queries(&s, &EnumConfig::cqm(1).over_relations(vec![r]));
+        // Only eta, R(x), ∃y R(y).
+        assert_eq!(qs.len(), 3);
+        assert!(qs.iter().all(|q| q.to_string().find('T').is_none()));
+    }
+}

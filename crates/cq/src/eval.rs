@@ -1,0 +1,169 @@
+//! CQ evaluation over databases (Chandra–Merlin, §2).
+//!
+//! `q(D)` is the set of tuples `ā` with `(D_q, x̄) → (D, ā)`; for the unary
+//! feature queries of the paper, the set of selected entities. Evaluation
+//! is one homomorphism check per candidate, driven by the CSP solver of
+//! the `relational` crate.
+
+use crate::query::Cq;
+use relational::{homomorphism_exists, Database, Val};
+
+/// Does `q` select `ā` over `D`? (`ā ∈ q(D)`.)
+pub fn selects_tuple(q: &Cq, d: &Database, tuple: &[Val]) -> bool {
+    assert_eq!(q.free_vars().len(), tuple.len(), "tuple arity mismatch");
+    let (canon, frees) = q.canonical_db();
+    let fixed: Vec<(Val, Val)> = frees.iter().copied().zip(tuple.iter().copied()).collect();
+    homomorphism_exists(&canon, d, &fixed)
+}
+
+/// Does the unary query `q` select entity `e` over `D`?
+pub fn selects(q: &Cq, d: &Database, e: Val) -> bool {
+    selects_tuple(q, d, &[e])
+}
+
+/// Evaluate a unary query: `q(D)` as a set of elements.
+///
+/// When `q` carries the entity guard `η(x)` (the paper's convention for
+/// feature queries) only entities can be selected, so only they are tried.
+pub fn evaluate_unary(q: &Cq, d: &Database) -> Vec<Val> {
+    assert!(q.is_unary(), "evaluate_unary on non-unary CQ");
+    let candidates: Vec<Val> = if q.has_entity_guard() {
+        d.entities()
+    } else {
+        d.dom().collect()
+    };
+    let (canon, frees) = q.canonical_db();
+    let x = frees[0];
+    candidates
+        .into_iter()
+        .filter(|&e| homomorphism_exists(&canon, d, &[(x, e)]))
+        .collect()
+}
+
+/// The indicator function `𝟙_{q(D)} : η(D) → {1, -1}` (§3), as a vector
+/// aligned with `entities`.
+pub fn indicator(q: &Cq, d: &Database, entities: &[Val]) -> Vec<i32> {
+    let (canon, frees) = q.canonical_db();
+    let x = frees[0];
+    entities
+        .iter()
+        .map(|&e| {
+            if homomorphism_exists(&canon, d, &[(x, e)]) {
+                1
+            } else {
+                -1
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Atom, Cq, Var};
+    use relational::{DbBuilder, Schema};
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    fn db() -> Database {
+        // a -> b -> c, all entities; d isolated entity.
+        DbBuilder::new(schema())
+            .fact("E", &["a", "b"])
+            .fact("E", &["b", "c"])
+            .entity("a")
+            .entity("b")
+            .entity("c")
+            .entity("d")
+            .build()
+    }
+
+    fn has_out_edge() -> Cq {
+        let s = schema();
+        let eta = s.entity_rel_required();
+        let e = s.rel_by_name("E").unwrap();
+        Cq::new(
+            s,
+            vec![Var(0)],
+            vec![Atom::new(eta, vec![Var(0)]), Atom::new(e, vec![Var(0), Var(1)])],
+        )
+    }
+
+    fn has_two_step() -> Cq {
+        let s = schema();
+        let eta = s.entity_rel_required();
+        let e = s.rel_by_name("E").unwrap();
+        Cq::new(
+            s,
+            vec![Var(0)],
+            vec![
+                Atom::new(eta, vec![Var(0)]),
+                Atom::new(e, vec![Var(0), Var(1)]),
+                Atom::new(e, vec![Var(1), Var(2)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn out_edge_selects_sources() {
+        let d = db();
+        let names: Vec<&str> = evaluate_unary(&has_out_edge(), &d)
+            .into_iter()
+            .map(|v| d.val_name(v))
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn two_step_selects_only_a() {
+        let d = db();
+        let names: Vec<&str> = evaluate_unary(&has_two_step(), &d)
+            .into_iter()
+            .map(|v| d.val_name(v))
+            .collect();
+        assert_eq!(names, vec!["a"]);
+    }
+
+    #[test]
+    fn selects_matches_evaluate() {
+        let d = db();
+        let q = has_out_edge();
+        for e in d.entities() {
+            let in_eval = evaluate_unary(&q, &d).contains(&e);
+            assert_eq!(selects(&q, &d, e), in_eval);
+        }
+    }
+
+    #[test]
+    fn indicator_signs() {
+        let d = db();
+        let ents = d.entities();
+        let ind = indicator(&has_out_edge(), &d, &ents);
+        assert_eq!(ind, vec![1, 1, -1, -1]);
+    }
+
+    #[test]
+    fn unguarded_query_sees_non_entities() {
+        // Without eta(x), q(x) :- E(y, x) selects b and c (non-entityhood
+        // is irrelevant).
+        let s = schema();
+        let e = s.rel_by_name("E").unwrap();
+        let q = Cq::new(s, vec![Var(0)], vec![Atom::new(e, vec![Var(1), Var(0)])]);
+        let d = db();
+        let names: Vec<&str> = evaluate_unary(&q, &d)
+            .into_iter()
+            .map(|v| d.val_name(v))
+            .collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn eta_only_selects_all_entities() {
+        let d = db();
+        let q = Cq::entity_only(schema());
+        assert_eq!(evaluate_unary(&q, &d).len(), 4);
+    }
+}

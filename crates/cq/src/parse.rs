@@ -1,0 +1,182 @@
+//! A Datalog-ish text syntax for CQs, inverse of the `Display` impl:
+//!
+//! ```text
+//! q(x) :- eta(x), edge(x,y), edge(y,z)
+//! ```
+//!
+//! Variable names are arbitrary identifiers; they are interned in order of
+//! first occurrence (head first), so round-tripping through `Display`
+//! yields identical structures.
+
+use crate::query::{Atom, Cq, Var};
+use relational::Schema;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from [`parse_cq`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCqError(pub String);
+
+impl fmt::Display for ParseCqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid CQ: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCqError {}
+
+/// Parse a CQ in the `head :- body` syntax against `schema`.
+pub fn parse_cq(schema: &Schema, text: &str) -> Result<Cq, ParseCqError> {
+    let err = |msg: String| ParseCqError(msg);
+    let (head, body) = text
+        .split_once(":-")
+        .ok_or_else(|| err("missing `:-`".into()))?;
+
+    let mut vars: HashMap<String, Var> = HashMap::new();
+    let mut next = 0u32;
+    let mut intern = |name: &str, vars: &mut HashMap<String, Var>| -> Var {
+        *vars.entry(name.to_string()).or_insert_with(|| {
+            let v = Var(next);
+            next += 1;
+            v
+        })
+    };
+
+    // Head: q(x, y, ...)
+    let head = head.trim();
+    let open = head.find('(').ok_or_else(|| err("head needs `(`".into()))?;
+    if !head.ends_with(')') {
+        return Err(err("head needs `)`".into()));
+    }
+    let free: Vec<Var> = head[open + 1..head.len() - 1]
+        .split(',')
+        .map(|v| v.trim())
+        .filter(|v| !v.is_empty())
+        .map(|v| intern(v, &mut vars))
+        .collect();
+
+    // Body: comma-separated atoms; split on commas outside parentheses.
+    let mut atoms = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let body = body.trim();
+    let bytes = body.as_bytes();
+    let mut pieces = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| err("unbalanced parentheses".into()))?
+            }
+            b',' if depth == 0 => {
+                pieces.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(err("unbalanced parentheses".into()));
+    }
+    pieces.push(&body[start..]);
+
+    for piece in pieces {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        let open = piece
+            .find('(')
+            .ok_or_else(|| err(format!("atom {piece:?} needs `(`")))?;
+        if !piece.ends_with(')') {
+            return Err(err(format!("atom {piece:?} needs `)`")));
+        }
+        let rel_name = piece[..open].trim();
+        let rel = schema
+            .rel_by_name(rel_name)
+            .ok_or_else(|| err(format!("unknown relation {rel_name:?}")))?;
+        let args: Vec<Var> = piece[open + 1..piece.len() - 1]
+            .split(',')
+            .map(|v| v.trim())
+            .filter(|v| !v.is_empty())
+            .map(|v| intern(v, &mut vars))
+            .collect();
+        if args.len() != schema.arity(rel) {
+            return Err(err(format!(
+                "atom {piece:?}: expected {} arguments",
+                schema.arity(rel)
+            )));
+        }
+        atoms.push(Atom::new(rel, args));
+    }
+
+    if atoms.is_empty() {
+        return Err(err("body has no atoms".into()));
+    }
+    Ok(Cq::new(schema.clone(), free, atoms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_unary;
+    use relational::DbBuilder;
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("edge", 2);
+        s
+    }
+
+    #[test]
+    fn parse_simple() {
+        let q = parse_cq(&schema(), "q(x) :- eta(x), edge(x,y)").unwrap();
+        assert!(q.is_unary());
+        assert_eq!(q.atoms().len(), 2);
+        assert_eq!(q.atom_count_for_cqm(), 1);
+        assert!(q.has_entity_guard());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let q = parse_cq(&schema(), "q(x) :- eta(x), edge(x,y), edge(y,z)").unwrap();
+        let text = q.to_string();
+        let q2 = parse_cq(&schema(), &text).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn parsed_query_evaluates() {
+        let q = parse_cq(&schema(), "q(x) :- eta(x), edge(x,y), edge(y,z)").unwrap();
+        let d = DbBuilder::new(schema())
+            .fact("edge", &["a", "b"])
+            .fact("edge", &["b", "c"])
+            .entity("a")
+            .entity("b")
+            .build();
+        let sel = evaluate_unary(&q, &d);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(d.val_name(sel[0]), "a");
+    }
+
+    #[test]
+    fn errors() {
+        let s = schema();
+        assert!(parse_cq(&s, "q(x) edge(x,y)").is_err());
+        assert!(parse_cq(&s, "q(x) :- nosuch(x)").is_err());
+        assert!(parse_cq(&s, "q(x) :- edge(x)").is_err());
+        assert!(parse_cq(&s, "q(x) :- ").is_err());
+        assert!(parse_cq(&s, "q(x :- edge(x,y)").is_err());
+        assert!(parse_cq(&s, "q(x) :- edge(x,y").is_err());
+    }
+
+    #[test]
+    fn shared_variables_identified() {
+        let q = parse_cq(&schema(), "q(x) :- edge(x,y), edge(y,x)").unwrap();
+        assert_eq!(q.var_count(), 2);
+        let q2 = parse_cq(&schema(), "q(x) :- edge(x,y), edge(z,x)").unwrap();
+        assert_eq!(q2.var_count(), 3);
+    }
+}

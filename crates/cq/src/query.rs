@@ -1,0 +1,416 @@
+//! The [`Cq`] type: conjunctive queries without constants, and their
+//! canonical databases.
+
+use relational::{Database, RelId, Schema, Val};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A query variable. Variables are dense per query; the free variable of a
+/// unary feature query is conventionally `Var(0)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// One atom `R(x̄)` of a CQ.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    pub rel: RelId,
+    pub args: Vec<Var>,
+}
+
+impl Atom {
+    pub fn new(rel: RelId, args: Vec<Var>) -> Atom {
+        Atom { rel, args }
+    }
+}
+
+/// A conjunctive query `∃ȳ (R₁(x̄₁) ∧ … ∧ Rₙ(x̄ₙ))` with free variables
+/// `free`; every variable not listed free is existentially quantified.
+///
+/// The schema travels with the query so arities can be validated and the
+/// canonical database can be constructed without extra context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cq {
+    schema: Schema,
+    free: Vec<Var>,
+    atoms: Vec<Atom>,
+    var_count: u32,
+}
+
+impl Cq {
+    /// Create a query. Variable ids must be dense (`0..var_count`); every
+    /// free variable must be `< var_count`.
+    ///
+    /// # Panics
+    /// Panics on arity mismatches or out-of-range variables.
+    pub fn new(schema: Schema, free: Vec<Var>, mut atoms: Vec<Atom>) -> Cq {
+        // Canonical atom order: a CQ is a conjunction, so order is
+        // semantically irrelevant; sorting makes structural equality match
+        // logical equality more often (e.g. Display/parse round-trips).
+        atoms.sort();
+        let mut max_var: Option<u32> = None;
+        for a in &atoms {
+            assert_eq!(
+                a.args.len(),
+                schema.arity(a.rel),
+                "arity mismatch in atom over {}",
+                schema.name(a.rel)
+            );
+            for v in &a.args {
+                max_var = Some(max_var.map_or(v.0, |m| m.max(v.0)));
+            }
+        }
+        for v in &free {
+            max_var = Some(max_var.map_or(v.0, |m| m.max(v.0)));
+        }
+        let var_count = max_var.map_or(0, |m| m + 1);
+        Cq { schema, free, atoms, var_count }
+    }
+
+    /// The unary feature query `q(x) := η(x)` — the "trivial" feature used
+    /// as the fallback `q_e^{e'}` in Lemma 5.4.
+    pub fn entity_only(schema: Schema) -> Cq {
+        let eta = schema.entity_rel_required();
+        Cq::new(schema, vec![Var(0)], vec![Atom::new(eta, vec![Var(0)])])
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn free_vars(&self) -> &[Var] {
+        &self.free
+    }
+
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    pub fn var_count(&self) -> u32 {
+        self.var_count
+    }
+
+    /// Is this a unary query (single free variable)?
+    pub fn is_unary(&self) -> bool {
+        self.free.len() == 1
+    }
+
+    /// The free variable of a unary query.
+    pub fn free_var(&self) -> Var {
+        assert!(self.is_unary(), "free_var on non-unary CQ");
+        self.free[0]
+    }
+
+    /// Number of atoms **excluding** the entity atom `η(x)` on the free
+    /// variable — the paper's counting convention for `CQ[m]` (§4: "not
+    /// counting atom η(x)").
+    pub fn atom_count_for_cqm(&self) -> usize {
+        let eta = self.schema.entity_rel();
+        self.atoms
+            .iter()
+            .filter(|a| {
+                !(Some(a.rel) == eta && self.free.contains(&a.args[0]))
+            })
+            .count()
+    }
+
+    /// Maximum number of occurrences of any variable across the atoms (the
+    /// `p` in `CQ[m,p]`). The η(x) occurrence is not counted, matching the
+    /// atom-count convention.
+    pub fn max_var_occurrences(&self) -> usize {
+        let eta = self.schema.entity_rel();
+        let mut occ = vec![0usize; self.var_count as usize];
+        for a in &self.atoms {
+            if Some(a.rel) == eta && self.free.contains(&a.args[0]) {
+                continue;
+            }
+            for v in &a.args {
+                occ[v.index()] += 1;
+            }
+        }
+        occ.into_iter().max().unwrap_or(0)
+    }
+
+    /// Does the query contain the atom `η(x)` for free variable `x`? The
+    /// paper assumes every feature query does (§3).
+    pub fn has_entity_guard(&self) -> bool {
+        match self.schema.entity_rel() {
+            None => false,
+            Some(eta) => self
+                .atoms
+                .iter()
+                .any(|a| a.rel == eta && self.free.contains(&a.args[0])),
+        }
+    }
+
+    /// Add `η(x)` for each free variable if missing, returning the result.
+    pub fn with_entity_guard(mut self) -> Cq {
+        let eta = self.schema.entity_rel_required();
+        for &x in self.free.clone().iter() {
+            let present = self.atoms.iter().any(|a| a.rel == eta && a.args[0] == x);
+            if !present {
+                self.atoms.push(Atom::new(eta, vec![x]));
+            }
+        }
+        self
+    }
+
+    /// The canonical database `D_q`: one element per variable, one fact per
+    /// atom. Returns the database together with the images of the free
+    /// variables, so `(D_q, x̄)` is directly usable in homomorphism checks.
+    pub fn canonical_db(&self) -> (Database, Vec<Val>) {
+        let mut db = Database::new(self.schema.clone());
+        let mut var_val: HashMap<Var, Val> = HashMap::new();
+        for i in 0..self.var_count {
+            var_val.insert(Var(i), db.value(&format!("x{i}")));
+        }
+        for a in &self.atoms {
+            let args: Vec<Val> = a.args.iter().map(|v| var_val[v]).collect();
+            db.add_fact(a.rel, args);
+        }
+        let free_vals = self.free.iter().map(|v| var_val[v]).collect();
+        (db, free_vals)
+    }
+
+    /// Conjoin two queries over the same schema, identifying their free
+    /// variables pairwise (used to build the `q_e(x) = ⋀ q_e^{e'}(x)` of
+    /// Lemma 5.4). Existential variables of `other` are renamed apart.
+    pub fn conjoin(&self, other: &Cq) -> Cq {
+        assert_eq!(self.schema, other.schema, "conjoin across schemas");
+        assert_eq!(
+            self.free.len(),
+            other.free.len(),
+            "conjoin requires equal free arity"
+        );
+        let mut atoms = self.atoms.clone();
+        // Map other's variables: free -> our free; existential -> fresh.
+        let mut rename: HashMap<Var, Var> = HashMap::new();
+        for (o, s) in other.free.iter().zip(self.free.iter()) {
+            rename.insert(*o, *s);
+        }
+        let mut next = self.var_count;
+        for a in &other.atoms {
+            let args: Vec<Var> = a
+                .args
+                .iter()
+                .map(|v| {
+                    *rename.entry(*v).or_insert_with(|| {
+                        let nv = Var(next);
+                        next += 1;
+                        nv
+                    })
+                })
+                .collect();
+            atoms.push(Atom::new(a.rel, args));
+        }
+        atoms.sort();
+        atoms.dedup();
+        Cq::new(self.schema.clone(), self.free.clone(), atoms)
+    }
+
+    /// Build a unary CQ from a pointed database `(D, a)`: the canonical
+    /// query whose variables are the elements of `D` (inverse of
+    /// [`Cq::canonical_db`]). Elements not occurring in facts are dropped
+    /// unless they are the point.
+    pub fn from_pointed_db(d: &Database, point: Val) -> Cq {
+        let mut val_var: HashMap<Val, Var> = HashMap::new();
+        let mut next = 0u32;
+        let mut var_of = |v: Val, val_var: &mut HashMap<Val, Var>| -> Var {
+            *val_var.entry(v).or_insert_with(|| {
+                let nv = Var(next);
+                next += 1;
+                nv
+            })
+        };
+        let x = var_of(point, &mut val_var);
+        let mut atoms = Vec::with_capacity(d.fact_count());
+        for f in d.facts() {
+            let args: Vec<Var> = f.args.iter().map(|&a| var_of(a, &mut val_var)).collect();
+            atoms.push(Atom::new(f.rel, args));
+        }
+        Cq::new(d.schema().clone(), vec![x], atoms)
+    }
+}
+
+impl Cq {
+    /// Restrict the query to the atoms connected (through shared
+    /// variables) to its free variables. Drops purely existential
+    /// "global" conjuncts — e.g. the whole-database side conditions that
+    /// product-based feature generation produces. The result is implied
+    /// by the original query (it is a subset of its conjuncts).
+    pub fn connected_to_free(&self) -> Cq {
+        let mut reach: std::collections::HashSet<Var> =
+            self.free.iter().copied().collect();
+        loop {
+            let mut grew = false;
+            for a in &self.atoms {
+                if a.args.iter().any(|v| reach.contains(v)) {
+                    for v in &a.args {
+                        grew |= reach.insert(*v);
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        let atoms: Vec<Atom> = self
+            .atoms
+            .iter()
+            .filter(|a| a.args.iter().any(|v| reach.contains(v)))
+            .cloned()
+            .collect();
+        Cq::new(self.schema.clone(), self.free.clone(), atoms)
+    }
+}
+
+impl fmt::Display for Cq {
+    /// Datalog-ish rendering: `q(x0) :- eta(x0), E(x0,x1)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let var = |v: &Var| format!("x{}", v.0);
+        let head: Vec<String> = self.free.iter().map(var).collect();
+        write!(f, "q({}) :- ", head.join(","))?;
+        let mut body: Vec<String> = self
+            .atoms
+            .iter()
+            .map(|a| {
+                let args: Vec<String> = a.args.iter().map(var).collect();
+                format!("{}({})", self.schema.name(a.rel), args.join(","))
+            })
+            .collect();
+        body.sort();
+        write!(f, "{}", body.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    fn edge_query() -> Cq {
+        // q(x0) :- eta(x0), E(x0, x1)
+        let s = schema();
+        let eta = s.entity_rel_required();
+        let e = s.rel_by_name("E").unwrap();
+        Cq::new(
+            s,
+            vec![Var(0)],
+            vec![
+                Atom::new(eta, vec![Var(0)]),
+                Atom::new(e, vec![Var(0), Var(1)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn counting_conventions() {
+        let q = edge_query();
+        assert_eq!(q.atoms().len(), 2);
+        assert_eq!(q.atom_count_for_cqm(), 1); // eta(x) not counted
+        assert!(q.has_entity_guard());
+        assert!(q.is_unary());
+        assert_eq!(q.var_count(), 2);
+        assert_eq!(q.max_var_occurrences(), 1);
+    }
+
+    #[test]
+    fn entity_guard_insertion_is_idempotent() {
+        let s = schema();
+        let e = s.rel_by_name("E").unwrap();
+        let q = Cq::new(s, vec![Var(0)], vec![Atom::new(e, vec![Var(0), Var(1)])]);
+        assert!(!q.has_entity_guard());
+        let g = q.with_entity_guard();
+        assert!(g.has_entity_guard());
+        let g2 = g.clone().with_entity_guard();
+        assert_eq!(g.atoms().len(), g2.atoms().len());
+    }
+
+    #[test]
+    fn canonical_db_shape() {
+        let q = edge_query();
+        let (db, frees) = q.canonical_db();
+        assert_eq!(db.dom_size(), 2);
+        assert_eq!(db.fact_count(), 2);
+        assert_eq!(frees.len(), 1);
+        assert!(db.is_entity(frees[0]));
+    }
+
+    #[test]
+    fn conjoin_renames_apart() {
+        let q = edge_query();
+        // conjoining with itself: E(x0,x1) ∧ E(x0,x2), eta deduped.
+        let c = q.conjoin(&q);
+        assert_eq!(c.free_vars(), &[Var(0)]);
+        assert_eq!(c.atom_count_for_cqm(), 2);
+        assert_eq!(c.var_count(), 3);
+    }
+
+    #[test]
+    fn from_pointed_db_roundtrip() {
+        let q = edge_query();
+        let (db, frees) = q.canonical_db();
+        let q2 = Cq::from_pointed_db(&db, frees[0]);
+        assert_eq!(q2.atoms().len(), q.atoms().len());
+        assert!(q2.is_unary());
+    }
+
+    #[test]
+    fn entity_only_query() {
+        let q = Cq::entity_only(schema());
+        assert_eq!(q.atom_count_for_cqm(), 0);
+        assert!(q.has_entity_guard());
+        assert_eq!(q.to_string(), "q(x0) :- eta(x0)");
+    }
+
+    #[test]
+    fn display_sorts_atoms() {
+        let q = edge_query();
+        assert_eq!(q.to_string(), "q(x0) :- E(x0,x1), eta(x0)");
+    }
+
+    #[test]
+    fn connected_to_free_drops_global_conjuncts() {
+        let s = schema();
+        let e = s.rel_by_name("E").unwrap();
+        let eta = s.entity_rel_required();
+        // q(x0) :- eta(x0), E(x0,x1), E(x2,x3)  — the last atom floats.
+        let q = Cq::new(
+            s,
+            vec![Var(0)],
+            vec![
+                Atom::new(eta, vec![Var(0)]),
+                Atom::new(e, vec![Var(0), Var(1)]),
+                Atom::new(e, vec![Var(2), Var(3)]),
+            ],
+        );
+        let c = q.connected_to_free();
+        assert_eq!(c.atoms().len(), 2);
+        assert!(c.to_string().contains("E(x0,x1)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn bad_arity_panics() {
+        let s = schema();
+        let e = s.rel_by_name("E").unwrap();
+        Cq::new(s, vec![Var(0)], vec![Atom::new(e, vec![Var(0)])]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests for the CQ calculus: containment laws, core soundness,
+//! ghw bounds, evaluation consistency, and enumeration coverage.
+
+use cq::core::{core_of, is_core};
+use cq::{contained_in, enumerate_feature_queries, equivalent, evaluate_unary, ghw, Atom, Cq, EnumConfig, Var};
+use proptest::prelude::*;
+use relational::{Database, Schema, Val};
+
+fn schema() -> Schema {
+    let mut s = Schema::entity_schema();
+    s.add_relation("E", 2);
+    s
+}
+
+/// Strategy: a random unary CQ over the graph schema with ≤ `max_atoms`
+/// E-atoms and variables drawn from a small pool (0 = free).
+fn random_cq(max_atoms: usize, max_var: u32) -> impl Strategy<Value = Cq> {
+    proptest::collection::vec((0..=max_var, 0..=max_var), 1..=max_atoms).prop_map(
+        move |pairs| {
+            let s = schema();
+            let e = s.rel_by_name("E").unwrap();
+            let atoms: Vec<Atom> = pairs
+                .into_iter()
+                .map(|(a, b)| Atom::new(e, vec![Var(a), Var(b)]))
+                .collect();
+            Cq::new(s, vec![Var(0)], atoms).with_entity_guard()
+        },
+    )
+}
+
+/// Strategy: a small graph database with all nodes as entities.
+fn random_db() -> impl Strategy<Value = Database> {
+    (2usize..5)
+        .prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec((0..n, 0..n), 0..(2 * n)))
+        })
+        .prop_map(|(n, edges)| {
+            let mut db = Database::new(schema());
+            let vals: Vec<Val> = (0..n).map(|i| db.value(&format!("v{i}"))).collect();
+            let e = db.schema().rel_by_name("E").unwrap();
+            for (a, b) in edges {
+                db.add_fact(e, vec![vals[a], vals[b]]);
+            }
+            for &v in &vals {
+                db.add_entity(v);
+            }
+            db
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn containment_is_reflexive_and_transitive(
+        q1 in random_cq(3, 3), q2 in random_cq(3, 3), q3 in random_cq(3, 3)
+    ) {
+        prop_assert!(contained_in(&q1, &q1));
+        if contained_in(&q1, &q2) && contained_in(&q2, &q3) {
+            prop_assert!(contained_in(&q1, &q3));
+        }
+    }
+
+    #[test]
+    fn containment_implies_answer_inclusion(
+        q1 in random_cq(3, 3), q2 in random_cq(3, 3), d in random_db()
+    ) {
+        if contained_in(&q1, &q2) {
+            let a1 = evaluate_unary(&q1, &d);
+            let a2 = evaluate_unary(&q2, &d);
+            for e in a1 {
+                prop_assert!(a2.contains(&e), "{q1} ⊑ {q2} violated on an instance");
+            }
+        }
+    }
+
+    #[test]
+    fn core_is_equivalent_minimal_and_idempotent(q in random_cq(4, 4)) {
+        let c = core_of(&q);
+        prop_assert!(equivalent(&q, &c), "core must be equivalent: {q} vs {c}");
+        prop_assert!(c.atoms().len() <= q.atoms().len());
+        prop_assert!(is_core(&c));
+        let cc = core_of(&c);
+        prop_assert_eq!(cc.atoms().len(), c.atoms().len());
+    }
+
+    #[test]
+    fn equivalent_queries_evaluate_identically(q in random_cq(3, 3), d in random_db()) {
+        let c = core_of(&q);
+        let mut a1 = evaluate_unary(&q, &d);
+        let mut a2 = evaluate_unary(&c, &d);
+        a1.sort();
+        a2.sort();
+        prop_assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn ghw_at_most_atom_count(q in random_cq(3, 3)) {
+        // Any query with m atoms has ghw ≤ m (single bag, Prop. in §5).
+        let m = q.atom_count_for_cqm().max(1);
+        prop_assert!(ghw(&q) <= m, "{q}");
+    }
+
+    #[test]
+    fn ghw_at_most_is_monotone(q in random_cq(4, 4)) {
+        let w = ghw(&q);
+        for k in w..w + 2 {
+            if k >= 1 {
+                let td = cq::ghw_at_most(&q, k);
+                prop_assert!(td.is_some(), "ghw={w} but no decomposition at k={k}: {q}");
+                td.unwrap().verify(&q, k).unwrap();
+            }
+        }
+        if w > 1 {
+            prop_assert!(cq::ghw_at_most(&q, w - 1).is_none());
+        }
+    }
+
+    #[test]
+    fn core_preserves_ghw_bound(q in random_cq(3, 3)) {
+        // The core is a subquery, so its ghw cannot exceed the atom
+        // count; more importantly it stays a well-formed query that the
+        // decomposition machinery accepts.
+        let c = core_of(&q);
+        prop_assert!(ghw(&c) <= c.atom_count_for_cqm().max(1));
+    }
+
+    #[test]
+    fn enumeration_covers_random_small_queries(q in random_cq(2, 2)) {
+        // Every random CQ[2] query must be equivalent to some enumerated
+        // representative (completeness of Prop 4.1's statistic).
+        let pool = enumerate_feature_queries(&schema(), &EnumConfig::cqm(2));
+        let c = core_of(&q);
+        if c.atom_count_for_cqm() <= 2 {
+            prop_assert!(
+                pool.iter().any(|p| equivalent(p, &c)),
+                "no representative for {q} (core {c})"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_display_roundtrip(q in random_cq(3, 3)) {
+        let text = q.to_string();
+        let back = cq::parse::parse_cq(&schema(), &text).unwrap();
+        prop_assert!(equivalent(&q, &back), "{text}");
+    }
+
+    #[test]
+    fn conjoin_is_intersection(q1 in random_cq(2, 2), q2 in random_cq(2, 2), d in random_db()) {
+        let c = q1.conjoin(&q2);
+        let a1: std::collections::BTreeSet<Val> = evaluate_unary(&q1, &d).into_iter().collect();
+        let a2: std::collections::BTreeSet<Val> = evaluate_unary(&q2, &d).into_iter().collect();
+        let ac: std::collections::BTreeSet<Val> = evaluate_unary(&c, &d).into_iter().collect();
+        let expect: std::collections::BTreeSet<Val> = a1.intersection(&a2).copied().collect();
+        prop_assert_eq!(ac, expect);
+    }
+}

@@ -1,0 +1,208 @@
+//! FO formula syntax: relational atoms, equality, Boolean connectives,
+//! and quantifiers. Variables are plain indices; constants do not occur
+//! (matching the paper's constant-free query languages).
+
+use relational::RelId;
+use std::fmt;
+
+/// A first-order variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FoVar(pub u32);
+
+impl FoVar {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A first-order formula over a relational schema, with equality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FoFormula {
+    /// `R(x̄)`.
+    Atom(RelId, Vec<FoVar>),
+    /// `x = y`.
+    Eq(FoVar, FoVar),
+    Not(Box<FoFormula>),
+    And(Vec<FoFormula>),
+    Or(Vec<FoFormula>),
+    Exists(FoVar, Box<FoFormula>),
+    Forall(FoVar, Box<FoFormula>),
+}
+
+impl FoFormula {
+    /// `⊤` as the empty conjunction.
+    pub fn top() -> FoFormula {
+        FoFormula::And(Vec::new())
+    }
+
+    /// `⊥` as the empty disjunction.
+    pub fn bottom() -> FoFormula {
+        FoFormula::Or(Vec::new())
+    }
+
+    pub fn not(self) -> FoFormula {
+        FoFormula::Not(Box::new(self))
+    }
+
+    pub fn exists(v: FoVar, body: FoFormula) -> FoFormula {
+        FoFormula::Exists(v, Box::new(body))
+    }
+
+    pub fn forall(v: FoVar, body: FoFormula) -> FoFormula {
+        FoFormula::Forall(v, Box::new(body))
+    }
+
+    /// Free variables (those not captured by a quantifier above them).
+    pub fn free_vars(&self) -> Vec<FoVar> {
+        let mut out = Vec::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<FoVar>, out: &mut Vec<FoVar>) {
+        match self {
+            FoFormula::Atom(_, args) => {
+                for v in args {
+                    if !bound.contains(v) {
+                        out.push(*v);
+                    }
+                }
+            }
+            FoFormula::Eq(a, b) => {
+                for v in [a, b] {
+                    if !bound.contains(v) {
+                        out.push(*v);
+                    }
+                }
+            }
+            FoFormula::Not(f) => f.collect_free(bound, out),
+            FoFormula::And(fs) | FoFormula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            FoFormula::Exists(v, f) | FoFormula::Forall(v, f) => {
+                bound.push(*v);
+                f.collect_free(bound, out);
+                bound.pop();
+            }
+        }
+    }
+
+    /// Number of quantifier nodes (a rough evaluation-cost predictor).
+    pub fn quantifier_count(&self) -> usize {
+        match self {
+            FoFormula::Atom(..) | FoFormula::Eq(..) => 0,
+            FoFormula::Not(f) => f.quantifier_count(),
+            FoFormula::And(fs) | FoFormula::Or(fs) => {
+                fs.iter().map(|f| f.quantifier_count()).sum()
+            }
+            FoFormula::Exists(_, f) | FoFormula::Forall(_, f) => 1 + f.quantifier_count(),
+        }
+    }
+
+    /// Render against a schema (for relation names).
+    pub fn display<'a>(&'a self, schema: &'a relational::Schema) -> impl fmt::Display + 'a {
+        DisplayFo { f: self, schema }
+    }
+}
+
+struct DisplayFo<'a> {
+    f: &'a FoFormula,
+    schema: &'a relational::Schema,
+}
+
+impl fmt::Display for DisplayFo<'_> {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(
+            f: &FoFormula,
+            schema: &relational::Schema,
+            out: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            match f {
+                FoFormula::Atom(rel, args) => {
+                    write!(out, "{}(", schema.name(*rel))?;
+                    for (i, v) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(out, ",")?;
+                        }
+                        write!(out, "x{}", v.0)?;
+                    }
+                    write!(out, ")")
+                }
+                FoFormula::Eq(a, b) => write!(out, "x{} = x{}", a.0, b.0),
+                FoFormula::Not(g) => {
+                    write!(out, "¬(")?;
+                    go(g, schema, out)?;
+                    write!(out, ")")
+                }
+                FoFormula::And(fs) if fs.is_empty() => write!(out, "⊤"),
+                FoFormula::Or(fs) if fs.is_empty() => write!(out, "⊥"),
+                FoFormula::And(fs) | FoFormula::Or(fs) => {
+                    let sep = if matches!(f, FoFormula::And(_)) { " ∧ " } else { " ∨ " };
+                    write!(out, "(")?;
+                    for (i, g) in fs.iter().enumerate() {
+                        if i > 0 {
+                            write!(out, "{sep}")?;
+                        }
+                        go(g, schema, out)?;
+                    }
+                    write!(out, ")")
+                }
+                FoFormula::Exists(v, g) => {
+                    write!(out, "∃x{} ", v.0)?;
+                    go(g, schema, out)
+                }
+                FoFormula::Forall(v, g) => {
+                    write!(out, "∀x{} ", v.0)?;
+                    go(g, schema, out)
+                }
+            }
+        }
+        go(self.f, self.schema, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::Schema;
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let s = schema();
+        let e = s.rel_by_name("E").unwrap();
+        // ∃x1 (E(x0, x1) ∧ x1 = x2)
+        let f = FoFormula::exists(
+            FoVar(1),
+            FoFormula::And(vec![
+                FoFormula::Atom(e, vec![FoVar(0), FoVar(1)]),
+                FoFormula::Eq(FoVar(1), FoVar(2)),
+            ]),
+        );
+        assert_eq!(f.free_vars(), vec![FoVar(0), FoVar(2)]);
+        assert_eq!(f.quantifier_count(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = schema();
+        let e = s.rel_by_name("E").unwrap();
+        let f = FoFormula::forall(
+            FoVar(1),
+            FoFormula::Atom(e, vec![FoVar(0), FoVar(1)]).not(),
+        );
+        assert_eq!(format!("{}", f.display(&s)), "∀x1 ¬(E(x0,x1))");
+        assert_eq!(format!("{}", FoFormula::top().display(&s)), "⊤");
+        assert_eq!(format!("{}", FoFormula::bottom().display(&s)), "⊥");
+    }
+}

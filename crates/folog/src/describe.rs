@@ -1,0 +1,204 @@
+//! Describing formulas: finite pointed structures are FO-definable up to
+//! isomorphism.
+//!
+//! `δ_{D,e}(x)` asserts, of an element `x` in any database `D'` over the
+//! same schema, that `(D', x) ≅ (D, e)`:
+//!
+//! 1. there exist elements `y_1 … y_{n-1}` (one per element of `D` other
+//!    than `e`), pairwise distinct and distinct from `x`;
+//! 2. the atomic diagram of `D` holds verbatim (facts positively, absent
+//!    facts negatively — over the named elements);
+//! 3. every element equals one of `x, y_1 … y_{n-1}` (domain exactness).
+//!
+//! Negative atoms are restricted to tuples over the named elements; with
+//! (3) this pins the structure completely. Evaluation cost is
+//! `O(|dom|^n)`, so describing formulas are a small-structure tool — the
+//! point is constructiveness (Proposition 8.1), not speed; use
+//! `relational::iso` for fast orbit tests.
+
+use crate::ast::{FoFormula, FoVar};
+use relational::{Database, Val};
+
+/// Build `δ_{D,e}(x)` with free variable `x = FoVar(0)`.
+///
+/// Only the *active* domain of `D` plus `e` is described (elements in no
+/// fact are invisible to constant-free FO anyway, except through domain
+/// counting — including them would make the formula reject databases
+/// with different numbers of isolated elements, which `relational::iso`
+/// counts too; so we include every interned element for exact agreement
+/// with pointed isomorphism).
+pub fn describing_formula(d: &Database, e: Val) -> FoFormula {
+    let x = FoVar(0);
+    // Variable for each domain element; e gets x.
+    let elems: Vec<Val> = d.dom().collect();
+    let var_of = |v: Val| -> FoVar {
+        if v == e {
+            x
+        } else {
+            // Dense: elements before e shift by +1 (FoVar(0) is x).
+            let idx = v.index();
+            let shifted = if idx < e.index() { idx + 1 } else { idx };
+            FoVar(shifted as u32)
+        }
+    };
+
+    let mut conjuncts: Vec<FoFormula> = Vec::new();
+
+    // (1) pairwise distinctness.
+    for (i, &a) in elems.iter().enumerate() {
+        for &b in elems.iter().skip(i + 1) {
+            conjuncts.push(FoFormula::Eq(var_of(a), var_of(b)).not());
+        }
+    }
+
+    // (2) atomic diagram: positive facts, then negative tuples.
+    for f in d.facts() {
+        conjuncts.push(FoFormula::Atom(
+            f.rel,
+            f.args.iter().map(|&a| var_of(a)).collect(),
+        ));
+    }
+    for rel in d.schema().rel_ids() {
+        let arity = d.schema().arity(rel);
+        // Enumerate all tuples over the named elements; assert absence
+        // of non-facts.
+        let mut counter = vec![0usize; arity];
+        if elems.is_empty() {
+            continue;
+        }
+        loop {
+            let tuple: Vec<Val> = counter.iter().map(|&i| elems[i]).collect();
+            if !d.has_fact(rel, &tuple) {
+                conjuncts.push(
+                    FoFormula::Atom(rel, tuple.iter().map(|&a| var_of(a)).collect()).not(),
+                );
+            }
+            // Advance.
+            let mut pos = 0;
+            loop {
+                if pos == arity {
+                    break;
+                }
+                counter[pos] += 1;
+                if counter[pos] < elems.len() {
+                    break;
+                }
+                counter[pos] = 0;
+                pos += 1;
+            }
+            if pos == arity {
+                break;
+            }
+        }
+    }
+
+    // (3) domain exactness: ∀z (z = x ∨ z = y_1 ∨ …).
+    let z = FoVar(elems.len() as u32 + 1);
+    let eqs: Vec<FoFormula> = elems
+        .iter()
+        .map(|&a| FoFormula::Eq(z, var_of(a)))
+        .collect();
+    conjuncts.push(FoFormula::forall(z, FoFormula::Or(eqs)));
+
+    // Wrap the y-variables existentially.
+    let mut body = FoFormula::And(conjuncts);
+    for &a in elems.iter().rev() {
+        if a != e {
+            body = FoFormula::exists(var_of(a), body);
+        }
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::fo_selects;
+    use relational::iso::isomorphic;
+    use relational::{DbBuilder, Schema};
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    fn graph(edges: &[(&str, &str)], entities: &[&str]) -> Database {
+        let mut b = DbBuilder::new(schema());
+        for &(x, y) in edges {
+            b = b.fact("E", &[x, y]);
+        }
+        for &e in entities {
+            b = b.entity(e);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn describes_exactly_the_pointed_iso_type() {
+        // δ agrees with the iso solver across a family of small pointed
+        // structures — two independent implementations of one notion.
+        let shapes: Vec<Database> = vec![
+            graph(&[("a", "b")], &["a", "b"]),
+            graph(&[("a", "b"), ("b", "a")], &["a", "b"]),
+            graph(&[("a", "b"), ("b", "c")], &["a", "b", "c"]),
+            graph(&[("a", "a")], &["a"]),
+        ];
+        for d1 in &shapes {
+            for e in d1.dom() {
+                let delta = describing_formula(d1, e);
+                for d2 in &shapes {
+                    for f in d2.dom() {
+                        let by_formula = fo_selects(d2, &delta, FoVar(0), f);
+                        let by_iso = isomorphic(d1, d2, &[(e, f)]);
+                        assert_eq!(
+                            by_formula, by_iso,
+                            "δ disagrees with iso: {d1:?}@{} vs {d2:?}@{}",
+                            d1.val_name(e),
+                            d2.val_name(f)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn describing_formula_selects_its_own_orbit() {
+        // On a 4-cycle, δ_{D,a} selects exactly a's automorphism orbit —
+        // which is all four vertices.
+        let c4 = graph(
+            &[("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],
+            &[],
+        );
+        let a = c4.val_by_name("a").unwrap();
+        let delta = describing_formula(&c4, a);
+        for v in c4.dom() {
+            assert!(
+                fo_selects(&c4, &delta, FoVar(0), v),
+                "cycle symmetry: {} must satisfy δ_a",
+                c4.val_name(v)
+            );
+        }
+        // On a path, the endpoints are NOT in the middle's orbit.
+        let p = graph(&[("s", "m"), ("m", "t")], &[]);
+        let m = p.val_by_name("m").unwrap();
+        let s = p.val_by_name("s").unwrap();
+        let delta = describing_formula(&p, m);
+        assert!(fo_selects(&p, &delta, FoVar(0), m));
+        assert!(!fo_selects(&p, &delta, FoVar(0), s));
+    }
+
+    #[test]
+    fn domain_size_is_part_of_the_type() {
+        // δ of a one-loop structure rejects elements of a two-loop
+        // structure (domain exactness).
+        let one = graph(&[("l", "l")], &[]);
+        let two = graph(&[("l", "l"), ("m", "m")], &[]);
+        let l1 = one.val_by_name("l").unwrap();
+        let delta = describing_formula(&one, l1);
+        let l2 = two.val_by_name("l").unwrap();
+        assert!(!fo_selects(&two, &delta, FoVar(0), l2));
+        assert!(fo_selects(&one, &delta, FoVar(0), l1));
+    }
+}

@@ -1,0 +1,193 @@
+//! FO model checking: `D ⊨ φ[ā]` by recursive evaluation.
+//!
+//! Exact; cost is `O(|dom|^q)` for `q` nested quantifiers (FO model
+//! checking is PSPACE-complete in general). The separability algorithms
+//! only evaluate formulas on small structures, and the test suite
+//! cross-validates against the game/orbit machinery.
+
+use crate::ast::{FoFormula, FoVar};
+use relational::{Database, Val};
+use std::collections::HashMap;
+
+/// Does `d ⊨ f` under the given (partial) assignment of free variables?
+///
+/// # Panics
+/// Panics if a free variable of `f` is unassigned when reached.
+pub fn satisfies(d: &Database, f: &FoFormula, assignment: &HashMap<FoVar, Val>) -> bool {
+    let mut env = assignment.clone();
+    eval(d, f, &mut env)
+}
+
+fn eval(d: &Database, f: &FoFormula, env: &mut HashMap<FoVar, Val>) -> bool {
+    match f {
+        FoFormula::Atom(rel, args) => {
+            let vals: Vec<Val> = args
+                .iter()
+                .map(|v| *env.get(v).unwrap_or_else(|| panic!("unbound variable x{}", v.0)))
+                .collect();
+            d.has_fact(*rel, &vals)
+        }
+        FoFormula::Eq(a, b) => {
+            let va = *env.get(a).unwrap_or_else(|| panic!("unbound variable x{}", a.0));
+            let vb = *env.get(b).unwrap_or_else(|| panic!("unbound variable x{}", b.0));
+            va == vb
+        }
+        FoFormula::Not(g) => !eval(d, g, env),
+        FoFormula::And(fs) => fs.iter().all(|g| eval(d, g, env)),
+        FoFormula::Or(fs) => fs.iter().any(|g| eval(d, g, env)),
+        FoFormula::Exists(v, g) => {
+            let saved = env.get(v).copied();
+            let mut found = false;
+            for c in d.dom() {
+                env.insert(*v, c);
+                if eval(d, g, env) {
+                    found = true;
+                    break;
+                }
+            }
+            restore(env, *v, saved);
+            found
+        }
+        FoFormula::Forall(v, g) => {
+            let saved = env.get(v).copied();
+            let mut all = true;
+            for c in d.dom() {
+                env.insert(*v, c);
+                if !eval(d, g, env) {
+                    all = false;
+                    break;
+                }
+            }
+            restore(env, *v, saved);
+            all
+        }
+    }
+}
+
+fn restore(env: &mut HashMap<FoVar, Val>, v: FoVar, saved: Option<Val>) {
+    match saved {
+        Some(x) => {
+            env.insert(v, x);
+        }
+        None => {
+            env.remove(&v);
+        }
+    }
+}
+
+/// Evaluate a unary FO feature: does `f` (with single free variable `x`)
+/// select element `e` of `d`?
+pub fn fo_selects(d: &Database, f: &FoFormula, x: FoVar, e: Val) -> bool {
+    let mut env = HashMap::new();
+    env.insert(x, e);
+    satisfies(d, f, &env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{DbBuilder, Schema};
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    fn db() -> Database {
+        DbBuilder::new(schema())
+            .fact("E", &["a", "b"])
+            .fact("E", &["b", "c"])
+            .entity("a")
+            .entity("b")
+            .entity("c")
+            .build()
+    }
+
+    fn e_rel() -> relational::RelId {
+        schema().rel_by_name("E").unwrap()
+    }
+
+    #[test]
+    fn existential_out_edge() {
+        let d = db();
+        // φ(x0) = ∃x1 E(x0, x1).
+        let f = FoFormula::exists(FoVar(1), FoFormula::Atom(e_rel(), vec![FoVar(0), FoVar(1)]));
+        let sel: Vec<&str> = d
+            .dom()
+            .filter(|&v| fo_selects(&d, &f, FoVar(0), v))
+            .map(|v| d.val_name(v))
+            .collect();
+        assert_eq!(sel, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn negation_flips() {
+        let d = db();
+        let f = FoFormula::exists(FoVar(1), FoFormula::Atom(e_rel(), vec![FoVar(0), FoVar(1)]))
+            .not();
+        let c = d.val_by_name("c").unwrap();
+        let a = d.val_by_name("a").unwrap();
+        assert!(fo_selects(&d, &f, FoVar(0), c));
+        assert!(!fo_selects(&d, &f, FoVar(0), a));
+    }
+
+    #[test]
+    fn universal_sinks() {
+        let d = db();
+        // φ(x0) = ∀x1 ¬E(x0, x1): x0 is a sink.
+        let f = FoFormula::forall(
+            FoVar(1),
+            FoFormula::Atom(e_rel(), vec![FoVar(0), FoVar(1)]).not(),
+        );
+        let sel: Vec<&str> = d
+            .dom()
+            .filter(|&v| fo_selects(&d, &f, FoVar(0), v))
+            .map(|v| d.val_name(v))
+            .collect();
+        assert_eq!(sel, vec!["c"]);
+    }
+
+    #[test]
+    fn equality_and_counting() {
+        let d = db();
+        // "x0 has at least two distinct out-neighbors": false everywhere
+        // in the path.
+        let f = FoFormula::exists(
+            FoVar(1),
+            FoFormula::exists(
+                FoVar(2),
+                FoFormula::And(vec![
+                    FoFormula::Atom(e_rel(), vec![FoVar(0), FoVar(1)]),
+                    FoFormula::Atom(e_rel(), vec![FoVar(0), FoVar(2)]),
+                    FoFormula::Eq(FoVar(1), FoVar(2)).not(),
+                ]),
+            ),
+        );
+        assert!(d.dom().all(|v| !fo_selects(&d, &f, FoVar(0), v)));
+        // Add a second out-edge from a; now a is selected.
+        let d2 = DbBuilder::from_db(db()).fact("E", &["a", "c"]).build();
+        let a = d2.val_by_name("a").unwrap();
+        assert!(fo_selects(&d2, &f, FoVar(0), a));
+    }
+
+    #[test]
+    fn top_bottom_and_shadowing() {
+        let d = db();
+        let a = d.val_by_name("a").unwrap();
+        assert!(fo_selects(&d, &FoFormula::top(), FoVar(0), a));
+        assert!(!fo_selects(&d, &FoFormula::bottom(), FoVar(0), a));
+        // Shadowing: ∃x0 ¬(x0 = x0) is false and must not clobber the
+        // outer binding of x0.
+        let f = FoFormula::And(vec![
+            FoFormula::exists(FoVar(0), FoFormula::Eq(FoVar(0), FoVar(0)).not()),
+            FoFormula::Eq(FoVar(0), FoVar(0)),
+        ]);
+        assert!(!fo_selects(&d, &f, FoVar(0), a));
+        let g = FoFormula::And(vec![
+            FoFormula::exists(FoVar(0), FoFormula::Eq(FoVar(0), FoVar(0))),
+            FoFormula::Eq(FoVar(0), FoVar(0)),
+        ]);
+        assert!(fo_selects(&d, &g, FoVar(0), a));
+    }
+}

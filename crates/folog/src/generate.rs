@@ -1,0 +1,134 @@
+//! The constructive content of Proposition 8.1: an FO-separable training
+//! database is separated by a statistic with a **single** FO feature.
+//!
+//! The feature is simply the disjunction of the describing formulas of
+//! the positive entities (one per automorphism orbit): it selects exactly
+//! the elements whose pointed type matches a positive example, and
+//! FO-separability (= no positive/negative orbit collision) makes that
+//! selection agree with the labels.
+
+use crate::ast::{FoFormula, FoVar};
+use crate::describe::describing_formula;
+use relational::iso::same_orbit;
+use relational::TrainingDb;
+
+/// Build the single-feature FO statistic for an FO-separable training
+/// database; `None` if it is not FO-separable. The formula's free
+/// variable is `FoVar(0)`.
+pub fn fo_single_feature(train: &TrainingDb) -> Option<FoFormula> {
+    let positives = train.positives();
+    let negatives = train.negatives();
+    for &p in &positives {
+        for &n in &negatives {
+            if same_orbit(&train.db, p, n) {
+                return None;
+            }
+        }
+    }
+    // One describing formula per positive orbit.
+    let mut reps: Vec<relational::Val> = Vec::new();
+    for &p in &positives {
+        if !reps.iter().any(|&r| same_orbit(&train.db, r, p)) {
+            reps.push(p);
+        }
+    }
+    Some(FoFormula::Or(
+        reps.into_iter()
+            .map(|e| describing_formula(&train.db, e))
+            .collect(),
+    ))
+}
+
+/// The free variable convention of [`fo_single_feature`].
+pub fn feature_var() -> FoVar {
+    FoVar(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::fo_selects;
+    use relational::{DbBuilder, Label, Schema};
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    #[test]
+    fn single_feature_reproduces_labels() {
+        let t = DbBuilder::new(schema())
+            .fact("E", &["a", "b"])
+            .fact("E", &["b", "c"])
+            .positive("a")
+            .positive("b")
+            .negative("c")
+            .training();
+        let f = fo_single_feature(&t).expect("path positions are FO-distinct");
+        for e in t.entities() {
+            let selected = fo_selects(&t.db, &f, feature_var(), e);
+            assert_eq!(
+                selected,
+                t.labeling.get(e) == Label::Positive,
+                "{}",
+                t.db.val_name(e)
+            );
+        }
+    }
+
+    #[test]
+    fn inseparable_returns_none() {
+        // Automorphic opposite-labeled pair: two disjoint loops.
+        let t = DbBuilder::new(schema())
+            .fact("E", &["u", "u"])
+            .fact("E", &["v", "v"])
+            .positive("u")
+            .negative("v")
+            .training();
+        assert!(fo_single_feature(&t).is_none());
+    }
+
+    #[test]
+    fn orbit_deduplication_shrinks_the_disjunction() {
+        // Two automorphic positives need only one disjunct.
+        let t = DbBuilder::new(schema())
+            .fact("E", &["p1", "q1"])
+            .fact("E", &["p2", "q2"])
+            .positive("p1")
+            .positive("p2")
+            .negative("q1")
+            .negative("q2")
+            .training();
+        let f = fo_single_feature(&t).unwrap();
+        match &f {
+            FoFormula::Or(ds) => assert_eq!(ds.len(), 1, "one orbit, one disjunct"),
+            other => panic!("expected a disjunction, got {other:?}"),
+        }
+        for e in t.entities() {
+            assert_eq!(
+                fo_selects(&t.db, &f, feature_var(), e),
+                t.labeling.get(e) == Label::Positive
+            );
+        }
+    }
+
+    #[test]
+    fn feature_transfers_to_isomorphic_eval_data() {
+        let t = DbBuilder::new(schema())
+            .fact("E", &["a", "b"])
+            .positive("a")
+            .negative("b")
+            .training();
+        let f = fo_single_feature(&t).unwrap();
+        let eval = DbBuilder::new(schema())
+            .fact("E", &["u", "v"])
+            .entity("u")
+            .entity("v")
+            .build();
+        let u = eval.val_by_name("u").unwrap();
+        let v = eval.val_by_name("v").unwrap();
+        assert!(fo_selects(&eval, &f, feature_var(), u));
+        assert!(!fo_selects(&eval, &f, feature_var(), v));
+    }
+}

@@ -1,0 +1,30 @@
+//! First-order logic over relational databases — the feature language of
+//! §8 of Barceló et al. (PODS 2019).
+//!
+//! The paper's §8 studies separability when feature queries range over
+//! FO and its fragments. Deciding FO-separability needs only the
+//! automorphism-orbit machinery (in `relational::iso`), but Proposition
+//! 8.1 — the *dimension collapse* — says more: a single FO feature always
+//! suffices. This crate makes that constructive:
+//!
+//! * [`ast`] — FO formulas with equality (∧ ∨ ¬ ∃ ∀), plus a `Display`
+//!   rendering;
+//! * [`eval`] — a backtracking model checker (`D ⊨ φ[e]`), exact and
+//!   exponential only in quantifier depth (FO model checking is
+//!   PSPACE-complete; the formulas used here are evaluated on the small
+//!   structures the algorithms produce);
+//! * [`describe`] — the *describing formula* `δ_{D,e}(x)`, true at `f` in
+//!   `D'` iff `(D', f) ≅ (D, e)` as pointed structures — the classic
+//!   fact that finite structures are FO-definable up to isomorphism;
+//! * [`generate`] — the single-feature FO statistic of Proposition 8.1:
+//!   the disjunction of the positive entities' describing formulas.
+
+pub mod ast;
+pub mod describe;
+pub mod eval;
+pub mod generate;
+
+pub use ast::{FoFormula, FoVar};
+pub use describe::describing_formula;
+pub use eval::{fo_selects, satisfies};
+pub use generate::fo_single_feature;

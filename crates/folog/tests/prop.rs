@@ -1,0 +1,148 @@
+//! Property tests for the FO layer: evaluator laws (De Morgan, quantifier
+//! duality), describing-formula agreement with the isomorphism solver,
+//! and the single-feature generation of Proposition 8.1.
+
+use folog::{describing_formula, fo_selects, fo_single_feature, FoFormula, FoVar};
+use proptest::prelude::*;
+use relational::iso::isomorphic;
+use relational::{Database, Label, Labeling, Schema, TrainingDb, Val};
+
+fn graph(n: usize, edges: &[(usize, usize)]) -> Database {
+    let mut s = Schema::entity_schema();
+    s.add_relation("E", 2);
+    let mut db = Database::new(s);
+    let vals: Vec<Val> = (0..n).map(|i| db.value(&format!("v{i}"))).collect();
+    let e = db.schema().rel_by_name("E").unwrap();
+    for &(a, b) in edges {
+        db.add_fact(e, vec![vals[a % n], vals[b % n]]);
+    }
+    for &v in &vals {
+        db.add_entity(v);
+    }
+    db
+}
+
+fn small_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..4).prop_flat_map(|n| {
+        (Just(n), proptest::collection::vec((0..n, 0..n), 0..(2 * n)))
+    })
+}
+
+/// A random quantifier-shallow formula with one free variable FoVar(0).
+fn random_formula() -> impl Strategy<Value = FoFormula> {
+    let e = {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s.rel_by_name("E").unwrap()
+    };
+    let atom = (0u32..3, 0u32..3)
+        .prop_map(move |(a, b)| FoFormula::Atom(e, vec![FoVar(a), FoVar(b)]));
+    let eq = (0u32..3, 0u32..3).prop_map(|(a, b)| FoFormula::Eq(FoVar(a), FoVar(b)));
+    let leaf = prop_oneof![atom, eq];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| f.not()),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(FoFormula::And),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(FoFormula::Or),
+            (1u32..3, inner.clone()).prop_map(|(v, f)| FoFormula::exists(FoVar(v), f)),
+            (1u32..3, inner).prop_map(|(v, f)| FoFormula::forall(FoVar(v), f)),
+        ]
+    })
+    // Close over any stray free variables other than x0 so evaluation
+    // never hits an unbound variable.
+    .prop_map(|f| {
+        let mut g = f;
+        for v in [FoVar(1), FoVar(2)] {
+            g = FoFormula::exists(v, g);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Double negation and De Morgan at the evaluation level.
+    #[test]
+    fn boolean_laws((n, edges) in small_graph(), f in random_formula(), g in random_formula()) {
+        let d = graph(n, &edges);
+        for e in d.dom() {
+            let x = FoVar(0);
+            let vf = fo_selects(&d, &f, x, e);
+            prop_assert_eq!(fo_selects(&d, &f.clone().not().not(), x, e), vf);
+            let vg = fo_selects(&d, &g, x, e);
+            let and = FoFormula::And(vec![f.clone(), g.clone()]);
+            let nor = FoFormula::Or(vec![f.clone().not(), g.clone().not()]).not();
+            prop_assert_eq!(fo_selects(&d, &and, x, e), vf && vg);
+            prop_assert_eq!(fo_selects(&d, &nor, x, e), vf && vg, "De Morgan");
+        }
+    }
+
+    /// ∃ and ∀ are dual through negation.
+    #[test]
+    fn quantifier_duality((n, edges) in small_graph(), f in random_formula()) {
+        let d = graph(n, &edges);
+        let v = FoVar(1);
+        let ex = FoFormula::exists(v, f.clone());
+        let dual = FoFormula::forall(v, f.clone().not()).not();
+        for e in d.dom() {
+            prop_assert_eq!(
+                fo_selects(&d, &ex, FoVar(0), e),
+                fo_selects(&d, &dual, FoVar(0), e)
+            );
+        }
+    }
+
+    /// Describing formulas characterize pointed isomorphism — checked
+    /// against the independent iso solver on random pairs.
+    #[test]
+    fn describing_formula_is_pointed_iso(
+        (n1, e1) in small_graph(),
+        (n2, e2) in small_graph(),
+        i in 0usize..3,
+        j in 0usize..3,
+    ) {
+        let d1 = graph(n1, &e1);
+        let d2 = graph(n2, &e2);
+        let a = Val((i % n1) as u32);
+        let b = Val((j % n2) as u32);
+        let delta = describing_formula(&d1, a);
+        prop_assert_eq!(
+            fo_selects(&d2, &delta, FoVar(0), b),
+            isomorphic(&d1, &d2, &[(a, b)])
+        );
+    }
+
+    /// Proposition 8.1 end-to-end on random labeled graphs: the single
+    /// feature exists iff no pos/neg orbit collision, and when it exists
+    /// it reproduces the labels.
+    #[test]
+    fn single_feature_generation((n, edges) in small_graph(), mask in 0u32..16) {
+        let d = graph(n, &edges);
+        let mut labeling = Labeling::new();
+        for (idx, e) in d.entities().into_iter().enumerate() {
+            labeling.set(
+                e,
+                if mask & (1 << idx) != 0 { Label::Positive } else { Label::Negative },
+            );
+        }
+        let t = TrainingDb::new(d, labeling);
+        match fo_single_feature(&t) {
+            Some(f) => {
+                for e in t.entities() {
+                    prop_assert_eq!(
+                        fo_selects(&t.db, &f, FoVar(0), e),
+                        t.labeling.get(e) == Label::Positive
+                    );
+                }
+            }
+            None => {
+                // There must be an automorphic pos/neg pair.
+                let collision = t.opposing_pairs().into_iter().any(|(p, q)| {
+                    relational::iso::same_orbit(&t.db, p, q)
+                });
+                prop_assert!(collision);
+            }
+        }
+    }
+}

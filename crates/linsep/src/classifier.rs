@@ -1,0 +1,112 @@
+//! The linear classifier `Λ_w̄` (§2 of the paper).
+
+use numeric::BigRational;
+use std::fmt;
+
+/// A linear classifier `Λ_w̄` with `w̄ = (w_0, w_1, …, w_n)`:
+/// `Λ(b̄) = 1` iff `Σ w_i b_i ≥ w_0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinearClassifier {
+    /// The threshold `w_0`.
+    pub threshold: BigRational,
+    /// The feature weights `w_1 … w_n`.
+    pub weights: Vec<BigRational>,
+}
+
+impl LinearClassifier {
+    pub fn new(threshold: BigRational, weights: Vec<BigRational>) -> LinearClassifier {
+        LinearClassifier { threshold, weights }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The raw score `Σ w_i b_i` of a ±1 feature vector.
+    pub fn score(&self, features: &[i32]) -> BigRational {
+        assert_eq!(features.len(), self.weights.len(), "feature arity mismatch");
+        let mut s = BigRational::zero();
+        for (w, &f) in self.weights.iter().zip(features.iter()) {
+            match f {
+                1 => s += w,
+                -1 => s -= w,
+                other => panic!("feature values must be ±1, got {other}"),
+            }
+        }
+        s
+    }
+
+    /// Classify a ±1 feature vector: `+1` iff `score ≥ w_0`.
+    pub fn classify(&self, features: &[i32]) -> i32 {
+        if self.score(features) >= self.threshold {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Does this classifier label every `(vector, label)` pair correctly?
+    pub fn separates<'a>(
+        &self,
+        examples: impl IntoIterator<Item = (&'a [i32], i32)>,
+    ) -> bool {
+        examples
+            .into_iter()
+            .all(|(v, y)| self.classify(v) == y)
+    }
+
+    /// Number of misclassified examples.
+    pub fn errors<'a>(&self, examples: impl IntoIterator<Item = (&'a [i32], i32)>) -> usize {
+        examples
+            .into_iter()
+            .filter(|(v, y)| self.classify(v) != *y)
+            .count()
+    }
+}
+
+impl fmt::Display for LinearClassifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Λ(b) = [")?;
+        for (i, w) in self.weights.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{w}·b{}", i + 1)?;
+        }
+        write!(f, " ≥ {}]", self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numeric::{int, ratio};
+
+    #[test]
+    fn majority_vote() {
+        let c = LinearClassifier::new(int(0), vec![int(1), int(1), int(1)]);
+        assert_eq!(c.classify(&[1, 1, -1]), 1);
+        assert_eq!(c.classify(&[1, -1, -1]), -1);
+        // Ties (score 0) go positive by the ≥ convention.
+        let c2 = LinearClassifier::new(int(0), vec![int(1), int(-1)]);
+        assert_eq!(c2.classify(&[1, 1]), 1);
+    }
+
+    #[test]
+    fn separates_and_errors() {
+        let c = LinearClassifier::new(ratio(1, 2), vec![int(1)]);
+        let pos = [1i32];
+        let neg = [-1i32];
+        let examples = [(&pos[..], 1), (&neg[..], -1)];
+        assert!(c.separates(examples.iter().map(|&(v, y)| (v, y))));
+        let wrong = [(&pos[..], -1), (&neg[..], -1)];
+        assert_eq!(c.errors(wrong.iter().map(|&(v, y)| (v, y))), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "±1")]
+    fn rejects_non_sign_features() {
+        let c = LinearClassifier::new(int(0), vec![int(1)]);
+        c.classify(&[0]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Exact linear separability — the classifier side of the framework.
+//!
+//! Every separability algorithm in Barceló et al. (PODS 2019) bottoms out
+//! in the question "is this training collection of ±1 vectors linearly
+//! separable, and if so, produce `Λ_w̄`?" (§2). Proposition 4.1 solves it
+//! through linear programming; §7 additionally needs the *approximate*
+//! version — minimize misclassifications — which is NP-complete
+//! (Höffgen–Simon–Van Horn [17]).
+//!
+//! Modules:
+//!
+//! * [`simplex`] — a two-phase primal simplex over exact rationals
+//!   ([`numeric::BigRational`]) with Bland's anti-cycling rule. The paper
+//!   cites Karmarkar/Khachiyan for polynomial-time LP; simplex is the
+//!   faithful exact-arithmetic substitute (see DESIGN.md §4).
+//! * [`separate`] — strict separation via a maximum-margin feasibility LP,
+//!   with an integer perceptron fast path for the (common) easy cases.
+//! * [`classifier`] — the [`LinearClassifier`] type `Λ_w̄`.
+//! * [`minerror`] — exact minimum-error linear classification by
+//!   branch-and-bound over vector-type assignments, plus the greedy
+//!   majority upper bound; powers the `CQ[m]`-ApxSep algorithms (§7.2).
+
+pub mod classifier;
+pub mod minerror;
+pub mod separate;
+pub mod simplex;
+
+pub use classifier::LinearClassifier;
+pub use minerror::{min_error_classifier, MinErrorResult};
+pub use separate::{separate, separate_with_margin};
+pub use simplex::{solve_lp, LpOutcome};

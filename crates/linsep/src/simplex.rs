@@ -1,0 +1,366 @@
+//! A two-phase primal simplex solver over exact rationals.
+//!
+//! Solves `max cᵀx subject to Ax ≤ b, x ≥ 0` exactly. Bland's rule makes
+//! termination unconditional (no cycling); exact [`BigRational`]
+//! arithmetic makes the Optimal/Infeasible/Unbounded verdict trustworthy —
+//! which matters because the callers turn these verdicts directly into
+//! separability answers.
+//!
+//! The implementation is a dense tableau: rows are the constraints (with
+//! slack variables completing an identity), the last row is the objective.
+//! Phase 1 drives artificial variables out of the basis when some
+//! `b_i < 0`; phase 2 optimizes the real objective.
+
+use numeric::BigRational;
+
+/// Result of [`solve_lp`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpOutcome {
+    /// No feasible point.
+    Infeasible,
+    /// The objective is unbounded above.
+    Unbounded,
+    /// Optimal solution: values of the structural variables and the
+    /// optimal objective value.
+    Optimal { x: Vec<BigRational>, value: BigRational },
+}
+
+struct Tableau {
+    /// `rows × cols` coefficient matrix; the last column is the RHS.
+    t: Vec<Vec<BigRational>>,
+    /// Objective row (same width as `t` rows).
+    obj: Vec<BigRational>,
+    /// Basis: for each row, the variable index currently basic in it.
+    basis: Vec<usize>,
+    ncols: usize,
+}
+
+impl Tableau {
+    fn rhs_col(&self) -> usize {
+        self.ncols - 1
+    }
+
+    /// One simplex pivot round with Bland's rule. Returns:
+    /// `None` if optimal, `Some(Ok(()))` after a pivot,
+    /// `Some(Err(col))` if unbounded in column `col`.
+    fn step(&mut self) -> Option<Result<(), usize>> {
+        let rhs = self.rhs_col();
+        // Entering variable: smallest index with positive reduced cost.
+        let enter = (0..rhs).find(|&j| self.obj[j].is_positive())?;
+        // Ratio test; ties broken by smallest basis variable (Bland).
+        let mut best: Option<(usize, BigRational)> = None;
+        for r in 0..self.t.len() {
+            if !self.t[r][enter].is_positive() {
+                continue;
+            }
+            let ratio = &self.t[r][rhs] / &self.t[r][enter];
+            let better = match &best {
+                None => true,
+                Some((br, bratio)) => {
+                    ratio < *bratio
+                        || (ratio == *bratio && self.basis[r] < self.basis[*br])
+                }
+            };
+            if better {
+                best = Some((r, ratio));
+            }
+        }
+        let (row, _) = match best {
+            None => return Some(Err(enter)),
+            Some(x) => x,
+        };
+        self.pivot(row, enter);
+        Some(Ok(()))
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let inv = self.t[row][col].recip();
+        for v in self.t[row].iter_mut() {
+            *v = &*v * &inv;
+        }
+        for r in 0..self.t.len() {
+            if r == row || self.t[r][col].is_zero() {
+                continue;
+            }
+            let factor = self.t[r][col].clone();
+            for j in 0..self.ncols {
+                let delta = &factor * &self.t[row][j];
+                self.t[r][j] = &self.t[r][j] - &delta;
+            }
+        }
+        if !self.obj[col].is_zero() {
+            let factor = self.obj[col].clone();
+            for j in 0..self.ncols {
+                let delta = &factor * &self.t[row][j];
+                self.obj[j] = &self.obj[j] - &delta;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run pivots to optimality. Returns `false` on unboundedness.
+    fn optimize(&mut self) -> bool {
+        loop {
+            match self.step() {
+                None => return true,
+                Some(Ok(())) => {}
+                Some(Err(_)) => return false,
+            }
+        }
+    }
+}
+
+/// Solve `max cᵀx s.t. Ax ≤ b, x ≥ 0` exactly.
+///
+/// `a` is row-major with `a.len() == b.len()` and each row of length
+/// `c.len()`.
+pub fn solve_lp(a: &[Vec<BigRational>], b: &[BigRational], c: &[BigRational]) -> LpOutcome {
+    let m = a.len();
+    let n = c.len();
+    assert_eq!(b.len(), m, "b must match the number of constraint rows");
+    for row in a {
+        assert_eq!(row.len(), n, "every row of A must match c's length");
+    }
+
+    // Columns: n structural + m slack + (phase-1 artificials) + rhs.
+    let negatives: Vec<usize> = (0..m).filter(|&i| b[i].is_negative()).collect();
+    let nart = negatives.len();
+    let ncols = n + m + nart + 1;
+    let zero = BigRational::zero;
+    let one = BigRational::one;
+
+    let mut t: Vec<Vec<BigRational>> = Vec::with_capacity(m);
+    let mut basis = vec![0usize; m];
+    let mut art_of_row = vec![usize::MAX; m];
+    for (ai, &i) in negatives.iter().enumerate() {
+        art_of_row[i] = n + m + ai;
+    }
+    for i in 0..m {
+        let mut row = vec![zero(); ncols];
+        let flip = b[i].is_negative();
+        for j in 0..n {
+            row[j] = if flip { -&a[i][j] } else { a[i][j].clone() };
+        }
+        // Slack: +1 normally; -1 after flipping the row.
+        row[n + i] = if flip { -one() } else { one() };
+        row[ncols - 1] = if flip { -&b[i] } else { b[i].clone() };
+        if flip {
+            row[art_of_row[i]] = one();
+            basis[i] = art_of_row[i];
+        } else {
+            basis[i] = n + i;
+        }
+        t.push(row);
+    }
+
+    if nart > 0 {
+        // Phase 1: maximize -(sum of artificials). The objective row must
+        // be expressed in terms of the nonbasic variables: start from
+        // -Σ artificials and add each artificial row (which has the
+        // artificial basic with coefficient 1).
+        let mut obj = vec![zero(); ncols];
+        for &i in &negatives {
+            for j in 0..ncols {
+                let add = t[i][j].clone();
+                obj[j] = &obj[j] + &add;
+            }
+        }
+        for &i in &negatives {
+            obj[art_of_row[i]] = zero();
+        }
+        let mut tab = Tableau { t, obj, basis, ncols };
+        let bounded = tab.optimize();
+        debug_assert!(bounded, "phase-1 objective is bounded by 0");
+        // Feasible iff all artificials are zero: the phase-1 optimum
+        // (stored as obj[rhs], negated running value) must be 0.
+        let resid = tab.obj[ncols - 1].clone();
+        if !resid.is_zero() {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any artificial still basic (at value 0) out of the basis.
+        for r in 0..m {
+            if tab.basis[r] >= n + m {
+                if let Some(j) = (0..n + m).find(|&j| !tab.t[r][j].is_zero()) {
+                    tab.pivot(r, j);
+                }
+                // If the whole row is zero the constraint was redundant;
+                // leaving the zero artificial basic is harmless as long
+                // as it can never re-enter (we zero its columns below).
+            }
+        }
+        // Erase artificial columns so they never re-enter.
+        for row in tab.t.iter_mut() {
+            for j in n + m..ncols - 1 {
+                row[j] = zero();
+            }
+        }
+        // Phase 2 objective: c over the structural variables, rewritten
+        // through the current basis.
+        let mut obj = vec![zero(); ncols];
+        for (j, item) in c.iter().enumerate() {
+            obj[j] = item.clone();
+        }
+        for r in 0..m {
+            let bv = tab.basis[r];
+            if bv < ncols - 1 && !obj[bv].is_zero() {
+                let factor = obj[bv].clone();
+                for j in 0..ncols {
+                    let delta = &factor * &tab.t[r][j];
+                    obj[j] = &obj[j] - &delta;
+                }
+            }
+        }
+        tab.obj = obj;
+        finish(tab, n)
+    } else {
+        // All-slack basis is feasible; single phase.
+        let mut obj = vec![zero(); ncols];
+        for (j, item) in c.iter().enumerate() {
+            obj[j] = item.clone();
+        }
+        let tab = Tableau { t, obj, basis, ncols };
+        finish(tab, n)
+    }
+}
+
+fn finish(mut tab: Tableau, n: usize) -> LpOutcome {
+    if !tab.optimize() {
+        return LpOutcome::Unbounded;
+    }
+    let rhs = tab.ncols - 1;
+    let mut x = vec![BigRational::zero(); n];
+    for (r, &bv) in tab.basis.iter().enumerate() {
+        if bv < n {
+            x[bv] = tab.t[r][rhs].clone();
+        }
+    }
+    // The objective row's RHS holds -(current value) relative to 0 start.
+    let value = -&tab.obj[rhs];
+    LpOutcome::Optimal { x, value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numeric::{int, ratio};
+
+    fn lp(
+        a: &[&[i64]],
+        b: &[i64],
+        c: &[i64],
+    ) -> LpOutcome {
+        let a: Vec<Vec<BigRational>> =
+            a.iter().map(|r| r.iter().map(|&v| int(v)).collect()).collect();
+        let b: Vec<BigRational> = b.iter().map(|&v| int(v)).collect();
+        let c: Vec<BigRational> = c.iter().map(|&v| int(v)).collect();
+        solve_lp(&a, &b, &c)
+    }
+
+    #[test]
+    fn textbook_optimum() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2,6).
+        let out = lp(&[&[1, 0], &[0, 2], &[3, 2]], &[4, 12, 18], &[3, 5]);
+        match out {
+            LpOutcome::Optimal { x, value } => {
+                assert_eq!(value, int(36));
+                assert_eq!(x, vec![int(2), int(6)]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with only y constrained.
+        let out = lp(&[&[0, 1]], &[5], &[1, 0]);
+        assert_eq!(out, LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= -1 with x >= 0.
+        let out = lp(&[&[1]], &[-1], &[1]);
+        assert_eq!(out, LpOutcome::Infeasible);
+        // x + y <= 2, -x - y <= -5.
+        let out = lp(&[&[1, 1], &[-1, -1]], &[2, -5], &[1, 1]);
+        assert_eq!(out, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn phase_one_needed_but_feasible() {
+        // x >= 1 (as -x <= -1), x <= 3, max -x  -> optimum -1 at x = 1.
+        let out = lp(&[&[-1], &[1]], &[-1, 3], &[-1]);
+        match out {
+            LpOutcome::Optimal { x, value } => {
+                assert_eq!(x, vec![int(1)]);
+                assert_eq!(value, int(-1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fractional_optimum_is_exact() {
+        // max x + y s.t. 2x + y <= 3, x + 2y <= 3 -> (1,1) value 2;
+        // max 2x + y with same constraints -> x=3/2, y=0? value 3.
+        let out = lp(&[&[2, 1], &[1, 2]], &[3, 3], &[2, 1]);
+        match out {
+            LpOutcome::Optimal { value, .. } => assert_eq!(value, int(3)),
+            other => panic!("{other:?}"),
+        }
+        // A genuinely fractional one: max y s.t. 3y <= 2.
+        let out = lp(&[&[3]], &[2], &[1]);
+        match out {
+            LpOutcome::Optimal { x, value } => {
+                assert_eq!(x[0], ratio(2, 3));
+                assert_eq!(value, ratio(2, 3));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Classic degenerate instance (Beale-like); Bland must terminate.
+        let a: Vec<Vec<BigRational>> = vec![
+            vec![ratio(1, 4), int(-8), int(-1), int(9)],
+            vec![ratio(1, 2), int(-12), ratio(-1, 2), int(3)],
+            vec![int(0), int(0), int(1), int(0)],
+        ];
+        let b = vec![int(0), int(0), int(1)];
+        let c = vec![ratio(3, 4), int(-20), ratio(1, 2), int(-6)];
+        match solve_lp(&a, &b, &c) {
+            LpOutcome::Optimal { value, .. } => assert_eq!(value, ratio(5, 4)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_dimensional_inputs() {
+        // No constraints: max of the zero objective over nothing.
+        let out = lp(&[], &[], &[]);
+        assert_eq!(
+            out,
+            LpOutcome::Optimal { x: vec![], value: int(0) }
+        );
+        // No constraints but a positive objective: unbounded.
+        let out = lp(&[], &[], &[1]);
+        assert_eq!(out, LpOutcome::Unbounded);
+        // Constraints but empty objective over zero variables.
+        let out = lp(&[&[]], &[1], &[]);
+        assert_eq!(out, LpOutcome::Optimal { x: vec![], value: int(0) });
+    }
+
+    #[test]
+    fn redundant_constraints_survive_phase_one() {
+        // x >= 2 twice, x <= 5, max x -> 5.
+        let out = lp(&[&[-1], &[-1], &[1]], &[-2, -2, 5], &[1]);
+        match out {
+            LpOutcome::Optimal { x, value } => {
+                assert_eq!(x, vec![int(5)]);
+                assert_eq!(value, int(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the linear-separation stack: LP certificates,
+//! separation correctness against brute force, and min-error optimality.
+
+use linsep::{min_error_classifier, separate, separate_with_margin, solve_lp, LpOutcome};
+use numeric::{int, BigInt, BigRational};
+use proptest::prelude::*;
+
+/// Strategy: a labeled collection of ±1 vectors.
+fn examples(dim: usize, count: usize) -> impl Strategy<Value = (Vec<Vec<i32>>, Vec<i32>)> {
+    let vec_strat = proptest::collection::vec(
+        proptest::collection::vec(prop_oneof![Just(1i32), Just(-1i32)], dim),
+        1..=count,
+    );
+    (vec_strat, proptest::collection::vec(prop_oneof![Just(1i32), Just(-1i32)], count))
+        .prop_map(|(vs, ls)| {
+            let n = vs.len();
+            let ls: Vec<i32> = ls.into_iter().take(n).collect();
+            (vs, ls)
+        })
+}
+
+/// Brute-force separability over a small rational weight grid — complete
+/// for 2-dimensional ±1 inputs (a separator exists iff one exists with
+/// weights in {-2..2} and a half-integer threshold).
+fn brute_separable_2d(vectors: &[Vec<i32>], labels: &[i32]) -> bool {
+    let grid = [-2i64, -1, 0, 1, 2];
+    let thresholds = [-5i64, -3, -1, 0, 1, 3, 5];
+    for &w1 in &grid {
+        for &w2 in &grid {
+            for &t2 in &thresholds {
+                // threshold = t2 / 2
+                let ok = vectors.iter().zip(labels.iter()).all(|(v, &y)| {
+                    let score2 = 2 * (w1 * v[0] as i64 + w2 * v[1] as i64);
+                    if y == 1 {
+                        score2 >= t2
+                    } else {
+                        score2 < t2
+                    }
+                });
+                if ok {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn separate_certificate_is_sound((vectors, labels) in examples(3, 8)) {
+        if let Some(c) = separate(&vectors, &labels) {
+            prop_assert!(c.separates(
+                vectors.iter().map(|v| v.as_slice()).zip(labels.iter().copied())
+            ));
+        }
+    }
+
+    #[test]
+    fn separate_matches_brute_force_in_2d((vectors, labels) in examples(2, 6)) {
+        let ours = separate(&vectors, &labels).is_some();
+        let brute = brute_separable_2d(&vectors, &labels);
+        prop_assert_eq!(ours, brute, "{:?} {:?}", vectors, labels);
+    }
+
+    #[test]
+    fn margin_sign_matches_separability((vectors, labels) in examples(3, 8)) {
+        match separate_with_margin(&vectors, &labels) {
+            Some((c, margin)) => {
+                prop_assert!(margin.is_positive() || vectors.is_empty());
+                prop_assert!(c.separates(
+                    vectors.iter().map(|v| v.as_slice()).zip(labels.iter().copied())
+                ));
+            }
+            None => {
+                // Double-check: identical vectors with opposite labels
+                // must exist OR the LP really found nothing; re-verify by
+                // duplicating through the sound certificate direction.
+                prop_assert!(separate(&vectors, &labels).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn min_error_is_bounded_and_realized((vectors, labels) in examples(2, 7)) {
+        let r = min_error_classifier(&vectors, &labels);
+        // Realized: the classifier's labeling differs from λ in exactly
+        // `errors` places and is itself separable by that classifier.
+        let diff = r
+            .labels
+            .iter()
+            .zip(labels.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        prop_assert_eq!(diff, r.errors);
+        prop_assert!(r.classifier.separates(
+            vectors.iter().map(|v| v.as_slice()).zip(r.labels.iter().copied())
+        ));
+        // Bounded by the trivial majority classifier.
+        let pos = labels.iter().filter(|&&l| l == 1).count();
+        prop_assert!(r.errors <= pos.min(labels.len() - pos));
+        // Zero errors iff separable.
+        prop_assert_eq!(r.errors == 0, separate(&vectors, &labels).is_some());
+    }
+
+    #[test]
+    fn lp_optimal_is_feasible_and_tight(
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-4i64..5, 2), 0i64..9),
+            1..5
+        )
+    ) {
+        // max x + y subject to random constraints (plus a box to keep it
+        // bounded).
+        let mut a: Vec<Vec<BigRational>> = rows
+            .iter()
+            .map(|(r, _)| r.iter().map(|&v| int(v)).collect())
+            .collect();
+        let mut b: Vec<BigRational> = rows.iter().map(|(_, rhs)| int(*rhs)).collect();
+        a.push(vec![int(1), int(0)]);
+        b.push(int(10));
+        a.push(vec![int(0), int(1)]);
+        b.push(int(10));
+        let c = vec![int(1), int(1)];
+        match solve_lp(&a, &b, &c) {
+            LpOutcome::Optimal { x, value } => {
+                // Feasibility of the returned point.
+                for (row, rhs) in a.iter().zip(b.iter()) {
+                    let lhs = &(&row[0] * &x[0]) + &(&row[1] * &x[1]);
+                    prop_assert!(lhs <= *rhs, "infeasible optimum");
+                }
+                prop_assert!(x[0] >= BigRational::zero() && x[1] >= BigRational::zero());
+                prop_assert_eq!(&x[0] + &x[1], value);
+            }
+            LpOutcome::Infeasible => {
+                // x = y = 0 is feasible unless some rhs < 0 with
+                // nonnegative row... check that genuinely no b < 0 row is
+                // violated by the origin.
+                let origin_ok = b.iter().all(|rhs| *rhs >= BigRational::zero());
+                prop_assert!(!origin_ok, "origin was feasible but LP said infeasible");
+            }
+            LpOutcome::Unbounded => {
+                prop_assert!(false, "boxed LP cannot be unbounded");
+            }
+        }
+    }
+
+    #[test]
+    fn lp_respects_scaling(scale in 1i64..20) {
+        // max x s.t. scale·x ≤ scale  →  x = 1 regardless of scale.
+        let a = vec![vec![BigRational::new(BigInt::from(scale), BigInt::from(1))]];
+        let b = vec![BigRational::new(BigInt::from(scale), BigInt::from(1))];
+        let c = vec![int(1)];
+        match solve_lp(&a, &b, &c) {
+            LpOutcome::Optimal { x, value } => {
+                prop_assert_eq!(x[0].clone(), int(1));
+                prop_assert_eq!(value, int(1));
+            }
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Exact rational numbers over [`BigInt`], always kept in lowest terms with
+//! a positive denominator.
+
+use crate::bigint::{BigInt, ParseBigIntError};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number.
+///
+/// Invariants: `den > 0`, `gcd(|num|, den) == 1`, and zero is `0/1`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigRational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl BigRational {
+    /// Build `num/den`, normalizing sign and reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> BigRational {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        if num.is_zero() {
+            return BigRational::zero();
+        }
+        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let g = num.gcd(&den);
+        BigRational { num: &num / &g, den: &den / &g }
+    }
+
+    pub fn from_int(v: BigInt) -> BigRational {
+        BigRational { num: v, den: BigInt::one() }
+    }
+
+    pub fn zero() -> BigRational {
+        BigRational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    pub fn one() -> BigRational {
+        BigRational::from_int(BigInt::one())
+    }
+
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Sign as -1 / 0 / +1; the only thing the simplex pivot rules look at.
+    pub fn signum(&self) -> i32 {
+        if self.num.is_negative() {
+            -1
+        } else if self.num.is_zero() {
+            0
+        } else {
+            1
+        }
+    }
+
+    pub fn abs(&self) -> BigRational {
+        BigRational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    pub fn recip(&self) -> BigRational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        BigRational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Approximate value for reporting (never used for decisions).
+    pub fn to_f64(&self) -> f64 {
+        // Scale to keep precision when both parts are huge.
+        let nb = self.num.bits();
+        let db = self.den.bits();
+        if nb < 900 && db < 900 {
+            self.num.to_f64() / self.den.to_f64()
+        } else {
+            let shift = nb.max(db) - 512;
+            let scale = BigInt::pow2(shift);
+            (&self.num / &scale).to_f64() / (&self.den / &scale).to_f64()
+        }
+    }
+
+    /// Exact conversion when the value is an integer fitting `i64`.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.den == BigInt::one() {
+            self.num.to_i64()
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for BigRational {
+    fn default() -> BigRational {
+        BigRational::from_int(BigInt::zero())
+    }
+}
+
+impl From<i64> for BigRational {
+    fn from(v: i64) -> BigRational {
+        BigRational::from_int(BigInt::from(v))
+    }
+}
+
+impl PartialOrd for BigRational {
+    fn partial_cmp(&self, other: &BigRational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigRational {
+    fn cmp(&self, other: &BigRational) -> Ordering {
+        // a/b ? c/d  <=>  a*d ? c*b  (denominators positive).
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for BigRational {
+    type Output = BigRational;
+    fn neg(self) -> BigRational {
+        BigRational { num: -self.num, den: self.den }
+    }
+}
+
+impl Neg for &BigRational {
+    type Output = BigRational;
+    fn neg(self) -> BigRational {
+        -self.clone()
+    }
+}
+
+impl Add<&BigRational> for &BigRational {
+    type Output = BigRational;
+    fn add(self, rhs: &BigRational) -> BigRational {
+        BigRational::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub<&BigRational> for &BigRational {
+    type Output = BigRational;
+    fn sub(self, rhs: &BigRational) -> BigRational {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&BigRational> for &BigRational {
+    type Output = BigRational;
+    fn mul(self, rhs: &BigRational) -> BigRational {
+        BigRational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div<&BigRational> for &BigRational {
+    type Output = BigRational;
+    fn div(self, rhs: &BigRational) -> BigRational {
+        assert!(!rhs.is_zero(), "rational division by zero");
+        BigRational::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! forward_owned {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigRational> for BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: BigRational) -> BigRational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigRational> for BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: &BigRational) -> BigRational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigRational> for &BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: BigRational) -> BigRational {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+forward_owned!(Add, add);
+forward_owned!(Sub, sub);
+forward_owned!(Mul, mul);
+forward_owned!(Div, div);
+
+impl AddAssign<&BigRational> for BigRational {
+    fn add_assign(&mut self, rhs: &BigRational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigRational> for BigRational {
+    fn sub_assign(&mut self, rhs: &BigRational) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigRational> for BigRational {
+    fn mul_assign(&mut self, rhs: &BigRational) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == BigInt::one() || self.num.is_zero() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigRational({self})")
+    }
+}
+
+impl FromStr for BigRational {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<BigRational, ParseBigIntError> {
+        match s.split_once('/') {
+            None => Ok(BigRational::from_int(s.parse()?)),
+            Some((n, d)) => {
+                let den: BigInt = d.parse()?;
+                if den.is_zero() {
+                    return Err(ParseBigIntError(s.to_string()));
+                }
+                Ok(BigRational::new(n.parse()?, den))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> BigRational {
+        BigRational::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), BigRational::default());
+        assert!(r(2, -4).is_negative());
+        assert!(r(-3, -4).is_positive());
+    }
+
+    #[test]
+    fn field_ops() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(2, 3) / r(4, 9), r(3, 2));
+        assert_eq!(r(5, 7).recip(), r(7, 5));
+        assert_eq!(-r(5, 7), r(-5, 7));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(-1, 2) < BigRational::default());
+        assert_eq!(r(7, 7).cmp(&r(3, 3)), Ordering::Equal);
+        assert_eq!(r(1, 2).signum(), 1);
+        assert_eq!(r(-1, 2).signum(), -1);
+        assert_eq!(r(0, 2).signum(), 0);
+    }
+
+    #[test]
+    fn display_parse() {
+        assert_eq!(r(-3, 6).to_string(), "-1/2");
+        assert_eq!(r(4, 2).to_string(), "2");
+        assert_eq!("-1/2".parse::<BigRational>().unwrap(), r(-1, 2));
+        assert_eq!("17".parse::<BigRational>().unwrap(), r(17, 1));
+        assert!("1/0".parse::<BigRational>().is_err());
+        assert!("x/2".parse::<BigRational>().is_err());
+    }
+
+    #[test]
+    fn to_f64_and_i64() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert_eq!(r(-3, 4).to_f64(), -0.75);
+        assert_eq!(r(6, 3).to_i64(), Some(2));
+        assert_eq!(r(1, 2).to_i64(), None);
+        // Huge but ratio ~ 1.5: the scaled path must stay accurate.
+        let big = BigRational::new(
+            BigInt::pow2(2000) * BigInt::from(3),
+            BigInt::pow2(2001),
+        );
+        assert!((big.to_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = r(1, 2);
+        x += &r(1, 4);
+        assert_eq!(x, r(3, 4));
+        x -= &r(1, 4);
+        assert_eq!(x, r(1, 2));
+        x *= &r(4, 1);
+        assert_eq!(x, r(2, 1));
+    }
+}

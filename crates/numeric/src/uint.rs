@@ -1,0 +1,351 @@
+//! Unsigned magnitude arithmetic on little-endian `u32` limb vectors.
+//!
+//! Invariant maintained by every function here: no trailing zero limbs
+//! (the canonical representation of zero is the empty vector).
+
+pub type Limbs = Vec<u32>;
+
+const BASE_BITS: u32 = 32;
+
+/// Strip trailing zero limbs to restore canonical form.
+pub fn normalize(v: &mut Limbs) {
+    while v.last() == Some(&0) {
+        v.pop();
+    }
+}
+
+pub fn from_u64(x: u64) -> Limbs {
+    let mut v = vec![x as u32, (x >> 32) as u32];
+    normalize(&mut v);
+    v
+}
+
+/// Compare two canonical magnitudes.
+pub fn cmp(a: &[u32], b: &[u32]) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match a.len().cmp(&b.len()) {
+        Ordering::Equal => a.iter().rev().cmp(b.iter().rev()),
+        ord => ord,
+    }
+}
+
+/// `a + b`.
+pub fn add(a: &[u32], b: &[u32]) -> Limbs {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+        out.push(s as u32);
+        carry = s >> BASE_BITS;
+    }
+    if carry != 0 {
+        out.push(carry as u32);
+    }
+    out
+}
+
+/// `a - b`; caller must guarantee `a >= b`.
+pub fn sub(a: &[u32], b: &[u32]) -> Limbs {
+    debug_assert!(cmp(a, b) != std::cmp::Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0i64;
+    for i in 0..a.len() {
+        let d = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+        if d < 0 {
+            out.push((d + (1i64 << BASE_BITS)) as u32);
+            borrow = 1;
+        } else {
+            out.push(d as u32);
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0);
+    normalize(&mut out);
+    out
+}
+
+/// Schoolbook `a * b`.
+pub fn mul(a: &[u32], b: &[u32]) -> Limbs {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u32; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u64;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = out[i + j] as u64 + ai as u64 * bj as u64 + carry;
+            out[i + j] = t as u32;
+            carry = t >> BASE_BITS;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let t = out[k] as u64 + carry;
+            out[k] = t as u32;
+            carry = t >> BASE_BITS;
+            k += 1;
+        }
+    }
+    normalize(&mut out);
+    out
+}
+
+/// Multiply in place by a single limb and add a single-limb carry; used by
+/// the decimal parser.
+pub fn mul_add_small(v: &mut Limbs, m: u32, add: u32) {
+    let mut carry = add as u64;
+    for limb in v.iter_mut() {
+        let t = *limb as u64 * m as u64 + carry;
+        *limb = t as u32;
+        carry = t >> BASE_BITS;
+    }
+    while carry != 0 {
+        v.push(carry as u32);
+        carry >>= BASE_BITS;
+    }
+    normalize(v);
+}
+
+/// Divide by a single limb in place, returning the remainder; used by the
+/// decimal formatter.
+pub fn divmod_small(v: &mut Limbs, d: u32) -> u32 {
+    debug_assert!(d != 0);
+    let mut rem = 0u64;
+    for limb in v.iter_mut().rev() {
+        let cur = (rem << BASE_BITS) | *limb as u64;
+        *limb = (cur / d as u64) as u32;
+        rem = cur % d as u64;
+    }
+    normalize(v);
+    rem as u32
+}
+
+fn shl_bits(a: &[u32], s: u32) -> Limbs {
+    debug_assert!(s < BASE_BITS);
+    if s == 0 {
+        return a.to_vec();
+    }
+    let mut out = Vec::with_capacity(a.len() + 1);
+    let mut carry = 0u32;
+    for &x in a {
+        out.push((x << s) | carry);
+        carry = x >> (BASE_BITS - s);
+    }
+    if carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+fn shr_bits(a: &[u32], s: u32) -> Limbs {
+    debug_assert!(s < BASE_BITS);
+    if s == 0 {
+        let mut v = a.to_vec();
+        normalize(&mut v);
+        return v;
+    }
+    let mut out = vec![0u32; a.len()];
+    let mut carry = 0u32;
+    for (i, &x) in a.iter().enumerate().rev() {
+        out[i] = (x >> s) | carry;
+        carry = x << (BASE_BITS - s);
+    }
+    normalize(&mut out);
+    out
+}
+
+/// Knuth Algorithm D long division: returns `(quotient, remainder)`.
+/// Panics if `b` is zero.
+pub fn divrem(a: &[u32], b: &[u32]) -> (Limbs, Limbs) {
+    assert!(!b.is_empty(), "division by zero magnitude");
+    if cmp(a, b) == std::cmp::Ordering::Less {
+        let mut r = a.to_vec();
+        normalize(&mut r);
+        return (Vec::new(), r);
+    }
+    if b.len() == 1 {
+        let mut q = a.to_vec();
+        let r = divmod_small(&mut q, b[0]);
+        return (q, if r == 0 { Vec::new() } else { vec![r] });
+    }
+
+    // Normalize so the divisor's top limb has its high bit set.
+    let shift = b.last().unwrap().leading_zeros();
+    let bn = shl_bits(b, shift);
+    let mut an = shl_bits(a, shift);
+    an.push(0); // guard limb for the first iteration
+
+    let n = bn.len();
+    let m = an.len() - n - 1;
+    let mut q = vec![0u32; m + 1];
+    let btop = bn[n - 1] as u64;
+    let bsec = bn[n - 2] as u64;
+
+    for j in (0..=m).rev() {
+        // Estimate the quotient digit from the top two/three limbs.
+        let top = ((an[j + n] as u64) << BASE_BITS) | an[j + n - 1] as u64;
+        let mut qhat = top / btop;
+        let mut rhat = top % btop;
+        while qhat >= (1u64 << BASE_BITS)
+            || qhat * bsec > ((rhat << BASE_BITS) | an[j + n - 2] as u64)
+        {
+            qhat -= 1;
+            rhat += btop;
+            if rhat >= (1u64 << BASE_BITS) {
+                break;
+            }
+        }
+        // Multiply-subtract qhat * bn from an[j .. j+n+1].
+        let mut borrow = 0i64;
+        let mut carry = 0u64;
+        for i in 0..n {
+            let p = qhat * bn[i] as u64 + carry;
+            carry = p >> BASE_BITS;
+            let d = an[j + i] as i64 - (p as u32) as i64 - borrow;
+            if d < 0 {
+                an[j + i] = (d + (1i64 << BASE_BITS)) as u32;
+                borrow = 1;
+            } else {
+                an[j + i] = d as u32;
+                borrow = 0;
+            }
+        }
+        let d = an[j + n] as i64 - carry as i64 - borrow;
+        if d < 0 {
+            // qhat was one too large: add back.
+            an[j + n] = (d + (1i64 << BASE_BITS)) as u32;
+            qhat -= 1;
+            let mut c = 0u64;
+            for i in 0..n {
+                let s = an[j + i] as u64 + bn[i] as u64 + c;
+                an[j + i] = s as u32;
+                c = s >> BASE_BITS;
+            }
+            an[j + n] = an[j + n].wrapping_add(c as u32);
+        } else {
+            an[j + n] = d as u32;
+        }
+        q[j] = qhat as u32;
+    }
+
+    normalize(&mut q);
+    let mut r = an[..n].to_vec();
+    normalize(&mut r);
+    let r = shr_bits(&r, shift);
+    (q, r)
+}
+
+/// Binary gcd on magnitudes.
+pub fn gcd(a: &[u32], b: &[u32]) -> Limbs {
+    let mut a = a.to_vec();
+    let mut b = b.to_vec();
+    normalize(&mut a);
+    normalize(&mut b);
+    // Euclidean algorithm; divrem is fast enough at our sizes.
+    while !b.is_empty() {
+        let (_, r) = divrem(&a, &b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_u128(v: &[u32]) -> u128 {
+        v.iter()
+            .rev()
+            .fold(0u128, |acc, &x| (acc << BASE_BITS) | x as u128)
+    }
+
+    fn from_u128(mut x: u128) -> Limbs {
+        let mut v = Vec::new();
+        while x != 0 {
+            v.push(x as u32);
+            x >>= BASE_BITS;
+        }
+        v
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = from_u128(0xdead_beef_0123_4567_89ab_cdef);
+        let b = from_u128(0xffff_ffff_ffff_ffff);
+        let s = add(&a, &b);
+        assert_eq!(to_u128(&s), to_u128(&a) + to_u128(&b));
+        assert_eq!(sub(&s, &b), a);
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = from_u128(0x1234_5678_9abc);
+        let b = from_u128(0xfedc_ba98);
+        assert_eq!(to_u128(&mul(&a, &b)), to_u128(&a) * to_u128(&b));
+    }
+
+    #[test]
+    fn divrem_matches_u128() {
+        let cases: &[(u128, u128)] = &[
+            (0, 1),
+            (7, 3),
+            (u64::MAX as u128 + 5, u32::MAX as u128),
+            (0xdead_beef_dead_beef_dead_beef, 0x1_0000_0001),
+            (0xffff_ffff_ffff_ffff_ffff_ffff, 0xffff_ffff_ffff_fffe),
+            (12345678901234567890, 12345678901234567890),
+            (12345678901234567889, 12345678901234567890),
+        ];
+        for &(a, b) in cases {
+            let (q, r) = divrem(&from_u128(a), &from_u128(b));
+            assert_eq!(to_u128(&q), a / b, "q for {a}/{b}");
+            assert_eq!(to_u128(&r), a % b, "r for {a}/{b}");
+        }
+    }
+
+    #[test]
+    fn divrem_large_random() {
+        // Deterministic pseudo-random torture via a simple LCG.
+        let mut state = 0x853c49e6748fea9bu128;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 8
+        };
+        for _ in 0..500 {
+            let a = next();
+            let b = next() % (1 << 67) + 1;
+            let (q, r) = divrem(&from_u128(a), &from_u128(b));
+            assert_eq!(to_u128(&q), a / b);
+            assert_eq!(to_u128(&r), a % b);
+        }
+    }
+
+    #[test]
+    fn small_helpers() {
+        let mut v = from_u128(1);
+        for _ in 0..25 {
+            mul_add_small(&mut v, 10, 7);
+        }
+        let expect = (0..25).fold(1u128, |acc, _| acc * 10 + 7);
+        assert_eq!(to_u128(&v), expect);
+        let r = divmod_small(&mut v, 1_000_000_007);
+        assert_eq!(to_u128(&v), expect / 1_000_000_007);
+        assert_eq!(r as u128, expect % 1_000_000_007);
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(to_u128(&gcd(&from_u128(48), &from_u128(36))), 12);
+        assert_eq!(to_u128(&gcd(&from_u128(0), &from_u128(5))), 5);
+        assert_eq!(
+            to_u128(&gcd(
+                &from_u128(2 * 3 * 5 * 7 * 11 * 13 * 17 * 19),
+                &from_u128(3 * 7 * 13 * 19 * 23)
+            )),
+            (3 * 7 * 13 * 19) as u128
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests: BigInt/BigRational must agree with i128 arithmetic on
+//! values that fit, and satisfy the ring/field axioms beyond that range.
+
+use numeric::{BigInt, BigRational};
+use proptest::prelude::*;
+
+fn big(v: i64) -> BigInt {
+    BigInt::from(v)
+}
+
+proptest! {
+    #[test]
+    fn bigint_matches_i128(a in -1_000_000_000_000i64..1_000_000_000_000, b in -1_000_000_000_000i64..1_000_000_000_000) {
+        let (ba, bb) = (big(a), big(b));
+        prop_assert_eq!((&ba + &bb).to_string(), (a as i128 + b as i128).to_string());
+        prop_assert_eq!((&ba - &bb).to_string(), (a as i128 - b as i128).to_string());
+        prop_assert_eq!((&ba * &bb).to_string(), (a as i128 * b as i128).to_string());
+        if b != 0 {
+            prop_assert_eq!((&ba / &bb).to_string(), (a as i128 / b as i128).to_string());
+            prop_assert_eq!((&ba % &bb).to_string(), (a as i128 % b as i128).to_string());
+        }
+        prop_assert_eq!(ba.cmp(&bb), a.cmp(&b));
+    }
+
+    #[test]
+    fn bigint_ring_axioms(a in any::<i64>(), b in any::<i64>(), c in any::<i64>()) {
+        let (ba, bb, bc) = (big(a), big(b), big(c));
+        // Associativity and commutativity through wide values.
+        prop_assert_eq!(&(&ba + &bb) + &bc, &ba + &(&bb + &bc));
+        prop_assert_eq!(&ba * &bb, &bb * &ba);
+        // Distributivity.
+        prop_assert_eq!(&ba * &(&bb + &bc), &(&ba * &bb) + &(&ba * &bc));
+        // Additive inverse.
+        prop_assert!((&ba + &(-&ba)).is_zero());
+    }
+
+    #[test]
+    fn bigint_divrem_reconstructs(a in any::<i64>(), b in any::<i64>()) {
+        prop_assume!(b != 0);
+        let (ba, bb) = (big(a), big(b));
+        let (q, r) = ba.div_rem(&bb);
+        prop_assert_eq!(&(&q * &bb) + &r, ba.clone());
+        prop_assert!(r.abs() < bb.abs());
+    }
+
+    #[test]
+    fn bigint_parse_display_roundtrip(a in any::<i64>()) {
+        let b = big(a);
+        let s = b.to_string();
+        let back: BigInt = s.parse().unwrap();
+        prop_assert_eq!(b, back);
+        prop_assert_eq!(s, a.to_string());
+    }
+
+    #[test]
+    fn rational_field_axioms(
+        an in -10_000i64..10_000, ad in 1i64..100,
+        bn in -10_000i64..10_000, bd in 1i64..100,
+        cn in -10_000i64..10_000, cd in 1i64..100,
+    ) {
+        let r = |n, d| BigRational::new(BigInt::from(n), BigInt::from(d));
+        let (a, b, c) = (r(an, ad), r(bn, bd), r(cn, cd));
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert!((&a - &a).is_zero());
+        if !a.is_zero() {
+            prop_assert_eq!(&a * &a.recip(), BigRational::one());
+            prop_assert_eq!(&(&b / &a) * &a, b.clone());
+        }
+    }
+
+    #[test]
+    fn rational_ordering_is_total_and_consistent(
+        an in -1000i64..1000, ad in 1i64..50,
+        bn in -1000i64..1000, bd in 1i64..50,
+    ) {
+        let r = |n, d| BigRational::new(BigInt::from(n), BigInt::from(d));
+        let (a, b) = (r(an, ad), r(bn, bd));
+        // Cross-multiplication ground truth (denominators positive).
+        let lhs = (an as i128) * (bd as i128);
+        let rhs = (bn as i128) * (ad as i128);
+        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+        // Sign agreement between cmp and subtraction.
+        let d = &a - &b;
+        prop_assert_eq!(d.signum(), match a.cmp(&b) {
+            std::cmp::Ordering::Less => -1,
+            std::cmp::Ordering::Equal => 0,
+            std::cmp::Ordering::Greater => 1,
+        });
+    }
+
+    #[test]
+    fn rational_always_reduced(n in -100_000i64..100_000, d in 1i64..10_000) {
+        let x = BigRational::new(BigInt::from(n), BigInt::from(d));
+        let g = x.numer().gcd(x.denom());
+        prop_assert!(g == BigInt::one() || x.is_zero());
+        prop_assert!(x.denom().is_positive());
+    }
+
+    #[test]
+    fn pow2_times_pow2(a in 0usize..200, b in 0usize..200) {
+        prop_assert_eq!(BigInt::pow2(a) * BigInt::pow2(b), BigInt::pow2(a + b));
+        prop_assert_eq!(BigInt::pow2(a).bits(), a + 1);
+    }
+}

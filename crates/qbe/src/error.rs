@@ -1,0 +1,44 @@
+//! Error type shared by the QBE solvers.
+
+use relational::ProductError;
+use std::fmt;
+
+/// Failure modes of the QBE algorithms. All of them reflect genuine
+/// complexity walls of the problem (Theorem 6.1), not implementation
+/// shortcuts: the caller chooses how much exponential blowup to allow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QbeError {
+    /// `S⁺` is empty; the product characterization needs at least one
+    /// positive example.
+    EmptyPositives,
+    /// The direct product `∏_{a∈S⁺}(D,a)` exceeded the fact budget.
+    ProductTooLarge { budget: usize },
+    /// A `GHW(k)` explanation exists but its extraction exceeded the node
+    /// budget (explanations can be exponentially large; cf. Theorem 6.7).
+    ExtractBudget { nodes: usize },
+}
+
+impl fmt::Display for QbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QbeError::EmptyPositives => write!(f, "QBE requires a nonempty S+"),
+            QbeError::ProductTooLarge { budget } => {
+                write!(f, "direct product exceeds the fact budget of {budget}")
+            }
+            QbeError::ExtractBudget { nodes } => {
+                write!(f, "explanation extraction exceeded {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QbeError {}
+
+impl From<ProductError> for QbeError {
+    fn from(e: ProductError) -> QbeError {
+        match e {
+            ProductError::TooLarge { budget } => QbeError::ProductTooLarge { budget },
+            ProductError::Empty => QbeError::EmptyPositives,
+        }
+    }
+}

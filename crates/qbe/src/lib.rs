@@ -1,0 +1,33 @@
+//! Query-by-Example (QBE) solvers (§6.1 of Barceló et al., PODS 2019).
+//!
+//! Given a database `D` and unary relations `S⁺`, `S⁻`, an
+//! `L`-*explanation* is a query `q ∈ L` with `S⁺ ⊆ q(D)` and
+//! `q(D) ∩ S⁻ = ∅`. Theorem 6.1 (ten Cate–Dalmau, Willard,
+//! Barceló–Romero) pins the complexity: coNEXPTIME-complete for CQ,
+//! EXPTIME-complete for `GHW(k)`; Proposition 6.11 adds NP-completeness
+//! for `CQ[m]`. Lemma 6.5 then transfers all of these to the
+//! bounded-dimension separability problems — the reduction lives in the
+//! `cqsep` crate.
+//!
+//! The algorithmic core is the **product homomorphism** characterization:
+//! the direct product `P = ∏_{a ∈ S⁺} (D, a)` with point `ā` is the most
+//! specific pointed structure all positives embed into, so
+//!
+//! * a CQ explanation exists iff `(P, ā) ↛ (D, b)` for every `b ∈ S⁻`
+//!   (and then the canonical CQ of `(P, ā)` is one);
+//! * a `GHW(k)` explanation exists iff `(P, ā) ↛_k (D, b)` for every
+//!   `b ∈ S⁻` (Proposition 5.2), with an explanation assembled by
+//!   conjoining cover-game extractions.
+//!
+//! The product is exponential in `|S⁺|` — exactly the coNEXPTIME/EXPTIME
+//! wall — so all entry points take explicit budgets and fail loudly.
+
+pub mod cqm;
+pub mod error;
+pub mod ghw;
+pub mod product_hom;
+
+pub use cqm::cqm_qbe;
+pub use error::QbeError;
+pub use ghw::{ghw_qbe_decide, ghw_qbe_explain};
+pub use product_hom::{cq_qbe_decide, cq_qbe_explain};

@@ -1,0 +1,139 @@
+//! Property tests for the QBE solvers: produced explanations must
+//! validate, and the lattice of QBE answers must respect monotonicity in
+//! the example sets and in the query-class hierarchy.
+
+use cq::{evaluate_unary, EnumConfig};
+use proptest::prelude::*;
+use qbe::{cq_qbe_decide, cq_qbe_explain, cqm_qbe, ghw_qbe_decide, ghw_qbe_explain};
+use relational::{Database, Schema, Val};
+
+fn graph(n: usize, edges: &[(usize, usize)]) -> Database {
+    let mut s = Schema::entity_schema();
+    s.add_relation("E", 2);
+    let mut db = Database::new(s);
+    let vals: Vec<Val> = (0..n).map(|i| db.value(&format!("v{i}"))).collect();
+    let e = db.schema().rel_by_name("E").unwrap();
+    for &(a, b) in edges {
+        db.add_fact(e, vec![vals[a % n], vals[b % n]]);
+    }
+    for &v in &vals {
+        db.add_entity(v);
+    }
+    db
+}
+
+fn instance() -> impl Strategy<Value = (Database, Vec<Val>, Vec<Val>)> {
+    (2usize..5)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                proptest::collection::vec((0..n, 0..n), 1..(2 * n)),
+                1usize..(1 << n) - 1, // nonempty proper subset mask
+            )
+        })
+        .prop_map(|(n, edges, mask)| {
+            let d = graph(n, &edges);
+            let pos: Vec<Val> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| Val(i as u32))
+                .collect();
+            let neg: Vec<Val> = (0..n)
+                .filter(|i| mask & (1 << i) == 0)
+                .map(|i| Val(i as u32))
+                .collect();
+            (d, pos, neg)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Any produced CQ explanation must actually explain.
+    #[test]
+    fn cq_explanations_validate((d, pos, neg) in instance()) {
+        match cq_qbe_explain(&d, &pos, &neg, 500_000) {
+            Ok(Some(q)) => {
+                let sel = evaluate_unary(&q.clone().with_entity_guard(), &d);
+                for p in &pos {
+                    prop_assert!(sel.contains(p), "positive missing: {q}");
+                }
+                for n in &neg {
+                    prop_assert!(!sel.contains(n), "negative selected: {q}");
+                }
+                prop_assert!(cq_qbe_decide(&d, &pos, &neg, 500_000).unwrap());
+            }
+            Ok(None) => {
+                prop_assert!(!cq_qbe_decide(&d, &pos, &neg, 500_000).unwrap());
+            }
+            Err(_) => {} // budget; nothing to check
+        }
+    }
+
+    /// GHW(k) explanations validate, land in the width class, and imply
+    /// CQ explainability. (k = 2 games on large products are genuinely
+    /// expensive — the EXPTIME wall — so width-2 checks are restricted to
+    /// single-positive products.)
+    #[test]
+    fn ghw_explanations_validate((d, pos, neg) in instance(), k in 1usize..3) {
+        prop_assume!(k == 1 || pos.len() == 1);
+        match ghw_qbe_explain(&d, &pos, &neg, k, 50_000, 100_000) {
+            Ok(Some(q)) => {
+                let sel = evaluate_unary(&q.clone().with_entity_guard(), &d);
+                for p in &pos {
+                    prop_assert!(sel.contains(p), "positive missing: {q}");
+                }
+                for n in &neg {
+                    prop_assert!(!sel.contains(n), "negative selected: {q}");
+                }
+                if q.atoms().len() <= 10 {
+                    prop_assert!(cq::ghw(&q) <= k, "width violation at k={k}: {q}");
+                }
+                // GHW(k) ⊆ CQ.
+                prop_assert!(cq_qbe_decide(&d, &pos, &neg, 500_000).unwrap());
+            }
+            Ok(None) => {
+                prop_assert!(!ghw_qbe_decide(&d, &pos, &neg, k, 50_000).unwrap());
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Shrinking S⁺ or S⁻ can only make explanation easier.
+    #[test]
+    fn qbe_monotone_in_examples((d, pos, neg) in instance()) {
+        if let Ok(true) = cq_qbe_decide(&d, &pos, &neg, 500_000) {
+            // Drop one positive (if ≥ 2 remain nonempty).
+            if pos.len() >= 2 {
+                prop_assert!(cq_qbe_decide(&d, &pos[1..], &neg, 500_000).unwrap());
+            }
+            // Drop one negative.
+            if !neg.is_empty() {
+                prop_assert!(cq_qbe_decide(&d, &pos, &neg[1..], 500_000).unwrap());
+            }
+        }
+    }
+
+    /// Class hierarchy: CQ[m] explanation ⇒ GHW(m) explanation ⇒ CQ
+    /// explanation.
+    #[test]
+    fn qbe_class_hierarchy((d, pos, neg) in instance(), m in 1usize..3) {
+        prop_assume!(m == 1 || pos.len() == 1);
+        if cqm_qbe(&d, &pos, &neg, &EnumConfig::cqm(m).syntactic()).is_some() {
+            prop_assert!(ghw_qbe_decide(&d, &pos, &neg, m, 50_000).unwrap());
+            prop_assert!(cq_qbe_decide(&d, &pos, &neg, 500_000).unwrap());
+        }
+    }
+
+    /// GHW(k) explanation existence is monotone in k. Width-2 games on
+    /// multi-positive products are the EXPTIME wall; restrict to
+    /// single-positive instances where the product is the factor itself.
+    #[test]
+    fn ghw_qbe_monotone_in_k((d, pos, neg) in instance()) {
+        prop_assume!(pos.len() == 1);
+        let k1 = ghw_qbe_decide(&d, &pos, &neg, 1, 50_000).unwrap();
+        let k2 = ghw_qbe_decide(&d, &pos, &neg, 2, 50_000).unwrap();
+        if k1 {
+            prop_assert!(k2, "GHW(1) explanation is a GHW(2) explanation");
+        }
+    }
+}

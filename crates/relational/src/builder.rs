@@ -1,0 +1,118 @@
+//! A small fluent builder for constructing databases in tests, examples,
+//! and workload generators.
+
+use crate::database::Database;
+use crate::labeling::{Label, Labeling, TrainingDb};
+use crate::schema::Schema;
+
+/// Fluent construction of a [`Database`] (and optionally a [`TrainingDb`]).
+///
+/// ```
+/// use relational::{DbBuilder, Schema};
+///
+/// let mut schema = Schema::entity_schema();
+/// schema.add_relation("edge", 2);
+/// let train = DbBuilder::new(schema)
+///     .fact("edge", &["a", "b"])
+///     .fact("edge", &["b", "c"])
+///     .entity("a")
+///     .entity("c")
+///     .positive("a")
+///     .negative("c")
+///     .training();
+/// assert_eq!(train.db.entities().len(), 2);
+/// ```
+pub struct DbBuilder {
+    db: Database,
+    labels: Vec<(String, Label)>,
+}
+
+impl DbBuilder {
+    pub fn new(schema: Schema) -> DbBuilder {
+        DbBuilder { db: Database::new(schema), labels: Vec::new() }
+    }
+
+    /// Start from an existing database (e.g., to extend a generated one).
+    pub fn from_db(db: Database) -> DbBuilder {
+        DbBuilder { db, labels: Vec::new() }
+    }
+
+    pub fn fact(mut self, rel: &str, args: &[&str]) -> DbBuilder {
+        self.db.add_named_fact(rel, args);
+        self
+    }
+
+    /// Intern an element without putting it in any fact.
+    pub fn element(mut self, name: &str) -> DbBuilder {
+        self.db.value(name);
+        self
+    }
+
+    /// Mark `name` as an entity (`η(name)`).
+    pub fn entity(mut self, name: &str) -> DbBuilder {
+        let v = self.db.value(name);
+        self.db.add_entity(v);
+        self
+    }
+
+    /// Mark `name` as a positively-labeled entity (adds `η` if missing).
+    pub fn positive(mut self, name: &str) -> DbBuilder {
+        let v = self.db.value(name);
+        self.db.add_entity(v);
+        self.labels.push((name.to_string(), Label::Positive));
+        self
+    }
+
+    /// Mark `name` as a negatively-labeled entity (adds `η` if missing).
+    pub fn negative(mut self, name: &str) -> DbBuilder {
+        let v = self.db.value(name);
+        self.db.add_entity(v);
+        self.labels.push((name.to_string(), Label::Negative));
+        self
+    }
+
+    pub fn build(self) -> Database {
+        self.db
+    }
+
+    /// Finish as a training database. Every entity must have been labeled
+    /// via [`DbBuilder::positive`]/[`DbBuilder::negative`].
+    pub fn training(self) -> TrainingDb {
+        let mut labeling = Labeling::new();
+        for (name, label) in &self.labels {
+            let v = self.db.val_by_name(name).unwrap();
+            labeling.set(v, *label);
+        }
+        TrainingDb::new(self.db, labeling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Label;
+
+    #[test]
+    fn builder_constructs_training_db() {
+        let mut schema = Schema::entity_schema();
+        schema.add_relation("R", 1);
+        let t = DbBuilder::new(schema)
+            .fact("R", &["a"])
+            .positive("a")
+            .negative("b")
+            .training();
+        let a = t.db.val_by_name("a").unwrap();
+        let b = t.db.val_by_name("b").unwrap();
+        assert_eq!(t.labeling.get(a), Label::Positive);
+        assert_eq!(t.labeling.get(b), Label::Negative);
+        assert_eq!(t.positives(), vec![a]);
+        assert_eq!(t.negatives(), vec![b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unlabeled entity")]
+    fn unlabeled_entity_panics() {
+        let schema = Schema::entity_schema();
+        DbBuilder::new(schema).entity("a").training();
+    }
+}

@@ -1,0 +1,313 @@
+//! Databases: finite sets of facts over a schema, with the indexes the
+//! homomorphism solver and cover-game solver rely on.
+
+use crate::ids::{RelId, Val};
+use crate::schema::Schema;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A single fact `R(ā)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    pub rel: RelId,
+    pub args: Vec<Val>,
+}
+
+impl Fact {
+    pub fn new(rel: RelId, args: Vec<Val>) -> Fact {
+        Fact { rel, args }
+    }
+}
+
+/// A finite database over a [`Schema`].
+///
+/// Elements are dense [`Val`]s with optional human-readable names; facts
+/// are deduplicated (a database is a *set* of facts). Three indexes are
+/// maintained incrementally:
+///
+/// * facts grouped by relation,
+/// * facts by `(relation, position, value)` — the forward-checking index
+///   of the homomorphism solver,
+/// * facts by value — the cover enumeration index of the k-cover game.
+#[derive(Clone)]
+pub struct Database {
+    schema: Schema,
+    val_names: Vec<String>,
+    name_to_val: HashMap<String, Val>,
+    facts: Vec<Fact>,
+    fact_set: HashSet<Fact>,
+    by_rel: Vec<Vec<usize>>,
+    by_rel_pos_val: HashMap<(RelId, u32, Val), Vec<usize>>,
+    by_val: Vec<Vec<usize>>,
+}
+
+impl Database {
+    pub fn new(schema: Schema) -> Database {
+        let rel_count = schema.rel_count();
+        Database {
+            schema,
+            val_names: Vec::new(),
+            name_to_val: HashMap::new(),
+            facts: Vec::new(),
+            fact_set: HashSet::new(),
+            by_rel: vec![Vec::new(); rel_count],
+            by_rel_pos_val: HashMap::new(),
+            by_val: Vec::new(),
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Intern a named element, creating it on first use.
+    pub fn value(&mut self, name: &str) -> Val {
+        if let Some(&v) = self.name_to_val.get(name) {
+            return v;
+        }
+        let v = Val(self.val_names.len() as u32);
+        self.val_names.push(name.to_string());
+        self.name_to_val.insert(name.to_string(), v);
+        self.by_val.push(Vec::new());
+        v
+    }
+
+    /// Create a fresh anonymous element.
+    pub fn fresh_value(&mut self) -> Val {
+        let name = format!("_v{}", self.val_names.len());
+        self.value(&name)
+    }
+
+    pub fn val_name(&self, v: Val) -> &str {
+        &self.val_names[v.index()]
+    }
+
+    pub fn val_by_name(&self, name: &str) -> Option<Val> {
+        self.name_to_val.get(name).copied()
+    }
+
+    /// Number of elements ever interned. Note: the paper's `dom(D)` is the
+    /// set of elements occurring in facts; see [`Database::active_dom`].
+    pub fn dom_size(&self) -> usize {
+        self.val_names.len()
+    }
+
+    pub fn dom(&self) -> impl Iterator<Item = Val> + '_ {
+        (0..self.val_names.len() as u32).map(Val)
+    }
+
+    /// `dom(D)` in the paper's sense: elements that occur in some fact.
+    pub fn active_dom(&self) -> Vec<Val> {
+        self.dom().filter(|v| !self.by_val[v.index()].is_empty()).collect()
+    }
+
+    /// Add a fact; returns `false` if it was already present.
+    ///
+    /// # Panics
+    /// Panics if the arity does not match the schema or an argument is an
+    /// unknown element.
+    pub fn add_fact(&mut self, rel: RelId, args: Vec<Val>) -> bool {
+        assert_eq!(
+            args.len(),
+            self.schema.arity(rel),
+            "arity mismatch for {}",
+            self.schema.name(rel)
+        );
+        for &a in &args {
+            assert!(a.index() < self.val_names.len(), "unknown value {a:?}");
+        }
+        let fact = Fact::new(rel, args);
+        if self.fact_set.contains(&fact) {
+            return false;
+        }
+        let idx = self.facts.len();
+        self.by_rel[rel.index()].push(idx);
+        for (pos, &a) in fact.args.iter().enumerate() {
+            self.by_rel_pos_val.entry((rel, pos as u32, a)).or_default().push(idx);
+            // `by_val` deduplicates within a fact (an element may repeat).
+            if fact.args[..pos].iter().all(|&b| b != a) {
+                self.by_val[a.index()].push(idx);
+            }
+        }
+        self.fact_set.insert(fact.clone());
+        self.facts.push(fact);
+        true
+    }
+
+    /// Add a fact identified by relation and element names, interning
+    /// elements on the fly.
+    pub fn add_named_fact(&mut self, rel_name: &str, args: &[&str]) -> bool {
+        let rel = self
+            .schema
+            .rel_by_name(rel_name)
+            .unwrap_or_else(|| panic!("unknown relation {rel_name:?}"));
+        let vals: Vec<Val> = args.iter().map(|a| self.value(a)).collect();
+        self.add_fact(rel, vals)
+    }
+
+    pub fn fact_count(&self) -> usize {
+        self.facts.len()
+    }
+
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    pub fn fact(&self, idx: usize) -> &Fact {
+        &self.facts[idx]
+    }
+
+    pub fn has_fact(&self, rel: RelId, args: &[Val]) -> bool {
+        // Cheap membership without allocating: probe the positional index.
+        match self.by_rel_pos_val.get(&(rel, 0, args[0])) {
+            None => false,
+            Some(idxs) => idxs.iter().any(|&i| self.facts[i].args == args),
+        }
+    }
+
+    /// Indices of facts of relation `rel`.
+    pub fn facts_of_rel(&self, rel: RelId) -> &[usize] {
+        &self.by_rel[rel.index()]
+    }
+
+    /// Indices of facts with value `v` at position `pos` of relation `rel`.
+    pub fn facts_with(&self, rel: RelId, pos: u32, v: Val) -> &[usize] {
+        self.by_rel_pos_val.get(&(rel, pos, v)).map_or(&[], |x| x)
+    }
+
+    /// Indices of facts containing `v` anywhere.
+    pub fn facts_of_val(&self, v: Val) -> &[usize] {
+        &self.by_val[v.index()]
+    }
+
+    /// Relations that actually have at least one fact.
+    pub fn populated_rels(&self) -> Vec<RelId> {
+        self.schema
+            .rel_ids()
+            .filter(|r| !self.by_rel[r.index()].is_empty())
+            .collect()
+    }
+
+    /// The entities: elements `e` with `η(e) ∈ D`.
+    pub fn entities(&self) -> Vec<Val> {
+        let eta = self.schema.entity_rel_required();
+        self.by_rel[eta.index()]
+            .iter()
+            .map(|&i| self.facts[i].args[0])
+            .collect()
+    }
+
+    /// Mark an element as an entity (insert `η(v)`).
+    pub fn add_entity(&mut self, v: Val) -> bool {
+        let eta = self.schema.entity_rel_required();
+        self.add_fact(eta, vec![v])
+    }
+
+    /// Is `η(v) ∈ D`?
+    pub fn is_entity(&self, v: Val) -> bool {
+        let eta = self.schema.entity_rel_required();
+        self.has_fact(eta, &[v])
+    }
+
+    /// Total size `|D|` measured as the number of cells (fact arguments);
+    /// the usual yardstick in combined-complexity statements.
+    pub fn size_cells(&self) -> usize {
+        self.facts.iter().map(|f| f.args.len()).sum()
+    }
+
+    /// Render a fact for debugging / the text format.
+    pub fn fact_to_string(&self, f: &Fact) -> String {
+        let args: Vec<&str> = f.args.iter().map(|&a| self.val_name(a)).collect();
+        format!("{}({})", self.schema.name(f.rel), args.join(","))
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Database[{} elems, {} facts]", self.dom_size(), self.fact_count())?;
+        let mut lines: Vec<String> = self.facts.iter().map(|x| self.fact_to_string(x)).collect();
+        lines.sort();
+        for l in lines {
+            writeln!(f, "  {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    #[test]
+    fn add_facts_and_dedup() {
+        let mut d = Database::new(graph_schema());
+        assert!(d.add_named_fact("E", &["a", "b"]));
+        assert!(!d.add_named_fact("E", &["a", "b"]));
+        assert!(d.add_named_fact("E", &["b", "a"]));
+        assert_eq!(d.fact_count(), 2);
+        assert_eq!(d.dom_size(), 2);
+        assert_eq!(d.size_cells(), 4);
+    }
+
+    #[test]
+    fn indexes_are_consistent() {
+        let mut d = Database::new(graph_schema());
+        d.add_named_fact("E", &["a", "b"]);
+        d.add_named_fact("E", &["a", "c"]);
+        d.add_named_fact("E", &["b", "c"]);
+        let e = d.schema().rel_by_name("E").unwrap();
+        let a = d.val_by_name("a").unwrap();
+        let c = d.val_by_name("c").unwrap();
+        assert_eq!(d.facts_of_rel(e).len(), 3);
+        assert_eq!(d.facts_with(e, 0, a).len(), 2);
+        assert_eq!(d.facts_with(e, 1, c).len(), 2);
+        assert_eq!(d.facts_of_val(a).len(), 2);
+        assert!(d.has_fact(e, &[a, c]));
+        assert!(!d.has_fact(e, &[c, a]));
+    }
+
+    #[test]
+    fn self_loop_counted_once_in_by_val() {
+        let mut d = Database::new(graph_schema());
+        d.add_named_fact("E", &["a", "a"]);
+        let a = d.val_by_name("a").unwrap();
+        assert_eq!(d.facts_of_val(a).len(), 1);
+    }
+
+    #[test]
+    fn entities_roundtrip() {
+        let mut d = Database::new(graph_schema());
+        d.add_named_fact("E", &["a", "b"]);
+        let a = d.val_by_name("a").unwrap();
+        let b = d.val_by_name("b").unwrap();
+        d.add_entity(a);
+        assert!(d.is_entity(a));
+        assert!(!d.is_entity(b));
+        assert_eq!(d.entities(), vec![a]);
+    }
+
+    #[test]
+    fn active_dom_excludes_isolated_values() {
+        let mut d = Database::new(graph_schema());
+        let a = d.value("a");
+        let _lonely = d.value("z");
+        d.add_entity(a);
+        assert_eq!(d.active_dom(), vec![a]);
+        assert_eq!(d.dom_size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut d = Database::new(graph_schema());
+        let a = d.value("a");
+        let e = d.schema().rel_by_name("E").unwrap();
+        d.add_fact(e, vec![a]);
+    }
+}

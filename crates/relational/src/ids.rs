@@ -1,0 +1,58 @@
+//! Dense integer identifiers for relation symbols and domain elements.
+//!
+//! Both identifiers index into per-[`crate::Database`] vectors, so all hot
+//! data structures (candidate sets in the homomorphism solver, pebble
+//! positions in the cover game) are flat arrays rather than hash maps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A relation symbol, scoped to one [`crate::Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelId(pub u32);
+
+/// A domain element, scoped to one [`crate::Database`].
+///
+/// Values are dense: a database with `n` elements uses exactly
+/// `Val(0) .. Val(n-1)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Val(pub u32);
+
+impl RelId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl Val {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_indexable() {
+        assert!(Val(1) < Val(2));
+        assert_eq!(Val(7).index(), 7);
+        assert_eq!(RelId(3).index(), 3);
+        assert_eq!(format!("{:?}/{:?}", RelId(1), Val(2)), "r1/v2");
+    }
+}

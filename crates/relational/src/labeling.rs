@@ -1,0 +1,186 @@
+//! Labelings and training databases (§3 of the paper).
+
+use crate::database::Database;
+use crate::ids::Val;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A ±1 example label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    Positive,
+    Negative,
+}
+
+impl Label {
+    /// The paper's numeric convention: +1 / -1.
+    pub fn to_i32(self) -> i32 {
+        match self {
+            Label::Positive => 1,
+            Label::Negative => -1,
+        }
+    }
+
+    pub fn from_sign(x: i32) -> Label {
+        if x >= 0 {
+            Label::Positive
+        } else {
+            Label::Negative
+        }
+    }
+
+    pub fn flip(self) -> Label {
+        match self {
+            Label::Positive => Label::Negative,
+            Label::Negative => Label::Positive,
+        }
+    }
+}
+
+/// A labeling `λ : η(D) → {1, -1}`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Labeling {
+    map: HashMap<Val, Label>,
+}
+
+impl Labeling {
+    pub fn new() -> Labeling {
+        Labeling::default()
+    }
+
+    pub fn set(&mut self, e: Val, label: Label) {
+        self.map.insert(e, label);
+    }
+
+    /// The label of entity `e`.
+    ///
+    /// # Panics
+    /// Panics for unlabeled entities: a training database must label all of
+    /// `η(D)` (checked in [`TrainingDb::new`]).
+    pub fn get(&self, e: Val) -> Label {
+        *self.map.get(&e).unwrap_or_else(|| panic!("unlabeled entity {e:?}"))
+    }
+
+    pub fn try_get(&self, e: Val) -> Option<Label> {
+        self.map.get(&e).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of entities on which two labelings disagree (both must label
+    /// the same set).
+    pub fn disagreement(&self, other: &Labeling) -> usize {
+        self.map
+            .iter()
+            .filter(|(e, l)| other.get(**e) != **l)
+            .count()
+    }
+}
+
+impl FromIterator<(Val, Label)> for Labeling {
+    fn from_iter<I: IntoIterator<Item = (Val, Label)>>(iter: I) -> Labeling {
+        Labeling { map: iter.into_iter().collect() }
+    }
+}
+
+/// A training database `(D, λ)`: a database over an entity schema together
+/// with a total labeling of its entities.
+#[derive(Clone, Debug)]
+pub struct TrainingDb {
+    pub db: Database,
+    pub labeling: Labeling,
+}
+
+impl TrainingDb {
+    /// # Panics
+    /// Panics if some entity of `db` is unlabeled (a labeling must
+    /// partition `η(D)`), or if the schema has no entity relation.
+    pub fn new(db: Database, labeling: Labeling) -> TrainingDb {
+        for e in db.entities() {
+            if labeling.try_get(e).is_none() {
+                panic!("unlabeled entity {:?} ({})", e, db.val_name(e));
+            }
+        }
+        TrainingDb { db, labeling }
+    }
+
+    pub fn entities(&self) -> Vec<Val> {
+        self.db.entities()
+    }
+
+    pub fn positives(&self) -> Vec<Val> {
+        self.db
+            .entities()
+            .into_iter()
+            .filter(|&e| self.labeling.get(e) == Label::Positive)
+            .collect()
+    }
+
+    pub fn negatives(&self) -> Vec<Val> {
+        self.db
+            .entities()
+            .into_iter()
+            .filter(|&e| self.labeling.get(e) == Label::Negative)
+            .collect()
+    }
+
+    /// All (positive, negative) entity pairs — the pairs every separability
+    /// test in the paper quantifies over.
+    pub fn opposing_pairs(&self) -> Vec<(Val, Val)> {
+        let pos = self.positives();
+        let neg = self.negatives();
+        let mut out = Vec::with_capacity(pos.len() * neg.len());
+        for &p in &pos {
+            for &n in &neg {
+                out.push((p, n));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DbBuilder;
+    use crate::schema::Schema;
+
+    #[test]
+    fn label_arithmetic() {
+        assert_eq!(Label::Positive.to_i32(), 1);
+        assert_eq!(Label::Negative.to_i32(), -1);
+        assert_eq!(Label::from_sign(0), Label::Positive);
+        assert_eq!(Label::from_sign(-3), Label::Negative);
+        assert_eq!(Label::Positive.flip(), Label::Negative);
+    }
+
+    #[test]
+    fn disagreement_counts() {
+        let mut a = Labeling::new();
+        let mut b = Labeling::new();
+        for i in 0..4 {
+            a.set(Val(i), Label::Positive);
+            b.set(Val(i), if i < 2 { Label::Positive } else { Label::Negative });
+        }
+        assert_eq!(a.disagreement(&b), 2);
+        assert_eq!(b.disagreement(&a), 2);
+    }
+
+    #[test]
+    fn opposing_pairs_cross_product() {
+        let t = DbBuilder::new(Schema::entity_schema())
+            .positive("p1")
+            .positive("p2")
+            .negative("n1")
+            .training();
+        assert_eq!(t.opposing_pairs().len(), 2);
+        assert_eq!(t.positives().len(), 2);
+        assert_eq!(t.negatives().len(), 1);
+    }
+}

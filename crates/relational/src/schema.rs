@@ -1,0 +1,185 @@
+//! Schemas and entity schemas (§2, §3 of the paper).
+
+use crate::ids::RelId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The conventional name of the distinguished entity relation `η`.
+pub const ENTITY_REL_NAME: &str = "eta";
+
+/// A relational schema: named relation symbols with fixed arities, plus an
+/// optional distinguished unary *entity* symbol `η` (making it an entity
+/// schema in the sense of Kimelfeld–Ré / §3 of the paper).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    rels: Vec<RelInfo>,
+    #[serde(skip)]
+    by_name: HashMap<String, RelId>,
+    entity: Option<RelId>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct RelInfo {
+    name: String,
+    arity: usize,
+}
+
+impl Schema {
+    /// An empty schema with no relations.
+    pub fn new() -> Schema {
+        Schema { rels: Vec::new(), by_name: HashMap::new(), entity: None }
+    }
+
+    /// An entity schema: starts with the unary `η` relation already present.
+    pub fn entity_schema() -> Schema {
+        let mut s = Schema::new();
+        let eta = s.add_relation(ENTITY_REL_NAME, 1);
+        s.entity = Some(eta);
+        s
+    }
+
+    /// Add a relation symbol. Panics if the name is already taken or the
+    /// arity is zero (the paper requires `k > 0`).
+    pub fn add_relation(&mut self, name: &str, arity: usize) -> RelId {
+        assert!(arity > 0, "relation arity must be positive");
+        assert!(
+            !self.by_name.contains_key(name),
+            "duplicate relation symbol {name:?}"
+        );
+        let id = RelId(self.rels.len() as u32);
+        self.rels.push(RelInfo { name: name.to_string(), arity });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Designate an existing unary relation as the entity symbol.
+    pub fn set_entity(&mut self, rel: RelId) {
+        assert_eq!(self.arity(rel), 1, "entity symbol must be unary");
+        self.entity = Some(rel);
+    }
+
+    /// The distinguished entity symbol `η`, if this is an entity schema.
+    pub fn entity_rel(&self) -> Option<RelId> {
+        self.entity
+    }
+
+    /// The entity symbol, panicking when absent. Most of the separability
+    /// API requires an entity schema; this gives those call sites a crisp
+    /// failure.
+    pub fn entity_rel_required(&self) -> RelId {
+        self.entity.expect("schema has no distinguished entity relation")
+    }
+
+    pub fn rel_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.rels.len() as u32).map(RelId)
+    }
+
+    pub fn arity(&self, rel: RelId) -> usize {
+        self.rels[rel.index()].arity
+    }
+
+    pub fn name(&self, rel: RelId) -> &str {
+        &self.rels[rel.index()].name
+    }
+
+    pub fn rel_by_name(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Maximum arity over all relations (the FPT parameter of Cor 4.2).
+    pub fn max_arity(&self) -> usize {
+        self.rels.iter().map(|r| r.arity).max().unwrap_or(0)
+    }
+
+    /// Rebuild the name index (needed after deserialization, which skips
+    /// the derived map).
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .rels
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.name.clone(), RelId(i as u32)))
+            .collect();
+    }
+}
+
+impl Default for Schema {
+    fn default() -> Schema {
+        Schema::new()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}/{}", r.name, r.arity)?;
+            if self.entity == Some(RelId(i as u32)) {
+                write!(f, " (η)")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_schema_has_eta() {
+        let s = Schema::entity_schema();
+        let eta = s.entity_rel().unwrap();
+        assert_eq!(s.name(eta), ENTITY_REL_NAME);
+        assert_eq!(s.arity(eta), 1);
+        assert_eq!(s.rel_by_name(ENTITY_REL_NAME), Some(eta));
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = Schema::entity_schema();
+        let r = s.add_relation("R", 2);
+        let t = s.add_relation("T", 3);
+        assert_eq!(s.rel_count(), 3);
+        assert_eq!(s.arity(r), 2);
+        assert_eq!(s.arity(t), 3);
+        assert_eq!(s.max_arity(), 3);
+        assert_eq!(s.rel_by_name("T"), Some(t));
+        assert_eq!(s.rel_by_name("missing"), None);
+        assert_eq!(s.to_string(), "eta/1 (η), R/2, T/3");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_name_panics() {
+        let mut s = Schema::new();
+        s.add_relation("R", 1);
+        s.add_relation("R", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unary")]
+    fn non_unary_entity_panics() {
+        let mut s = Schema::new();
+        let r = s.add_relation("R", 2);
+        s.set_entity(r);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        let mut clone = s.clone();
+        clone.by_name.clear();
+        assert_eq!(clone.rel_by_name("E"), None);
+        clone.rebuild_index();
+        assert_eq!(clone.rel_by_name("E"), s.rel_by_name("E"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Synthetic training databases: random instances and the paper's
+//! lower-bound constructions.
+//!
+//! The paper is a theory paper; its "evaluation" is a complexity
+//! landscape (Table 1) plus worst-case families (Theorems 5.7, 6.7,
+//! Example 6.2, Proposition 8.6). This crate generates
+//!
+//! * structured inputs whose separability status is known by
+//!   construction (planted-feature random graphs, paths, cycles, grids) —
+//!   the scaling benches of EXPERIMENTS.md run on these; and
+//! * the lower-bound families: alternating `→_k` chains forcing statistic
+//!   dimension ≥ m (Theorem 5.7(a) / Proposition 8.6), and twin paths
+//!   whose distinguishing features grow with the family parameter (the
+//!   measurable content of Theorem 5.7(b); see DESIGN.md §4 for the
+//!   substitution note).
+
+pub mod lowerbound;
+pub mod noise;
+pub mod synthetic;
+
+pub use lowerbound::{alternating_paths, example_6_2, twin_cycles, twin_paths};
+pub use noise::flip_labels;
+pub use synthetic::{
+    cycle_with_chords, grid_train, planted_feature_graph, random_digraph_train,
+    replicated_paths, PlantedConfig,
+};
