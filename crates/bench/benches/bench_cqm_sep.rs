@@ -1,8 +1,8 @@
 //! E3 — `CQ[m]`-Sep: polynomial in |D| for fixed m, exponential in m
 //! (Proposition 4.1 / Corollary 4.2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq::EnumConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use workloads::random_digraph_train;
 

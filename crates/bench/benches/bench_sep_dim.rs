@@ -1,8 +1,8 @@
 //! E6 — bounded-dimension separability Sep[ℓ] (Theorem 6.6 shape): the
 //! up-set/QBE search cost as the entity count grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cqsep::sep_dim::{cq_sep_dim, DimBudget};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use workloads::alternating_paths;
 

@@ -1,8 +1,8 @@
 //! E9 — `CQ[m]`-Sep[*] (Proposition 6.9: NP-complete even for fixed
 //! arity): the column-subset search as the dimension budget varies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cq::EnumConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use workloads::alternating_paths;
 
@@ -12,9 +12,7 @@ fn bench(c: &mut Criterion) {
     let t = alternating_paths(4);
     for ell in [1usize, 2, 3] {
         g.bench_with_input(BenchmarkId::new("cqm_sep_ell", ell), &ell, |b, &ell| {
-            b.iter(|| {
-                black_box(cqsep::sep_dim::cqm_sep_dim(&t, &EnumConfig::cqm(4), ell))
-            })
+            b.iter(|| black_box(cqsep::sep_dim::cqm_sep_dim(&t, &EnumConfig::cqm(4), ell)))
         });
     }
     g.finish();

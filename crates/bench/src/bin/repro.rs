@@ -5,7 +5,7 @@
 //! *shape* of one claim. Usage:
 //!
 //! ```text
-//! repro [all|table1|e1|e2|e3|e4|e5|e6|e7|e8|e9]
+//! repro [all|table1|e1|e2|e3|e4|e5|e6|e7|e8|e9|e10]
 //! ```
 
 use bench::{growth_ratios, loglog_slope, time_median};
@@ -48,8 +48,52 @@ fn main() {
     if run("e9") {
         e9_sep_star();
     }
+    if run("e10") {
+        e10_hom_engine();
+    }
     if run("table1") {
         table1();
+    }
+}
+
+/// E10: the homomorphism engine — memoization (and parallel fan-out on
+/// multi-core hosts) vs the sequential pairwise sweep, with the engine's
+/// own counters. This is the implementation-side speedup experiment, not
+/// a claim of the paper.
+fn e10_hom_engine() {
+    use relational::homomorphism_exists;
+    header("E10: hom engine — memoized/parallel pipeline vs sequential sweep");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host cores: {cores}");
+    println!(
+        "{:>6} {:>8} {:>14} {:>14} {:>9}",
+        "n", "pairs", "sequential (s)", "pipeline (s)", "speedup"
+    );
+    for n in [16usize, 32, 48] {
+        let t = cycle_with_chords(n, n / 3, 5);
+        let pairs = t.opposing_pairs();
+        let s_seq = time_median(3, || {
+            black_box(pairs.iter().all(|&(p, q)| {
+                !(homomorphism_exists(&t.db, &t.db, &[(p, q)])
+                    && homomorphism_exists(&t.db, &t.db, &[(q, p)]))
+            }));
+        });
+        // One cold run charges the cache; the median then reflects the
+        // steady state a pipeline (check → chain → classify) sees.
+        black_box(sep_cq::cq_separable(&t));
+        let (s_pipe, engine) = bench::with_hom_stats(|| {
+            time_median(3, || {
+                black_box(sep_cq::cq_separable(&t));
+            })
+        });
+        println!(
+            "{n:>6} {:>8} {s_seq:>14.5} {s_pipe:>14.5} {:>8.1}x",
+            pairs.len(),
+            s_seq / s_pipe.max(1e-9)
+        );
+        println!("{}", engine.report());
     }
 }
 
@@ -61,7 +105,10 @@ fn header(title: &str) {
 /// empirical log-log slope must look polynomial (bounded, stable).
 fn e1_ghw_sep_scaling() {
     header("E1: GHW(k)-Sep scales polynomially (Thm 5.3)");
-    println!("{:>6} {:>8} {:>12} {:>12}", "n", "facts", "k=1 (s)", "k=2 (s)");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12}",
+        "n", "facts", "k=1 (s)", "k=2 (s)"
+    );
     let mut pts1 = Vec::new();
     let mut pts2 = Vec::new();
     for n in [8usize, 12, 16, 24, 32] {
@@ -94,27 +141,36 @@ fn e1_ghw_sep_scaling() {
 /// dominate; compare against the GHW(1) test on the same instances.
 fn e2_cq_sep_scaling() {
     header("E2: CQ-Sep (coNP) vs GHW(1)-Sep on the same instances (Thm 3.2)");
-    println!("{:>6} {:>8} {:>12} {:>12}", "n", "facts", "CQ (s)", "GHW(1) (s)");
-    for n in [10usize, 16, 24, 32] {
-        let t = cycle_with_chords(n, n / 3, 5);
-        let facts = t.db.fact_count();
-        let s_cq = time_median(3, || {
-            black_box(sep_cq::cq_separable(&t));
-        });
-        let s_ghw = time_median(3, || {
-            black_box(sep_ghw::ghw_separable(&t, 1));
-        });
-        println!("{n:>6} {facts:>8} {s_cq:>12.4} {s_ghw:>12.4}");
-    }
+    println!(
+        "{:>6} {:>8} {:>12} {:>12}",
+        "n", "facts", "CQ (s)", "GHW(1) (s)"
+    );
+    let (_, engine) = bench::with_hom_stats(|| {
+        for n in [10usize, 16, 24, 32] {
+            let t = cycle_with_chords(n, n / 3, 5);
+            let facts = t.db.fact_count();
+            let s_cq = time_median(3, || {
+                black_box(sep_cq::cq_separable(&t));
+            });
+            let s_ghw = time_median(3, || {
+                black_box(sep_ghw::ghw_separable(&t, 1));
+            });
+            println!("{n:>6} {facts:>8} {s_cq:>12.4} {s_ghw:>12.4}");
+        }
+    });
     println!("(CQ-Sep stays feasible here because the hom solver prunes well;");
     println!(" its worst case is exponential, GHW(k)'s is not.)");
+    println!("{}", engine.report());
 }
 
 /// E3: CQ[m]-Sep — polynomial in |D| for fixed schema, exponential in m
 /// (the 2^{q(k)} factor of Proposition 4.1).
 fn e3_cqm_scaling() {
     header("E3: CQ[m]-Sep: polynomial in |D|, exponential in m (Prop 4.1)");
-    println!("{:>6} {:>6} {:>10} {:>12}", "n", "m", "#features", "time (s)");
+    println!(
+        "{:>6} {:>6} {:>10} {:>12}",
+        "n", "m", "#features", "time (s)"
+    );
     let mut by_m = Vec::new();
     for m in 1..=3 {
         let t = random_digraph_train(10, 0.2, 3);
@@ -142,7 +198,10 @@ fn e3_cqm_scaling() {
         println!("{n:>6} {:>6} {s:>12.4}", 2);
         pts.push((n as f64, s));
     }
-    println!("empirical degree in |D| at m=2: ≈ {:.2} (polynomial)", loglog_slope(&pts));
+    println!(
+        "empirical degree in |D| at m=2: ≈ {:.2} (polynomial)",
+        loglog_slope(&pts)
+    );
 }
 
 /// E4: Theorem 5.7's two lower bounds, measured.
@@ -172,8 +231,7 @@ fn e4_feature_blowup() {
         let u = t.db.val_by_name("u").unwrap();
         let v = t.db.val_by_name("v").unwrap();
         let (q, _) =
-            covergame::extract_distinguishing_query(&t.db, u, &t.db, v, 1, 5_000_000)
-                .unwrap();
+            covergame::extract_distinguishing_query(&t.db, u, &t.db, v, 1, 5_000_000).unwrap();
         println!("{n:>4} {:>8} {:>14}", t.db.fact_count(), q.atoms().len());
     }
     println!("(the paper's appendix gadget achieves 2^n; see DESIGN.md §4)");
@@ -246,7 +304,10 @@ fn e7_apx() {
     // graphs every entity is its own class and min-error is always 0.)
     let clean = workloads::replicated_paths(4, 4);
     let n = clean.entities().len();
-    println!("{:>7} {:>7} {:>12} {:>10}", "noise", "flips", "min errors", "time (s)");
+    println!(
+        "{:>7} {:>7} {:>12} {:>10}",
+        "noise", "flips", "min errors", "time (s)"
+    );
     for noise in [0.0, 0.1, 0.2, 0.3] {
         let (noisy, flips) = flip_labels(&clean, noise, 13);
         let mut err = 0usize;
@@ -263,7 +324,10 @@ fn e7_apx() {
 /// separability on the same instances (§8).
 fn e8_fo() {
     header("E8: FO-Sep (GI) vs CQ-Sep (coNP) (Cor 8.2)");
-    println!("{:>6} {:>12} {:>12} {:>8} {:>8}", "n", "FO (s)", "CQ (s)", "FO?", "CQ?");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8} {:>8}",
+        "n", "FO (s)", "CQ (s)", "FO?", "CQ?"
+    );
     for n in [8usize, 12, 16] {
         let t = random_digraph_train(n, 2.0 / n as f64, 31);
         let mut fo_ans = false;

@@ -1,8 +1,19 @@
-//! Shared helpers for the benchmark harness: timing utilities and
-//! growth-rate estimation used by both the Criterion benches and the
-//! `repro` binary that regenerates the EXPERIMENTS.md tables.
+//! Shared helpers for the benchmark harness: timing utilities,
+//! growth-rate estimation, and homomorphism-engine counter capture, used
+//! by both the Criterion benches and the `repro` binary that regenerates
+//! the EXPERIMENTS.md tables.
 
+use relational::HomStats;
 use std::time::Instant;
+
+/// Run `f` and return its result together with the homomorphism-engine
+/// counter deltas (searches, nodes, wipeouts, backtracks, cache
+/// hits/misses) it caused.
+pub fn with_hom_stats<R>(f: impl FnOnce() -> R) -> (R, HomStats) {
+    let before = HomStats::snapshot();
+    let out = f();
+    (out, HomStats::snapshot().since(&before))
+}
 
 /// Median wall-clock time of `reps` runs of `f`, in seconds.
 pub fn time_median<F: FnMut()>(reps: usize, mut f: F) -> f64 {
@@ -55,8 +66,9 @@ mod tests {
     #[test]
     fn slope_of_exponential_grows() {
         let poly: Vec<(f64, f64)> = (1..=8).map(|x| (x as f64, (x * x * x) as f64)).collect();
-        let expo: Vec<(f64, f64)> =
-            (1..=8).map(|x| (x as f64, (1u64 << (2 * x)) as f64)).collect();
+        let expo: Vec<(f64, f64)> = (1..=8)
+            .map(|x| (x as f64, (1u64 << (2 * x)) as f64))
+            .collect();
         assert!(loglog_slope(&expo) > loglog_slope(&poly));
     }
 
@@ -72,5 +84,25 @@ mod tests {
             std::hint::black_box((0..1000).sum::<u64>());
         });
         assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn hom_stats_capture_sees_engine_work() {
+        use relational::{DbBuilder, Schema};
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        let p = DbBuilder::new(s.clone())
+            .fact("E", &["a", "b"])
+            .fact("E", &["b", "c"])
+            .build();
+        let c3 = DbBuilder::new(s)
+            .fact("E", &["x", "y"])
+            .fact("E", &["y", "z"])
+            .fact("E", &["z", "x"])
+            .build();
+        let (ans, stats) = with_hom_stats(|| relational::homomorphism_exists(&p, &c3, &[]));
+        assert!(ans);
+        assert!(stats.solves >= 1, "{stats:?}");
+        assert!(stats.nodes_expanded >= 1, "{stats:?}");
     }
 }

@@ -53,7 +53,9 @@ impl ClassSpec {
                 .map(ClassSpec::Cqm)
                 .ok_or_else(|| format!("bad class {s:?} (use cqm1, cqm2, …)"));
         }
-        Err(format!("unknown class {s:?} (expected cq, ghw<k>, or cqm<m>)"))
+        Err(format!(
+            "unknown class {s:?} (expected cq, ghw<k>, or cqm<m>)"
+        ))
     }
 }
 
@@ -69,7 +71,25 @@ impl std::fmt::Display for ClassSpec {
 
 /// Run a command line (without the program name). Returns the text to
 /// print, or an error message.
+///
+/// The global `--stats` flag (any position) appends a homomorphism-engine
+/// counter report — searches run, nodes expanded, forward-check wipeouts,
+/// backtracks, and memo-cache hits/misses — covering exactly this call.
 pub fn run(args: &[String]) -> Result<String, String> {
+    let stats_requested = args.iter().any(|a| a == "--stats");
+    if stats_requested {
+        // Strip the flag so positional-argument indexing stays intact.
+        let rest: Vec<String> = args.iter().filter(|a| *a != "--stats").cloned().collect();
+        let before = relational::HomStats::snapshot();
+        let mut out = run(&rest)?;
+        let delta = relational::HomStats::snapshot().since(&before);
+        if !out.ends_with('\n') && !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&delta.report());
+        out.push('\n');
+        return Ok(out);
+    }
     let read = |path: &str| -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
     };
@@ -78,7 +98,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let path = args.get(1).ok_or(USAGE)?;
             let classes = parse_classes(
                 &args[2..],
-                vec![ClassSpec::Cq, ClassSpec::Ghw(1), ClassSpec::Cqm(1), ClassSpec::Cqm(2)],
+                vec![
+                    ClassSpec::Cq,
+                    ClassSpec::Ghw(1),
+                    ClassSpec::Cqm(1),
+                    ClassSpec::Cqm(2),
+                ],
             )?;
             let train = load_training(&read(path)?)?;
             Ok(check(&train, &classes))
@@ -90,8 +115,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let train = load_training(&read(path)?)?;
             let (report, model_text) = train_cmd(&train, classes[0])?;
             if let Some(p) = out_path {
-                std::fs::write(&p, &model_text)
-                    .map_err(|e| format!("cannot write {p}: {e}"))?;
+                std::fs::write(&p, &model_text).map_err(|e| format!("cannot write {p}: {e}"))?;
                 Ok(format!("{report}model written to {p}\n"))
             } else {
                 Ok(format!("{report}{model_text}"))
@@ -146,7 +170,8 @@ const USAGE: &str = "usage:
   cqsep-cli classify <train.db> <eval.db> [--class <spec>]
   cqsep-cli classify-model <model.txt> <eval.db>
   cqsep-cli relabel <train.db> [--k <k>]
-  cqsep-cli info <file.db>";
+  cqsep-cli info <file.db>
+add --stats to any command to append homomorphism-engine counters";
 
 fn parse_classes(args: &[String], default: Vec<ClassSpec>) -> Result<Vec<ClassSpec>, String> {
     let mut out = Vec::new();
@@ -222,10 +247,12 @@ fn check(train: &TrainingDb, classes: &[ClassSpec]) -> String {
 
 fn train_cmd(train: &TrainingDb, class: ClassSpec) -> Result<(String, String), String> {
     let model = match class {
-        ClassSpec::Cq => sep_cq::cq_generate(train)
-            .ok_or_else(|| "not CQ-separable".to_string())?,
-        ClassSpec::Ghw(k) => gen_ghw::ghw_generate(train, k, 1_000_000)
-            .map_err(|e| e.to_string())?,
+        ClassSpec::Cq => {
+            sep_cq::cq_generate(train).ok_or_else(|| "not CQ-separable".to_string())?
+        }
+        ClassSpec::Ghw(k) => {
+            gen_ghw::ghw_generate(train, k, 1_000_000).map_err(|e| e.to_string())?
+        }
         ClassSpec::Cqm(m) => sep_cqm::cqm_generate(train, &EnumConfig::cqm(m))
             .ok_or_else(|| format!("not CQ[{m}]-separable"))?,
     };
@@ -237,11 +264,7 @@ fn train_cmd(train: &TrainingDb, class: ClassSpec) -> Result<(String, String), S
     Ok((report, persist::model_to_text(&model)))
 }
 
-fn classify_cmd(
-    train: &TrainingDb,
-    eval: &Database,
-    class: ClassSpec,
-) -> Result<String, String> {
+fn classify_cmd(train: &TrainingDb, eval: &Database, class: ClassSpec) -> Result<String, String> {
     let labels = match class {
         ClassSpec::Ghw(k) => cls_ghw::ghw_classify(train, eval, k)
             .map_err(|_| format!("training data is not GHW({k})-separable"))?,
@@ -372,7 +395,12 @@ entity v
             std::fs::create_dir_all(&dir).unwrap();
             let model = dir.join("model.txt");
             let out = run(&s(&[
-                "train", train, "--class", "cqm1", "-o", model.to_str().unwrap(),
+                "train",
+                train,
+                "--class",
+                "cqm1",
+                "-o",
+                model.to_str().unwrap(),
             ]))
             .unwrap();
             assert!(out.contains("model written"), "{out}");
@@ -385,8 +413,7 @@ entity v
     #[test]
     fn classify_via_algorithm_1() {
         with_files(|train, eval| {
-            let out =
-                run(&s(&["classify", train, eval, "--class", "ghw1"])).unwrap();
+            let out = run(&s(&["classify", train, eval, "--class", "ghw1"])).unwrap();
             assert!(out.contains("u "), "{out}");
             assert!(out.contains("v "), "{out}");
         });
@@ -413,6 +440,20 @@ entity v
             let out = run(&s(&["info", train])).unwrap();
             assert!(out.contains("entities: 3"), "{out}");
             assert!(out.contains("labeled:  3"), "{out}");
+        });
+    }
+
+    #[test]
+    fn stats_flag_appends_engine_counters() {
+        with_files(|train, _| {
+            let out = run(&s(&["check", train, "--stats"])).unwrap();
+            assert!(out.contains("CQ-separable: true"), "{out}");
+            assert!(out.contains("hom engine stats"), "{out}");
+            assert!(out.contains("nodes expanded"), "{out}");
+            assert!(out.contains("cache hit"), "{out}");
+            // Flag position must not matter.
+            let out2 = run(&s(&["--stats", "check", train])).unwrap();
+            assert!(out2.contains("hom engine stats"), "{out2}");
         });
     }
 

@@ -50,7 +50,9 @@ pub fn ghw_optimal_relabeling_from(
 /// The minimum achievable error count for `GHW(k)` statistics (the `δ` of
 /// Corollary 7.5's proof, as a count rather than a fraction).
 pub fn ghw_min_errors(train: &TrainingDb, k: usize) -> usize {
-    train.labeling.disagreement(&ghw_optimal_relabeling(train, k))
+    train
+        .labeling
+        .disagreement(&ghw_optimal_relabeling(train, k))
 }
 
 /// `GHW(k)`-ApxSep: is the training database separable with error ε?
@@ -75,10 +77,15 @@ pub fn ghw_apx_classify(train: &TrainingDb, eval: &Database, k: usize) -> Labeli
 /// `CQ[m]`-ApxSep / feature generation with minimum error
 /// (Propositions 7.2/7.3): returns the best model and its error count.
 pub fn cqm_apx_generate(train: &TrainingDb, config: &EnumConfig) -> (SeparatorModel, usize) {
-    let (statistic, rows, labels) =
-        crate::sep_cqm::column_reduced_statistic(train, config);
+    let (statistic, rows, labels) = crate::sep_cqm::column_reduced_statistic(train, config);
     let r = min_error_classifier(&rows, &labels);
-    (SeparatorModel { statistic, classifier: r.classifier }, r.errors)
+    (
+        SeparatorModel {
+            statistic,
+            classifier: r.classifier,
+        },
+        r.errors,
+    )
 }
 
 /// `CQ[m]`-ApxSep decision.
@@ -101,7 +108,10 @@ pub fn cqm_apx_separable(train: &TrainingDb, config: &EnumConfig, eps: f64) -> b
 /// `anchor` fact), `⌈M/2⌉` positive and `⌊M/2⌋` negative, with `M` chosen
 /// so the forced `⌊M/2⌋` errors leave a spare budget `< 1`.
 pub fn pad_for_error(train: &TrainingDb, eps: f64) -> TrainingDb {
-    assert!((0.0..0.5).contains(&eps), "Proposition 7.1 needs ε ∈ [0, 1/2)");
+    assert!(
+        (0.0..0.5).contains(&eps),
+        "Proposition 7.1 needs ε ∈ [0, 1/2)"
+    );
     let n = train.entities().len();
 
     // Choose the anchor count: the smallest even M with
@@ -122,11 +132,16 @@ pub fn pad_for_error(train: &TrainingDb, eps: f64) -> TrainingDb {
     for r in old.rel_ids() {
         schema.add_relation(old.name(r), old.arity(r));
     }
-    if schema.rel_by_name(relational::schema::ENTITY_REL_NAME).is_none() {
+    if schema
+        .rel_by_name(relational::schema::ENTITY_REL_NAME)
+        .is_none()
+    {
         let eta = schema.add_relation(relational::schema::ENTITY_REL_NAME, 1);
         schema.set_entity(eta);
     } else {
-        let eta = schema.rel_by_name(relational::schema::ENTITY_REL_NAME).unwrap();
+        let eta = schema
+            .rel_by_name(relational::schema::ENTITY_REL_NAME)
+            .unwrap();
         schema.set_entity(eta);
     }
     let anchor = schema.add_relation("anchor", 1);
@@ -137,18 +152,32 @@ pub fn pad_for_error(train: &TrainingDb, eps: f64) -> TrainingDb {
     }
     for f in train.db.facts() {
         let rel = db.schema().rel_by_name(old.name(f.rel)).unwrap();
-        let args = f.args.iter().map(|&a| db.value(train.db.val_name(a))).collect();
+        let args = f
+            .args
+            .iter()
+            .map(|&a| db.value(train.db.val_name(a)))
+            .collect();
         db.add_fact(rel, args);
     }
     let mut labeling = Labeling::new();
     for e in train.entities() {
-        labeling.set(db.val_by_name(train.db.val_name(e)).unwrap(), train.labeling.get(e));
+        labeling.set(
+            db.val_by_name(train.db.val_name(e)).unwrap(),
+            train.labeling.get(e),
+        );
     }
     for i in 0..m {
         let a = db.value(&format!("_anchor{i}"));
         db.add_fact(anchor, vec![a]);
         db.add_entity(a);
-        labeling.set(a, if i % 2 == 0 { Label::Positive } else { Label::Negative });
+        labeling.set(
+            a,
+            if i % 2 == 0 {
+                Label::Positive
+            } else {
+                Label::Negative
+            },
+        );
     }
     TrainingDb::new(db, labeling)
 }
@@ -173,7 +202,11 @@ mod tests {
             .fact("E", &["3", "4"]);
         for (i, &l) in labels.iter().enumerate() {
             let name = (i + 1).to_string();
-            b = if l { b.positive(&name) } else { b.negative(&name) };
+            b = if l {
+                b.positive(&name)
+            } else {
+                b.negative(&name)
+            };
         }
         b.training()
     }
@@ -228,7 +261,11 @@ mod tests {
             for (i, &e) in ents.iter().enumerate() {
                 lab.set(
                     e,
-                    if mask & (1 << i) != 0 { Label::Positive } else { Label::Negative },
+                    if mask & (1 << i) != 0 {
+                        Label::Positive
+                    } else {
+                        Label::Negative
+                    },
                 );
             }
             let cand = TrainingDb::new(t.db.clone(), lab.clone());

@@ -57,12 +57,11 @@ pub fn build_chain(
             Some(c) => {
                 class_of[i] = c;
                 if train.labeling.get(elems[i]) != train.labeling.get(elems[reps[c]]) {
-                    let (pos, neg) =
-                        if train.labeling.get(elems[i]) == Label::Positive {
-                            (elems[i], elems[reps[c]])
-                        } else {
-                            (elems[reps[c]], elems[i])
-                        };
+                    let (pos, neg) = if train.labeling.get(elems[i]) == Label::Positive {
+                        (elems[i], elems[reps[c]])
+                    } else {
+                        (elems[reps[c]], elems[i])
+                    };
                     return Err(ChainError::MixedClass { pos, neg });
                 }
             }
@@ -115,7 +114,11 @@ pub fn build_chain(
     }
 
     let class_leq: Vec<Vec<bool>> = (0..m)
-        .map(|c| (0..m).map(|e| c == e || leq[reps_sorted[c]][reps_sorted[e]]).collect())
+        .map(|c| {
+            (0..m)
+                .map(|e| c == e || leq[reps_sorted[c]][reps_sorted[e]])
+                .collect()
+        })
         .collect();
     let class_label: Vec<Label> = (0..m)
         .map(|c| train.labeling.get(elems[reps_sorted[c]]))
@@ -124,14 +127,24 @@ pub fn build_chain(
     // Class vectors under the implicit chain statistic: component j of
     // class c is +1 iff class j ⪯ class c.
     let vectors: Vec<Vec<i32>> = (0..m)
-        .map(|c| (0..m).map(|j| if class_leq[j][c] { 1 } else { -1 }).collect())
+        .map(|c| {
+            (0..m)
+                .map(|j| if class_leq[j][c] { 1 } else { -1 })
+                .collect()
+        })
         .collect();
     let labels: Vec<i32> = class_label.iter().map(|l| l.to_i32()).collect();
-    let classifier = separate(&vectors, &labels).expect(
-        "chain vectors with label-pure classes are always linearly separable (Lemma 5.4)",
-    );
+    let classifier = separate(&vectors, &labels)
+        .expect("chain vectors with label-pure classes are always linearly separable (Lemma 5.4)");
 
-    Ok(ChainModel { elems: elems.to_vec(), class_of, classes, class_leq, class_label, classifier })
+    Ok(ChainModel {
+        elems: elems.to_vec(),
+        class_of,
+        classes,
+        class_leq,
+        class_label,
+        classifier,
+    })
 }
 
 impl ChainModel {
@@ -215,16 +228,11 @@ mod tests {
         // bottom ⪯ {mid1, mid2} ⪯ top with labels +,-,-,+ .
         let t = train(&[("bot", true), ("m1", false), ("m2", false), ("top", true)]);
         let elems = t.entities();
-        let idx = |n: &str| {
-            elems
-                .iter()
-                .position(|&v| t.db.val_name(v) == n)
-                .unwrap()
-        };
+        let idx = |n: &str| elems.iter().position(|&v| t.db.val_name(v) == n).unwrap();
         let (b, m1, m2, top) = (idx("bot"), idx("m1"), idx("m2"), idx("top"));
         let mut leq = vec![vec![false; 4]; 4];
-        for i in 0..4 {
-            leq[i][i] = true;
+        for (i, row) in leq.iter_mut().enumerate() {
+            row[i] = true;
         }
         leq[b][m1] = true;
         leq[b][m2] = true;
@@ -235,8 +243,9 @@ mod tests {
         assert_eq!(m.class_count(), 4);
         // Check classification of each class's own vector.
         for c in 0..4 {
-            let v: Vec<i32> =
-                (0..4).map(|j| if m.class_leq[j][c] { 1 } else { -1 }).collect();
+            let v: Vec<i32> = (0..4)
+                .map(|j| if m.class_leq[j][c] { 1 } else { -1 })
+                .collect();
             assert_eq!(m.classify_vector(&v), m.class_label[c], "class {c}");
         }
     }

@@ -21,11 +21,7 @@ use relational::{Database, Labeling, TrainingDb};
 /// with a statistic-classifier pair that separates `train`. Returns
 /// `Err` when the training database is not `GHW(k)`-separable (the
 /// problem promise is violated).
-pub fn ghw_classify(
-    train: &TrainingDb,
-    eval: &Database,
-    k: usize,
-) -> Result<Labeling, ChainError> {
+pub fn ghw_classify(train: &TrainingDb, eval: &Database, k: usize) -> Result<Labeling, ChainError> {
     let chain = ghw_chain(train, k)?;
     // The games' left side is always the training database: build its
     // union skeleton once for all m × |η(D')| games.

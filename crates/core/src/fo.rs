@@ -93,14 +93,14 @@ pub fn fo_generate_single_feature(train: &TrainingDb) -> Option<folog::FoFormula
 /// both necessary and sufficient. GI-complete, decided here through the
 /// color-refinement + individualization iso solver.
 pub fn fo_qbe(d: &Database, pos: &[Val], neg: &[Val]) -> bool {
-    pos.iter().all(|&p| neg.iter().all(|&n| !same_orbit(d, p, n)))
+    pos.iter()
+        .all(|&p| neg.iter().all(|&n| !same_orbit(d, p, n)))
 }
 
 /// FO_k-QBE: as [`fo_qbe`] with k-pebble-game indistinguishability.
 pub fn fo_k_qbe(d: &Database, pos: &[Val], neg: &[Val], k: usize) -> bool {
-    pos.iter().all(|&p| {
-        neg.iter().all(|&n| !pebble_equivalent(d, p, d, n, k))
-    })
+    pos.iter()
+        .all(|&p| neg.iter().all(|&n| !pebble_equivalent(d, p, d, n, k)))
 }
 
 /// The Theorem 8.4 condition, checked for an explicit finite family of
@@ -154,7 +154,11 @@ pub fn linear_family_db(n: usize) -> TrainingDb {
     // Alternate labels along the path; only path elements are entities.
     for i in 0..=n {
         let name = format!("v{i}");
-        b = if i % 2 == 0 { b.positive(&name) } else { b.negative(&name) };
+        b = if i % 2 == 0 {
+            b.positive(&name)
+        } else {
+            b.negative(&name)
+        };
     }
     b.training()
 }
@@ -289,7 +293,10 @@ mod tests {
             .positive("a")
             .negative("x")
             .training();
-        assert!(!crate::sep_cq::cq_separable(&fo_wins), "still hom-equivalent");
+        assert!(
+            !crate::sep_cq::cq_separable(&fo_wins),
+            "still hom-equivalent"
+        );
         assert!(fo_separable(&fo_wins), "FO sees the pendant");
     }
 

@@ -52,12 +52,11 @@ pub fn ghw_generate(
     let mut features: Vec<Cq> = Vec::with_capacity(chain.class_count());
     for c in 0..chain.class_count() {
         let e = chain.elems[chain.representative(c)];
-        let q = lemma54_feature(&train.db, e, &entities, k, max_nodes).map_err(
-            |err| match err {
+        let q =
+            lemma54_feature(&train.db, e, &entities, k, max_nodes).map_err(|err| match err {
                 ExtractError::Budget { nodes } => GenError::Budget { nodes },
                 ExtractError::DuplicatorWins => unreachable!("filtered by lemma54_feature"),
-            },
-        )?;
+            })?;
         features.push(q);
     }
     Ok(SeparatorModel {
@@ -110,11 +109,7 @@ mod tests {
             let selected = evaluate_unary(q, &t.db);
             for (j, &e2) in chain.elems.iter().enumerate() {
                 let expect = covergame::cover_implies(&t.db, &[e], &t.db, &[e2], 1);
-                assert_eq!(
-                    selected.contains(&e2),
-                    expect,
-                    "feature {c} at entity {j}"
-                );
+                assert_eq!(selected.contains(&e2), expect, "feature {c} at entity {j}");
             }
         }
     }
@@ -127,7 +122,10 @@ mod tests {
             .positive("a")
             .negative("b")
             .training();
-        assert!(matches!(ghw_generate(&t, 1, 10_000), Err(GenError::NotSeparable)));
+        assert!(matches!(
+            ghw_generate(&t, 1, 10_000),
+            Err(GenError::NotSeparable)
+        ));
     }
 
     #[test]

@@ -61,13 +61,10 @@ pub fn parse_model(schema: &Schema, text: &str) -> Result<SeparatorModel, ModelP
         let err = |msg: String| ModelParseError(format!("line {}: {msg}", lineno + 1));
         // A bare directive (e.g. `weights` with zero weights) has no
         // trailing whitespace; treat the rest as empty then.
-        let (kind, rest) = line
-            .split_once(char::is_whitespace)
-            .unwrap_or((line, ""));
+        let (kind, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
         match kind {
             "feature" => {
-                let q = parse_cq(schema, rest.trim())
-                    .map_err(|e| err(format!("{e}")))?;
+                let q = parse_cq(schema, rest.trim()).map_err(|e| err(format!("{e}")))?;
                 if !q.is_unary() {
                     return Err(err("feature queries must be unary".into()));
                 }
@@ -155,10 +152,12 @@ weights 2/3
     #[test]
     fn errors_are_descriptive() {
         let s = schema();
-        assert!(parse_model(&s, "feature q(x) :- nosuch(x)\nthreshold 0\nweights 1")
-            .unwrap_err()
-            .0
-            .contains("line 1"));
+        assert!(
+            parse_model(&s, "feature q(x) :- nosuch(x)\nthreshold 0\nweights 1")
+                .unwrap_err()
+                .0
+                .contains("line 1")
+        );
         assert!(parse_model(&s, "threshold 0\nweights 1 2").is_err()); // arity mismatch
         assert!(parse_model(&s, "weights 1").is_err()); // missing threshold
         assert!(parse_model(&s, "bogus x").is_err());

@@ -32,12 +32,7 @@ pub struct ReducedInstance {
 /// # Panics
 /// Panics if the input schema already has an entity symbol (the lemma
 /// adds its own) or if `pos`/`neg` do not partition the domain.
-pub fn qbe_to_sep_ell(
-    d: &Database,
-    pos: &[Val],
-    neg: &[Val],
-    ell: usize,
-) -> ReducedInstance {
+pub fn qbe_to_sep_ell(d: &Database, pos: &[Val], neg: &[Val], ell: usize) -> ReducedInstance {
     assert!(ell >= 1, "dimension bound must be at least 1");
     assert!(!pos.is_empty(), "Lemma 6.5 requires a nonempty S+");
     assert!(
@@ -99,7 +94,10 @@ pub fn qbe_to_sep_ell(
     }
     labeling.set(c_minus, Label::Negative);
 
-    ReducedInstance { train: TrainingDb::new(db, labeling), image }
+    ReducedInstance {
+        train: TrainingDb::new(db, labeling),
+        image,
+    }
 }
 
 #[cfg(test)]

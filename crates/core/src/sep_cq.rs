@@ -17,14 +17,17 @@
 use crate::chain::{build_chain, ChainError, ChainModel};
 use crate::statistic::{SeparatorModel, Statistic};
 use cq::Cq;
-use relational::{homomorphism_exists, Database, Labeling, TrainingDb, Val};
+use relational::hom::par::{par_all_pairs, par_find_first, par_map};
+use relational::{exists_cached, Database, Labeling, TrainingDb, Val};
 
 /// Decide CQ-separability (Thm 3.2; coNP).
 pub fn cq_separable(train: &TrainingDb) -> bool {
     // Cheaper than building the full preorder: only pos/neg pairs matter.
-    train.opposing_pairs().into_iter().all(|(p, n)| {
-        !(homomorphism_exists(&train.db, &train.db, &[(p, n)])
-            && homomorphism_exists(&train.db, &train.db, &[(n, p)]))
+    // Each pair is an independent NP query — fan out and stop at the
+    // first hom-equivalent pair.
+    par_all_pairs(&train.opposing_pairs(), |p, n| {
+        !(exists_cached(&train.db, &train.db, &[(p, n)])
+            && exists_cached(&train.db, &train.db, &[(n, p)]))
     })
 }
 
@@ -32,20 +35,13 @@ pub fn cq_separable(train: &TrainingDb) -> bool {
 pub fn cq_chain(train: &TrainingDb) -> Result<ChainModel, ChainError> {
     let elems = train.entities();
     let n = elems.len();
-    let leq: Vec<Vec<bool>> = (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|j| {
-                    i == j
-                        || homomorphism_exists(
-                            &train.db,
-                            &train.db,
-                            &[(elems[i], elems[j])],
-                        )
-                })
-                .collect()
-        })
-        .collect();
+    // The n×n preorder matrix: n² independent hom queries, most of them
+    // shared with `cq_separable`/`cq_classify` through the memo cache.
+    let cells: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
+    let flat = par_map(&cells, |&(i, j)| {
+        i == j || exists_cached(&train.db, &train.db, &[(elems[i], elems[j])])
+    });
+    let leq: Vec<Vec<bool>> = flat.chunks(n.max(1)).map(|row| row.to_vec()).collect();
     build_chain(train, &elems, &leq)
 }
 
@@ -71,17 +67,23 @@ pub fn cq_generate(train: &TrainingDb) -> Option<SeparatorModel> {
 /// homomorphism tests.
 pub fn cq_classify(train: &TrainingDb, eval: &Database) -> Option<Labeling> {
     let chain = cq_chain(train).ok()?;
+    // Flatten the (entity × class-representative) grid so one parallel
+    // sweep covers every cross-database hom test.
+    let ents = eval.entities();
+    let k = chain.class_count();
+    let cells: Vec<(Val, usize)> = ents
+        .iter()
+        .flat_map(|&f| (0..k).map(move |c| (f, c)))
+        .collect();
+    let bits = par_map(&cells, |&(f, c)| {
+        let e = chain.elems[chain.representative(c)];
+        exists_cached(&train.db, eval, &[(e, f)])
+    });
     let mut out = Labeling::new();
-    for f in eval.entities() {
-        let v: Vec<i32> = (0..chain.class_count())
-            .map(|c| {
-                let e = chain.elems[chain.representative(c)];
-                if homomorphism_exists(&train.db, eval, &[(e, f)]) {
-                    1
-                } else {
-                    -1
-                }
-            })
+    for (row, &f) in ents.iter().enumerate() {
+        let v: Vec<i32> = bits[row * k..(row + 1) * k]
+            .iter()
+            .map(|&b| if b { 1 } else { -1 })
             .collect();
         out.set(f, chain.classify_vector(&v));
     }
@@ -92,10 +94,12 @@ pub fn cq_classify(train: &TrainingDb, eval: &Database) -> Option<Labeling> {
 /// a negative entity that are hom-equivalent (the "reason" of Lemma 5.4's
 /// criterion, CQ version).
 pub fn cq_inseparability_witness(train: &TrainingDb) -> Option<(Val, Val)> {
-    train.opposing_pairs().into_iter().find(|&(p, n)| {
-        homomorphism_exists(&train.db, &train.db, &[(p, n)])
-            && homomorphism_exists(&train.db, &train.db, &[(n, p)])
+    let pairs = train.opposing_pairs();
+    par_find_first(&pairs, |&(p, n)| {
+        exists_cached(&train.db, &train.db, &[(p, n)])
+            && exists_cached(&train.db, &train.db, &[(n, p)])
     })
+    .map(|i| pairs[i])
 }
 
 /// ∃FO⁺-separability coincides with CQ-separability (Proposition 8.3(2)):

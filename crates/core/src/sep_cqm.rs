@@ -44,7 +44,10 @@ pub fn full_statistic(d: &Database, config: &EnumConfig) -> Statistic {
 pub fn cqm_generate(train: &TrainingDb, config: &EnumConfig) -> Option<SeparatorModel> {
     let (statistic, rows, labels) = column_reduced_statistic(train, config);
     let classifier = separate(&rows, &labels)?;
-    Some(SeparatorModel { statistic, classifier })
+    Some(SeparatorModel {
+        statistic,
+        classifier,
+    })
 }
 
 /// The full (syntactically enumerated) `CQ[m]` statistic reduced to one
@@ -87,11 +90,7 @@ pub fn cqm_separable(train: &TrainingDb, config: &EnumConfig) -> bool {
 
 /// `CQ[m]`-Cls: classify an evaluation database with a model generated
 /// from the training database (both constructive per §4).
-pub fn cqm_classify(
-    train: &TrainingDb,
-    eval: &Database,
-    config: &EnumConfig,
-) -> Option<Labeling> {
+pub fn cqm_classify(train: &TrainingDb, eval: &Database, config: &EnumConfig) -> Option<Labeling> {
     cqm_generate(train, config).map(|model| model.classify(eval))
 }
 
@@ -197,10 +196,7 @@ mod tests {
         let mut s = Schema::entity_schema();
         s.add_relation("E", 2);
         s.add_relation("Unused", 3);
-        let d = DbBuilder::new(s)
-            .fact("E", &["a", "b"])
-            .entity("a")
-            .build();
+        let d = DbBuilder::new(s).fact("E", &["a", "b"]).entity("a").build();
         let st = full_statistic(&d, &EnumConfig::cqm(1));
         for q in &st.features {
             assert!(

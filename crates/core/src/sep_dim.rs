@@ -23,7 +23,7 @@
 
 use linsep::separate;
 use qbe::QbeError;
-use relational::{homomorphism_exists, Database, TrainingDb, Val};
+use relational::{Database, TrainingDb, Val};
 use std::fmt;
 
 /// Which feature class the dimension-bounded search runs over.
@@ -75,7 +75,10 @@ pub struct DimBudget {
 
 impl Default for DimBudget {
     fn default() -> DimBudget {
-        DimBudget { product_budget: 2_000_000, max_upsets: 1 << 16 }
+        DimBudget {
+            product_budget: 2_000_000,
+            max_upsets: 1 << 16,
+        }
     }
 }
 
@@ -91,6 +94,10 @@ pub fn sep_dim(
     Ok(sep_dim_witness(train, class, ell, budget)?.is_some())
 }
 
+/// One feature coordinate per entry: the `(positive, negative)` entity
+/// split it must realize.
+pub type WitnessSplits = Vec<(Vec<Val>, Vec<Val>)>;
+
 /// As [`sep_dim`], but on success returns, for each chosen feature
 /// coordinate, the `(positive, negative)` entity split it must realize —
 /// i.e. the QBE instances whose explanations form a witnessing statistic
@@ -100,7 +107,7 @@ pub fn sep_dim_witness(
     class: &DimClass,
     ell: usize,
     budget: &DimBudget,
-) -> Result<Option<Vec<(Vec<Val>, Vec<Val>)>>, DimError> {
+) -> Result<Option<WitnessSplits>, DimError> {
     let elems = train.entities();
     if elems.is_empty() {
         return Ok(Some(Vec::new()));
@@ -139,8 +146,10 @@ pub fn sep_dim_witness(
         .collect();
 
     // Enumerate up-sets of the class poset.
-    let upsets = enumerate_upsets(&class_leq, budget.max_upsets)
-        .ok_or(DimError::TooManyUpsets { cap: budget.max_upsets })?;
+    let upsets =
+        enumerate_upsets(&class_leq, budget.max_upsets).ok_or(DimError::TooManyUpsets {
+            cap: budget.max_upsets,
+        })?;
 
     // Filter to QBE-explainable columns, as ±1 class vectors.
     let mut columns: Vec<Vec<i32>> = Vec::new();
@@ -183,9 +192,8 @@ pub fn sep_dim_witness(
         .iter()
         .map(|&r| train.labeling.get(elems[r]).to_i32())
         .collect();
-    Ok(search_columns(&columns, &labels, ell).map(|chosen| {
-        chosen.into_iter().map(|c| column_sets[c].clone()).collect()
-    }))
+    Ok(search_columns(&columns, &labels, ell)
+        .map(|chosen| chosen.into_iter().map(|c| column_sets[c].clone()).collect()))
 }
 
 /// Convenience wrappers matching the paper's problem names.
@@ -252,10 +260,8 @@ pub fn sep_dim_generate(
     let mut features: Vec<cq::Cq> = Vec::with_capacity(witness.len());
     for (pos, neg) in &witness {
         let q = match class {
-            DimClass::Cq => {
-                qbe::cq_qbe_explain(&train.db, pos, neg, budget.product_budget)?
-                    .expect("witness coordinate was QBE-verified explainable")
-            }
+            DimClass::Cq => qbe::cq_qbe_explain(&train.db, pos, neg, budget.product_budget)?
+                .expect("witness coordinate was QBE-verified explainable"),
             DimClass::Ghw(k) => qbe::ghw_qbe_explain(
                 &train.db,
                 pos,
@@ -276,9 +282,11 @@ pub fn sep_dim_generate(
         .iter()
         .map(|&e| train.labeling.get(e).to_i32())
         .collect();
-    let classifier = separate(&rows, &labels)
-        .expect("witness columns were LP-verified separable");
-    Ok(Some(crate::statistic::SeparatorModel { statistic, classifier }))
+    let classifier = separate(&rows, &labels).expect("witness columns were LP-verified separable");
+    Ok(Some(crate::statistic::SeparatorModel {
+        statistic,
+        classifier,
+    }))
 }
 
 /// `L`-Cls[ℓ]: classify an evaluation database with an explicit
@@ -300,23 +308,17 @@ pub fn sep_dim_classify(
 /// The indistinguishability preorder matrix for the class.
 fn preorder_matrix(d: &Database, elems: &[Val], class: &DimClass) -> Vec<Vec<bool>> {
     let n = elems.len();
-    (0..n)
-        .map(|i| {
-            (0..n)
-                .map(|j| {
-                    i == j
-                        || match class {
-                            DimClass::Cq => {
-                                homomorphism_exists(d, d, &[(elems[i], elems[j])])
-                            }
-                            DimClass::Ghw(k) => {
-                                covergame::cover_implies(d, &[elems[i]], d, &[elems[j]], *k)
-                            }
-                        }
-                })
-                .collect()
-        })
-        .collect()
+    // n² independent indistinguishability queries: run them on the
+    // parallel driver, with CQ queries memoized by database content.
+    let cells: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
+    let flat = relational::hom::par::par_map(&cells, |&(i, j)| {
+        i == j
+            || match class {
+                DimClass::Cq => relational::exists_cached(d, d, &[(elems[i], elems[j])]),
+                DimClass::Ghw(k) => covergame::cover_implies(d, &[elems[i]], d, &[elems[j]], *k),
+            }
+    });
+    flat.chunks(n.max(1)).map(|row| row.to_vec()).collect()
 }
 
 /// All up-sets of the class preorder, as membership vectors; `None` if
@@ -332,9 +334,9 @@ fn enumerate_upsets(class_leq: &[Vec<bool>], cap: usize) -> Option<Vec<Vec<bool>
     // when a class is decided all its strict successors already are.
     let order: Vec<usize> = {
         let mut indeg = vec![0usize; m]; // # strict predecessors
-        for c in 0..m {
-            for e in 0..m {
-                if c != e && class_leq[c][e] {
+        for (c, row) in class_leq.iter().enumerate() {
+            for (e, &le) in row.iter().enumerate() {
+                if c != e && le {
                     indeg[e] += 1;
                 }
             }
@@ -379,8 +381,7 @@ fn enumerate_upsets(class_leq: &[Vec<bool>], cap: usize) -> Option<Vec<Vec<bool>
             return false;
         }
         // Include c: allowed iff every strict successor is included.
-        let ok = (0..class_leq.len())
-            .all(|e| e == c || !class_leq[c][e] || current[e]);
+        let ok = (0..class_leq.len()).all(|e| e == c || !class_leq[c][e] || current[e]);
         if ok {
             current[c] = true;
             if !rec(class_leq, order, i + 1, current, out, cap) {

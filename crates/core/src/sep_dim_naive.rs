@@ -56,8 +56,14 @@ pub fn sep_dim_naive(
         }
         // Step 2: each coordinate must be L-explainable.
         for j in 0..ell {
-            let pos: Vec<Val> = (0..n).filter(|&i| kappa(i, j) == 1).map(|i| elems[i]).collect();
-            let neg: Vec<Val> = (0..n).filter(|&i| kappa(i, j) == -1).map(|i| elems[i]).collect();
+            let pos: Vec<Val> = (0..n)
+                .filter(|&i| kappa(i, j) == 1)
+                .map(|i| elems[i])
+                .collect();
+            let neg: Vec<Val> = (0..n)
+                .filter(|&i| kappa(i, j) == -1)
+                .map(|i| elems[i])
+                .collect();
             // An all-negative coordinate: a constant-false feature. As in
             // the optimized solver, skip such guesses — a constant column
             // never affects separability (its weight can be zeroed), and
@@ -66,9 +72,7 @@ pub fn sep_dim_naive(
                 continue 'outer;
             }
             let ok = match class {
-                DimClass::Cq => {
-                    qbe::cq_qbe_decide(&train.db, &pos, &neg, budget.product_budget)?
-                }
+                DimClass::Cq => qbe::cq_qbe_decide(&train.db, &pos, &neg, budget.product_budget)?,
                 DimClass::Ghw(k) => {
                     qbe::ghw_qbe_decide(&train.db, &pos, &neg, *k, budget.product_budget)?
                 }
@@ -109,7 +113,11 @@ mod tests {
             db.add_entity(v);
             labeling.set(
                 v,
-                if rng.random::<bool>() { Label::Positive } else { Label::Negative },
+                if rng.random::<bool>() {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                },
             );
         }
         TrainingDb::new(db, labeling)

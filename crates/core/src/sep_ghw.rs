@@ -8,6 +8,7 @@
 
 use crate::chain::{build_chain, ChainError, ChainModel};
 use covergame::{CoverGame, CoverPreorder, UnionSkeleton};
+use relational::hom::par::par_find_first;
 use relational::{TrainingDb, Val};
 
 /// Decide `GHW(k)`-separability (Theorem 5.3).
@@ -18,16 +19,16 @@ pub fn ghw_separable(train: &TrainingDb, k: usize) -> bool {
 /// A positive/negative pair that is `GHW(k)`-indistinguishable, if any
 /// (the failure certificate of Lemma 5.4 (2)).
 pub fn ghw_inseparability_witness(train: &TrainingDb, k: usize) -> Option<(Val, Val)> {
-    // All games share one database, hence one union skeleton.
+    // All games share one database, hence one union skeleton; each pair's
+    // two game solves are independent of every other pair's, so the
+    // candidate sweep runs on the parallel driver.
     let skeleton = UnionSkeleton::build(&train.db, k);
     let implies = |a: Val, b: Val| {
         CoverGame::analyze_with_skeleton(&train.db, &[a], &train.db, &[b], &skeleton)
             .duplicator_wins()
     };
-    train
-        .opposing_pairs()
-        .into_iter()
-        .find(|&(p, n)| implies(p, n) && implies(n, p))
+    let pairs = train.opposing_pairs();
+    par_find_first(&pairs, |&(p, n)| implies(p, n) && implies(n, p)).map(|i| pairs[i])
 }
 
 /// The full `→_k` preorder over the training entities (used by

@@ -26,10 +26,14 @@ impl Statistic {
 
     /// `Π^D(e)` for every entity `e` in `entities`: the ±1 feature matrix,
     /// one row per entity.
+    ///
+    /// Each feature column is an independent evaluation (a batch of hom
+    /// tests for its query), so columns are computed on the parallel
+    /// driver and then transposed into rows.
     pub fn apply(&self, d: &Database, entities: &[Val]) -> Vec<Vec<i32>> {
+        let cols = relational::hom::par::par_map(&self.features, |q| indicator(q, d, entities));
         let mut rows = vec![Vec::with_capacity(self.features.len()); entities.len()];
-        for q in &self.features {
-            let col = indicator(q, d, entities);
+        for col in cols {
             for (row, v) in rows.iter_mut().zip(col) {
                 row.push(v);
             }

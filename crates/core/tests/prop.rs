@@ -34,7 +34,14 @@ fn random_train() -> impl Strategy<Value = TrainingDb> {
             let mut labeling = Labeling::new();
             for (i, &v) in vals.iter().enumerate() {
                 db.add_entity(v);
-                labeling.set(v, if labels[i] { Label::Positive } else { Label::Negative });
+                labeling.set(
+                    v,
+                    if labels[i] {
+                        Label::Positive
+                    } else {
+                        Label::Negative
+                    },
+                );
             }
             TrainingDb::new(db, labeling)
         })

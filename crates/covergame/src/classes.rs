@@ -61,9 +61,7 @@ impl CoverPreorder {
         let mut class_of = vec![usize::MAX; n];
         let mut reps: Vec<usize> = Vec::new();
         for i in 0..n {
-            let found = reps
-                .iter()
-                .position(|&r| leq[i][r] && leq[r][i]);
+            let found = reps.iter().position(|&r| leq[i][r] && leq[r][i]);
             match found {
                 Some(c) => class_of[i] = c,
                 None => {
@@ -110,7 +108,13 @@ impl CoverPreorder {
             class_of[i] = topo_pos[class_of[i]];
             classes[class_of[i]].push(i);
         }
-        CoverPreorder { k, elems, leq, class_of, classes }
+        CoverPreorder {
+            k,
+            elems,
+            leq,
+            class_of,
+            classes,
+        }
     }
 
     pub fn class_count(&self) -> usize {
@@ -195,7 +199,13 @@ mod tests {
         // entity: star-2 center ⪯ ... relationships vary; just check the
         // topological invariant on whatever structure comes out.
         let d = graph(
-            &[("a", "a1"), ("a", "a2"), ("b", "b1"), ("c", "c1"), ("c", "c2")],
+            &[
+                ("a", "a1"),
+                ("a", "a2"),
+                ("b", "b1"),
+                ("c", "c1"),
+                ("c", "c2"),
+            ],
             &["a", "b", "c", "z"],
         );
         let pre = CoverPreorder::compute(&d, &d.entities(), 1);
@@ -211,10 +221,7 @@ mod tests {
     #[test]
     fn chain_vectors_are_monotone() {
         // e ⪯ e' implies chain_vector(e) ≤ chain_vector(e') pointwise.
-        let d = graph(
-            &[("1", "2"), ("2", "3"), ("3", "4")],
-            &["1", "2", "3", "4"],
-        );
+        let d = graph(&[("1", "2"), ("2", "3"), ("3", "4")], &["1", "2", "3", "4"]);
         let pre = CoverPreorder::compute(&d, &d.entities(), 1);
         for c in 0..pre.class_count() {
             let vc = pre.chain_vector(c);
@@ -247,9 +254,21 @@ mod tests {
     fn isolated_entities_share_a_class() {
         let d = graph(&[("a", "b")], &["x", "y", "a"]);
         let pre = CoverPreorder::compute(&d, &d.entities(), 1);
-        let xi = pre.elems.iter().position(|&v| d.val_name(v) == "x").unwrap();
-        let yi = pre.elems.iter().position(|&v| d.val_name(v) == "y").unwrap();
-        let ai = pre.elems.iter().position(|&v| d.val_name(v) == "a").unwrap();
+        let xi = pre
+            .elems
+            .iter()
+            .position(|&v| d.val_name(v) == "x")
+            .unwrap();
+        let yi = pre
+            .elems
+            .iter()
+            .position(|&v| d.val_name(v) == "y")
+            .unwrap();
+        let ai = pre
+            .elems
+            .iter()
+            .position(|&v| d.val_name(v) == "a")
+            .unwrap();
         assert_eq!(pre.class_of[xi], pre.class_of[yi]);
         assert_ne!(pre.class_of[xi], pre.class_of[ai]);
     }

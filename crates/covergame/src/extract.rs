@@ -118,7 +118,10 @@ pub fn extract_from_game(
     debug_assert_eq!(root, 0);
 
     let q = Cq::new(d.schema().clone(), vec![Var(0)], builder.atoms);
-    let td = TreeDecomposition { bags: builder.bags, edges: builder.edges };
+    let td = TreeDecomposition {
+        bags: builder.bags,
+        edges: builder.edges,
+    };
     Ok((q, td))
 }
 
@@ -144,7 +147,9 @@ impl Builder<'_, '_> {
         constraint: &BTreeMap<Val, Val>,
     ) -> Result<usize, ExtractError> {
         if self.bags.len() >= self.max_nodes {
-            return Err(ExtractError::Budget { nodes: self.max_nodes });
+            return Err(ExtractError::Budget {
+                nodes: self.max_nodes,
+            });
         }
         let u = &self.game.unions[union_idx as usize];
 
@@ -193,13 +198,11 @@ impl Builder<'_, '_> {
                 .elems
                 .iter()
                 .enumerate()
-                .all(|(i, el)| constraint.get(el).map_or(true, |&c| pos.map[i] == c));
+                .all(|(i, el)| constraint.get(el).is_none_or(|&c| pos.map[i] == c));
             if !agrees {
                 continue;
             }
-            let (_, witness) = pos
-                .death
-                .expect("Spoiler wins, so every position is dead");
+            let (_, witness) = pos.death.expect("Spoiler wins, so every position is dead");
             let w = &self.game.unions[witness as usize];
             // Overlap between U and the witness union.
             let mut child_glue: BTreeMap<Val, Var> = BTreeMap::new();
@@ -274,8 +277,7 @@ mod tests {
     fn duplicator_win_yields_error() {
         let c3 = graph(&[("a", "b"), ("b", "c"), ("c", "a")], &[]);
         let err =
-            extract_distinguishing_query(&c3, v(&c3, "a"), &c3, v(&c3, "b"), 1, 1000)
-                .unwrap_err();
+            extract_distinguishing_query(&c3, v(&c3, "a"), &c3, v(&c3, "b"), 1, 1000).unwrap_err();
         assert_eq!(err, ExtractError::DuplicatorWins);
     }
 
@@ -307,10 +309,7 @@ mod tests {
 
     #[test]
     fn extracted_queries_distinguish_path_positions() {
-        let p = graph(
-            &[("1", "2"), ("2", "3"), ("3", "4")],
-            &["1", "2", "3", "4"],
-        );
+        let p = graph(&[("1", "2"), ("2", "3"), ("3", "4")], &["1", "2", "3", "4"]);
         let names = ["1", "2", "3", "4"];
         for a in names {
             for b in names {
@@ -322,8 +321,7 @@ mod tests {
                 if cover_implies(&p, &[ea], &p, &[eb], 1) {
                     continue;
                 }
-                let (q, td) =
-                    extract_distinguishing_query(&p, ea, &p, eb, 1, 10_000).unwrap();
+                let (q, td) = extract_distinguishing_query(&p, ea, &p, eb, 1, 10_000).unwrap();
                 assert!(selects(&q, &p, ea), "q_{a},{b} must select {a}: {q}");
                 assert!(!selects(&q, &p, eb), "q_{a},{b} must reject {b}: {q}");
                 td.verify(&q, 1).unwrap();
@@ -337,10 +335,7 @@ mod tests {
         // cycle entities need width 2: on C5 vs C4... use C3 member vs a
         // long even cycle member at k=2.
         let c3 = graph(&[("a", "b"), ("b", "c"), ("c", "a")], &["a"]);
-        let c4 = graph(
-            &[("w", "x"), ("x", "y"), ("y", "z"), ("z", "w")],
-            &["w"],
-        );
+        let c4 = graph(&[("w", "x"), ("x", "y"), ("y", "z"), ("z", "w")], &["w"]);
         // Give both entity status in a merged database for a fair query.
         // (Separate databases work too: extraction supports D ≠ D'.)
         let a = v(&c3, "a");

@@ -152,9 +152,10 @@ impl<'a> CoverGame<'a> {
                 let mut facts_inside = su.inner_facts.clone();
                 for &fi in &su.boundary_facts {
                     let f = self.d.fact(fi);
-                    let ok = f.args.iter().all(|v| {
-                        su.elems.binary_search(v).is_ok() || base.contains_key(v)
-                    });
+                    let ok = f
+                        .args
+                        .iter()
+                        .all(|v| su.elems.binary_search(v).is_ok() || base.contains_key(v));
                     if ok {
                         facts_inside.push(fi);
                     }
@@ -177,7 +178,9 @@ impl<'a> CoverGame<'a> {
             let mut cur: Vec<Option<Val>> = vec![None; u.elems.len()];
             self.enumerate_maps(u, &base, 0, &mut cur, &mut maps);
             self.positions.push(
-                maps.into_iter().map(|map| Position { map, death: None }).collect(),
+                maps.into_iter()
+                    .map(|map| Position { map, death: None })
+                    .collect(),
             );
         }
     }
@@ -250,13 +253,12 @@ impl<'a> CoverGame<'a> {
     /// neighboring union refutes; if a union runs dry, every remaining
     /// position (and the empty starting position) dies with that union as
     /// witness.
-    fn fixpoint(&mut self, neighbors: &[Vec<(u32, Vec<(u32, u32)>)>]) {
+    fn fixpoint(&mut self, neighbors: &[crate::skeleton::NeighborRow]) {
         let n = self.unions.len();
         if n == 0 {
             return;
         }
-        let mut alive_count: Vec<usize> =
-            self.positions.iter().map(|p| p.len()).collect();
+        let mut alive_count: Vec<usize> = self.positions.iter().map(|p| p.len()).collect();
 
         let mut seq = 0u32;
         let mut sweeps = 0u32;
@@ -274,8 +276,7 @@ impl<'a> CoverGame<'a> {
                         let ok = self.positions[vi_us].iter().any(|p2| {
                             p2.death.is_none()
                                 && pairs.iter().all(|&(i, j)| {
-                                    self.positions[ui][hi].map[i as usize]
-                                        == p2.map[j as usize]
+                                    self.positions[ui][hi].map[i as usize] == p2.map[j as usize]
                                 })
                         });
                         if !ok {
@@ -365,13 +366,7 @@ mod tests {
         // even k=1 forces Duplicator to realize a triangle through the
         // image point.
         let c3 = graph(&[("a", "b"), ("b", "c"), ("c", "a")]);
-        let p6 = graph(&[
-            ("1", "2"),
-            ("2", "3"),
-            ("3", "4"),
-            ("4", "5"),
-            ("5", "6"),
-        ]);
+        let p6 = graph(&[("1", "2"), ("2", "3"), ("3", "4"), ("4", "5"), ("5", "6")]);
         // Hom p6 -> c3 with 1 -> a exists, so ->_1 holds.
         assert!(homomorphism_exists(&p6, &c3, &[]));
         assert!(cover_implies(&p6, &[v(&p6, "1")], &c3, &[v(&c3, "a")], 1));
@@ -388,10 +383,7 @@ mod tests {
         // Spoiler... i.e. winning at k+1 implies winning at k.
         let c4 = graph(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]);
         let c2 = graph(&[("x", "y"), ("y", "x")]);
-        for (from, fa, to, ta) in [
-            (&c4, "a", &c2, "x"),
-            (&c2, "x", &c4, "a"),
-        ] {
+        for (from, fa, to, ta) in [(&c4, "a", &c2, "x"), (&c2, "x", &c4, "a")] {
             let mut prev = true;
             for k in 1..=3 {
                 let now = cover_implies(from, &[v(from, fa)], to, &[v(to, ta)], k);
@@ -466,12 +458,7 @@ mod tests {
     fn cover_agrees_with_hom_when_target_rich() {
         // Against a reflexive complete digraph every query holds
         // everywhere, so ->_k always holds.
-        let k2 = graph(&[
-            ("u", "u"),
-            ("u", "w"),
-            ("w", "u"),
-            ("w", "w"),
-        ]);
+        let k2 = graph(&[("u", "u"), ("u", "w"), ("w", "u"), ("w", "w")]);
         let any = graph(&[("a", "b"), ("b", "c"), ("c", "a"), ("a", "a")]);
         for k in 1..=2 {
             assert!(cover_implies(&any, &[v(&any, "a")], &k2, &[v(&k2, "u")], k));

@@ -31,7 +31,12 @@ impl<'a> PebbleGame<'a> {
     pub fn analyze(d: &'a Database, d2: &'a Database, k: usize) -> PebbleGame<'a> {
         assert!(k >= 1, "pebble game needs k >= 1");
         assert_eq!(d.schema(), d2.schema(), "pebble game requires one schema");
-        let mut game = PebbleGame { d, d2, k, alive: HashSet::new() };
+        let mut game = PebbleGame {
+            d,
+            d2,
+            k,
+            alive: HashSet::new(),
+        };
         game.build();
         game.fixpoint();
         game
@@ -247,13 +252,7 @@ mod tests {
 
     #[test]
     fn equivalence_is_monotone_decreasing_in_k() {
-        let d = graph(&[
-            ("a", "b"),
-            ("b", "c"),
-            ("c", "a"),
-            ("x", "y"),
-            ("y", "x"),
-        ]);
+        let d = graph(&[("a", "b"), ("b", "c"), ("c", "a"), ("x", "y"), ("y", "x")]);
         let mut prev = true;
         for k in 1..=3 {
             let now = pebble_equivalent(&d, v(&d, "a"), &d, v(&d, "x"), k);
@@ -274,6 +273,12 @@ mod tests {
         let one = graph(&[("l", "l")]);
         let two = graph(&[("l", "l"), ("m", "m")]);
         assert!(pebble_equivalent(&one, v(&one, "l"), &two, v(&two, "l"), 1));
-        assert!(!pebble_equivalent(&one, v(&one, "l"), &two, v(&two, "l"), 2));
+        assert!(!pebble_equivalent(
+            &one,
+            v(&one, "l"),
+            &two,
+            v(&two, "l"),
+            2
+        ));
     }
 }

@@ -26,13 +26,16 @@ pub struct SkeletonUnion {
     pub boundary_facts: Vec<usize>,
 }
 
+/// One union's overlap adjacency: the overlapping unions and the aligned
+/// index pairs `(i, j)` with `unions[u].elems[i] == unions[v].elems[j]`.
+pub type NeighborRow = Vec<(u32, Vec<(u32, u32)>)>;
+
 /// The shared skeleton: unions plus their overlap adjacency.
 pub struct UnionSkeleton {
     pub k: usize,
     pub unions: Vec<SkeletonUnion>,
-    /// For each union, the overlapping unions and the aligned index pairs
-    /// `(i, j)` with `unions[u].elems[i] == unions[v].elems[j]`.
-    pub neighbors: Vec<Vec<(u32, Vec<(u32, u32)>)>>,
+    /// For each union, its [`NeighborRow`].
+    pub neighbors: Vec<NeighborRow>,
 }
 
 impl UnionSkeleton {
@@ -44,8 +47,7 @@ impl UnionSkeleton {
         let mut seen: HashMap<Vec<Val>, usize> = HashMap::new();
         let mut unions: Vec<SkeletonUnion> = Vec::new();
 
-        let mut frontier: Vec<(BTreeSet<Val>, Vec<usize>)> =
-            vec![(BTreeSet::new(), Vec::new())];
+        let mut frontier: Vec<(BTreeSet<Val>, Vec<usize>)> = vec![(BTreeSet::new(), Vec::new())];
         for _ in 0..k {
             let mut next = Vec::new();
             for (elems, cover) in &frontier {
@@ -80,7 +82,7 @@ impl UnionSkeleton {
                 by_elem.entry(e).or_default().push(ui as u32);
             }
         }
-        let mut neighbors: Vec<Vec<(u32, Vec<(u32, u32)>)>> = Vec::with_capacity(n);
+        let mut neighbors: Vec<NeighborRow> = Vec::with_capacity(n);
         for (ui, u) in unions.iter().enumerate() {
             let mut nb: Vec<u32> = u
                 .elems
@@ -106,7 +108,11 @@ impl UnionSkeleton {
             neighbors.push(shared);
         }
 
-        UnionSkeleton { k, unions, neighbors }
+        UnionSkeleton {
+            k,
+            unions,
+            neighbors,
+        }
     }
 }
 
@@ -171,11 +177,7 @@ mod tests {
         assert_eq!(sk.unions.len(), 6);
         // Disjoint singles have no neighbors among singles but overlap
         // with the pairs containing them.
-        let single = sk
-            .unions
-            .iter()
-            .position(|u| u.cover.len() == 1)
-            .unwrap();
+        let single = sk.unions.iter().position(|u| u.cover.len() == 1).unwrap();
         assert!(sk.neighbors[single].iter().all(|(v, _)| {
             let vu = &sk.unions[*v as usize];
             vu.elems.iter().any(|e| sk.unions[single].elems.contains(e))

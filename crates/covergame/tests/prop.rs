@@ -25,9 +25,7 @@ fn graph(n: usize, edges: &[(usize, usize)], all_entities: bool) -> Database {
 }
 
 fn small_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (2usize..5).prop_flat_map(|n| {
-        (Just(n), proptest::collection::vec((0..n, 0..n), 0..(2 * n)))
-    })
+    (2usize..5).prop_flat_map(|n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..(2 * n))))
 }
 
 proptest! {

@@ -69,7 +69,10 @@ mod tests {
         let q1 = Cq::new(
             s.clone(),
             vec![Var(0)],
-            vec![Atom::new(eta, vec![Var(0)]), Atom::new(e, vec![Var(0), Var(1)])],
+            vec![
+                Atom::new(eta, vec![Var(0)]),
+                Atom::new(e, vec![Var(0), Var(1)]),
+            ],
         );
         let q2 = Cq::new(
             s,
@@ -100,12 +103,18 @@ mod tests {
         let out_q = Cq::new(
             s.clone(),
             vec![Var(0)],
-            vec![Atom::new(eta, vec![Var(0)]), Atom::new(e, vec![Var(0), Var(1)])],
+            vec![
+                Atom::new(eta, vec![Var(0)]),
+                Atom::new(e, vec![Var(0), Var(1)]),
+            ],
         );
         let in_q = Cq::new(
             s,
             vec![Var(0)],
-            vec![Atom::new(eta, vec![Var(0)]), Atom::new(e, vec![Var(1), Var(0)])],
+            vec![
+                Atom::new(eta, vec![Var(0)]),
+                Atom::new(e, vec![Var(1), Var(0)]),
+            ],
         );
         assert!(!contained_in(&out_q, &in_q));
         assert!(!contained_in(&in_q, &out_q));

@@ -76,7 +76,11 @@ fn build_db(q: &Cq, atoms: &[Atom]) -> (Database, Vec<Val>) {
         .map(|v| db.value(&format!("x{}", v.0)))
         .collect();
     for a in atoms {
-        let args: Vec<Val> = a.args.iter().map(|v| db.value(&format!("x{}", v.0))).collect();
+        let args: Vec<Val> = a
+            .args
+            .iter()
+            .map(|v| db.value(&format!("x{}", v.0)))
+            .collect();
         db.add_fact(a.rel, args);
     }
     (db, frees)

@@ -36,7 +36,10 @@ pub struct TreeDecomposition {
 impl TreeDecomposition {
     /// A single-bag decomposition over the given variables.
     pub fn single(bag: BTreeSet<Var>) -> TreeDecomposition {
-        TreeDecomposition { bags: vec![bag], edges: Vec::new() }
+        TreeDecomposition {
+            bags: vec![bag],
+            edges: Vec::new(),
+        }
     }
 
     /// Check all decomposition conditions against `q` and that every bag
@@ -77,7 +80,10 @@ impl TreeDecomposition {
         let exist = existential_vars(q);
         for (i, bag) in self.bags.iter().enumerate() {
             if let Some(v) = bag.iter().find(|v| !exist.contains(v)) {
-                return Err(format!("bag {i} contains non-existential variable x{}", v.0));
+                return Err(format!(
+                    "bag {i} contains non-existential variable x{}",
+                    v.0
+                ));
             }
         }
 
@@ -163,12 +169,7 @@ fn min_cover(q: &Cq, bag: &BTreeSet<Var>) -> usize {
         .map(|a| a.args.iter().copied().collect())
         .collect();
     let mut best = usize::MAX;
-    fn rec(
-        remaining: &BTreeSet<Var>,
-        atom_sets: &[BTreeSet<Var>],
-        used: usize,
-        best: &mut usize,
-    ) {
+    fn rec(remaining: &BTreeSet<Var>, atom_sets: &[BTreeSet<Var>], used: usize, best: &mut usize) {
         if used >= *best {
             return;
         }
@@ -207,7 +208,12 @@ pub fn ghw_at_most(q: &Cq, k: usize) -> Option<TreeDecomposition> {
         let eset: HashSet<Var> = exist.iter().copied().collect();
         let mut m: HashMap<Var, BTreeSet<Var>> = HashMap::new();
         for a in q.atoms() {
-            let vs: Vec<Var> = a.args.iter().copied().filter(|v| eset.contains(v)).collect();
+            let vs: Vec<Var> = a
+                .args
+                .iter()
+                .copied()
+                .filter(|v| eset.contains(v))
+                .collect();
             for &u in &vs {
                 for &w in &vs {
                     if u != w {
@@ -246,7 +252,10 @@ pub fn ghw_at_most(q: &Cq, k: usize) -> Option<TreeDecomposition> {
     )
     .is_some()
     {
-        let td = TreeDecomposition { bags: result_bags, edges: result_edges };
+        let td = TreeDecomposition {
+            bags: result_bags,
+            edges: result_edges,
+        };
         debug_assert!(td.verify(q, k).is_ok(), "{:?}", td.verify(q, k));
         Some(td)
     } else {
@@ -375,7 +384,7 @@ fn solve(
                 .filter(|v| {
                     adjacent
                         .get(v)
-                        .map_or(false, |adj| adj.iter().any(|w| sub.contains(w)))
+                        .is_some_and(|adj| adj.iter().any(|w| sub.contains(w)))
                 })
                 .collect();
             match solve(
@@ -415,10 +424,7 @@ fn solve(
 }
 
 /// Connected components of `vars` under the adjacency relation.
-fn components(
-    vars: &BTreeSet<Var>,
-    adjacent: &HashMap<Var, BTreeSet<Var>>,
-) -> Vec<BTreeSet<Var>> {
+fn components(vars: &BTreeSet<Var>, adjacent: &HashMap<Var, BTreeSet<Var>>) -> Vec<BTreeSet<Var>> {
     let mut remaining: BTreeSet<Var> = vars.clone();
     let mut out = Vec::new();
     while let Some(&start) = remaining.iter().next() {
@@ -550,15 +556,7 @@ mod tests {
     #[test]
     fn k_clique_of_existentials() {
         // K4 on existentials {1,2,3,4} hanging off x; ghw(K4) = 2.
-        let query = q(vec![
-            (0, 1),
-            (1, 2),
-            (1, 3),
-            (1, 4),
-            (2, 3),
-            (2, 4),
-            (3, 4),
-        ]);
+        let query = q(vec![(0, 1), (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)]);
         assert!(ghw_at_most(&query, 1).is_none());
         assert_eq!(ghw(&query), 2);
     }
@@ -567,7 +565,11 @@ mod tests {
     fn cqm_is_inside_ghw_m() {
         // Any query with m atoms has ghw <= m (single bag of all
         // existential vars, covered by all atoms).
-        for atoms in [vec![(0, 1)], vec![(0, 1), (2, 3)], vec![(1, 2), (2, 1), (1, 1)]] {
+        for atoms in [
+            vec![(0, 1)],
+            vec![(0, 1), (2, 3)],
+            vec![(1, 2), (2, 1), (1, 1)],
+        ] {
             let m = atoms.len();
             let query = q(atoms);
             assert!(ghw(&query) <= m);

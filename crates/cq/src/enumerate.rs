@@ -55,7 +55,10 @@ impl EnumConfig {
     }
 
     pub fn cqmp(m: usize, p: usize) -> EnumConfig {
-        EnumConfig { max_var_occurrences: Some(p), ..EnumConfig::cqm(m) }
+        EnumConfig {
+            max_var_occurrences: Some(p),
+            ..EnumConfig::cqm(m)
+        }
     }
 
     pub fn over_relations(mut self, rels: Vec<RelId>) -> EnumConfig {
@@ -205,7 +208,11 @@ fn canonical_string(q: &Cq) -> String {
             format!(
                 "{}({})",
                 a.rel.0,
-                a.args.iter().map(|v| v.0.to_string()).collect::<Vec<_>>().join(",")
+                a.args
+                    .iter()
+                    .map(|v| v.0.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             )
         })
         .collect();
@@ -314,8 +321,7 @@ mod tests {
         let mut s = Schema::entity_schema();
         let r = s.add_relation("R", 1);
         s.add_relation("T", 1);
-        let qs =
-            enumerate_feature_queries(&s, &EnumConfig::cqm(1).over_relations(vec![r]));
+        let qs = enumerate_feature_queries(&s, &EnumConfig::cqm(1).over_relations(vec![r]));
         // Only eta, R(x), ∃y R(y).
         assert_eq!(qs.len(), 3);
         assert!(qs.iter().all(|q| q.to_string().find('T').is_none()));

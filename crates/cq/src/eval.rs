@@ -88,7 +88,10 @@ mod tests {
         Cq::new(
             s,
             vec![Var(0)],
-            vec![Atom::new(eta, vec![Var(0)]), Atom::new(e, vec![Var(0), Var(1)])],
+            vec![
+                Atom::new(eta, vec![Var(0)]),
+                Atom::new(e, vec![Var(0), Var(1)]),
+            ],
         )
     }
 

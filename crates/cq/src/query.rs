@@ -76,7 +76,12 @@ impl Cq {
             max_var = Some(max_var.map_or(v.0, |m| m.max(v.0)));
         }
         let var_count = max_var.map_or(0, |m| m + 1);
-        Cq { schema, free, atoms, var_count }
+        Cq {
+            schema,
+            free,
+            atoms,
+            var_count,
+        }
     }
 
     /// The unary feature query `q(x) := η(x)` — the "trivial" feature used
@@ -120,9 +125,7 @@ impl Cq {
         let eta = self.schema.entity_rel();
         self.atoms
             .iter()
-            .filter(|a| {
-                !(Some(a.rel) == eta && self.free.contains(&a.args[0]))
-            })
+            .filter(|a| !(Some(a.rel) == eta && self.free.contains(&a.args[0])))
             .count()
     }
 
@@ -251,8 +254,7 @@ impl Cq {
     /// product-based feature generation produces. The result is implied
     /// by the original query (it is a subset of its conjuncts).
     pub fn connected_to_free(&self) -> Cq {
-        let mut reach: std::collections::HashSet<Var> =
-            self.free.iter().copied().collect();
+        let mut reach: std::collections::HashSet<Var> = self.free.iter().copied().collect();
         loop {
             let mut grew = false;
             for a in &self.atoms {

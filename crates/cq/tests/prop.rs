@@ -2,7 +2,10 @@
 //! ghw bounds, evaluation consistency, and enumeration coverage.
 
 use cq::core::{core_of, is_core};
-use cq::{contained_in, enumerate_feature_queries, equivalent, evaluate_unary, ghw, Atom, Cq, EnumConfig, Var};
+use cq::{
+    contained_in, enumerate_feature_queries, equivalent, evaluate_unary, ghw, Atom, Cq, EnumConfig,
+    Var,
+};
 use proptest::prelude::*;
 use relational::{Database, Schema, Val};
 
@@ -15,25 +18,21 @@ fn schema() -> Schema {
 /// Strategy: a random unary CQ over the graph schema with ≤ `max_atoms`
 /// E-atoms and variables drawn from a small pool (0 = free).
 fn random_cq(max_atoms: usize, max_var: u32) -> impl Strategy<Value = Cq> {
-    proptest::collection::vec((0..=max_var, 0..=max_var), 1..=max_atoms).prop_map(
-        move |pairs| {
-            let s = schema();
-            let e = s.rel_by_name("E").unwrap();
-            let atoms: Vec<Atom> = pairs
-                .into_iter()
-                .map(|(a, b)| Atom::new(e, vec![Var(a), Var(b)]))
-                .collect();
-            Cq::new(s, vec![Var(0)], atoms).with_entity_guard()
-        },
-    )
+    proptest::collection::vec((0..=max_var, 0..=max_var), 1..=max_atoms).prop_map(move |pairs| {
+        let s = schema();
+        let e = s.rel_by_name("E").unwrap();
+        let atoms: Vec<Atom> = pairs
+            .into_iter()
+            .map(|(a, b)| Atom::new(e, vec![Var(a), Var(b)]))
+            .collect();
+        Cq::new(s, vec![Var(0)], atoms).with_entity_guard()
+    })
 }
 
 /// Strategy: a small graph database with all nodes as entities.
 fn random_db() -> impl Strategy<Value = Database> {
     (2usize..5)
-        .prop_flat_map(|n| {
-            (Just(n), proptest::collection::vec((0..n, 0..n), 0..(2 * n)))
-        })
+        .prop_flat_map(|n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..(2 * n))))
         .prop_map(|(n, edges)| {
             let mut db = Database::new(schema());
             let vals: Vec<Val> = (0..n).map(|i| db.value(&format!("v{i}"))).collect();

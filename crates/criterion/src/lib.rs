@@ -1,0 +1,191 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `bench_with_input`, `BenchmarkId`,
+//! and the `criterion_group!`/`criterion_main!` macros — measuring with
+//! plain wall-clock medians instead of criterion's statistical machinery.
+//! Good enough to compare implementations on one machine; not a
+//! replacement for real criterion reports.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1);
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&id.0);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&id.0);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Runs the measured closure and records sample times.
+pub struct Bencher {
+    samples: usize,
+    median_secs: Option<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            median_secs: None,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up run, then `samples` timed runs; keep the median.
+        std::hint::black_box(f());
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_secs = Some(times[times.len() / 2]);
+    }
+
+    fn report(&self, name: &str) {
+        match self.median_secs {
+            Some(t) => println!("  {name}: {}", format_secs(t)),
+            None => println!("  {name}: no measurement"),
+        }
+    }
+}
+
+fn format_secs(t: f64) -> String {
+    if t >= 1.0 {
+        format!("{t:.3} s")
+    } else if t >= 1e-3 {
+        format!("{:.3} ms", t * 1e3)
+    } else if t >= 1e-6 {
+        format!("{:.3} µs", t * 1e6)
+    } else {
+        format!("{:.1} ns", t * 1e9)
+    }
+}
+
+/// Re-export for benches that import `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_runs_measurements() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_with_input(BenchmarkId::new("triangular", 100), &100u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        g.finish();
+        // One warm-up plus three samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn format_is_humane() {
+        assert!(format_secs(2.0).ends_with(" s"));
+        assert!(format_secs(2e-3).ends_with(" ms"));
+        assert!(format_secs(2e-6).ends_with(" µs"));
+        assert!(format_secs(2e-9).ends_with(" ns"));
+    }
+}

@@ -41,6 +41,9 @@ impl FoFormula {
         FoFormula::Or(Vec::new())
     }
 
+    // Builder-style DSL constructor, deliberately named like the
+    // connective (`f.not()`), not an `ops::Not` impl.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> FoFormula {
         FoFormula::Not(Box::new(self))
     }
@@ -97,9 +100,7 @@ impl FoFormula {
         match self {
             FoFormula::Atom(..) | FoFormula::Eq(..) => 0,
             FoFormula::Not(f) => f.quantifier_count(),
-            FoFormula::And(fs) | FoFormula::Or(fs) => {
-                fs.iter().map(|f| f.quantifier_count()).sum()
-            }
+            FoFormula::And(fs) | FoFormula::Or(fs) => fs.iter().map(|f| f.quantifier_count()).sum(),
             FoFormula::Exists(_, f) | FoFormula::Forall(_, f) => 1 + f.quantifier_count(),
         }
     }
@@ -142,7 +143,11 @@ impl fmt::Display for DisplayFo<'_> {
                 FoFormula::And(fs) if fs.is_empty() => write!(out, "⊤"),
                 FoFormula::Or(fs) if fs.is_empty() => write!(out, "⊥"),
                 FoFormula::And(fs) | FoFormula::Or(fs) => {
-                    let sep = if matches!(f, FoFormula::And(_)) { " ∧ " } else { " ∨ " };
+                    let sep = if matches!(f, FoFormula::And(_)) {
+                        " ∧ "
+                    } else {
+                        " ∨ "
+                    };
                     write!(out, "(")?;
                     for (i, g) in fs.iter().enumerate() {
                         if i > 0 {
@@ -197,10 +202,7 @@ mod tests {
     fn display_is_readable() {
         let s = schema();
         let e = s.rel_by_name("E").unwrap();
-        let f = FoFormula::forall(
-            FoVar(1),
-            FoFormula::Atom(e, vec![FoVar(0), FoVar(1)]).not(),
-        );
+        let f = FoFormula::forall(FoVar(1), FoFormula::Atom(e, vec![FoVar(0), FoVar(1)]).not());
         assert_eq!(format!("{}", f.display(&s)), "∀x1 ¬(E(x0,x1))");
         assert_eq!(format!("{}", FoFormula::top().display(&s)), "⊤");
         assert_eq!(format!("{}", FoFormula::bottom().display(&s)), "⊥");

@@ -69,9 +69,8 @@ pub fn describing_formula(d: &Database, e: Val) -> FoFormula {
         loop {
             let tuple: Vec<Val> = counter.iter().map(|&i| elems[i]).collect();
             if !d.has_fact(rel, &tuple) {
-                conjuncts.push(
-                    FoFormula::Atom(rel, tuple.iter().map(|&a| var_of(a)).collect()).not(),
-                );
+                conjuncts
+                    .push(FoFormula::Atom(rel, tuple.iter().map(|&a| var_of(a)).collect()).not());
             }
             // Advance.
             let mut pos = 0;
@@ -94,10 +93,7 @@ pub fn describing_formula(d: &Database, e: Val) -> FoFormula {
 
     // (3) domain exactness: ∀z (z = x ∨ z = y_1 ∨ …).
     let z = FoVar(elems.len() as u32 + 1);
-    let eqs: Vec<FoFormula> = elems
-        .iter()
-        .map(|&a| FoFormula::Eq(z, var_of(a)))
-        .collect();
+    let eqs: Vec<FoFormula> = elems.iter().map(|&a| FoFormula::Eq(z, var_of(a))).collect();
     conjuncts.push(FoFormula::forall(z, FoFormula::Or(eqs)));
 
     // Wrap the y-variables existentially.
@@ -152,7 +148,8 @@ mod tests {
                         let by_formula = fo_selects(d2, &delta, FoVar(0), f);
                         let by_iso = isomorphic(d1, d2, &[(e, f)]);
                         assert_eq!(
-                            by_formula, by_iso,
+                            by_formula,
+                            by_iso,
                             "δ disagrees with iso: {d1:?}@{} vs {d2:?}@{}",
                             d1.val_name(e),
                             d2.val_name(f)
@@ -167,10 +164,7 @@ mod tests {
     fn describing_formula_selects_its_own_orbit() {
         // On a 4-cycle, δ_{D,a} selects exactly a's automorphism orbit —
         // which is all four vertices.
-        let c4 = graph(
-            &[("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")],
-            &[],
-        );
+        let c4 = graph(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")], &[]);
         let a = c4.val_by_name("a").unwrap();
         let delta = describing_formula(&c4, a);
         for v in c4.dom() {

@@ -23,13 +23,20 @@ fn eval(d: &Database, f: &FoFormula, env: &mut HashMap<FoVar, Val>) -> bool {
         FoFormula::Atom(rel, args) => {
             let vals: Vec<Val> = args
                 .iter()
-                .map(|v| *env.get(v).unwrap_or_else(|| panic!("unbound variable x{}", v.0)))
+                .map(|v| {
+                    *env.get(v)
+                        .unwrap_or_else(|| panic!("unbound variable x{}", v.0))
+                })
                 .collect();
             d.has_fact(*rel, &vals)
         }
         FoFormula::Eq(a, b) => {
-            let va = *env.get(a).unwrap_or_else(|| panic!("unbound variable x{}", a.0));
-            let vb = *env.get(b).unwrap_or_else(|| panic!("unbound variable x{}", b.0));
+            let va = *env
+                .get(a)
+                .unwrap_or_else(|| panic!("unbound variable x{}", a.0));
+            let vb = *env
+                .get(b)
+                .unwrap_or_else(|| panic!("unbound variable x{}", b.0));
             va == vb
         }
         FoFormula::Not(g) => !eval(d, g, env),
@@ -124,8 +131,8 @@ mod tests {
     #[test]
     fn negation_flips() {
         let d = db();
-        let f = FoFormula::exists(FoVar(1), FoFormula::Atom(e_rel(), vec![FoVar(0), FoVar(1)]))
-            .not();
+        let f =
+            FoFormula::exists(FoVar(1), FoFormula::Atom(e_rel(), vec![FoVar(0), FoVar(1)])).not();
         let c = d.val_by_name("c").unwrap();
         let a = d.val_by_name("a").unwrap();
         assert!(fo_selects(&d, &f, FoVar(0), c));

@@ -23,9 +23,7 @@ fn graph(n: usize, edges: &[(usize, usize)]) -> Database {
 }
 
 fn small_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (2usize..4).prop_flat_map(|n| {
-        (Just(n), proptest::collection::vec((0..n, 0..n), 0..(2 * n)))
-    })
+    (2usize..4).prop_flat_map(|n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..(2 * n))))
 }
 
 /// A random quantifier-shallow formula with one free variable FoVar(0).
@@ -35,8 +33,8 @@ fn random_formula() -> impl Strategy<Value = FoFormula> {
         s.add_relation("E", 2);
         s.rel_by_name("E").unwrap()
     };
-    let atom = (0u32..3, 0u32..3)
-        .prop_map(move |(a, b)| FoFormula::Atom(e, vec![FoVar(a), FoVar(b)]));
+    let atom =
+        (0u32..3, 0u32..3).prop_map(move |(a, b)| FoFormula::Atom(e, vec![FoVar(a), FoVar(b)]));
     let eq = (0u32..3, 0u32..3).prop_map(|(a, b)| FoFormula::Eq(FoVar(a), FoVar(b)));
     let leaf = prop_oneof![atom, eq];
     leaf.prop_recursive(3, 16, 3, |inner| {

@@ -46,13 +46,8 @@ impl LinearClassifier {
     }
 
     /// Does this classifier label every `(vector, label)` pair correctly?
-    pub fn separates<'a>(
-        &self,
-        examples: impl IntoIterator<Item = (&'a [i32], i32)>,
-    ) -> bool {
-        examples
-            .into_iter()
-            .all(|(v, y)| self.classify(v) == y)
+    pub fn separates<'a>(&self, examples: impl IntoIterator<Item = (&'a [i32], i32)>) -> bool {
+        examples.into_iter().all(|(v, y)| self.classify(v) == y)
     }
 
     /// Number of misclassified examples.

@@ -132,7 +132,11 @@ pub fn min_error_classifier(vectors: &[Vec<i32>], labels: &[i32]) -> MinErrorRes
         .filter(|(a, b)| a != b)
         .count();
     debug_assert_eq!(errors, best_cost);
-    MinErrorResult { classifier, errors, labels: labels_out }
+    MinErrorResult {
+        classifier,
+        errors,
+        labels: labels_out,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -163,11 +167,18 @@ fn branch(
     for side in sides {
         let step = if side == 1 { neg[t] } else { pos[t] };
         assign[t] = side;
-        if cost + step + suffix_min[i + 1] < *best_cost
-            && prefix_separable(types, order, i, assign)
+        if cost + step + suffix_min[i + 1] < *best_cost && prefix_separable(types, order, i, assign)
         {
             branch(
-                types, pos, neg, order, suffix_min, i + 1, cost + step, assign, best_cost,
+                types,
+                pos,
+                neg,
+                order,
+                suffix_min,
+                i + 1,
+                cost + step,
+                assign,
+                best_cost,
                 best_assign,
             );
         }
@@ -211,9 +222,12 @@ mod tests {
         assert_eq!(r.errors, 1);
         // The realized labeling must itself be separable and differ in
         // exactly one place.
-        assert!(r
-            .classifier
-            .separates(vectors.iter().map(|v| v.as_slice()).zip(r.labels.iter().copied())));
+        assert!(r.classifier.separates(
+            vectors
+                .iter()
+                .map(|v| v.as_slice())
+                .zip(r.labels.iter().copied())
+        ));
     }
 
     #[test]
@@ -262,7 +276,9 @@ mod tests {
         // Compare against brute force over all type assignments.
         let mut x = 7u64;
         let mut rnd = move || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as usize
         };
         for trial in 0..10 {
@@ -271,8 +287,9 @@ mod tests {
             let mut vectors = Vec::new();
             let mut labels = Vec::new();
             for _ in 0..n {
-                let v: Vec<i32> =
-                    (0..dims).map(|_| if rnd() % 2 == 0 { 1 } else { -1 }).collect();
+                let v: Vec<i32> = (0..dims)
+                    .map(|_| if rnd() % 2 == 0 { 1 } else { -1 })
+                    .collect();
                 vectors.push(v);
                 labels.push(if rnd() % 2 == 0 { 1 } else { -1 });
             }

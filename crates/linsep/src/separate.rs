@@ -38,12 +38,20 @@ pub fn separate_with_margin(
         assert_eq!(v.len(), n, "uniform vector arity required");
         assert!(v.iter().all(|&x| x == 1 || x == -1), "features must be ±1");
     }
-    assert!(labels.iter().all(|&y| y == 1 || y == -1), "labels must be ±1");
+    assert!(
+        labels.iter().all(|&y| y == 1 || y == -1),
+        "labels must be ±1"
+    );
 
     // Fast path: the integer perceptron usually converges immediately on
     // the easy instances the enumeration algorithms generate.
     if let Some(c) = perceptron(vectors, labels, 200 * (n + 1) * (vectors.len() + 1)) {
-        debug_assert!(c.separates(vectors.iter().map(|v| v.as_slice()).zip(labels.iter().copied())));
+        debug_assert!(c.separates(
+            vectors
+                .iter()
+                .map(|v| v.as_slice())
+                .zip(labels.iter().copied())
+        ));
         let margin = margin_of(&c_normalized(&c), vectors, labels);
         return Some((c, margin));
     }
@@ -96,12 +104,14 @@ pub fn separate_with_margin(
             if !t.is_positive() {
                 return None;
             }
-            let weights: Vec<BigRational> =
-                (0..n).map(|j| &x[j] - &int(1)).collect();
+            let weights: Vec<BigRational> = (0..n).map(|j| &x[j] - &int(1)).collect();
             let threshold = &x[n] - &int(1);
             let c = LinearClassifier::new(threshold, weights);
             debug_assert!(c.separates(
-                vectors.iter().map(|v| v.as_slice()).zip(labels.iter().copied())
+                vectors
+                    .iter()
+                    .map(|v| v.as_slice())
+                    .zip(labels.iter().copied())
             ));
             Some((c, t))
         }
@@ -114,7 +124,11 @@ pub fn separate_with_margin(
 /// Integer perceptron with an iteration cap; `None` means "gave up", not
 /// "inseparable". The boundary convention (`≥` ⇒ positive) is enforced by
 /// training with a strict margin of 1 on both sides.
-fn perceptron(vectors: &[Vec<i32>], labels: &[i32], max_updates: usize) -> Option<LinearClassifier> {
+fn perceptron(
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+    max_updates: usize,
+) -> Option<LinearClassifier> {
     let n = vectors[0].len();
     let mut w = vec![0i64; n];
     let mut w0 = 0i64;
@@ -128,7 +142,11 @@ fn perceptron(vectors: &[Vec<i32>], labels: &[i32], max_updates: usize) -> Optio
                 .map(|(&wj, &bj)| wj * bj as i64)
                 .sum();
             // Demand a margin of 1 so the ≥-boundary is classified right.
-            let ok = if y == 1 { score - w0 >= 1 } else { score - w0 <= -1 };
+            let ok = if y == 1 {
+                score - w0 >= 1
+            } else {
+                score - w0 <= -1
+            };
             if !ok {
                 clean = false;
                 for (wj, &bj) in w.iter_mut().zip(v.iter()) {
@@ -177,7 +195,7 @@ fn margin_of(c: &LinearClassifier, vectors: &[Vec<i32>], labels: &[i32]) -> BigR
     let mut best: Option<BigRational> = None;
     for (v, &y) in vectors.iter().zip(labels.iter()) {
         let m = (c.score(v) - &c.threshold) * int(y as i64);
-        if best.as_ref().map_or(true, |b| m < *b) {
+        if best.as_ref().is_none_or(|b| m < *b) {
             best = Some(m);
         }
     }
@@ -193,7 +211,10 @@ mod tests {
             Some(c) => {
                 assert!(expect, "unexpected separation by {c}");
                 assert!(c.separates(
-                    vectors.iter().map(|v| v.as_slice()).zip(labels.iter().copied())
+                    vectors
+                        .iter()
+                        .map(|v| v.as_slice())
+                        .zip(labels.iter().copied())
                 ));
             }
             None => assert!(!expect, "expected separable"),
@@ -202,12 +223,7 @@ mod tests {
 
     #[test]
     fn and_function_is_separable() {
-        let vectors = vec![
-            vec![1, 1],
-            vec![1, -1],
-            vec![-1, 1],
-            vec![-1, -1],
-        ];
+        let vectors = vec![vec![1, 1], vec![1, -1], vec![-1, 1], vec![-1, -1]];
         check(&vectors, &[1, -1, -1, -1], true);
         check(&vectors, &[1, 1, 1, -1], true); // OR
         check(&vectors, &[-1, 1, 1, -1], false); // XOR
@@ -259,7 +275,9 @@ mod tests {
         for _ in 0..40 {
             let mut v = Vec::with_capacity(dims);
             for _ in 0..dims {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 v.push(if (x >> 33) & 1 == 1 { 1 } else { -1 });
             }
             // True separator: w = (3, -1, 1, 1, -1, 1), w0 = 0 tie -> +.
@@ -275,10 +293,6 @@ mod tests {
         let vectors = vec![vec![1, 1], vec![-1, -1]];
         let (_, m) = separate_with_margin(&vectors, &[1, -1]).unwrap();
         assert!(m.is_positive());
-        assert!(separate_with_margin(
-            &[vec![1, -1], vec![1, -1]],
-            &[1, -1]
-        )
-        .is_none());
+        assert!(separate_with_margin(&[vec![1, -1], vec![1, -1]], &[1, -1]).is_none());
     }
 }

@@ -22,7 +22,10 @@ pub enum LpOutcome {
     Unbounded,
     /// Optimal solution: values of the structural variables and the
     /// optimal objective value.
-    Optimal { x: Vec<BigRational>, value: BigRational },
+    Optimal {
+        x: Vec<BigRational>,
+        value: BigRational,
+    },
 }
 
 struct Tableau {
@@ -57,8 +60,7 @@ impl Tableau {
             let better = match &best {
                 None => true,
                 Some((br, bratio)) => {
-                    ratio < *bratio
-                        || (ratio == *bratio && self.basis[r] < self.basis[*br])
+                    ratio < *bratio || (ratio == *bratio && self.basis[r] < self.basis[*br])
                 }
             };
             if better {
@@ -168,7 +170,12 @@ pub fn solve_lp(a: &[Vec<BigRational>], b: &[BigRational], c: &[BigRational]) ->
         for &i in &negatives {
             obj[art_of_row[i]] = zero();
         }
-        let mut tab = Tableau { t, obj, basis, ncols };
+        let mut tab = Tableau {
+            t,
+            obj,
+            basis,
+            ncols,
+        };
         let bounded = tab.optimize();
         debug_assert!(bounded, "phase-1 objective is bounded by 0");
         // Feasible iff all artificials are zero: the phase-1 optimum
@@ -190,8 +197,8 @@ pub fn solve_lp(a: &[Vec<BigRational>], b: &[BigRational], c: &[BigRational]) ->
         }
         // Erase artificial columns so they never re-enter.
         for row in tab.t.iter_mut() {
-            for j in n + m..ncols - 1 {
-                row[j] = zero();
+            for cell in &mut row[n + m..ncols - 1] {
+                *cell = zero();
             }
         }
         // Phase 2 objective: c over the structural variables, rewritten
@@ -204,9 +211,9 @@ pub fn solve_lp(a: &[Vec<BigRational>], b: &[BigRational], c: &[BigRational]) ->
             let bv = tab.basis[r];
             if bv < ncols - 1 && !obj[bv].is_zero() {
                 let factor = obj[bv].clone();
-                for j in 0..ncols {
-                    let delta = &factor * &tab.t[r][j];
-                    obj[j] = &obj[j] - &delta;
+                for (o, cell) in obj.iter_mut().zip(&tab.t[r]) {
+                    let delta = &factor * cell;
+                    *o = &*o - &delta;
                 }
             }
         }
@@ -218,7 +225,12 @@ pub fn solve_lp(a: &[Vec<BigRational>], b: &[BigRational], c: &[BigRational]) ->
         for (j, item) in c.iter().enumerate() {
             obj[j] = item.clone();
         }
-        let tab = Tableau { t, obj, basis, ncols };
+        let tab = Tableau {
+            t,
+            obj,
+            basis,
+            ncols,
+        };
         finish(tab, n)
     }
 }
@@ -244,13 +256,11 @@ mod tests {
     use super::*;
     use numeric::{int, ratio};
 
-    fn lp(
-        a: &[&[i64]],
-        b: &[i64],
-        c: &[i64],
-    ) -> LpOutcome {
-        let a: Vec<Vec<BigRational>> =
-            a.iter().map(|r| r.iter().map(|&v| int(v)).collect()).collect();
+    fn lp(a: &[&[i64]], b: &[i64], c: &[i64]) -> LpOutcome {
+        let a: Vec<Vec<BigRational>> = a
+            .iter()
+            .map(|r| r.iter().map(|&v| int(v)).collect())
+            .collect();
         let b: Vec<BigRational> = b.iter().map(|&v| int(v)).collect();
         let c: Vec<BigRational> = c.iter().map(|&v| int(v)).collect();
         solve_lp(&a, &b, &c)
@@ -341,14 +351,23 @@ mod tests {
         let out = lp(&[], &[], &[]);
         assert_eq!(
             out,
-            LpOutcome::Optimal { x: vec![], value: int(0) }
+            LpOutcome::Optimal {
+                x: vec![],
+                value: int(0)
+            }
         );
         // No constraints but a positive objective: unbounded.
         let out = lp(&[], &[], &[1]);
         assert_eq!(out, LpOutcome::Unbounded);
         // Constraints but empty objective over zero variables.
         let out = lp(&[&[]], &[1], &[]);
-        assert_eq!(out, LpOutcome::Optimal { x: vec![], value: int(0) });
+        assert_eq!(
+            out,
+            LpOutcome::Optimal {
+                x: vec![],
+                value: int(0)
+            }
+        );
     }
 
     #[test]

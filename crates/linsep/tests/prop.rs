@@ -11,7 +11,10 @@ fn examples(dim: usize, count: usize) -> impl Strategy<Value = (Vec<Vec<i32>>, V
         proptest::collection::vec(prop_oneof![Just(1i32), Just(-1i32)], dim),
         1..=count,
     );
-    (vec_strat, proptest::collection::vec(prop_oneof![Just(1i32), Just(-1i32)], count))
+    (
+        vec_strat,
+        proptest::collection::vec(prop_oneof![Just(1i32), Just(-1i32)], count),
+    )
         .prop_map(|(vs, ls)| {
             let n = vs.len();
             let ls: Vec<i32> = ls.into_iter().take(n).collect();

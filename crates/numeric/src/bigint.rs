@@ -36,7 +36,10 @@ pub struct BigInt {
 
 impl BigInt {
     pub const fn zero() -> BigInt {
-        BigInt { sign: Sign::Zero, magnitude: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            magnitude: Vec::new(),
+        }
     }
 
     pub fn one() -> BigInt {
@@ -87,8 +90,15 @@ impl BigInt {
     pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
         assert!(!other.is_zero(), "BigInt division by zero");
         let (q, r) = uint::divrem(&self.magnitude, &other.magnitude);
-        let qsign = if self.sign == other.sign { Sign::Positive } else { Sign::Negative };
-        (BigInt::from_parts(qsign, q), BigInt::from_parts(self.sign, r))
+        let qsign = if self.sign == other.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        (
+            BigInt::from_parts(qsign, q),
+            BigInt::from_parts(self.sign, r),
+        )
     }
 
     /// Exact conversion to `i64` when the value fits.
@@ -104,7 +114,9 @@ impl BigInt {
         match self.sign {
             Sign::Zero => Some(0),
             Sign::Positive if mag <= i64::MAX as u128 => Some(mag as i64),
-            Sign::Negative if mag <= i64::MAX as u128 + 1 => Some((mag as i128).wrapping_neg() as i64),
+            Sign::Negative if mag <= i64::MAX as u128 + 1 => {
+                Some((mag as i128).wrapping_neg() as i64)
+            }
             _ => None,
         }
     }
@@ -144,9 +156,7 @@ impl From<i64> for BigInt {
         match v.cmp(&0) {
             Ordering::Equal => BigInt::zero(),
             Ordering::Greater => BigInt::from_parts(Sign::Positive, uint::from_u64(v as u64)),
-            Ordering::Less => {
-                BigInt::from_parts(Sign::Negative, uint::from_u64(v.unsigned_abs()))
-            }
+            Ordering::Less => BigInt::from_parts(Sign::Negative, uint::from_u64(v.unsigned_abs())),
         }
     }
 }
@@ -208,9 +218,7 @@ impl Add<&BigInt> for &BigInt {
         match (self.sign, rhs.sign) {
             (Sign::Zero, _) => rhs.clone(),
             (_, Sign::Zero) => self.clone(),
-            (a, b) if a == b => {
-                BigInt::from_parts(a, uint::add(&self.magnitude, &rhs.magnitude))
-            }
+            (a, b) if a == b => BigInt::from_parts(a, uint::add(&self.magnitude, &rhs.magnitude)),
             _ => match uint::cmp(&self.magnitude, &rhs.magnitude) {
                 Ordering::Equal => BigInt::zero(),
                 Ordering::Greater => {
@@ -237,7 +245,11 @@ impl Mul<&BigInt> for &BigInt {
         if self.is_zero() || rhs.is_zero() {
             return BigInt::zero();
         }
-        let sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
+        let sign = if self.sign == rhs.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
         BigInt::from_parts(sign, uint::mul(&self.magnitude, &rhs.magnitude))
     }
 }
@@ -383,7 +395,12 @@ mod tests {
 
     #[test]
     fn display_and_parse_roundtrip() {
-        for s in ["0", "-1", "123456789012345678901234567890", "-999999999999999999"] {
+        for s in [
+            "0",
+            "-1",
+            "123456789012345678901234567890",
+            "-999999999999999999",
+        ] {
             let v: BigInt = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }
@@ -403,7 +420,10 @@ mod tests {
         assert_eq!(BigInt::pow2(0).to_i64(), Some(1));
         assert_eq!(BigInt::pow2(10).to_i64(), Some(1024));
         assert_eq!(BigInt::pow2(62).to_i64(), Some(1 << 62));
-        assert_eq!(BigInt::pow2(100).to_string(), "1267650600228229401496703205376");
+        assert_eq!(
+            BigInt::pow2(100).to_string(),
+            "1267650600228229401496703205376"
+        );
         assert_eq!(BigInt::pow2(100).bits(), 101);
     }
 

@@ -26,17 +26,30 @@ impl BigRational {
         if num.is_zero() {
             return BigRational::zero();
         }
-        let (num, den) = if den.is_negative() { (-num, -den) } else { (num, den) };
+        let (num, den) = if den.is_negative() {
+            (-num, -den)
+        } else {
+            (num, den)
+        };
         let g = num.gcd(&den);
-        BigRational { num: &num / &g, den: &den / &g }
+        BigRational {
+            num: &num / &g,
+            den: &den / &g,
+        }
     }
 
     pub fn from_int(v: BigInt) -> BigRational {
-        BigRational { num: v, den: BigInt::one() }
+        BigRational {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 
     pub fn zero() -> BigRational {
-        BigRational { num: BigInt::zero(), den: BigInt::one() }
+        BigRational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     pub fn one() -> BigRational {
@@ -75,7 +88,10 @@ impl BigRational {
     }
 
     pub fn abs(&self) -> BigRational {
-        BigRational { num: self.num.abs(), den: self.den.clone() }
+        BigRational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     pub fn recip(&self) -> BigRational {
@@ -135,7 +151,10 @@ impl Ord for BigRational {
 impl Neg for BigRational {
     type Output = BigRational;
     fn neg(self) -> BigRational {
-        BigRational { num: -self.num, den: self.den }
+        BigRational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 
@@ -311,10 +330,7 @@ mod tests {
         assert_eq!(r(6, 3).to_i64(), Some(2));
         assert_eq!(r(1, 2).to_i64(), None);
         // Huge but ratio ~ 1.5: the scaled path must stay accurate.
-        let big = BigRational::new(
-            BigInt::pow2(2000) * BigInt::from(3),
-            BigInt::pow2(2001),
-        );
+        let big = BigRational::new(BigInt::pow2(2000) * BigInt::from(3), BigInt::pow2(2001));
         assert!((big.to_f64() - 1.5).abs() < 1e-12);
     }
 

@@ -34,8 +34,8 @@ pub fn add(a: &[u32], b: &[u32]) -> Limbs {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
-        let s = long[i] as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
+    for (i, &l) in long.iter().enumerate() {
+        let s = l as u64 + *short.get(i).unwrap_or(&0) as u64 + carry;
         out.push(s as u32);
         carry = s >> BASE_BITS;
     }
@@ -50,8 +50,8 @@ pub fn sub(a: &[u32], b: &[u32]) -> Limbs {
     debug_assert!(cmp(a, b) != std::cmp::Ordering::Less);
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0i64;
-    for i in 0..a.len() {
-        let d = a[i] as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
+    for (i, &ai) in a.iter().enumerate() {
+        let d = ai as i64 - *b.get(i).unwrap_or(&0) as i64 - borrow;
         if d < 0 {
             out.push((d + (1i64 << BASE_BITS)) as u32);
             borrow = 1;
@@ -311,7 +311,9 @@ mod tests {
         // Deterministic pseudo-random torture via a simple LCG.
         let mut state = 0x853c49e6748fea9bu128;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 8
         };
         for _ in 0..500 {

@@ -1,0 +1,607 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot fetch crates, so this crate implements
+//! the subset of proptest the workspace's property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, `prop_flat_map`,
+//!   `prop_recursive`, and `boxed`;
+//! * strategies for integer ranges, tuples, [`strategy::Just`],
+//!   [`collection::vec`], and [`arbitrary::any`];
+//! * the macros `proptest!`, `prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assert_ne!`, `prop_assume!`, and `prop_oneof!`;
+//! * [`test_runner::Config`] (`ProptestConfig::with_cases`).
+//!
+//! Semantics: each test runs `cases` iterations with inputs drawn from a
+//! deterministic per-test SplitMix64 stream (seeded from the test path),
+//! so failures reproduce across runs. There is **no shrinking** — a
+//! failing case reports the case number and the assertion message.
+
+pub mod test_runner {
+    /// Runner configuration; only the case count is honored.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream used to generate test inputs.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+            }
+        }
+
+        /// Seed deterministically from a test path and case index.
+        pub fn for_case(test_path: &str, case: u32) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::new(
+                h.wrapping_add(case as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n = 0` yields 0.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A generator of test values. Unlike real proptest there is no value
+    /// tree and no shrinking: a strategy is just a cloneable sampler.
+    pub trait Strategy: Clone {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> O + Clone,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2 + Clone,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Depth-bounded recursive strategy. `_desired_size` and
+        /// `_expected_branch_size` are accepted for API compatibility but
+        /// ignored; only `depth` limits the recursion.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                // Mix the leaf back in at every level so shallow values
+                // stay reachable from the top.
+                current = union(vec![leaf.clone(), f(current).boxed()]);
+            }
+            current
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+            Self::Value: 'static,
+        {
+            let s = self;
+            BoxedStrategy {
+                sample: Rc::new(move |rng| s.gen_value(rng)),
+            }
+        }
+    }
+
+    /// A type-erased, cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        sample: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                sample: Rc::clone(&self.sample),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.sample)(rng)
+        }
+    }
+
+    /// A uniform choice among strategies (the engine behind `prop_oneof!`).
+    pub fn union<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "union of zero strategies");
+        BoxedStrategy {
+            sample: Rc::new(move |rng| {
+                let i = rng.below(options.len() as u64) as usize;
+                options[i].gen_value(rng)
+            }),
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O + Clone,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.gen_value(rng))
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2 + Clone,
+    {
+        type Value = S2::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + r as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let r = (rng.next_u64() as u128) % span;
+                    (lo as i128 + r as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Vector length specification: a fixed size or a size range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_inclusive - self.size.lo) as u64 + 1;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// The test-defining macro. Accepts an optional
+/// `#![proptest_config(...)]` header followed by `#[test]` functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let __path = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__path, __case);
+                $(let $pat = $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)*
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(__msg) => panic!(
+                        "proptest case {}/{} failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        __msg
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a proptest body; failure aborts only the current case
+/// with a message (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)+), file!(), line!()
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} at {}:{}",
+                stringify!($left), stringify!($right), __l, __r, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?} at {}:{}",
+                stringify!($left), stringify!($right), format!($($fmt)+),
+                __l, __r, file!(), line!()
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?} at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Skip the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// A uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(n in 2usize..5, x in -7i64..=7) {
+            prop_assert!((2..5).contains(&n));
+            prop_assert!((-7..=7).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_threads_dependencies((n, v) in (1usize..4).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0..n, 0..(2 * n)))
+        })) {
+            prop_assert!(v.len() < 2 * n);
+            for x in v {
+                prop_assert!(x < n);
+            }
+        }
+
+        #[test]
+        fn oneof_picks_only_arms(x in prop_oneof![Just(1i32), Just(-1i32)]) {
+            prop_assert!(x == 1 || x == -1);
+        }
+
+        #[test]
+        fn assume_skips(b in any::<bool>()) {
+            prop_assume!(b);
+            prop_assert!(b);
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Expr {
+        Leaf(i8),
+        Not(Box<Expr>),
+        And(Vec<Expr>),
+    }
+
+    fn depth(e: &Expr) -> usize {
+        match e {
+            Expr::Leaf(_) => 0,
+            Expr::Not(i) => 1 + depth(i),
+            Expr::And(es) => 1 + es.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn recursive_strategies_are_depth_bounded(e in (0i8..4).prop_map(Expr::Leaf)
+            .prop_recursive(3, 16, 3, |inner| {
+                prop_oneof![
+                    inner.clone().prop_map(|f| Expr::Not(Box::new(f))),
+                    crate::collection::vec(inner, 0..3).prop_map(Expr::And),
+                ]
+            }))
+        {
+            prop_assert!(depth(&e) <= 3, "depth {} for {:?}", depth(&e), e);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = (0usize..100, 0usize..100);
+        let a: Vec<_> = (0..10)
+            .map(|c| strat.clone().gen_value(&mut TestRng::for_case("x", c)))
+            .collect();
+        let b: Vec<_> = (0..10)
+            .map(|c| strat.clone().gen_value(&mut TestRng::for_case("x", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

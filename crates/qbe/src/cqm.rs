@@ -144,8 +144,7 @@ mod tests {
             .build();
         let (a, b, c) = (v(&d, "a"), v(&d, "b"), v(&d, "c"));
         for (p, n) in [(a, b), (b, a), (a, c), (c, a), (b, c), (c, b)] {
-            let full =
-                crate::product_hom::cq_qbe_decide(&d, &[p], &[n], 100_000).unwrap();
+            let full = crate::product_hom::cq_qbe_decide(&d, &[p], &[n], 100_000).unwrap();
             let bounded = cqm_qbe(&d, &[p], &[n], &EnumConfig::cqm(3)).is_some();
             // CQ[3] explanations are CQ explanations.
             if bounded {

@@ -28,7 +28,9 @@ pub fn ghw_qbe_decide(
         return Err(QbeError::EmptyPositives);
     }
     let (p, point) = pointed_power(d, pos, product_budget)?;
-    Ok(neg.iter().all(|&b| !cover_implies(&p, &[point], d, &[b], k)))
+    Ok(neg
+        .iter()
+        .all(|&b| !cover_implies(&p, &[point], d, &[b], k)))
 }
 
 /// Produce a `GHW(k)` explanation, or `None` when none exists.
@@ -58,9 +60,7 @@ pub fn ghw_qbe_explain(
                 });
             }
             Err(ExtractError::DuplicatorWins) => return Ok(None),
-            Err(ExtractError::Budget { nodes }) => {
-                return Err(QbeError::ExtractBudget { nodes })
-            }
+            Err(ExtractError::Budget { nodes }) => return Err(QbeError::ExtractBudget { nodes }),
         }
     }
     // No negatives: the trivial query over the schema explains.
@@ -153,8 +153,7 @@ mod tests {
             .entity("b")
             .build();
         let (a, b) = (v(&d, "a"), v(&d, "b"));
-        let cq_ans =
-            crate::product_hom::cq_qbe_decide(&d, &[a], &[b], 100_000).unwrap();
+        let cq_ans = crate::product_hom::cq_qbe_decide(&d, &[a], &[b], 100_000).unwrap();
         assert!(!cq_ans, "the diamond folds onto b's path");
         for k in 1..=2 {
             assert!(
@@ -197,8 +196,7 @@ mod tests {
         // actually that folds: y1=y2 makes it a path, which n satisfies.
         // The real distinguisher needs distinctness CQs cannot express,
         // so CQ-QBE should say NO here. Interesting case regardless:
-        let cq_ans =
-            crate::product_hom::cq_qbe_decide(&d, &[p], &[n], 100_000).unwrap();
+        let cq_ans = crate::product_hom::cq_qbe_decide(&d, &[p], &[n], 100_000).unwrap();
         let g1 = ghw_qbe_decide(&d, &[p], &[n], 1, 100_000).unwrap();
         let g2 = ghw_qbe_decide(&d, &[p], &[n], 2, 100_000).unwrap();
         // GHW(k) ⊆ CQ: no CQ explanation -> no GHW(k) explanation.
@@ -218,7 +216,9 @@ mod tests {
             .entity("a")
             .build();
         let a = v(&d, "a");
-        let q = ghw_qbe_explain(&d, &[a], &[], 1, 1000, 1000).unwrap().unwrap();
+        let q = ghw_qbe_explain(&d, &[a], &[], 1, 1000, 1000)
+            .unwrap()
+            .unwrap();
         assert!(evaluate_unary(&q, &d).contains(&a));
     }
 

@@ -29,12 +29,18 @@ pub struct DbBuilder {
 
 impl DbBuilder {
     pub fn new(schema: Schema) -> DbBuilder {
-        DbBuilder { db: Database::new(schema), labels: Vec::new() }
+        DbBuilder {
+            db: Database::new(schema),
+            labels: Vec::new(),
+        }
     }
 
     /// Start from an existing database (e.g., to extend a generated one).
     pub fn from_db(db: Database) -> DbBuilder {
-        DbBuilder { db, labels: Vec::new() }
+        DbBuilder {
+            db,
+            labels: Vec::new(),
+        }
     }
 
     pub fn fact(mut self, rel: &str, args: &[&str]) -> DbBuilder {
@@ -72,6 +78,9 @@ impl DbBuilder {
     }
 
     pub fn build(self) -> Database {
+        // Force the content fingerprint so built databases enter the
+        // homomorphism memo cache without a lazy hashing hiccup later.
+        self.db.fingerprint();
         self.db
     }
 
@@ -83,6 +92,7 @@ impl DbBuilder {
             let v = self.db.val_by_name(name).unwrap();
             labeling.set(v, *label);
         }
+        self.db.fingerprint();
         TrainingDb::new(self.db, labeling)
     }
 }

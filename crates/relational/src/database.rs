@@ -39,6 +39,9 @@ pub struct Database {
     by_rel: Vec<Vec<usize>>,
     by_rel_pos_val: HashMap<(RelId, u32, Val), Vec<usize>>,
     by_val: Vec<Vec<usize>>,
+    /// Cached content fingerprint (see [`Database::fingerprint`]);
+    /// invalidated by any mutation.
+    fingerprint: std::sync::OnceLock<u128>,
 }
 
 impl Database {
@@ -53,6 +56,7 @@ impl Database {
             by_rel: vec![Vec::new(); rel_count],
             by_rel_pos_val: HashMap::new(),
             by_val: Vec::new(),
+            fingerprint: std::sync::OnceLock::new(),
         }
     }
 
@@ -69,6 +73,7 @@ impl Database {
         self.val_names.push(name.to_string());
         self.name_to_val.insert(name.to_string(), v);
         self.by_val.push(Vec::new());
+        self.fingerprint = std::sync::OnceLock::new();
         v
     }
 
@@ -98,7 +103,9 @@ impl Database {
 
     /// `dom(D)` in the paper's sense: elements that occur in some fact.
     pub fn active_dom(&self) -> Vec<Val> {
-        self.dom().filter(|v| !self.by_val[v.index()].is_empty()).collect()
+        self.dom()
+            .filter(|v| !self.by_val[v.index()].is_empty())
+            .collect()
     }
 
     /// Add a fact; returns `false` if it was already present.
@@ -123,7 +130,10 @@ impl Database {
         let idx = self.facts.len();
         self.by_rel[rel.index()].push(idx);
         for (pos, &a) in fact.args.iter().enumerate() {
-            self.by_rel_pos_val.entry((rel, pos as u32, a)).or_default().push(idx);
+            self.by_rel_pos_val
+                .entry((rel, pos as u32, a))
+                .or_default()
+                .push(idx);
             // `by_val` deduplicates within a fact (an element may repeat).
             if fact.args[..pos].iter().all(|&b| b != a) {
                 self.by_val[a.index()].push(idx);
@@ -131,6 +141,7 @@ impl Database {
         }
         self.fact_set.insert(fact.clone());
         self.facts.push(fact);
+        self.fingerprint = std::sync::OnceLock::new();
         true
     }
 
@@ -215,6 +226,50 @@ impl Database {
         self.facts.iter().map(|f| f.args.len()).sum()
     }
 
+    /// A 128-bit structural content fingerprint, used as the
+    /// database-identity component of homomorphism memo keys
+    /// (see [`crate::hom::cache`]).
+    ///
+    /// The fingerprint covers exactly the structure homomorphism semantics
+    /// depends on: the number of interned elements, the relation arities,
+    /// and the *set* of facts as index tuples — element and relation names
+    /// are not hashed, and fact insertion order does not matter. It is
+    /// computed lazily and cached; any mutation ([`Database::value`],
+    /// [`Database::add_fact`]) invalidates the cache, and
+    /// [`crate::builder::DbBuilder::build`] forces computation so built
+    /// databases pay the cost once, up front.
+    pub fn fingerprint(&self) -> u128 {
+        *self.fingerprint.get_or_init(|| self.compute_fingerprint())
+    }
+
+    fn compute_fingerprint(&self) -> u128 {
+        fn mix(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut lo = mix(0xA076_1D64_78BD_642F ^ self.val_names.len() as u64);
+        let mut hi = mix(0xE703_7ED1_A0B4_28DB ^ self.schema.rel_count() as u64);
+        for r in self.schema.rel_ids() {
+            lo = mix(lo ^ self.schema.arity(r) as u64);
+            hi = mix(hi.rotate_left(7) ^ self.schema.arity(r) as u64);
+        }
+        // Facts form a set; combine per-fact hashes commutatively so the
+        // fingerprint is independent of insertion order.
+        let (mut sum, mut xor) = (0u64, 0u64);
+        for f in &self.facts {
+            let mut h = mix(0x9E37_79B9_7F4A_7C15 ^ f.rel.index() as u64);
+            for &a in &f.args {
+                h = mix(h ^ a.index() as u64);
+            }
+            sum = sum.wrapping_add(h);
+            xor ^= h.rotate_left((h % 63) as u32);
+        }
+        lo = mix(lo ^ sum);
+        hi = mix(hi ^ xor);
+        ((hi as u128) << 64) | lo as u128
+    }
+
     /// Render a fact for debugging / the text format.
     pub fn fact_to_string(&self, f: &Fact) -> String {
         let args: Vec<&str> = f.args.iter().map(|&a| self.val_name(a)).collect();
@@ -224,7 +279,12 @@ impl Database {
 
 impl fmt::Debug for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Database[{} elems, {} facts]", self.dom_size(), self.fact_count())?;
+        writeln!(
+            f,
+            "Database[{} elems, {} facts]",
+            self.dom_size(),
+            self.fact_count()
+        )?;
         let mut lines: Vec<String> = self.facts.iter().map(|x| self.fact_to_string(x)).collect();
         lines.sort();
         for l in lines {
@@ -300,6 +360,32 @@ mod tests {
         d.add_entity(a);
         assert_eq!(d.active_dom(), vec![a]);
         assert_eq!(d.dom_size(), 2);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let mut d = Database::new(graph_schema());
+        d.add_named_fact("E", &["a", "b"]);
+        let fp1 = d.fingerprint();
+        assert_eq!(fp1, d.fingerprint(), "stable across calls");
+
+        // Mutation changes it.
+        d.add_named_fact("E", &["b", "a"]);
+        let fp2 = d.fingerprint();
+        assert_ne!(fp1, fp2);
+
+        // Same facts in a different insertion order: same fingerprint.
+        let mut d2 = Database::new(graph_schema());
+        d2.value("a");
+        d2.value("b");
+        d2.add_named_fact("E", &["b", "a"]);
+        d2.add_named_fact("E", &["a", "b"]);
+        assert_eq!(d2.fingerprint(), fp2);
+
+        // An extra interned (even isolated) element changes it: dom size
+        // is part of homomorphism semantics.
+        d2.value("z");
+        assert_ne!(d2.fingerprint(), fp2);
     }
 
     #[test]

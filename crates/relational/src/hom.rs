@@ -17,6 +17,10 @@ use crate::database::Database;
 use crate::ids::Val;
 use std::collections::HashMap;
 
+pub mod cache;
+pub mod par;
+pub mod stats;
+
 /// A configured homomorphism search from one database to another.
 ///
 /// "Variables" are the elements of `dom(from)` that occur in facts, plus
@@ -40,7 +44,12 @@ impl<'a> HomSearch<'a> {
             to.schema(),
             "homomorphism requires a common schema"
         );
-        HomSearch { from, to, fixed: HashMap::new(), inconsistent: false }
+        HomSearch {
+            from,
+            to,
+            fixed: HashMap::new(),
+            inconsistent: false,
+        }
     }
 
     /// Require `h(a) = b` (one component of `ā → b̄`). Contradictory
@@ -72,6 +81,11 @@ impl<'a> HomSearch<'a> {
     /// Count homomorphisms, stopping at `limit`. Exposed for tests and the
     /// enumeration-hungry parts of the benchmark harness.
     pub fn count_up_to(&self, limit: usize) -> usize {
+        if limit == 0 {
+            // The stop-callback below fires only *after* counting a
+            // solution, so without this guard a zero limit would count 1.
+            return 0;
+        }
         let mut n = 0usize;
         self.solve(&mut |_| {
             n += 1;
@@ -94,13 +108,15 @@ impl<'a> HomSearch<'a> {
             }
         }
         for &a in self.fixed.keys() {
+            if a.index() >= self.from.dom_size() {
+                // A constraint on an element outside dom(from) cannot be
+                // satisfied by any mapping — mirror the out-of-domain
+                // target convention below rather than indexing OOB.
+                return false;
+            }
             is_var[a.index()] = true;
         }
-        let vars: Vec<Val> = self
-            .from
-            .dom()
-            .filter(|v| is_var[v.index()])
-            .collect();
+        let vars: Vec<Val> = self.from.dom().filter(|v| is_var[v.index()]).collect();
         if vars.is_empty() {
             // The empty homomorphism: vacuously valid even into an empty DB.
             return on_solution(HashMap::new());
@@ -146,8 +162,13 @@ impl<'a> HomSearch<'a> {
             vars,
             cand,
             assignment: &mut assignment,
+            nodes: 0,
+            wipeouts: 0,
+            backtracks: 0,
         };
-        state.backtrack(on_solution)
+        let found = state.backtrack(on_solution);
+        stats::record_search(state.nodes, state.wipeouts, state.backtracks);
+        found
     }
 }
 
@@ -157,6 +178,10 @@ struct SearchState<'a, 'b> {
     vars: Vec<Val>,
     cand: Vec<Vec<Val>>,
     assignment: &'b mut Vec<Option<Val>>,
+    /// Instrumentation (flushed into [`stats`] once per solve).
+    nodes: u64,
+    wipeouts: u64,
+    backtracks: u64,
 }
 
 impl SearchState<'_, '_> {
@@ -218,12 +243,14 @@ impl SearchState<'_, '_> {
                 }
                 if frame.next_option >= frame.options.len() {
                     stack.pop();
+                    self.backtracks += 1;
                     continue 'advance;
                 }
                 let d = frame.options[frame.next_option];
                 frame.next_option += 1;
                 let var = frame.var;
                 self.assignment[var.index()] = Some(d);
+                self.nodes += 1;
                 // Borrow dance: forward_check needs &mut self.
                 let mut trail = Vec::new();
                 let ok = self.forward_check(var, &mut trail);
@@ -232,6 +259,7 @@ impl SearchState<'_, '_> {
                 if ok {
                     break 'advance; // descend deeper
                 }
+                self.wipeouts += 1;
                 // else: loop and try the next option of this frame.
             }
         }
@@ -248,7 +276,7 @@ impl SearchState<'_, '_> {
             for (pos, &a) in f.args.iter().enumerate() {
                 if let Some(d) = self.assignment[a.index()] {
                     let idxs = self.to.facts_with(f.rel, pos as u32, d);
-                    if seed.map_or(true, |s| idxs.len() < s.len()) {
+                    if seed.is_none_or(|s| idxs.len() < s.len()) {
                         seed = Some(idxs);
                     }
                 }
@@ -275,8 +303,10 @@ impl SearchState<'_, '_> {
                     continue;
                 }
                 let allowed: Vec<Val> = {
-                    let mut s: Vec<Val> =
-                        support.iter().map(|&ti| self.to.fact(ti).args[pos]).collect();
+                    let mut s: Vec<Val> = support
+                        .iter()
+                        .map(|&ti| self.to.fact(ti).args[pos])
+                        .collect();
                     s.sort_unstable();
                     s.dedup();
                     s
@@ -331,6 +361,11 @@ pub fn hom_equivalent(d: &Database, a: Val, d2: &Database, b: Val) -> bool {
 pub fn brute_force_exists(from: &Database, to: &Database, fixed: &[(Val, Val)]) -> bool {
     let mut fixed_map: HashMap<Val, Val> = HashMap::new();
     for &(a, b) in fixed {
+        // Same out-of-domain convention as the solver: constraints that
+        // mention elements outside either domain are unsatisfiable.
+        if a.index() >= from.dom_size() || b.index() >= to.dom_size() {
+            return false;
+        }
         if let Some(prev) = fixed_map.insert(a, b) {
             if prev != b {
                 return false;
@@ -461,6 +496,37 @@ mod tests {
     }
 
     #[test]
+    fn count_up_to_zero_counts_nothing() {
+        // Regression: the stop-callback fires after counting, so a zero
+        // limit used to report 1 even though nothing should be counted.
+        let e = graph(&[("a", "b")]);
+        let c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")]);
+        assert_eq!(HomSearch::new(&e, &c3).count_up_to(0), 0);
+        assert_eq!(HomSearch::new(&e, &c3).count_up_to(1), 1);
+        // Even when no homomorphism exists at all.
+        let empty = graph(&[]);
+        assert_eq!(HomSearch::new(&e, &empty).count_up_to(0), 0);
+    }
+
+    #[test]
+    fn fixing_out_of_domain_source_is_no_hom() {
+        // Regression: fixing a source element outside dom(from) used to
+        // panic with an out-of-bounds index instead of answering "no",
+        // which is the convention already used for out-of-domain targets.
+        let small = graph(&[("a", "b")]);
+        let big = graph(&[("x", "y"), ("y", "z"), ("z", "w")]);
+        let phantom = Val(small.dom_size() as u32);
+        let x = big.val_by_name("x").unwrap();
+        assert!(!homomorphism_exists(&small, &big, &[(phantom, x)]));
+        assert!(!brute_force_exists(&small, &big, &[(phantom, x)]));
+        // The out-of-domain *target* convention it mirrors.
+        let a = small.val_by_name("a").unwrap();
+        let phantom_target = Val(big.dom_size() as u32);
+        assert!(!homomorphism_exists(&small, &big, &[(a, phantom_target)]));
+        assert!(!brute_force_exists(&small, &big, &[(a, phantom_target)]));
+    }
+
+    #[test]
     fn hom_equivalence_on_cycles() {
         // Elements of one cycle are all hom-equivalent to each other.
         let c3 = graph(&[("a", "b"), ("b", "c"), ("c", "a")]);
@@ -517,9 +583,7 @@ mod tests {
         let to_good = DbBuilder::new(s.clone())
             .fact("T", &["1", "2", "1"])
             .build();
-        let to_bad = DbBuilder::new(s)
-            .fact("T", &["1", "2", "3"])
-            .build();
+        let to_bad = DbBuilder::new(s).fact("T", &["1", "2", "3"]).build();
         assert!(homomorphism_exists(&from, &to_good, &[]));
         // x occurs at positions 0 and 2; the only to-fact has different
         // values there, so the repeated-variable pattern cannot match.

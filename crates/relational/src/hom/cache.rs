@@ -1,0 +1,234 @@
+//! A sharded, concurrent memo table for homomorphism-existence queries.
+//!
+//! The separability pipelines ask the same NP-hard question —
+//! "is there a hom `(D, a) → (D', b)`?" — over and over: `cq_chain`
+//! re-checks pairs that `cq_separable` already decided, classification
+//! repeats training-time queries, and preorder matrices touch each pair
+//! from both sides. Memoizing by *content* makes all of that free.
+//!
+//! Keys are `(from.fingerprint(), to.fingerprint(), sorted fixed pairs)`;
+//! the fingerprint (see [`Database::fingerprint`]) is a structural hash
+//! computed once per database, so equal-content databases share entries
+//! even across clones. The table is split into [`SHARDS`] independently
+//! locked shards so the parallel driver's worker threads rarely contend,
+//! and answers are computed *outside* the shard lock — an expensive search
+//! never blocks unrelated lookups (two threads may race to compute the
+//! same key; both get the same answer and the second insert is a no-op).
+
+use super::homomorphism_exists;
+use crate::database::Database;
+use crate::ids::Val;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Shard count; a small power of two comfortably above typical worker
+/// counts so lock contention stays negligible.
+const SHARDS: usize = 16;
+
+type Key = (u128, u128, Vec<(Val, Val)>);
+
+/// The memo table. Most callers use the process-wide [`global`] instance
+/// via [`exists_cached`]; independent instances exist for tests and for
+/// callers that want isolated lifetimes.
+pub struct HomCache {
+    shards: Vec<Mutex<HashMap<Key, bool>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl HomCache {
+    pub fn new() -> HomCache {
+        HomCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Memoized [`homomorphism_exists`]: does a hom `from → to` extending
+    /// `fixed` exist?
+    ///
+    /// The fixed pairs are normalized (sorted, deduplicated) before
+    /// keying, so permutations and repetitions of the same constraints
+    /// share one entry. Contradictory constraints short-circuit to
+    /// `false` without occupying cache space.
+    pub fn exists(&self, from: &Database, to: &Database, fixed: &[(Val, Val)]) -> bool {
+        let mut norm: Vec<(Val, Val)> = fixed.to_vec();
+        norm.sort_unstable();
+        norm.dedup();
+        if norm.windows(2).any(|w| w[0].0 == w[1].0) {
+            // Two different targets for one source: no hom, and not worth
+            // a table entry.
+            return false;
+        }
+        let key: Key = (from.fingerprint(), to.fingerprint(), norm);
+        let shard = &self.shards[Self::shard_of(&key)];
+        if let Some(&ans) = shard.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return ans;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Search with the lock released; the solve can be exponential and
+        // must not serialize unrelated lookups on this shard.
+        let ans = homomorphism_exists(from, to, &key.2);
+        shard.lock().unwrap().insert(key, ans);
+        ans
+    }
+
+    fn shard_of(key: &Key) -> usize {
+        // The fingerprints are already well-mixed; fold in the fixed
+        // pairs so same-database/different-tuple queries spread out.
+        let mut h = key.0 as u64 ^ (key.0 >> 64) as u64 ^ (key.1 as u64).rotate_left(32);
+        for &(a, b) in &key.2 {
+            h = h
+                .rotate_left(13)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(((a.index() as u64) << 32) | b.index() as u64);
+        }
+        (h as usize) % SHARDS
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized answers.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all memoized answers (counters are left running).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().clear();
+        }
+    }
+}
+
+impl Default for HomCache {
+    fn default() -> HomCache {
+        HomCache::new()
+    }
+}
+
+/// The process-wide cache instance used by the separability pipelines.
+pub fn global() -> &'static HomCache {
+    static GLOBAL: OnceLock<HomCache> = OnceLock::new();
+    GLOBAL.get_or_init(HomCache::new)
+}
+
+/// Memoized [`homomorphism_exists`] through the [`global`] cache.
+pub fn exists_cached(from: &Database, to: &Database, fixed: &[(Val, Val)]) -> bool {
+    global().exists(from, to, fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DbBuilder;
+    use crate::schema::Schema;
+
+    fn graph(edges: &[(&str, &str)]) -> Database {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        let mut b = DbBuilder::new(s);
+        for &(x, y) in edges {
+            b = b.fact("E", &[x, y]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let cache = HomCache::new();
+        let p = graph(&[("a", "b"), ("b", "c")]);
+        let c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")]);
+        assert!(cache.exists(&p, &c3, &[]));
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        assert!(cache.exists(&p, &c3, &[]));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn equal_content_clones_share_entries() {
+        let cache = HomCache::new();
+        let p = graph(&[("a", "b")]);
+        let q = graph(&[("a", "b")]); // same content, separate allocation
+        let c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")]);
+        assert!(cache.exists(&p, &c3, &[]));
+        assert!(cache.exists(&q, &c3, &[]));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn fixed_pair_order_is_normalized() {
+        let cache = HomCache::new();
+        let p = graph(&[("a", "b")]);
+        let c2 = graph(&[("x", "y"), ("y", "x")]);
+        let a = p.val_by_name("a").unwrap();
+        let b = p.val_by_name("b").unwrap();
+        let x = c2.val_by_name("x").unwrap();
+        let y = c2.val_by_name("y").unwrap();
+        assert!(cache.exists(&p, &c2, &[(a, x), (b, y)]));
+        assert!(cache.exists(&p, &c2, &[(b, y), (a, x)]));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn contradictory_fixes_are_false_and_uncached() {
+        let cache = HomCache::new();
+        let p = graph(&[("a", "b")]);
+        let c2 = graph(&[("x", "y"), ("y", "x")]);
+        let a = p.val_by_name("a").unwrap();
+        let x = c2.val_by_name("x").unwrap();
+        let y = c2.val_by_name("y").unwrap();
+        assert!(!cache.exists(&p, &c2, &[(a, x), (a, y)]));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 0, 0));
+    }
+
+    #[test]
+    fn mutation_changes_the_key() {
+        let cache = HomCache::new();
+        let c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")]);
+        let mut p = graph(&[("a", "b")]);
+        assert!(cache.exists(&p, &c3, &[]));
+        // Extending p with a third edge re-keys it: no stale answer.
+        p.add_named_fact("E", &["b", "c"]);
+        assert!(cache.exists(&p, &c3, &[]));
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn negative_answers_are_cached_too() {
+        let cache = HomCache::new();
+        let c3 = graph(&[("a", "b"), ("b", "c"), ("c", "a")]);
+        let p = graph(&[("1", "2"), ("2", "3")]);
+        assert!(!cache.exists(&c3, &p, &[]));
+        assert!(!cache.exists(&c3, &p, &[]));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn clear_empties_the_table() {
+        let cache = HomCache::new();
+        let p = graph(&[("a", "b")]);
+        let q = graph(&[("x", "y"), ("y", "z")]);
+        cache.exists(&p, &q, &[]);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.exists(&p, &q, &[]);
+        assert_eq!(cache.misses(), 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Parallel drivers for fan-out over independent homomorphism queries.
+//!
+//! The separability algorithms are embarrassingly parallel at the pair
+//! level: `cq_separable` asks Θ(|P|·|N|) independent hom questions,
+//! chain construction fills an n×n preorder matrix, classification maps
+//! each evaluation entity against each class representative. The drivers
+//! here fan those out over `std::thread::scope` workers pulling indices
+//! from a shared atomic cursor — no work queue, no external runtime, and
+//! no allocation beyond one result slot per item.
+//!
+//! All drivers degrade to the plain sequential loop when the host has a
+//! single core (or the item count is 1), so single-threaded behavior and
+//! determinism are preserved exactly where parallelism cannot help.
+//!
+//! The closures run concurrently and therefore must be `Sync`; they get
+//! `&Database` freely since databases are immutable during search (the
+//! lazily-computed fingerprint is behind a `OnceLock`).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread;
+
+/// Worker count for `n_items` independent tasks: the available
+/// parallelism, capped by the number of items.
+fn worker_count(n_items: usize) -> usize {
+    let hw = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(n_items).max(1)
+}
+
+/// Does `pred` hold for **all** pairs? Early-exits on the first
+/// counterexample: every worker checks a shared flag between items and
+/// stops as soon as any worker refutes, so a cheap "no" is not delayed
+/// by expensive unrelated searches.
+pub fn par_all_pairs<A, B, F>(pairs: &[(A, B)], pred: F) -> bool
+where
+    A: Copy + Sync,
+    B: Copy + Sync,
+    F: Fn(A, B) -> bool + Sync,
+{
+    let workers = worker_count(pairs.len());
+    if workers <= 1 {
+        return pairs.iter().all(|&(a, b)| pred(a, b));
+    }
+    let cursor = AtomicUsize::new(0);
+    let refuted = AtomicBool::new(false);
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                if refuted.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= pairs.len() {
+                    break;
+                }
+                let (a, b) = pairs[i];
+                if !pred(a, b) {
+                    refuted.store(true, Ordering::Relaxed);
+                    break;
+                }
+            });
+        }
+    });
+    !refuted.load(Ordering::Relaxed)
+}
+
+/// Map `f` over `items` in parallel, preserving order.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, U)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    for (i, u) in per_worker.into_iter().flatten() {
+        slots[i] = Some(u);
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index visited once"))
+        .collect()
+}
+
+/// Index of the first item satisfying `pred` (the *lowest* matching
+/// index, matching `Iterator::position`), or `None`. Workers past an
+/// already-found match abandon their probes early.
+pub fn par_find_first<T, F>(items: &[T], pred: F) -> Option<usize>
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 {
+        return items.iter().position(pred);
+    }
+    let cursor = AtomicUsize::new(0);
+    let best = AtomicUsize::new(usize::MAX);
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                // Indices are claimed in ascending order, so anything at
+                // or past the current best cannot improve it.
+                if i >= items.len() || i >= best.load(Ordering::Relaxed) {
+                    break;
+                }
+                if pred(&items[i]) {
+                    best.fetch_min(i, Ordering::Relaxed);
+                    break;
+                }
+            });
+        }
+    });
+    let b = best.load(Ordering::Relaxed);
+    (b != usize::MAX).then_some(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn all_pairs_empty_is_vacuously_true() {
+        let pairs: Vec<(usize, usize)> = Vec::new();
+        assert!(par_all_pairs(&pairs, |_, _| false));
+    }
+
+    #[test]
+    fn all_pairs_finds_the_counterexample() {
+        let pairs: Vec<(usize, usize)> = (0..100).map(|i| (i, i + 1)).collect();
+        assert!(par_all_pairs(&pairs, |a, b| a < b));
+        assert!(!par_all_pairs(&pairs, |a, _| a != 57));
+    }
+
+    #[test]
+    fn all_pairs_early_exit_skips_work() {
+        // With the counterexample first, most items should never be
+        // visited (exact count depends on scheduling; bound it loosely).
+        let pairs: Vec<(usize, usize)> = (0..10_000).map(|i| (i, i)).collect();
+        let visited = AtomicUsize::new(0);
+        assert!(!par_all_pairs(&pairs, |a, _| {
+            visited.fetch_add(1, Ordering::Relaxed);
+            a != 0
+        }));
+        assert!(
+            visited.load(Ordering::Relaxed) < pairs.len(),
+            "early exit should not visit every pair"
+        );
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+        assert!(par_map(&Vec::<usize>::new(), |&x: &usize| x).is_empty());
+    }
+
+    #[test]
+    fn find_first_returns_lowest_index() {
+        let items: Vec<usize> = (0..500).collect();
+        assert_eq!(par_find_first(&items, |&x| x >= 123), Some(123));
+        assert_eq!(par_find_first(&items, |&x| x > 10_000), None);
+        assert_eq!(par_find_first(&Vec::<usize>::new(), |_| true), None);
+    }
+}

@@ -38,7 +38,11 @@ pub fn refine_colors(d: &Database, seeds: &[(Val, u64)]) -> Vec<u64> {
                 for (pos, &a) in f.args.iter().enumerate() {
                     // Self-occurrence marker; `- 1` keeps it distinct from
                     // the u64::MAX separator used between fact signatures.
-                    s.push(if a == v { u64::MAX - 1 - pos as u64 } else { colors[a.index()] });
+                    s.push(if a == v {
+                        u64::MAX - 1 - pos as u64
+                    } else {
+                        colors[a.index()]
+                    });
                 }
                 fact_sigs.push(s);
             }
@@ -163,7 +167,7 @@ fn search(
         if class_size == 0 {
             return false;
         }
-        if best.map_or(true, |(s, _)| class_size < s) {
+        if best.is_none_or(|(s, _)| class_size < s) {
             best = Some((class_size, v));
         }
     }
@@ -289,12 +293,7 @@ mod tests {
         assert!(!same_orbit(&p3, a, c)); // direction breaks the symmetry
         assert!(!same_orbit(&p3, b, c));
         // An undirected-style path (edges both ways) restores a<->c symmetry.
-        let p3u = graph(&[
-            ("a", "b"),
-            ("b", "a"),
-            ("b", "c"),
-            ("c", "b"),
-        ]);
+        let p3u = graph(&[("a", "b"), ("b", "a"), ("b", "c"), ("c", "b")]);
         let a = p3u.val_by_name("a").unwrap();
         let c = p3u.val_by_name("c").unwrap();
         assert!(same_orbit(&p3u, a, c));

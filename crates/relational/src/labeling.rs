@@ -58,7 +58,10 @@ impl Labeling {
     /// Panics for unlabeled entities: a training database must label all of
     /// `η(D)` (checked in [`TrainingDb::new`]).
     pub fn get(&self, e: Val) -> Label {
-        *self.map.get(&e).unwrap_or_else(|| panic!("unlabeled entity {e:?}"))
+        *self
+            .map
+            .get(&e)
+            .unwrap_or_else(|| panic!("unlabeled entity {e:?}"))
     }
 
     pub fn try_get(&self, e: Val) -> Option<Label> {
@@ -85,7 +88,9 @@ impl Labeling {
 
 impl FromIterator<(Val, Label)> for Labeling {
     fn from_iter<I: IntoIterator<Item = (Val, Label)>>(iter: I) -> Labeling {
-        Labeling { map: iter.into_iter().collect() }
+        Labeling {
+            map: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -166,7 +171,14 @@ mod tests {
         let mut b = Labeling::new();
         for i in 0..4 {
             a.set(Val(i), Label::Positive);
-            b.set(Val(i), if i < 2 { Label::Positive } else { Label::Negative });
+            b.set(
+                Val(i),
+                if i < 2 {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                },
+            );
         }
         assert_eq!(a.disagreement(&b), 2);
         assert_eq!(b.disagreement(&a), 2);

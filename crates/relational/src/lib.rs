@@ -34,6 +34,8 @@ pub mod spec;
 
 pub use builder::DbBuilder;
 pub use database::{Database, Fact};
+pub use hom::cache::{exists_cached, HomCache};
+pub use hom::stats::HomStats;
 pub use hom::{find_homomorphism, hom_equivalent, homomorphism_exists, HomSearch};
 pub use ids::{RelId, Val};
 pub use labeling::{Label, Labeling, TrainingDb};

@@ -79,7 +79,11 @@ pub fn pointed_power(
         }
         let name = format!(
             "<{}>",
-            tuple.iter().map(|&t| d.val_name(t)).collect::<Vec<_>>().join(",")
+            tuple
+                .iter()
+                .map(|&t| d.val_name(t))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         let v = out.value(&name);
         interned.insert(tuple.to_vec(), v);

@@ -28,7 +28,11 @@ struct RelInfo {
 impl Schema {
     /// An empty schema with no relations.
     pub fn new() -> Schema {
-        Schema { rels: Vec::new(), by_name: HashMap::new(), entity: None }
+        Schema {
+            rels: Vec::new(),
+            by_name: HashMap::new(),
+            entity: None,
+        }
     }
 
     /// An entity schema: starts with the unary `η` relation already present.
@@ -48,7 +52,10 @@ impl Schema {
             "duplicate relation symbol {name:?}"
         );
         let id = RelId(self.rels.len() as u32);
-        self.rels.push(RelInfo { name: name.to_string(), arity });
+        self.rels.push(RelInfo {
+            name: name.to_string(),
+            arity,
+        });
         self.by_name.insert(name.to_string(), id);
         id
     }
@@ -68,7 +75,8 @@ impl Schema {
     /// API requires an entity schema; this gives those call sites a crisp
     /// failure.
     pub fn entity_rel_required(&self) -> RelId {
-        self.entity.expect("schema has no distinguished entity relation")
+        self.entity
+            .expect("schema has no distinguished entity relation")
     }
 
     pub fn rel_count(&self) -> usize {

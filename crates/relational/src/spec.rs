@@ -84,8 +84,7 @@ impl DatabaseSpec {
         let db = self.to_database()?;
         let mut labeling = Labeling::new();
         for (name, label) in &self.entities {
-            let l = label
-                .ok_or_else(|| SpecError(format!("entity {name:?} has no label")))?;
+            let l = label.ok_or_else(|| SpecError(format!("entity {name:?} has no label")))?;
             let v = db.val_by_name(name).unwrap();
             labeling.set(v, if l { Label::Positive } else { Label::Negative });
         }
@@ -118,11 +117,17 @@ impl DatabaseSpec {
             .map(|e| {
                 (
                     db.val_name(e).to_string(),
-                    labeling.and_then(|l| l.try_get(e)).map(|l| l == Label::Positive),
+                    labeling
+                        .and_then(|l| l.try_get(e))
+                        .map(|l| l == Label::Positive),
                 )
             })
             .collect();
-        DatabaseSpec { relations, facts, entities }
+        DatabaseSpec {
+            relations,
+            facts,
+            entities,
+        }
     }
 
     /// Parse the line-oriented text format.
@@ -140,10 +145,10 @@ impl DatabaseSpec {
             let rest = rest.trim();
             match kind {
                 "rel" => {
-                    let (name, arity) =
-                        rest.split_once('/').ok_or_else(|| err("expected name/arity"))?;
-                    let arity: usize =
-                        arity.parse().map_err(|_| err("bad arity"))?;
+                    let (name, arity) = rest
+                        .split_once('/')
+                        .ok_or_else(|| err("expected name/arity"))?;
+                    let arity: usize = arity.parse().map_err(|_| err("bad arity"))?;
                     spec.relations.push((name.to_string(), arity));
                 }
                 "fact" => {

@@ -4,9 +4,12 @@
 
 use proptest::prelude::*;
 use relational::hom::brute_force_exists;
+use relational::hom::par::{par_all_pairs, par_map};
 use relational::iso::{isomorphic, same_orbit};
 use relational::spec::DatabaseSpec;
-use relational::{homomorphism_exists, pointed_power, Database, Schema, Val};
+use relational::{
+    exists_cached, homomorphism_exists, pointed_power, Database, HomCache, Schema, Val,
+};
 
 /// Build a graph database from an edge list over `n` nodes, with the
 /// first `ents` nodes marked as entities.
@@ -27,12 +30,7 @@ fn graph(n: usize, edges: &[(usize, usize)], ents: usize) -> Database {
 
 /// Strategy: a small digraph (n nodes, up to 2n edges).
 fn small_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-    (2usize..5).prop_flat_map(|n| {
-        (
-            Just(n),
-            proptest::collection::vec((0..n, 0..n), 0..(2 * n)),
-        )
-    })
+    (2usize..5).prop_flat_map(|n| (Just(n), proptest::collection::vec((0..n, 0..n), 0..(2 * n))))
 }
 
 proptest! {
@@ -131,6 +129,54 @@ proptest! {
         prop_assert_eq!(d.entities().len(), d2.entities().len());
         // Semantically identical: isomorphic via the identity naming.
         prop_assert!(isomorphic(&d, &d2, &[]) || d.dom_size() != d2.dom_size());
+    }
+
+    #[test]
+    fn cached_and_parallel_paths_agree_with_sequential(
+        (n1, e1) in small_graph(),
+        (n2, e2) in small_graph(),
+        fixes in proptest::collection::vec((0usize..6, 0usize..6), 0..3),
+    ) {
+        let d1 = graph(n1, &e1, 0);
+        let d2 = graph(n2, &e2, 0);
+        // Random fixed pairs, deliberately allowed to fall outside either
+        // domain (the out-of-domain convention must agree everywhere) and
+        // to contradict each other.
+        let fixed: Vec<(Val, Val)> =
+            fixes.iter().map(|&(a, b)| (Val(a as u32), Val(b as u32))).collect();
+        let expected = homomorphism_exists(&d1, &d2, &fixed);
+        prop_assert_eq!(expected, brute_force_exists(&d1, &d2, &fixed));
+
+        // A private cache answers identically on first computation and
+        // again from the memo table; the global cache agrees too.
+        let cache = HomCache::new();
+        prop_assert_eq!(expected, cache.exists(&d1, &d2, &fixed));
+        prop_assert_eq!(expected, cache.exists(&d1, &d2, &fixed));
+        let contradictory = {
+            let mut srcs: Vec<Val> = fixed.iter().map(|p| p.0).collect();
+            srcs.sort_unstable();
+            srcs.dedup();
+            srcs.len() != fixed.len()
+        };
+        if !contradictory {
+            // Contradictions short-circuit uncached; everything else must
+            // have been memoized by now.
+            prop_assert!(cache.hits() >= 1);
+        }
+        prop_assert_eq!(expected, exists_cached(&d1, &d2, &fixed));
+        prop_assert_eq!(expected, exists_cached(&d1, &d2, &fixed));
+
+        // The parallel drivers see the same answers as sequential loops.
+        let pairs: Vec<(Val, Val)> = (0..n1.min(3) as u32)
+            .flat_map(|a| (0..n2.min(3) as u32).map(move |b| (Val(a), Val(b))))
+            .collect();
+        prop_assert_eq!(
+            par_all_pairs(&pairs, |a, b| cache.exists(&d1, &d2, &[(a, b)])),
+            pairs.iter().all(|&(a, b)| homomorphism_exists(&d1, &d2, &[(a, b)]))
+        );
+        let seq: Vec<bool> =
+            pairs.iter().map(|&(a, b)| homomorphism_exists(&d1, &d2, &[(a, b)])).collect();
+        prop_assert_eq!(par_map(&pairs, |&(a, b)| cache.exists(&d1, &d2, &[(a, b)])), seq);
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` *names* (trait declarations and
+//! no-op derive macros) so the workspace's derive annotations compile
+//! without network access. No serialization actually happens in-tree —
+//! the text formats in `relational::spec` and `cqsep::persist` are the
+//! real media; the derives exist for downstream interop only.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; the no-op derive never implements it.
+pub trait Serialize {}
+
+/// Marker trait; the no-op derive never implements it.
+pub trait Deserialize<'de>: Sized {}

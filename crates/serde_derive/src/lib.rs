@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely for downstream
+//! interop; nothing in-tree serializes through serde (the text formats in
+//! `relational::spec` and `cqsep::persist` are the actual media). These
+//! derives therefore expand to nothing — they exist so the derive
+//! attributes (including inert `#[serde(...)]` field attributes) keep
+//! compiling without network access to the real serde.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

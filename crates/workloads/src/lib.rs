@@ -21,6 +21,6 @@ pub mod synthetic;
 pub use lowerbound::{alternating_paths, example_6_2, twin_cycles, twin_paths};
 pub use noise::flip_labels;
 pub use synthetic::{
-    cycle_with_chords, grid_train, planted_feature_graph, random_digraph_train,
-    replicated_paths, PlantedConfig,
+    cycle_with_chords, grid_train, planted_feature_graph, random_digraph_train, replicated_paths,
+    PlantedConfig,
 };

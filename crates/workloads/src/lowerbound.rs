@@ -36,7 +36,11 @@ pub fn alternating_paths(m: usize) -> TrainingDb {
             b = b.fact("E", &[&from, &to]);
         }
         let start = format!("p{i}_0");
-        b = if i % 2 == 0 { b.positive(&start) } else { b.negative(&start) };
+        b = if i % 2 == 0 {
+            b.positive(&start)
+        } else {
+            b.negative(&start)
+        };
     }
     b.training()
 }
@@ -54,12 +58,20 @@ pub fn twin_paths(n: usize) -> TrainingDb {
     assert!(n >= 2);
     let mut b = DbBuilder::new(graph_schema());
     for i in 0..n {
-        let from = if i == 0 { "u".to_string() } else { format!("u{i}") };
+        let from = if i == 0 {
+            "u".to_string()
+        } else {
+            format!("u{i}")
+        };
         let to = format!("u{}", i + 1);
         b = b.fact("E", &[&from, &to]);
     }
     for i in 0..n - 1 {
-        let from = if i == 0 { "v".to_string() } else { format!("v{i}") };
+        let from = if i == 0 {
+            "v".to_string()
+        } else {
+            format!("v{i}")
+        };
         let to = format!("v{}", i + 1);
         b = b.fact("E", &[&from, &to]);
     }
@@ -121,13 +133,7 @@ mod tests {
         // e_i transfer to e_j iff j ≥ i.
         for i in 0..4 {
             for j in 0..4 {
-                let holds = cover_implies(
-                    &t.db,
-                    &[named[i].1],
-                    &t.db,
-                    &[named[j].1],
-                    1,
-                );
+                let holds = cover_implies(&t.db, &[named[i].1], &t.db, &[named[j].1], 1);
                 assert_eq!(holds, i <= j, "{} vs {}", named[i].0, named[j].0);
             }
         }
@@ -147,10 +153,8 @@ mod tests {
             assert!(ghw_separable(&t, 1));
             // The extracted distinguishing query needs ≥ n E-atoms (the
             // out-path of length n is the only distinguishing pattern).
-            let (q, td) = covergame::extract_distinguishing_query(
-                &t.db, u, &t.db, v, 1, 100_000,
-            )
-            .unwrap();
+            let (q, td) =
+                covergame::extract_distinguishing_query(&t.db, u, &t.db, v, 1, 100_000).unwrap();
             td.verify(&q, 1).unwrap();
             let e_atoms = q
                 .atoms()

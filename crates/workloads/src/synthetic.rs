@@ -33,7 +33,14 @@ pub fn random_digraph_train(n: usize, p: f64, seed: u64) -> TrainingDb {
     let mut labeling = Labeling::new();
     for i in 0..n {
         db.add_entity(vals[i]);
-        labeling.set(vals[i], if has_out[i] { Label::Positive } else { Label::Negative });
+        labeling.set(
+            vals[i],
+            if has_out[i] {
+                Label::Positive
+            } else {
+                Label::Negative
+            },
+        );
     }
     TrainingDb::new(db, labeling)
 }
@@ -67,7 +74,11 @@ pub fn planted_feature_graph(config: &PlantedConfig, q: &Cq) -> TrainingDb {
     }
     let mut labeling = Labeling::new();
     for &v in &vals {
-        let lab = if selects(q, &db, v) { Label::Positive } else { Label::Negative };
+        let lab = if selects(q, &db, v) {
+            Label::Positive
+        } else {
+            Label::Negative
+        };
         labeling.set(v, lab);
     }
     TrainingDb::new(db, labeling)
@@ -97,7 +108,14 @@ pub fn cycle_with_chords(n: usize, chords: usize, seed: u64) -> TrainingDb {
     let mut labeling = Labeling::new();
     for i in 0..n {
         db.add_entity(vals[i]);
-        labeling.set(vals[i], if is_source[i] { Label::Positive } else { Label::Negative });
+        labeling.set(
+            vals[i],
+            if is_source[i] {
+                Label::Positive
+            } else {
+                Label::Negative
+            },
+        );
     }
     TrainingDb::new(db, labeling)
 }
@@ -117,7 +135,11 @@ pub fn replicated_paths(max_len: usize, copies: usize) -> TrainingDb {
                 b = b.fact("E", &[&from, &to]);
             }
             let start = format!("p{len}c{c}_0");
-            b = if len % 2 == 0 { b.positive(&start) } else { b.negative(&start) };
+            b = if len % 2 == 0 {
+                b.positive(&start)
+            } else {
+                b.negative(&start)
+            };
         }
     }
     b.training()
@@ -142,7 +164,11 @@ pub fn grid_train(r: usize, c: usize) -> TrainingDb {
     for i in 0..r {
         for j in 0..c {
             let n = name(i, j);
-            b = if i < r / 2 && j < c / 2 { b.positive(&n) } else { b.negative(&n) };
+            b = if i < r / 2 && j < c / 2 {
+                b.positive(&n)
+            } else {
+                b.negative(&n)
+            };
         }
     }
     b.training()
@@ -167,7 +193,11 @@ mod tests {
     fn planted_feature_is_recovered() {
         let q = parse_cq(&graph_schema(), "q(x) :- eta(x), E(x,y), E(y,x)").unwrap();
         let t = planted_feature_graph(
-            &PlantedConfig { n: 10, edge_prob: 0.3, seed: 3 },
+            &PlantedConfig {
+                n: 10,
+                edge_prob: 0.3,
+                seed: 3,
+            },
             &q,
         );
         assert!(cqsep::sep_cqm::cqm_separable(&t, &cq::EnumConfig::cqm(2)));
@@ -181,14 +211,22 @@ mod tests {
         assert_eq!(a.db.fact_count(), b.db.fact_count());
         let c = random_digraph_train(10, 0.2, 43);
         // (Almost surely) different.
-        assert!(a.db.fact_count() != c.db.fact_count() || {
-            // Same count is possible; compare fact sets then.
-            let fa: std::collections::BTreeSet<_> =
-                a.db.facts().iter().map(|f| a.db.fact_to_string(f)).collect();
-            let fc: std::collections::BTreeSet<_> =
-                c.db.facts().iter().map(|f| c.db.fact_to_string(f)).collect();
-            fa != fc
-        });
+        assert!(
+            a.db.fact_count() != c.db.fact_count() || {
+                // Same count is possible; compare fact sets then.
+                let fa: std::collections::BTreeSet<_> =
+                    a.db.facts()
+                        .iter()
+                        .map(|f| a.db.fact_to_string(f))
+                        .collect();
+                let fc: std::collections::BTreeSet<_> =
+                    c.db.facts()
+                        .iter()
+                        .map(|f| c.db.fact_to_string(f))
+                        .collect();
+                fa != fc
+            }
+        );
     }
 
     #[test]

@@ -87,7 +87,11 @@ fn main() {
         for (x, y) in m.bonds {
             b = b.fact("bond", &[x, y]).fact("bond", &[y, x]); // symmetric
         }
-        b = if m.toxic { b.positive(m.name) } else { b.negative(m.name) };
+        b = if m.toxic {
+            b.positive(m.name)
+        } else {
+            b.negative(m.name)
+        };
     }
     let train = b.training();
     println!(
@@ -126,7 +130,10 @@ fn main() {
     // would not transfer to new data. Keep only the part connected to
     // the classified molecule — the actual motif.
     let motif = cored.connected_to_free();
-    println!("motif (connected part, {} atoms):", motif.atom_count_for_cqm());
+    println!(
+        "motif (connected part, {} atoms):",
+        motif.atom_count_for_cqm()
+    );
     println!("  {motif}");
 
     // 3. One-feature statistic: toxic iff the motif matches.
@@ -134,7 +141,10 @@ fn main() {
         statistic: Statistic::new(vec![motif.with_entity_guard()]),
         classifier: LinearClassifier::new(int(1), vec![int(1)]),
     };
-    assert!(model.separates(&train), "the motif separates the training data");
+    assert!(
+        model.separates(&train),
+        "the motif separates the training data"
+    );
 
     // Held-out molecules.
     let eval = DbBuilder::new(molecule_schema())

@@ -38,9 +38,12 @@ fn main() {
 
     // 4. Feature generation (Proposition 4.1 / Proposition 5.6): get an
     //    explicit statistic and classifier.
-    let model = sep_cqm::cqm_generate(&train, &EnumConfig::cqm(2))
-        .expect("CQ[2] separates this instance");
-    println!("\nGenerated CQ[2] model ({} features):", model.statistic.dimension());
+    let model =
+        sep_cqm::cqm_generate(&train, &EnumConfig::cqm(2)).expect("CQ[2] separates this instance");
+    println!(
+        "\nGenerated CQ[2] model ({} features):",
+        model.statistic.dimension()
+    );
     println!("{}", model.classifier);
 
     let ghw_model = gen_ghw::ghw_generate(&train, 1, 100_000).expect("GHW(1) separates");

@@ -65,7 +65,10 @@ fn class_power_ordering_of_min_errors() {
         let g1 = apx::ghw_min_errors(&noisy, 1);
         let g2 = apx::ghw_min_errors(&noisy, 2);
         let (_, c1) = apx::cqm_apx_generate(&noisy, &EnumConfig::cqm(1));
-        assert!(g2 <= g1, "seed {seed}: GHW(2) must not err more than GHW(1)");
+        assert!(
+            g2 <= g1,
+            "seed {seed}: GHW(2) must not err more than GHW(1)"
+        );
         assert!(g1 <= c1, "seed {seed}: GHW(1) must not err more than CQ[1]");
     }
 }

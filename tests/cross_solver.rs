@@ -35,7 +35,11 @@ fn random_train(n: usize, edge_prob: f64, seed: u64) -> TrainingDb {
         db.add_entity(v);
         labeling.set(
             v,
-            if rng.random::<bool>() { Label::Positive } else { Label::Negative },
+            if rng.random::<bool>() {
+                Label::Positive
+            } else {
+                Label::Negative
+            },
         );
     }
     TrainingDb::new(db, labeling)
@@ -150,8 +154,14 @@ fn lemma_6_5_reduction_random() {
         }
         // Random nonempty S+ (partition with S-).
         let mask: usize = rng.random_range(1..(1 << 4) - 1);
-        let pos: Vec<_> = (0..4).filter(|i| mask & (1 << i) != 0).map(|i| vals[i]).collect();
-        let neg: Vec<_> = (0..4).filter(|i| mask & (1 << i) == 0).map(|i| vals[i]).collect();
+        let pos: Vec<_> = (0..4)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| vals[i])
+            .collect();
+        let neg: Vec<_> = (0..4)
+            .filter(|i| mask & (1 << i) == 0)
+            .map(|i| vals[i])
+            .collect();
         let qbe_answer = qbe::cq_qbe_decide(&db, &pos, &neg, 500_000).unwrap();
         for ell in 1..=2 {
             let red = qbe_to_sep_ell(&db, &pos, &neg, ell);

@@ -88,17 +88,18 @@ fn theorem_5_7_feature_blowup_shape() {
         let t = twin_paths(n);
         let u = t.db.val_by_name("u").unwrap();
         let v = t.db.val_by_name("v").unwrap();
-        let (q, td) = covergame::extract_distinguishing_query(
-            &t.db, u, &t.db, v, 1, 2_000_000,
-        )
-        .expect("u is distinguishable from v");
+        let (q, td) = covergame::extract_distinguishing_query(&t.db, u, &t.db, v, 1, 2_000_000)
+            .expect("u is distinguishable from v");
         td.verify(&q, 1).unwrap();
         let e_atoms = q
             .atoms()
             .iter()
             .filter(|a| t.db.schema().name(a.rel) == "E")
             .count();
-        assert!(e_atoms >= n, "n={n}: distinguishing query has {e_atoms} E-atoms");
+        assert!(
+            e_atoms >= n,
+            "n={n}: distinguishing query has {e_atoms} E-atoms"
+        );
     }
     // (a): minimal dimension is m − 1 (measured in
     // theorem_8_7_unbounded_dimension below and in the workloads tests).
@@ -170,7 +171,10 @@ fn theorem_7_4_optimality() {
         .training();
     let lam2 = apx::ghw_optimal_relabeling(&t, 1);
     let relabeled = TrainingDb::new(t.db.clone(), lam2.clone());
-    assert!(sep_ghw::ghw_separable(&relabeled, 1), "Algorithm 2 output separable");
+    assert!(
+        sep_ghw::ghw_separable(&relabeled, 1),
+        "Algorithm 2 output separable"
+    );
     let best = t.labeling.disagreement(&lam2);
     // Brute force over all labelings.
     let ents = t.entities();
@@ -178,7 +182,14 @@ fn theorem_7_4_optimality() {
     for mask in 0u32..(1 << ents.len()) {
         let mut lab = Labeling::new();
         for (i, &e) in ents.iter().enumerate() {
-            lab.set(e, if mask & (1 << i) != 0 { Label::Positive } else { Label::Negative });
+            lab.set(
+                e,
+                if mask & (1 << i) != 0 {
+                    Label::Positive
+                } else {
+                    Label::Negative
+                },
+            );
         }
         let cand = TrainingDb::new(t.db.clone(), lab.clone());
         if sep_ghw::ghw_separable(&cand, 1) {

@@ -112,7 +112,9 @@ fn chain_workload_crosses_all_solvers() {
     // And the generated models actually separate.
     assert!(sep_cq::cq_generate(&t).unwrap().separates(&t));
     assert!(gen_ghw::ghw_generate(&t, 1, 100_000).unwrap().separates(&t));
-    assert!(sep_cqm::cqm_generate(&t, &EnumConfig::cqm(3)).unwrap().separates(&t));
+    assert!(sep_cqm::cqm_generate(&t, &EnumConfig::cqm(3))
+        .unwrap()
+        .separates(&t));
 }
 
 #[test]

@@ -103,11 +103,7 @@ fn mixed_arity_ghw_machinery() {
     // All existential vars hang off a path: ghw 1.
     assert_eq!(cq::ghw(&q), 1);
     // q(x) :- T(y,z,w) with a triangle among y,z,w via E:
-    let q2 = parse_cq(
-        &s,
-        "q(x) :- eta(x), T(y,z,w), E(y,z), E(z,w), E(w,y)",
-    )
-    .unwrap();
+    let q2 = parse_cq(&s, "q(x) :- eta(x), T(y,z,w), E(y,z), E(z,w), E(w,y)").unwrap();
     // The single T-atom covers all three existential vars: ghw 1!
     assert_eq!(cq::ghw(&q2), 1);
     // Without the covering ternary atom the triangle needs width 2.
@@ -200,10 +196,8 @@ fn ternary_extraction_certificates() {
     let alice = t.db.val_by_name("alice").unwrap();
     let carol = t.db.val_by_name("carol").unwrap();
     // alice and carol are distinguishable at k=1; extract and verify.
-    let (q, td) = covergame::extract_distinguishing_query(
-        &t.db, alice, &t.db, carol, 1, 100_000,
-    )
-    .expect("distinguishable");
+    let (q, td) = covergame::extract_distinguishing_query(&t.db, alice, &t.db, carol, 1, 100_000)
+        .expect("distinguishable");
     assert!(cq::selects(&q, &t.db, alice));
     assert!(!cq::selects(&q, &t.db, carol));
     td.verify(&q, 1).unwrap();
