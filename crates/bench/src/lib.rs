@@ -1,8 +1,9 @@
 //! Shared helpers for the benchmark harness: timing utilities,
-//! growth-rate estimation, and homomorphism-engine counter capture, used
-//! by both the Criterion benches and the `repro` binary that regenerates
-//! the EXPERIMENTS.md tables.
+//! growth-rate estimation, and engine counter capture (homomorphism and
+//! cover-game), used by both the Criterion benches and the `repro` binary
+//! that regenerates the EXPERIMENTS.md tables.
 
+use covergame::GameStats;
 use relational::HomStats;
 use std::time::Instant;
 
@@ -13,6 +14,15 @@ pub fn with_hom_stats<R>(f: impl FnOnce() -> R) -> (R, HomStats) {
     let before = HomStats::snapshot();
     let out = f();
     (out, HomStats::snapshot().since(&before))
+}
+
+/// Run `f` and return its result together with the cover-game-engine
+/// counter deltas (games solved, positions explored, fixpoint sweeps,
+/// game-cache hits/misses) it caused.
+pub fn with_game_stats<R>(f: impl FnOnce() -> R) -> (R, GameStats) {
+    let before = GameStats::snapshot();
+    let out = f();
+    (out, GameStats::snapshot().since(&before))
 }
 
 /// Median wall-clock time of `reps` runs of `f`, in seconds.
@@ -104,5 +114,26 @@ mod tests {
         assert!(ans);
         assert!(stats.solves >= 1, "{stats:?}");
         assert!(stats.nodes_expanded >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn game_stats_capture_sees_engine_work() {
+        use relational::{DbBuilder, Schema};
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        let c3 = DbBuilder::new(s.clone())
+            .fact("E", &["a", "b"])
+            .fact("E", &["b", "c"])
+            .fact("E", &["c", "a"])
+            .build();
+        let c2 = DbBuilder::new(s)
+            .fact("E", &["x", "y"])
+            .fact("E", &["y", "x"])
+            .build();
+        let (ans, stats) = with_game_stats(|| covergame::cover_implies(&c3, &[], &c2, &[], 1));
+        assert!(ans);
+        assert!(stats.games_solved >= 1, "{stats:?}");
+        assert!(stats.positions_explored >= 1, "{stats:?}");
+        assert!(stats.fixpoint_sweeps >= 1, "{stats:?}");
     }
 }

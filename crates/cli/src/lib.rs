@@ -72,21 +72,27 @@ impl std::fmt::Display for ClassSpec {
 /// Run a command line (without the program name). Returns the text to
 /// print, or an error message.
 ///
-/// The global `--stats` flag (any position) appends a homomorphism-engine
-/// counter report — searches run, nodes expanded, forward-check wipeouts,
-/// backtracks, and memo-cache hits/misses — covering exactly this call.
+/// The global `--stats` flag (any position) appends engine counter
+/// reports covering exactly this call: the homomorphism engine (searches
+/// run, nodes expanded, forward-check wipeouts, backtracks, memo-cache
+/// hits/misses) and the cover-game engine (games solved, positions
+/// explored, fixpoint sweeps, game-cache hits/misses).
 pub fn run(args: &[String]) -> Result<String, String> {
     let stats_requested = args.iter().any(|a| a == "--stats");
     if stats_requested {
         // Strip the flag so positional-argument indexing stays intact.
         let rest: Vec<String> = args.iter().filter(|a| *a != "--stats").cloned().collect();
-        let before = relational::HomStats::snapshot();
+        let hom_before = relational::HomStats::snapshot();
+        let game_before = covergame::GameStats::snapshot();
         let mut out = run(&rest)?;
-        let delta = relational::HomStats::snapshot().since(&before);
+        let hom_delta = relational::HomStats::snapshot().since(&hom_before);
+        let game_delta = covergame::GameStats::snapshot().since(&game_before);
         if !out.ends_with('\n') && !out.is_empty() {
             out.push('\n');
         }
-        out.push_str(&delta.report());
+        out.push_str(&hom_delta.report());
+        out.push('\n');
+        out.push_str(&game_delta.report());
         out.push('\n');
         return Ok(out);
     }
@@ -171,7 +177,7 @@ const USAGE: &str = "usage:
   cqsep-cli classify-model <model.txt> <eval.db>
   cqsep-cli relabel <train.db> [--k <k>]
   cqsep-cli info <file.db>
-add --stats to any command to append homomorphism-engine counters";
+add --stats to any command to append hom- and cover-game-engine counters";
 
 fn parse_classes(args: &[String], default: Vec<ClassSpec>) -> Result<Vec<ClassSpec>, String> {
     let mut out = Vec::new();
@@ -451,9 +457,14 @@ entity v
             assert!(out.contains("hom engine stats"), "{out}");
             assert!(out.contains("nodes expanded"), "{out}");
             assert!(out.contains("cache hit"), "{out}");
+            assert!(out.contains("cover-game engine stats"), "{out}");
+            assert!(out.contains("games solved"), "{out}");
+            // The default check runs GHW(1), so games actually happen.
+            assert!(out.contains("fixpoint sweeps"), "{out}");
             // Flag position must not matter.
             let out2 = run(&s(&["--stats", "check", train])).unwrap();
             assert!(out2.contains("hom engine stats"), "{out2}");
+            assert!(out2.contains("cover-game engine stats"), "{out2}");
         });
     }
 

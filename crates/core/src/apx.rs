@@ -69,6 +69,9 @@ pub fn ghw_apx_separable(train: &TrainingDb, k: usize, eps: f64) -> bool {
 /// pair that separates `(D, λ')` exactly — hence `(D, λ)` with minimal
 /// error. Returns the evaluation labeling.
 pub fn ghw_apx_classify(train: &TrainingDb, eval: &Database, k: usize) -> Labeling {
+    // The relabeled training database is a clone — identical content,
+    // identical fingerprint — so every game the relabeling's preorder and
+    // the classification sweep replay is a hit in the global game cache.
     let relabeled = TrainingDb::new(train.db.clone(), ghw_optimal_relabeling(train, k));
     ghw_classify(&relabeled, eval, k)
         .expect("Algorithm 2's relabeling is GHW(k)-separable by construction")

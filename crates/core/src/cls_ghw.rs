@@ -15,7 +15,7 @@
 
 use crate::chain::ChainError;
 use crate::sep_ghw::ghw_chain;
-use relational::{Database, Labeling, TrainingDb};
+use relational::{Database, Labeling, TrainingDb, Val};
 
 /// `GHW(k)`-Cls (Algorithm 1): label the entities of `eval` consistently
 /// with a statistic-classifier pair that separates `train`. Returns
@@ -24,28 +24,28 @@ use relational::{Database, Labeling, TrainingDb};
 pub fn ghw_classify(train: &TrainingDb, eval: &Database, k: usize) -> Result<Labeling, ChainError> {
     let chain = ghw_chain(train, k)?;
     // The games' left side is always the training database: build its
-    // union skeleton once for all m × |η(D')| games.
+    // union skeleton once for all m × |η(D')| games. The games are
+    // pairwise independent, so the whole m × |η(D')| grid fans out on
+    // the parallel driver, memoizing through the global cache (Algorithm
+    // 2 replays exactly these games after relabeling).
     let skeleton = covergame::UnionSkeleton::build(&train.db, k);
+    let cache = covergame::cache::global();
+    let evals = eval.entities();
+    let m = chain.class_count();
+    let cells: Vec<(Val, usize)> = evals
+        .iter()
+        .flat_map(|&f| (0..m).map(move |c| (f, c)))
+        .collect();
+    // Lines 3–9 of Algorithm 1: 𝟙_{q_{e_i}(D')}(f) = +1 iff
+    // (D, e_i) →_k (D', f).
+    let verdicts = relational::hom::par::par_map(&cells, |&(f, c)| {
+        let e = chain.elems[chain.representative(c)];
+        cache.implies_with_skeleton(&train.db, &[e], eval, &[f], &skeleton)
+    });
     let mut out = Labeling::new();
-    for f in eval.entities() {
-        // Lines 3–9 of Algorithm 1: 𝟙_{q_{e_i}(D')}(f) = +1 iff
-        // (D, e_i) →_k (D', f).
-        let v: Vec<i32> = (0..chain.class_count())
-            .map(|c| {
-                let e = chain.elems[chain.representative(c)];
-                let game = covergame::CoverGame::analyze_with_skeleton(
-                    &train.db,
-                    &[e],
-                    eval,
-                    &[f],
-                    &skeleton,
-                );
-                if game.duplicator_wins() {
-                    1
-                } else {
-                    -1
-                }
-            })
+    for (fi, &f) in evals.iter().enumerate() {
+        let v: Vec<i32> = (0..m)
+            .map(|c| if verdicts[fi * m + c] { 1 } else { -1 })
             .collect();
         out.set(f, chain.classify_vector(&v));
     }

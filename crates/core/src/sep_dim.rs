@@ -309,13 +309,15 @@ pub fn sep_dim_classify(
 fn preorder_matrix(d: &Database, elems: &[Val], class: &DimClass) -> Vec<Vec<bool>> {
     let n = elems.len();
     // n² independent indistinguishability queries: run them on the
-    // parallel driver, with CQ queries memoized by database content.
+    // parallel driver, with both query kinds memoized by database content.
     let cells: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
     let flat = relational::hom::par::par_map(&cells, |&(i, j)| {
         i == j
             || match class {
                 DimClass::Cq => relational::exists_cached(d, d, &[(elems[i], elems[j])]),
-                DimClass::Ghw(k) => covergame::cover_implies(d, &[elems[i]], d, &[elems[j]], *k),
+                DimClass::Ghw(k) => {
+                    covergame::cover_implies_cached(d, &[elems[i]], d, &[elems[j]], *k)
+                }
             }
     });
     flat.chunks(n.max(1)).map(|row| row.to_vec()).collect()

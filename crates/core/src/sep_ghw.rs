@@ -7,7 +7,7 @@
 //! does *not* do.
 
 use crate::chain::{build_chain, ChainError, ChainModel};
-use covergame::{CoverGame, CoverPreorder, UnionSkeleton};
+use covergame::{CoverPreorder, UnionSkeleton};
 use relational::hom::par::par_find_first;
 use relational::{TrainingDb, Val};
 
@@ -21,12 +21,12 @@ pub fn ghw_separable(train: &TrainingDb, k: usize) -> bool {
 pub fn ghw_inseparability_witness(train: &TrainingDb, k: usize) -> Option<(Val, Val)> {
     // All games share one database, hence one union skeleton; each pair's
     // two game solves are independent of every other pair's, so the
-    // candidate sweep runs on the parallel driver.
+    // candidate sweep runs on the parallel driver. Verdicts memoize in
+    // the global cache, where a later full-preorder sweep reuses them.
     let skeleton = UnionSkeleton::build(&train.db, k);
-    let implies = |a: Val, b: Val| {
-        CoverGame::analyze_with_skeleton(&train.db, &[a], &train.db, &[b], &skeleton)
-            .duplicator_wins()
-    };
+    let cache = covergame::cache::global();
+    let implies =
+        |a: Val, b: Val| cache.implies_with_skeleton(&train.db, &[a], &train.db, &[b], &skeleton);
     let pairs = train.opposing_pairs();
     par_find_first(&pairs, |&(p, n)| implies(p, n) && implies(n, p)).map(|i| pairs[i])
 }

@@ -1,0 +1,308 @@
+//! A sharded, concurrent, size-capped memo table for `→_k` verdicts —
+//! the cover-game twin of `relational::hom::cache`.
+//!
+//! The paper's algorithms repeat the same game question exactly the way
+//! they repeat plain hom questions: the separability test probes pairs
+//! the preorder sweep re-asks, classification replays training-side games
+//! per evaluation entity, and Algorithm 2's relabeling re-runs the whole
+//! preorder on a database whose *content* has not changed. Keys are
+//! `(from.fingerprint(), to.fingerprint(), ā, b̄, k)`, so equal-content
+//! databases (clones, relabelings) share entries.
+//!
+//! The table is split into [`SHARDS`] independently locked shards and
+//! verdicts are computed *outside* the shard lock, so the parallel
+//! driver's workers never serialize on one another's game solves. Each
+//! shard keeps two generations of entries (insert into the current one,
+//! rotate when full, promote previous-generation hits), bounding total
+//! size at ~2× the configured capacity while keeping the hot working set
+//! resident — the same policy as the hom cache, documented there.
+
+use crate::game::CoverGame;
+use crate::skeleton::UnionSkeleton;
+use relational::{Database, Val};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Shard count; a small power of two comfortably above typical worker
+/// counts so lock contention stays negligible.
+const SHARDS: usize = 16;
+
+/// Default total entry capacity (split across shards; the two-generation
+/// scheme holds at most ~2× this many entries).
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+type Key = (u128, u128, Vec<Val>, Vec<Val>, usize);
+
+/// One shard's two generations of memoized verdicts.
+#[derive(Default)]
+struct Generations {
+    cur: HashMap<Key, bool>,
+    prev: HashMap<Key, bool>,
+}
+
+impl Generations {
+    fn insert(&mut self, key: Key, ans: bool, cap: usize) {
+        if self.cur.len() >= cap && !self.cur.contains_key(&key) {
+            self.prev = std::mem::take(&mut self.cur);
+        }
+        self.cur.insert(key, ans);
+    }
+}
+
+/// The memo table. Most callers use the process-wide [`global`] instance
+/// via [`cover_implies_cached`]; independent instances exist for tests
+/// and for callers that want isolated lifetimes or capacities.
+pub struct GameCache {
+    shards: Vec<Mutex<Generations>>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl GameCache {
+    pub fn new() -> GameCache {
+        GameCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A cache holding roughly `capacity` entries (at most ~2× across the
+    /// two generations) before old entries start aging out.
+    pub fn with_capacity(capacity: usize) -> GameCache {
+        GameCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Generations::default()))
+                .collect(),
+            per_shard_cap: (capacity / SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Memoized `(D, ā) →_k (D', b̄)`. Builds a fresh [`UnionSkeleton`]
+    /// on a miss; batch callers replaying many games over one left-hand
+    /// database should use [`GameCache::implies_with_skeleton`].
+    pub fn implies(&self, d: &Database, a: &[Val], d2: &Database, b: &[Val], k: usize) -> bool {
+        self.lookup_or(d, a, d2, b, k, || {
+            CoverGame::analyze(d, a, d2, b, k).duplicator_wins()
+        })
+    }
+
+    /// Memoized `(D, ā) →_k (D', b̄)` reusing a prebuilt skeleton of
+    /// `(d, skeleton.k)` for the miss path. The skeleton does not enter
+    /// the key: it is a pure function of `(d, k)`, which the fingerprint
+    /// and `k` already determine.
+    pub fn implies_with_skeleton(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        skeleton: &UnionSkeleton,
+    ) -> bool {
+        self.lookup_or(d, a, d2, b, skeleton.k, || {
+            CoverGame::analyze_with_skeleton(d, a, d2, b, skeleton).duplicator_wins()
+        })
+    }
+
+    fn lookup_or(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        k: usize,
+        solve: impl FnOnce() -> bool,
+    ) -> bool {
+        let key: Key = (d.fingerprint(), d2.fingerprint(), a.to_vec(), b.to_vec(), k);
+        let shard = &self.shards[Self::shard_of(&key)];
+        {
+            let mut g = shard.lock().unwrap();
+            if let Some(&ans) = g.cur.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return ans;
+            }
+            if let Some(ans) = g.prev.remove(&key) {
+                g.insert(key, ans, self.per_shard_cap);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return ans;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Solve with the lock released; a fixpoint analysis must not
+        // serialize unrelated lookups on this shard. Two threads may race
+        // to compute the same key; both get the same verdict.
+        let ans = solve();
+        shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
+        ans
+    }
+
+    fn shard_of(key: &Key) -> usize {
+        let mut h = key.0 as u64 ^ (key.0 >> 64) as u64 ^ (key.1 as u64).rotate_left(32);
+        for v in key.2.iter().chain(key.3.iter()) {
+            h = h
+                .rotate_left(13)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(v.index() as u64);
+        }
+        h = h.rotate_left(7).wrapping_add(key.4 as u64);
+        (h as usize) % SHARDS
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoized verdicts (both generations; they are disjoint).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let g = s.lock().unwrap();
+                g.cur.len() + g.prev.len()
+            })
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity (entries across all shards; the table can
+    /// transiently hold up to ~2× this while both generations are full).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_cap * SHARDS
+    }
+
+    /// Drop all memoized verdicts (counters are left running).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut g = s.lock().unwrap();
+            g.cur.clear();
+            g.prev.clear();
+        }
+    }
+}
+
+impl Default for GameCache {
+    fn default() -> GameCache {
+        GameCache::new()
+    }
+}
+
+/// The process-wide cache instance used by the separability pipelines.
+pub fn global() -> &'static GameCache {
+    static GLOBAL: OnceLock<GameCache> = OnceLock::new();
+    GLOBAL.get_or_init(GameCache::new)
+}
+
+/// Memoized [`crate::game::cover_implies`] through the [`global`] cache.
+pub fn cover_implies_cached(d: &Database, a: &[Val], d2: &Database, b: &[Val], k: usize) -> bool {
+    global().implies(d, a, d2, b, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::cover_implies;
+    use relational::{DbBuilder, Schema};
+
+    fn graph(edges: &[(&str, &str)]) -> Database {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        let mut b = DbBuilder::new(s);
+        for &(x, y) in edges {
+            b = b.fact("E", &[x, y]);
+        }
+        b.build()
+    }
+
+    fn v(d: &Database, n: &str) -> Val {
+        d.val_by_name(n).unwrap()
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit() {
+        let cache = GameCache::new();
+        let c3 = graph(&[("a", "b"), ("b", "c"), ("c", "a")]);
+        let p = graph(&[("1", "2"), ("2", "3")]);
+        let (a, one) = (v(&c3, "a"), v(&p, "1"));
+        assert!(!cache.implies(&c3, &[a], &p, &[one], 1));
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        assert!(!cache.implies(&c3, &[a], &p, &[one], 1));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn k_is_part_of_the_key() {
+        let c3 = graph(&[("a", "b"), ("b", "c"), ("c", "a")]);
+        let c2 = graph(&[("x", "y"), ("y", "x")]);
+        let cache = GameCache::new();
+        // C3 ->_1 C2 holds but ->_2 fails: distinct entries, no clash.
+        assert!(cache.implies(&c3, &[], &c2, &[], 1));
+        assert!(!cache.implies(&c3, &[], &c2, &[], 2));
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn equal_content_clones_share_entries() {
+        let cache = GameCache::new();
+        let p = graph(&[("s", "t")]);
+        let q = p.clone();
+        let (s, t) = (v(&p, "s"), v(&p, "t"));
+        assert!(!cache.implies(&p, &[s], &p, &[t], 1));
+        assert!(!cache.implies(&q, &[s], &q, &[t], 1));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn skeleton_and_plain_paths_share_entries() {
+        let p = graph(&[("s", "t")]);
+        let (s, t) = (v(&p, "s"), v(&p, "t"));
+        let cache = GameCache::new();
+        let skeleton = UnionSkeleton::build(&p, 1);
+        let first = cache.implies_with_skeleton(&p, &[t], &p, &[s], &skeleton);
+        assert_eq!(first, cover_implies(&p, &[t], &p, &[s], 1));
+        assert_eq!(cache.implies(&p, &[t], &p, &[s], 1), first);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn eviction_bounds_size_and_preserves_correctness() {
+        // Per-shard capacity 1: constant churn. Every verdict must still
+        // match the uncached solver, before and after eviction.
+        let cache = GameCache::with_capacity(SHARDS);
+        assert_eq!(cache.capacity(), SHARDS);
+        let d = graph(&[("1", "2"), ("2", "3"), ("3", "4")]);
+        let dom: Vec<Val> = d.dom().collect();
+        for &a in &dom {
+            for &b in &dom {
+                assert_eq!(
+                    cache.implies(&d, &[a], &d, &[b], 1),
+                    cover_implies(&d, &[a], &d, &[b], 1),
+                    "cold"
+                );
+            }
+        }
+        assert!(
+            cache.len() <= 2 * cache.capacity(),
+            "len {} > 2×cap {}",
+            cache.len(),
+            2 * cache.capacity()
+        );
+        for &a in &dom {
+            for &b in &dom {
+                assert_eq!(
+                    cache.implies(&d, &[a], &d, &[b], 1),
+                    cover_implies(&d, &[a], &d, &[b], 1),
+                    "re-query after eviction"
+                );
+            }
+        }
+    }
+}

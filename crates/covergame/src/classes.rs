@@ -9,7 +9,7 @@
 //! implicit chain statistic `Π = (q_{e_1}, …, q_{e_m})` that the paper's
 //! algorithms use *without materializing it*.
 
-use crate::game::cover_implies;
+use crate::cache::GameCache;
 use relational::{Database, Val};
 
 /// The computed preorder `⪯` over a list of elements of one database.
@@ -32,9 +32,42 @@ impl CoverPreorder {
     ///
     /// Cost: one cover-game analysis per ordered pair — `O(|elems|²)`
     /// polynomial-time game solves, exactly as in Theorem 5.3's test.
+    /// The solves fan out over all cores (one shared [`UnionSkeleton`])
+    /// and memoize through the process-wide [`crate::cache::global`]
+    /// table, so re-sweeping an unchanged database is nearly free.
     pub fn compute(d: &Database, elems: &[Val], k: usize) -> CoverPreorder {
+        Self::compute_with(d, elems, k, crate::cache::global())
+    }
+
+    /// [`CoverPreorder::compute`] against a caller-supplied cache —
+    /// for tests and for callers that want an isolated lifetime or
+    /// capacity.
+    pub fn compute_with(d: &Database, elems: &[Val], k: usize, cache: &GameCache) -> CoverPreorder {
         let n = elems.len();
         // One skeleton for all n² games (the unions depend only on D).
+        let skeleton = crate::skeleton::UnionSkeleton::build(d, k);
+        let cells: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .collect();
+        let verdicts = relational::hom::par::par_map(&cells, |&(i, j)| {
+            cache.implies_with_skeleton(d, &[elems[i]], d, &[elems[j]], &skeleton)
+        });
+        let mut leq = vec![vec![false; n]; n];
+        for (i, row) in leq.iter_mut().enumerate() {
+            row[i] = true;
+        }
+        for (&(i, j), v) in cells.iter().zip(verdicts) {
+            leq[i][j] = v;
+        }
+        Self::from_matrix(elems.to_vec(), leq, k)
+    }
+
+    /// The original sequential, uncached sweep. Kept as the reference
+    /// implementation for the agreement property tests and the engine
+    /// benchmarks.
+    pub fn compute_seq(d: &Database, elems: &[Val], k: usize) -> CoverPreorder {
+        let n = elems.len();
         let skeleton = crate::skeleton::UnionSkeleton::build(d, k);
         let mut leq = vec![vec![false; n]; n];
         for i in 0..n {
@@ -147,7 +180,7 @@ impl CoverPreorder {
         (0..self.class_count())
             .map(|j| {
                 let rep = self.elems[self.representative(j)];
-                if cover_implies(d, &[rep], d2, &[f], self.k) {
+                if crate::cache::cover_implies_cached(d, &[rep], d2, &[f], self.k) {
                     1
                 } else {
                     -1

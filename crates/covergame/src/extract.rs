@@ -369,6 +369,33 @@ mod tests {
     }
 
     #[test]
+    fn lemma54_feature_round_trips_at_width_two() {
+        // Triangle member vs 4-cycle member in one database: only width 2
+        // separates them, and the conjoined feature must evaluate (via
+        // the CQ engine) to exactly the →_2-upward closure — holding at
+        // the separating entity, failing at the separated one.
+        let d = graph(
+            &[
+                ("a", "b"),
+                ("b", "c"),
+                ("c", "a"),
+                ("w", "x"),
+                ("x", "y"),
+                ("y", "z"),
+                ("z", "w"),
+            ],
+            &["a", "w"],
+        );
+        let (a, w) = (v(&d, "a"), v(&d, "w"));
+        assert!(!cover_implies(&d, &[a], &d, &[w], 2));
+        let others = d.entities();
+        let q = lemma54_feature(&d, a, &others, 2, 50_000).unwrap();
+        let selected = evaluate_unary(&q, &d);
+        assert!(selected.contains(&a), "q_a must hold at a: {q}");
+        assert!(!selected.contains(&w), "q_a must fail at w: {q}");
+    }
+
+    #[test]
     fn lemma54_feature_selects_upward_closure() {
         // q_e selects exactly { e' : e ⪯ e' }.
         let p = graph(&[("1", "2"), ("2", "3")], &["1", "2", "3"]);

@@ -95,11 +95,15 @@ impl<'a> CoverGame<'a> {
 
         game.base = game.check_base();
         if game.base.is_none() {
+            // Spoiler wins before any position exists.
+            crate::stats::record_game(0, 0);
             return game;
         }
         game.instantiate_unions(skeleton);
         game.build_positions();
         game.fixpoint(&skeleton.neighbors);
+        let positions: u64 = game.positions.iter().map(|p| p.len() as u64).sum();
+        crate::stats::record_game(positions, game.sweeps as u64);
         game
     }
 

@@ -27,14 +27,18 @@
 //! winners coincide — but positions are now polynomially enumerable for
 //! fixed `k` and arity, which is what Proposition 5.1 requires.
 
+pub mod cache;
 pub mod classes;
 pub mod extract;
 pub mod game;
 pub mod pebble;
 pub mod skeleton;
+pub mod stats;
 
+pub use cache::{cover_implies_cached, GameCache};
 pub use classes::CoverPreorder;
 pub use extract::{extract_distinguishing_query, ExtractError};
 pub use game::{cover_equivalent, cover_implies, CoverGame};
 pub use pebble::{pebble_equivalent, PebbleGame};
 pub use skeleton::UnionSkeleton;
+pub use stats::GameStats;

@@ -40,9 +40,10 @@ pub struct UnionSkeleton {
 
 impl UnionSkeleton {
     /// Enumerate all unions of `1..=k` facts of `d` and precompute the
-    /// overlap structure. `O(|D|^k)` regions for fixed `k`.
+    /// overlap structure. `O(|D|^k)` regions for fixed `k`. With `k = 0`
+    /// there are no unions at all, so `→_0` degenerates to base-map
+    /// consistency (Duplicator wins iff `ā → b̄` is a partial hom).
     pub fn build(d: &Database, k: usize) -> UnionSkeleton {
-        assert!(k >= 1, "cover game needs k >= 1");
         let nfacts = d.fact_count();
         let mut seen: HashMap<Vec<Val>, usize> = HashMap::new();
         let mut unions: Vec<SkeletonUnion> = Vec::new();

@@ -1,0 +1,146 @@
+//! Global instrumentation counters for the cover-game engine, mirroring
+//! `relational::hom::stats` one layer up the stack.
+//!
+//! The fixpoint solver ([`crate::game::CoverGame`]) counts the positions
+//! it enumerated and the sweeps its greatest-fixpoint computation took,
+//! and flushes them here once per analysis; the memo cache
+//! ([`crate::cache`]) contributes hit/miss counts. [`GameStats`]
+//! snapshots the lot, so a caller (the CLI `--stats` flag, the bench
+//! harness) can difference two snapshots around a region of interest.
+//!
+//! Counters are process-global atomics: cheap to bump from the parallel
+//! driver's worker threads and aggregated without any locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static GAMES_SOLVED: AtomicU64 = AtomicU64::new(0);
+static POSITIONS_EXPLORED: AtomicU64 = AtomicU64::new(0);
+static FIXPOINT_SWEEPS: AtomicU64 = AtomicU64::new(0);
+
+/// Flush one analysis's worth of counters (called by the solver).
+pub(crate) fn record_game(positions: u64, sweeps: u64) {
+    GAMES_SOLVED.fetch_add(1, Ordering::Relaxed);
+    POSITIONS_EXPLORED.fetch_add(positions, Ordering::Relaxed);
+    FIXPOINT_SWEEPS.fetch_add(sweeps, Ordering::Relaxed);
+}
+
+/// A point-in-time aggregate of the cover-game engine counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GameStats {
+    /// Full game analyses run (cache misses included, cache hits
+    /// excluded — a hit runs no fixpoint).
+    pub games_solved: u64,
+    /// Duplicator positions enumerated across all analyses.
+    pub positions_explored: u64,
+    /// Greatest-fixpoint sweeps over the position table.
+    pub fixpoint_sweeps: u64,
+    /// Memo-cache hits (verdicts served without an analysis).
+    pub cache_hits: u64,
+    /// Memo-cache misses (verdicts computed and then memoized).
+    pub cache_misses: u64,
+}
+
+impl GameStats {
+    /// Read all counters now.
+    pub fn snapshot() -> GameStats {
+        let cache = crate::cache::global();
+        GameStats {
+            games_solved: GAMES_SOLVED.load(Ordering::Relaxed),
+            positions_explored: POSITIONS_EXPLORED.load(Ordering::Relaxed),
+            fixpoint_sweeps: FIXPOINT_SWEEPS.load(Ordering::Relaxed),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot (saturating, so a
+    /// concurrent reset cannot produce bogus huge values).
+    pub fn since(&self, earlier: &GameStats) -> GameStats {
+        GameStats {
+            games_solved: self.games_solved.saturating_sub(earlier.games_solved),
+            positions_explored: self
+                .positions_explored
+                .saturating_sub(earlier.positions_explored),
+            fixpoint_sweeps: self.fixpoint_sweeps.saturating_sub(earlier.fixpoint_sweeps),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+        }
+    }
+
+    /// Human-readable multi-line report (used by the CLI's `--stats`).
+    pub fn report(&self) -> String {
+        let lookups = self.cache_hits + self.cache_misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64 * 100.0
+        };
+        format!(
+            "cover-game engine stats:\n\
+             \x20 games solved:        {}\n\
+             \x20 positions explored:  {}\n\
+             \x20 fixpoint sweeps:     {}\n\
+             \x20 cache hits:          {}\n\
+             \x20 cache misses:        {}\n\
+             \x20 cache hit rate:      {hit_rate:.1}%",
+            self.games_solved,
+            self.positions_explored,
+            self.fixpoint_sweeps,
+            self.cache_hits,
+            self.cache_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::cover_implies;
+    use relational::{DbBuilder, Schema};
+
+    #[test]
+    fn analyses_bump_the_counters() {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        let c3 = DbBuilder::new(s.clone())
+            .fact("E", &["a", "b"])
+            .fact("E", &["b", "c"])
+            .fact("E", &["c", "a"])
+            .build();
+        let p = DbBuilder::new(s)
+            .fact("E", &["x", "y"])
+            .fact("E", &["y", "z"])
+            .build();
+        let before = GameStats::snapshot();
+        let a = c3.val_by_name("a").unwrap();
+        let x = p.val_by_name("x").unwrap();
+        // Spoiler wins this one, which takes at least one sweep.
+        assert!(!cover_implies(&c3, &[a], &p, &[x], 1));
+        let delta = GameStats::snapshot().since(&before);
+        assert!(delta.games_solved >= 1, "delta={delta:?}");
+        assert!(delta.positions_explored >= 1, "delta={delta:?}");
+        assert!(delta.fixpoint_sweeps >= 1, "delta={delta:?}");
+    }
+
+    #[test]
+    fn report_mentions_every_counter() {
+        let st = GameStats {
+            games_solved: 1,
+            positions_explored: 2,
+            fixpoint_sweeps: 3,
+            cache_hits: 5,
+            cache_misses: 5,
+        };
+        let r = st.report();
+        for needle in [
+            "games solved",
+            "positions",
+            "sweeps",
+            "hits",
+            "misses",
+            "50.0%",
+        ] {
+            assert!(r.contains(needle), "missing {needle:?} in {r}");
+        }
+    }
+}

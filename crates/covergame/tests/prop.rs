@@ -1,9 +1,10 @@
-//! Property tests for the existential cover game: the approximation
-//! sandwich, extraction soundness, preorder laws, and the pebble game.
+//! Property tests for the existential cover game: engine-path agreement,
+//! the approximation sandwich, extraction soundness, preorder laws, and
+//! the pebble game.
 
-use covergame::extract::extract_distinguishing_query;
-use covergame::{cover_implies, pebble_equivalent, CoverPreorder, ExtractError};
-use cq::selects;
+use covergame::extract::{extract_distinguishing_query, lemma54_feature};
+use covergame::{cover_implies, pebble_equivalent, CoverPreorder, ExtractError, GameCache};
+use cq::{evaluate_unary, selects};
 use proptest::prelude::*;
 use relational::{homomorphism_exists, Database, Schema, Val};
 
@@ -30,6 +31,73 @@ fn small_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// All `CoverPreorder::compute` paths agree: the parallel sweep
+    /// through the global cache, the sweep through a cold isolated cache,
+    /// a warm re-sweep of the same cache, and the sequential uncached
+    /// reference — and all of them match pairwise brute-force
+    /// `cover_implies`. The resulting `leq` matrix is a preorder
+    /// (reflexive and transitive).
+    #[test]
+    fn engine_agreement((n, e) in small_graph(), k in 1usize..3) {
+        let d = graph(n, &e, true);
+        let ents = d.entities();
+        let seq = CoverPreorder::compute_seq(&d, &ents, k);
+        let global = CoverPreorder::compute(&d, &ents, k);
+        let isolated = GameCache::new();
+        let cold = CoverPreorder::compute_with(&d, &ents, k, &isolated);
+        let warm = CoverPreorder::compute_with(&d, &ents, k, &isolated);
+        prop_assert_eq!(&global.leq, &seq.leq, "global-cache path disagrees");
+        prop_assert_eq!(&cold.leq, &seq.leq, "cold isolated cache disagrees");
+        prop_assert_eq!(&warm.leq, &seq.leq, "warm re-sweep disagrees");
+        prop_assert_eq!(&global.class_of, &seq.class_of);
+        prop_assert_eq!(&global.classes, &seq.classes);
+        for (i, &a) in ents.iter().enumerate() {
+            for (j, &b) in ents.iter().enumerate() {
+                let brute = cover_implies(&d, &[a], &d, &[b], k);
+                prop_assert_eq!(seq.leq[i][j], brute, "brute force disagrees at ({}, {})", i, j);
+            }
+        }
+        let m = ents.len();
+        for i in 0..m {
+            prop_assert!(seq.leq[i][i], "leq must be reflexive");
+            for j in 0..m {
+                for l in 0..m {
+                    if seq.leq[i][j] && seq.leq[j][l] {
+                        prop_assert!(seq.leq[i][l], "leq must be transitive");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lemma 5.4 round trip: the feature `q_e` evaluated with the CQ
+    /// engine selects exactly the `→_k`-upward closure of `e` — it holds
+    /// at `e` itself and fails at every entity `e'` the game separates.
+    #[test]
+    fn lemma54_feature_round_trip((n, e) in small_graph(), k in 1usize..3) {
+        let d = graph(n, &e, true);
+        let ents = d.entities();
+        for &e1 in &ents {
+            match lemma54_feature(&d, e1, &ents, k, 50_000) {
+                Ok(q) => {
+                    let selected = evaluate_unary(&q, &d);
+                    prop_assert!(selected.contains(&e1), "q_e must hold at e: {}", q);
+                    for &e2 in &ents {
+                        let expect = cover_implies(&d, &[e1], &d, &[e2], k);
+                        prop_assert_eq!(
+                            selected.contains(&e2), expect,
+                            "q at {}: {}", d.val_name(e2), q
+                        );
+                    }
+                }
+                Err(ExtractError::Budget { .. }) => {} // permitted blowup
+                Err(ExtractError::DuplicatorWins) => {
+                    prop_assert!(false, "lemma54_feature filters Duplicator wins");
+                }
+            }
+        }
+    }
 
     /// The approximation chain of §5: `→ ⊆ →_{k+1} ⊆ →_k`.
     #[test]

@@ -1,4 +1,5 @@
-//! A sharded, concurrent memo table for homomorphism-existence queries.
+//! A sharded, concurrent, size-capped memo table for
+//! homomorphism-existence queries.
 //!
 //! The separability pipelines ask the same NP-hard question —
 //! "is there a hom `(D, a) → (D', b)`?" — over and over: `cq_chain`
@@ -14,6 +15,19 @@
 //! and answers are computed *outside* the shard lock — an expensive search
 //! never blocks unrelated lookups (two threads may race to compute the
 //! same key; both get the same answer and the second insert is a no-op).
+//!
+//! # Eviction
+//!
+//! Long-running serving workloads must not grow the table without bound,
+//! so each shard keeps two *generations* of entries. Inserts go to the
+//! current generation; when it fills, it becomes the previous generation
+//! and a fresh current one starts (dropping the old previous generation
+//! wholesale). Hits in the previous generation promote the entry back
+//! into the current one, so the hot working set survives rotations while
+//! cold entries age out after at most two of them — an O(1)-overhead
+//! approximation of LRU with no per-entry bookkeeping. Evicted answers
+//! are simply recomputed (and re-memoized) on the next query; eviction
+//! can never change an answer.
 
 use super::homomorphism_exists;
 use crate::database::Database;
@@ -26,21 +40,53 @@ use std::sync::{Mutex, OnceLock};
 /// counts so lock contention stays negligible.
 const SHARDS: usize = 16;
 
+/// Default total entry capacity of a cache (split across shards; the
+/// two-generation scheme holds at most ~2× this many entries).
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
 type Key = (u128, u128, Vec<(Val, Val)>);
+
+/// One shard's two generations of memoized answers.
+#[derive(Default)]
+struct Generations {
+    cur: HashMap<Key, bool>,
+    prev: HashMap<Key, bool>,
+}
+
+impl Generations {
+    /// Insert into the current generation, rotating first when full.
+    /// `cap` is the per-shard current-generation capacity.
+    fn insert(&mut self, key: Key, ans: bool, cap: usize) {
+        if self.cur.len() >= cap && !self.cur.contains_key(&key) {
+            self.prev = std::mem::take(&mut self.cur);
+        }
+        self.cur.insert(key, ans);
+    }
+}
 
 /// The memo table. Most callers use the process-wide [`global`] instance
 /// via [`exists_cached`]; independent instances exist for tests and for
-/// callers that want isolated lifetimes.
+/// callers that want isolated lifetimes or capacities.
 pub struct HomCache {
-    shards: Vec<Mutex<HashMap<Key, bool>>>,
+    shards: Vec<Mutex<Generations>>,
+    per_shard_cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl HomCache {
     pub fn new() -> HomCache {
+        HomCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A cache holding roughly `capacity` entries (at most ~2× across the
+    /// two generations) before old entries start aging out.
+    pub fn with_capacity(capacity: usize) -> HomCache {
         HomCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(Generations::default()))
+                .collect(),
+            per_shard_cap: (capacity / SHARDS).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -64,15 +110,25 @@ impl HomCache {
         }
         let key: Key = (from.fingerprint(), to.fingerprint(), norm);
         let shard = &self.shards[Self::shard_of(&key)];
-        if let Some(&ans) = shard.lock().unwrap().get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return ans;
+        {
+            let mut g = shard.lock().unwrap();
+            if let Some(&ans) = g.cur.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return ans;
+            }
+            if let Some(ans) = g.prev.remove(&key) {
+                // Promote: a previous-generation hit rejoins the current
+                // working set so rotation keeps what is actually used.
+                g.insert(key, ans, self.per_shard_cap);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return ans;
+            }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Search with the lock released; the solve can be exponential and
         // must not serialize unrelated lookups on this shard.
         let ans = homomorphism_exists(from, to, &key.2);
-        shard.lock().unwrap().insert(key, ans);
+        shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
         ans
     }
 
@@ -97,19 +153,33 @@ impl HomCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of memoized answers.
+    /// Number of memoized answers (both generations; they are disjoint).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+        self.shards
+            .iter()
+            .map(|s| {
+                let g = s.lock().unwrap();
+                g.cur.len() + g.prev.len()
+            })
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// The configured capacity (entries across all shards; the table can
+    /// transiently hold up to ~2× this while both generations are full).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_cap * SHARDS
+    }
+
     /// Drop all memoized answers (counters are left running).
     pub fn clear(&self) {
         for s in &self.shards {
-            s.lock().unwrap().clear();
+            let mut g = s.lock().unwrap();
+            g.cur.clear();
+            g.prev.clear();
         }
     }
 }
@@ -230,5 +300,73 @@ mod tests {
         assert!(cache.is_empty());
         cache.exists(&p, &q, &[]);
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn eviction_bounds_size_and_preserves_correctness() {
+        // Per-shard capacity 1: every insert beyond the first per shard
+        // rotates. Churn through many distinct keys, then re-query — the
+        // answers must match an unbounded reference cache exactly.
+        let cache = HomCache::with_capacity(SHARDS);
+        assert_eq!(cache.capacity(), SHARDS);
+        let reference = HomCache::new();
+        let c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")]);
+        let p = graph(&[("a", "b"), ("b", "c")]);
+        let pairs: Vec<(Val, Val)> = p
+            .dom()
+            .flat_map(|a| c3.dom().map(move |b| (a, b)))
+            .collect();
+        for &(a, b) in &pairs {
+            assert_eq!(
+                cache.exists(&p, &c3, &[(a, b)]),
+                reference.exists(&p, &c3, &[(a, b)]),
+                "cold"
+            );
+        }
+        // Both generations together never exceed 2× the capacity.
+        assert!(
+            cache.len() <= 2 * cache.capacity(),
+            "len {} > 2×cap {}",
+            cache.len(),
+            2 * cache.capacity()
+        );
+        // Re-query everything: some answers were evicted and recompute
+        // (misses), but every answer stays correct.
+        for &(a, b) in &pairs {
+            assert_eq!(
+                cache.exists(&p, &c3, &[(a, b)]),
+                reference.exists(&p, &c3, &[(a, b)]),
+                "re-query after eviction"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_entries_survive_rotation_by_promotion() {
+        // Capacity SHARDS (1 per shard). Keep re-touching one key while
+        // churning others through its shard: the hot key must keep
+        // hitting (promotion pulls it back into the current generation).
+        let cache = HomCache::with_capacity(SHARDS);
+        let p = graph(&[("a", "b")]);
+        let c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")]);
+        assert!(cache.exists(&p, &c3, &[])); // miss: now memoized
+        let hits_before = cache.hits();
+        let pairs: Vec<(Val, Val)> = p
+            .dom()
+            .flat_map(|a| c3.dom().map(move |b| (a, b)))
+            .collect();
+        for &(a, b) in &pairs {
+            cache.exists(&p, &c3, &[(a, b)]); // churn
+            cache.exists(&p, &c3, &[]); // touch the hot key
+        }
+        // The hot key was touched `pairs.len()` times; at most one of
+        // those can miss per rotation reaching its shard, and promotion
+        // means a find in either generation counts as a hit.
+        assert!(
+            cache.hits() >= hits_before + pairs.len() as u64 / 2,
+            "hot key starved: {} hits after {} touches",
+            cache.hits() - hits_before,
+            pairs.len()
+        );
     }
 }
