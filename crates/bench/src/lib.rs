@@ -1,9 +1,10 @@
 //! Shared helpers for the benchmark harness: timing utilities,
-//! growth-rate estimation, and engine counter capture (homomorphism and
-//! cover-game), used by both the Criterion benches and the `repro` binary
-//! that regenerates the EXPERIMENTS.md tables.
+//! growth-rate estimation, and engine counter capture (homomorphism,
+//! cover-game, and LP), used by both the Criterion benches and the
+//! `repro` binary that regenerates the EXPERIMENTS.md tables.
 
 use covergame::GameStats;
+use linsep::LpStats;
 use relational::HomStats;
 use std::time::Instant;
 
@@ -23,6 +24,73 @@ pub fn with_game_stats<R>(f: impl FnOnce() -> R) -> (R, GameStats) {
     let before = GameStats::snapshot();
     let out = f();
     (out, GameStats::snapshot().since(&before))
+}
+
+/// Run `f` and return its result together with the LP-engine counter
+/// deltas (LPs solved, simplex pivots, perceptron hits, conflict prunes,
+/// big-number promotions) it caused.
+pub fn with_lp_stats<R>(f: impl FnOnce() -> R) -> (R, LpStats) {
+    let before = LpStats::snapshot();
+    let out = f();
+    (out, LpStats::snapshot().since(&before))
+}
+
+/// One LP instance `max cᵀx  s.t.  Ax ≤ b, x ≥ 0` as `(A, b, c)`.
+pub type LpInstance = (Vec<Vec<numeric::Rat>>, Vec<numeric::Rat>, Vec<numeric::Rat>);
+
+/// Deterministic batch of dense LP instances for the LP-engine
+/// benches. Coefficients are small integers; every fourth row gets a
+/// negative right-hand side so the two-phase machinery (artificial
+/// variables) is exercised, not just phase 2.
+pub fn lp_batch(count: usize, nvars: usize, nrows: usize, seed: u64) -> Vec<LpInstance> {
+    use numeric::qint;
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as i64
+    };
+    (0..count)
+        .map(|_| {
+            let a: Vec<Vec<numeric::Rat>> = (0..nrows)
+                .map(|_| (0..nvars).map(|_| qint(next() % 11 - 5)).collect())
+                .collect();
+            let b: Vec<numeric::Rat> = (0..nrows)
+                .map(|i| {
+                    if i % 4 == 3 {
+                        qint(-(next() % 4) - 1)
+                    } else {
+                        qint(next() % 9 + 1)
+                    }
+                })
+                .collect();
+            let c: Vec<numeric::Rat> = (0..nvars).map(|_| qint(next() % 9 - 3)).collect();
+            (a, b, c)
+        })
+        .collect()
+}
+
+/// Deterministic "parity" column matrix for the subset-search benches.
+/// Rows are the `2^nbits` bit vectors; candidate column `m` (every mask
+/// except 0 and the full mask) is the ±1 parity of `row & m`; the label
+/// is the full parity of the row. The label lies in a subset's XOR-span
+/// iff some sub-family XORs to it, and an XOR of two or more ±1 columns
+/// is never linearly separable — so every subset of at most three
+/// columns fails, some by a cheap conflict prune and some only after a
+/// full perceptron-plus-LP refutation. The sweep must exhaust the whole
+/// size-ascending candidate space: the worst case the parallel driver
+/// is built for, with a realistic mix of cheap and expensive subsets.
+pub fn search_workload(nbits: usize) -> (Vec<Vec<i32>>, Vec<i32>) {
+    assert!((2..=8).contains(&nbits));
+    let nrows = 1usize << nbits;
+    let full = nrows - 1;
+    let parity = |x: usize| if (x.count_ones() & 1) == 0 { 1 } else { -1 };
+    let columns: Vec<Vec<i32>> = (1..full)
+        .map(|m| (0..nrows).map(|r| parity(r & m)).collect())
+        .collect();
+    let labels: Vec<i32> = (0..nrows).map(|r| parity(r & full)).collect();
+    (columns, labels)
 }
 
 /// Median wall-clock time of `reps` runs of `f`, in seconds.
@@ -114,6 +182,42 @@ mod tests {
         assert!(ans);
         assert!(stats.solves >= 1, "{stats:?}");
         assert!(stats.nodes_expanded >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn lp_stats_capture_sees_engine_work() {
+        // An instance the perceptron gives up on (XOR-ish is infeasible
+        // but conflict-free in 2 columns of 4 distinct rows) forces a
+        // real LP; an easy one exercises the perceptron counter.
+        let xor_vectors = vec![vec![1, 1], vec![1, -1], vec![-1, 1], vec![-1, -1]];
+        let (ans, stats) = with_lp_stats(|| linsep::separate(&xor_vectors, &[-1, 1, 1, -1]));
+        assert!(ans.is_none());
+        assert!(stats.lps_solved >= 1, "{stats:?}");
+        assert!(stats.simplex_pivots >= 1, "{stats:?}");
+        let (ans, stats) = with_lp_stats(|| linsep::separate(&xor_vectors, &[1, -1, -1, -1]));
+        assert!(ans.is_some());
+        assert!(stats.perceptron_hits >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn workload_generators_are_deterministic_and_shaped() {
+        let b1 = lp_batch(3, 4, 6, 42);
+        let b2 = lp_batch(3, 4, 6, 42);
+        assert_eq!(b1, b2, "lp_batch must be deterministic");
+        assert_eq!(b1.len(), 3);
+        assert_eq!(b1[0].0.len(), 6);
+        assert_eq!(b1[0].0[0].len(), 4);
+        assert!(b1[0].1[3].is_negative(), "every fourth rhs is negative");
+
+        let (cols, labels) = search_workload(3);
+        assert_eq!(cols.len(), 6, "masks 1..full, full excluded");
+        assert_eq!(labels.len(), 8);
+        assert!(cols.iter().all(|c| c.len() == 8));
+        let flipped: Vec<i32> = labels.iter().map(|v| -v).collect();
+        assert!(
+            cols.iter().all(|c| *c != labels && *c != flipped),
+            "no candidate column may equal the label (would separate at size 1)"
+        );
     }
 
     #[test]

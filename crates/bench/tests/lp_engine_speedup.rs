@@ -1,0 +1,124 @@
+//! Speedup acceptance test for the exact LP engine: the hybrid
+//! small/big `Rat` simplex must beat the seed `BigRational` simplex on
+//! identical LP batches, and the parallel ≤ℓ-subset sweep must beat
+//! the sequential one on a sweep-exhausting parity workload. Both
+//! comparisons are verified for agreement before they are timed, and
+//! the measured times plus the engine counters are recorded in
+//! `BENCH_lp.json` at the repository root. The parallel-sweep speedup
+//! assertion is skipped (with a note) on hosts with fewer than 4
+//! cores, matching the other engine tests; the solver comparison and
+//! all agreement checks run everywhere.
+
+use bench::{lp_batch, search_workload, time_median, with_lp_stats};
+use cqsep::sep_dim::{search_columns, search_columns_seq};
+use linsep::{solve_lp, solve_lp_big, LpOutcome, LpOutcomeBig};
+use numeric::BigRational;
+
+type BigLp = (Vec<Vec<BigRational>>, Vec<BigRational>, Vec<BigRational>);
+
+#[test]
+fn hybrid_lp_engine_beats_seed_path() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // ---- Leg 1: hybrid Rat simplex vs seed BigRational simplex ----
+    let batch = lp_batch(24, 8, 16, 0x5EED);
+    let big_batch: Vec<BigLp> = batch
+        .iter()
+        .map(|(a, b, c)| {
+            (
+                a.iter()
+                    .map(|row| row.iter().map(|x| x.to_big()).collect())
+                    .collect(),
+                b.iter().map(|x| x.to_big()).collect(),
+                c.iter().map(|x| x.to_big()).collect(),
+            )
+        })
+        .collect();
+
+    // Agreement before speed: same verdict, same optimum, same vertex.
+    for ((a, b, c), (ab, bb, cb)) in batch.iter().zip(&big_batch) {
+        match (solve_lp(a, b, c), solve_lp_big(ab, bb, cb)) {
+            (LpOutcome::Infeasible, LpOutcomeBig::Infeasible) => {}
+            (LpOutcome::Unbounded, LpOutcomeBig::Unbounded) => {}
+            (LpOutcome::Optimal { x, value }, LpOutcomeBig::Optimal { x: xb, value: vb }) => {
+                assert_eq!(value.to_big(), vb, "optimal values diverge");
+                assert_eq!(x.len(), xb.len());
+                for (xi, xbi) in x.iter().zip(&xb) {
+                    assert_eq!(xi.to_big(), *xbi, "optimal vertices diverge");
+                }
+            }
+            (fast, slow) => panic!("verdicts diverge: hybrid={fast:?} big={slow:?}"),
+        }
+    }
+
+    let big_lp_s = time_median(3, || {
+        for (a, b, c) in &big_batch {
+            std::hint::black_box(solve_lp_big(a, b, c));
+        }
+    });
+    let (_, lp_stats) = with_lp_stats(|| {
+        for (a, b, c) in &batch {
+            std::hint::black_box(solve_lp(a, b, c));
+        }
+    });
+    let rat_lp_s = time_median(3, || {
+        for (a, b, c) in &batch {
+            std::hint::black_box(solve_lp(a, b, c));
+        }
+    });
+    // Conservative floor: the hybrid solver is typically several times
+    // faster than the BigRational one.
+    assert!(
+        rat_lp_s * 1.1 < big_lp_s,
+        "hybrid simplex must beat the seed solver: rat={rat_lp_s:.6}s big={big_lp_s:.6}s"
+    );
+
+    // ---- Leg 2: parallel subset sweep vs sequential ----
+    let (columns, labels) = search_workload(4);
+    let seq_verdict = search_columns_seq(&columns, &labels, 3);
+    let par_verdict = search_columns(&columns, &labels, 3);
+    assert!(
+        seq_verdict.is_none() && par_verdict.is_none(),
+        "parity workload must exhaust the sweep: seq={seq_verdict:?} par={par_verdict:?}"
+    );
+    let (_, sweep_stats) = with_lp_stats(|| {
+        std::hint::black_box(search_columns(&columns, &labels, 3));
+    });
+    assert!(
+        sweep_stats.conflict_prunes >= 1 && sweep_stats.lps_solved >= 1,
+        "sweep must mix cheap prunes and real LPs: {sweep_stats:?}"
+    );
+    let seq_sweep_s = time_median(3, || {
+        std::hint::black_box(search_columns_seq(&columns, &labels, 3));
+    });
+    let par_sweep_s = time_median(3, || {
+        std::hint::black_box(search_columns(&columns, &labels, 3));
+    });
+    if cores >= 4 {
+        // Close to linear in cores on this workload; assert a floor.
+        assert!(
+            par_sweep_s * 1.2 < seq_sweep_s,
+            "parallel sweep must beat sequential: par={par_sweep_s:.6}s seq={seq_sweep_s:.6}s"
+        );
+    } else {
+        eprintln!("skipping parallel-sweep speedup assertion: only {cores} core(s) available");
+    }
+
+    let json = format!(
+        "{{\n  \"cores\": {cores},\n  \"lp_batch\": {{\n    \"instances\": {},\n    \"big_rational_s\": {big_lp_s:.6},\n    \"hybrid_rat_s\": {rat_lp_s:.6},\n    \"speedup\": {:.2},\n    \"lps_solved\": {},\n    \"simplex_pivots\": {},\n    \"bignum_promotions\": {}\n  }},\n  \"subset_sweep\": {{\n    \"columns\": {},\n    \"rows\": {},\n    \"ell\": 3,\n    \"sequential_s\": {seq_sweep_s:.6},\n    \"parallel_s\": {par_sweep_s:.6},\n    \"speedup\": {:.2},\n    \"conflict_prunes\": {},\n    \"lps_solved\": {}\n  }}\n}}\n",
+        batch.len(),
+        big_lp_s / rat_lp_s,
+        lp_stats.lps_solved,
+        lp_stats.simplex_pivots,
+        lp_stats.bignum_promotions,
+        columns.len(),
+        labels.len(),
+        seq_sweep_s / par_sweep_s,
+        sweep_stats.conflict_prunes,
+        sweep_stats.lps_solved,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp.json");
+    std::fs::write(path, json).expect("write BENCH_lp.json");
+}

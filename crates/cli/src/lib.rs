@@ -75,8 +75,10 @@ impl std::fmt::Display for ClassSpec {
 /// The global `--stats` flag (any position) appends engine counter
 /// reports covering exactly this call: the homomorphism engine (searches
 /// run, nodes expanded, forward-check wipeouts, backtracks, memo-cache
-/// hits/misses) and the cover-game engine (games solved, positions
-/// explored, fixpoint sweeps, game-cache hits/misses).
+/// hits/misses), the cover-game engine (games solved, positions
+/// explored, fixpoint sweeps, game-cache hits/misses), and the LP engine
+/// (LPs solved, simplex pivots, perceptron fast-path hits, conflict
+/// prunes, big-number promotions).
 pub fn run(args: &[String]) -> Result<String, String> {
     let stats_requested = args.iter().any(|a| a == "--stats");
     if stats_requested {
@@ -84,15 +86,19 @@ pub fn run(args: &[String]) -> Result<String, String> {
         let rest: Vec<String> = args.iter().filter(|a| *a != "--stats").cloned().collect();
         let hom_before = relational::HomStats::snapshot();
         let game_before = covergame::GameStats::snapshot();
+        let lp_before = linsep::LpStats::snapshot();
         let mut out = run(&rest)?;
         let hom_delta = relational::HomStats::snapshot().since(&hom_before);
         let game_delta = covergame::GameStats::snapshot().since(&game_before);
+        let lp_delta = linsep::LpStats::snapshot().since(&lp_before);
         if !out.ends_with('\n') && !out.is_empty() {
             out.push('\n');
         }
         out.push_str(&hom_delta.report());
         out.push('\n');
         out.push_str(&game_delta.report());
+        out.push('\n');
+        out.push_str(&lp_delta.report());
         out.push('\n');
         return Ok(out);
     }
@@ -177,7 +183,7 @@ const USAGE: &str = "usage:
   cqsep-cli classify-model <model.txt> <eval.db>
   cqsep-cli relabel <train.db> [--k <k>]
   cqsep-cli info <file.db>
-add --stats to any command to append hom- and cover-game-engine counters";
+add --stats to any command to append hom-, cover-game-, and LP-engine counters";
 
 fn parse_classes(args: &[String], default: Vec<ClassSpec>) -> Result<Vec<ClassSpec>, String> {
     let mut out = Vec::new();
@@ -461,10 +467,14 @@ entity v
             assert!(out.contains("games solved"), "{out}");
             // The default check runs GHW(1), so games actually happen.
             assert!(out.contains("fixpoint sweeps"), "{out}");
+            assert!(out.contains("lp engine stats"), "{out}");
+            assert!(out.contains("simplex pivots"), "{out}");
+            assert!(out.contains("bignum promotions"), "{out}");
             // Flag position must not matter.
             let out2 = run(&s(&["--stats", "check", train])).unwrap();
             assert!(out2.contains("hom engine stats"), "{out2}");
             assert!(out2.contains("cover-game engine stats"), "{out2}");
+            assert!(out2.contains("lp engine stats"), "{out2}");
         });
     }
 

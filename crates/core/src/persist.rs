@@ -16,7 +16,7 @@
 use crate::statistic::{SeparatorModel, Statistic};
 use cq::parse::parse_cq;
 use linsep::LinearClassifier;
-use numeric::BigRational;
+use numeric::Rat;
 use relational::Schema;
 use std::fmt;
 
@@ -51,8 +51,8 @@ pub fn model_to_text(model: &SeparatorModel) -> String {
 /// ship it alongside, e.g. as the database spec).
 pub fn parse_model(schema: &Schema, text: &str) -> Result<SeparatorModel, ModelParseError> {
     let mut features = Vec::new();
-    let mut threshold: Option<BigRational> = None;
-    let mut weights: Option<Vec<BigRational>> = None;
+    let mut threshold: Option<Rat> = None;
+    let mut weights: Option<Vec<Rat>> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -78,8 +78,7 @@ pub fn parse_model(schema: &Schema, text: &str) -> Result<SeparatorModel, ModelP
                 );
             }
             "weights" => {
-                let ws: Result<Vec<BigRational>, _> =
-                    rest.split_whitespace().map(|w| w.parse()).collect();
+                let ws: Result<Vec<Rat>, _> = rest.split_whitespace().map(|w| w.parse()).collect();
                 weights = Some(ws.map_err(|_| err("bad weight rational".into()))?);
             }
             other => return Err(err(format!("unknown directive {other:?}"))),
@@ -143,8 +142,8 @@ threshold -1/2
 weights 2/3
 ";
         let model = parse_model(&schema(), text).unwrap();
-        assert_eq!(model.classifier.threshold, numeric::ratio(-1, 2));
-        assert_eq!(model.classifier.weights[0], numeric::ratio(2, 3));
+        assert_eq!(model.classifier.threshold, numeric::qrat(-1, 2));
+        assert_eq!(model.classifier.weights[0], numeric::qrat(2, 3));
         let again = parse_model(&schema(), &model_to_text(&model)).unwrap();
         assert_eq!(again.classifier.threshold, model.classifier.threshold);
     }

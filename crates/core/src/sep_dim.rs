@@ -19,11 +19,19 @@
 //! The search over ≤ ℓ explainable columns plus the exact LP is the
 //! (necessarily) exponential part: `CQ`-Sep[ℓ] is coNEXPTIME-complete and
 //! `GHW(k)`-Sep[ℓ] EXPTIME-complete (Theorem 6.6), `CQ[m]`-Sep[ℓ]
-//! NP-complete (Theorem 6.10).
+//! NP-complete (Theorem 6.10). That part is engineered, not just
+//! endured: candidate columns are deduplicated (exact duplicates *and*
+//! complements — negating a weight realizes the complement) by
+//! [`dedup_column_indices`] before the sweep, and [`search_columns`]
+//! fans the ≤ ℓ-subset enumeration out over the same worker pool the
+//! homomorphism engine uses ([`relational::hom::par`]), refuting most
+//! subsets with a cheap conflict scan before any LP is assembled.
 
-use linsep::separate;
+use linsep::{has_label_conflict, separate};
 use qbe::QbeError;
+use relational::hom::par::par_find_first;
 use relational::{Database, TrainingDb, Val};
+use std::collections::HashSet;
 use std::fmt;
 
 /// Which feature class the dimension-bounded search runs over.
@@ -186,6 +194,18 @@ pub fn sep_dim_witness(
         }
     }
 
+    // Distinct up-sets give distinct columns, so within this arm only
+    // complement pairs can collide — but the shared helper drops both
+    // kinds. Done after the QBE filter because explainability is not
+    // complement-symmetric (the complement of an explainable split need
+    // not be explainable); LP separability is, so the search loses
+    // nothing.
+    let keep = dedup_column_indices(&columns);
+    if keep.len() < columns.len() {
+        columns = keep.iter().map(|&j| columns[j].clone()).collect();
+        column_sets = keep.iter().map(|&j| column_sets[j].clone()).collect();
+    }
+
     // Search subsets of ≤ ℓ columns for one that linearly separates the
     // class labels.
     let labels: Vec<i32> = reps
@@ -227,15 +247,13 @@ pub fn cqm_sep_dim(train: &TrainingDb, config: &cq::EnumConfig, ell: usize) -> b
     // Transpose to columns and deduplicate (also dropping complements:
     // negating a feature's weight realizes the complement column).
     let nfeat = statistic.dimension();
-    let mut columns: Vec<Vec<i32>> = Vec::new();
-    let mut seen = std::collections::HashSet::new();
-    for j in 0..nfeat {
-        let col: Vec<i32> = rows.iter().map(|r| r[j]).collect();
-        let flipped: Vec<i32> = col.iter().map(|&x| -x).collect();
-        if seen.insert(col.clone()) && !seen.contains(&flipped) {
-            columns.push(col);
-        }
-    }
+    let all: Vec<Vec<i32>> = (0..nfeat)
+        .map(|j| rows.iter().map(|r| r[j]).collect())
+        .collect();
+    let columns: Vec<Vec<i32>> = dedup_column_indices(&all)
+        .into_iter()
+        .map(|j| all[j].clone())
+        .collect();
     // Rows here are entities (not classes); search directly.
     search_columns(&columns, &labels, ell).is_some()
 }
@@ -403,11 +421,138 @@ fn enumerate_upsets(class_leq: &[Vec<bool>], cap: usize) -> Option<Vec<Vec<bool>
     }
 }
 
+/// Indices of a canonical subset of `columns` after dropping exact
+/// duplicates and complements. For ±1 features `w·(−c̄) = (−w)·c̄`, so a
+/// weight flip realizes any dropped complement and LP separability over
+/// the kept columns equals separability over the full set. Returning
+/// indices (first occurrence wins) lets callers keep side tables — the
+/// QBE splits in [`sep_dim_witness`], the queries in [`cqm_sep_dim`] —
+/// aligned with the surviving columns.
+pub fn dedup_column_indices(columns: &[Vec<i32>]) -> Vec<usize> {
+    let mut seen: HashSet<Vec<i32>> = HashSet::with_capacity(columns.len());
+    let mut keep = Vec::new();
+    for (j, col) in columns.iter().enumerate() {
+        let flipped: Vec<i32> = col.iter().map(|&x| -x).collect();
+        if seen.insert(col.clone()) && !seen.contains(&flipped) {
+            keep.push(j);
+        }
+    }
+    keep
+}
+
+/// Lexicographic `k`-combination generator over `0..n`, yielding into a
+/// caller-owned buffer so the parallel sweep can work block by block with
+/// bounded memory.
+struct Combinations {
+    n: usize,
+    k: usize,
+    cur: Vec<usize>,
+    done: bool,
+}
+
+impl Combinations {
+    fn new(n: usize, k: usize) -> Combinations {
+        Combinations {
+            n,
+            k,
+            cur: (0..k).collect(),
+            done: k > n,
+        }
+    }
+
+    fn next_combo(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let out = self.cur.clone();
+        // Advance: rightmost position that can still move right.
+        let (n, k) = (self.n, self.k);
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.cur[i] < n - k + i {
+                self.cur[i] += 1;
+                for j in i + 1..k {
+                    self.cur[j] = self.cur[j - 1] + 1;
+                }
+                break;
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Combinations per parallel block: large enough to keep every worker
+/// busy between early-exit checks, small enough that a hit near the
+/// front of a size class wastes little speculative work (and memory
+/// stays bounded however many subsets the sweep spans).
+const SEARCH_BLOCK: usize = 256;
+
+/// Does this column subset linearly separate the labels? The cheap
+/// `O(rows·ℓ)` conflict scan (identical projected rows with opposite
+/// labels) refutes most non-separating subsets before any LP exists —
+/// those hits are reported to the LP engine's prune counter.
+fn subset_separates(columns: &[Vec<i32>], labels: &[i32], chosen: &[usize]) -> bool {
+    let rows: Vec<Vec<i32>> = (0..labels.len())
+        .map(|r| chosen.iter().map(|&c| columns[c][r]).collect())
+        .collect();
+    if has_label_conflict(&rows, labels) {
+        linsep::stats::record_conflict_prune();
+        return false;
+    }
+    separate(&rows, labels).is_some()
+}
+
 /// Is there a choice of ≤ ℓ columns whose induced vectors (rows = the
 /// matrix rows) linearly separate `labels`? Returns the chosen column
 /// indices (possibly empty when the labels are uniform).
-fn search_columns(columns: &[Vec<i32>], labels: &[i32], ell: usize) -> Option<Vec<usize>> {
+///
+/// The sweep runs size classes in ascending order and, within a size,
+/// blocks of lexicographic combinations fanned out over
+/// [`par_find_first`] — so the result is deterministic (the
+/// lexicographically first witness of minimum size) regardless of worker
+/// count, and a hit early in the enumeration exits without touching the
+/// rest. [`search_columns_seq`] is the single-threaded reference with
+/// the same verdict.
+pub fn search_columns(columns: &[Vec<i32>], labels: &[i32], ell: usize) -> Option<Vec<usize>> {
     // Trivial case: uniform labels need zero features.
+    if labels.iter().all(|&l| l == 1) || labels.iter().all(|&l| l == -1) {
+        return Some(Vec::new());
+    }
+    let mut block: Vec<Vec<usize>> = Vec::with_capacity(SEARCH_BLOCK);
+    for k in 1..=ell.min(columns.len()) {
+        let mut combos = Combinations::new(columns.len(), k);
+        loop {
+            block.clear();
+            while block.len() < SEARCH_BLOCK {
+                match combos.next_combo() {
+                    Some(c) => block.push(c),
+                    None => break,
+                }
+            }
+            if block.is_empty() {
+                break;
+            }
+            if let Some(i) =
+                par_find_first(&block, |chosen| subset_separates(columns, labels, chosen))
+            {
+                return Some(block.swap_remove(i));
+            }
+        }
+    }
+    None
+}
+
+/// Sequential reference for [`search_columns`]: plain depth-first subset
+/// enumeration, one LP at a time. Kept for agreement tests and as the
+/// baseline leg of the LP-engine benchmarks. The verdict always matches
+/// the parallel sweep; the witness may differ (DFS order is not
+/// size-ascending), but both are valid ≤ ℓ separating subsets.
+pub fn search_columns_seq(columns: &[Vec<i32>], labels: &[i32], ell: usize) -> Option<Vec<usize>> {
     if labels.iter().all(|&l| l == 1) || labels.iter().all(|&l| l == -1) {
         return Some(Vec::new());
     }
@@ -419,13 +564,8 @@ fn search_columns(columns: &[Vec<i32>], labels: &[i32], ell: usize) -> Option<Ve
         start: usize,
         chosen: &mut Vec<usize>,
     ) -> bool {
-        if !chosen.is_empty() {
-            let rows: Vec<Vec<i32>> = (0..labels.len())
-                .map(|r| chosen.iter().map(|&c| columns[c][r]).collect())
-                .collect();
-            if separate(&rows, labels).is_some() {
-                return true;
-            }
+        if !chosen.is_empty() && subset_separates(columns, labels, chosen) {
+            return true;
         }
         if chosen.len() == ell {
             return false;
@@ -580,6 +720,98 @@ mod tests {
             .expect("ℓ=2 separates");
         for e in t.entities() {
             assert_eq!(lab.get(e), t.labeling.get(e));
+        }
+    }
+
+    #[test]
+    fn dedup_drops_duplicates_and_complements() {
+        let cols = vec![
+            vec![1, 1, -1],   // keep
+            vec![1, 1, -1],   // duplicate
+            vec![-1, -1, 1],  // complement of 0
+            vec![1, -1, 1],   // keep
+            vec![-1, 1, -1],  // complement of 3
+            vec![-1, -1, -1], // keep
+        ];
+        assert_eq!(dedup_column_indices(&cols), vec![0, 3, 5]);
+        assert!(dedup_column_indices(&[]).is_empty());
+    }
+
+    #[test]
+    fn search_columns_edge_cases() {
+        // Uniform labels: zero features suffice, even with ℓ > 0 and no
+        // columns at all.
+        assert_eq!(search_columns(&[], &[1, 1], 3), Some(Vec::new()));
+        assert_eq!(search_columns(&[], &[-1, -1, -1], 0), Some(Vec::new()));
+        // Mixed labels with no columns: hopeless at any ℓ.
+        assert_eq!(search_columns(&[], &[1, -1], 2), None);
+        // ℓ = 0 with mixed labels: hopeless.
+        let col = vec![vec![1, -1]];
+        assert_eq!(search_columns(&col, &[1, -1], 0), None);
+        // ℓ exceeding the column count is clamped, not an error.
+        assert_eq!(search_columns(&col, &[1, -1], 99), Some(vec![0]));
+        // Single-row instances are uniformly labeled by definition.
+        assert_eq!(search_columns(&[vec![1]], &[-1], 1), Some(Vec::new()));
+        // The sequential reference agrees on all of the above.
+        assert_eq!(search_columns_seq(&[], &[1, 1], 3), Some(Vec::new()));
+        assert_eq!(search_columns_seq(&[], &[1, -1], 2), None);
+        assert_eq!(search_columns_seq(&col, &[1, -1], 0), None);
+        assert_eq!(search_columns_seq(&col, &[1, -1], 99), Some(vec![0]));
+    }
+
+    #[test]
+    fn parallel_witness_is_minimum_size_lexicographic() {
+        // Columns 0 and 1 each fail alone; column 2 works alone. The
+        // parallel sweep (size-ascending) must return [2], regardless of
+        // what a DFS would try first.
+        let labels = vec![1, -1, 1, -1];
+        let cols = vec![vec![1, 1, -1, -1], vec![-1, -1, 1, 1], vec![1, -1, 1, -1]];
+        assert_eq!(search_columns(&cols, &labels, 2), Some(vec![2]));
+    }
+
+    #[test]
+    fn sequential_and_parallel_search_agree_across_seeds() {
+        // Random column matrices; the two engines must give the same
+        // verdict and, on success, witnesses that really separate within
+        // the ℓ budget.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut rnd = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as usize
+        };
+        for trial in 0..30 {
+            let nrows = 3 + rnd() % 5;
+            let ncols = 1 + rnd() % 6;
+            let ell = 1 + rnd() % 3;
+            let columns: Vec<Vec<i32>> = (0..ncols)
+                .map(|_| {
+                    (0..nrows)
+                        .map(|_| if rnd() % 2 == 0 { 1 } else { -1 })
+                        .collect()
+                })
+                .collect();
+            let labels: Vec<i32> = (0..nrows)
+                .map(|_| if rnd() % 2 == 0 { 1 } else { -1 })
+                .collect();
+            let par = search_columns(&columns, &labels, ell);
+            let seq = search_columns_seq(&columns, &labels, ell);
+            assert_eq!(
+                par.is_some(),
+                seq.is_some(),
+                "trial {trial}: {columns:?} {labels:?} ell={ell}"
+            );
+            for witness in [&par, &seq].into_iter().flatten() {
+                assert!(witness.len() <= ell);
+                let rows: Vec<Vec<i32>> = (0..labels.len())
+                    .map(|r| witness.iter().map(|&c| columns[c][r]).collect())
+                    .collect();
+                assert!(
+                    separate(&rows, &labels).is_some(),
+                    "trial {trial}: witness {witness:?} does not separate"
+                );
+            }
         }
     }
 

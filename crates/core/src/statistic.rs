@@ -99,7 +99,7 @@ impl SeparatorModel {
 mod tests {
     use super::*;
     use cq::parse::parse_cq;
-    use numeric::int;
+    use numeric::qint;
     use relational::{DbBuilder, Schema};
 
     fn schema() -> Schema {
@@ -122,7 +122,7 @@ mod tests {
         let q = parse_cq(&schema(), "q(x) :- eta(x), E(x,y)").unwrap();
         SeparatorModel {
             statistic: Statistic::new(vec![q]),
-            classifier: LinearClassifier::new(int(0), vec![int(1)]),
+            classifier: LinearClassifier::new(qint(0), vec![qint(1)]),
         }
     }
 

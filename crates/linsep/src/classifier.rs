@@ -1,20 +1,23 @@
 //! The linear classifier `Λ_w̄` (§2 of the paper).
 
-use numeric::BigRational;
+use numeric::Rat;
 use std::fmt;
 
 /// A linear classifier `Λ_w̄` with `w̄ = (w_0, w_1, …, w_n)`:
 /// `Λ(b̄) = 1` iff `Σ w_i b_i ≥ w_0`.
+///
+/// Weights are hybrid [`Rat`]s: exact, but inline `i64` fractions until a
+/// value genuinely needs arbitrary precision.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LinearClassifier {
     /// The threshold `w_0`.
-    pub threshold: BigRational,
+    pub threshold: Rat,
     /// The feature weights `w_1 … w_n`.
-    pub weights: Vec<BigRational>,
+    pub weights: Vec<Rat>,
 }
 
 impl LinearClassifier {
-    pub fn new(threshold: BigRational, weights: Vec<BigRational>) -> LinearClassifier {
+    pub fn new(threshold: Rat, weights: Vec<Rat>) -> LinearClassifier {
         LinearClassifier { threshold, weights }
     }
 
@@ -23,9 +26,9 @@ impl LinearClassifier {
     }
 
     /// The raw score `Σ w_i b_i` of a ±1 feature vector.
-    pub fn score(&self, features: &[i32]) -> BigRational {
+    pub fn score(&self, features: &[i32]) -> Rat {
         assert_eq!(features.len(), self.weights.len(), "feature arity mismatch");
-        let mut s = BigRational::zero();
+        let mut s = Rat::zero();
         for (w, &f) in self.weights.iter().zip(features.iter()) {
             match f {
                 1 => s += w,
@@ -75,21 +78,21 @@ impl fmt::Display for LinearClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use numeric::{int, ratio};
+    use numeric::{qint, qrat};
 
     #[test]
     fn majority_vote() {
-        let c = LinearClassifier::new(int(0), vec![int(1), int(1), int(1)]);
+        let c = LinearClassifier::new(qint(0), vec![qint(1), qint(1), qint(1)]);
         assert_eq!(c.classify(&[1, 1, -1]), 1);
         assert_eq!(c.classify(&[1, -1, -1]), -1);
         // Ties (score 0) go positive by the ≥ convention.
-        let c2 = LinearClassifier::new(int(0), vec![int(1), int(-1)]);
+        let c2 = LinearClassifier::new(qint(0), vec![qint(1), qint(-1)]);
         assert_eq!(c2.classify(&[1, 1]), 1);
     }
 
     #[test]
     fn separates_and_errors() {
-        let c = LinearClassifier::new(ratio(1, 2), vec![int(1)]);
+        let c = LinearClassifier::new(qrat(1, 2), vec![qint(1)]);
         let pos = [1i32];
         let neg = [-1i32];
         let examples = [(&pos[..], 1), (&neg[..], -1)];
@@ -99,9 +102,20 @@ mod tests {
     }
 
     #[test]
+    fn promoted_weights_still_classify_exactly() {
+        // A weight beyond i64: score arithmetic must stay exact through
+        // the big representation.
+        let huge = &qint(i64::MAX) * &qint(4);
+        let c = LinearClassifier::new(qint(0), vec![huge.clone(), qint(-1)]);
+        assert_eq!(c.classify(&[1, 1]), 1);
+        assert_eq!(c.classify(&[-1, -1]), -1);
+        assert_eq!(c.score(&[1, 1]), &huge - &qint(1));
+    }
+
+    #[test]
     #[should_panic(expected = "±1")]
     fn rejects_non_sign_features() {
-        let c = LinearClassifier::new(int(0), vec![int(1)]);
+        let c = LinearClassifier::new(qint(0), vec![qint(1)]);
         c.classify(&[0]);
     }
 }

@@ -9,23 +9,34 @@
 //!
 //! Modules:
 //!
-//! * [`simplex`] — a two-phase primal simplex over exact rationals
-//!   ([`numeric::BigRational`]) with Bland's anti-cycling rule. The paper
+//! * [`simplex`] — the fast two-phase primal simplex over hybrid
+//!   [`numeric::Rat`] rationals with Bland's anti-cycling rule, in-place
+//!   unnormalized pivoting, and per-row integer rescaling. The paper
 //!   cites Karmarkar/Khachiyan for polynomial-time LP; simplex is the
 //!   faithful exact-arithmetic substitute (see DESIGN.md §4).
+//! * [`simplex_big`] — the original all-[`numeric::BigRational`] solver,
+//!   kept as a reference oracle for agreement tests and benchmarks.
 //! * [`separate`] — strict separation via a maximum-margin feasibility LP,
-//!   with an integer perceptron fast path for the (common) easy cases.
+//!   with a duplicate-conflict scan and an integer perceptron fast path
+//!   ahead of it.
 //! * [`classifier`] — the [`LinearClassifier`] type `Λ_w̄`.
 //! * [`minerror`] — exact minimum-error linear classification by
 //!   branch-and-bound over vector-type assignments, plus the greedy
 //!   majority upper bound; powers the `CQ[m]`-ApxSep algorithms (§7.2).
+//! * [`stats`] — process-global LP engine counters ([`LpStats`]): LPs
+//!   solved, simplex pivots, perceptron hits, conflict prunes, and
+//!   big-number promotions.
 
 pub mod classifier;
 pub mod minerror;
 pub mod separate;
 pub mod simplex;
+pub mod simplex_big;
+pub mod stats;
 
 pub use classifier::LinearClassifier;
 pub use minerror::{min_error_classifier, MinErrorResult};
-pub use separate::{separate, separate_with_margin};
-pub use simplex::{solve_lp, LpOutcome};
+pub use separate::{has_label_conflict, separate, separate_with_margin};
+pub use simplex::{solve_lp, solve_lp_counted, LpOutcome};
+pub use simplex_big::{solve_lp_big, LpOutcomeBig};
+pub use stats::LpStats;

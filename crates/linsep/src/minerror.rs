@@ -40,7 +40,7 @@ pub fn min_error_classifier(vectors: &[Vec<i32>], labels: &[i32]) -> MinErrorRes
     assert_eq!(vectors.len(), labels.len());
     if vectors.is_empty() {
         return MinErrorResult {
-            classifier: LinearClassifier::new(numeric::int(0), Vec::new()),
+            classifier: LinearClassifier::new(numeric::qint(0), Vec::new()),
             errors: 0,
             labels: Vec::new(),
         };

@@ -11,15 +11,43 @@
 //! w_0`, so positives need `w·b̄ ≥ w_0` and negatives need `w·b̄ < w_0`;
 //! maximizing a symmetric margin `t` and checking `t > 0` handles both
 //! strictness and the boundary convention.
+//!
+//! Decisions cascade through three tiers, cheapest first, each reported
+//! to [`crate::stats`]:
+//!
+//! 1. **Conflict scan** — identical vectors with opposite labels make
+//!    separation impossible; one `O(rows·n)` hash pass refutes such
+//!    instances before any arithmetic.
+//! 2. **Integer perceptron** — converges immediately on the easy
+//!    instances the enumeration algorithms mostly generate.
+//! 3. **Exact LP** — the maximum-margin simplex solve, now over hybrid
+//!    [`Rat`] arithmetic.
 
 use crate::classifier::LinearClassifier;
 use crate::simplex::{solve_lp, LpOutcome};
-use numeric::{int, BigRational};
+use crate::stats;
+use numeric::{qint, Rat};
+use std::collections::HashMap;
 
 /// Find a linear classifier separating the examples, or `None` if they
 /// are not linearly separable. Exact.
 pub fn separate(vectors: &[Vec<i32>], labels: &[i32]) -> Option<LinearClassifier> {
     separate_with_margin(vectors, labels).map(|(c, _)| c)
+}
+
+/// Do identical vectors appear with opposite labels? If so no classifier
+/// (linear or otherwise) can separate, and the LP is pointless. Shared
+/// with the subset search in `cqsep`, which runs the same scan on
+/// projected rows before assembling an LP per candidate feature set.
+pub fn has_label_conflict(vectors: &[Vec<i32>], labels: &[i32]) -> bool {
+    let mut seen: HashMap<&[i32], i32> = HashMap::with_capacity(vectors.len());
+    for (v, &y) in vectors.iter().zip(labels.iter()) {
+        match seen.insert(v.as_slice(), y) {
+            Some(prev) if prev != y => return true,
+            _ => {}
+        }
+    }
+    false
 }
 
 /// As [`separate`], also returning the optimal margin achieved under the
@@ -28,10 +56,10 @@ pub fn separate(vectors: &[Vec<i32>], labels: &[i32]) -> Option<LinearClassifier
 pub fn separate_with_margin(
     vectors: &[Vec<i32>],
     labels: &[i32],
-) -> Option<(LinearClassifier, BigRational)> {
+) -> Option<(LinearClassifier, Rat)> {
     assert_eq!(vectors.len(), labels.len(), "one label per vector");
     if vectors.is_empty() {
-        return Some((LinearClassifier::new(int(0), Vec::new()), int(1)));
+        return Some((LinearClassifier::new(qint(0), Vec::new()), qint(1)));
     }
     let n = vectors[0].len();
     for v in vectors {
@@ -43,7 +71,13 @@ pub fn separate_with_margin(
         "labels must be ±1"
     );
 
-    // Fast path: the integer perceptron usually converges immediately on
+    // Tier 1: refute duplicate-vector conflicts without any arithmetic.
+    if has_label_conflict(vectors, labels) {
+        stats::record_conflict_prune();
+        return None;
+    }
+
+    // Tier 2: the integer perceptron usually converges immediately on
     // the easy instances the enumeration algorithms generate.
     if let Some(c) = perceptron(vectors, labels, 200 * (n + 1) * (vectors.len() + 1)) {
         debug_assert!(c.separates(
@@ -52,13 +86,14 @@ pub fn separate_with_margin(
                 .map(|v| v.as_slice())
                 .zip(labels.iter().copied())
         ));
+        stats::record_perceptron_hit();
         let margin = margin_of(&c_normalized(&c), vectors, labels);
         return Some((c, margin));
     }
 
-    // Exact LP: variables u_j = w_j + 1 ∈ [0, 2] (j = 1..n), u_0 = w_0 + 1,
-    // and the margin t' = t + (n + 2) ≥ 0 (t ≥ -(n+1) - 1 always holds
-    // under the box bounds). Maximize t.
+    // Tier 3, exact LP: variables u_j = w_j + 1 ∈ [0, 2] (j = 1..n),
+    // u_0 = w_0 + 1, and the margin t' = t + (n + 2) ≥ 0 (t ≥ -(n+1) - 1
+    // always holds under the box bounds). Maximize t.
     //
     // Constraints per example (with s_i = y_i):
     //   s_i (w·b_i − w_0) ≥ t
@@ -67,45 +102,45 @@ pub fn separate_with_margin(
     //   −s_i Σ b_ij u_j + s_i u_0 + t' ≤ (n + 2) − s_i (1 − Σ b_ij)
     // Box: u_j ≤ 2, u_0 ≤ 2, t' ≤ (n + 2) + 1.
     let nvars = n + 2; // u_1..u_n, u_0, t'
-    let mut a: Vec<Vec<BigRational>> = Vec::new();
-    let mut b: Vec<BigRational> = Vec::new();
+    let mut a: Vec<Vec<Rat>> = Vec::new();
+    let mut b: Vec<Rat> = Vec::new();
     for (v, &y) in vectors.iter().zip(labels.iter()) {
-        let s = int(y as i64);
-        let mut row = vec![int(0); nvars];
+        let s = y as i64;
+        let mut row = vec![Rat::zero(); nvars];
         let mut sum_b = 0i64;
         for (j, &bij) in v.iter().enumerate() {
-            row[j] = -&s * int(bij as i64);
+            row[j] = qint(-s * bij as i64);
             sum_b += bij as i64;
         }
-        row[n] = s.clone();
-        row[n + 1] = int(1);
-        let rhs = int(n as i64 + 2) - &s * (int(1) - int(sum_b));
+        row[n] = qint(s);
+        row[n + 1] = qint(1);
+        let rhs = qint(n as i64 + 2 - s * (1 - sum_b));
         a.push(row);
         b.push(rhs);
     }
     for j in 0..=n {
-        let mut row = vec![int(0); nvars];
-        row[j] = int(1);
+        let mut row = vec![Rat::zero(); nvars];
+        row[j] = qint(1);
         a.push(row);
-        b.push(int(2));
+        b.push(qint(2));
     }
     {
-        let mut row = vec![int(0); nvars];
-        row[n + 1] = int(1);
+        let mut row = vec![Rat::zero(); nvars];
+        row[n + 1] = qint(1);
         a.push(row);
-        b.push(int(n as i64 + 3));
+        b.push(qint(n as i64 + 3));
     }
-    let mut c = vec![int(0); nvars];
-    c[n + 1] = int(1);
+    let mut c = vec![Rat::zero(); nvars];
+    c[n + 1] = qint(1);
 
     match solve_lp(&a, &b, &c) {
         LpOutcome::Optimal { x, value } => {
-            let t = value - int(n as i64 + 2);
+            let t = value - qint(n as i64 + 2);
             if !t.is_positive() {
                 return None;
             }
-            let weights: Vec<BigRational> = (0..n).map(|j| &x[j] - &int(1)).collect();
-            let threshold = &x[n] - &int(1);
+            let weights: Vec<Rat> = (0..n).map(|j| &x[j] - &qint(1)).collect();
+            let threshold = &x[n] - &qint(1);
             let c = LinearClassifier::new(threshold, weights);
             debug_assert!(c.separates(
                 vectors
@@ -165,8 +200,8 @@ fn perceptron(
         }
         if clean {
             return Some(LinearClassifier::new(
-                int(w0),
-                w.iter().map(|&x| int(x)).collect(),
+                qint(w0),
+                w.iter().map(|&x| qint(x)).collect(),
             ));
         }
     }
@@ -191,15 +226,15 @@ fn c_normalized(c: &LinearClassifier) -> LinearClassifier {
     )
 }
 
-fn margin_of(c: &LinearClassifier, vectors: &[Vec<i32>], labels: &[i32]) -> BigRational {
-    let mut best: Option<BigRational> = None;
+fn margin_of(c: &LinearClassifier, vectors: &[Vec<i32>], labels: &[i32]) -> Rat {
+    let mut best: Option<Rat> = None;
     for (v, &y) in vectors.iter().zip(labels.iter()) {
-        let m = (c.score(v) - &c.threshold) * int(y as i64);
+        let m = &(&c.score(v) - &c.threshold) * &qint(y as i64);
         if best.as_ref().is_none_or(|b| m < *b) {
             best = Some(m);
         }
     }
-    best.unwrap_or_else(|| int(1))
+    best.unwrap_or_else(|| qint(1))
 }
 
 #[cfg(test)]
@@ -235,6 +270,21 @@ mod tests {
         let vectors = vec![vec![1, -1], vec![1, -1]];
         check(&vectors, &[1, -1], false);
         check(&vectors, &[1, 1], true);
+    }
+
+    #[test]
+    fn conflict_scan_matches_separability_on_duplicates() {
+        assert!(has_label_conflict(
+            &[vec![1, -1], vec![1, 1], vec![1, -1]],
+            &[1, 1, -1]
+        ));
+        assert!(!has_label_conflict(
+            &[vec![1, -1], vec![1, 1], vec![1, -1]],
+            &[1, 1, 1]
+        ));
+        // Zero-arity rows are all identical: conflict iff labels differ.
+        assert!(has_label_conflict(&[vec![], vec![]], &[1, -1]));
+        assert!(!has_label_conflict(&[vec![], vec![]], &[-1, -1]));
     }
 
     #[test]

@@ -1,17 +1,52 @@
-//! A two-phase primal simplex solver over exact rationals.
+//! A two-phase primal simplex solver over exact hybrid rationals.
 //!
 //! Solves `max cᵀx subject to Ax ≤ b, x ≥ 0` exactly. Bland's rule makes
-//! termination unconditional (no cycling); exact [`BigRational`]
-//! arithmetic makes the Optimal/Infeasible/Unbounded verdict trustworthy —
-//! which matters because the callers turn these verdicts directly into
-//! separability answers.
+//! termination unconditional (no cycling); exact [`Rat`] arithmetic makes
+//! the Optimal/Infeasible/Unbounded verdict trustworthy — which matters
+//! because the callers turn these verdicts directly into separability
+//! answers.
 //!
 //! The implementation is a dense tableau: rows are the constraints (with
 //! slack variables completing an identity), the last row is the objective.
 //! Phase 1 drives artificial variables out of the basis when some
 //! `b_i < 0`; phase 2 optimizes the real objective.
+//!
+//! # Performance shape
+//!
+//! Three things distinguish this engine from a textbook rational simplex
+//! (and from the all-[`BigRational`] reference kept in
+//! [`crate::simplex_big`]):
+//!
+//! * **Hybrid arithmetic.** Every tableau cell is a [`numeric::Rat`]: an
+//!   inline `i64` fraction with `i128` intermediates that promotes to
+//!   [`BigRational`] only on overflow. On the ±1 separation LPs the
+//!   entries essentially never leave the small representation, so the
+//!   inner loop is branch-plus-integer-ops with no heap traffic.
+//! * **In-place, unnormalized pivoting.** The pivot row is *not* divided
+//!   through by the pivot element (that division is what manufactures
+//!   fractions). Instead each eliminated row subtracts
+//!   `(t[r][col]/piv) ·` pivot-row via the fused [`Rat::sub_mul`] kernel,
+//!   reusing the row buffers — the pivot row is moved out with
+//!   `mem::take` and moved back, never cloned. The invariant becomes
+//!   "each basic column is zero off its row and *positive* (not 1) on
+//!   it", so ratio tests, the phase-2 objective rewrite, and solution
+//!   extraction all divide by `t[r][basis[r]]` where the textbook reads
+//!   off the cell directly.
+//! * **Per-row integer rescaling.** After elimination each constraint row
+//!   is rescaled by the positive factor `lcm(denominators)/gcd(numerators)`
+//!   back to primitive integers (when that fits in `i64`), bounding entry
+//!   growth the way fraction-free Gaussian elimination does. The
+//!   objective row is never rescaled: its RHS cell is the exact running
+//!   objective value (negated) and the phase-1 feasibility residual.
+//!
+//! Because positive row scalings change neither reduced costs nor ratios
+//! nor Bland tie-breaking, this engine performs *exactly* the same pivot
+//! sequence as the reference solver and returns identical outcomes (see
+//! `tests/lp_prop.rs`). Every solve reports its pivot count to
+//! [`crate::stats`].
 
-use numeric::BigRational;
+use crate::stats;
+use numeric::Rat;
 
 /// Result of [`solve_lp`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,20 +57,71 @@ pub enum LpOutcome {
     Unbounded,
     /// Optimal solution: values of the structural variables and the
     /// optimal objective value.
-    Optimal {
-        x: Vec<BigRational>,
-        value: BigRational,
-    },
+    Optimal { x: Vec<Rat>, value: Rat },
 }
 
 struct Tableau {
     /// `rows × cols` coefficient matrix; the last column is the RHS.
-    t: Vec<Vec<BigRational>>,
-    /// Objective row (same width as `t` rows).
-    obj: Vec<BigRational>,
+    /// Row invariant: `t[r][basis[r]]` is positive and the basic column
+    /// is zero in every other row (rows are *not* normalized to 1).
+    t: Vec<Vec<Rat>>,
+    /// Objective row (same width as `t` rows), kept as true reduced
+    /// costs — never rescaled.
+    obj: Vec<Rat>,
     /// Basis: for each row, the variable index currently basic in it.
     basis: Vec<usize>,
     ncols: usize,
+    /// Pivots performed so far (phase 1 + phase 2), flushed to the
+    /// global [`stats`] counters once per solve.
+    pivots: u64,
+}
+
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Rescale a constraint row in place to primitive integers via the
+/// positive factor `lcm(dens)/gcd(nums)`. A no-op whenever any entry has
+/// already promoted to the big representation or the scaled values would
+/// not fit `i64` — correctness never depends on rescaling, it only keeps
+/// entries in the small representation longer.
+fn rescale_row(row: &mut [Rat]) {
+    let mut num_gcd: u128 = 0;
+    let mut den_lcm: u128 = 1;
+    for v in row.iter() {
+        let Some((n, d)) = v.as_small() else { return };
+        if n != 0 {
+            num_gcd = gcd_u128(num_gcd, n.unsigned_abs() as u128);
+            let g = gcd_u128(den_lcm, d as u128);
+            match (den_lcm / g).checked_mul(d as u128) {
+                Some(l) if l <= i64::MAX as u128 => den_lcm = l,
+                _ => return,
+            }
+        }
+    }
+    if num_gcd <= 1 && den_lcm == 1 {
+        return; // all-zero or already primitive
+    }
+    // n/d · den_lcm/num_gcd = n · (den_lcm/d) / num_gcd, exactly (d
+    // divides den_lcm, num_gcd divides n). Verify the fit, then write.
+    let scaled = |n: i64, d: i64| n as i128 * (den_lcm / d as u128) as i128 / num_gcd as i128;
+    for v in row.iter() {
+        let (n, d) = v.as_small().expect("checked small above");
+        if n != 0 && i64::try_from(scaled(n, d)).is_err() {
+            return;
+        }
+    }
+    for v in row.iter_mut() {
+        let (n, d) = v.as_small().expect("checked small above");
+        if n != 0 {
+            *v = Rat::from(scaled(n, d) as i64);
+        }
+    }
 }
 
 impl Tableau {
@@ -51,7 +137,10 @@ impl Tableau {
         // Entering variable: smallest index with positive reduced cost.
         let enter = (0..rhs).find(|&j| self.obj[j].is_positive())?;
         // Ratio test; ties broken by smallest basis variable (Bland).
-        let mut best: Option<(usize, BigRational)> = None;
+        // Ratios are invariant under the positive row scalings of
+        // `rescale_row`, so this picks the same row as a normalized
+        // tableau would.
+        let mut best: Option<(usize, Rat)> = None;
         for r in 0..self.t.len() {
             if !self.t[r][enter].is_positive() {
                 continue;
@@ -76,27 +165,40 @@ impl Tableau {
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
-        let inv = self.t[row][col].recip();
-        for v in self.t[row].iter_mut() {
-            *v = &*v * &inv;
+        self.pivots += 1;
+        // Orient the pivot row so the incoming basic coefficient is
+        // positive (can be negative when driving artificials out on an
+        // arbitrary nonzero entry); the row is an equation, so negating
+        // it is a legal scaling, and the positive-basic invariant is what
+        // the ratio test and the rhs ≥ 0 feasibility reading rely on.
+        if self.t[row][col].is_negative() {
+            for v in self.t[row].iter_mut() {
+                *v = -&*v;
+            }
         }
-        for r in 0..self.t.len() {
-            if r == row || self.t[r][col].is_zero() {
+        // Move the pivot row out to borrow it against the others; the
+        // buffer is moved back untouched below (never cloned).
+        let prow = std::mem::take(&mut self.t[row]);
+        let piv = prow[col].clone();
+        for (r, trow) in self.t.iter_mut().enumerate() {
+            if r == row || trow[col].is_zero() {
                 continue;
             }
-            let factor = self.t[r][col].clone();
-            for j in 0..self.ncols {
-                let delta = &factor * &self.t[row][j];
-                self.t[r][j] = &self.t[r][j] - &delta;
+            let f = &trow[col] / &piv;
+            for (cell, p) in trow.iter_mut().zip(prow.iter()) {
+                cell.sub_mul(&f, p);
             }
+            debug_assert!(trow[col].is_zero(), "exact elimination");
+            rescale_row(trow);
         }
         if !self.obj[col].is_zero() {
-            let factor = self.obj[col].clone();
-            for j in 0..self.ncols {
-                let delta = &factor * &self.t[row][j];
-                self.obj[j] = &self.obj[j] - &delta;
+            let f = &self.obj[col] / &piv;
+            for (cell, p) in self.obj.iter_mut().zip(prow.iter()) {
+                cell.sub_mul(&f, p);
             }
+            debug_assert!(self.obj[col].is_zero(), "exact elimination");
         }
+        self.t[row] = prow;
         self.basis[row] = col;
     }
 
@@ -115,8 +217,16 @@ impl Tableau {
 /// Solve `max cᵀx s.t. Ax ≤ b, x ≥ 0` exactly.
 ///
 /// `a` is row-major with `a.len() == b.len()` and each row of length
-/// `c.len()`.
-pub fn solve_lp(a: &[Vec<BigRational>], b: &[BigRational], c: &[BigRational]) -> LpOutcome {
+/// `c.len()`. Bumps the global [`stats`] counters (one LP, its pivots).
+pub fn solve_lp(a: &[Vec<Rat>], b: &[Rat], c: &[Rat]) -> LpOutcome {
+    solve_lp_counted(a, b, c).0
+}
+
+/// As [`solve_lp`], also returning the number of tableau pivots the solve
+/// took. The count is returned *and* flushed to the global counters;
+/// having it in-band lets tests and benches assert on a single solve
+/// without racing other threads on the process-wide atomics.
+pub fn solve_lp_counted(a: &[Vec<Rat>], b: &[Rat], c: &[Rat]) -> (LpOutcome, u64) {
     let m = a.len();
     let n = c.len();
     assert_eq!(b.len(), m, "b must match the number of constraint rows");
@@ -128,61 +238,64 @@ pub fn solve_lp(a: &[Vec<BigRational>], b: &[BigRational], c: &[BigRational]) ->
     let negatives: Vec<usize> = (0..m).filter(|&i| b[i].is_negative()).collect();
     let nart = negatives.len();
     let ncols = n + m + nart + 1;
-    let zero = BigRational::zero;
-    let one = BigRational::one;
 
-    let mut t: Vec<Vec<BigRational>> = Vec::with_capacity(m);
+    let mut t: Vec<Vec<Rat>> = Vec::with_capacity(m);
     let mut basis = vec![0usize; m];
     let mut art_of_row = vec![usize::MAX; m];
     for (ai, &i) in negatives.iter().enumerate() {
         art_of_row[i] = n + m + ai;
     }
     for i in 0..m {
-        let mut row = vec![zero(); ncols];
+        let mut row = vec![Rat::zero(); ncols];
         let flip = b[i].is_negative();
         for j in 0..n {
             row[j] = if flip { -&a[i][j] } else { a[i][j].clone() };
         }
         // Slack: +1 normally; -1 after flipping the row.
-        row[n + i] = if flip { -one() } else { one() };
+        row[n + i] = if flip { -Rat::one() } else { Rat::one() };
         row[ncols - 1] = if flip { -&b[i] } else { b[i].clone() };
         if flip {
-            row[art_of_row[i]] = one();
+            row[art_of_row[i]] = Rat::one();
             basis[i] = art_of_row[i];
         } else {
             basis[i] = n + i;
         }
+        // Clear denominators up front so fractional inputs start primitive.
+        rescale_row(&mut row);
         t.push(row);
     }
+
+    let mut tab = Tableau {
+        t,
+        obj: vec![Rat::zero(); ncols],
+        basis,
+        ncols,
+        pivots: 0,
+    };
 
     if nart > 0 {
         // Phase 1: maximize -(sum of artificials). The objective row must
         // be expressed in terms of the nonbasic variables: start from
-        // -Σ artificials and add each artificial row (which has the
-        // artificial basic with coefficient 1).
-        let mut obj = vec![zero(); ncols];
+        // -Σ artificials and add each artificial row *divided by its
+        // basic coefficient* (1 before rescaling, the row scale after).
         for &i in &negatives {
+            let scale = tab.t[i][art_of_row[i]].clone();
+            debug_assert!(scale.is_positive());
             for j in 0..ncols {
-                let add = t[i][j].clone();
-                obj[j] = &obj[j] + &add;
+                let add = &tab.t[i][j] / &scale;
+                tab.obj[j] = &tab.obj[j] + &add;
             }
         }
         for &i in &negatives {
-            obj[art_of_row[i]] = zero();
+            tab.obj[art_of_row[i]] = Rat::zero();
         }
-        let mut tab = Tableau {
-            t,
-            obj,
-            basis,
-            ncols,
-        };
         let bounded = tab.optimize();
         debug_assert!(bounded, "phase-1 objective is bounded by 0");
         // Feasible iff all artificials are zero: the phase-1 optimum
         // (stored as obj[rhs], negated running value) must be 0.
-        let resid = tab.obj[ncols - 1].clone();
-        if !resid.is_zero() {
-            return LpOutcome::Infeasible;
+        if !tab.obj[ncols - 1].is_zero() {
+            stats::record_lp(tab.pivots);
+            return (LpOutcome::Infeasible, tab.pivots);
         }
         // Drive any artificial still basic (at value 0) out of the basis.
         for r in 0..m {
@@ -198,71 +311,67 @@ pub fn solve_lp(a: &[Vec<BigRational>], b: &[BigRational], c: &[BigRational]) ->
         // Erase artificial columns so they never re-enter.
         for row in tab.t.iter_mut() {
             for cell in &mut row[n + m..ncols - 1] {
-                *cell = zero();
+                *cell = Rat::zero();
             }
         }
         // Phase 2 objective: c over the structural variables, rewritten
-        // through the current basis.
-        let mut obj = vec![zero(); ncols];
+        // through the current basis. A basic variable's row carries it
+        // with coefficient t[r][bv] (not 1), hence the division.
+        let mut obj = vec![Rat::zero(); ncols];
         for (j, item) in c.iter().enumerate() {
             obj[j] = item.clone();
         }
         for r in 0..m {
             let bv = tab.basis[r];
             if bv < ncols - 1 && !obj[bv].is_zero() {
-                let factor = obj[bv].clone();
+                let factor = &obj[bv] / &tab.t[r][bv];
                 for (o, cell) in obj.iter_mut().zip(&tab.t[r]) {
-                    let delta = &factor * cell;
-                    *o = &*o - &delta;
+                    o.sub_mul(&factor, cell);
                 }
             }
         }
         tab.obj = obj;
-        finish(tab, n)
     } else {
         // All-slack basis is feasible; single phase.
-        let mut obj = vec![zero(); ncols];
         for (j, item) in c.iter().enumerate() {
-            obj[j] = item.clone();
+            tab.obj[j] = item.clone();
         }
-        let tab = Tableau {
-            t,
-            obj,
-            basis,
-            ncols,
-        };
-        finish(tab, n)
     }
+    finish(tab, n)
 }
 
-fn finish(mut tab: Tableau, n: usize) -> LpOutcome {
+fn finish(mut tab: Tableau, n: usize) -> (LpOutcome, u64) {
     if !tab.optimize() {
-        return LpOutcome::Unbounded;
+        stats::record_lp(tab.pivots);
+        return (LpOutcome::Unbounded, tab.pivots);
     }
     let rhs = tab.ncols - 1;
-    let mut x = vec![BigRational::zero(); n];
+    let mut x = vec![Rat::zero(); n];
     for (r, &bv) in tab.basis.iter().enumerate() {
         if bv < n {
-            x[bv] = tab.t[r][rhs].clone();
+            // Unnormalized rows carry the basic variable with a positive
+            // coefficient, so its value is the ratio.
+            x[bv] = &tab.t[r][rhs] / &tab.t[r][bv];
         }
     }
     // The objective row's RHS holds -(current value) relative to 0 start.
     let value = -&tab.obj[rhs];
-    LpOutcome::Optimal { x, value }
+    stats::record_lp(tab.pivots);
+    (LpOutcome::Optimal { x, value }, tab.pivots)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use numeric::{int, ratio};
+    use numeric::{qint, qrat};
 
     fn lp(a: &[&[i64]], b: &[i64], c: &[i64]) -> LpOutcome {
-        let a: Vec<Vec<BigRational>> = a
+        let a: Vec<Vec<Rat>> = a
             .iter()
-            .map(|r| r.iter().map(|&v| int(v)).collect())
+            .map(|r| r.iter().map(|&v| qint(v)).collect())
             .collect();
-        let b: Vec<BigRational> = b.iter().map(|&v| int(v)).collect();
-        let c: Vec<BigRational> = c.iter().map(|&v| int(v)).collect();
+        let b: Vec<Rat> = b.iter().map(|&v| qint(v)).collect();
+        let c: Vec<Rat> = c.iter().map(|&v| qint(v)).collect();
         solve_lp(&a, &b, &c)
     }
 
@@ -272,8 +381,8 @@ mod tests {
         let out = lp(&[&[1, 0], &[0, 2], &[3, 2]], &[4, 12, 18], &[3, 5]);
         match out {
             LpOutcome::Optimal { x, value } => {
-                assert_eq!(value, int(36));
-                assert_eq!(x, vec![int(2), int(6)]);
+                assert_eq!(value, qint(36));
+                assert_eq!(x, vec![qint(2), qint(6)]);
             }
             other => panic!("{other:?}"),
         }
@@ -302,8 +411,8 @@ mod tests {
         let out = lp(&[&[-1], &[1]], &[-1, 3], &[-1]);
         match out {
             LpOutcome::Optimal { x, value } => {
-                assert_eq!(x, vec![int(1)]);
-                assert_eq!(value, int(-1));
+                assert_eq!(x, vec![qint(1)]);
+                assert_eq!(value, qint(-1));
             }
             other => panic!("{other:?}"),
         }
@@ -315,15 +424,15 @@ mod tests {
         // max 2x + y with same constraints -> x=3/2, y=0? value 3.
         let out = lp(&[&[2, 1], &[1, 2]], &[3, 3], &[2, 1]);
         match out {
-            LpOutcome::Optimal { value, .. } => assert_eq!(value, int(3)),
+            LpOutcome::Optimal { value, .. } => assert_eq!(value, qint(3)),
             other => panic!("{other:?}"),
         }
         // A genuinely fractional one: max y s.t. 3y <= 2.
         let out = lp(&[&[3]], &[2], &[1]);
         match out {
             LpOutcome::Optimal { x, value } => {
-                assert_eq!(x[0], ratio(2, 3));
-                assert_eq!(value, ratio(2, 3));
+                assert_eq!(x[0], qrat(2, 3));
+                assert_eq!(value, qrat(2, 3));
             }
             other => panic!("{other:?}"),
         }
@@ -332,15 +441,15 @@ mod tests {
     #[test]
     fn degenerate_does_not_cycle() {
         // Classic degenerate instance (Beale-like); Bland must terminate.
-        let a: Vec<Vec<BigRational>> = vec![
-            vec![ratio(1, 4), int(-8), int(-1), int(9)],
-            vec![ratio(1, 2), int(-12), ratio(-1, 2), int(3)],
-            vec![int(0), int(0), int(1), int(0)],
+        let a: Vec<Vec<Rat>> = vec![
+            vec![qrat(1, 4), qint(-8), qint(-1), qint(9)],
+            vec![qrat(1, 2), qint(-12), qrat(-1, 2), qint(3)],
+            vec![qint(0), qint(0), qint(1), qint(0)],
         ];
-        let b = vec![int(0), int(0), int(1)];
-        let c = vec![ratio(3, 4), int(-20), ratio(1, 2), int(-6)];
+        let b = vec![qint(0), qint(0), qint(1)];
+        let c = vec![qrat(3, 4), qint(-20), qrat(1, 2), qint(-6)];
         match solve_lp(&a, &b, &c) {
-            LpOutcome::Optimal { value, .. } => assert_eq!(value, ratio(5, 4)),
+            LpOutcome::Optimal { value, .. } => assert_eq!(value, qrat(5, 4)),
             other => panic!("{other:?}"),
         }
     }
@@ -353,7 +462,7 @@ mod tests {
             out,
             LpOutcome::Optimal {
                 x: vec![],
-                value: int(0)
+                value: qint(0)
             }
         );
         // No constraints but a positive objective: unbounded.
@@ -365,7 +474,7 @@ mod tests {
             out,
             LpOutcome::Optimal {
                 x: vec![],
-                value: int(0)
+                value: qint(0)
             }
         );
     }
@@ -376,8 +485,57 @@ mod tests {
         let out = lp(&[&[-1], &[-1], &[1]], &[-2, -2, 5], &[1]);
         match out {
             LpOutcome::Optimal { x, value } => {
-                assert_eq!(x, vec![int(5)]);
-                assert_eq!(value, int(5));
+                assert_eq!(x, vec![qint(5)]);
+                assert_eq!(value, qint(5));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pivot_counts_are_reported_in_band() {
+        // The textbook instance pivots at least twice; a tableau that is
+        // optimal at the start pivots zero times.
+        let a: Vec<Vec<Rat>> = vec![vec![qint(1), qint(0)], vec![qint(3), qint(2)]];
+        let b = vec![qint(4), qint(18)];
+        let c = vec![qint(3), qint(5)];
+        let (_, pivots) = solve_lp_counted(&a, &b, &c);
+        assert!(pivots >= 2, "expected real pivoting, got {pivots}");
+        let (out, pivots) = solve_lp_counted(&a, &b, &[qint(-1), qint(-1)]);
+        assert_eq!(pivots, 0, "all-slack basis is already optimal");
+        assert!(matches!(out, LpOutcome::Optimal { .. }));
+    }
+
+    #[test]
+    fn rescale_row_produces_primitive_integers() {
+        let mut row = vec![qrat(1, 2), qrat(3, 4), qint(0), qrat(-5, 2)];
+        rescale_row(&mut row);
+        assert_eq!(row, vec![qint(2), qint(3), qint(0), qint(-10)]);
+        // Common numerator factor is divided out too.
+        let mut row = vec![qint(6), qint(-9), qint(12)];
+        rescale_row(&mut row);
+        assert_eq!(row, vec![qint(2), qint(-3), qint(4)]);
+        // All-zero rows and big entries are left alone.
+        let mut row = vec![qint(0), qint(0)];
+        rescale_row(&mut row);
+        assert_eq!(row, vec![qint(0), qint(0)]);
+        let big = &qint(i64::MAX) * &qint(3); // promoted
+        let mut row = vec![big.clone(), qrat(1, 2)];
+        rescale_row(&mut row);
+        assert_eq!(row, vec![big, qrat(1, 2)]);
+    }
+
+    #[test]
+    fn huge_coefficients_promote_and_stay_exact() {
+        // max x s.t. K·x <= K² with K near the i64 boundary: the tableau
+        // must promote internally yet produce the exact x = K.
+        let k = qint(3_000_000_000);
+        let ksq = &k * &k; // overflows i64 -> Big
+        let out = solve_lp(&[vec![k.clone()]], &[ksq], &[qint(1)]);
+        match out {
+            LpOutcome::Optimal { x, value } => {
+                assert_eq!(x[0], k);
+                assert_eq!(value, k);
             }
             other => panic!("{other:?}"),
         }

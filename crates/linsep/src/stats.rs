@@ -1,0 +1,153 @@
+//! Global instrumentation counters for the LP engine, mirroring
+//! `relational::hom::stats` and `covergame::stats` one layer down the
+//! stack.
+//!
+//! The simplex solver ([`crate::simplex`]) counts the LPs it solves and
+//! the tableau pivots they take; [`crate::separate`] counts perceptron
+//! fast-path hits (separations decided without touching the tableau) and
+//! conflict prunes (instances refuted by a duplicate-vector/opposite-label
+//! scan before any arithmetic); the hybrid rational ([`numeric::Rat`])
+//! contributes its small→big promotion counter. [`LpStats`] snapshots the
+//! lot, so a caller (the CLI `--stats` flag, the bench harness) can
+//! difference two snapshots around a region of interest.
+//!
+//! Counters are process-global atomics: cheap to bump from the parallel
+//! subset-search workers and aggregated without any locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static LPS_SOLVED: AtomicU64 = AtomicU64::new(0);
+static SIMPLEX_PIVOTS: AtomicU64 = AtomicU64::new(0);
+static PERCEPTRON_HITS: AtomicU64 = AtomicU64::new(0);
+static CONFLICT_PRUNES: AtomicU64 = AtomicU64::new(0);
+
+/// Flush one LP solve's worth of pivot counts (called by the solver).
+pub(crate) fn record_lp(pivots: u64) {
+    LPS_SOLVED.fetch_add(1, Ordering::Relaxed);
+    SIMPLEX_PIVOTS.fetch_add(pivots, Ordering::Relaxed);
+}
+
+/// Record a separation decided by the integer perceptron fast path.
+pub(crate) fn record_perceptron_hit() {
+    PERCEPTRON_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record an instance (or column subset) refuted by the cheap
+/// duplicate-vector/opposite-label conflict scan, skipping the LP
+/// entirely. Public because the dimension-bounded subset search in
+/// `cqsep::sep_dim` runs the same pre-check before projecting columns.
+pub fn record_conflict_prune() {
+    CONFLICT_PRUNES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time aggregate of the LP engine counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LpStats {
+    /// Simplex solves run to completion (perceptron hits excluded — a
+    /// fast-path hit never builds a tableau).
+    pub lps_solved: u64,
+    /// Tableau pivots across all solves (phase 1 + phase 2).
+    pub simplex_pivots: u64,
+    /// Separations decided by the integer perceptron without an LP.
+    pub perceptron_hits: u64,
+    /// Hybrid-rational values that overflowed the inline `i64`
+    /// representation and promoted to `BigRational`.
+    pub bignum_promotions: u64,
+    /// Instances refuted by the duplicate-row conflict scan, skipping
+    /// the LP (and, in the subset search, the projection) entirely.
+    pub conflict_prunes: u64,
+}
+
+impl LpStats {
+    /// Read all counters now.
+    pub fn snapshot() -> LpStats {
+        LpStats {
+            lps_solved: LPS_SOLVED.load(Ordering::Relaxed),
+            simplex_pivots: SIMPLEX_PIVOTS.load(Ordering::Relaxed),
+            perceptron_hits: PERCEPTRON_HITS.load(Ordering::Relaxed),
+            bignum_promotions: numeric::rat::promotion_count(),
+            conflict_prunes: CONFLICT_PRUNES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Counter deltas since an earlier snapshot (saturating, so a
+    /// concurrent reset cannot produce bogus huge values).
+    pub fn since(&self, earlier: &LpStats) -> LpStats {
+        LpStats {
+            lps_solved: self.lps_solved.saturating_sub(earlier.lps_solved),
+            simplex_pivots: self.simplex_pivots.saturating_sub(earlier.simplex_pivots),
+            perceptron_hits: self.perceptron_hits.saturating_sub(earlier.perceptron_hits),
+            bignum_promotions: self
+                .bignum_promotions
+                .saturating_sub(earlier.bignum_promotions),
+            conflict_prunes: self.conflict_prunes.saturating_sub(earlier.conflict_prunes),
+        }
+    }
+
+    /// Human-readable multi-line report (used by the CLI's `--stats`).
+    pub fn report(&self) -> String {
+        let decided = self.lps_solved + self.perceptron_hits + self.conflict_prunes;
+        let fast = self.perceptron_hits + self.conflict_prunes;
+        let fast_rate = if decided == 0 {
+            0.0
+        } else {
+            fast as f64 / decided as f64 * 100.0
+        };
+        format!(
+            "lp engine stats:\n\
+             \x20 LPs solved:          {}\n\
+             \x20 simplex pivots:      {}\n\
+             \x20 perceptron hits:     {}\n\
+             \x20 conflict prunes:     {}\n\
+             \x20 bignum promotions:   {}\n\
+             \x20 fast-path rate:      {fast_rate:.1}%",
+            self.lps_solved,
+            self.simplex_pivots,
+            self.perceptron_hits,
+            self.conflict_prunes,
+            self.bignum_promotions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::separate::separate;
+
+    #[test]
+    fn separations_bump_the_counters() {
+        let before = LpStats::snapshot();
+        // Perceptron-friendly instance: decided on the fast path.
+        let vs = vec![vec![1, 1], vec![-1, -1]];
+        assert!(separate(&vs, &[1, -1]).is_some());
+        // Conflicting duplicate: pruned before any arithmetic.
+        let dup = vec![vec![1, -1], vec![1, -1]];
+        assert!(separate(&dup, &[1, -1]).is_none());
+        let delta = LpStats::snapshot().since(&before);
+        assert!(delta.perceptron_hits >= 1, "delta={delta:?}");
+        assert!(delta.conflict_prunes >= 1, "delta={delta:?}");
+    }
+
+    #[test]
+    fn report_mentions_every_counter() {
+        let st = LpStats {
+            lps_solved: 1,
+            simplex_pivots: 2,
+            perceptron_hits: 3,
+            bignum_promotions: 4,
+            conflict_prunes: 1,
+        };
+        let r = st.report();
+        for needle in [
+            "LPs solved",
+            "pivots",
+            "perceptron",
+            "promotions",
+            "prunes",
+            "80.0%",
+        ] {
+            assert!(r.contains(needle), "missing {needle:?} in {r}");
+        }
+    }
+}

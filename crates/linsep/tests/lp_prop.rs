@@ -1,0 +1,81 @@
+//! Agreement property tests: the hybrid-`Rat` simplex (`solve_lp`) must
+//! produce *identical* outcomes to the seed all-`BigRational` solver
+//! (`solve_lp_big`) on randomized LPs.
+//!
+//! This is stronger than "both are optimal": both engines use Bland's
+//! rule with the same tie-breaking, and positive row rescaling changes
+//! neither reduced costs nor ratio tests, so the pivot sequences — and
+//! hence the exact optimal vertex, not just the value — must coincide.
+
+use linsep::{solve_lp, solve_lp_big, LpOutcome, LpOutcomeBig};
+use numeric::Rat;
+use proptest::prelude::*;
+
+/// Strategy: one small-rational coefficient, biased toward integers and
+/// including negatives (negative `b` entries exercise phase 1).
+fn coeff() -> impl Strategy<Value = (i64, i64)> {
+    (
+        prop_oneof![-6i64..7, -6i64..7, -6i64..7, -60i64..61],
+        1i64..5,
+    )
+}
+
+/// Strategy: a random LP `max cᵀx s.t. Ax ≤ b, x ≥ 0` with up to 3
+/// variables and 5 rows, mixing feasible, infeasible, and unbounded
+/// shapes.
+#[allow(clippy::type_complexity)]
+fn lp_instance() -> impl Strategy<Value = (Vec<Vec<(i64, i64)>>, Vec<(i64, i64)>, Vec<(i64, i64)>)>
+{
+    (1usize..=3, 0usize..=5).prop_flat_map(|(n, m)| {
+        (
+            proptest::collection::vec(proptest::collection::vec(coeff(), n), m),
+            proptest::collection::vec(coeff(), m),
+            proptest::collection::vec(coeff(), n),
+        )
+    })
+}
+
+fn rat(p: (i64, i64)) -> Rat {
+    Rat::new(p.0, p.1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hybrid_and_big_simplex_agree((a, b, c) in lp_instance()) {
+        let a_rat: Vec<Vec<Rat>> = a
+            .iter()
+            .map(|row| row.iter().map(|&p| rat(p)).collect())
+            .collect();
+        let b_rat: Vec<Rat> = b.iter().map(|&p| rat(p)).collect();
+        let c_rat: Vec<Rat> = c.iter().map(|&p| rat(p)).collect();
+        let a_big: Vec<Vec<_>> = a_rat
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_big()).collect())
+            .collect();
+        let b_big: Vec<_> = b_rat.iter().map(|v| v.to_big()).collect();
+        let c_big: Vec<_> = c_rat.iter().map(|v| v.to_big()).collect();
+
+        let fast = solve_lp(&a_rat, &b_rat, &c_rat);
+        let slow = solve_lp_big(&a_big, &b_big, &c_big);
+        match (fast, slow) {
+            (LpOutcome::Infeasible, LpOutcomeBig::Infeasible) => {}
+            (LpOutcome::Unbounded, LpOutcomeBig::Unbounded) => {}
+            (
+                LpOutcome::Optimal { x, value },
+                LpOutcomeBig::Optimal { x: xb, value: vb },
+            ) => {
+                prop_assert_eq!(value.to_big(), vb);
+                prop_assert_eq!(x.len(), xb.len());
+                for (xi, xbi) in x.iter().zip(xb.iter()) {
+                    // Same pivot sequence ⇒ same vertex, coordinatewise.
+                    prop_assert_eq!(xi.to_big(), xbi.clone());
+                }
+            }
+            (fast, slow) => {
+                prop_assert!(false, "verdicts diverge: hybrid={fast:?} big={slow:?}");
+            }
+        }
+    }
+}

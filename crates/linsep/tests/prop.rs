@@ -2,7 +2,7 @@
 //! separation correctness against brute force, and min-error optimality.
 
 use linsep::{min_error_classifier, separate, separate_with_margin, solve_lp, LpOutcome};
-use numeric::{int, BigInt, BigRational};
+use numeric::{qint, Rat};
 use proptest::prelude::*;
 
 /// Strategy: a labeled collection of ±1 vectors.
@@ -117,16 +117,16 @@ proptest! {
     ) {
         // max x + y subject to random constraints (plus a box to keep it
         // bounded).
-        let mut a: Vec<Vec<BigRational>> = rows
+        let mut a: Vec<Vec<Rat>> = rows
             .iter()
-            .map(|(r, _)| r.iter().map(|&v| int(v)).collect())
+            .map(|(r, _)| r.iter().map(|&v| qint(v)).collect())
             .collect();
-        let mut b: Vec<BigRational> = rows.iter().map(|(_, rhs)| int(*rhs)).collect();
-        a.push(vec![int(1), int(0)]);
-        b.push(int(10));
-        a.push(vec![int(0), int(1)]);
-        b.push(int(10));
-        let c = vec![int(1), int(1)];
+        let mut b: Vec<Rat> = rows.iter().map(|(_, rhs)| qint(*rhs)).collect();
+        a.push(vec![qint(1), qint(0)]);
+        b.push(qint(10));
+        a.push(vec![qint(0), qint(1)]);
+        b.push(qint(10));
+        let c = vec![qint(1), qint(1)];
         match solve_lp(&a, &b, &c) {
             LpOutcome::Optimal { x, value } => {
                 // Feasibility of the returned point.
@@ -134,14 +134,14 @@ proptest! {
                     let lhs = &(&row[0] * &x[0]) + &(&row[1] * &x[1]);
                     prop_assert!(lhs <= *rhs, "infeasible optimum");
                 }
-                prop_assert!(x[0] >= BigRational::zero() && x[1] >= BigRational::zero());
+                prop_assert!(x[0] >= Rat::zero() && x[1] >= Rat::zero());
                 prop_assert_eq!(&x[0] + &x[1], value);
             }
             LpOutcome::Infeasible => {
                 // x = y = 0 is feasible unless some rhs < 0 with
                 // nonnegative row... check that genuinely no b < 0 row is
                 // violated by the origin.
-                let origin_ok = b.iter().all(|rhs| *rhs >= BigRational::zero());
+                let origin_ok = b.iter().all(|rhs| *rhs >= Rat::zero());
                 prop_assert!(!origin_ok, "origin was feasible but LP said infeasible");
             }
             LpOutcome::Unbounded => {
@@ -153,13 +153,13 @@ proptest! {
     #[test]
     fn lp_respects_scaling(scale in 1i64..20) {
         // max x s.t. scale·x ≤ scale  →  x = 1 regardless of scale.
-        let a = vec![vec![BigRational::new(BigInt::from(scale), BigInt::from(1))]];
-        let b = vec![BigRational::new(BigInt::from(scale), BigInt::from(1))];
-        let c = vec![int(1)];
+        let a = vec![vec![qint(scale)]];
+        let b = vec![qint(scale)];
+        let c = vec![qint(1)];
         match solve_lp(&a, &b, &c) {
             LpOutcome::Optimal { x, value } => {
-                prop_assert_eq!(x[0].clone(), int(1));
-                prop_assert_eq!(value, int(1));
+                prop_assert_eq!(x[0].clone(), qint(1));
+                prop_assert_eq!(value, qint(1));
             }
             other => prop_assert!(false, "{other:?}"),
         }

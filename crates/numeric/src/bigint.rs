@@ -167,6 +167,26 @@ impl From<i32> for BigInt {
     }
 }
 
+impl From<i128> for BigInt {
+    fn from(v: i128) -> BigInt {
+        if v == 0 {
+            return BigInt::zero();
+        }
+        let sign = if v > 0 {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
+        let mut mag = v.unsigned_abs();
+        let mut limbs = Vec::with_capacity(4);
+        while mag != 0 {
+            limbs.push(mag as u32);
+            mag >>= 32;
+        }
+        BigInt::from_parts(sign, limbs)
+    }
+}
+
 impl From<usize> for BigInt {
     fn from(v: usize) -> BigInt {
         BigInt::from_parts(Sign::Positive, uint::from_u64(v as u64))

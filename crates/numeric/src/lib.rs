@@ -11,6 +11,10 @@
 //!   Algorithm D division. Magnitudes in the LP stay small enough that
 //!   asymptotically fancier multiplication would be noise.
 //! * [`BigRational`] — always-normalized fractions of [`BigInt`]s.
+//! * [`Rat`] — the hybrid rational the LP engine actually runs on: an
+//!   inline `i64` fraction with `i128` intermediates that transparently
+//!   promotes to [`BigRational`] on overflow (and demotes back), with a
+//!   global promotion counter for instrumentation.
 //!
 //! Only the operations the simplex solver and the classifier constructions
 //! need are implemented, but those are implemented completely (including
@@ -18,10 +22,12 @@
 //! property-tested against `i128` semantics.
 
 pub mod bigint;
+pub mod rat;
 pub mod rational;
 mod uint;
 
 pub use bigint::{BigInt, Sign};
+pub use rat::Rat;
 pub use rational::BigRational;
 
 /// Convenience constructor: a rational from an integer pair, panicking on a
@@ -33,6 +39,18 @@ pub fn ratio(num: i64, den: i64) -> BigRational {
 /// Convenience constructor: an integer rational.
 pub fn int(v: i64) -> BigRational {
     BigRational::from_int(BigInt::from(v))
+}
+
+/// Convenience constructor: a hybrid [`Rat`] from an integer pair,
+/// panicking on a zero denominator. The `Rat` counterpart of [`ratio`].
+pub fn qrat(num: i64, den: i64) -> Rat {
+    Rat::new(num, den)
+}
+
+/// Convenience constructor: an integer hybrid [`Rat`]. The `Rat`
+/// counterpart of [`int`].
+pub fn qint(v: i64) -> Rat {
+    Rat::from(v)
 }
 
 #[cfg(test)]

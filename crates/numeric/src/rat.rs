@@ -1,0 +1,509 @@
+//! [`Rat`] — a hybrid exact rational for the LP hot path.
+//!
+//! The simplex tableaus built from ±1 training vectors start as small
+//! integers, and Edmonds' analysis of exact Gaussian elimination says the
+//! *reduced* entries stay polynomially sized; in practice almost every
+//! entry fits a machine word for the LPs the separability algorithms
+//! generate. [`BigRational`] pays a heap-allocated limb vector and a full
+//! limb-by-limb GCD per arithmetic op anyway. `Rat` stores an
+//! `i64`-numerator/denominator pair inline, does its arithmetic in `i128`
+//! (with checked multiplies), and only on genuine overflow promotes the
+//! value to a boxed [`BigRational`] — demoting back as soon as a result
+//! fits again, so a transient spike does not poison downstream arithmetic.
+//!
+//! Canonical form: `den > 0`, `gcd(|num|, den) == 1`, zero is `0/1`, and
+//! the `Big` representation is used **only** when the reduced
+//! numerator/denominator do not both fit in `i64`. The canonical form is
+//! what makes the derived `PartialEq`/`Eq`/`Hash` correct: equal values
+//! always have identical representations.
+//!
+//! Every small→big promotion bumps a process-global counter readable via
+//! [`promotion_count`]; the LP engine's `LpStats` reports it so a
+//! workload that silently falls off the fast path is visible in
+//! `--stats` output and benches.
+
+use crate::bigint::BigInt;
+use crate::rational::BigRational;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
+static PROMOTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of small→big promotions since process start. Monotone;
+/// difference two readings to measure a region (as `linsep`'s `LpStats`
+/// does).
+pub fn promotion_count() -> u64 {
+    PROMOTIONS.load(AtomicOrdering::Relaxed)
+}
+
+fn note_promotion() {
+    PROMOTIONS.fetch_add(1, AtomicOrdering::Relaxed);
+}
+
+/// An exact rational that is an inline `i64` fraction whenever the
+/// reduced value fits, and a boxed [`BigRational`] otherwise.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Rat {
+    /// `num/den` with `den > 0`, `gcd(|num|, den) == 1`.
+    Small(i64, i64),
+    /// Reduced value whose numerator or denominator exceeds `i64`.
+    Big(Box<BigRational>),
+}
+
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Reduce `n/d` (`d != 0`) computed in `i128` and pick the representation.
+fn norm128(mut n: i128, mut d: i128) -> Rat {
+    debug_assert!(d != 0, "rational with zero denominator");
+    if n == 0 {
+        return Rat::Small(0, 1);
+    }
+    if d < 0 {
+        // Inputs are products/sums of i64-bounded factors, so negation
+        // cannot overflow i128::MIN.
+        n = -n;
+        d = -d;
+    }
+    let g = gcd_u128(n.unsigned_abs(), d as u128) as i128;
+    n /= g;
+    d /= g;
+    match (i64::try_from(n), i64::try_from(d)) {
+        (Ok(n64), Ok(d64)) => Rat::Small(n64, d64),
+        _ => {
+            note_promotion();
+            Rat::Big(Box::new(BigRational::new(BigInt::from(n), BigInt::from(d))))
+        }
+    }
+}
+
+/// Wrap a [`BigRational`], demoting to the small representation if the
+/// reduced parts fit `i64` (a `BigRational` is already reduced).
+fn from_big(b: BigRational) -> Rat {
+    match (b.numer().to_i64(), b.denom().to_i64()) {
+        (Some(n), Some(d)) => Rat::Small(n, d),
+        _ => Rat::Big(Box::new(b)),
+    }
+}
+
+impl Rat {
+    /// Build `num/den`, normalizing sign and reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn new(num: i64, den: i64) -> Rat {
+        assert!(den != 0, "rational with zero denominator");
+        norm128(num as i128, den as i128)
+    }
+
+    pub const fn zero() -> Rat {
+        Rat::Small(0, 1)
+    }
+
+    pub const fn one() -> Rat {
+        Rat::Small(1, 1)
+    }
+
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Rat::Small(0, _))
+    }
+
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Rat::Small(n, _) => *n > 0,
+            Rat::Big(b) => b.is_positive(),
+        }
+    }
+
+    pub fn is_negative(&self) -> bool {
+        match self {
+            Rat::Small(n, _) => *n < 0,
+            Rat::Big(b) => b.is_negative(),
+        }
+    }
+
+    /// Sign as -1 / 0 / +1; the only thing the simplex pivot rules look at.
+    pub fn signum(&self) -> i32 {
+        match self {
+            Rat::Small(n, _) => match n.cmp(&0) {
+                Ordering::Less => -1,
+                Ordering::Equal => 0,
+                Ordering::Greater => 1,
+            },
+            Rat::Big(b) => b.signum(),
+        }
+    }
+
+    pub fn abs(&self) -> Rat {
+        if self.is_negative() {
+            -self
+        } else {
+            self.clone()
+        }
+    }
+
+    pub fn recip(&self) -> Rat {
+        match self {
+            Rat::Small(0, _) => panic!("reciprocal of zero"),
+            Rat::Small(n, d) => norm128(*d as i128, *n as i128),
+            Rat::Big(b) => from_big(b.recip()),
+        }
+    }
+
+    /// The value as a [`BigRational`] (exact, always possible).
+    pub fn to_big(&self) -> BigRational {
+        match self {
+            Rat::Small(n, d) => BigRational::new(BigInt::from(*n), BigInt::from(*d)),
+            Rat::Big(b) => (**b).clone(),
+        }
+    }
+
+    /// Is this value currently in the inline small representation?
+    pub fn is_small(&self) -> bool {
+        matches!(self, Rat::Small(..))
+    }
+
+    /// The reduced `(num, den)` pair when the value is small.
+    pub fn as_small(&self) -> Option<(i64, i64)> {
+        match self {
+            Rat::Small(n, d) => Some((*n, *d)),
+            Rat::Big(_) => None,
+        }
+    }
+
+    /// Exact conversion when the value is an integer fitting `i64`.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self {
+            Rat::Small(n, 1) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Approximate value for reporting (never used for decisions).
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            Rat::Small(n, d) => *n as f64 / *d as f64,
+            Rat::Big(b) => b.to_f64(),
+        }
+    }
+
+    /// Fused `self -= f * x` — the simplex elimination kernel. On the
+    /// all-small path this is a handful of checked `i128` multiplies with
+    /// no allocation; any overflow (or big operand) falls back to
+    /// [`BigRational`] arithmetic and demotes the result if it fits.
+    pub fn sub_mul(&mut self, f: &Rat, x: &Rat) {
+        if let (Rat::Small(sn, sd), Rat::Small(fn_, fd), Rat::Small(xn, xd)) = (&*self, f, x) {
+            // self - f*x = (sn*(fd*xd) - (fn*xn)*sd) / (sd*fd*xd)
+            let fx_d = *fd as i128 * *xd as i128; // < 2^126, exact
+            let fx_n = *fn_ as i128 * *xn as i128; // < 2^126, exact
+            if let (Some(l), Some(r), Some(d)) = (
+                (*sn as i128).checked_mul(fx_d),
+                fx_n.checked_mul(*sd as i128),
+                (*sd as i128).checked_mul(fx_d),
+            ) {
+                if let Some(n) = l.checked_sub(r) {
+                    *self = norm128(n, d);
+                    return;
+                }
+            }
+        }
+        let big = self.to_big() - self::mul_big(f, x);
+        *self = from_big(big);
+    }
+}
+
+fn mul_big(a: &Rat, b: &Rat) -> BigRational {
+    a.to_big() * b.to_big()
+}
+
+impl Default for Rat {
+    fn default() -> Rat {
+        Rat::zero()
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Rat {
+        Rat::Small(v, 1)
+    }
+}
+
+impl From<i32> for Rat {
+    fn from(v: i32) -> Rat {
+        Rat::Small(v as i64, 1)
+    }
+}
+
+impl From<BigRational> for Rat {
+    fn from(b: BigRational) -> Rat {
+        from_big(b)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        match (self, other) {
+            (Rat::Small(an, ad), Rat::Small(bn, bd)) => {
+                // a/b ? c/d  <=>  a*d ? c*b (denominators positive);
+                // i64 products fit i128 exactly.
+                (*an as i128 * *bd as i128).cmp(&(*bn as i128 * *ad as i128))
+            }
+            _ => self.to_big().cmp(&other.to_big()),
+        }
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        match self {
+            Rat::Small(n, d) => norm128(-(*n as i128), *d as i128),
+            Rat::Big(b) => from_big(-(**b).clone()),
+        }
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        -&self
+    }
+}
+
+impl Add<&Rat> for &Rat {
+    type Output = Rat;
+    fn add(self, rhs: &Rat) -> Rat {
+        if let (Rat::Small(an, ad), Rat::Small(bn, bd)) = (self, rhs) {
+            // Cross products of i64s fit i128; their sum fits too.
+            let n = *an as i128 * *bd as i128 + *bn as i128 * *ad as i128;
+            let d = *ad as i128 * *bd as i128;
+            return norm128(n, d);
+        }
+        from_big(self.to_big() + rhs.to_big())
+    }
+}
+
+impl Sub<&Rat> for &Rat {
+    type Output = Rat;
+    fn sub(self, rhs: &Rat) -> Rat {
+        if let (Rat::Small(an, ad), Rat::Small(bn, bd)) = (self, rhs) {
+            let n = *an as i128 * *bd as i128 - *bn as i128 * *ad as i128;
+            let d = *ad as i128 * *bd as i128;
+            return norm128(n, d);
+        }
+        from_big(self.to_big() - rhs.to_big())
+    }
+}
+
+impl Mul<&Rat> for &Rat {
+    type Output = Rat;
+    fn mul(self, rhs: &Rat) -> Rat {
+        if let (Rat::Small(an, ad), Rat::Small(bn, bd)) = (self, rhs) {
+            let n = *an as i128 * *bn as i128;
+            let d = *ad as i128 * *bd as i128;
+            return norm128(n, d);
+        }
+        from_big(self.to_big() * rhs.to_big())
+    }
+}
+
+impl Div<&Rat> for &Rat {
+    type Output = Rat;
+    fn div(self, rhs: &Rat) -> Rat {
+        assert!(!rhs.is_zero(), "rational division by zero");
+        if let (Rat::Small(an, ad), Rat::Small(bn, bd)) = (self, rhs) {
+            let n = *an as i128 * *bd as i128;
+            let d = *ad as i128 * *bn as i128;
+            return norm128(n, d);
+        }
+        from_big(self.to_big() / rhs.to_big())
+    }
+}
+
+macro_rules! forward_owned {
+    ($trait:ident, $method:ident) => {
+        impl $trait<Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<Rat> for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+forward_owned!(Add, add);
+forward_owned!(Sub, sub);
+forward_owned!(Mul, mul);
+forward_owned!(Div, div);
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, rhs: &Rat) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rat::Small(n, 1) => write!(f, "{n}"),
+            Rat::Small(n, d) => write!(f, "{n}/{d}"),
+            Rat::Big(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({self})")
+    }
+}
+
+impl FromStr for Rat {
+    type Err = <BigRational as FromStr>::Err;
+    fn from_str(s: &str) -> Result<Rat, Self::Err> {
+        // Parse through BigRational (same `n/d` syntax), then demote.
+        Ok(from_big(s.parse::<BigRational>()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratio;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::new(n, d)
+    }
+
+    #[test]
+    fn normalization_and_canonical_form() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 7), Rat::zero());
+        assert_eq!(r(6, 3).to_i64(), Some(2));
+        assert!(r(1, 2).is_small());
+        // A BigRational that fits must demote to the identical Small rep.
+        assert_eq!(Rat::from(ratio(-10, 4)), r(-5, 2));
+    }
+
+    #[test]
+    fn field_ops_small() {
+        assert_eq!(&r(1, 2) + &r(1, 3), r(5, 6));
+        assert_eq!(&r(1, 2) - &r(1, 3), r(1, 6));
+        assert_eq!(&r(2, 3) * &r(3, 4), r(1, 2));
+        assert_eq!(&r(2, 3) / &r(4, 9), r(3, 2));
+        assert_eq!(r(5, 7).recip(), r(7, 5));
+        assert_eq!(-r(5, 7), r(-5, 7));
+        assert_eq!(r(i64::MIN + 1, 1).abs(), r(i64::MAX, 1));
+    }
+
+    #[test]
+    fn ordering_and_signs() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert_eq!(r(7, 7).cmp(&r(3, 3)), Ordering::Equal);
+        assert_eq!(r(1, 2).signum(), 1);
+        assert_eq!(r(-1, 2).signum(), -1);
+        assert_eq!(Rat::zero().signum(), 0);
+        assert!(r(3, 4).is_positive() && !r(3, 4).is_negative());
+    }
+
+    #[test]
+    fn overflow_promotes_and_demotes() {
+        let before = promotion_count();
+        let huge = r(i64::MAX, 1);
+        let sq = &huge * &huge; // overflows i64, promotes
+        assert!(!sq.is_small());
+        assert!(promotion_count() > before, "promotion must be counted");
+        assert_eq!(sq.to_big(), &huge.to_big() * &huge.to_big());
+        // Dividing back demotes to the small representation.
+        let back = &sq / &huge;
+        assert_eq!(back, huge);
+        assert!(back.is_small());
+    }
+
+    #[test]
+    fn mixed_small_big_arithmetic_is_exact() {
+        let huge = &r(i64::MAX, 3) * &r(i64::MAX, 5);
+        let x = &huge + &r(1, 15);
+        assert_eq!(
+            x.to_big(),
+            &huge.to_big() + &crate::ratio(1, 15),
+            "mixed add must match BigRational"
+        );
+        assert!((&x - &huge).is_small());
+        assert!(huge > r(i64::MAX, 1));
+        assert!(-&huge < r(i64::MIN, 1));
+    }
+
+    #[test]
+    fn sub_mul_matches_composed_ops() {
+        let mut a = r(3, 4);
+        a.sub_mul(&r(2, 3), &r(5, 7));
+        assert_eq!(a, &r(3, 4) - &(&r(2, 3) * &r(5, 7)));
+        // Overflowing fused op falls back to big and stays exact.
+        let mut b = r(i64::MAX, 2);
+        b.sub_mul(&r(i64::MAX, 3), &r(i64::MAX, 5));
+        let expect = &ratio(i64::MAX, 2) - &(&ratio(i64::MAX, 3) * &ratio(i64::MAX, 5));
+        assert_eq!(b.to_big(), expect);
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        assert_eq!(r(-3, 6).to_string(), "-1/2");
+        assert_eq!(r(4, 2).to_string(), "2");
+        assert_eq!("-1/2".parse::<Rat>().unwrap(), r(-1, 2));
+        assert_eq!("17".parse::<Rat>().unwrap(), Rat::from(17i64));
+        assert!("1/0".parse::<Rat>().is_err());
+        let huge = (&r(i64::MAX, 1) * &r(i64::MAX, 1)).to_string();
+        assert_eq!(huge.parse::<Rat>().unwrap().to_string(), huge);
+    }
+
+    #[test]
+    fn extreme_i64_inputs() {
+        // i64::MIN negation and reduction paths must not overflow.
+        assert_eq!(-r(i64::MIN, 1), &r(i64::MAX, 1) + &r(1, 1));
+        assert_eq!(r(i64::MIN, 2), r(i64::MIN / 2, 1));
+        assert_eq!(r(i64::MIN, i64::MIN), Rat::one());
+        assert!(r(i64::MIN, 1) < r(i64::MIN + 1, 1));
+    }
+}

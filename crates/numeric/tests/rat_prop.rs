@@ -1,0 +1,98 @@
+//! Property tests pinning the hybrid [`Rat`] to [`BigRational`]
+//! semantics: every operation the LP engine uses must agree exactly with
+//! the all-big reference, across the small path, the promoted path, and
+//! the small/big boundary.
+
+use numeric::{BigRational, Rat};
+use proptest::prelude::*;
+
+/// Strategy: an interesting `(num, den)` pair — mixes tiny values (the
+/// common tableau case), values near the `i64` boundary (the promotion
+/// trigger), and a broad middle band.
+fn rat_parts() -> impl Strategy<Value = (i64, i64)> {
+    let num = prop_oneof![
+        -9i64..10,
+        -1_000_000i64..1_000_000,
+        (i64::MAX - 1000)..i64::MAX,
+        (i64::MIN + 1)..(i64::MIN + 1000),
+    ];
+    let den = prop_oneof![1i64..10, 1i64..1_000_000, (i64::MAX - 1000)..i64::MAX];
+    (num, den)
+}
+
+fn both(n: i64, d: i64) -> (Rat, BigRational) {
+    (Rat::new(n, d), numeric::ratio(n, d))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn binary_ops_agree_with_bigrational((an, ad) in rat_parts(), (bn, bd) in rat_parts()) {
+        let (a, ab) = both(an, ad);
+        let (b, bb) = both(bn, bd);
+        prop_assert_eq!((&a + &b).to_big(), &ab + &bb);
+        prop_assert_eq!((&a - &b).to_big(), &ab - &bb);
+        prop_assert_eq!((&a * &b).to_big(), &ab * &bb);
+        if !b.is_zero() {
+            prop_assert_eq!((&a / &b).to_big(), &ab / &bb);
+        }
+    }
+
+    #[test]
+    fn ordering_and_signs_agree((an, ad) in rat_parts(), (bn, bd) in rat_parts()) {
+        let (a, ab) = both(an, ad);
+        let (b, bb) = both(bn, bd);
+        prop_assert_eq!(a.cmp(&b), ab.cmp(&bb));
+        prop_assert_eq!(a.signum(), ab.signum());
+        prop_assert_eq!(a.is_zero(), ab.is_zero());
+        prop_assert_eq!(a.is_positive(), ab.is_positive());
+        prop_assert_eq!(a.is_negative(), ab.is_negative());
+        prop_assert_eq!(a == b, ab == bb);
+    }
+
+    #[test]
+    fn unary_ops_agree((an, ad) in rat_parts()) {
+        let (a, ab) = both(an, ad);
+        prop_assert_eq!((-&a).to_big(), -&ab);
+        prop_assert_eq!(a.abs().to_big(), ab.abs());
+        if !a.is_zero() {
+            prop_assert_eq!(a.recip().to_big(), ab.recip());
+        }
+        // Round-trip through the big representation is the identity.
+        prop_assert_eq!(Rat::from(a.to_big()), a);
+    }
+
+    #[test]
+    fn sub_mul_agrees((sn, sd) in rat_parts(), (fn_, fd) in rat_parts(), (xn, xd) in rat_parts()) {
+        let (mut s, sb) = both(sn, sd);
+        let (f, fb) = both(fn_, fd);
+        let (x, xb) = both(xn, xd);
+        s.sub_mul(&f, &x);
+        prop_assert_eq!(s.to_big(), &sb - &(&fb * &xb));
+    }
+
+    #[test]
+    fn promoted_chains_stay_exact((an, ad) in rat_parts(), (bn, bd) in rat_parts()) {
+        // Force promotion by squaring, then keep computing: a long mixed
+        // chain must match the all-big evaluation step for step.
+        let (a, ab) = both(an, ad);
+        let (b, bb) = both(bn, bd);
+        let chain = &(&(&a * &a) + &(&b * &b)) - &(&a * &b);
+        let chain_big = &(&(&ab * &ab) + &(&bb * &bb)) - &(&ab * &bb);
+        prop_assert_eq!(chain.to_big(), chain_big.clone());
+        // Canonical form: if the value fits i64, it must be Small.
+        if let (Some(n), Some(d)) = (chain_big.numer().to_i64(), chain_big.denom().to_i64()) {
+            prop_assert_eq!(chain.as_small(), Some((n, d)));
+        } else {
+            prop_assert!(!chain.is_small());
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip_agrees((an, ad) in rat_parts()) {
+        let (a, ab) = both(an, ad);
+        prop_assert_eq!(a.to_string(), ab.to_string());
+        prop_assert_eq!(a.to_string().parse::<Rat>().unwrap(), a);
+    }
+}

@@ -19,7 +19,7 @@
 use cq::core::core_of;
 use cq::EnumConfig;
 use cqsep::{DbBuilder, LinearClassifier, Schema, SeparatorModel, Statistic};
-use numeric::int;
+use numeric::qint;
 
 /// Schema: molecules are entities; `has(mol, atom)` links molecules to
 /// their atoms; `bond(a, b)` links atoms; `nitrogen/oxygen/carbon(a)`
@@ -139,7 +139,7 @@ fn main() {
     // 3. One-feature statistic: toxic iff the motif matches.
     let model = SeparatorModel {
         statistic: Statistic::new(vec![motif.with_entity_guard()]),
-        classifier: LinearClassifier::new(int(1), vec![int(1)]),
+        classifier: LinearClassifier::new(qint(1), vec![qint(1)]),
     };
     assert!(
         model.separates(&train),
