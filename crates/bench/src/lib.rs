@@ -35,6 +35,20 @@ pub fn with_lp_stats<R>(f: impl FnOnce() -> R) -> (R, LpStats) {
     (out, LpStats::snapshot().since(&before))
 }
 
+/// Run `f` and return its result together with the unified counter
+/// deltas it caused on a caller-supplied [`engine::Engine`]. On an
+/// isolated engine (one the test constructed itself) every figure except
+/// `lp.bignum_promotions` is exact and attributable — unlike the three
+/// process-global helpers above, which see concurrent tests too.
+pub fn with_engine_stats<R>(
+    engine: &engine::Engine,
+    f: impl FnOnce() -> R,
+) -> (R, engine::EngineStats) {
+    let before = engine.stats();
+    let out = f();
+    (out, engine.stats().since(&before))
+}
+
 /// One LP instance `max cᵀx  s.t.  Ax ≤ b, x ≥ 0` as `(A, b, c)`.
 pub type LpInstance = (Vec<Vec<numeric::Rat>>, Vec<numeric::Rat>, Vec<numeric::Rat>);
 

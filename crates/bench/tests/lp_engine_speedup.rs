@@ -9,8 +9,9 @@
 //! cores, matching the other engine tests; the solver comparison and
 //! all agreement checks run everywhere.
 
-use bench::{lp_batch, search_workload, time_median, with_lp_stats};
-use cqsep::sep_dim::{search_columns, search_columns_seq};
+use bench::{lp_batch, search_workload, time_median, with_engine_stats, with_lp_stats};
+use cqsep::sep_dim::{search_columns_seq_with, search_columns_with};
+use cqsep::Engine;
 use linsep::{solve_lp, solve_lp_big, LpOutcome, LpOutcomeBig};
 use numeric::BigRational;
 
@@ -76,25 +77,58 @@ fn hybrid_lp_engine_beats_seed_path() {
     );
 
     // ---- Leg 2: parallel subset sweep vs sequential ----
+    // Each leg runs on its own isolated `Engine`, which makes the
+    // counter accounting exact: the parity workload exhausts the sweep,
+    // so both legs decide the identical multiset of column subsets and
+    // their per-engine LP counters must agree figure for figure
+    // (promotions are process-global and excluded), with zero hom- or
+    // game-engine traffic on either engine.
     let (columns, labels) = search_workload(4);
-    let seq_verdict = search_columns_seq(&columns, &labels, 3);
-    let par_verdict = search_columns(&columns, &labels, 3);
+    let par_engine = Engine::new();
+    let seq_engine = Engine::new();
+    let (par_verdict, par_stats) = with_engine_stats(&par_engine, || {
+        search_columns_with(&par_engine, &columns, &labels, 3)
+    });
+    let (seq_verdict, seq_stats) = with_engine_stats(&seq_engine, || {
+        search_columns_seq_with(&seq_engine, &columns, &labels, 3)
+    });
     assert!(
         seq_verdict.is_none() && par_verdict.is_none(),
         "parity workload must exhaust the sweep: seq={seq_verdict:?} par={par_verdict:?}"
     );
-    let (_, sweep_stats) = with_lp_stats(|| {
-        std::hint::black_box(search_columns(&columns, &labels, 3));
-    });
+    let sweep_stats = par_stats.lp;
     assert!(
         sweep_stats.conflict_prunes >= 1 && sweep_stats.lps_solved >= 1,
         "sweep must mix cheap prunes and real LPs: {sweep_stats:?}"
     );
+    assert_eq!(
+        (
+            sweep_stats.lps_solved,
+            sweep_stats.simplex_pivots,
+            sweep_stats.perceptron_hits,
+            sweep_stats.conflict_prunes,
+        ),
+        (
+            seq_stats.lp.lps_solved,
+            seq_stats.lp.simplex_pivots,
+            seq_stats.lp.perceptron_hits,
+            seq_stats.lp.conflict_prunes,
+        ),
+        "exhausting sweeps must do identical LP work"
+    );
+    for st in [&par_stats, &seq_stats] {
+        assert_eq!(st.hom.solves, 0, "pure LP sweep touched the hom engine");
+        assert_eq!(
+            st.game.games_solved, 0,
+            "pure LP sweep touched the game engine"
+        );
+        assert_eq!(st.restored_entries, 0, "nothing was loaded from disk");
+    }
     let seq_sweep_s = time_median(3, || {
-        std::hint::black_box(search_columns_seq(&columns, &labels, 3));
+        std::hint::black_box(search_columns_seq_with(&seq_engine, &columns, &labels, 3));
     });
     let par_sweep_s = time_median(3, || {
-        std::hint::black_box(search_columns(&columns, &labels, 3));
+        std::hint::black_box(search_columns_with(&par_engine, &columns, &labels, 3));
     });
     if cores >= 4 {
         // Close to linear in cores on this workload; assert a floor.

@@ -17,12 +17,23 @@
 //! `<spec>` is one of `cq`, `ghw<k>` (e.g. `ghw1`), `cqm<m>` (e.g.
 //! `cqm2`). Defaults: `check` runs all of `cq`, `ghw1`, `cqm1`, `cqm2`;
 //! `train`/`classify` default to `cqm2`.
+//!
+//! Global engine flags (any position):
+//!
+//! * `--stats` — append the unified [`Engine`] counter report for exactly
+//!   this call;
+//! * `--cache-dir <path>` — load persisted hom/game verdict tables from
+//!   `<path>` before running (warm start) and save them back after;
+//! * `--threads <n>` — cap solver parallelism at `n` worker threads;
+//! * `--no-cache` — run every hom/game query uncached.
 
 use cq::EnumConfig;
 use cqsep::{apx, cls_ghw, gen_ghw, persist, sep_cq, sep_cqm, sep_ghw};
+use engine::Engine;
 use relational::spec::DatabaseSpec;
 use relational::{Database, Label, TrainingDb};
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// A parsed feature-class specification.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,39 +80,115 @@ impl std::fmt::Display for ClassSpec {
     }
 }
 
+/// Global engine flags stripped from a command line by
+/// [`split_engine_flags`]: everything that configures *how* the solvers
+/// run rather than *what* they solve.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineOpts {
+    /// Append the unified [`Engine`] counter report for exactly this call.
+    pub stats: bool,
+    /// Load persisted verdict tables from here before running; save the
+    /// (grown) tables back after.
+    pub cache_dir: Option<String>,
+    /// Cap solver parallelism at this many worker threads.
+    pub threads: Option<usize>,
+    /// Run every hom/game query uncached.
+    pub no_cache: bool,
+}
+
+impl EngineOpts {
+    /// Does any flag require a freshly configured (non-global) engine?
+    fn wants_custom_engine(&self) -> bool {
+        self.threads.is_some() || self.no_cache
+    }
+}
+
+/// Strip the global engine flags (`--stats`, `--cache-dir <path>`,
+/// `--threads <n>`, `--no-cache`) from any position of a command line,
+/// returning them with the remaining positional arguments intact.
+pub fn split_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), String> {
+    let mut opts = EngineOpts::default();
+    let mut rest = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--stats" => opts.stats = true,
+            "--no-cache" => opts.no_cache = true,
+            "--cache-dir" => {
+                let v = args.get(i + 1).ok_or("--cache-dir needs a path")?;
+                opts.cache_dir = Some(v.clone());
+                i += 1;
+            }
+            "--threads" => {
+                let v = args.get(i + 1).ok_or("--threads needs a count")?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad --threads value {v:?}"))?;
+                opts.threads = Some(n);
+                i += 1;
+            }
+            _ => rest.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    Ok((opts, rest))
+}
+
 /// Run a command line (without the program name). Returns the text to
 /// print, or an error message.
 ///
-/// The global `--stats` flag (any position) appends engine counter
-/// reports covering exactly this call: the homomorphism engine (searches
-/// run, nodes expanded, forward-check wipeouts, backtracks, memo-cache
-/// hits/misses), the cover-game engine (games solved, positions
-/// explored, fixpoint sweeps, game-cache hits/misses), and the LP engine
-/// (LPs solved, simplex pivots, perceptron fast-path hits, conflict
-/// prunes, big-number promotions).
+/// Engine flags (any position) configure the [`Engine`] the command runs
+/// against: `--stats` appends the unified counter report (hom searches,
+/// cover games, LP decisions, cache traffic, restored entries) covering
+/// exactly this call; `--cache-dir` makes warm starts possible across
+/// process runs; `--threads`/`--no-cache` bound parallelism and disable
+/// memoization.
 pub fn run(args: &[String]) -> Result<String, String> {
-    let stats_requested = args.iter().any(|a| a == "--stats");
-    if stats_requested {
-        // Strip the flag so positional-argument indexing stays intact.
-        let rest: Vec<String> = args.iter().filter(|a| *a != "--stats").cloned().collect();
-        let hom_before = relational::HomStats::snapshot();
-        let game_before = covergame::GameStats::snapshot();
-        let lp_before = linsep::LpStats::snapshot();
-        let mut out = run(&rest)?;
-        let hom_delta = relational::HomStats::snapshot().since(&hom_before);
-        let game_delta = covergame::GameStats::snapshot().since(&game_before);
-        let lp_delta = linsep::LpStats::snapshot().since(&lp_before);
+    let (opts, rest) = split_engine_flags(args)?;
+    // Flags that change solver behavior get a fresh engine; the plain
+    // path (and a bare `--stats` or `--cache-dir`) runs on the global
+    // one so repeated in-process calls keep sharing its memo tables.
+    let custom;
+    let engine: &Engine = if opts.wants_custom_engine() {
+        let mut e = Engine::new();
+        if let Some(n) = opts.threads {
+            e = e.with_threads(n);
+        }
+        if opts.no_cache {
+            e = e.without_cache();
+        }
+        custom = e;
+        &custom
+    } else {
+        Engine::global()
+    };
+    let before = engine.stats();
+    if let Some(dir) = &opts.cache_dir {
+        engine
+            .load(Path::new(dir))
+            .map_err(|e| format!("cannot load cache from {dir}: {e}"))?;
+    }
+    let mut out = run_with(engine, &rest)?;
+    if let Some(dir) = &opts.cache_dir {
+        engine
+            .save(Path::new(dir))
+            .map_err(|e| format!("cannot save cache to {dir}: {e}"))?;
+    }
+    if opts.stats {
+        let delta = engine.stats().since(&before);
         if !out.ends_with('\n') && !out.is_empty() {
             out.push('\n');
         }
-        out.push_str(&hom_delta.report());
+        out.push_str(&delta.report());
         out.push('\n');
-        out.push_str(&game_delta.report());
-        out.push('\n');
-        out.push_str(&lp_delta.report());
-        out.push('\n');
-        return Ok(out);
     }
+    Ok(out)
+}
+
+/// Dispatch a flag-free command line against a caller-supplied [`Engine`].
+pub fn run_with(engine: &Engine, args: &[String]) -> Result<String, String> {
     let read = |path: &str| -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
     };
@@ -118,14 +205,14 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 ],
             )?;
             let train = load_training(&read(path)?)?;
-            Ok(check(&train, &classes))
+            Ok(check(engine, &train, &classes))
         }
         Some("train") => {
             let path = args.get(1).ok_or(USAGE)?;
             let classes = parse_classes(&args[2..], vec![ClassSpec::Cqm(2)])?;
             let out_path = flag_value(&args[2..], "-o");
             let train = load_training(&read(path)?)?;
-            let (report, model_text) = train_cmd(&train, classes[0])?;
+            let (report, model_text) = train_cmd(engine, &train, classes[0])?;
             if let Some(p) = out_path {
                 std::fs::write(&p, &model_text).map_err(|e| format!("cannot write {p}: {e}"))?;
                 Ok(format!("{report}model written to {p}\n"))
@@ -139,7 +226,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let classes = parse_classes(&args[3..], vec![ClassSpec::Cqm(2)])?;
             let train = load_training(&read(train_path)?)?;
             let eval = load_database(&read(eval_path)?)?;
-            classify_cmd(&train, &eval, classes[0])
+            classify_cmd(engine, &train, &eval, classes[0])
         }
         Some("classify-model") => {
             let model_path = args.get(1).ok_or(USAGE)?;
@@ -157,7 +244,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 .transpose()?
                 .unwrap_or(1);
             let train = load_training(&read(path)?)?;
-            Ok(relabel_cmd(&train, k))
+            Ok(relabel_cmd(engine, &train, k))
         }
         Some("info") => {
             let path = args.get(1).ok_or(USAGE)?;
@@ -183,7 +270,11 @@ const USAGE: &str = "usage:
   cqsep-cli classify-model <model.txt> <eval.db>
   cqsep-cli relabel <train.db> [--k <k>]
   cqsep-cli info <file.db>
-add --stats to any command to append hom-, cover-game-, and LP-engine counters";
+engine flags (any command, any position):
+  --stats              append the unified engine counter report
+  --cache-dir <path>   warm-start from (and save back to) a verdict cache
+  --threads <n>        cap solver parallelism at n worker threads
+  --no-cache           run every hom/game query unmemoized";
 
 fn parse_classes(args: &[String], default: Vec<ClassSpec>) -> Result<Vec<ClassSpec>, String> {
     let mut out = Vec::new();
@@ -220,7 +311,7 @@ fn load_database(text: &str) -> Result<Database, String> {
         .map_err(|e| e.to_string())
 }
 
-fn check(train: &TrainingDb, classes: &[ClassSpec]) -> String {
+fn check(engine: &Engine, train: &TrainingDb, classes: &[ClassSpec]) -> String {
     let mut out = String::new();
     let n = train.entities().len();
     let _ = writeln!(
@@ -233,15 +324,15 @@ fn check(train: &TrainingDb, classes: &[ClassSpec]) -> String {
     );
     for &c in classes {
         let answer = match c {
-            ClassSpec::Cq => sep_cq::cq_separable(train),
-            ClassSpec::Ghw(k) => sep_ghw::ghw_separable(train, k),
-            ClassSpec::Cqm(m) => sep_cqm::cqm_separable(train, &EnumConfig::cqm(m)),
+            ClassSpec::Cq => sep_cq::cq_separable_with(engine, train),
+            ClassSpec::Ghw(k) => sep_ghw::ghw_separable_with(engine, train, k),
+            ClassSpec::Cqm(m) => sep_cqm::cqm_separable_with(engine, train, &EnumConfig::cqm(m)),
         };
         let _ = writeln!(out, "{c:>8}-separable: {answer}");
         if !answer {
             let witness = match c {
-                ClassSpec::Cq => sep_cq::cq_inseparability_witness(train),
-                ClassSpec::Ghw(k) => sep_ghw::ghw_inseparability_witness(train, k),
+                ClassSpec::Cq => sep_cq::cq_inseparability_witness_with(engine, train),
+                ClassSpec::Ghw(k) => sep_ghw::ghw_inseparability_witness_with(engine, train, k),
                 ClassSpec::Cqm(_) => None,
             };
             if let Some((p, q)) = witness {
@@ -257,17 +348,20 @@ fn check(train: &TrainingDb, classes: &[ClassSpec]) -> String {
     out
 }
 
-fn train_cmd(train: &TrainingDb, class: ClassSpec) -> Result<(String, String), String> {
-    let model = match class {
-        ClassSpec::Cq => {
-            sep_cq::cq_generate(train).ok_or_else(|| "not CQ-separable".to_string())?
-        }
-        ClassSpec::Ghw(k) => {
-            gen_ghw::ghw_generate(train, k, 1_000_000).map_err(|e| e.to_string())?
-        }
-        ClassSpec::Cqm(m) => sep_cqm::cqm_generate(train, &EnumConfig::cqm(m))
-            .ok_or_else(|| format!("not CQ[{m}]-separable"))?,
-    };
+fn train_cmd(
+    engine: &Engine,
+    train: &TrainingDb,
+    class: ClassSpec,
+) -> Result<(String, String), String> {
+    let model =
+        match class {
+            ClassSpec::Cq => sep_cq::cq_generate_with(engine, train)
+                .ok_or_else(|| "not CQ-separable".to_string())?,
+            ClassSpec::Ghw(k) => gen_ghw::ghw_generate_with(engine, train, k, 1_000_000)
+                .map_err(|e| e.to_string())?,
+            ClassSpec::Cqm(m) => sep_cqm::cqm_generate_with(engine, train, &EnumConfig::cqm(m))
+                .ok_or_else(|| format!("not CQ[{m}]-separable"))?,
+        };
     let report = format!(
         "{class}: {} features, {} total atoms\n",
         model.statistic.dimension(),
@@ -276,20 +370,25 @@ fn train_cmd(train: &TrainingDb, class: ClassSpec) -> Result<(String, String), S
     Ok((report, persist::model_to_text(&model)))
 }
 
-fn classify_cmd(train: &TrainingDb, eval: &Database, class: ClassSpec) -> Result<String, String> {
+fn classify_cmd(
+    engine: &Engine,
+    train: &TrainingDb,
+    eval: &Database,
+    class: ClassSpec,
+) -> Result<String, String> {
     let labels = match class {
-        ClassSpec::Ghw(k) => cls_ghw::ghw_classify(train, eval, k)
+        ClassSpec::Ghw(k) => cls_ghw::ghw_classify_with(engine, train, eval, k)
             .map_err(|_| format!("training data is not GHW({k})-separable"))?,
-        ClassSpec::Cq => sep_cq::cq_classify(train, eval)
+        ClassSpec::Cq => sep_cq::cq_classify_with(engine, train, eval)
             .ok_or_else(|| "training data is not CQ-separable".to_string())?,
-        ClassSpec::Cqm(m) => sep_cqm::cqm_classify(train, eval, &EnumConfig::cqm(m))
+        ClassSpec::Cqm(m) => sep_cqm::cqm_classify_with(engine, train, eval, &EnumConfig::cqm(m))
             .ok_or_else(|| format!("training data is not CQ[{m}]-separable"))?,
     };
     Ok(render_labels(eval, |e| labels.get(e)))
 }
 
-fn relabel_cmd(train: &TrainingDb, k: usize) -> String {
-    let relabeled = apx::ghw_optimal_relabeling(train, k);
+fn relabel_cmd(engine: &Engine, train: &TrainingDb, k: usize) -> String {
+    let relabeled = apx::ghw_optimal_relabeling_with(engine, train, k);
     let errors = train.labeling.disagreement(&relabeled);
     let mut out = format!(
         "optimal GHW({k})-separable relabeling: {} disagreement(s)\n",
@@ -484,5 +583,77 @@ entity v
         assert!(run(&s(&["frobnicate"])).is_err());
         assert!(run(&s(&["check"])).is_err());
         assert!(run(&s(&["check", "/no/such/file"])).is_err());
+        assert!(run(&s(&["check", "--threads"])).is_err());
+        assert!(run(&s(&["check", "--threads", "0"])).is_err());
+        assert!(run(&s(&["check", "--threads", "lots"])).is_err());
+        assert!(run(&s(&["check", "--cache-dir"])).is_err());
+    }
+
+    #[test]
+    fn engine_flags_are_stripped_from_any_position() {
+        let (opts, rest) = split_engine_flags(&s(&[
+            "--threads",
+            "2",
+            "check",
+            "--no-cache",
+            "x.db",
+            "--cache-dir",
+            "/tmp/c",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(opts.stats);
+        assert!(opts.no_cache);
+        assert_eq!(opts.threads, Some(2));
+        assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(rest, s(&["check", "x.db"]));
+    }
+
+    #[test]
+    fn no_cache_and_threads_still_answer_correctly() {
+        with_files(|train, _| {
+            let out = run(&s(&["check", train, "--no-cache", "--threads", "1"])).unwrap();
+            assert!(out.contains("CQ-separable: true"), "{out}");
+            assert!(out.contains("GHW(1)-separable: true"), "{out}");
+        });
+    }
+
+    #[test]
+    fn cache_dir_warm_start_restores_entries() {
+        with_files(|train, _| {
+            let dir = std::env::temp_dir().join(format!("cqsep_cli_c_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let cache = dir.to_str().unwrap();
+            // --threads forces a fresh engine per run, so the second run
+            // can only know the verdicts by reading them back from disk.
+            let cold = run(&s(&[
+                "check",
+                train,
+                "--threads",
+                "2",
+                "--cache-dir",
+                cache,
+                "--stats",
+            ]))
+            .unwrap();
+            assert!(cold.contains("restored cache entries: 0"), "{cold}");
+            assert!(dir.join("hom.cache").exists());
+            assert!(dir.join("game.cache").exists());
+            let warm = run(&s(&[
+                "check",
+                train,
+                "--threads",
+                "2",
+                "--cache-dir",
+                cache,
+                "--stats",
+            ]))
+            .unwrap();
+            assert!(!warm.contains("restored cache entries: 0"), "{warm}");
+            assert!(warm.contains("restored cache entries:"), "{warm}");
+            // Same verdicts either way.
+            assert!(warm.contains("CQ-separable: true"), "{warm}");
+            assert!(warm.contains("GHW(1)-separable: true"), "{warm}");
+        });
     }
 }

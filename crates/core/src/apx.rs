@@ -13,17 +13,22 @@
 //!   of mutually indistinguishable, conflictingly-labeled *anchor*
 //!   entities that soak up the entire error budget.
 
-use crate::cls_ghw::ghw_classify;
-use crate::sep_ghw::ghw_preorder;
+use crate::cls_ghw::ghw_classify_with;
+use crate::sep_ghw::ghw_preorder_with;
 use crate::statistic::SeparatorModel;
 use cq::EnumConfig;
-use linsep::min_error_classifier;
+use engine::Engine;
 use relational::{Database, Label, Labeling, Schema, TrainingDb};
 
 /// Algorithm 2: the disagreement-minimal `GHW(k)`-separable relabeling
 /// `λ'` of the training database (majority vote per `→_k`-class).
 pub fn ghw_optimal_relabeling(train: &TrainingDb, k: usize) -> Labeling {
-    ghw_optimal_relabeling_from(&ghw_preorder(train, k), &train.labeling)
+    ghw_optimal_relabeling_with(Engine::global(), train, k)
+}
+
+/// [`ghw_optimal_relabeling`] against a caller-supplied [`Engine`].
+pub fn ghw_optimal_relabeling_with(engine: &Engine, train: &TrainingDb, k: usize) -> Labeling {
+    ghw_optimal_relabeling_from(&ghw_preorder_with(engine, train, k), &train.labeling)
 }
 
 /// Algorithm 2 against a precomputed `→_k` preorder. The preorder depends
@@ -50,18 +55,28 @@ pub fn ghw_optimal_relabeling_from(
 /// The minimum achievable error count for `GHW(k)` statistics (the `δ` of
 /// Corollary 7.5's proof, as a count rather than a fraction).
 pub fn ghw_min_errors(train: &TrainingDb, k: usize) -> usize {
+    ghw_min_errors_with(Engine::global(), train, k)
+}
+
+/// [`ghw_min_errors`] against a caller-supplied [`Engine`].
+pub fn ghw_min_errors_with(engine: &Engine, train: &TrainingDb, k: usize) -> usize {
     train
         .labeling
-        .disagreement(&ghw_optimal_relabeling(train, k))
+        .disagreement(&ghw_optimal_relabeling_with(engine, train, k))
 }
 
 /// `GHW(k)`-ApxSep: is the training database separable with error ε?
 pub fn ghw_apx_separable(train: &TrainingDb, k: usize, eps: f64) -> bool {
+    ghw_apx_separable_with(Engine::global(), train, k, eps)
+}
+
+/// [`ghw_apx_separable`] against a caller-supplied [`Engine`].
+pub fn ghw_apx_separable_with(engine: &Engine, train: &TrainingDb, k: usize, eps: f64) -> bool {
     let n = train.entities().len();
     if n == 0 {
         return true;
     }
-    let min = ghw_min_errors(train, k) as f64;
+    let min = ghw_min_errors_with(engine, train, k) as f64;
     min <= eps * n as f64
 }
 
@@ -69,19 +84,41 @@ pub fn ghw_apx_separable(train: &TrainingDb, k: usize, eps: f64) -> bool {
 /// pair that separates `(D, λ')` exactly — hence `(D, λ)` with minimal
 /// error. Returns the evaluation labeling.
 pub fn ghw_apx_classify(train: &TrainingDb, eval: &Database, k: usize) -> Labeling {
+    ghw_apx_classify_with(Engine::global(), train, eval, k)
+}
+
+/// [`ghw_apx_classify`] against a caller-supplied [`Engine`].
+pub fn ghw_apx_classify_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    eval: &Database,
+    k: usize,
+) -> Labeling {
     // The relabeled training database is a clone — identical content,
     // identical fingerprint — so every game the relabeling's preorder and
-    // the classification sweep replay is a hit in the global game cache.
-    let relabeled = TrainingDb::new(train.db.clone(), ghw_optimal_relabeling(train, k));
-    ghw_classify(&relabeled, eval, k)
+    // the classification sweep replay is a hit in the engine's game cache.
+    let relabeled = TrainingDb::new(
+        train.db.clone(),
+        ghw_optimal_relabeling_with(engine, train, k),
+    );
+    ghw_classify_with(engine, &relabeled, eval, k)
         .expect("Algorithm 2's relabeling is GHW(k)-separable by construction")
 }
 
 /// `CQ[m]`-ApxSep / feature generation with minimum error
 /// (Propositions 7.2/7.3): returns the best model and its error count.
 pub fn cqm_apx_generate(train: &TrainingDb, config: &EnumConfig) -> (SeparatorModel, usize) {
+    cqm_apx_generate_with(Engine::global(), train, config)
+}
+
+/// [`cqm_apx_generate`] against a caller-supplied [`Engine`].
+pub fn cqm_apx_generate_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    config: &EnumConfig,
+) -> (SeparatorModel, usize) {
     let (statistic, rows, labels) = crate::sep_cqm::column_reduced_statistic(train, config);
-    let r = min_error_classifier(&rows, &labels);
+    let r = engine.min_error(&rows, &labels);
     (
         SeparatorModel {
             statistic,
@@ -93,11 +130,21 @@ pub fn cqm_apx_generate(train: &TrainingDb, config: &EnumConfig) -> (SeparatorMo
 
 /// `CQ[m]`-ApxSep decision.
 pub fn cqm_apx_separable(train: &TrainingDb, config: &EnumConfig, eps: f64) -> bool {
+    cqm_apx_separable_with(Engine::global(), train, config, eps)
+}
+
+/// [`cqm_apx_separable`] against a caller-supplied [`Engine`].
+pub fn cqm_apx_separable_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    config: &EnumConfig,
+    eps: f64,
+) -> bool {
     let n = train.entities().len();
     if n == 0 {
         return true;
     }
-    let (_, errors) = cqm_apx_generate(train, config);
+    let (_, errors) = cqm_apx_generate_with(engine, train, config);
     errors as f64 <= eps * n as f64
 }
 

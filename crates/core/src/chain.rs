@@ -10,7 +10,8 @@
 //! label-purity check, the class vectors, and the exact-LP classifier —
 //! everything except the preorder itself, which the callers supply.
 
-use linsep::{separate, LinearClassifier};
+use engine::Engine;
+use linsep::LinearClassifier;
 use relational::{Label, TrainingDb, Val};
 
 /// The chain structure of a training database under some
@@ -43,6 +44,17 @@ pub enum ChainError {
 /// Build the chain model from a full preorder matrix
 /// (`leq[i][j] = elems[i] ⪯ elems[j]`).
 pub fn build_chain(
+    train: &TrainingDb,
+    elems: &[Val],
+    leq: &[Vec<bool>],
+) -> Result<ChainModel, ChainError> {
+    build_chain_with(Engine::global(), train, elems, leq)
+}
+
+/// [`build_chain`] with the class-vector LP counted against a
+/// caller-supplied [`Engine`].
+pub fn build_chain_with(
+    engine: &Engine,
     train: &TrainingDb,
     elems: &[Val],
     leq: &[Vec<bool>],
@@ -134,7 +146,8 @@ pub fn build_chain(
         })
         .collect();
     let labels: Vec<i32> = class_label.iter().map(|l| l.to_i32()).collect();
-    let classifier = separate(&vectors, &labels)
+    let classifier = engine
+        .separate(&vectors, &labels)
         .expect("chain vectors with label-pure classes are always linearly separable (Lemma 5.4)");
 
     Ok(ChainModel {

@@ -14,7 +14,8 @@
 //! 3. label each `f ∈ η(D')` by playing the `m` cover games.
 
 use crate::chain::ChainError;
-use crate::sep_ghw::ghw_chain;
+use crate::sep_ghw::ghw_chain_with;
+use engine::Engine;
 use relational::{Database, Labeling, TrainingDb, Val};
 
 /// `GHW(k)`-Cls (Algorithm 1): label the entities of `eval` consistently
@@ -22,14 +23,23 @@ use relational::{Database, Labeling, TrainingDb, Val};
 /// `Err` when the training database is not `GHW(k)`-separable (the
 /// problem promise is violated).
 pub fn ghw_classify(train: &TrainingDb, eval: &Database, k: usize) -> Result<Labeling, ChainError> {
-    let chain = ghw_chain(train, k)?;
+    ghw_classify_with(Engine::global(), train, eval, k)
+}
+
+/// [`ghw_classify`] against a caller-supplied [`Engine`].
+pub fn ghw_classify_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    eval: &Database,
+    k: usize,
+) -> Result<Labeling, ChainError> {
+    let chain = ghw_chain_with(engine, train, k)?;
     // The games' left side is always the training database: build its
     // union skeleton once for all m × |η(D')| games. The games are
     // pairwise independent, so the whole m × |η(D')| grid fans out on
-    // the parallel driver, memoizing through the global cache (Algorithm
-    // 2 replays exactly these games after relabeling).
+    // the parallel driver, memoizing through the engine's cache
+    // (Algorithm 2 replays exactly these games after relabeling).
     let skeleton = covergame::UnionSkeleton::build(&train.db, k);
-    let cache = covergame::cache::global();
     let evals = eval.entities();
     let m = chain.class_count();
     let cells: Vec<(Val, usize)> = evals
@@ -38,9 +48,9 @@ pub fn ghw_classify(train: &TrainingDb, eval: &Database, k: usize) -> Result<Lab
         .collect();
     // Lines 3–9 of Algorithm 1: 𝟙_{q_{e_i}(D')}(f) = +1 iff
     // (D, e_i) →_k (D', f).
-    let verdicts = relational::hom::par::par_map(&cells, |&(f, c)| {
+    let verdicts = engine.par_map(&cells, |&(f, c)| {
         let e = chain.elems[chain.representative(c)];
-        cache.implies_with_skeleton(&train.db, &[e], eval, &[f], &skeleton)
+        engine.cover_implies_with_skeleton(&train.db, &[e], eval, &[f], &skeleton)
     });
     let mut out = Labeling::new();
     for (fi, &f) in evals.iter().enumerate() {

@@ -167,6 +167,17 @@ pub fn linear_family_db(n: usize) -> TrainingDb {
 /// pool that linearly separates `train` — brute force, for the
 /// unbounded-dimension experiments (Theorems 5.7/8.7 measurements).
 pub fn min_dimension_of(train: &TrainingDb, pool: &[cq::Cq], cap: usize) -> Option<usize> {
+    min_dimension_of_with(engine::Engine::global(), train, pool, cap)
+}
+
+/// [`min_dimension_of`] with the subset LPs counted against a
+/// caller-supplied [`engine::Engine`].
+pub fn min_dimension_of_with(
+    engine: &engine::Engine,
+    train: &TrainingDb,
+    pool: &[cq::Cq],
+    cap: usize,
+) -> Option<usize> {
     let entities = train.entities();
     let labels: Vec<i32> = entities
         .iter()
@@ -180,6 +191,7 @@ pub fn min_dimension_of(train: &TrainingDb, pool: &[cq::Cq], cap: usize) -> Opti
         .collect();
 
     fn rec(
+        engine: &engine::Engine,
         columns: &[Vec<i32>],
         labels: &[i32],
         chosen: &mut Vec<usize>,
@@ -190,11 +202,11 @@ pub fn min_dimension_of(train: &TrainingDb, pool: &[cq::Cq], cap: usize) -> Opti
             let rows: Vec<Vec<i32>> = (0..labels.len())
                 .map(|r| chosen.iter().map(|&c| columns[c][r]).collect())
                 .collect();
-            return linsep::separate(&rows, labels).is_some();
+            return engine.separate(&rows, labels).is_some();
         }
         for c in start..columns.len() {
             chosen.push(c);
-            if rec(columns, labels, chosen, c + 1, want) {
+            if rec(engine, columns, labels, chosen, c + 1, want) {
                 return true;
             }
             chosen.pop();
@@ -207,7 +219,7 @@ pub fn min_dimension_of(train: &TrainingDb, pool: &[cq::Cq], cap: usize) -> Opti
             return Some(0);
         }
         let mut chosen = Vec::new();
-        if want > 0 && rec(&columns, &labels, &mut chosen, 0, want) {
+        if want > 0 && rec(engine, &columns, &labels, &mut chosen, 0, want) {
             return Some(want);
         }
     }

@@ -8,11 +8,12 @@
 //! *classify* should use [`crate::cls_ghw`] instead, which is the whole
 //! point of §5.3.
 
-use crate::sep_ghw::ghw_chain;
+use crate::sep_ghw::ghw_chain_with;
 use crate::statistic::{SeparatorModel, Statistic};
 use covergame::extract::lemma54_feature;
 use covergame::ExtractError;
 use cq::Cq;
+use engine::Engine;
 use relational::TrainingDb;
 use std::fmt;
 
@@ -47,7 +48,20 @@ pub fn ghw_generate(
     k: usize,
     max_nodes: usize,
 ) -> Result<SeparatorModel, GenError> {
-    let chain = ghw_chain(train, k).map_err(|_| GenError::NotSeparable)?;
+    ghw_generate_with(Engine::global(), train, k, max_nodes)
+}
+
+/// [`ghw_generate`] against a caller-supplied [`Engine`]. The chain
+/// model and its LP run through the engine; the per-feature strategy
+/// unfoldings are uncached by nature (they need the analyzed game, not a
+/// verdict).
+pub fn ghw_generate_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    k: usize,
+    max_nodes: usize,
+) -> Result<SeparatorModel, GenError> {
+    let chain = ghw_chain_with(engine, train, k).map_err(|_| GenError::NotSeparable)?;
     let entities = train.entities();
     let mut features: Vec<Cq> = Vec::with_capacity(chain.class_count());
     for c in 0..chain.class_count() {

@@ -14,42 +14,57 @@
 //! statistic, and classification of evaluation databases runs the same
 //! homomorphism tests cross-database.
 
-use crate::chain::{build_chain, ChainError, ChainModel};
+use crate::chain::{build_chain_with, ChainError, ChainModel};
 use crate::statistic::{SeparatorModel, Statistic};
 use cq::Cq;
-use relational::hom::par::{par_all_pairs, par_find_first, par_map};
-use relational::{exists_cached, Database, Labeling, TrainingDb, Val};
+use engine::Engine;
+use relational::{Database, Labeling, TrainingDb, Val};
 
 /// Decide CQ-separability (Thm 3.2; coNP).
 pub fn cq_separable(train: &TrainingDb) -> bool {
+    cq_separable_with(Engine::global(), train)
+}
+
+/// [`cq_separable`] against a caller-supplied [`Engine`].
+pub fn cq_separable_with(engine: &Engine, train: &TrainingDb) -> bool {
     // Cheaper than building the full preorder: only pos/neg pairs matter.
     // Each pair is an independent NP query — fan out and stop at the
     // first hom-equivalent pair.
-    par_all_pairs(&train.opposing_pairs(), |p, n| {
-        !(exists_cached(&train.db, &train.db, &[(p, n)])
-            && exists_cached(&train.db, &train.db, &[(n, p)]))
+    engine.par_all_pairs(&train.opposing_pairs(), |p, n| {
+        !(engine.hom_exists(&train.db, &train.db, &[(p, n)])
+            && engine.hom_exists(&train.db, &train.db, &[(n, p)]))
     })
 }
 
 /// The hom-preorder chain model over the training entities.
 pub fn cq_chain(train: &TrainingDb) -> Result<ChainModel, ChainError> {
+    cq_chain_with(Engine::global(), train)
+}
+
+/// [`cq_chain`] against a caller-supplied [`Engine`].
+pub fn cq_chain_with(engine: &Engine, train: &TrainingDb) -> Result<ChainModel, ChainError> {
     let elems = train.entities();
     let n = elems.len();
     // The n×n preorder matrix: n² independent hom queries, most of them
     // shared with `cq_separable`/`cq_classify` through the memo cache.
     let cells: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
-    let flat = par_map(&cells, |&(i, j)| {
-        i == j || exists_cached(&train.db, &train.db, &[(elems[i], elems[j])])
+    let flat = engine.par_map(&cells, |&(i, j)| {
+        i == j || engine.hom_exists(&train.db, &train.db, &[(elems[i], elems[j])])
     });
     let leq: Vec<Vec<bool>> = flat.chunks(n.max(1)).map(|row| row.to_vec()).collect();
-    build_chain(train, &elems, &leq)
+    build_chain_with(engine, train, &elems, &leq)
 }
 
 /// Feature generation for CQ: the explicit chain statistic
 /// `Π = (q_{e_1}, …, q_{e_m})` of canonical queries plus its classifier.
 /// Polynomial-size output (contrast Theorem 5.7 for `GHW(k)`).
 pub fn cq_generate(train: &TrainingDb) -> Option<SeparatorModel> {
-    let chain = cq_chain(train).ok()?;
+    cq_generate_with(Engine::global(), train)
+}
+
+/// [`cq_generate`] against a caller-supplied [`Engine`].
+pub fn cq_generate_with(engine: &Engine, train: &TrainingDb) -> Option<SeparatorModel> {
+    let chain = cq_chain_with(engine, train).ok()?;
     let features: Vec<Cq> = (0..chain.class_count())
         .map(|c| {
             let e = chain.elems[chain.representative(c)];
@@ -66,7 +81,12 @@ pub fn cq_generate(train: &TrainingDb) -> Option<SeparatorModel> {
 /// statistic, evaluating the implicit features by cross-database
 /// homomorphism tests.
 pub fn cq_classify(train: &TrainingDb, eval: &Database) -> Option<Labeling> {
-    let chain = cq_chain(train).ok()?;
+    cq_classify_with(Engine::global(), train, eval)
+}
+
+/// [`cq_classify`] against a caller-supplied [`Engine`].
+pub fn cq_classify_with(engine: &Engine, train: &TrainingDb, eval: &Database) -> Option<Labeling> {
+    let chain = cq_chain_with(engine, train).ok()?;
     // Flatten the (entity × class-representative) grid so one parallel
     // sweep covers every cross-database hom test.
     let ents = eval.entities();
@@ -75,9 +95,9 @@ pub fn cq_classify(train: &TrainingDb, eval: &Database) -> Option<Labeling> {
         .iter()
         .flat_map(|&f| (0..k).map(move |c| (f, c)))
         .collect();
-    let bits = par_map(&cells, |&(f, c)| {
+    let bits = engine.par_map(&cells, |&(f, c)| {
         let e = chain.elems[chain.representative(c)];
-        exists_cached(&train.db, eval, &[(e, f)])
+        engine.hom_exists(&train.db, eval, &[(e, f)])
     });
     let mut out = Labeling::new();
     for (row, &f) in ents.iter().enumerate() {
@@ -94,12 +114,18 @@ pub fn cq_classify(train: &TrainingDb, eval: &Database) -> Option<Labeling> {
 /// a negative entity that are hom-equivalent (the "reason" of Lemma 5.4's
 /// criterion, CQ version).
 pub fn cq_inseparability_witness(train: &TrainingDb) -> Option<(Val, Val)> {
+    cq_inseparability_witness_with(Engine::global(), train)
+}
+
+/// [`cq_inseparability_witness`] against a caller-supplied [`Engine`].
+pub fn cq_inseparability_witness_with(engine: &Engine, train: &TrainingDb) -> Option<(Val, Val)> {
     let pairs = train.opposing_pairs();
-    par_find_first(&pairs, |&(p, n)| {
-        exists_cached(&train.db, &train.db, &[(p, n)])
-            && exists_cached(&train.db, &train.db, &[(n, p)])
-    })
-    .map(|i| pairs[i])
+    engine
+        .par_find_first(&pairs, |&(p, n)| {
+            engine.hom_exists(&train.db, &train.db, &[(p, n)])
+                && engine.hom_exists(&train.db, &train.db, &[(n, p)])
+        })
+        .map(|i| pairs[i])
 }
 
 /// ∃FO⁺-separability coincides with CQ-separability (Proposition 8.3(2)):
@@ -107,6 +133,11 @@ pub fn cq_inseparability_witness(train: &TrainingDb) -> Option<(Val, Val)> {
 /// the level of entity pairs.
 pub fn epfo_separable(train: &TrainingDb) -> bool {
     cq_separable(train)
+}
+
+/// [`epfo_separable`] against a caller-supplied [`Engine`].
+pub fn epfo_separable_with(engine: &Engine, train: &TrainingDb) -> bool {
+    cq_separable_with(engine, train)
 }
 
 #[cfg(test)]

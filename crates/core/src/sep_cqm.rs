@@ -11,7 +11,7 @@
 
 use crate::statistic::{SeparatorModel, Statistic};
 use cq::{enumerate_feature_queries, EnumConfig};
-use linsep::separate;
+use engine::Engine;
 use relational::{Database, Labeling, TrainingDb};
 
 /// The full `CQ[m]` statistic over the relations populated in `D`
@@ -42,8 +42,17 @@ pub fn full_statistic(d: &Database, config: &EnumConfig) -> Statistic {
 /// distinct column. This changes neither the decision nor the
 /// separation guarantee — only the (much smaller) LP dimension.
 pub fn cqm_generate(train: &TrainingDb, config: &EnumConfig) -> Option<SeparatorModel> {
+    cqm_generate_with(Engine::global(), train, config)
+}
+
+/// [`cqm_generate`] against a caller-supplied [`Engine`].
+pub fn cqm_generate_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    config: &EnumConfig,
+) -> Option<SeparatorModel> {
     let (statistic, rows, labels) = column_reduced_statistic(train, config);
-    let classifier = separate(&rows, &labels)?;
+    let classifier = engine.separate(&rows, &labels)?;
     Some(SeparatorModel {
         statistic,
         classifier,
@@ -88,10 +97,25 @@ pub fn cqm_separable(train: &TrainingDb, config: &EnumConfig) -> bool {
     cqm_generate(train, config).is_some()
 }
 
+/// [`cqm_separable`] against a caller-supplied [`Engine`].
+pub fn cqm_separable_with(engine: &Engine, train: &TrainingDb, config: &EnumConfig) -> bool {
+    cqm_generate_with(engine, train, config).is_some()
+}
+
 /// `CQ[m]`-Cls: classify an evaluation database with a model generated
 /// from the training database (both constructive per §4).
 pub fn cqm_classify(train: &TrainingDb, eval: &Database, config: &EnumConfig) -> Option<Labeling> {
-    cqm_generate(train, config).map(|model| model.classify(eval))
+    cqm_classify_with(Engine::global(), train, eval, config)
+}
+
+/// [`cqm_classify`] against a caller-supplied [`Engine`].
+pub fn cqm_classify_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    eval: &Database,
+    config: &EnumConfig,
+) -> Option<Labeling> {
+    cqm_generate_with(engine, train, config).map(|model| model.classify(eval))
 }
 
 #[cfg(test)]

@@ -23,13 +23,13 @@
 //! endured: candidate columns are deduplicated (exact duplicates *and*
 //! complements — negating a weight realizes the complement) by
 //! [`dedup_column_indices`] before the sweep, and [`search_columns`]
-//! fans the ≤ ℓ-subset enumeration out over the same worker pool the
-//! homomorphism engine uses ([`relational::hom::par`]), refuting most
-//! subsets with a cheap conflict scan before any LP is assembled.
+//! fans the ≤ ℓ-subset enumeration out under the [`Engine`]'s thread
+//! budget, refuting most subsets with a cheap conflict scan before any
+//! LP is assembled.
 
-use linsep::{has_label_conflict, separate};
+use engine::Engine;
+use linsep::has_label_conflict;
 use qbe::QbeError;
-use relational::hom::par::par_find_first;
 use relational::{Database, TrainingDb, Val};
 use std::collections::HashSet;
 use std::fmt;
@@ -99,7 +99,18 @@ pub fn sep_dim(
     ell: usize,
     budget: &DimBudget,
 ) -> Result<bool, DimError> {
-    Ok(sep_dim_witness(train, class, ell, budget)?.is_some())
+    sep_dim_with(Engine::global(), train, class, ell, budget)
+}
+
+/// [`sep_dim`] against a caller-supplied [`Engine`].
+pub fn sep_dim_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    class: &DimClass,
+    ell: usize,
+    budget: &DimBudget,
+) -> Result<bool, DimError> {
+    Ok(sep_dim_witness_with(engine, train, class, ell, budget)?.is_some())
 }
 
 /// One feature coordinate per entry: the `(positive, negative)` entity
@@ -116,6 +127,19 @@ pub fn sep_dim_witness(
     ell: usize,
     budget: &DimBudget,
 ) -> Result<Option<WitnessSplits>, DimError> {
+    sep_dim_witness_with(Engine::global(), train, class, ell, budget)
+}
+
+/// [`sep_dim_witness`] against a caller-supplied [`Engine`]: the preorder
+/// sweep, QBE oracle calls, and subset-search LPs all run through (and
+/// count against) `engine`.
+pub fn sep_dim_witness_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    class: &DimClass,
+    ell: usize,
+    budget: &DimBudget,
+) -> Result<Option<WitnessSplits>, DimError> {
     let elems = train.entities();
     if elems.is_empty() {
         return Ok(Some(Vec::new()));
@@ -123,7 +147,7 @@ pub fn sep_dim_witness(
     let n = elems.len();
 
     // Indistinguishability preorder for the class.
-    let leq = preorder_matrix(&train.db, &elems, class);
+    let leq = preorder_matrix(engine, &train.db, &elems, class);
 
     // Equivalence classes; mixed-label classes are hopeless at any ℓ.
     let mut class_of = vec![usize::MAX; n];
@@ -182,10 +206,21 @@ pub fn sep_dim_witness(
             false
         } else {
             match class {
-                DimClass::Cq => qbe::cq_qbe_decide(&train.db, &pos, &neg, budget.product_budget)?,
-                DimClass::Ghw(k) => {
-                    qbe::ghw_qbe_decide(&train.db, &pos, &neg, *k, budget.product_budget)?
-                }
+                DimClass::Cq => engine::cq_qbe_decide_with(
+                    engine,
+                    &train.db,
+                    &pos,
+                    &neg,
+                    budget.product_budget,
+                )?,
+                DimClass::Ghw(k) => engine::ghw_qbe_decide_with(
+                    engine,
+                    &train.db,
+                    &pos,
+                    &neg,
+                    *k,
+                    budget.product_budget,
+                )?,
             }
         };
         if explainable {
@@ -212,7 +247,7 @@ pub fn sep_dim_witness(
         .iter()
         .map(|&r| train.labeling.get(elems[r]).to_i32())
         .collect();
-    Ok(search_columns(&columns, &labels, ell)
+    Ok(search_columns_with(engine, &columns, &labels, ell)
         .map(|chosen| chosen.into_iter().map(|c| column_sets[c].clone()).collect()))
 }
 
@@ -230,10 +265,41 @@ pub fn ghw_sep_dim(
     sep_dim(train, &DimClass::Ghw(k), ell, budget)
 }
 
+/// [`cq_sep_dim`] against a caller-supplied [`Engine`].
+pub fn cq_sep_dim_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    ell: usize,
+    budget: &DimBudget,
+) -> Result<bool, DimError> {
+    sep_dim_with(engine, train, &DimClass::Cq, ell, budget)
+}
+
+/// [`ghw_sep_dim`] against a caller-supplied [`Engine`].
+pub fn ghw_sep_dim_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    k: usize,
+    ell: usize,
+    budget: &DimBudget,
+) -> Result<bool, DimError> {
+    sep_dim_with(engine, train, &DimClass::Ghw(k), ell, budget)
+}
+
 /// `CQ[m]`-Sep[ℓ] / `CQ[m]`-Sep[*] (§6.3): enumerate the `CQ[m]` feature
 /// queries, deduplicate their indicator columns, and search for ≤ ℓ
 /// columns that linearly separate. NP-complete (Theorem 6.10); exact.
 pub fn cqm_sep_dim(train: &TrainingDb, config: &cq::EnumConfig, ell: usize) -> bool {
+    cqm_sep_dim_with(Engine::global(), train, config, ell)
+}
+
+/// [`cqm_sep_dim`] against a caller-supplied [`Engine`].
+pub fn cqm_sep_dim_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    config: &cq::EnumConfig,
+    ell: usize,
+) -> bool {
     // Syntactic enumeration suffices: the column deduplication below
     // subsumes logical-equivalence dedup for this fixed training
     // database, at a fraction of the cost.
@@ -255,7 +321,7 @@ pub fn cqm_sep_dim(train: &TrainingDb, config: &cq::EnumConfig, ell: usize) -> b
         .map(|j| all[j].clone())
         .collect();
     // Rows here are entities (not classes); search directly.
-    search_columns(&columns, &labels, ell).is_some()
+    search_columns_with(engine, &columns, &labels, ell).is_some()
 }
 
 /// Generate an explicit ℓ-feature separating model (statistic +
@@ -271,16 +337,31 @@ pub fn sep_dim_generate(
     budget: &DimBudget,
     extract_budget: usize,
 ) -> Result<Option<crate::statistic::SeparatorModel>, DimError> {
-    let witness = match sep_dim_witness(train, class, ell, budget)? {
+    sep_dim_generate_with(Engine::global(), train, class, ell, budget, extract_budget)
+}
+
+/// [`sep_dim_generate`] against a caller-supplied [`Engine`].
+pub fn sep_dim_generate_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    class: &DimClass,
+    ell: usize,
+    budget: &DimBudget,
+    extract_budget: usize,
+) -> Result<Option<crate::statistic::SeparatorModel>, DimError> {
+    let witness = match sep_dim_witness_with(engine, train, class, ell, budget)? {
         None => return Ok(None),
         Some(w) => w,
     };
     let mut features: Vec<cq::Cq> = Vec::with_capacity(witness.len());
     for (pos, neg) in &witness {
         let q = match class {
-            DimClass::Cq => qbe::cq_qbe_explain(&train.db, pos, neg, budget.product_budget)?
-                .expect("witness coordinate was QBE-verified explainable"),
-            DimClass::Ghw(k) => qbe::ghw_qbe_explain(
+            DimClass::Cq => {
+                engine::cq_qbe_explain_with(engine, &train.db, pos, neg, budget.product_budget)?
+                    .expect("witness coordinate was QBE-verified explainable")
+            }
+            DimClass::Ghw(k) => engine::ghw_qbe_explain_with(
+                engine,
                 &train.db,
                 pos,
                 neg,
@@ -300,7 +381,9 @@ pub fn sep_dim_generate(
         .iter()
         .map(|&e| train.labeling.get(e).to_i32())
         .collect();
-    let classifier = separate(&rows, &labels).expect("witness columns were LP-verified separable");
+    let classifier = engine
+        .separate(&rows, &labels)
+        .expect("witness columns were LP-verified separable");
     Ok(Some(crate::statistic::SeparatorModel {
         statistic,
         classifier,
@@ -319,23 +402,50 @@ pub fn sep_dim_classify(
     budget: &DimBudget,
     extract_budget: usize,
 ) -> Result<Option<relational::Labeling>, DimError> {
-    Ok(sep_dim_generate(train, class, ell, budget, extract_budget)?
-        .map(|model| model.classify(eval)))
+    sep_dim_classify_with(
+        Engine::global(),
+        train,
+        eval,
+        class,
+        ell,
+        budget,
+        extract_budget,
+    )
+}
+
+/// [`sep_dim_classify`] against a caller-supplied [`Engine`].
+pub fn sep_dim_classify_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    eval: &Database,
+    class: &DimClass,
+    ell: usize,
+    budget: &DimBudget,
+    extract_budget: usize,
+) -> Result<Option<relational::Labeling>, DimError> {
+    Ok(
+        sep_dim_generate_with(engine, train, class, ell, budget, extract_budget)?
+            .map(|model| model.classify(eval)),
+    )
 }
 
 /// The indistinguishability preorder matrix for the class.
-fn preorder_matrix(d: &Database, elems: &[Val], class: &DimClass) -> Vec<Vec<bool>> {
+fn preorder_matrix(
+    engine: &Engine,
+    d: &Database,
+    elems: &[Val],
+    class: &DimClass,
+) -> Vec<Vec<bool>> {
     let n = elems.len();
     // n² independent indistinguishability queries: run them on the
-    // parallel driver, with both query kinds memoized by database content.
+    // engine's parallel driver, with both query kinds memoized by
+    // database content in the engine's tables.
     let cells: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
-    let flat = relational::hom::par::par_map(&cells, |&(i, j)| {
+    let flat = engine.par_map(&cells, |&(i, j)| {
         i == j
             || match class {
-                DimClass::Cq => relational::exists_cached(d, d, &[(elems[i], elems[j])]),
-                DimClass::Ghw(k) => {
-                    covergame::cover_implies_cached(d, &[elems[i]], d, &[elems[j]], *k)
-                }
+                DimClass::Cq => engine.hom_exists(d, d, &[(elems[i], elems[j])]),
+                DimClass::Ghw(k) => engine.cover_implies(d, &[elems[i]], d, &[elems[j]], *k),
             }
     });
     flat.chunks(n.max(1)).map(|row| row.to_vec()).collect()
@@ -496,15 +606,20 @@ const SEARCH_BLOCK: usize = 256;
 /// `O(rows·ℓ)` conflict scan (identical projected rows with opposite
 /// labels) refutes most non-separating subsets before any LP exists —
 /// those hits are reported to the LP engine's prune counter.
-fn subset_separates(columns: &[Vec<i32>], labels: &[i32], chosen: &[usize]) -> bool {
+fn subset_separates(
+    engine: &Engine,
+    columns: &[Vec<i32>],
+    labels: &[i32],
+    chosen: &[usize],
+) -> bool {
     let rows: Vec<Vec<i32>> = (0..labels.len())
         .map(|r| chosen.iter().map(|&c| columns[c][r]).collect())
         .collect();
     if has_label_conflict(&rows, labels) {
-        linsep::stats::record_conflict_prune();
+        engine.record_conflict_prune();
         return false;
     }
-    separate(&rows, labels).is_some()
+    engine.separate(&rows, labels).is_some()
 }
 
 /// Is there a choice of ≤ ℓ columns whose induced vectors (rows = the
@@ -519,6 +634,18 @@ fn subset_separates(columns: &[Vec<i32>], labels: &[i32], chosen: &[usize]) -> b
 /// rest. [`search_columns_seq`] is the single-threaded reference with
 /// the same verdict.
 pub fn search_columns(columns: &[Vec<i32>], labels: &[i32], ell: usize) -> Option<Vec<usize>> {
+    search_columns_with(Engine::global(), columns, labels, ell)
+}
+
+/// [`search_columns`] against a caller-supplied [`Engine`]: the subset
+/// sweep fans out under the engine's thread budget and every LP decision
+/// (conflict prune, perceptron hit, simplex solve) counts against it.
+pub fn search_columns_with(
+    engine: &Engine,
+    columns: &[Vec<i32>],
+    labels: &[i32],
+    ell: usize,
+) -> Option<Vec<usize>> {
     // Trivial case: uniform labels need zero features.
     if labels.iter().all(|&l| l == 1) || labels.iter().all(|&l| l == -1) {
         return Some(Vec::new());
@@ -537,9 +664,9 @@ pub fn search_columns(columns: &[Vec<i32>], labels: &[i32], ell: usize) -> Optio
             if block.is_empty() {
                 break;
             }
-            if let Some(i) =
-                par_find_first(&block, |chosen| subset_separates(columns, labels, chosen))
-            {
+            if let Some(i) = engine.par_find_first(&block, |chosen| {
+                subset_separates(engine, columns, labels, chosen)
+            }) {
                 return Some(block.swap_remove(i));
             }
         }
@@ -553,18 +680,29 @@ pub fn search_columns(columns: &[Vec<i32>], labels: &[i32], ell: usize) -> Optio
 /// the parallel sweep; the witness may differ (DFS order is not
 /// size-ascending), but both are valid ≤ ℓ separating subsets.
 pub fn search_columns_seq(columns: &[Vec<i32>], labels: &[i32], ell: usize) -> Option<Vec<usize>> {
+    search_columns_seq_with(Engine::global(), columns, labels, ell)
+}
+
+/// [`search_columns_seq`] against a caller-supplied [`Engine`].
+pub fn search_columns_seq_with(
+    engine: &Engine,
+    columns: &[Vec<i32>],
+    labels: &[i32],
+    ell: usize,
+) -> Option<Vec<usize>> {
     if labels.iter().all(|&l| l == 1) || labels.iter().all(|&l| l == -1) {
         return Some(Vec::new());
     }
     let mut chosen: Vec<usize> = Vec::new();
     fn rec(
+        engine: &Engine,
         columns: &[Vec<i32>],
         labels: &[i32],
         ell: usize,
         start: usize,
         chosen: &mut Vec<usize>,
     ) -> bool {
-        if !chosen.is_empty() && subset_separates(columns, labels, chosen) {
+        if !chosen.is_empty() && subset_separates(engine, columns, labels, chosen) {
             return true;
         }
         if chosen.len() == ell {
@@ -572,14 +710,14 @@ pub fn search_columns_seq(columns: &[Vec<i32>], labels: &[i32], ell: usize) -> O
         }
         for c in start..columns.len() {
             chosen.push(c);
-            if rec(columns, labels, ell, c + 1, chosen) {
+            if rec(engine, columns, labels, ell, c + 1, chosen) {
                 return true;
             }
             chosen.pop();
         }
         false
     }
-    if rec(columns, labels, ell, 0, &mut chosen) {
+    if rec(engine, columns, labels, ell, 0, &mut chosen) {
         Some(chosen)
     } else {
         None
@@ -589,6 +727,7 @@ pub fn search_columns_seq(columns: &[Vec<i32>], labels: &[i32], ell: usize) -> O
 #[cfg(test)]
 mod tests {
     use super::*;
+    use linsep::separate;
     use relational::{DbBuilder, Schema};
 
     fn example_6_2() -> TrainingDb {

@@ -12,12 +12,23 @@
 //! are built from.
 
 use crate::sep_dim::{DimBudget, DimClass, DimError};
-use linsep::separate;
+use engine::Engine;
 use relational::{TrainingDb, Val};
 
 /// Decide `L`-Sep[ℓ] by the literal Lemma 6.3 search. Exponential in
 /// `ℓ · |η(D)|`; use only on tiny instances (the test suite does).
 pub fn sep_dim_naive(
+    train: &TrainingDb,
+    class: &DimClass,
+    ell: usize,
+    budget: &DimBudget,
+) -> Result<bool, DimError> {
+    sep_dim_naive_with(Engine::global(), train, class, ell, budget)
+}
+
+/// [`sep_dim_naive`] against a caller-supplied [`Engine`].
+pub fn sep_dim_naive_with(
+    engine: &Engine,
     train: &TrainingDb,
     class: &DimClass,
     ell: usize,
@@ -51,7 +62,7 @@ pub fn sep_dim_naive(
         let vectors: Vec<Vec<i32>> = (0..n)
             .map(|i| (0..ell).map(|j| kappa(i, j)).collect())
             .collect();
-        if separate(&vectors, &labels).is_none() {
+        if engine.separate(&vectors, &labels).is_none() {
             continue;
         }
         // Step 2: each coordinate must be L-explainable.
@@ -72,10 +83,21 @@ pub fn sep_dim_naive(
                 continue 'outer;
             }
             let ok = match class {
-                DimClass::Cq => qbe::cq_qbe_decide(&train.db, &pos, &neg, budget.product_budget)?,
-                DimClass::Ghw(k) => {
-                    qbe::ghw_qbe_decide(&train.db, &pos, &neg, *k, budget.product_budget)?
-                }
+                DimClass::Cq => engine::cq_qbe_decide_with(
+                    engine,
+                    &train.db,
+                    &pos,
+                    &neg,
+                    budget.product_budget,
+                )?,
+                DimClass::Ghw(k) => engine::ghw_qbe_decide_with(
+                    engine,
+                    &train.db,
+                    &pos,
+                    &neg,
+                    *k,
+                    budget.product_budget,
+                )?,
             };
             if !ok {
                 continue 'outer;

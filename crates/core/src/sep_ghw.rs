@@ -6,44 +6,74 @@
 //! in sharp contrast to generation (§5.2), which this module deliberately
 //! does *not* do.
 
-use crate::chain::{build_chain, ChainError, ChainModel};
+use crate::chain::{build_chain_with, ChainError, ChainModel};
 use covergame::{CoverPreorder, UnionSkeleton};
-use relational::hom::par::par_find_first;
+use engine::Engine;
 use relational::{TrainingDb, Val};
 
 /// Decide `GHW(k)`-separability (Theorem 5.3).
 pub fn ghw_separable(train: &TrainingDb, k: usize) -> bool {
-    ghw_inseparability_witness(train, k).is_none()
+    ghw_separable_with(Engine::global(), train, k)
+}
+
+/// [`ghw_separable`] against a caller-supplied [`Engine`].
+pub fn ghw_separable_with(engine: &Engine, train: &TrainingDb, k: usize) -> bool {
+    ghw_inseparability_witness_with(engine, train, k).is_none()
 }
 
 /// A positive/negative pair that is `GHW(k)`-indistinguishable, if any
 /// (the failure certificate of Lemma 5.4 (2)).
 pub fn ghw_inseparability_witness(train: &TrainingDb, k: usize) -> Option<(Val, Val)> {
+    ghw_inseparability_witness_with(Engine::global(), train, k)
+}
+
+/// [`ghw_inseparability_witness`] against a caller-supplied [`Engine`].
+pub fn ghw_inseparability_witness_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    k: usize,
+) -> Option<(Val, Val)> {
     // All games share one database, hence one union skeleton; each pair's
     // two game solves are independent of every other pair's, so the
     // candidate sweep runs on the parallel driver. Verdicts memoize in
-    // the global cache, where a later full-preorder sweep reuses them.
+    // the engine's cache, where a later full-preorder sweep reuses them.
     let skeleton = UnionSkeleton::build(&train.db, k);
-    let cache = covergame::cache::global();
-    let implies =
-        |a: Val, b: Val| cache.implies_with_skeleton(&train.db, &[a], &train.db, &[b], &skeleton);
+    let implies = |a: Val, b: Val| {
+        engine.cover_implies_with_skeleton(&train.db, &[a], &train.db, &[b], &skeleton)
+    };
     let pairs = train.opposing_pairs();
-    par_find_first(&pairs, |&(p, n)| implies(p, n) && implies(n, p)).map(|i| pairs[i])
+    engine
+        .par_find_first(&pairs, |&(p, n)| implies(p, n) && implies(n, p))
+        .map(|i| pairs[i])
 }
 
 /// The full `→_k` preorder over the training entities (used by
 /// classification and the approximate algorithms; more expensive than the
 /// pairwise test above but still polynomial).
 pub fn ghw_preorder(train: &TrainingDb, k: usize) -> CoverPreorder {
-    CoverPreorder::compute(&train.db, &train.entities(), k)
+    ghw_preorder_with(Engine::global(), train, k)
+}
+
+/// [`ghw_preorder`] against a caller-supplied [`Engine`].
+pub fn ghw_preorder_with(engine: &Engine, train: &TrainingDb, k: usize) -> CoverPreorder {
+    engine.preorder(&train.db, &train.entities(), k)
 }
 
 /// The chain model of Lemma 5.4 for the `→_k` preorder: the implicit
 /// statistic `Π = (q_{e_1}, …, q_{e_m})` *represented by its preorder
 /// only*, plus the linear classifier.
 pub fn ghw_chain(train: &TrainingDb, k: usize) -> Result<ChainModel, ChainError> {
-    let pre = ghw_preorder(train, k);
-    build_chain(train, &pre.elems, &pre.leq)
+    ghw_chain_with(Engine::global(), train, k)
+}
+
+/// [`ghw_chain`] against a caller-supplied [`Engine`].
+pub fn ghw_chain_with(
+    engine: &Engine,
+    train: &TrainingDb,
+    k: usize,
+) -> Result<ChainModel, ChainError> {
+    let pre = ghw_preorder_with(engine, train, k);
+    build_chain_with(engine, train, &pre.elems, &pre.leq)
 }
 
 #[cfg(test)]

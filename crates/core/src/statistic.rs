@@ -31,7 +31,18 @@ impl Statistic {
     /// tests for its query), so columns are computed on the parallel
     /// driver and then transposed into rows.
     pub fn apply(&self, d: &Database, entities: &[Val]) -> Vec<Vec<i32>> {
-        let cols = relational::hom::par::par_map(&self.features, |q| indicator(q, d, entities));
+        self.apply_with(engine::Engine::global(), d, entities)
+    }
+
+    /// [`Statistic::apply`] with the column sweep fanned out under a
+    /// caller-supplied [`engine::Engine`]'s thread budget.
+    pub fn apply_with(
+        &self,
+        engine: &engine::Engine,
+        d: &Database,
+        entities: &[Val],
+    ) -> Vec<Vec<i32>> {
+        let cols = engine.par_map(&self.features, |q| indicator(q, d, entities));
         let mut rows = vec![Vec::with_capacity(self.features.len()); entities.len()];
         for col in cols {
             for (row, v) in rows.iter_mut().zip(col) {

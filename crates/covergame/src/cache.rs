@@ -19,10 +19,11 @@
 
 use crate::game::CoverGame;
 use crate::skeleton::UnionSkeleton;
+use crate::stats::GameStats;
 use relational::{Database, Val};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Shard count; a small power of two comfortably above typical worker
 /// counts so lock contention stays negligible.
@@ -58,6 +59,15 @@ pub struct GameCache {
     per_shard_cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    // Per-cache game-effort counters, bumped only by analyses this cache
+    // itself ran (its miss and uncached paths) — the cover-game twin of
+    // the per-cache counters on `relational::HomCache`, making an
+    // isolated `Engine` a self-contained stats domain.
+    games: AtomicU64,
+    positions: AtomicU64,
+    sweeps: AtomicU64,
+    /// Entries imported from a persisted table (see `import_entry`).
+    restored: AtomicU64,
 }
 
 impl GameCache {
@@ -75,7 +85,22 @@ impl GameCache {
             per_shard_cap: (capacity / SHARDS).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            games: AtomicU64::new(0),
+            positions: AtomicU64::new(0),
+            sweeps: AtomicU64::new(0),
+            restored: AtomicU64::new(0),
         }
+    }
+
+    /// Run one analysis, note its effort against this cache's counters,
+    /// and return the verdict.
+    fn solve_counted(&self, game: &CoverGame) -> bool {
+        self.games.fetch_add(1, Ordering::Relaxed);
+        self.positions
+            .fetch_add(game.position_count(), Ordering::Relaxed);
+        self.sweeps
+            .fetch_add(game.sweeps() as u64, Ordering::Relaxed);
+        game.duplicator_wins()
     }
 
     /// Memoized `(D, ā) →_k (D', b̄)`. Builds a fresh [`UnionSkeleton`]
@@ -83,8 +108,36 @@ impl GameCache {
     /// database should use [`GameCache::implies_with_skeleton`].
     pub fn implies(&self, d: &Database, a: &[Val], d2: &Database, b: &[Val], k: usize) -> bool {
         self.lookup_or(d, a, d2, b, k, || {
-            CoverGame::analyze(d, a, d2, b, k).duplicator_wins()
+            self.solve_counted(&CoverGame::analyze(d, a, d2, b, k))
         })
+    }
+
+    /// [`GameCache::implies`] minus the memo table: counted as a miss and
+    /// solved afresh, but the table is neither consulted nor updated —
+    /// the `no_cache` execution mode of an engine.
+    pub fn implies_uncached(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        k: usize,
+    ) -> bool {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.solve_counted(&CoverGame::analyze(d, a, d2, b, k))
+    }
+
+    /// [`GameCache::implies_with_skeleton`] minus the memo table.
+    pub fn implies_with_skeleton_uncached(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        skeleton: &UnionSkeleton,
+    ) -> bool {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.solve_counted(&CoverGame::analyze_with_skeleton(d, a, d2, b, skeleton))
     }
 
     /// Memoized `(D, ā) →_k (D', b̄)` reusing a prebuilt skeleton of
@@ -100,7 +153,7 @@ impl GameCache {
         skeleton: &UnionSkeleton,
     ) -> bool {
         self.lookup_or(d, a, d2, b, skeleton.k, || {
-            CoverGame::analyze_with_skeleton(d, a, d2, b, skeleton).duplicator_wins()
+            self.solve_counted(&CoverGame::analyze_with_skeleton(d, a, d2, b, skeleton))
         })
     }
 
@@ -185,6 +238,72 @@ impl GameCache {
             g.prev.clear();
         }
     }
+
+    /// This cache's own counters as a [`GameStats`]: analysis effort from
+    /// its miss/uncached paths plus its hit/miss counts — attributable to
+    /// exactly the queries routed through this cache instance, unlike the
+    /// process-global [`GameStats::snapshot`].
+    pub fn stats(&self) -> GameStats {
+        GameStats {
+            games_solved: self.games.load(Ordering::Relaxed),
+            positions_explored: self.positions.load(Ordering::Relaxed),
+            fixpoint_sweeps: self.sweeps.load(Ordering::Relaxed),
+            cache_hits: self.hits(),
+            cache_misses: self.misses(),
+        }
+    }
+
+    /// Zero every counter (the memo table itself is untouched).
+    pub fn reset_stats(&self) {
+        for c in [
+            &self.hits,
+            &self.misses,
+            &self.games,
+            &self.positions,
+            &self.sweeps,
+            &self.restored,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries imported from a persisted table since the last
+    /// [`GameCache::reset_stats`].
+    pub fn restored(&self) -> u64 {
+        self.restored.load(Ordering::Relaxed)
+    }
+
+    /// Dump every memoized verdict for persistence.
+    #[allow(clippy::type_complexity)]
+    pub fn export_entries(&self) -> Vec<(u128, u128, Vec<Val>, Vec<Val>, usize, bool)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let g = s.lock().unwrap();
+            for (k, &ans) in g.cur.iter().chain(g.prev.iter()) {
+                out.push((k.0, k.1, k.2.clone(), k.3.clone(), k.4, ans));
+            }
+        }
+        out
+    }
+
+    /// Insert one persisted verdict. Fingerprints are content hashes, so
+    /// a restored verdict is valid for any database with the same
+    /// content; the import counts as neither a hit nor a miss, only as
+    /// `restored`.
+    pub fn import_entry(
+        &self,
+        d_fp: u128,
+        d2_fp: u128,
+        a: Vec<Val>,
+        b: Vec<Val>,
+        k: usize,
+        ans: bool,
+    ) {
+        let key: Key = (d_fp, d2_fp, a, b, k);
+        let shard = &self.shards[Self::shard_of(&key)];
+        shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
+        self.restored.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl Default for GameCache {
@@ -193,10 +312,17 @@ impl Default for GameCache {
     }
 }
 
-/// The process-wide cache instance used by the separability pipelines.
+static GLOBAL: OnceLock<Arc<GameCache>> = OnceLock::new();
+
+/// The process-wide cache instance used by the legacy (engine-less)
+/// entry points and `Engine::global()`.
 pub fn global() -> &'static GameCache {
-    static GLOBAL: OnceLock<GameCache> = OnceLock::new();
-    GLOBAL.get_or_init(GameCache::new)
+    GLOBAL.get_or_init(|| Arc::new(GameCache::new()))
+}
+
+/// The global cache as a shared handle, so an `Engine` can co-own it.
+pub fn global_arc() -> Arc<GameCache> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(GameCache::new())))
 }
 
 /// Memoized [`crate::game::cover_implies`] through the [`global`] cache.

@@ -177,10 +177,22 @@ impl CoverPreorder {
     /// database: component `j` is `+1` iff `(D, e_j) →_k (D', f)` (the key
     /// step of Algorithm 1, lines 3–9).
     pub fn chain_vector_for(&self, d: &Database, d2: &Database, f: Val) -> Vec<i32> {
+        self.chain_vector_for_with(d, d2, f, crate::cache::global())
+    }
+
+    /// [`CoverPreorder::chain_vector_for`] against a caller-supplied
+    /// cache (an engine's own table instead of the process-wide one).
+    pub fn chain_vector_for_with(
+        &self,
+        d: &Database,
+        d2: &Database,
+        f: Val,
+        cache: &GameCache,
+    ) -> Vec<i32> {
         (0..self.class_count())
             .map(|j| {
                 let rep = self.elems[self.representative(j)];
-                if crate::cache::cover_implies_cached(d, &[rep], d2, &[f], self.k) {
+                if cache.implies(d, &[rep], d2, &[f], self.k) {
                     1
                 } else {
                     -1

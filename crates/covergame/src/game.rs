@@ -117,6 +117,12 @@ impl<'a> CoverGame<'a> {
         self.sweeps
     }
 
+    /// Total positions enumerated across all unions (diagnostics; the
+    /// same figure `analyze` flushes into the global stats).
+    pub fn position_count(&self) -> u64 {
+        self.positions.iter().map(|p| p.len() as u64).sum()
+    }
+
     /// The base map `ā → b̄` (None when inconsistent).
     pub fn base_map(&self) -> Option<&HashMap<Val, Val>> {
         self.base.as_ref()

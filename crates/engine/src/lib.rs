@@ -1,0 +1,698 @@
+//! The unified solver context.
+//!
+//! Every layer of the separability pipeline keeps instrumented, memoized
+//! machinery: the hom solver's memo table ([`relational::HomCache`]), the
+//! cover-game verdict table ([`covergame::GameCache`]), and the LP
+//! engine's counters ([`linsep::LpCounters`]). Historically each was a
+//! process-global singleton, which made concurrent workloads share (and
+//! cross-contaminate) counters and left no way to run a solve with an
+//! isolated lifetime, a thread budget, or caching switched off.
+//!
+//! An [`Engine`] bundles all three plus the parallelism configuration
+//! into one explicit context:
+//!
+//! * `Engine::new()` is a fully isolated instance — its caches and
+//!   counters see exactly the queries routed through it;
+//! * [`Engine::global`] wraps the legacy process-wide singletons, so the
+//!   engine-less entry points (`cqsep::cq_separable` etc.) and the
+//!   engine-threaded ones (`cq_separable_with`) interoperate — a verdict
+//!   memoized by either is visible to both;
+//! * [`Engine::save`]/[`Engine::load`] persist the two verdict tables to
+//!   a cache directory (see [`persist`]) for warm starts across
+//!   processes — the CLI's `--cache-dir` flag.
+//!
+//! The convention for threading: a layer's public `foo(...)` keeps its
+//! historical globals-backed behavior and delegates to
+//! `foo_with(&Engine, ...)` (or an [`Engine`] method) with
+//! [`Engine::global`]. Solver code below the engine never touches the
+//! global singletons directly.
+//!
+//! One counter is intentionally *not* per-engine: `bignum_promotions`
+//! happens inside `numeric::Rat` arithmetic with no engine in sight, so
+//! [`EngineStats`] reports the process-wide figure (see
+//! [`numeric::rat::promotion_count`]).
+
+pub mod persist;
+
+use covergame::{CoverPreorder, GameCache, GameStats, UnionSkeleton};
+use cq::{Cq, EnumConfig};
+use linsep::{LinearClassifier, LpCounters, LpStats};
+use numeric::Rat;
+use qbe::QbeError;
+use relational::{Database, HomCache, HomStats, Val};
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
+
+pub use persist::RestoreSummary;
+
+/// Environment toggle honored by [`Engine::global`]: setting
+/// `CQSEP_NO_CACHE=1` makes the global engine run every query uncached
+/// (same verdicts, same accounting shape, no memo table).
+pub const NO_CACHE_ENV: &str = "CQSEP_NO_CACHE";
+
+/// A solver context owning the memo caches, the unified stats counters,
+/// and the parallelism configuration for everything run through it.
+#[derive(Clone)]
+pub struct Engine {
+    hom: Arc<HomCache>,
+    game: Arc<GameCache>,
+    lp: Arc<LpCounters>,
+    /// Worker-thread cap for the parallel drivers (`None` = all cores).
+    threads: Option<usize>,
+    /// When false, queries bypass the memo tables entirely.
+    use_cache: bool,
+}
+
+impl Engine {
+    /// A fully isolated engine: fresh caches, fresh counters, default
+    /// thread budget (all cores), caching on.
+    pub fn new() -> Engine {
+        Engine {
+            hom: Arc::new(HomCache::new()),
+            game: Arc::new(GameCache::new()),
+            lp: Arc::new(LpCounters::new()),
+            threads: None,
+            use_cache: true,
+        }
+    }
+
+    /// An isolated engine whose hom and game tables each hold roughly
+    /// `capacity` entries before old ones age out.
+    pub fn with_capacity(capacity: usize) -> Engine {
+        Engine {
+            hom: Arc::new(HomCache::with_capacity(capacity)),
+            game: Arc::new(GameCache::with_capacity(capacity)),
+            ..Engine::new()
+        }
+    }
+
+    /// Cap the parallel drivers at `n` worker threads (0 is treated as 1;
+    /// the drivers always make progress).
+    pub fn with_threads(mut self, n: usize) -> Engine {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Disable memoization: queries still run (and count) through the
+    /// engine's caches, but the tables are neither consulted nor updated.
+    pub fn without_cache(mut self) -> Engine {
+        self.use_cache = false;
+        self
+    }
+
+    /// The process-wide engine wrapping the legacy global singletons.
+    /// Engine-less entry points route here, so their memoized verdicts
+    /// and counters are shared with explicit `Engine::global()` users.
+    /// Caching is on unless [`NO_CACHE_ENV`] is set to `1` (read once, at
+    /// first use).
+    pub fn global() -> &'static Engine {
+        static GLOBAL: OnceLock<Engine> = OnceLock::new();
+        GLOBAL.get_or_init(|| Engine {
+            hom: relational::hom::cache::global_arc(),
+            game: covergame::cache::global_arc(),
+            lp: linsep::stats::global_counters_arc(),
+            threads: None,
+            use_cache: std::env::var(NO_CACHE_ENV).map_or(true, |v| v != "1"),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration and component access
+    // ------------------------------------------------------------------
+
+    /// The configured worker-thread cap (`None` = all cores).
+    pub fn thread_budget(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// Is memoization enabled?
+    pub fn caching_enabled(&self) -> bool {
+        self.use_cache
+    }
+
+    /// The hom-existence memo table.
+    pub fn hom_cache(&self) -> &HomCache {
+        &self.hom
+    }
+
+    /// The cover-game verdict memo table.
+    pub fn game_cache(&self) -> &GameCache {
+        &self.game
+    }
+
+    /// The LP-engine counter set.
+    pub fn lp_counters(&self) -> &LpCounters {
+        &self.lp
+    }
+
+    // ------------------------------------------------------------------
+    // Solver entry points
+    // ------------------------------------------------------------------
+
+    /// Does a homomorphism `from → to` extending `fixed` exist?
+    /// Memoized through this engine's table (unless caching is off).
+    pub fn hom_exists(&self, from: &Database, to: &Database, fixed: &[(Val, Val)]) -> bool {
+        if self.use_cache {
+            self.hom.exists(from, to, fixed)
+        } else {
+            self.hom.exists_uncached(from, to, fixed)
+        }
+    }
+
+    /// `(D, ā) →_k (D', b̄)`, memoized through this engine's table.
+    pub fn cover_implies(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        k: usize,
+    ) -> bool {
+        if self.use_cache {
+            self.game.implies(d, a, d2, b, k)
+        } else {
+            self.game.implies_uncached(d, a, d2, b, k)
+        }
+    }
+
+    /// [`Engine::cover_implies`] reusing a prebuilt [`UnionSkeleton`] of
+    /// `(d, skeleton.k)` for the miss path.
+    pub fn cover_implies_with_skeleton(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        skeleton: &UnionSkeleton,
+    ) -> bool {
+        if self.use_cache {
+            self.game.implies_with_skeleton(d, a, d2, b, skeleton)
+        } else {
+            self.game
+                .implies_with_skeleton_uncached(d, a, d2, b, skeleton)
+        }
+    }
+
+    /// Linear separation, counted against this engine's LP counters.
+    pub fn separate(&self, vectors: &[Vec<i32>], labels: &[i32]) -> Option<LinearClassifier> {
+        linsep::separate_counted(&self.lp, vectors, labels)
+    }
+
+    /// [`Engine::separate`] also returning the optimal margin.
+    pub fn separate_with_margin(
+        &self,
+        vectors: &[Vec<i32>],
+        labels: &[i32],
+    ) -> Option<(LinearClassifier, Rat)> {
+        linsep::separate_with_margin_counted(&self.lp, vectors, labels)
+    }
+
+    /// Exact minimum-error linear classification (§7), every internal LP
+    /// decision counted against this engine.
+    pub fn min_error(&self, vectors: &[Vec<i32>], labels: &[i32]) -> linsep::MinErrorResult {
+        linsep::min_error_classifier_counted(&self.lp, vectors, labels)
+    }
+
+    /// Note a column subset refuted by the caller's own duplicate-row
+    /// conflict scan (the dimension-bounded subset search runs the scan
+    /// on projected rows before assembling an LP).
+    pub fn record_conflict_prune(&self) {
+        self.lp.record_conflict_prune();
+    }
+
+    /// The `→_k` preorder over `elems` of `d`: one game per ordered pair,
+    /// fanned out under this engine's thread budget and memoized through
+    /// its table (one shared skeleton for all pairs).
+    pub fn preorder(&self, d: &Database, elems: &[Val], k: usize) -> CoverPreorder {
+        let n = elems.len();
+        let skeleton = UnionSkeleton::build(d, k);
+        let cells: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .collect();
+        let verdicts = self.par_map(&cells, |&(i, j)| {
+            self.cover_implies_with_skeleton(d, &[elems[i]], d, &[elems[j]], &skeleton)
+        });
+        let mut leq = vec![vec![false; n]; n];
+        for (i, row) in leq.iter_mut().enumerate() {
+            row[i] = true;
+        }
+        for (&(i, j), v) in cells.iter().zip(verdicts) {
+            leq[i][j] = v;
+        }
+        CoverPreorder::from_matrix(elems.to_vec(), leq, k)
+    }
+
+    /// Evaluate a preorder's implicit chain statistic on an element `f`
+    /// of an evaluation database (Algorithm 1, lines 3–9), with the
+    /// per-component games routed through this engine.
+    pub fn chain_vector_for(
+        &self,
+        pre: &CoverPreorder,
+        d: &Database,
+        d2: &Database,
+        f: Val,
+    ) -> Vec<i32> {
+        (0..pre.class_count())
+            .map(|j| {
+                let rep = pre.elems[pre.representative(j)];
+                if self.cover_implies(d, &[rep], d2, &[f], pre.k) {
+                    1
+                } else {
+                    -1
+                }
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel drivers (thread budget applied)
+    // ------------------------------------------------------------------
+
+    /// Does `pred` hold for all pairs? Early-exits on the first
+    /// counterexample; workers capped by the engine's thread budget.
+    pub fn par_all_pairs<A, B, F>(&self, pairs: &[(A, B)], pred: F) -> bool
+    where
+        A: Copy + Sync,
+        B: Copy + Sync,
+        F: Fn(A, B) -> bool + Sync,
+    {
+        relational::hom::par::par_all_pairs_capped(pairs, self.threads, pred)
+    }
+
+    /// Map `f` over `items` in parallel, preserving order; workers capped
+    /// by the engine's thread budget.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        relational::hom::par::par_map_capped(items, self.threads, f)
+    }
+
+    /// Index of the first (lowest-index) item satisfying `pred`; workers
+    /// capped by the engine's thread budget.
+    pub fn par_find_first<T, F>(&self, items: &[T], pred: F) -> Option<usize>
+    where
+        T: Sync,
+        F: Fn(&T) -> bool + Sync,
+    {
+        relational::hom::par::par_find_first_capped(items, self.threads, pred)
+    }
+
+    // ------------------------------------------------------------------
+    // Stats and persistence
+    // ------------------------------------------------------------------
+
+    /// A unified snapshot of this engine's counters. For an isolated
+    /// engine every figure except `lp.bignum_promotions` (process-wide by
+    /// construction — see the crate docs) is attributable to exactly the
+    /// queries routed through it.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            hom: self.hom.stats(),
+            game: self.game.stats(),
+            lp: LpStats {
+                bignum_promotions: numeric::rat::promotion_count(),
+                ..self.lp.snapshot()
+            },
+            restored_entries: self.hom.restored() + self.game.restored(),
+        }
+    }
+
+    /// Zero every per-engine counter (memo tables are untouched; the
+    /// process-wide promotion counter is not per-engine and keeps
+    /// running).
+    pub fn reset_stats(&self) {
+        self.hom.reset_stats();
+        self.game.reset_stats();
+        self.lp.reset();
+    }
+
+    /// Persist both verdict tables under `dir` (created if missing).
+    /// Writes are temp-file-plus-rename, so a crash mid-save leaves any
+    /// previous tables intact.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        persist::save(self, dir)
+    }
+
+    /// Restore previously saved verdict tables from `dir` into this
+    /// engine's caches. Missing, truncated, or corrupted files are a
+    /// *cold start*, not an error: that table restores zero entries.
+    /// Restored entries count as neither hits nor misses — they show up
+    /// as `restored_entries` in [`Engine::stats`] and pay off as hits on
+    /// first re-query.
+    pub fn load(&self, dir: &Path) -> std::io::Result<RestoreSummary> {
+        persist::load(self, dir)
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::new()
+    }
+}
+
+/// A point-in-time aggregate of all of an engine's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Homomorphism layer: search effort plus memo hits/misses.
+    pub hom: HomStats,
+    /// Cover-game layer: analysis effort plus memo hits/misses.
+    pub game: GameStats,
+    /// LP layer: solves, pivots, fast-path counters. `bignum_promotions`
+    /// is the process-wide figure (promotions are not attributable to an
+    /// engine).
+    pub lp: LpStats,
+    /// Cache entries imported by [`Engine::load`] since the last reset.
+    pub restored_entries: u64,
+}
+
+impl EngineStats {
+    /// Counter deltas since an earlier snapshot (saturating).
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            hom: self.hom.since(&earlier.hom),
+            game: self.game.since(&earlier.game),
+            lp: self.lp.since(&earlier.lp),
+            restored_entries: self
+                .restored_entries
+                .saturating_sub(earlier.restored_entries),
+        }
+    }
+
+    /// The unified human-readable report (the CLI's `--stats` output):
+    /// one banner, the three per-layer sections, and the restored-entry
+    /// count.
+    pub fn report(&self) -> String {
+        format!(
+            "engine stats (hom + cover-game + LP):\n\
+             \x20 restored cache entries: {}\n\
+             {}\n{}\n{}",
+            self.restored_entries,
+            self.hom.report(),
+            self.game.report(),
+            self.lp.report(),
+        )
+    }
+}
+
+// ----------------------------------------------------------------------
+// Engine-threaded QBE entry points
+// ----------------------------------------------------------------------
+
+/// [`qbe::cq_qbe_decide`] with the product-hom tests routed through
+/// `engine`'s cache and counters.
+pub fn cq_qbe_decide_with(
+    engine: &Engine,
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    product_budget: usize,
+) -> Result<bool, QbeError> {
+    qbe::cq_qbe_decide_via(
+        &|f, t, x| engine.hom_exists(f, t, x),
+        d,
+        pos,
+        neg,
+        product_budget,
+    )
+}
+
+/// [`qbe::cq_qbe_explain`] with the product-hom tests routed through
+/// `engine`'s cache and counters.
+pub fn cq_qbe_explain_with(
+    engine: &Engine,
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    product_budget: usize,
+) -> Result<Option<Cq>, QbeError> {
+    qbe::cq_qbe_explain_via(
+        &|f, t, x| engine.hom_exists(f, t, x),
+        d,
+        pos,
+        neg,
+        product_budget,
+    )
+}
+
+/// [`qbe::ghw_qbe_decide`] with the cover-game tests routed through
+/// `engine`'s cache and counters.
+pub fn ghw_qbe_decide_with(
+    engine: &Engine,
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    k: usize,
+    product_budget: usize,
+) -> Result<bool, QbeError> {
+    qbe::ghw_qbe_decide_via(
+        &|g, a, g2, b, kk| engine.cover_implies(g, a, g2, b, kk),
+        d,
+        pos,
+        neg,
+        k,
+        product_budget,
+    )
+}
+
+/// [`qbe::ghw_qbe_explain`] under an engine. Extraction unfolds
+/// Spoiler's strategy from the *analyzed game*, which a verdict cache
+/// cannot supply, so the games here run uncached regardless of the
+/// engine's configuration; the engine parameter exists for call-site
+/// uniformity and future instrumentation.
+pub fn ghw_qbe_explain_with(
+    _engine: &Engine,
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    k: usize,
+    product_budget: usize,
+    extract_budget: usize,
+) -> Result<Option<Cq>, QbeError> {
+    qbe::ghw_qbe_explain(d, pos, neg, k, product_budget, extract_budget)
+}
+
+/// [`qbe::cqm_qbe`] with the candidate scan fanned out under `engine`'s
+/// thread budget. Returns the same (lowest-index) first acceptable
+/// candidate as the sequential enumeration.
+pub fn cqm_qbe_with(
+    engine: &Engine,
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    config: &EnumConfig,
+) -> Option<Cq> {
+    let candidates = qbe::cqm_qbe_candidates(d, config);
+    engine
+        .par_find_first(&candidates, |q| qbe::cqm_qbe_accepts(q, d, pos, neg))
+        .map(|i| candidates[i].clone())
+}
+
+/// [`linsep::separate`] counted against `engine`'s LP counters.
+pub fn separate_with(
+    engine: &Engine,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+) -> Option<LinearClassifier> {
+    engine.separate(vectors, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::{DbBuilder, Schema};
+
+    fn graph(edges: &[(&str, &str)], entities: &[&str]) -> Database {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        let mut b = DbBuilder::new(s);
+        for &(x, y) in edges {
+            b = b.fact("E", &[x, y]);
+        }
+        for &e in entities {
+            b = b.entity(e);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fresh_engine_starts_at_zero_and_counts_its_own_work() {
+        let e = Engine::new();
+        assert_eq!(
+            e.stats(),
+            EngineStats {
+                lp: LpStats {
+                    bignum_promotions: e.stats().lp.bignum_promotions,
+                    ..LpStats::default()
+                },
+                ..EngineStats::default()
+            }
+        );
+        let p = graph(&[("a", "b"), ("b", "c")], &[]);
+        let c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")], &[]);
+        assert!(e.hom_exists(&p, &c3, &[]));
+        assert!(e.hom_exists(&p, &c3, &[]));
+        let st = e.stats();
+        assert_eq!((st.hom.cache_hits, st.hom.cache_misses), (1, 1));
+        assert_eq!(st.hom.solves, 1);
+        assert!(st.hom.nodes_expanded >= 1);
+        // The game and LP layers saw nothing.
+        assert_eq!(st.game, GameStats::default());
+        assert_eq!(st.lp.lps_solved, 0);
+    }
+
+    #[test]
+    fn no_cache_engine_recomputes_every_query() {
+        let e = Engine::new().without_cache();
+        assert!(!e.caching_enabled());
+        let p = graph(&[("a", "b"), ("b", "c")], &[]);
+        let c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")], &[]);
+        assert!(e.hom_exists(&p, &c3, &[]));
+        assert!(e.hom_exists(&p, &c3, &[]));
+        let a = c3.val_by_name("x").unwrap();
+        let one = p.val_by_name("a").unwrap();
+        assert_eq!(
+            e.cover_implies(&c3, &[a], &p, &[one], 1),
+            covergame::cover_implies(&c3, &[a], &p, &[one], 1)
+        );
+        e.cover_implies(&c3, &[a], &p, &[one], 1);
+        let st = e.stats();
+        // Every query is a miss and a fresh solve; nothing is memoized.
+        assert_eq!((st.hom.cache_hits, st.hom.cache_misses), (0, 2));
+        assert_eq!(st.hom.solves, 2);
+        assert_eq!((st.game.cache_hits, st.game.cache_misses), (0, 2));
+        assert_eq!(st.game.games_solved, 2);
+        assert!(e.hom_cache().is_empty());
+        assert!(e.game_cache().is_empty());
+    }
+
+    #[test]
+    fn thread_budget_is_recorded_and_results_unchanged() {
+        let seq = Engine::new().with_threads(1);
+        let par = Engine::new().with_threads(8);
+        assert_eq!(seq.thread_budget(), Some(1));
+        let items: Vec<usize> = (0..100).collect();
+        assert_eq!(
+            seq.par_map(&items, |&x| x * 3),
+            par.par_map(&items, |&x| x * 3)
+        );
+        assert_eq!(
+            seq.par_find_first(&items, |&x| x > 42),
+            par.par_find_first(&items, |&x| x > 42)
+        );
+    }
+
+    #[test]
+    fn preorder_matches_the_reference_sweep() {
+        let d = graph(
+            &[("1", "2"), ("2", "3"), ("a", "b"), ("b", "a")],
+            &["1", "2", "3", "a", "b"],
+        );
+        let e = Engine::new();
+        for k in 1..=2 {
+            let ours = e.preorder(&d, &d.entities(), k);
+            let reference = CoverPreorder::compute_seq(&d, &d.entities(), k);
+            assert_eq!(ours.leq, reference.leq, "k={k}");
+            assert_eq!(ours.class_of, reference.class_of, "k={k}");
+        }
+        // n² − n games, all misses on a fresh table.
+        let st = e.stats();
+        assert_eq!(st.game.cache_misses, 2 * (25 - 5));
+    }
+
+    #[test]
+    fn chain_vector_for_matches_classes_impl() {
+        let d = graph(&[("1", "2"), ("2", "3")], &["1", "2", "3"]);
+        let e = Engine::new();
+        let pre = e.preorder(&d, &d.entities(), 1);
+        for &f in &pre.elems {
+            assert_eq!(
+                e.chain_vector_for(&pre, &d, &d, f),
+                pre.chain_vector_for_with(&d, &d, f, e.game_cache())
+            );
+        }
+    }
+
+    #[test]
+    fn separate_counts_into_the_engine() {
+        let e = Engine::new();
+        let vs = vec![vec![1, 1], vec![-1, -1]];
+        assert!(e.separate(&vs, &[1, -1]).is_some());
+        let dup = vec![vec![1, -1], vec![1, -1]];
+        assert!(e.separate(&dup, &[1, -1]).is_none());
+        let st = e.stats();
+        assert_eq!(st.lp.perceptron_hits, 1);
+        assert_eq!(st.lp.conflict_prunes, 1);
+        assert_eq!(st.lp.lps_solved, 0);
+    }
+
+    #[test]
+    fn unified_report_embeds_all_three_sections() {
+        let e = Engine::new();
+        let r = e.stats().report();
+        for needle in [
+            "engine stats",
+            "restored cache entries",
+            "hom engine stats",
+            "nodes expanded",
+            "cover-game engine stats",
+            "games solved",
+            "fixpoint sweeps",
+            "lp engine stats",
+            "simplex pivots",
+            "bignum promotions",
+        ] {
+            assert!(r.contains(needle), "missing {needle:?} in {r}");
+        }
+    }
+
+    #[test]
+    fn reset_zeroes_engine_counters() {
+        let e = Engine::new();
+        let p = graph(&[("a", "b")], &[]);
+        let c2 = graph(&[("x", "y"), ("y", "x")], &[]);
+        e.hom_exists(&p, &c2, &[]);
+        e.reset_stats();
+        let st = e.stats();
+        assert_eq!(st.hom, HomStats::default());
+        assert_eq!(st.game, GameStats::default());
+        assert_eq!(st.restored_entries, 0);
+        // The table survives a stats reset: next query is a hit.
+        e.hom_exists(&p, &c2, &[]);
+        assert_eq!(e.stats().hom.cache_hits, 1);
+    }
+
+    #[test]
+    fn qbe_wrappers_agree_with_plain_entry_points() {
+        let d = graph(
+            &[("a", "b"), ("b", "c"), ("c", "a"), ("p", "q"), ("q", "r")],
+            &["a", "b", "p"],
+        );
+        let (a, b, p) = (
+            d.val_by_name("a").unwrap(),
+            d.val_by_name("b").unwrap(),
+            d.val_by_name("p").unwrap(),
+        );
+        let e = Engine::new();
+        assert_eq!(
+            cq_qbe_decide_with(&e, &d, &[a, b], &[p], 100_000),
+            qbe::cq_qbe_decide(&d, &[a, b], &[p], 100_000)
+        );
+        assert_eq!(
+            ghw_qbe_decide_with(&e, &d, &[a, b], &[p], 1, 100_000),
+            qbe::ghw_qbe_decide(&d, &[a, b], &[p], 1, 100_000)
+        );
+        let cfg = EnumConfig::cqm(1);
+        assert_eq!(
+            cqm_qbe_with(&e, &d, &[a, b], &[p], &cfg),
+            qbe::cqm_qbe(&d, &[a, b], &[p], &cfg)
+        );
+        // The hom/game tests went through the engine's caches.
+        let st = e.stats();
+        assert!(st.hom.cache_misses >= 1);
+        assert!(st.game.cache_misses >= 1);
+    }
+}

@@ -1,0 +1,256 @@
+//! On-disk persistence for an [`Engine`](crate::Engine)'s verdict tables.
+//!
+//! Cache keys are built from [`relational::Database::fingerprint`] —
+//! a *content* hash — so a persisted verdict is valid in any later
+//! process that constructs a database with the same facts, regardless of
+//! allocation order or process identity. That makes the tables safe to
+//! ship between runs: a warm start is `Engine::load(dir)` before the
+//! solve, `Engine::save(dir)` after.
+//!
+//! # Format
+//!
+//! Two files under the cache directory, one per table, each a simple
+//! versioned little-endian binary dump:
+//!
+//! ```text
+//! hom.cache:   "CQSEPCH1" | u64 count | count × entry
+//!     entry:   u128 from_fp | u128 to_fp | u32 npairs
+//!              | npairs × (u32 from_val, u32 to_val) | u8 verdict
+//! game.cache:  "CQSEPCG1" | u64 count | count × entry
+//!     entry:   u128 d_fp | u128 d2_fp | u32 na | na × u32
+//!              | u32 nb | nb × u32 | u32 k | u8 verdict
+//! ```
+//!
+//! Verdict bytes are strictly `0`/`1`. Loading is all-or-nothing per
+//! file: a missing file, wrong magic, truncated entry, trailing garbage,
+//! or invalid verdict byte discards that file's table entirely (a *cold*
+//! start for that layer) rather than importing a prefix of unknown
+//! integrity. Saving writes a temp file in the target directory and
+//! renames it into place, so a crash mid-save cannot clobber a previous
+//! good table.
+
+use crate::Engine;
+use relational::Val;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// File names within a cache directory.
+pub const HOM_FILE: &str = "hom.cache";
+pub const GAME_FILE: &str = "game.cache";
+
+const HOM_MAGIC: [u8; 8] = *b"CQSEPCH1";
+const GAME_MAGIC: [u8; 8] = *b"CQSEPCG1";
+
+/// What [`Engine::load`](crate::Engine::load) found in a cache
+/// directory. A corrupted or missing table reports zero entries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RestoreSummary {
+    /// Hom-existence verdicts imported.
+    pub hom_entries: u64,
+    /// Cover-game verdicts imported.
+    pub game_entries: u64,
+}
+
+impl RestoreSummary {
+    /// Total verdicts imported across both tables.
+    pub fn total(&self) -> u64 {
+        self.hom_entries + self.game_entries
+    }
+}
+
+pub(crate) fn save(engine: &Engine, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    write_atomic(&dir.join(HOM_FILE), &encode_hom(engine))?;
+    write_atomic(&dir.join(GAME_FILE), &encode_game(engine))?;
+    Ok(())
+}
+
+pub(crate) fn load(engine: &Engine, dir: &Path) -> io::Result<RestoreSummary> {
+    let mut summary = RestoreSummary::default();
+    if let Some(entries) = fs::read(dir.join(HOM_FILE)).ok().and_then(decode_hom) {
+        summary.hom_entries = entries.len() as u64;
+        for (from_fp, to_fp, fixed, ans) in entries {
+            engine.hom_cache().import_entry(from_fp, to_fp, fixed, ans);
+        }
+    }
+    if let Some(entries) = fs::read(dir.join(GAME_FILE)).ok().and_then(decode_game) {
+        summary.game_entries = entries.len() as u64;
+        for (d_fp, d2_fp, a, b, k, ans) in entries {
+            engine.game_cache().import_entry(d_fp, d2_fp, a, b, k, ans);
+        }
+    }
+    Ok(summary)
+}
+
+/// Write `bytes` to `path` via a sibling temp file and an atomic rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    fs::write(tmp, bytes)?;
+    fs::rename(tmp, path)
+}
+
+fn encode_hom(engine: &Engine) -> Vec<u8> {
+    let entries = engine.hom_cache().export_entries();
+    let mut out = Vec::new();
+    out.extend_from_slice(&HOM_MAGIC);
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (from_fp, to_fp, fixed, ans) in entries {
+        out.extend_from_slice(&from_fp.to_le_bytes());
+        out.extend_from_slice(&to_fp.to_le_bytes());
+        out.extend_from_slice(&(fixed.len() as u32).to_le_bytes());
+        for (a, b) in fixed {
+            out.extend_from_slice(&a.0.to_le_bytes());
+            out.extend_from_slice(&b.0.to_le_bytes());
+        }
+        out.push(ans as u8);
+    }
+    out
+}
+
+fn encode_game(engine: &Engine) -> Vec<u8> {
+    let entries = engine.game_cache().export_entries();
+    let mut out = Vec::new();
+    out.extend_from_slice(&GAME_MAGIC);
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (d_fp, d2_fp, a, b, k, ans) in entries {
+        out.extend_from_slice(&d_fp.to_le_bytes());
+        out.extend_from_slice(&d2_fp.to_le_bytes());
+        out.extend_from_slice(&(a.len() as u32).to_le_bytes());
+        for v in a {
+            out.extend_from_slice(&v.0.to_le_bytes());
+        }
+        out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        for v in b {
+            out.extend_from_slice(&v.0.to_le_bytes());
+        }
+        out.extend_from_slice(&(k as u32).to_le_bytes());
+        out.push(ans as u8);
+    }
+    out
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_hom(bytes: Vec<u8>) -> Option<Vec<(u128, u128, Vec<(Val, Val)>, bool)>> {
+    let mut r = Reader::with_magic(&bytes, &HOM_MAGIC)?;
+    let count = r.u64()?;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let from_fp = r.u128()?;
+        let to_fp = r.u128()?;
+        let npairs = r.u32()?;
+        let mut fixed = Vec::new();
+        for _ in 0..npairs {
+            fixed.push((Val(r.u32()?), Val(r.u32()?)));
+        }
+        out.push((from_fp, to_fp, fixed, r.verdict()?));
+    }
+    r.finished().then_some(out)
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_game(bytes: Vec<u8>) -> Option<Vec<(u128, u128, Vec<Val>, Vec<Val>, usize, bool)>> {
+    let mut r = Reader::with_magic(&bytes, &GAME_MAGIC)?;
+    let count = r.u64()?;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let d_fp = r.u128()?;
+        let d2_fp = r.u128()?;
+        let a = r.val_vec()?;
+        let b = r.val_vec()?;
+        let k = r.u32()? as usize;
+        out.push((d_fp, d2_fp, a, b, k, r.verdict()?));
+    }
+    r.finished().then_some(out)
+}
+
+/// A bounds-checked little-endian cursor. Every accessor returns `None`
+/// on underrun, so corrupted length fields fail cleanly instead of
+/// panicking or over-allocating (vectors grow one element per 4–8 bytes
+/// actually present in the buffer).
+struct Reader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn with_magic(bytes: &'a [u8], magic: &[u8; 8]) -> Option<Reader<'a>> {
+        let rest = bytes.strip_prefix(magic.as_slice())?;
+        Some(Reader { rest })
+    }
+
+    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+        let (head, tail) = self.rest.split_at_checked(N)?;
+        self.rest = tail;
+        head.try_into().ok()
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take().map(u32::from_le_bytes)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take().map(u64::from_le_bytes)
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        self.take().map(u128::from_le_bytes)
+    }
+
+    fn verdict(&mut self) -> Option<bool> {
+        match self.take::<1>()? {
+            [0] => Some(false),
+            [1] => Some(true),
+            _ => None,
+        }
+    }
+
+    fn val_vec(&mut self) -> Option<Vec<Val>> {
+        let n = self.u32()?;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(Val(self.u32()?));
+        }
+        Some(out)
+    }
+
+    /// All bytes consumed? Trailing garbage means the count field and the
+    /// payload disagree — treated as corruption by the decoders.
+    fn finished(&self) -> bool {
+        self.rest.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_rejects_bad_magic_and_underruns() {
+        assert!(Reader::with_magic(b"NOTMAGIC", &HOM_MAGIC).is_none());
+        let mut ok = HOM_MAGIC.to_vec();
+        ok.extend_from_slice(&3u64.to_le_bytes());
+        let mut r = Reader::with_magic(&ok, &HOM_MAGIC).unwrap();
+        assert_eq!(r.u64(), Some(3));
+        assert_eq!(r.u32(), None, "underrun must fail, not panic");
+    }
+
+    #[test]
+    fn verdict_bytes_are_strict() {
+        let mut buf = HOM_MAGIC.to_vec();
+        buf.push(2);
+        let mut r = Reader::with_magic(&buf, &HOM_MAGIC).unwrap();
+        assert_eq!(r.verdict(), None);
+    }
+
+    #[test]
+    fn trailing_garbage_is_corruption() {
+        let mut buf = HOM_MAGIC.to_vec();
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert_eq!(decode_hom(buf.clone()).map(|v| v.len()), Some(0));
+        buf.push(0xFF);
+        assert_eq!(decode_hom(buf), None);
+    }
+}

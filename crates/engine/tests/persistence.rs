@@ -1,0 +1,152 @@
+//! Save → load → warm-hit round trips for the persisted verdict tables,
+//! including the corruption fallbacks: a damaged or truncated cache file
+//! must degrade to a cold start, never to a wrong answer or a panic.
+
+use engine::persist::{GAME_FILE, HOM_FILE};
+use engine::Engine;
+use relational::{Database, DbBuilder, Schema, Val};
+use std::fs;
+use std::path::PathBuf;
+
+/// A scratch directory unique to this test process + name, cleaned up on
+/// drop so reruns start fresh.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(name: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("cqsep-persist-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn graph(edges: &[(&str, &str)]) -> Database {
+    let mut s = Schema::entity_schema();
+    s.add_relation("E", 2);
+    let mut b = DbBuilder::new(s);
+    for &(x, y) in edges {
+        b = b.fact("E", &[x, y]);
+    }
+    b.build()
+}
+
+/// A workload touching both tables: 2 hom queries (one with fixed
+/// pairs), 2 game queries. Returns the verdicts for later comparison.
+fn run_workload(e: &Engine) -> Vec<bool> {
+    let p = graph(&[("a", "b"), ("b", "c")]);
+    let c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")]);
+    let (a, x) = (p.val_by_name("a").unwrap(), c3.val_by_name("x").unwrap());
+    let pa: Vec<Val> = vec![a];
+    let cx: Vec<Val> = vec![x];
+    vec![
+        e.hom_exists(&p, &c3, &[]),
+        e.hom_exists(&p, &c3, &[(a, x)]),
+        e.cover_implies(&p, &pa, &c3, &cx, 1),
+        e.cover_implies(&c3, &cx, &p, &pa, 1),
+    ]
+}
+
+#[test]
+fn save_load_round_trip_starts_warm() {
+    let tmp = TempDir::new("roundtrip");
+    let first = Engine::new();
+    let verdicts = run_workload(&first);
+    let s1 = first.stats();
+    assert_eq!(s1.hom.cache_misses, 2);
+    assert_eq!(s1.game.cache_misses, 2);
+    first.save(&tmp.0).expect("save must succeed");
+
+    // A second process (modeled by a second engine) loads the tables and
+    // replays the workload entirely from cache: all hits, no solves.
+    let second = Engine::new();
+    let summary = second.load(&tmp.0).expect("load must succeed");
+    assert_eq!(summary.hom_entries, 2);
+    assert_eq!(summary.game_entries, 2);
+    assert_eq!(summary.total(), 4);
+    assert_eq!(run_workload(&second), verdicts);
+    let s2 = second.stats();
+    assert_eq!(s2.restored_entries, 4);
+    assert_eq!((s2.hom.cache_hits, s2.hom.cache_misses), (2, 0));
+    assert_eq!((s2.game.cache_hits, s2.game.cache_misses), (2, 0));
+    assert_eq!(s2.hom.solves, 0, "warm start must run no searches");
+    assert_eq!(s2.game.games_solved, 0, "warm start must run no analyses");
+}
+
+#[test]
+fn missing_directory_is_a_cold_start() {
+    let tmp = TempDir::new("missing");
+    let e = Engine::new();
+    let summary = e.load(&tmp.0.join("never-created")).unwrap();
+    assert_eq!(summary, Default::default());
+    assert_eq!(e.stats().restored_entries, 0);
+}
+
+#[test]
+fn corrupted_and_truncated_files_fall_back_to_cold() {
+    let tmp = TempDir::new("corrupt");
+    let first = Engine::new();
+    let verdicts = run_workload(&first);
+    first.save(&tmp.0).unwrap();
+
+    // Flip the magic on one table, truncate the other mid-entry.
+    let hom_path = tmp.0.join(HOM_FILE);
+    let mut bytes = fs::read(&hom_path).unwrap();
+    bytes[0] ^= 0xFF;
+    fs::write(&hom_path, &bytes).unwrap();
+    let game_path = tmp.0.join(GAME_FILE);
+    let game_bytes = fs::read(&game_path).unwrap();
+    fs::write(&game_path, &game_bytes[..game_bytes.len() - 3]).unwrap();
+
+    let second = Engine::new();
+    let summary = second.load(&tmp.0).unwrap();
+    assert_eq!(summary, Default::default(), "both tables must be discarded");
+    // Cold but correct: everything recomputes to the same verdicts.
+    assert_eq!(run_workload(&second), verdicts);
+    let s2 = second.stats();
+    assert_eq!(s2.restored_entries, 0);
+    assert_eq!(s2.hom.cache_misses, 2);
+    assert_eq!(s2.game.cache_misses, 2);
+}
+
+#[test]
+fn partial_corruption_keeps_the_intact_table() {
+    let tmp = TempDir::new("partial");
+    let first = Engine::new();
+    run_workload(&first);
+    first.save(&tmp.0).unwrap();
+    fs::write(tmp.0.join(GAME_FILE), b"garbage").unwrap();
+
+    let second = Engine::new();
+    let summary = second.load(&tmp.0).unwrap();
+    assert_eq!(summary.hom_entries, 2, "intact hom table must restore");
+    assert_eq!(summary.game_entries, 0, "damaged game table must not");
+    let s2 = second.stats();
+    assert_eq!(s2.restored_entries, 2);
+}
+
+#[test]
+fn save_overwrites_atomically_and_is_reloadable() {
+    let tmp = TempDir::new("resave");
+    let e = Engine::new();
+    run_workload(&e);
+    e.save(&tmp.0).unwrap();
+    // Grow the table and save again over the same directory.
+    let d = graph(&[("m", "n"), ("n", "m")]);
+    let d2 = graph(&[("s", "t")]);
+    e.hom_exists(&d, &d2, &[]);
+    e.save(&tmp.0).unwrap();
+    assert!(
+        !tmp.0.join(format!("{HOM_FILE}.tmp")).exists(),
+        "temp files must not linger after a successful save"
+    );
+    let reread = Engine::new();
+    let summary = reread.load(&tmp.0).unwrap();
+    assert_eq!(summary.hom_entries, 3);
+    assert_eq!(summary.game_entries, 2);
+}

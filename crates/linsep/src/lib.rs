@@ -35,8 +35,11 @@ pub mod simplex_big;
 pub mod stats;
 
 pub use classifier::LinearClassifier;
-pub use minerror::{min_error_classifier, MinErrorResult};
-pub use separate::{has_label_conflict, separate, separate_with_margin};
+pub use minerror::{min_error_classifier, min_error_classifier_counted, MinErrorResult};
+pub use separate::{
+    has_label_conflict, separate, separate_counted, separate_with_margin,
+    separate_with_margin_counted,
+};
 pub use simplex::{solve_lp, solve_lp_counted, LpOutcome};
 pub use simplex_big::{solve_lp_big, LpOutcomeBig};
-pub use stats::LpStats;
+pub use stats::{LpCounters, LpStats};

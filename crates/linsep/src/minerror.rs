@@ -16,7 +16,8 @@
 //! initial upper bound — when it happens to be separable it is optimal.
 
 use crate::classifier::LinearClassifier;
-use crate::separate::separate;
+use crate::separate::separate_counted;
+use crate::stats::{global_counters, LpCounters};
 use std::collections::HashMap;
 
 /// Result of [`min_error_classifier`].
@@ -37,6 +38,16 @@ pub struct MinErrorResult {
 /// (inherently so — the problem is NP-complete), which is what makes the
 /// paper's FPT claims work when the dimension is schema-bounded.
 pub fn min_error_classifier(vectors: &[Vec<i32>], labels: &[i32]) -> MinErrorResult {
+    min_error_classifier_counted(global_counters(), vectors, labels)
+}
+
+/// As [`min_error_classifier`], recording every internal LP decision into
+/// a caller-supplied counter set instead of the process-global one.
+pub fn min_error_classifier_counted(
+    counters: &LpCounters,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+) -> MinErrorResult {
     assert_eq!(vectors.len(), labels.len());
     if vectors.is_empty() {
         return MinErrorResult {
@@ -89,7 +100,7 @@ pub fn min_error_classifier(vectors: &[Vec<i32>], labels: &[i32]) -> MinErrorRes
         let cost: usize = (0..ntypes)
             .map(|t| if majority[t] == 1 { neg[t] } else { pos[t] })
             .sum();
-        if cost < best_cost && assignment_separable(&types, &majority) {
+        if cost < best_cost && assignment_separable(counters, &types, &majority) {
             best_cost = cost;
             best_assign = majority;
         }
@@ -104,6 +115,7 @@ pub fn min_error_classifier(vectors: &[Vec<i32>], labels: &[i32]) -> MinErrorRes
 
     let mut assign = vec![0i32; ntypes];
     branch(
+        counters,
         &types,
         &pos,
         &neg,
@@ -117,7 +129,8 @@ pub fn min_error_classifier(vectors: &[Vec<i32>], labels: &[i32]) -> MinErrorRes
     );
 
     // Realize the best assignment with an actual classifier.
-    let classifier = separate(
+    let classifier = separate_counted(
+        counters,
         &types.iter().map(|t| t.to_vec()).collect::<Vec<_>>(),
         &best_assign,
     )
@@ -141,6 +154,7 @@ pub fn min_error_classifier(vectors: &[Vec<i32>], labels: &[i32]) -> MinErrorRes
 
 #[allow(clippy::too_many_arguments)]
 fn branch(
+    counters: &LpCounters,
     types: &[&[i32]],
     pos: &[usize],
     neg: &[usize],
@@ -167,9 +181,11 @@ fn branch(
     for side in sides {
         let step = if side == 1 { neg[t] } else { pos[t] };
         assign[t] = side;
-        if cost + step + suffix_min[i + 1] < *best_cost && prefix_separable(types, order, i, assign)
+        if cost + step + suffix_min[i + 1] < *best_cost
+            && prefix_separable(counters, types, order, i, assign)
         {
             branch(
+                counters,
                 types,
                 pos,
                 neg,
@@ -186,24 +202,31 @@ fn branch(
     assign[t] = 0;
 }
 
-fn prefix_separable(types: &[&[i32]], order: &[usize], upto: usize, assign: &[i32]) -> bool {
+fn prefix_separable(
+    counters: &LpCounters,
+    types: &[&[i32]],
+    order: &[usize],
+    upto: usize,
+    assign: &[i32],
+) -> bool {
     let mut vs = Vec::with_capacity(upto + 1);
     let mut ys = Vec::with_capacity(upto + 1);
     for &t in &order[..=upto] {
         vs.push(types[t].to_vec());
         ys.push(assign[t]);
     }
-    separate(&vs, &ys).is_some()
+    separate_counted(counters, &vs, &ys).is_some()
 }
 
-fn assignment_separable(types: &[&[i32]], assign: &[i32]) -> bool {
+fn assignment_separable(counters: &LpCounters, types: &[&[i32]], assign: &[i32]) -> bool {
     let vs: Vec<Vec<i32>> = types.iter().map(|t| t.to_vec()).collect();
-    separate(&vs, assign).is_some()
+    separate_counted(counters, &vs, assign).is_some()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::separate::separate;
 
     #[test]
     fn separable_input_has_zero_errors() {

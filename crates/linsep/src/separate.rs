@@ -24,15 +24,28 @@
 //!    [`Rat`] arithmetic.
 
 use crate::classifier::LinearClassifier;
-use crate::simplex::{solve_lp, LpOutcome};
-use crate::stats;
+use crate::simplex::{solve_lp_counted, LpOutcome};
+use crate::stats::{global_counters, LpCounters};
 use numeric::{qint, Rat};
 use std::collections::HashMap;
 
 /// Find a linear classifier separating the examples, or `None` if they
-/// are not linearly separable. Exact.
+/// are not linearly separable. Exact. Counts against the process-global
+/// [`crate::stats`] counters; engine-threaded callers use
+/// [`separate_counted`].
 pub fn separate(vectors: &[Vec<i32>], labels: &[i32]) -> Option<LinearClassifier> {
     separate_with_margin(vectors, labels).map(|(c, _)| c)
+}
+
+/// As [`separate`], recording the decision (conflict prune, perceptron
+/// hit, or LP solve + pivots) into a caller-supplied counter set instead
+/// of the process-global one.
+pub fn separate_counted(
+    counters: &LpCounters,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+) -> Option<LinearClassifier> {
+    separate_with_margin_counted(counters, vectors, labels).map(|(c, _)| c)
 }
 
 /// Do identical vectors appear with opposite labels? If so no classifier
@@ -57,6 +70,16 @@ pub fn separate_with_margin(
     vectors: &[Vec<i32>],
     labels: &[i32],
 ) -> Option<(LinearClassifier, Rat)> {
+    separate_with_margin_counted(global_counters(), vectors, labels)
+}
+
+/// As [`separate_with_margin`], recording into a caller-supplied counter
+/// set instead of the process-global one.
+pub fn separate_with_margin_counted(
+    counters: &LpCounters,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+) -> Option<(LinearClassifier, Rat)> {
     assert_eq!(vectors.len(), labels.len(), "one label per vector");
     if vectors.is_empty() {
         return Some((LinearClassifier::new(qint(0), Vec::new()), qint(1)));
@@ -73,7 +96,7 @@ pub fn separate_with_margin(
 
     // Tier 1: refute duplicate-vector conflicts without any arithmetic.
     if has_label_conflict(vectors, labels) {
-        stats::record_conflict_prune();
+        counters.record_conflict_prune();
         return None;
     }
 
@@ -86,7 +109,7 @@ pub fn separate_with_margin(
                 .map(|v| v.as_slice())
                 .zip(labels.iter().copied())
         ));
-        stats::record_perceptron_hit();
+        counters.record_perceptron_hit();
         let margin = margin_of(&c_normalized(&c), vectors, labels);
         return Some((c, margin));
     }
@@ -133,7 +156,9 @@ pub fn separate_with_margin(
     let mut c = vec![Rat::zero(); nvars];
     c[n + 1] = qint(1);
 
-    match solve_lp(&a, &b, &c) {
+    let (outcome, pivots) = solve_lp_counted(&a, &b, &c);
+    counters.record_lp(pivots);
+    match outcome {
         LpOutcome::Optimal { x, value } => {
             let t = value - qint(n as i64 + 2);
             if !t.is_positive() {

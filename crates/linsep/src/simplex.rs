@@ -219,13 +219,17 @@ impl Tableau {
 /// `a` is row-major with `a.len() == b.len()` and each row of length
 /// `c.len()`. Bumps the global [`stats`] counters (one LP, its pivots).
 pub fn solve_lp(a: &[Vec<Rat>], b: &[Rat], c: &[Rat]) -> LpOutcome {
-    solve_lp_counted(a, b, c).0
+    let (out, pivots) = solve_lp_counted(a, b, c);
+    stats::record_lp(pivots);
+    out
 }
 
 /// As [`solve_lp`], also returning the number of tableau pivots the solve
-/// took. The count is returned *and* flushed to the global counters;
-/// having it in-band lets tests and benches assert on a single solve
-/// without racing other threads on the process-wide atomics.
+/// took — and *without* flushing any counters: the caller owns the
+/// accounting. Having the count in-band lets tests and benches assert on
+/// a single solve without racing other threads on the process-wide
+/// atomics, and lets per-engine counter sets attribute pivots to the
+/// engine that ran them (see `LpCounters`).
 pub fn solve_lp_counted(a: &[Vec<Rat>], b: &[Rat], c: &[Rat]) -> (LpOutcome, u64) {
     let m = a.len();
     let n = c.len();
@@ -294,7 +298,6 @@ pub fn solve_lp_counted(a: &[Vec<Rat>], b: &[Rat], c: &[Rat]) -> (LpOutcome, u64
         // Feasible iff all artificials are zero: the phase-1 optimum
         // (stored as obj[rhs], negated running value) must be 0.
         if !tab.obj[ncols - 1].is_zero() {
-            stats::record_lp(tab.pivots);
             return (LpOutcome::Infeasible, tab.pivots);
         }
         // Drive any artificial still basic (at value 0) out of the basis.
@@ -342,7 +345,6 @@ pub fn solve_lp_counted(a: &[Vec<Rat>], b: &[Rat], c: &[Rat]) -> (LpOutcome, u64
 
 fn finish(mut tab: Tableau, n: usize) -> (LpOutcome, u64) {
     if !tab.optimize() {
-        stats::record_lp(tab.pivots);
         return (LpOutcome::Unbounded, tab.pivots);
     }
     let rhs = tab.ncols - 1;
@@ -356,7 +358,6 @@ fn finish(mut tab: Tableau, n: usize) -> (LpOutcome, u64) {
     }
     // The objective row's RHS holds -(current value) relative to 0 start.
     let value = -&tab.obj[rhs];
-    stats::record_lp(tab.pivots);
     (LpOutcome::Optimal { x, value }, tab.pivots)
 }
 

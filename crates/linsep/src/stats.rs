@@ -15,29 +15,104 @@
 //! subset-search workers and aggregated without any locking.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-static LPS_SOLVED: AtomicU64 = AtomicU64::new(0);
-static SIMPLEX_PIVOTS: AtomicU64 = AtomicU64::new(0);
-static PERCEPTRON_HITS: AtomicU64 = AtomicU64::new(0);
-static CONFLICT_PRUNES: AtomicU64 = AtomicU64::new(0);
+/// A free-standing set of LP-engine counters — the per-engine twin of
+/// the process-global statics that used to live here. The legacy
+/// [`LpStats::snapshot`] path reads the [`global_counters`] instance;
+/// an isolated `Engine` owns its own instance and passes it to the
+/// `_counted` entry points ([`crate::separate::separate_counted`],
+/// [`crate::simplex::solve_lp_counted`] plus an explicit
+/// [`LpCounters::record_lp`]).
+///
+/// `bignum_promotions` is *not* tracked here: the hybrid rational's
+/// promotion counter lives in `numeric` and is inherently process-wide
+/// (promotions happen inside arithmetic with no engine in sight), so
+/// [`LpCounters::snapshot`] reports 0 for it and callers that want the
+/// figure fill it in from [`numeric::rat::promotion_count`].
+#[derive(Debug, Default)]
+pub struct LpCounters {
+    lps_solved: AtomicU64,
+    simplex_pivots: AtomicU64,
+    perceptron_hits: AtomicU64,
+    conflict_prunes: AtomicU64,
+}
+
+impl LpCounters {
+    pub fn new() -> LpCounters {
+        LpCounters::default()
+    }
+
+    /// Note one LP solve and the tableau pivots it took.
+    pub fn record_lp(&self, pivots: u64) {
+        self.lps_solved.fetch_add(1, Ordering::Relaxed);
+        self.simplex_pivots.fetch_add(pivots, Ordering::Relaxed);
+    }
+
+    /// Note a separation decided by the integer perceptron fast path.
+    pub fn record_perceptron_hit(&self) {
+        self.perceptron_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Note an instance (or column subset) refuted by the cheap
+    /// duplicate-vector/opposite-label conflict scan, skipping the LP
+    /// (and, in the subset search, the projection) entirely.
+    pub fn record_conflict_prune(&self) {
+        self.conflict_prunes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// These counters as an [`LpStats`] (with `bignum_promotions` 0 —
+    /// see the type-level note).
+    pub fn snapshot(&self) -> LpStats {
+        LpStats {
+            lps_solved: self.lps_solved.load(Ordering::Relaxed),
+            simplex_pivots: self.simplex_pivots.load(Ordering::Relaxed),
+            perceptron_hits: self.perceptron_hits.load(Ordering::Relaxed),
+            bignum_promotions: 0,
+            conflict_prunes: self.conflict_prunes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        for c in [
+            &self.lps_solved,
+            &self.simplex_pivots,
+            &self.perceptron_hits,
+            &self.conflict_prunes,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Arc<LpCounters>> = OnceLock::new();
+
+/// The process-wide counter set used by the legacy (engine-less) entry
+/// points and `Engine::global()`.
+pub fn global_counters() -> &'static LpCounters {
+    GLOBAL.get_or_init(|| Arc::new(LpCounters::new()))
+}
+
+/// The global counter set as a shared handle, so an `Engine` can co-own
+/// it.
+pub fn global_counters_arc() -> Arc<LpCounters> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(LpCounters::new())))
+}
 
 /// Flush one LP solve's worth of pivot counts (called by the solver).
 pub(crate) fn record_lp(pivots: u64) {
-    LPS_SOLVED.fetch_add(1, Ordering::Relaxed);
-    SIMPLEX_PIVOTS.fetch_add(pivots, Ordering::Relaxed);
-}
-
-/// Record a separation decided by the integer perceptron fast path.
-pub(crate) fn record_perceptron_hit() {
-    PERCEPTRON_HITS.fetch_add(1, Ordering::Relaxed);
+    global_counters().record_lp(pivots);
 }
 
 /// Record an instance (or column subset) refuted by the cheap
 /// duplicate-vector/opposite-label conflict scan, skipping the LP
 /// entirely. Public because the dimension-bounded subset search in
-/// `cqsep::sep_dim` runs the same pre-check before projecting columns.
+/// `cqsep::sep_dim` historically ran the same pre-check against the
+/// global counters; engine-threaded callers use
+/// [`LpCounters::record_conflict_prune`] instead.
 pub fn record_conflict_prune() {
-    CONFLICT_PRUNES.fetch_add(1, Ordering::Relaxed);
+    global_counters().record_conflict_prune();
 }
 
 /// A point-in-time aggregate of the LP engine counters.
@@ -59,14 +134,11 @@ pub struct LpStats {
 }
 
 impl LpStats {
-    /// Read all counters now.
+    /// Read all (process-global) counters now.
     pub fn snapshot() -> LpStats {
         LpStats {
-            lps_solved: LPS_SOLVED.load(Ordering::Relaxed),
-            simplex_pivots: SIMPLEX_PIVOTS.load(Ordering::Relaxed),
-            perceptron_hits: PERCEPTRON_HITS.load(Ordering::Relaxed),
             bignum_promotions: numeric::rat::promotion_count(),
-            conflict_prunes: CONFLICT_PRUNES.load(Ordering::Relaxed),
+            ..global_counters().snapshot()
         }
     }
 

@@ -5,7 +5,8 @@
 //! pointless LP work on refutable instances).
 
 use linsep::{
-    has_label_conflict, separate, separate_with_margin, solve_lp_counted, LpOutcome, LpStats,
+    has_label_conflict, separate, separate_counted, separate_with_margin, solve_lp_counted,
+    LpCounters, LpOutcome,
 };
 use numeric::qint;
 
@@ -27,18 +28,20 @@ fn single_row_is_separable_either_way() {
 
 #[test]
 fn duplicate_rows_with_opposite_labels_refute_without_pivoting() {
-    // The conflict scan must catch this before the perceptron or the LP:
-    // result is None and the prune counter moves while no pivot is
-    // attributable to it. (Counters are process-global and other tests
-    // run concurrently, so assert monotone deltas on the prune counter
-    // only — pivot counts are checked in-band below.)
+    // The conflict scan must catch this before the perceptron or the LP.
+    // An isolated counter set (nothing else in the process writes to it)
+    // makes the accounting exact: one prune, and no perceptron round,
+    // LP, or pivot attributable to the call at all.
     let vectors = vec![vec![1, 1, -1], vec![-1, 1, 1], vec![1, 1, -1]];
     let labels = vec![1, 1, -1];
     assert!(has_label_conflict(&vectors, &labels));
-    let before = LpStats::snapshot();
-    assert!(separate(&vectors, &labels).is_none());
-    let delta = LpStats::snapshot().since(&before);
-    assert!(delta.conflict_prunes >= 1, "delta={delta:?}");
+    let counters = LpCounters::new();
+    assert!(separate_counted(&counters, &vectors, &labels).is_none());
+    let delta = counters.snapshot();
+    assert_eq!(delta.conflict_prunes, 1, "delta={delta:?}");
+    assert_eq!(delta.perceptron_hits, 0, "delta={delta:?}");
+    assert_eq!(delta.lps_solved, 0, "delta={delta:?}");
+    assert_eq!(delta.simplex_pivots, 0, "delta={delta:?}");
 }
 
 #[test]

@@ -17,6 +17,17 @@ use relational::{Database, Val};
 /// entities for an explanation to exist (the paper's separability use
 /// case always is). Pass a plain schema to avoid the guard.
 pub fn cqm_qbe(d: &Database, pos: &[Val], neg: &[Val], config: &EnumConfig) -> Option<Cq> {
+    let candidates = cqm_qbe_candidates(d, config);
+    candidates
+        .into_iter()
+        .find(|q| cqm_qbe_accepts(q, d, pos, neg))
+}
+
+/// The candidate enumeration behind [`cqm_qbe`], in the order it scans
+/// them: `CQ[m]` queries over the relations populated in `D` (or the
+/// configured relation set). Exposed so parallel drivers can fan the
+/// per-candidate tests out while preserving the first-match order.
+pub fn cqm_qbe_candidates(d: &Database, config: &EnumConfig) -> Vec<Cq> {
     let rels = match &config.relations {
         Some(_) => config.clone(),
         None => {
@@ -29,19 +40,14 @@ pub fn cqm_qbe(d: &Database, pos: &[Val], neg: &[Val], config: &EnumConfig) -> O
             config.clone().over_relations(populated)
         }
     };
-    let candidates = enumerate_feature_queries(d.schema(), &rels);
-    for q in candidates {
-        let sel = evaluate_unary(&q, d);
-        let covers_pos = pos.iter().all(|p| sel.contains(p));
-        if !covers_pos {
-            continue;
-        }
-        let avoids_neg = neg.iter().all(|n| !sel.contains(n));
-        if avoids_neg {
-            return Some(q);
-        }
-    }
-    None
+    enumerate_feature_queries(d.schema(), &rels)
+}
+
+/// Does candidate `q` explain `(D, S⁺, S⁻)` — true on every positive,
+/// false on every negative? The per-candidate test of [`cqm_qbe`].
+pub fn cqm_qbe_accepts(q: &Cq, d: &Database, pos: &[Val], neg: &[Val]) -> bool {
+    let sel = evaluate_unary(q, d);
+    pos.iter().all(|p| sel.contains(p)) && neg.iter().all(|n| !sel.contains(n))
 }
 
 #[cfg(test)]

@@ -16,8 +16,35 @@ use covergame::{cover_implies, extract_distinguishing_query, ExtractError};
 use cq::Cq;
 use relational::{pointed_power, Database, Val};
 
+/// A `→_k` oracle: `game(d, ā, d2, b̄, k)` answers `(d, ā) →_k (d2, b̄)`.
+/// The plain entry points pass the raw fixpoint solver; an engine passes
+/// its cached lookup. Must be exact.
+pub type GameOracle<'o> = &'o (dyn Fn(&Database, &[Val], &Database, &[Val], usize) -> bool + Sync);
+
 /// Decide whether a `GHW(k)` explanation for `(D, S⁺, S⁻)` exists.
 pub fn ghw_qbe_decide(
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    k: usize,
+    product_budget: usize,
+) -> Result<bool, QbeError> {
+    ghw_qbe_decide_via(
+        &|g, a, g2, b, kk| cover_implies(g, a, g2, b, kk),
+        d,
+        pos,
+        neg,
+        k,
+        product_budget,
+    )
+}
+
+/// [`ghw_qbe_decide`] with the cover-game tests routed through a
+/// caller-supplied oracle. (There is no `_via` variant of
+/// [`ghw_qbe_explain`]: extraction unfolds Spoiler's strategy from the
+/// *analyzed game*, which a verdict oracle cannot supply.)
+pub fn ghw_qbe_decide_via(
+    game: GameOracle,
     d: &Database,
     pos: &[Val],
     neg: &[Val],
@@ -28,9 +55,7 @@ pub fn ghw_qbe_decide(
         return Err(QbeError::EmptyPositives);
     }
     let (p, point) = pointed_power(d, pos, product_budget)?;
-    Ok(neg
-        .iter()
-        .all(|&b| !cover_implies(&p, &[point], d, &[b], k)))
+    Ok(neg.iter().all(|&b| !game(&p, &[point], d, &[b], k)))
 }
 
 /// Produce a `GHW(k)` explanation, or `None` when none exists.

@@ -27,7 +27,9 @@ pub mod error;
 pub mod ghw;
 pub mod product_hom;
 
-pub use cqm::cqm_qbe;
+pub use cqm::{cqm_qbe, cqm_qbe_accepts, cqm_qbe_candidates};
 pub use error::QbeError;
-pub use ghw::{ghw_qbe_decide, ghw_qbe_explain};
-pub use product_hom::{cq_qbe_decide, cq_qbe_explain};
+pub use ghw::{ghw_qbe_decide, ghw_qbe_decide_via, ghw_qbe_explain, GameOracle};
+pub use product_hom::{
+    cq_qbe_decide, cq_qbe_decide_via, cq_qbe_explain, cq_qbe_explain_via, HomOracle,
+};

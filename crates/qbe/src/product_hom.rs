@@ -11,8 +11,34 @@ use crate::error::QbeError;
 use cq::Cq;
 use relational::{homomorphism_exists, pointed_power, Database, Val};
 
+/// A homomorphism-existence oracle: `hom(from, to, fixed)` answers
+/// "does a hom `from → to` extending `fixed` exist?". The plain entry
+/// points pass the raw solver; an engine passes its (possibly cached,
+/// possibly deliberately uncached) lookup so product-hom tests share its
+/// memo table and counters. The oracle must be exact — QBE correctness
+/// rides on it.
+pub type HomOracle<'o> = &'o (dyn Fn(&Database, &Database, &[(Val, Val)]) -> bool + Sync);
+
 /// Decide whether a CQ explanation for `(D, S⁺, S⁻)` exists.
 pub fn cq_qbe_decide(
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    product_budget: usize,
+) -> Result<bool, QbeError> {
+    cq_qbe_decide_via(
+        &|f, t, x| homomorphism_exists(f, t, x),
+        d,
+        pos,
+        neg,
+        product_budget,
+    )
+}
+
+/// [`cq_qbe_decide`] with the homomorphism tests routed through a
+/// caller-supplied oracle.
+pub fn cq_qbe_decide_via(
+    hom: HomOracle,
     d: &Database,
     pos: &[Val],
     neg: &[Val],
@@ -22,9 +48,7 @@ pub fn cq_qbe_decide(
         return Err(QbeError::EmptyPositives);
     }
     let (p, point) = pointed_power(d, pos, product_budget)?;
-    Ok(neg
-        .iter()
-        .all(|&b| !homomorphism_exists(&p, d, &[(point, b)])))
+    Ok(neg.iter().all(|&b| !hom(&p, d, &[(point, b)])))
 }
 
 /// Produce a CQ explanation, or `None` if none exists. The returned query
@@ -36,12 +60,30 @@ pub fn cq_qbe_explain(
     neg: &[Val],
     product_budget: usize,
 ) -> Result<Option<Cq>, QbeError> {
+    cq_qbe_explain_via(
+        &|f, t, x| homomorphism_exists(f, t, x),
+        d,
+        pos,
+        neg,
+        product_budget,
+    )
+}
+
+/// [`cq_qbe_explain`] with the homomorphism tests routed through a
+/// caller-supplied oracle.
+pub fn cq_qbe_explain_via(
+    hom: HomOracle,
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    product_budget: usize,
+) -> Result<Option<Cq>, QbeError> {
     if pos.is_empty() {
         return Err(QbeError::EmptyPositives);
     }
     let (p, point) = pointed_power(d, pos, product_budget)?;
     for &b in neg {
-        if homomorphism_exists(&p, d, &[(point, b)]) {
+        if hom(&p, d, &[(point, b)]) {
             return Ok(None);
         }
     }

@@ -21,6 +21,23 @@ pub mod cache;
 pub mod par;
 pub mod stats;
 
+/// Per-search instrumentation returned by the `_counted` entry points so
+/// callers holding their own counter sets (e.g. a per-engine cache) can
+/// attribute work without reading the process-global [`stats`] module.
+///
+/// `solves` is 1 when a full backtracking search actually ran and 0 when
+/// the query short-circuited before one started (contradictory fixes,
+/// out-of-domain constraints, an empty candidate set at setup, or no
+/// variables at all) — mirroring exactly which paths flush the global
+/// counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchCounts {
+    pub solves: u64,
+    pub nodes: u64,
+    pub wipeouts: u64,
+    pub backtracks: u64,
+}
+
 /// A configured homomorphism search from one database to another.
 ///
 /// "Variables" are the elements of `dom(from)` that occur in facts, plus
@@ -68,6 +85,14 @@ impl<'a> HomSearch<'a> {
         self.solve(&mut |_| true)
     }
 
+    /// Like [`HomSearch::exists`], but also returns the search-effort
+    /// counters of this query so the caller can do per-instance
+    /// accounting. The process-global [`stats`] module is still updated,
+    /// exactly as for `exists`.
+    pub fn exists_counted(&self) -> (bool, SearchCounts) {
+        self.solve_counted(&mut |_| true)
+    }
+
     /// Find one homomorphism as a map over the constrained elements.
     pub fn find(&self) -> Option<HashMap<Val, Val>> {
         let mut found = None;
@@ -97,8 +122,19 @@ impl<'a> HomSearch<'a> {
     /// Core search. `on_solution` receives each solution; returning `true`
     /// stops the search. Returns whether any solution was found.
     fn solve(&self, on_solution: &mut dyn FnMut(HashMap<Val, Val>) -> bool) -> bool {
+        self.solve_counted(on_solution).0
+    }
+
+    /// [`HomSearch::solve`] plus the per-query effort counters. Early
+    /// returns (before a search state is built) report zeroed counts and,
+    /// matching the historical behaviour, do not flush the global stats.
+    fn solve_counted(
+        &self,
+        on_solution: &mut dyn FnMut(HashMap<Val, Val>) -> bool,
+    ) -> (bool, SearchCounts) {
+        let counts = SearchCounts::default();
         if self.inconsistent {
-            return false;
+            return (false, counts);
         }
         // Collect variables: active elements plus fixed ones.
         let mut is_var = vec![false; self.from.dom_size()];
@@ -112,14 +148,14 @@ impl<'a> HomSearch<'a> {
                 // A constraint on an element outside dom(from) cannot be
                 // satisfied by any mapping — mirror the out-of-domain
                 // target convention below rather than indexing OOB.
-                return false;
+                return (false, counts);
             }
             is_var[a.index()] = true;
         }
         let vars: Vec<Val> = self.from.dom().filter(|v| is_var[v.index()]).collect();
         if vars.is_empty() {
             // The empty homomorphism: vacuously valid even into an empty DB.
-            return on_solution(HashMap::new());
+            return (on_solution(HashMap::new()), counts);
         }
 
         // Initial candidate sets with node consistency.
@@ -128,7 +164,7 @@ impl<'a> HomSearch<'a> {
         for &v in &vars {
             if let Some(&b) = self.fixed.get(&v) {
                 if b.index() >= self.to.dom_size() {
-                    return false;
+                    return (false, counts);
                 }
                 cand[v.index()] = vec![b];
                 continue;
@@ -149,7 +185,7 @@ impl<'a> HomSearch<'a> {
             for (rel, pos) in occurrences {
                 cs.retain(|&d| !self.to.facts_with(rel, pos, d).is_empty());
                 if cs.is_empty() {
-                    return false;
+                    return (false, counts);
                 }
             }
             cand[v.index()] = cs;
@@ -167,8 +203,14 @@ impl<'a> HomSearch<'a> {
             backtracks: 0,
         };
         let found = state.backtrack(on_solution);
+        let counts = SearchCounts {
+            solves: 1,
+            nodes: state.nodes,
+            wipeouts: state.wipeouts,
+            backtracks: state.backtracks,
+        };
         stats::record_search(state.nodes, state.wipeouts, state.backtracks);
-        found
+        (found, counts)
     }
 }
 
@@ -335,6 +377,21 @@ pub fn homomorphism_exists(from: &Database, to: &Database, fixed: &[(Val, Val)])
         .iter()
         .fold(HomSearch::new(from, to), |s, &(a, b)| s.fix(a, b))
         .exists()
+}
+
+/// [`homomorphism_exists`] plus this query's [`SearchCounts`], for callers
+/// doing per-instance accounting (the memo caches use this on their miss
+/// paths). Global stats are still flushed exactly as for the uncounted
+/// form.
+pub fn homomorphism_exists_counted(
+    from: &Database,
+    to: &Database,
+    fixed: &[(Val, Val)],
+) -> (bool, SearchCounts) {
+    fixed
+        .iter()
+        .fold(HomSearch::new(from, to), |s, &(a, b)| s.fix(a, b))
+        .exists_counted()
 }
 
 /// Find a homomorphism `from → to` extending the given fixed pairs.

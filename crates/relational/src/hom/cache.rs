@@ -29,12 +29,13 @@
 //! are simply recomputed (and re-memoized) on the next query; eviction
 //! can never change an answer.
 
-use super::homomorphism_exists;
+use super::stats::HomStats;
+use super::{homomorphism_exists_counted, SearchCounts};
 use crate::database::Database;
 use crate::ids::Val;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Shard count; a small power of two comfortably above typical worker
 /// counts so lock contention stays negligible.
@@ -72,6 +73,17 @@ pub struct HomCache {
     per_shard_cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    // Per-cache search-effort counters, bumped only by searches this
+    // cache itself ran (its miss and uncached paths). Together with
+    // hits/misses these make a cache a self-contained stats domain, so
+    // an isolated `Engine` can attribute work without touching the
+    // process-global `stats` module (which the solvers still flush).
+    searches: AtomicU64,
+    nodes: AtomicU64,
+    wipeouts: AtomicU64,
+    backtracks: AtomicU64,
+    /// Entries imported from a persisted table (see `import_entry`).
+    restored: AtomicU64,
 }
 
 impl HomCache {
@@ -89,7 +101,19 @@ impl HomCache {
             per_shard_cap: (capacity / SHARDS).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            searches: AtomicU64::new(0),
+            nodes: AtomicU64::new(0),
+            wipeouts: AtomicU64::new(0),
+            backtracks: AtomicU64::new(0),
+            restored: AtomicU64::new(0),
         }
+    }
+
+    fn note_search(&self, c: &SearchCounts) {
+        self.searches.fetch_add(c.solves, Ordering::Relaxed);
+        self.nodes.fetch_add(c.nodes, Ordering::Relaxed);
+        self.wipeouts.fetch_add(c.wipeouts, Ordering::Relaxed);
+        self.backtracks.fetch_add(c.backtracks, Ordering::Relaxed);
     }
 
     /// Memoized [`homomorphism_exists`]: does a hom `from → to` extending
@@ -127,8 +151,27 @@ impl HomCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Search with the lock released; the solve can be exponential and
         // must not serialize unrelated lookups on this shard.
-        let ans = homomorphism_exists(from, to, &key.2);
+        let (ans, counts) = homomorphism_exists_counted(from, to, &key.2);
+        self.note_search(&counts);
         shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
+        ans
+    }
+
+    /// [`HomCache::exists`] minus the memo table: the query is normalized
+    /// and counted against this cache's miss/search counters, but the
+    /// table is neither consulted nor updated. This is the `no_cache`
+    /// execution mode of an engine — same verdicts, same accounting
+    /// shape, no memoization.
+    pub fn exists_uncached(&self, from: &Database, to: &Database, fixed: &[(Val, Val)]) -> bool {
+        let mut norm: Vec<(Val, Val)> = fixed.to_vec();
+        norm.sort_unstable();
+        norm.dedup();
+        if norm.windows(2).any(|w| w[0].0 == w[1].0) {
+            return false;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (ans, counts) = homomorphism_exists_counted(from, to, &norm);
+        self.note_search(&counts);
         ans
     }
 
@@ -182,6 +225,67 @@ impl HomCache {
             g.prev.clear();
         }
     }
+
+    /// This cache's own counters as a [`HomStats`]: search effort from
+    /// its miss/uncached paths plus its hit/miss counts. Unlike
+    /// [`HomStats::snapshot`], which reads the process-global counters,
+    /// this is attributable to exactly the queries routed through this
+    /// cache instance.
+    pub fn stats(&self) -> HomStats {
+        HomStats {
+            solves: self.searches.load(Ordering::Relaxed),
+            nodes_expanded: self.nodes.load(Ordering::Relaxed),
+            forward_check_wipeouts: self.wipeouts.load(Ordering::Relaxed),
+            backtracks: self.backtracks.load(Ordering::Relaxed),
+            cache_hits: self.hits(),
+            cache_misses: self.misses(),
+        }
+    }
+
+    /// Zero every counter (the memo table itself is untouched).
+    pub fn reset_stats(&self) {
+        for c in [
+            &self.hits,
+            &self.misses,
+            &self.searches,
+            &self.nodes,
+            &self.wipeouts,
+            &self.backtracks,
+            &self.restored,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries imported from a persisted table since the last
+    /// [`HomCache::reset_stats`].
+    pub fn restored(&self) -> u64 {
+        self.restored.load(Ordering::Relaxed)
+    }
+
+    /// Dump every memoized entry for persistence. Fixed pairs come out in
+    /// their normalized (sorted, deduplicated) key form.
+    #[allow(clippy::type_complexity)]
+    pub fn export_entries(&self) -> Vec<(u128, u128, Vec<(Val, Val)>, bool)> {
+        let mut out = Vec::new();
+        for s in &self.shards {
+            let g = s.lock().unwrap();
+            for (k, &ans) in g.cur.iter().chain(g.prev.iter()) {
+                out.push((k.0, k.1, k.2.clone(), ans));
+            }
+        }
+        out
+    }
+
+    /// Insert one persisted entry. Fingerprints are content hashes, so a
+    /// restored verdict is valid for any database with the same content;
+    /// the import counts as neither a hit nor a miss, only as `restored`.
+    pub fn import_entry(&self, from_fp: u128, to_fp: u128, fixed: Vec<(Val, Val)>, ans: bool) {
+        let key: Key = (from_fp, to_fp, fixed);
+        let shard = &self.shards[Self::shard_of(&key)];
+        shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
+        self.restored.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl Default for HomCache {
@@ -190,10 +294,17 @@ impl Default for HomCache {
     }
 }
 
-/// The process-wide cache instance used by the separability pipelines.
+static GLOBAL: OnceLock<Arc<HomCache>> = OnceLock::new();
+
+/// The process-wide cache instance used by the legacy (engine-less)
+/// entry points and `Engine::global()`.
 pub fn global() -> &'static HomCache {
-    static GLOBAL: OnceLock<HomCache> = OnceLock::new();
-    GLOBAL.get_or_init(HomCache::new)
+    GLOBAL.get_or_init(|| Arc::new(HomCache::new()))
+}
+
+/// The global cache as a shared handle, so an `Engine` can co-own it.
+pub fn global_arc() -> Arc<HomCache> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(HomCache::new())))
 }
 
 /// Memoized [`homomorphism_exists`] through the [`global`] cache.

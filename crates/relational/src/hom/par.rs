@@ -19,13 +19,16 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread;
 
-/// Worker count for `n_items` independent tasks: the available
-/// parallelism, capped by the number of items.
-fn worker_count(n_items: usize) -> usize {
+/// Worker count for `n_items` independent tasks under an optional thread
+/// budget (an engine's configured cap): the available parallelism,
+/// capped by the budget and the number of items. `Some(0)` is treated as
+/// 1 — the drivers always make progress.
+fn worker_count_capped(n_items: usize, budget: Option<usize>) -> usize {
     let hw = thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    hw.min(n_items).max(1)
+    let cap = budget.unwrap_or(hw).max(1);
+    hw.min(cap).min(n_items).max(1)
 }
 
 /// Does `pred` hold for **all** pairs? Early-exits on the first
@@ -38,7 +41,18 @@ where
     B: Copy + Sync,
     F: Fn(A, B) -> bool + Sync,
 {
-    let workers = worker_count(pairs.len());
+    par_all_pairs_capped(pairs, None, pred)
+}
+
+/// [`par_all_pairs`] under an optional thread budget (`None` = all
+/// available cores).
+pub fn par_all_pairs_capped<A, B, F>(pairs: &[(A, B)], budget: Option<usize>, pred: F) -> bool
+where
+    A: Copy + Sync,
+    B: Copy + Sync,
+    F: Fn(A, B) -> bool + Sync,
+{
+    let workers = worker_count_capped(pairs.len(), budget);
     if workers <= 1 {
         return pairs.iter().all(|&(a, b)| pred(a, b));
     }
@@ -72,7 +86,18 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let workers = worker_count(items.len());
+    par_map_capped(items, None, f)
+}
+
+/// [`par_map`] under an optional thread budget (`None` = all available
+/// cores).
+pub fn par_map_capped<T, U, F>(items: &[T], budget: Option<usize>, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = worker_count_capped(items.len(), budget);
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -116,7 +141,17 @@ where
     T: Sync,
     F: Fn(&T) -> bool + Sync,
 {
-    let workers = worker_count(items.len());
+    par_find_first_capped(items, None, pred)
+}
+
+/// [`par_find_first`] under an optional thread budget (`None` = all
+/// available cores). Still returns the *lowest* matching index.
+pub fn par_find_first_capped<T, F>(items: &[T], budget: Option<usize>, pred: F) -> Option<usize>
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let workers = worker_count_capped(items.len(), budget);
     if workers <= 1 {
         return items.iter().position(pred);
     }

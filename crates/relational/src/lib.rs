@@ -36,7 +36,10 @@ pub use builder::DbBuilder;
 pub use database::{Database, Fact};
 pub use hom::cache::{exists_cached, HomCache};
 pub use hom::stats::HomStats;
-pub use hom::{find_homomorphism, hom_equivalent, homomorphism_exists, HomSearch};
+pub use hom::{
+    find_homomorphism, hom_equivalent, homomorphism_exists, homomorphism_exists_counted, HomSearch,
+    SearchCounts,
+};
 pub use ids::{RelId, Val};
 pub use labeling::{Label, Labeling, TrainingDb};
 pub use product::{pointed_power, ProductError};

@@ -1,15 +1,17 @@
 //! Offline stand-in for `serde`.
 //!
-//! Provides the `Serialize`/`Deserialize` *names* (trait declarations and
-//! no-op derive macros) so the workspace's derive annotations compile
-//! without network access. No serialization actually happens in-tree —
-//! the text formats in `relational::spec` and `cqsep::persist` are the
-//! real media; the derives exist for downstream interop only.
+//! Provides the `Serialize`/`Deserialize` marker traits and derive
+//! macros so the workspace's derive annotations compile without network
+//! access. The derives genuinely implement the marker traits for
+//! non-generic types (see `serde_derive`), so persistence structs can
+//! carry `T: Serialize` bounds; the actual encodings stay hand-written
+//! (the text formats in `relational::spec` and `cqsep::persist`, the
+//! binary cache tables in `engine::persist`).
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait; the no-op derive never implements it.
+/// Marker trait; implemented by the derive for non-generic types.
 pub trait Serialize {}
 
-/// Marker trait; the no-op derive never implements it.
+/// Marker trait; implemented by the derive for non-generic types.
 pub trait Deserialize<'de>: Sized {}

@@ -1,20 +1,55 @@
 //! Offline stand-in for `serde_derive`.
 //!
-//! The workspace derives `Serialize`/`Deserialize` purely for downstream
-//! interop; nothing in-tree serializes through serde (the text formats in
-//! `relational::spec` and `cqsep::persist` are the actual media). These
-//! derives therefore expand to nothing — they exist so the derive
-//! attributes (including inert `#[serde(...)]` field attributes) keep
-//! compiling without network access to the real serde.
+//! The real serde_derive generates full (de)serialization visitors; the
+//! in-tree media are hand-written formats (the text formats in
+//! `relational::spec` and `cqsep::persist`, the binary cache tables in
+//! `engine::persist`), so all a derive has to do here is genuinely
+//! implement the `serde` marker traits for the annotated type. That is
+//! enough for bounds like `T: Serialize` on persistence structs to hold
+//! and keeps the derive attributes (including inert `#[serde(...)]`
+//! field attributes) compiling without network access.
+//!
+//! Generic types are skipped (the derive expands to nothing for them, as
+//! the pre-upgrade no-op version did for everything): emitting a correct
+//! blanket impl would need real bound propagation, and no in-tree derive
+//! site is generic.
 
-use proc_macro::TokenStream;
+use proc_macro::{TokenStream, TokenTree};
+
+/// The derived type's name, if it is a non-generic struct/enum/union:
+/// the identifier following the item keyword, with no `<` after it.
+fn non_generic_type_name(item: TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let kw = tokens.iter().position(|t| {
+        matches!(t, TokenTree::Ident(i)
+            if { let s = i.to_string(); s == "struct" || s == "enum" || s == "union" })
+    })?;
+    let name = match tokens.get(kw + 1)? {
+        TokenTree::Ident(i) => i.to_string(),
+        _ => return None,
+    };
+    match tokens.get(kw + 2) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => None,
+        _ => Some(name),
+    }
+}
 
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    match non_generic_type_name(item) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        None => TokenStream::new(),
+    }
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    match non_generic_type_name(item) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl must parse"),
+        None => TokenStream::new(),
+    }
 }
