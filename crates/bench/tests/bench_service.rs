@@ -1,0 +1,140 @@
+//! Throughput benchmark for the task layer: a mixed check/classify
+//! batch pushed through `service::run_task_with` on a single-threaded
+//! engine vs the default (all-cores) engine. Outcomes are verified for
+//! agreement before anything is timed, and the measured tasks/sec plus
+//! the engine counters are recorded in `BENCH_service.json` at the
+//! repository root (the same shape as `BENCH_lp.json`). No speedup is
+//! asserted — single-task parallelism depends on the host — but the
+//! default engine must never lose by more than noise, and the batch
+//! must do real hom/game/LP work on a cold engine.
+
+use bench::{time_median, with_engine_stats};
+use cqsep::Engine;
+use relational::spec::DatabaseSpec;
+use relational::TrainingDb;
+use service::{run_task_with, ClassSpec, Outcome, Task};
+use workloads::lowerbound;
+
+fn spec_text(train: &TrainingDb) -> String {
+    DatabaseSpec::from_database(&train.db, Some(&train.labeling)).to_text()
+}
+
+/// The mixed batch: separability reports and classification runs over
+/// the paper's small lower-bound families. Sized so one cold pass takes
+/// well under a second per engine leg on a typical host.
+fn service_batch() -> Vec<Task> {
+    let example = spec_text(&lowerbound::example_6_2());
+    let cycles = spec_text(&lowerbound::twin_cycles(3));
+    let paths = spec_text(&lowerbound::twin_paths(4));
+    let alternating = spec_text(&lowerbound::alternating_paths(4));
+    let check = |train: &String| Task::Check {
+        train: train.clone(),
+        classes: vec![ClassSpec::Cq, ClassSpec::Ghw(1)],
+    };
+    let classify = |train: &String, class: ClassSpec| Task::Classify {
+        train: train.clone(),
+        eval: train.clone(),
+        class,
+    };
+    vec![
+        // Separability reports: the twin families are inseparable for
+        // both classes, which is a valid (and cheap-to-render) answer.
+        check(&example),
+        check(&cycles),
+        check(&paths),
+        // Classification: only (family, class) pairs known separable —
+        // an inseparable pair is a task *failure*, not a benchmark.
+        classify(&example, ClassSpec::Cq),
+        classify(&example, ClassSpec::Cqm(1)),
+        classify(&paths, ClassSpec::Cq),
+        classify(&paths, ClassSpec::Ghw(1)),
+        classify(&alternating, ClassSpec::Ghw(1)),
+    ]
+}
+
+/// Run the whole batch on a fresh engine built by `mk`, returning the
+/// outputs. Fresh engines keep every pass cold: the hom/game caches
+/// would otherwise absorb all solver work after the first repetition
+/// and the two legs would time nothing but memo lookups.
+fn run_batch(mk: &dyn Fn() -> Engine, tasks: &[Task]) -> Vec<String> {
+    let engine = mk();
+    tasks
+        .iter()
+        .map(|t| match run_task_with(&engine, t) {
+            Ok(out) => out.output,
+            Err(e) => panic!("{} task failed: {e}", t.kind()),
+        })
+        .collect()
+}
+
+#[test]
+fn service_throughput_single_vs_default_threads() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let tasks = service_batch();
+    let checks = tasks.iter().filter(|t| t.kind() == "check").count();
+    let classifies = tasks.len() - checks;
+
+    let single = || Engine::new().with_threads(1);
+    let default = Engine::new;
+
+    // Agreement before speed: both engines must produce identical
+    // reports and labelings for every task in the batch.
+    let single_out = run_batch(&single, &tasks);
+    let default_out = run_batch(&default, &tasks);
+    assert_eq!(
+        single_out, default_out,
+        "engine parallelism must not change any task's output"
+    );
+
+    // One instrumented cold pass: the batch must exercise all three
+    // solver layers for the throughput numbers to mean anything.
+    let stats_engine = Engine::new();
+    let (_, stats) = with_engine_stats(&stats_engine, || {
+        for t in &tasks {
+            let out = run_task_with(&stats_engine, t).expect("task failed");
+            std::hint::black_box(out);
+        }
+    });
+    assert!(stats.hom.solves > 0, "batch did no hom-engine work");
+    assert!(stats.game.games_solved > 0, "batch did no game-engine work");
+    let lp_activity = stats.lp.lps_solved + stats.lp.perceptron_hits + stats.lp.conflict_prunes;
+    assert!(lp_activity > 0, "batch did no LP-engine work");
+    assert_eq!(stats.restored_entries, 0, "nothing was loaded from disk");
+
+    let single_s = time_median(3, || {
+        std::hint::black_box(run_batch(&single, &tasks));
+    });
+    let default_s = time_median(3, || {
+        std::hint::black_box(run_batch(&default, &tasks));
+    });
+    let per_sec = |s: f64| tasks.len() as f64 / s;
+
+    let json = format!(
+        "{{\n  \"cores\": {cores},\n  \"service_batch\": {{\n    \"tasks\": {},\n    \"check_tasks\": {checks},\n    \"classify_tasks\": {classifies},\n    \"single_thread_s\": {single_s:.6},\n    \"default_threads_s\": {default_s:.6},\n    \"single_thread_tasks_per_s\": {:.2},\n    \"default_tasks_per_s\": {:.2},\n    \"speedup\": {:.2},\n    \"hom_solves\": {},\n    \"games_solved\": {},\n    \"lp_activity\": {lp_activity}\n  }}\n}}\n",
+        tasks.len(),
+        per_sec(single_s),
+        per_sec(default_s),
+        single_s / default_s,
+        stats.hom.solves,
+        stats.game.games_solved,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, json).expect("write BENCH_service.json");
+}
+
+/// The service layer's `Outcome` flattener feeds the same throughput
+/// path the server uses; sanity-check it end to end on one engine so
+/// the benchmark's numbers describe the real serving pipeline.
+#[test]
+fn execute_in_matches_run_task_with() {
+    let engine = Engine::new();
+    for task in service_batch() {
+        let direct = run_task_with(&engine, &task).expect("task failed");
+        match service::execute_in(&engine.ctx(), &task) {
+            Outcome::Success(out) => assert_eq!(out.output, direct.output),
+            other => panic!("execute_in diverged: {other:?}"),
+        }
+    }
+}

@@ -18,6 +18,12 @@
 //! `cqm2`). Defaults: `check` runs all of `cq`, `ghw1`, `cqm1`, `cqm2`;
 //! `train`/`classify` default to `cqm2`.
 //!
+//! The solver-facing subcommands (`check`, `train`, `classify`,
+//! `relabel`) are thin clients of the [`service`] task layer: each
+//! builds a [`service::Task`] from the files it read and hands it to
+//! [`service::run_task_in`] under a [`Ctx`] — the same executor the
+//! `cqsep-serve` worker pool drives.
+//!
 //! Global engine flags (any position):
 //!
 //! * `--stats` — append the unified [`Engine`] counter report for exactly
@@ -25,65 +31,24 @@
 //! * `--cache-dir <path>` — load persisted hom/game verdict tables from
 //!   `<path>` before running (warm start) and save them back after;
 //! * `--threads <n>` — cap solver parallelism at `n` worker threads;
-//! * `--no-cache` — run every hom/game query uncached.
+//! * `--no-cache` — run every hom/game query uncached;
+//! * `--timeout <secs>` — give the whole command a deadline. On expiry
+//!   the command prints a one-line `interrupted:` report plus the
+//!   partial engine stats instead of an answer.
 
-use cq::EnumConfig;
-use cqsep::{apx, cls_ghw, gen_ghw, persist, sep_cq, sep_cqm, sep_ghw};
-use engine::Engine;
+use engine::{Ctx, Engine, Interrupted};
 use relational::spec::DatabaseSpec;
-use relational::{Database, Label, TrainingDb};
+use service::{load_database, render_labels, run_task_in, Task, TaskOutput};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::time::Duration;
 
-/// A parsed feature-class specification.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ClassSpec {
-    Cq,
-    Ghw(usize),
-    Cqm(usize),
-}
-
-impl ClassSpec {
-    pub fn parse(s: &str) -> Result<ClassSpec, String> {
-        if s == "cq" {
-            return Ok(ClassSpec::Cq);
-        }
-        if let Some(k) = s.strip_prefix("ghw") {
-            return k
-                .parse::<usize>()
-                .ok()
-                .filter(|&k| k >= 1)
-                .map(ClassSpec::Ghw)
-                .ok_or_else(|| format!("bad class {s:?} (use ghw1, ghw2, …)"));
-        }
-        if let Some(m) = s.strip_prefix("cqm") {
-            return m
-                .parse::<usize>()
-                .ok()
-                .filter(|&m| m >= 1)
-                .map(ClassSpec::Cqm)
-                .ok_or_else(|| format!("bad class {s:?} (use cqm1, cqm2, …)"));
-        }
-        Err(format!(
-            "unknown class {s:?} (expected cq, ghw<k>, or cqm<m>)"
-        ))
-    }
-}
-
-impl std::fmt::Display for ClassSpec {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ClassSpec::Cq => write!(f, "CQ"),
-            ClassSpec::Ghw(k) => write!(f, "GHW({k})"),
-            ClassSpec::Cqm(m) => write!(f, "CQ[{m}]"),
-        }
-    }
-}
+pub use service::ClassSpec;
 
 /// Global engine flags stripped from a command line by
 /// [`split_engine_flags`]: everything that configures *how* the solvers
 /// run rather than *what* they solve.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct EngineOpts {
     /// Append the unified [`Engine`] counter report for exactly this call.
     pub stats: bool,
@@ -94,6 +59,8 @@ pub struct EngineOpts {
     pub threads: Option<usize>,
     /// Run every hom/game query uncached.
     pub no_cache: bool,
+    /// Deadline for the whole command ([`Ctx::with_deadline`]).
+    pub timeout: Option<Duration>,
 }
 
 impl EngineOpts {
@@ -104,8 +71,9 @@ impl EngineOpts {
 }
 
 /// Strip the global engine flags (`--stats`, `--cache-dir <path>`,
-/// `--threads <n>`, `--no-cache`) from any position of a command line,
-/// returning them with the remaining positional arguments intact.
+/// `--threads <n>`, `--no-cache`, `--timeout <secs>`) from any position
+/// of a command line, returning them with the remaining positional
+/// arguments intact.
 pub fn split_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), String> {
     let mut opts = EngineOpts::default();
     let mut rest = Vec::with_capacity(args.len());
@@ -129,6 +97,16 @@ pub fn split_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), 
                 opts.threads = Some(n);
                 i += 1;
             }
+            "--timeout" => {
+                let v = args.get(i + 1).ok_or("--timeout needs a seconds value")?;
+                let secs: f64 = v
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| *s >= 0.0 && s.is_finite())
+                    .ok_or_else(|| format!("bad --timeout value {v:?}"))?;
+                opts.timeout = Some(Duration::from_secs_f64(secs));
+                i += 1;
+            }
             _ => rest.push(args[i].clone()),
         }
         i += 1;
@@ -144,7 +122,9 @@ pub fn split_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), 
 /// cover games, LP decisions, cache traffic, restored entries) covering
 /// exactly this call; `--cache-dir` makes warm starts possible across
 /// process runs; `--threads`/`--no-cache` bound parallelism and disable
-/// memoization.
+/// memoization; `--timeout` bounds wall-clock time — on expiry the
+/// output is a one-line `interrupted: deadline exceeded after …s`
+/// report followed by the partial engine counters.
 pub fn run(args: &[String]) -> Result<String, String> {
     let (opts, rest) = split_engine_flags(args)?;
     // Flags that change solver behavior get a fresh engine; the plain
@@ -170,7 +150,19 @@ pub fn run(args: &[String]) -> Result<String, String> {
             .load(Path::new(dir))
             .map_err(|e| format!("cannot load cache from {dir}: {e}"))?;
     }
-    let mut out = run_with(engine, &rest)?;
+    let ctx = match opts.timeout {
+        Some(budget) => engine.ctx_with_deadline(budget),
+        None => engine.ctx(),
+    };
+    let started = std::time::Instant::now();
+    let mut out = match run_in(&ctx, &rest) {
+        Ok(result) => result?,
+        Err(interrupted) => {
+            // The deadline fired mid-solve: report what happened and how
+            // much engine work the truncated command performed.
+            return Ok(interrupted_report(&interrupted, started.elapsed()));
+        }
+    };
     if let Some(dir) = &opts.cache_dir {
         engine
             .save(Path::new(dir))
@@ -187,66 +179,123 @@ pub fn run(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-/// Dispatch a flag-free command line against a caller-supplied [`Engine`].
+/// The `--timeout` expiry report: one summary line, then the partial
+/// engine counters the truncated command accumulated.
+fn interrupted_report(interrupted: &Interrupted, elapsed: Duration) -> String {
+    format!(
+        "interrupted: {} after {:.1}s\n{}\n",
+        interrupted.reason,
+        elapsed.as_secs_f64(),
+        interrupted.partial_stats.report()
+    )
+}
+
+/// Dispatch a flag-free command line against a caller-supplied [`Engine`]
+/// (unbounded context).
 pub fn run_with(engine: &Engine, args: &[String]) -> Result<String, String> {
+    run_in(&engine.ctx(), args).expect("unbounded ctx cannot interrupt")
+}
+
+/// Dispatch a flag-free command line under a task context. The outer
+/// `Err` is interruption (deadline passed or handle cancelled); the
+/// inner `Err` is a usage or domain error.
+pub fn run_in(ctx: &Ctx, args: &[String]) -> Result<Result<String, String>, Interrupted> {
     let read = |path: &str| -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
     };
+    // The service task layer does the solving for the four solver-facing
+    // subcommands; this dispatcher only reads files, builds the Task,
+    // and decides what to do with the model text.
+    let task_output =
+        |task: Task| -> Result<Result<TaskOutput, String>, Interrupted> { run_task_in(ctx, &task) };
     match args.first().map(String::as_str) {
         Some("check") => {
-            let path = args.get(1).ok_or(USAGE)?;
-            let classes = parse_classes(
-                &args[2..],
-                vec![
-                    ClassSpec::Cq,
-                    ClassSpec::Ghw(1),
-                    ClassSpec::Cqm(1),
-                    ClassSpec::Cqm(2),
-                ],
-            )?;
-            let train = load_training(&read(path)?)?;
-            Ok(check(engine, &train, &classes))
+            let path = match args.get(1) {
+                Some(p) => p,
+                None => return Ok(Err(USAGE.to_string())),
+            };
+            let classes = match parse_classes(&args[2..]) {
+                Ok(c) => c,
+                Err(e) => return Ok(Err(e)),
+            };
+            let train = match read(path) {
+                Ok(t) => t,
+                Err(e) => return Ok(Err(e)),
+            };
+            Ok(task_output(Task::Check { train, classes })?.map(|out| out.output))
         }
         Some("train") => {
-            let path = args.get(1).ok_or(USAGE)?;
-            let classes = parse_classes(&args[2..], vec![ClassSpec::Cqm(2)])?;
+            let path = match args.get(1) {
+                Some(p) => p,
+                None => return Ok(Err(USAGE.to_string())),
+            };
+            let classes = match parse_classes(&args[2..]) {
+                Ok(c) => c,
+                Err(e) => return Ok(Err(e)),
+            };
+            let class = classes.first().copied().unwrap_or(ClassSpec::Cqm(2));
             let out_path = flag_value(&args[2..], "-o");
-            let train = load_training(&read(path)?)?;
-            let (report, model_text) = train_cmd(engine, &train, classes[0])?;
-            if let Some(p) = out_path {
-                std::fs::write(&p, &model_text).map_err(|e| format!("cannot write {p}: {e}"))?;
-                Ok(format!("{report}model written to {p}\n"))
-            } else {
-                Ok(format!("{report}{model_text}"))
-            }
+            let train = match read(path) {
+                Ok(t) => t,
+                Err(e) => return Ok(Err(e)),
+            };
+            let out = match task_output(Task::Train { train, class })? {
+                Ok(out) => out,
+                Err(e) => return Ok(Err(e)),
+            };
+            let model_text = out.model.expect("train tasks always produce a model");
+            Ok(Ok(match out_path {
+                Some(p) => match std::fs::write(&p, &model_text) {
+                    Ok(()) => format!("{}model written to {p}\n", out.output),
+                    Err(e) => return Ok(Err(format!("cannot write {p}: {e}"))),
+                },
+                None => format!("{}{model_text}", out.output),
+            }))
         }
         Some("classify") => {
-            let train_path = args.get(1).ok_or(USAGE)?;
-            let eval_path = args.get(2).ok_or(USAGE)?;
-            let classes = parse_classes(&args[3..], vec![ClassSpec::Cqm(2)])?;
-            let train = load_training(&read(train_path)?)?;
-            let eval = load_database(&read(eval_path)?)?;
-            classify_cmd(engine, &train, &eval, classes[0])
+            let (train_path, eval_path) = match (args.get(1), args.get(2)) {
+                (Some(t), Some(e)) => (t, e),
+                _ => return Ok(Err(USAGE.to_string())),
+            };
+            let classes = match parse_classes(&args[3..]) {
+                Ok(c) => c,
+                Err(e) => return Ok(Err(e)),
+            };
+            let class = classes.first().copied().unwrap_or(ClassSpec::Cqm(2));
+            let (train, eval) = match (read(train_path), read(eval_path)) {
+                (Ok(t), Ok(e)) => (t, e),
+                (Err(e), _) | (_, Err(e)) => return Ok(Err(e)),
+            };
+            Ok(task_output(Task::Classify { train, eval, class })?.map(|out| out.output))
         }
-        Some("classify-model") => {
+        Some("relabel") => {
+            let path = match args.get(1) {
+                Some(p) => p,
+                None => return Ok(Err(USAGE.to_string())),
+            };
+            let k: usize = match flag_value(&args[2..], "--k")
+                .map(|v| v.parse().map_err(|_| "bad --k".to_string()))
+                .transpose()
+            {
+                Ok(k) => k.unwrap_or(1),
+                Err(e) => return Ok(Err(e)),
+            };
+            let train = match read(path) {
+                Ok(t) => t,
+                Err(e) => return Ok(Err(e)),
+            };
+            Ok(task_output(Task::Relabel { train, k })?.map(|out| out.output))
+        }
+        Some("classify-model") => Ok((|| {
             let model_path = args.get(1).ok_or(USAGE)?;
             let eval_path = args.get(2).ok_or(USAGE)?;
             let eval = load_database(&read(eval_path)?)?;
-            let model = persist::parse_model(eval.schema(), &read(model_path)?)
+            let model = cqsep::persist::parse_model(eval.schema(), &read(model_path)?)
                 .map_err(|e| e.to_string())?;
             let labels = model.classify(&eval);
             Ok(render_labels(&eval, |e| labels.get(e)))
-        }
-        Some("relabel") => {
-            let path = args.get(1).ok_or(USAGE)?;
-            let k: usize = flag_value(&args[2..], "--k")
-                .map(|v| v.parse().map_err(|_| "bad --k".to_string()))
-                .transpose()?
-                .unwrap_or(1);
-            let train = load_training(&read(path)?)?;
-            Ok(relabel_cmd(engine, &train, k))
-        }
-        Some("info") => {
+        })()),
+        Some("info") => Ok((|| {
             let path = args.get(1).ok_or(USAGE)?;
             let spec = DatabaseSpec::parse(&read(path)?).map_err(|e| e.to_string())?;
             let db = spec.to_database().map_err(|e| e.to_string())?;
@@ -258,8 +307,8 @@ pub fn run_with(engine: &Engine, args: &[String]) -> Result<String, String> {
             let labeled = spec.entities.iter().filter(|(_, l)| l.is_some()).count();
             let _ = writeln!(out, "labeled:  {labeled}");
             Ok(out)
-        }
-        _ => Err(USAGE.to_string()),
+        })()),
+        _ => Ok(Err(USAGE.to_string())),
     }
 }
 
@@ -274,9 +323,12 @@ engine flags (any command, any position):
   --stats              append the unified engine counter report
   --cache-dir <path>   warm-start from (and save back to) a verdict cache
   --threads <n>        cap solver parallelism at n worker threads
-  --no-cache           run every hom/game query unmemoized";
+  --no-cache           run every hom/game query unmemoized
+  --timeout <secs>     deadline for the whole command (report on expiry)";
 
-fn parse_classes(args: &[String], default: Vec<ClassSpec>) -> Result<Vec<ClassSpec>, String> {
+/// Collect every `--class <spec>` occurrence (empty when none given —
+/// the task layer or the caller applies the default).
+fn parse_classes(args: &[String]) -> Result<Vec<ClassSpec>, String> {
     let mut out = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -288,146 +340,13 @@ fn parse_classes(args: &[String], default: Vec<ClassSpec>) -> Result<Vec<ClassSp
             i += 1;
         }
     }
-    Ok(if out.is_empty() { default } else { out })
+    Ok(out)
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn load_training(text: &str) -> Result<TrainingDb, String> {
-    DatabaseSpec::parse(text)
-        .map_err(|e| e.to_string())?
-        .to_training()
-        .map_err(|e| e.to_string())
-}
-
-fn load_database(text: &str) -> Result<Database, String> {
-    DatabaseSpec::parse(text)
-        .map_err(|e| e.to_string())?
-        .to_database()
-        .map_err(|e| e.to_string())
-}
-
-fn check(engine: &Engine, train: &TrainingDb, classes: &[ClassSpec]) -> String {
-    let mut out = String::new();
-    let n = train.entities().len();
-    let _ = writeln!(
-        out,
-        "{} entities ({} positive, {} negative), {} facts",
-        n,
-        train.positives().len(),
-        train.negatives().len(),
-        train.db.fact_count()
-    );
-    for &c in classes {
-        let answer = match c {
-            ClassSpec::Cq => sep_cq::cq_separable_with(engine, train),
-            ClassSpec::Ghw(k) => sep_ghw::ghw_separable_with(engine, train, k),
-            ClassSpec::Cqm(m) => sep_cqm::cqm_separable_with(engine, train, &EnumConfig::cqm(m)),
-        };
-        let _ = writeln!(out, "{c:>8}-separable: {answer}");
-        if !answer {
-            let witness = match c {
-                ClassSpec::Cq => sep_cq::cq_inseparability_witness_with(engine, train),
-                ClassSpec::Ghw(k) => sep_ghw::ghw_inseparability_witness_with(engine, train, k),
-                ClassSpec::Cqm(_) => None,
-            };
-            if let Some((p, q)) = witness {
-                let _ = writeln!(
-                    out,
-                    "         witness: {} (+) and {} (-) are indistinguishable",
-                    train.db.val_name(p),
-                    train.db.val_name(q)
-                );
-            }
-        }
-    }
-    out
-}
-
-fn train_cmd(
-    engine: &Engine,
-    train: &TrainingDb,
-    class: ClassSpec,
-) -> Result<(String, String), String> {
-    let model =
-        match class {
-            ClassSpec::Cq => sep_cq::cq_generate_with(engine, train)
-                .ok_or_else(|| "not CQ-separable".to_string())?,
-            ClassSpec::Ghw(k) => gen_ghw::ghw_generate_with(engine, train, k, 1_000_000)
-                .map_err(|e| e.to_string())?,
-            ClassSpec::Cqm(m) => sep_cqm::cqm_generate_with(engine, train, &EnumConfig::cqm(m))
-                .ok_or_else(|| format!("not CQ[{m}]-separable"))?,
-        };
-    let report = format!(
-        "{class}: {} features, {} total atoms\n",
-        model.statistic.dimension(),
-        model.statistic.total_atoms()
-    );
-    Ok((report, persist::model_to_text(&model)))
-}
-
-fn classify_cmd(
-    engine: &Engine,
-    train: &TrainingDb,
-    eval: &Database,
-    class: ClassSpec,
-) -> Result<String, String> {
-    let labels = match class {
-        ClassSpec::Ghw(k) => cls_ghw::ghw_classify_with(engine, train, eval, k)
-            .map_err(|_| format!("training data is not GHW({k})-separable"))?,
-        ClassSpec::Cq => sep_cq::cq_classify_with(engine, train, eval)
-            .ok_or_else(|| "training data is not CQ-separable".to_string())?,
-        ClassSpec::Cqm(m) => sep_cqm::cqm_classify_with(engine, train, eval, &EnumConfig::cqm(m))
-            .ok_or_else(|| format!("training data is not CQ[{m}]-separable"))?,
-    };
-    Ok(render_labels(eval, |e| labels.get(e)))
-}
-
-fn relabel_cmd(engine: &Engine, train: &TrainingDb, k: usize) -> String {
-    let relabeled = apx::ghw_optimal_relabeling_with(engine, train, k);
-    let errors = train.labeling.disagreement(&relabeled);
-    let mut out = format!(
-        "optimal GHW({k})-separable relabeling: {} disagreement(s)\n",
-        errors
-    );
-    for e in train.entities() {
-        let old = train.labeling.get(e);
-        let new = relabeled.get(e);
-        let mark = if old == new { " " } else { "*" };
-        let _ = writeln!(
-            out,
-            "{mark} {} {} -> {}",
-            train.db.val_name(e),
-            sign(old),
-            sign(new)
-        );
-    }
-    out
-}
-
-fn render_labels(db: &Database, get: impl Fn(relational::Val) -> Label) -> String {
-    let mut out = String::new();
-    let mut named: Vec<(String, relational::Val)> = db
-        .entities()
-        .into_iter()
-        .map(|e| (db.val_name(e).to_string(), e))
-        .collect();
-    named.sort();
-    for (name, e) in named {
-        let _ = writeln!(out, "{name} {}", sign(get(e)));
-    }
-    out
-}
-
-fn sign(l: Label) -> &'static str {
-    match l {
-        Label::Positive => "+",
-        Label::Negative => "-",
-    }
 }
 
 #[cfg(test)]
@@ -472,6 +391,18 @@ entity v
         assert!(ClassSpec::parse("ghw0").is_err());
         assert!(ClassSpec::parse("nope").is_err());
         assert!(ClassSpec::parse("cqmx").is_err());
+    }
+
+    /// Every malformed class spelling produces the one unified message
+    /// (historically `ghw0`, `cqm0`, and unknown prefixes diverged).
+    #[test]
+    fn class_spec_errors_use_the_unified_message() {
+        for bad in ["ghw0", "cqm0", "ghw", "cqmx", "nope"] {
+            assert_eq!(
+                ClassSpec::parse(bad).unwrap_err(),
+                format!("bad class {bad:?} (expected cq, ghw<k≥1>, cqm<m≥1>)")
+            );
+        }
     }
 
     #[test]
@@ -587,6 +518,9 @@ entity v
         assert!(run(&s(&["check", "--threads", "0"])).is_err());
         assert!(run(&s(&["check", "--threads", "lots"])).is_err());
         assert!(run(&s(&["check", "--cache-dir"])).is_err());
+        assert!(run(&s(&["check", "--timeout"])).is_err());
+        assert!(run(&s(&["check", "--timeout", "-1"])).is_err());
+        assert!(run(&s(&["check", "--timeout", "soon"])).is_err());
     }
 
     #[test]
@@ -597,6 +531,8 @@ entity v
             "check",
             "--no-cache",
             "x.db",
+            "--timeout",
+            "1.5",
             "--cache-dir",
             "/tmp/c",
             "--stats",
@@ -605,8 +541,42 @@ entity v
         assert!(opts.stats);
         assert!(opts.no_cache);
         assert_eq!(opts.threads, Some(2));
+        assert_eq!(opts.timeout, Some(Duration::from_secs_f64(1.5)));
         assert_eq!(opts.cache_dir.as_deref(), Some("/tmp/c"));
         assert_eq!(rest, s(&["check", "x.db"]));
+    }
+
+    /// Satellite requirement: a zero budget expires before any solving
+    /// starts, and the command reports the interruption (one summary
+    /// line plus the partial engine counters) instead of an answer.
+    /// Flag position must not matter.
+    #[test]
+    fn timeout_expiry_prints_interrupted_report() {
+        with_files(|train, _| {
+            for args in [
+                s(&["check", train, "--timeout", "0"]),
+                s(&["--timeout", "0", "classify", train, train]),
+                s(&["train", train, "--timeout", "0"]),
+                s(&["relabel", train, "--timeout", "0"]),
+            ] {
+                let out = run(&args).unwrap();
+                assert!(
+                    out.starts_with("interrupted: deadline exceeded after "),
+                    "args {args:?}: {out}"
+                );
+                assert!(out.contains("hom engine stats"), "{out}");
+                assert!(out.contains("lp engine stats"), "{out}");
+            }
+        });
+    }
+
+    #[test]
+    fn generous_timeout_does_not_perturb_answers() {
+        with_files(|train, _| {
+            let out = run(&s(&["check", train, "--timeout", "3600"])).unwrap();
+            assert!(out.contains("CQ-separable: true"), "{out}");
+            assert!(out.contains("GHW(1)-separable: true"), "{out}");
+        });
     }
 
     #[test]

@@ -13,11 +13,11 @@
 //!   of mutually indistinguishable, conflictingly-labeled *anchor*
 //!   entities that soak up the entire error budget.
 
-use crate::cls_ghw::ghw_classify_with;
-use crate::sep_ghw::ghw_preorder_with;
+use crate::cls_ghw::ghw_classify_in;
+use crate::sep_ghw::{ghw_preorder_in, ghw_preorder_with};
 use crate::statistic::SeparatorModel;
 use cq::EnumConfig;
-use engine::Engine;
+use engine::{Ctx, Engine, Interrupted};
 use relational::{Database, Label, Labeling, Schema, TrainingDb};
 
 /// Algorithm 2: the disagreement-minimal `GHW(k)`-separable relabeling
@@ -29,6 +29,18 @@ pub fn ghw_optimal_relabeling(train: &TrainingDb, k: usize) -> Labeling {
 /// [`ghw_optimal_relabeling`] against a caller-supplied [`Engine`].
 pub fn ghw_optimal_relabeling_with(engine: &Engine, train: &TrainingDb, k: usize) -> Labeling {
     ghw_optimal_relabeling_from(&ghw_preorder_with(engine, train, k), &train.labeling)
+}
+
+/// [`ghw_optimal_relabeling`] under a task context (interruptible).
+pub fn ghw_optimal_relabeling_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    k: usize,
+) -> Result<Labeling, Interrupted> {
+    Ok(ghw_optimal_relabeling_from(
+        &ghw_preorder_in(ctx, train, k)?,
+        &train.labeling,
+    ))
 }
 
 /// Algorithm 2 against a precomputed `→_k` preorder. The preorder depends
@@ -65,6 +77,13 @@ pub fn ghw_min_errors_with(engine: &Engine, train: &TrainingDb, k: usize) -> usi
         .disagreement(&ghw_optimal_relabeling_with(engine, train, k))
 }
 
+/// [`ghw_min_errors`] under a task context (interruptible).
+pub fn ghw_min_errors_in(ctx: &Ctx, train: &TrainingDb, k: usize) -> Result<usize, Interrupted> {
+    Ok(train
+        .labeling
+        .disagreement(&ghw_optimal_relabeling_in(ctx, train, k)?))
+}
+
 /// `GHW(k)`-ApxSep: is the training database separable with error ε?
 pub fn ghw_apx_separable(train: &TrainingDb, k: usize, eps: f64) -> bool {
     ghw_apx_separable_with(Engine::global(), train, k, eps)
@@ -72,12 +91,23 @@ pub fn ghw_apx_separable(train: &TrainingDb, k: usize, eps: f64) -> bool {
 
 /// [`ghw_apx_separable`] against a caller-supplied [`Engine`].
 pub fn ghw_apx_separable_with(engine: &Engine, train: &TrainingDb, k: usize, eps: f64) -> bool {
+    ghw_apx_separable_in(&engine.ctx(), train, k, eps).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`ghw_apx_separable`] under a task context (interruptible).
+pub fn ghw_apx_separable_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    k: usize,
+    eps: f64,
+) -> Result<bool, Interrupted> {
+    ctx.check()?;
     let n = train.entities().len();
     if n == 0 {
-        return true;
+        return Ok(true);
     }
-    let min = ghw_min_errors_with(engine, train, k) as f64;
-    min <= eps * n as f64
+    let min = ghw_min_errors_in(ctx, train, k)? as f64;
+    Ok(min <= eps * n as f64)
 }
 
 /// `GHW(k)`-ApxCls (Corollary 7.5): classify an evaluation database by a
@@ -94,15 +124,22 @@ pub fn ghw_apx_classify_with(
     eval: &Database,
     k: usize,
 ) -> Labeling {
+    ghw_apx_classify_in(&engine.ctx(), train, eval, k).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`ghw_apx_classify`] under a task context (interruptible).
+pub fn ghw_apx_classify_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    eval: &Database,
+    k: usize,
+) -> Result<Labeling, Interrupted> {
     // The relabeled training database is a clone — identical content,
     // identical fingerprint — so every game the relabeling's preorder and
     // the classification sweep replay is a hit in the engine's game cache.
-    let relabeled = TrainingDb::new(
-        train.db.clone(),
-        ghw_optimal_relabeling_with(engine, train, k),
-    );
-    ghw_classify_with(engine, &relabeled, eval, k)
-        .expect("Algorithm 2's relabeling is GHW(k)-separable by construction")
+    let relabeled = TrainingDb::new(train.db.clone(), ghw_optimal_relabeling_in(ctx, train, k)?);
+    Ok(ghw_classify_in(ctx, &relabeled, eval, k)?
+        .expect("Algorithm 2's relabeling is GHW(k)-separable by construction"))
 }
 
 /// `CQ[m]`-ApxSep / feature generation with minimum error
@@ -117,15 +154,26 @@ pub fn cqm_apx_generate_with(
     train: &TrainingDb,
     config: &EnumConfig,
 ) -> (SeparatorModel, usize) {
-    let (statistic, rows, labels) = crate::sep_cqm::column_reduced_statistic(train, config);
-    let r = engine.min_error(&rows, &labels);
-    (
+    cqm_apx_generate_in(&engine.ctx(), train, config).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`cqm_apx_generate`] under a task context: the enumeration sweep and
+/// the branch-and-bound min-error search both observe the handle.
+pub fn cqm_apx_generate_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    config: &EnumConfig,
+) -> Result<(SeparatorModel, usize), Interrupted> {
+    let (statistic, rows, labels) =
+        crate::sep_cqm::column_reduced_statistic_in(ctx, train, config)?;
+    let r = ctx.min_error(&rows, &labels)?;
+    Ok((
         SeparatorModel {
             statistic,
             classifier: r.classifier,
         },
         r.errors,
-    )
+    ))
 }
 
 /// `CQ[m]`-ApxSep decision.
@@ -140,12 +188,23 @@ pub fn cqm_apx_separable_with(
     config: &EnumConfig,
     eps: f64,
 ) -> bool {
+    cqm_apx_separable_in(&engine.ctx(), train, config, eps).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`cqm_apx_separable`] under a task context (interruptible).
+pub fn cqm_apx_separable_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    config: &EnumConfig,
+    eps: f64,
+) -> Result<bool, Interrupted> {
+    ctx.check()?;
     let n = train.entities().len();
     if n == 0 {
-        return true;
+        return Ok(true);
     }
-    let (_, errors) = cqm_apx_generate_with(engine, train, config);
-    errors as f64 <= eps * n as f64
+    let (_, errors) = cqm_apx_generate_in(ctx, train, config)?;
+    Ok(errors as f64 <= eps * n as f64)
 }
 
 /// The Proposition 7.1-style padding: build `(D', λ')` over a schema

@@ -10,7 +10,7 @@
 //! label-purity check, the class vectors, and the exact-LP classifier —
 //! everything except the preorder itself, which the callers supply.
 
-use engine::Engine;
+use engine::{Ctx, Engine, Interrupted};
 use linsep::LinearClassifier;
 use relational::{Label, TrainingDb, Val};
 
@@ -59,6 +59,19 @@ pub fn build_chain_with(
     elems: &[Val],
     leq: &[Vec<bool>],
 ) -> Result<ChainModel, ChainError> {
+    build_chain_in(&engine.ctx(), train, elems, leq).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`build_chain`] under a task context: interruptible, with the LP
+/// counted against the context's engine. Inseparability ([`ChainError`])
+/// stays in the inner `Result`; interruption is the outer one.
+pub fn build_chain_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    elems: &[Val],
+    leq: &[Vec<bool>],
+) -> Result<Result<ChainModel, ChainError>, Interrupted> {
+    ctx.check()?;
     let n = elems.len();
 
     // Group into equivalence classes (mutual ⪯), failing on mixed labels.
@@ -74,7 +87,7 @@ pub fn build_chain_with(
                     } else {
                         (elems[reps[c]], elems[i])
                     };
-                    return Err(ChainError::MixedClass { pos, neg });
+                    return Ok(Err(ChainError::MixedClass { pos, neg }));
                 }
             }
             None => {
@@ -146,18 +159,18 @@ pub fn build_chain_with(
         })
         .collect();
     let labels: Vec<i32> = class_label.iter().map(|l| l.to_i32()).collect();
-    let classifier = engine
-        .separate(&vectors, &labels)
+    let classifier = ctx
+        .separate(&vectors, &labels)?
         .expect("chain vectors with label-pure classes are always linearly separable (Lemma 5.4)");
 
-    Ok(ChainModel {
+    Ok(Ok(ChainModel {
         elems: elems.to_vec(),
         class_of,
         classes,
         class_leq,
         class_label,
         classifier,
-    })
+    }))
 }
 
 impl ChainModel {

@@ -14,8 +14,8 @@
 //! 3. label each `f ∈ η(D')` by playing the `m` cover games.
 
 use crate::chain::ChainError;
-use crate::sep_ghw::ghw_chain_with;
-use engine::Engine;
+use crate::sep_ghw::ghw_chain_in;
+use engine::{Ctx, Engine, Interrupted};
 use relational::{Database, Labeling, TrainingDb, Val};
 
 /// `GHW(k)`-Cls (Algorithm 1): label the entities of `eval` consistently
@@ -33,12 +33,27 @@ pub fn ghw_classify_with(
     eval: &Database,
     k: usize,
 ) -> Result<Labeling, ChainError> {
-    let chain = ghw_chain_with(engine, train, k)?;
+    ghw_classify_in(&engine.ctx(), train, eval, k).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`ghw_classify`] under a task context (interruptible).
+pub fn ghw_classify_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    eval: &Database,
+    k: usize,
+) -> Result<Result<Labeling, ChainError>, Interrupted> {
+    let chain = match ghw_chain_in(ctx, train, k)? {
+        Ok(chain) => chain,
+        Err(e) => return Ok(Err(e)),
+    };
     // The games' left side is always the training database: build its
     // union skeleton once for all m × |η(D')| games. The games are
     // pairwise independent, so the whole m × |η(D')| grid fans out on
     // the parallel driver, memoizing through the engine's cache
     // (Algorithm 2 replays exactly these games after relabeling).
+    // Workers swallow Stop with filler verdicts; the sticky post-fan-in
+    // check discards the batch.
     let skeleton = covergame::UnionSkeleton::build(&train.db, k);
     let evals = eval.entities();
     let m = chain.class_count();
@@ -48,10 +63,12 @@ pub fn ghw_classify_with(
         .collect();
     // Lines 3–9 of Algorithm 1: 𝟙_{q_{e_i}(D')}(f) = +1 iff
     // (D, e_i) →_k (D', f).
-    let verdicts = engine.par_map(&cells, |&(f, c)| {
+    let verdicts = ctx.engine().par_map(&cells, |&(f, c)| {
         let e = chain.elems[chain.representative(c)];
-        engine.cover_implies_with_skeleton(&train.db, &[e], eval, &[f], &skeleton)
+        ctx.cover_implies_with_skeleton(&train.db, &[e], eval, &[f], &skeleton)
+            .unwrap_or(false)
     });
+    ctx.check()?;
     let mut out = Labeling::new();
     for (fi, &f) in evals.iter().enumerate() {
         let v: Vec<i32> = (0..m)
@@ -59,7 +76,7 @@ pub fn ghw_classify_with(
             .collect();
         out.set(f, chain.classify_vector(&v));
     }
-    Ok(out)
+    Ok(Ok(out))
 }
 
 #[cfg(test)]

@@ -178,52 +178,65 @@ pub fn min_dimension_of_with(
     pool: &[cq::Cq],
     cap: usize,
 ) -> Option<usize> {
+    min_dimension_of_in(&engine.ctx(), train, pool, cap).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`min_dimension_of`] under a task context: the handle is observed at
+/// every subset-search node and inside each LP.
+pub fn min_dimension_of_in(
+    ctx: &engine::Ctx,
+    train: &TrainingDb,
+    pool: &[cq::Cq],
+    cap: usize,
+) -> Result<Option<usize>, engine::Interrupted> {
+    ctx.check()?;
     let entities = train.entities();
     let labels: Vec<i32> = entities
         .iter()
         .map(|&e| train.labeling.get(e).to_i32())
         .collect();
     let stat = Statistic::new(pool.to_vec());
-    let rows = stat.apply(&train.db, &entities);
+    let rows = stat.apply_in(ctx, &train.db, &entities)?;
     // Columns of the pool.
     let columns: Vec<Vec<i32>> = (0..pool.len())
         .map(|j| rows.iter().map(|r| r[j]).collect())
         .collect();
 
     fn rec(
-        engine: &engine::Engine,
+        ctx: &engine::Ctx,
         columns: &[Vec<i32>],
         labels: &[i32],
         chosen: &mut Vec<usize>,
         start: usize,
         want: usize,
-    ) -> bool {
+    ) -> Result<bool, engine::Interrupted> {
+        ctx.check()?;
         if chosen.len() == want {
             let rows: Vec<Vec<i32>> = (0..labels.len())
                 .map(|r| chosen.iter().map(|&c| columns[c][r]).collect())
                 .collect();
-            return engine.separate(&rows, labels).is_some();
+            return Ok(ctx.separate(&rows, labels)?.is_some());
         }
         for c in start..columns.len() {
             chosen.push(c);
-            if rec(engine, columns, labels, chosen, c + 1, want) {
-                return true;
+            if rec(ctx, columns, labels, chosen, c + 1, want)? {
+                return Ok(true);
             }
             chosen.pop();
         }
-        false
+        Ok(false)
     }
 
     for want in 0..=cap.min(pool.len()) {
         if labels.iter().all(|&l| l == labels[0]) {
-            return Some(0);
+            return Ok(Some(0));
         }
         let mut chosen = Vec::new();
-        if want > 0 && rec(engine, &columns, &labels, &mut chosen, 0, want) {
-            return Some(want);
+        if want > 0 && rec(ctx, &columns, &labels, &mut chosen, 0, want)? {
+            return Ok(Some(want));
         }
     }
-    None
+    Ok(None)
 }
 
 #[cfg(test)]

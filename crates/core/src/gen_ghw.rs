@@ -8,12 +8,12 @@
 //! *classify* should use [`crate::cls_ghw`] instead, which is the whole
 //! point of §5.3.
 
-use crate::sep_ghw::ghw_chain_with;
+use crate::sep_ghw::ghw_chain_in;
 use crate::statistic::{SeparatorModel, Statistic};
 use covergame::extract::lemma54_feature;
 use covergame::ExtractError;
 use cq::Cq;
-use engine::Engine;
+use engine::{Ctx, Engine, Interrupted};
 use relational::TrainingDb;
 use std::fmt;
 
@@ -61,22 +61,38 @@ pub fn ghw_generate_with(
     k: usize,
     max_nodes: usize,
 ) -> Result<SeparatorModel, GenError> {
-    let chain = ghw_chain_with(engine, train, k).map_err(|_| GenError::NotSeparable)?;
+    ghw_generate_in(&engine.ctx(), train, k, max_nodes).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`ghw_generate`] under a task context (interruptible). The strategy
+/// unfoldings themselves are budget-bounded and uncached, so the handle
+/// is observed between features rather than inside an unfolding.
+pub fn ghw_generate_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    k: usize,
+    max_nodes: usize,
+) -> Result<Result<SeparatorModel, GenError>, Interrupted> {
+    let chain = match ghw_chain_in(ctx, train, k)? {
+        Ok(chain) => chain,
+        Err(_) => return Ok(Err(GenError::NotSeparable)),
+    };
     let entities = train.entities();
     let mut features: Vec<Cq> = Vec::with_capacity(chain.class_count());
     for c in 0..chain.class_count() {
+        ctx.check()?;
         let e = chain.elems[chain.representative(c)];
-        let q =
-            lemma54_feature(&train.db, e, &entities, k, max_nodes).map_err(|err| match err {
-                ExtractError::Budget { nodes } => GenError::Budget { nodes },
-                ExtractError::DuplicatorWins => unreachable!("filtered by lemma54_feature"),
-            })?;
+        let q = match lemma54_feature(&train.db, e, &entities, k, max_nodes) {
+            Ok(q) => q,
+            Err(ExtractError::Budget { nodes }) => return Ok(Err(GenError::Budget { nodes })),
+            Err(ExtractError::DuplicatorWins) => unreachable!("filtered by lemma54_feature"),
+        };
         features.push(q);
     }
-    Ok(SeparatorModel {
+    Ok(Ok(SeparatorModel {
         statistic: Statistic::new(features),
         classifier: chain.classifier.clone(),
-    })
+    }))
 }
 
 #[cfg(test)]

@@ -78,6 +78,6 @@ pub use statistic::{SeparatorModel, Statistic};
 
 // Re-export the building blocks users need alongside the algorithms.
 pub use cq::{Cq, EnumConfig};
-pub use engine::{Engine, EngineStats, RestoreSummary};
+pub use engine::{Ctx, Engine, EngineStats, Interrupt, Interrupted, Reason, RestoreSummary};
 pub use linsep::LinearClassifier;
 pub use relational::{Database, DbBuilder, Label, Labeling, Schema, TrainingDb, Val};

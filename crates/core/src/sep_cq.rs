@@ -14,10 +14,10 @@
 //! statistic, and classification of evaluation databases runs the same
 //! homomorphism tests cross-database.
 
-use crate::chain::{build_chain_with, ChainError, ChainModel};
+use crate::chain::{build_chain_in, ChainError, ChainModel};
 use crate::statistic::{SeparatorModel, Statistic};
 use cq::Cq;
-use engine::Engine;
+use engine::{Ctx, Engine, Interrupted};
 use relational::{Database, Labeling, TrainingDb, Val};
 
 /// Decide CQ-separability (Thm 3.2; coNP).
@@ -27,13 +27,26 @@ pub fn cq_separable(train: &TrainingDb) -> bool {
 
 /// [`cq_separable`] against a caller-supplied [`Engine`].
 pub fn cq_separable_with(engine: &Engine, train: &TrainingDb) -> bool {
+    cq_separable_in(&engine.ctx(), train).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`cq_separable`] under a task context (interruptible).
+pub fn cq_separable_in(ctx: &Ctx, train: &TrainingDb) -> Result<bool, Interrupted> {
+    ctx.check()?;
     // Cheaper than building the full preorder: only pos/neg pairs matter.
     // Each pair is an independent NP query — fan out and stop at the
-    // first hom-equivalent pair.
-    engine.par_all_pairs(&train.opposing_pairs(), |p, n| {
-        !(engine.hom_exists(&train.db, &train.db, &[(p, n)])
-            && engine.hom_exists(&train.db, &train.db, &[(n, p)]))
-    })
+    // first hom-equivalent pair. Workers report filler verdicts on Stop;
+    // the sticky post-fan-in check discards the batch.
+    let sep = ctx.engine().par_all_pairs(&train.opposing_pairs(), |p, n| {
+        !(ctx
+            .hom_exists(&train.db, &train.db, &[(p, n)])
+            .unwrap_or(false)
+            && ctx
+                .hom_exists(&train.db, &train.db, &[(n, p)])
+                .unwrap_or(false))
+    });
+    ctx.check()?;
+    Ok(sep)
 }
 
 /// The hom-preorder chain model over the training entities.
@@ -43,16 +56,29 @@ pub fn cq_chain(train: &TrainingDb) -> Result<ChainModel, ChainError> {
 
 /// [`cq_chain`] against a caller-supplied [`Engine`].
 pub fn cq_chain_with(engine: &Engine, train: &TrainingDb) -> Result<ChainModel, ChainError> {
+    cq_chain_in(&engine.ctx(), train).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`cq_chain`] under a task context (interruptible).
+pub fn cq_chain_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+) -> Result<Result<ChainModel, ChainError>, Interrupted> {
+    ctx.check()?;
     let elems = train.entities();
     let n = elems.len();
     // The n×n preorder matrix: n² independent hom queries, most of them
     // shared with `cq_separable`/`cq_classify` through the memo cache.
     let cells: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
-    let flat = engine.par_map(&cells, |&(i, j)| {
-        i == j || engine.hom_exists(&train.db, &train.db, &[(elems[i], elems[j])])
+    let flat = ctx.engine().par_map(&cells, |&(i, j)| {
+        i == j
+            || ctx
+                .hom_exists(&train.db, &train.db, &[(elems[i], elems[j])])
+                .unwrap_or(false)
     });
+    ctx.check()?;
     let leq: Vec<Vec<bool>> = flat.chunks(n.max(1)).map(|row| row.to_vec()).collect();
-    build_chain_with(engine, train, &elems, &leq)
+    build_chain_in(ctx, train, &elems, &leq)
 }
 
 /// Feature generation for CQ: the explicit chain statistic
@@ -64,17 +90,28 @@ pub fn cq_generate(train: &TrainingDb) -> Option<SeparatorModel> {
 
 /// [`cq_generate`] against a caller-supplied [`Engine`].
 pub fn cq_generate_with(engine: &Engine, train: &TrainingDb) -> Option<SeparatorModel> {
-    let chain = cq_chain_with(engine, train).ok()?;
+    cq_generate_in(&engine.ctx(), train).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`cq_generate`] under a task context (interruptible).
+pub fn cq_generate_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+) -> Result<Option<SeparatorModel>, Interrupted> {
+    let chain = match cq_chain_in(ctx, train)? {
+        Ok(chain) => chain,
+        Err(_) => return Ok(None),
+    };
     let features: Vec<Cq> = (0..chain.class_count())
         .map(|c| {
             let e = chain.elems[chain.representative(c)];
             Cq::from_pointed_db(&train.db, e).with_entity_guard()
         })
         .collect();
-    Some(SeparatorModel {
+    Ok(Some(SeparatorModel {
         statistic: Statistic::new(features),
         classifier: chain.classifier.clone(),
-    })
+    }))
 }
 
 /// CQ-Cls: classify an evaluation database consistently with a separating
@@ -86,7 +123,19 @@ pub fn cq_classify(train: &TrainingDb, eval: &Database) -> Option<Labeling> {
 
 /// [`cq_classify`] against a caller-supplied [`Engine`].
 pub fn cq_classify_with(engine: &Engine, train: &TrainingDb, eval: &Database) -> Option<Labeling> {
-    let chain = cq_chain_with(engine, train).ok()?;
+    cq_classify_in(&engine.ctx(), train, eval).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`cq_classify`] under a task context (interruptible).
+pub fn cq_classify_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    eval: &Database,
+) -> Result<Option<Labeling>, Interrupted> {
+    let chain = match cq_chain_in(ctx, train)? {
+        Ok(chain) => chain,
+        Err(_) => return Ok(None),
+    };
     // Flatten the (entity × class-representative) grid so one parallel
     // sweep covers every cross-database hom test.
     let ents = eval.entities();
@@ -95,10 +144,11 @@ pub fn cq_classify_with(engine: &Engine, train: &TrainingDb, eval: &Database) ->
         .iter()
         .flat_map(|&f| (0..k).map(move |c| (f, c)))
         .collect();
-    let bits = engine.par_map(&cells, |&(f, c)| {
+    let bits = ctx.engine().par_map(&cells, |&(f, c)| {
         let e = chain.elems[chain.representative(c)];
-        engine.hom_exists(&train.db, eval, &[(e, f)])
+        ctx.hom_exists(&train.db, eval, &[(e, f)]).unwrap_or(false)
     });
+    ctx.check()?;
     let mut out = Labeling::new();
     for (row, &f) in ents.iter().enumerate() {
         let v: Vec<i32> = bits[row * k..(row + 1) * k]
@@ -107,7 +157,7 @@ pub fn cq_classify_with(engine: &Engine, train: &TrainingDb, eval: &Database) ->
             .collect();
         out.set(f, chain.classify_vector(&v));
     }
-    Some(out)
+    Ok(Some(out))
 }
 
 /// The CQ-indistinguishability witness, when inseparable: a positive and
@@ -119,13 +169,28 @@ pub fn cq_inseparability_witness(train: &TrainingDb) -> Option<(Val, Val)> {
 
 /// [`cq_inseparability_witness`] against a caller-supplied [`Engine`].
 pub fn cq_inseparability_witness_with(engine: &Engine, train: &TrainingDb) -> Option<(Val, Val)> {
+    cq_inseparability_witness_in(&engine.ctx(), train).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`cq_inseparability_witness`] under a task context (interruptible).
+pub fn cq_inseparability_witness_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+) -> Result<Option<(Val, Val)>, Interrupted> {
+    ctx.check()?;
     let pairs = train.opposing_pairs();
-    engine
+    let hit = ctx
+        .engine()
         .par_find_first(&pairs, |&(p, n)| {
-            engine.hom_exists(&train.db, &train.db, &[(p, n)])
-                && engine.hom_exists(&train.db, &train.db, &[(n, p)])
+            ctx.hom_exists(&train.db, &train.db, &[(p, n)])
+                .unwrap_or(false)
+                && ctx
+                    .hom_exists(&train.db, &train.db, &[(n, p)])
+                    .unwrap_or(false)
         })
-        .map(|i| pairs[i])
+        .map(|i| pairs[i]);
+    ctx.check()?;
+    Ok(hit)
 }
 
 /// ∃FO⁺-separability coincides with CQ-separability (Proposition 8.3(2)):
@@ -138,6 +203,11 @@ pub fn epfo_separable(train: &TrainingDb) -> bool {
 /// [`epfo_separable`] against a caller-supplied [`Engine`].
 pub fn epfo_separable_with(engine: &Engine, train: &TrainingDb) -> bool {
     cq_separable_with(engine, train)
+}
+
+/// [`epfo_separable`] under a task context (interruptible).
+pub fn epfo_separable_in(ctx: &Ctx, train: &TrainingDb) -> Result<bool, Interrupted> {
+    cq_separable_in(ctx, train)
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 
 use crate::statistic::{SeparatorModel, Statistic};
 use cq::{enumerate_feature_queries, EnumConfig};
-use engine::Engine;
+use engine::{Ctx, Engine, Interrupted};
 use relational::{Database, Labeling, TrainingDb};
 
 /// The full `CQ[m]` statistic over the relations populated in `D`
@@ -51,12 +51,25 @@ pub fn cqm_generate_with(
     train: &TrainingDb,
     config: &EnumConfig,
 ) -> Option<SeparatorModel> {
-    let (statistic, rows, labels) = column_reduced_statistic(train, config);
-    let classifier = engine.separate(&rows, &labels)?;
-    Some(SeparatorModel {
+    cqm_generate_in(&engine.ctx(), train, config).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`cqm_generate`] under a task context (interruptible): both the
+/// enumerated feature-matrix sweep and the LP observe the handle.
+pub fn cqm_generate_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    config: &EnumConfig,
+) -> Result<Option<SeparatorModel>, Interrupted> {
+    let (statistic, rows, labels) = column_reduced_statistic_in(ctx, train, config)?;
+    let classifier = match ctx.separate(&rows, &labels)? {
+        Some(c) => c,
+        None => return Ok(None),
+    };
+    Ok(Some(SeparatorModel {
         statistic,
         classifier,
-    })
+    }))
 }
 
 /// The full (syntactically enumerated) `CQ[m]` statistic reduced to one
@@ -64,13 +77,27 @@ pub fn cqm_generate_with(
 /// feature matrix and the ±1 labels. Shared by the exact and approximate
 /// solvers: column identity is all that matters for (approximate) linear
 /// separability over a fixed training database.
-pub fn column_reduced_statistic(
+/// A reduced statistic plus its feature matrix: the deduplicated
+/// [`Statistic`], one indicator row per entity, and the entity labels.
+pub type ReducedStatistic = (Statistic, Vec<Vec<i32>>, Vec<i32>);
+
+pub fn column_reduced_statistic(train: &TrainingDb, config: &EnumConfig) -> ReducedStatistic {
+    column_reduced_statistic_in(&Engine::global().ctx(), train, config)
+        .expect("unbounded ctx cannot interrupt")
+}
+
+/// [`column_reduced_statistic`] under a task context: the feature-matrix
+/// sweep runs through [`Statistic::apply_in`], observing the handle
+/// between feature blocks.
+pub fn column_reduced_statistic_in(
+    ctx: &Ctx,
     train: &TrainingDb,
     config: &EnumConfig,
-) -> (Statistic, Vec<Vec<i32>>, Vec<i32>) {
+) -> Result<ReducedStatistic, Interrupted> {
+    ctx.check()?;
     let statistic = full_statistic(&train.db, &config.clone().syntactic());
     let entities = train.entities();
-    let rows = statistic.apply(&train.db, &entities);
+    let rows = statistic.apply_in(ctx, &train.db, &entities)?;
     let nfeat = statistic.dimension();
     let mut seen = std::collections::HashSet::new();
     let mut kept_features = Vec::new();
@@ -89,7 +116,7 @@ pub fn column_reduced_statistic(
         .iter()
         .map(|&e| train.labeling.get(e).to_i32())
         .collect();
-    (Statistic::new(kept_features), reduced_rows, labels)
+    Ok((Statistic::new(kept_features), reduced_rows, labels))
 }
 
 /// Decision-only variant of [`cqm_generate`].
@@ -100,6 +127,15 @@ pub fn cqm_separable(train: &TrainingDb, config: &EnumConfig) -> bool {
 /// [`cqm_separable`] against a caller-supplied [`Engine`].
 pub fn cqm_separable_with(engine: &Engine, train: &TrainingDb, config: &EnumConfig) -> bool {
     cqm_generate_with(engine, train, config).is_some()
+}
+
+/// [`cqm_separable`] under a task context (interruptible).
+pub fn cqm_separable_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    config: &EnumConfig,
+) -> Result<bool, Interrupted> {
+    Ok(cqm_generate_in(ctx, train, config)?.is_some())
 }
 
 /// `CQ[m]`-Cls: classify an evaluation database with a model generated
@@ -116,6 +152,16 @@ pub fn cqm_classify_with(
     config: &EnumConfig,
 ) -> Option<Labeling> {
     cqm_generate_with(engine, train, config).map(|model| model.classify(eval))
+}
+
+/// [`cqm_classify`] under a task context (interruptible).
+pub fn cqm_classify_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    eval: &Database,
+    config: &EnumConfig,
+) -> Result<Option<Labeling>, Interrupted> {
+    Ok(cqm_generate_in(ctx, train, config)?.map(|model| model.classify(eval)))
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@
 //! budget, refuting most subsets with a cheap conflict scan before any
 //! LP is assembled.
 
-use engine::Engine;
+use engine::{Ctx, Engine, Interrupted};
 use linsep::has_label_conflict;
 use qbe::QbeError;
 use relational::{Database, TrainingDb, Val};
@@ -113,6 +113,17 @@ pub fn sep_dim_with(
     Ok(sep_dim_witness_with(engine, train, class, ell, budget)?.is_some())
 }
 
+/// [`sep_dim`] under a task context (interruptible).
+pub fn sep_dim_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    class: &DimClass,
+    ell: usize,
+    budget: &DimBudget,
+) -> Result<Result<bool, DimError>, Interrupted> {
+    Ok(sep_dim_witness_in(ctx, train, class, ell, budget)?.map(|w| w.is_some()))
+}
+
 /// One feature coordinate per entry: the `(positive, negative)` entity
 /// split it must realize.
 pub type WitnessSplits = Vec<(Vec<Val>, Vec<Val>)>;
@@ -140,14 +151,28 @@ pub fn sep_dim_witness_with(
     ell: usize,
     budget: &DimBudget,
 ) -> Result<Option<WitnessSplits>, DimError> {
+    sep_dim_witness_in(&engine.ctx(), train, class, ell, budget)
+        .expect("unbounded ctx cannot interrupt")
+}
+
+/// [`sep_dim_witness`] under a task context: the preorder sweep, every
+/// QBE oracle call, and the subset search all observe the handle.
+pub fn sep_dim_witness_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    class: &DimClass,
+    ell: usize,
+    budget: &DimBudget,
+) -> Result<Result<Option<WitnessSplits>, DimError>, Interrupted> {
+    ctx.check()?;
     let elems = train.entities();
     if elems.is_empty() {
-        return Ok(Some(Vec::new()));
+        return Ok(Ok(Some(Vec::new())));
     }
     let n = elems.len();
 
     // Indistinguishability preorder for the class.
-    let leq = preorder_matrix(engine, &train.db, &elems, class);
+    let leq = preorder_matrix_in(ctx, &train.db, &elems, class)?;
 
     // Equivalence classes; mixed-label classes are hopeless at any ℓ.
     let mut class_of = vec![usize::MAX; n];
@@ -167,7 +192,7 @@ pub fn sep_dim_witness_with(
             if class_of[i] == class_of[j]
                 && train.labeling.get(elems[i]) != train.labeling.get(elems[j])
             {
-                return Ok(None);
+                return Ok(Ok(None));
             }
         }
     }
@@ -178,10 +203,14 @@ pub fn sep_dim_witness_with(
         .collect();
 
     // Enumerate up-sets of the class poset.
-    let upsets =
-        enumerate_upsets(&class_leq, budget.max_upsets).ok_or(DimError::TooManyUpsets {
-            cap: budget.max_upsets,
-        })?;
+    let upsets = match enumerate_upsets(&class_leq, budget.max_upsets) {
+        Some(u) => u,
+        None => {
+            return Ok(Err(DimError::TooManyUpsets {
+                cap: budget.max_upsets,
+            }))
+        }
+    };
 
     // Filter to QBE-explainable columns, as ±1 class vectors.
     let mut columns: Vec<Vec<i32>> = Vec::new();
@@ -205,22 +234,22 @@ pub fn sep_dim_witness_with(
             // separability: flipping its weight's sign absorbs it).
             false
         } else {
-            match class {
-                DimClass::Cq => engine::cq_qbe_decide_with(
-                    engine,
-                    &train.db,
-                    &pos,
-                    &neg,
-                    budget.product_budget,
-                )?,
-                DimClass::Ghw(k) => engine::ghw_qbe_decide_with(
-                    engine,
+            let verdict = match class {
+                DimClass::Cq => {
+                    engine::cq_qbe_decide_in(ctx, &train.db, &pos, &neg, budget.product_budget)?
+                }
+                DimClass::Ghw(k) => engine::ghw_qbe_decide_in(
+                    ctx,
                     &train.db,
                     &pos,
                     &neg,
                     *k,
                     budget.product_budget,
                 )?,
+            };
+            match verdict {
+                Ok(b) => b,
+                Err(e) => return Ok(Err(e.into())),
             }
         };
         if explainable {
@@ -247,8 +276,9 @@ pub fn sep_dim_witness_with(
         .iter()
         .map(|&r| train.labeling.get(elems[r]).to_i32())
         .collect();
-    Ok(search_columns_with(engine, &columns, &labels, ell)
-        .map(|chosen| chosen.into_iter().map(|c| column_sets[c].clone()).collect()))
+    Ok(Ok(search_columns_in(ctx, &columns, &labels, ell)?.map(
+        |chosen| chosen.into_iter().map(|c| column_sets[c].clone()).collect(),
+    )))
 }
 
 /// Convenience wrappers matching the paper's problem names.
@@ -286,6 +316,27 @@ pub fn ghw_sep_dim_with(
     sep_dim_with(engine, train, &DimClass::Ghw(k), ell, budget)
 }
 
+/// [`cq_sep_dim`] under a task context (interruptible).
+pub fn cq_sep_dim_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    ell: usize,
+    budget: &DimBudget,
+) -> Result<Result<bool, DimError>, Interrupted> {
+    sep_dim_in(ctx, train, &DimClass::Cq, ell, budget)
+}
+
+/// [`ghw_sep_dim`] under a task context (interruptible).
+pub fn ghw_sep_dim_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    k: usize,
+    ell: usize,
+    budget: &DimBudget,
+) -> Result<Result<bool, DimError>, Interrupted> {
+    sep_dim_in(ctx, train, &DimClass::Ghw(k), ell, budget)
+}
+
 /// `CQ[m]`-Sep[ℓ] / `CQ[m]`-Sep[*] (§6.3): enumerate the `CQ[m]` feature
 /// queries, deduplicate their indicator columns, and search for ≤ ℓ
 /// columns that linearly separate. NP-complete (Theorem 6.10); exact.
@@ -300,12 +351,24 @@ pub fn cqm_sep_dim_with(
     config: &cq::EnumConfig,
     ell: usize,
 ) -> bool {
+    cqm_sep_dim_in(&engine.ctx(), train, config, ell).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`cqm_sep_dim`] under a task context: the candidate enumeration sweep
+/// and the subset search both observe the handle.
+pub fn cqm_sep_dim_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    config: &cq::EnumConfig,
+    ell: usize,
+) -> Result<bool, Interrupted> {
+    ctx.check()?;
     // Syntactic enumeration suffices: the column deduplication below
     // subsumes logical-equivalence dedup for this fixed training
     // database, at a fraction of the cost.
     let statistic = crate::sep_cqm::full_statistic(&train.db, &config.clone().syntactic());
     let elems = train.entities();
-    let rows = statistic.apply(&train.db, &elems);
+    let rows = statistic.apply_in(ctx, &train.db, &elems)?;
     let labels: Vec<i32> = elems
         .iter()
         .map(|&e| train.labeling.get(e).to_i32())
@@ -321,7 +384,7 @@ pub fn cqm_sep_dim_with(
         .map(|j| all[j].clone())
         .collect();
     // Rows here are entities (not classes); search directly.
-    search_columns_with(engine, &columns, &labels, ell).is_some()
+    Ok(search_columns_in(ctx, &columns, &labels, ell)?.is_some())
 }
 
 /// Generate an explicit ℓ-feature separating model (statistic +
@@ -349,45 +412,61 @@ pub fn sep_dim_generate_with(
     budget: &DimBudget,
     extract_budget: usize,
 ) -> Result<Option<crate::statistic::SeparatorModel>, DimError> {
-    let witness = match sep_dim_witness_with(engine, train, class, ell, budget)? {
-        None => return Ok(None),
-        Some(w) => w,
+    sep_dim_generate_in(&engine.ctx(), train, class, ell, budget, extract_budget)
+        .expect("unbounded ctx cannot interrupt")
+}
+
+/// [`sep_dim_generate`] under a task context (interruptible).
+pub fn sep_dim_generate_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    class: &DimClass,
+    ell: usize,
+    budget: &DimBudget,
+    extract_budget: usize,
+) -> Result<Result<Option<crate::statistic::SeparatorModel>, DimError>, Interrupted> {
+    let witness = match sep_dim_witness_in(ctx, train, class, ell, budget)? {
+        Ok(Some(w)) => w,
+        Ok(None) => return Ok(Ok(None)),
+        Err(e) => return Ok(Err(e)),
     };
     let mut features: Vec<cq::Cq> = Vec::with_capacity(witness.len());
     for (pos, neg) in &witness {
-        let q = match class {
+        let explained = match class {
             DimClass::Cq => {
-                engine::cq_qbe_explain_with(engine, &train.db, pos, neg, budget.product_budget)?
-                    .expect("witness coordinate was QBE-verified explainable")
+                engine::cq_qbe_explain_in(ctx, &train.db, pos, neg, budget.product_budget)?
             }
-            DimClass::Ghw(k) => engine::ghw_qbe_explain_with(
-                engine,
+            DimClass::Ghw(k) => engine::ghw_qbe_explain_in(
+                ctx,
                 &train.db,
                 pos,
                 neg,
                 *k,
                 budget.product_budget,
                 extract_budget,
-            )?
-            .expect("witness coordinate was QBE-verified explainable"),
+            )?,
+        };
+        let q = match explained {
+            Ok(q) => q.expect("witness coordinate was QBE-verified explainable"),
+            Err(e) => return Ok(Err(e.into())),
         };
         features.push(q.with_entity_guard());
     }
     // A zero-feature witness (uniform labels) still needs a classifier.
     let statistic = crate::statistic::Statistic::new(features);
     let entities = train.entities();
-    let rows = statistic.apply(&train.db, &entities);
+    let rows = statistic.apply_in(ctx, &train.db, &entities)?;
     let labels: Vec<i32> = entities
         .iter()
         .map(|&e| train.labeling.get(e).to_i32())
         .collect();
-    let classifier = engine
-        .separate(&rows, &labels)
+    let classifier = ctx
+        .separate(&rows, &labels)?
         .expect("witness columns were LP-verified separable");
-    Ok(Some(crate::statistic::SeparatorModel {
+    Ok(Ok(Some(crate::statistic::SeparatorModel {
         statistic,
         classifier,
-    }))
+    })))
 }
 
 /// `L`-Cls[ℓ]: classify an evaluation database with an explicit
@@ -429,26 +508,49 @@ pub fn sep_dim_classify_with(
     )
 }
 
-/// The indistinguishability preorder matrix for the class.
-fn preorder_matrix(
-    engine: &Engine,
+/// [`sep_dim_classify`] under a task context (interruptible).
+pub fn sep_dim_classify_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    eval: &Database,
+    class: &DimClass,
+    ell: usize,
+    budget: &DimBudget,
+    extract_budget: usize,
+) -> Result<Result<Option<relational::Labeling>, DimError>, Interrupted> {
+    Ok(
+        sep_dim_generate_in(ctx, train, class, ell, budget, extract_budget)?
+            .map(|model| model.map(|m| m.classify(eval))),
+    )
+}
+
+/// The indistinguishability preorder matrix for the class, under a task
+/// context: workers swallow Stop with filler verdicts; the sticky
+/// post-fan-in check discards the matrix.
+fn preorder_matrix_in(
+    ctx: &Ctx,
     d: &Database,
     elems: &[Val],
     class: &DimClass,
-) -> Vec<Vec<bool>> {
+) -> Result<Vec<Vec<bool>>, Interrupted> {
     let n = elems.len();
     // n² independent indistinguishability queries: run them on the
     // engine's parallel driver, with both query kinds memoized by
     // database content in the engine's tables.
     let cells: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
-    let flat = engine.par_map(&cells, |&(i, j)| {
+    let flat = ctx.engine().par_map(&cells, |&(i, j)| {
         i == j
             || match class {
-                DimClass::Cq => engine.hom_exists(d, d, &[(elems[i], elems[j])]),
-                DimClass::Ghw(k) => engine.cover_implies(d, &[elems[i]], d, &[elems[j]], *k),
+                DimClass::Cq => ctx
+                    .hom_exists(d, d, &[(elems[i], elems[j])])
+                    .unwrap_or(false),
+                DimClass::Ghw(k) => ctx
+                    .cover_implies(d, &[elems[i]], d, &[elems[j]], *k)
+                    .unwrap_or(false),
             }
     });
-    flat.chunks(n.max(1)).map(|row| row.to_vec()).collect()
+    ctx.check()?;
+    Ok(flat.chunks(n.max(1)).map(|row| row.to_vec()).collect())
 }
 
 /// All up-sets of the class preorder, as membership vectors; `None` if
@@ -606,20 +708,19 @@ const SEARCH_BLOCK: usize = 256;
 /// `O(rows·ℓ)` conflict scan (identical projected rows with opposite
 /// labels) refutes most non-separating subsets before any LP exists —
 /// those hits are reported to the LP engine's prune counter.
-fn subset_separates(
-    engine: &Engine,
-    columns: &[Vec<i32>],
-    labels: &[i32],
-    chosen: &[usize],
-) -> bool {
+fn subset_separates(ctx: &Ctx, columns: &[Vec<i32>], labels: &[i32], chosen: &[usize]) -> bool {
     let rows: Vec<Vec<i32>> = (0..labels.len())
         .map(|r| chosen.iter().map(|&c| columns[c][r]).collect())
         .collect();
     if has_label_conflict(&rows, labels) {
-        engine.record_conflict_prune();
+        ctx.engine().record_conflict_prune();
         return false;
     }
-    engine.separate(&rows, labels).is_some()
+    // A Stop mid-LP yields a filler `false`; the callers' sticky
+    // re-checks discard the whole sweep when the handle tripped.
+    ctx.separate(&rows, labels)
+        .map(|c| c.is_some())
+        .unwrap_or(false)
 }
 
 /// Is there a choice of ≤ ℓ columns whose induced vectors (rows = the
@@ -646,14 +747,28 @@ pub fn search_columns_with(
     labels: &[i32],
     ell: usize,
 ) -> Option<Vec<usize>> {
+    search_columns_in(&engine.ctx(), columns, labels, ell).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`search_columns`] under a task context: the sweep observes the
+/// handle once per [`SEARCH_BLOCK`]-combination block (between parallel
+/// fan-outs), so cancellation lands within one block's worth of LPs.
+pub fn search_columns_in(
+    ctx: &Ctx,
+    columns: &[Vec<i32>],
+    labels: &[i32],
+    ell: usize,
+) -> Result<Option<Vec<usize>>, Interrupted> {
+    ctx.check()?;
     // Trivial case: uniform labels need zero features.
     if labels.iter().all(|&l| l == 1) || labels.iter().all(|&l| l == -1) {
-        return Some(Vec::new());
+        return Ok(Some(Vec::new()));
     }
     let mut block: Vec<Vec<usize>> = Vec::with_capacity(SEARCH_BLOCK);
     for k in 1..=ell.min(columns.len()) {
         let mut combos = Combinations::new(columns.len(), k);
         loop {
+            ctx.check()?;
             block.clear();
             while block.len() < SEARCH_BLOCK {
                 match combos.next_combo() {
@@ -664,14 +779,18 @@ pub fn search_columns_with(
             if block.is_empty() {
                 break;
             }
-            if let Some(i) = engine.par_find_first(&block, |chosen| {
-                subset_separates(engine, columns, labels, chosen)
-            }) {
-                return Some(block.swap_remove(i));
+            let hit = ctx.engine().par_find_first(&block, |chosen| {
+                subset_separates(ctx, columns, labels, chosen)
+            });
+            // Sticky re-check: a hit found by a tripped worker's filler
+            // verdict must not be reported as a witness.
+            ctx.check()?;
+            if let Some(i) = hit {
+                return Ok(Some(block.swap_remove(i)));
             }
         }
     }
-    None
+    Ok(None)
 }
 
 /// Sequential reference for [`search_columns`]: plain depth-first subset
@@ -690,38 +809,55 @@ pub fn search_columns_seq_with(
     labels: &[i32],
     ell: usize,
 ) -> Option<Vec<usize>> {
+    search_columns_seq_in(&engine.ctx(), columns, labels, ell)
+        .expect("unbounded ctx cannot interrupt")
+}
+
+/// [`search_columns_seq`] under a task context: the DFS observes the
+/// handle at every search node.
+pub fn search_columns_seq_in(
+    ctx: &Ctx,
+    columns: &[Vec<i32>],
+    labels: &[i32],
+    ell: usize,
+) -> Result<Option<Vec<usize>>, Interrupted> {
+    ctx.check()?;
     if labels.iter().all(|&l| l == 1) || labels.iter().all(|&l| l == -1) {
-        return Some(Vec::new());
+        return Ok(Some(Vec::new()));
     }
     let mut chosen: Vec<usize> = Vec::new();
     fn rec(
-        engine: &Engine,
+        ctx: &Ctx,
         columns: &[Vec<i32>],
         labels: &[i32],
         ell: usize,
         start: usize,
         chosen: &mut Vec<usize>,
-    ) -> bool {
-        if !chosen.is_empty() && subset_separates(engine, columns, labels, chosen) {
-            return true;
+    ) -> Result<bool, Interrupted> {
+        ctx.check()?;
+        if !chosen.is_empty() && subset_separates(ctx, columns, labels, chosen) {
+            // The filler-on-Stop inside `subset_separates` only produces
+            // false negatives, and the per-node entry check above turns
+            // a tripped handle into Interrupted before the next LP.
+            return Ok(true);
         }
         if chosen.len() == ell {
-            return false;
+            return Ok(false);
         }
         for c in start..columns.len() {
             chosen.push(c);
-            if rec(engine, columns, labels, ell, c + 1, chosen) {
-                return true;
+            if rec(ctx, columns, labels, ell, c + 1, chosen)? {
+                return Ok(true);
             }
             chosen.pop();
         }
-        false
+        Ok(false)
     }
-    if rec(engine, columns, labels, ell, 0, &mut chosen) {
+    Ok(if rec(ctx, columns, labels, ell, 0, &mut chosen)? {
         Some(chosen)
     } else {
         None
-    }
+    })
 }
 
 #[cfg(test)]

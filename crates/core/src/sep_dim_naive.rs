@@ -12,7 +12,7 @@
 //! are built from.
 
 use crate::sep_dim::{DimBudget, DimClass, DimError};
-use engine::Engine;
+use engine::{Ctx, Engine, Interrupted};
 use relational::{TrainingDb, Val};
 
 /// Decide `L`-Sep[ℓ] by the literal Lemma 6.3 search. Exponential in
@@ -34,10 +34,24 @@ pub fn sep_dim_naive_with(
     ell: usize,
     budget: &DimBudget,
 ) -> Result<bool, DimError> {
+    sep_dim_naive_in(&engine.ctx(), train, class, ell, budget)
+        .expect("unbounded ctx cannot interrupt")
+}
+
+/// [`sep_dim_naive`] under a task context: the handle is observed once
+/// per guessed assignment κ (each LP and QBE call also checks on entry).
+pub fn sep_dim_naive_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    class: &DimClass,
+    ell: usize,
+    budget: &DimBudget,
+) -> Result<Result<bool, DimError>, Interrupted> {
+    ctx.check()?;
     let elems = train.entities();
     let n = elems.len();
     if n == 0 {
-        return Ok(true);
+        return Ok(Ok(true));
     }
     assert!(
         n * ell <= 20,
@@ -51,6 +65,7 @@ pub fn sep_dim_naive_with(
     // Enumerate κ : entities → {±1}^ℓ as one big bitmask.
     let total_bits = n * ell;
     'outer: for mask in 0u64..(1u64 << total_bits) {
+        ctx.check()?;
         let kappa = |i: usize, j: usize| -> i32 {
             if mask & (1u64 << (i * ell + j)) != 0 {
                 1
@@ -62,7 +77,7 @@ pub fn sep_dim_naive_with(
         let vectors: Vec<Vec<i32>> = (0..n)
             .map(|i| (0..ell).map(|j| kappa(i, j)).collect())
             .collect();
-        if engine.separate(&vectors, &labels).is_none() {
+        if ctx.separate(&vectors, &labels)?.is_none() {
             continue;
         }
         // Step 2: each coordinate must be L-explainable.
@@ -82,16 +97,12 @@ pub fn sep_dim_naive_with(
             if pos.is_empty() {
                 continue 'outer;
             }
-            let ok = match class {
-                DimClass::Cq => engine::cq_qbe_decide_with(
-                    engine,
-                    &train.db,
-                    &pos,
-                    &neg,
-                    budget.product_budget,
-                )?,
-                DimClass::Ghw(k) => engine::ghw_qbe_decide_with(
-                    engine,
+            let verdict = match class {
+                DimClass::Cq => {
+                    engine::cq_qbe_decide_in(ctx, &train.db, &pos, &neg, budget.product_budget)?
+                }
+                DimClass::Ghw(k) => engine::ghw_qbe_decide_in(
+                    ctx,
                     &train.db,
                     &pos,
                     &neg,
@@ -99,13 +110,15 @@ pub fn sep_dim_naive_with(
                     budget.product_budget,
                 )?,
             };
-            if !ok {
-                continue 'outer;
+            match verdict {
+                Ok(true) => {}
+                Ok(false) => continue 'outer,
+                Err(e) => return Ok(Err(e.into())),
             }
         }
-        return Ok(true);
+        return Ok(Ok(true));
     }
-    Ok(false)
+    Ok(Ok(false))
 }
 
 #[cfg(test)]

@@ -6,9 +6,9 @@
 //! in sharp contrast to generation (§5.2), which this module deliberately
 //! does *not* do.
 
-use crate::chain::{build_chain_with, ChainError, ChainModel};
+use crate::chain::{build_chain_in, ChainError, ChainModel};
 use covergame::{CoverPreorder, UnionSkeleton};
-use engine::Engine;
+use engine::{Ctx, Engine, Interrupted};
 use relational::{TrainingDb, Val};
 
 /// Decide `GHW(k)`-separability (Theorem 5.3).
@@ -19,6 +19,11 @@ pub fn ghw_separable(train: &TrainingDb, k: usize) -> bool {
 /// [`ghw_separable`] against a caller-supplied [`Engine`].
 pub fn ghw_separable_with(engine: &Engine, train: &TrainingDb, k: usize) -> bool {
     ghw_inseparability_witness_with(engine, train, k).is_none()
+}
+
+/// [`ghw_separable`] under a task context (interruptible).
+pub fn ghw_separable_in(ctx: &Ctx, train: &TrainingDb, k: usize) -> Result<bool, Interrupted> {
+    Ok(ghw_inseparability_witness_in(ctx, train, k)?.is_none())
 }
 
 /// A positive/negative pair that is `GHW(k)`-indistinguishable, if any
@@ -33,18 +38,34 @@ pub fn ghw_inseparability_witness_with(
     train: &TrainingDb,
     k: usize,
 ) -> Option<(Val, Val)> {
+    ghw_inseparability_witness_in(&engine.ctx(), train, k).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`ghw_inseparability_witness`] under a task context (interruptible).
+pub fn ghw_inseparability_witness_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    k: usize,
+) -> Result<Option<(Val, Val)>, Interrupted> {
+    ctx.check()?;
     // All games share one database, hence one union skeleton; each pair's
     // two game solves are independent of every other pair's, so the
     // candidate sweep runs on the parallel driver. Verdicts memoize in
     // the engine's cache, where a later full-preorder sweep reuses them.
+    // Workers swallow Stop with a filler verdict; the sticky post-fan-in
+    // check discards the batch.
     let skeleton = UnionSkeleton::build(&train.db, k);
     let implies = |a: Val, b: Val| {
-        engine.cover_implies_with_skeleton(&train.db, &[a], &train.db, &[b], &skeleton)
+        ctx.cover_implies_with_skeleton(&train.db, &[a], &train.db, &[b], &skeleton)
+            .unwrap_or(false)
     };
     let pairs = train.opposing_pairs();
-    engine
+    let hit = ctx
+        .engine()
         .par_find_first(&pairs, |&(p, n)| implies(p, n) && implies(n, p))
-        .map(|i| pairs[i])
+        .map(|i| pairs[i]);
+    ctx.check()?;
+    Ok(hit)
 }
 
 /// The full `→_k` preorder over the training entities (used by
@@ -57,6 +78,15 @@ pub fn ghw_preorder(train: &TrainingDb, k: usize) -> CoverPreorder {
 /// [`ghw_preorder`] against a caller-supplied [`Engine`].
 pub fn ghw_preorder_with(engine: &Engine, train: &TrainingDb, k: usize) -> CoverPreorder {
     engine.preorder(&train.db, &train.entities(), k)
+}
+
+/// [`ghw_preorder`] under a task context (interruptible).
+pub fn ghw_preorder_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    k: usize,
+) -> Result<CoverPreorder, Interrupted> {
+    ctx.preorder(&train.db, &train.entities(), k)
 }
 
 /// The chain model of Lemma 5.4 for the `→_k` preorder: the implicit
@@ -72,8 +102,17 @@ pub fn ghw_chain_with(
     train: &TrainingDb,
     k: usize,
 ) -> Result<ChainModel, ChainError> {
-    let pre = ghw_preorder_with(engine, train, k);
-    build_chain_with(engine, train, &pre.elems, &pre.leq)
+    ghw_chain_in(&engine.ctx(), train, k).expect("unbounded ctx cannot interrupt")
+}
+
+/// [`ghw_chain`] under a task context (interruptible).
+pub fn ghw_chain_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    k: usize,
+) -> Result<Result<ChainModel, ChainError>, Interrupted> {
+    let pre = ghw_preorder_in(ctx, train, k)?;
+    build_chain_in(ctx, train, &pre.elems, &pre.leq)
 }
 
 #[cfg(test)]

@@ -42,14 +42,33 @@ impl Statistic {
         d: &Database,
         entities: &[Val],
     ) -> Vec<Vec<i32>> {
-        let cols = engine.par_map(&self.features, |q| indicator(q, d, entities));
+        self.apply_in(&engine.ctx(), d, entities)
+            .expect("unbounded ctx cannot interrupt")
+    }
+
+    /// [`Statistic::apply`] under a task context. The feature sweep runs
+    /// in blocks with an interrupt check between blocks, so wide
+    /// enumerated statistics (the `CQ[m]` solvers) stop promptly.
+    pub fn apply_in(
+        &self,
+        ctx: &engine::Ctx,
+        d: &Database,
+        entities: &[Val],
+    ) -> Result<Vec<Vec<i32>>, engine::Interrupted> {
+        ctx.check()?;
+        const BLOCK: usize = 32;
+        let mut cols: Vec<Vec<i32>> = Vec::with_capacity(self.features.len());
+        for chunk in self.features.chunks(BLOCK) {
+            cols.extend(ctx.engine().par_map(chunk, |q| indicator(q, d, entities)));
+            ctx.check()?;
+        }
         let mut rows = vec![Vec::with_capacity(self.features.len()); entities.len()];
         for col in cols {
             for (row, v) in rows.iter_mut().zip(col) {
                 row.push(v);
             }
         }
-        rows
+        Ok(rows)
     }
 
     /// Total number of atoms across the features — the size measure of

@@ -20,6 +20,7 @@
 use crate::game::CoverGame;
 use crate::skeleton::UnionSkeleton;
 use crate::stats::GameStats;
+use interrupt::{Interrupt, Stop};
 use relational::{Database, Val};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -112,6 +113,70 @@ impl GameCache {
         })
     }
 
+    /// Interruptible [`GameCache::implies`]: hits return instantly;
+    /// misses run an interruptible analysis and do **not** insert
+    /// anything when the analysis is stopped, so the table never holds a
+    /// verdict from a truncated fixpoint.
+    pub fn implies_int(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        k: usize,
+        intr: &Interrupt,
+    ) -> Result<bool, Stop> {
+        self.lookup_or_int(d, a, d2, b, k, || {
+            CoverGame::analyze_int(d, a, d2, b, k, intr).map(|g| self.solve_counted(&g))
+        })
+    }
+
+    /// Interruptible [`GameCache::implies_with_skeleton`]; same
+    /// no-insert-on-stop guarantee as [`GameCache::implies_int`].
+    pub fn implies_with_skeleton_int(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        skeleton: &UnionSkeleton,
+        intr: &Interrupt,
+    ) -> Result<bool, Stop> {
+        self.lookup_or_int(d, a, d2, b, skeleton.k, || {
+            CoverGame::analyze_with_skeleton_int(d, a, d2, b, skeleton, intr)
+                .map(|g| self.solve_counted(&g))
+        })
+    }
+
+    /// Interruptible [`GameCache::implies_uncached`].
+    pub fn implies_uncached_int(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        k: usize,
+        intr: &Interrupt,
+    ) -> Result<bool, Stop> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        CoverGame::analyze_int(d, a, d2, b, k, intr).map(|g| self.solve_counted(&g))
+    }
+
+    /// Interruptible [`GameCache::implies_with_skeleton_uncached`].
+    pub fn implies_with_skeleton_uncached_int(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        skeleton: &UnionSkeleton,
+        intr: &Interrupt,
+    ) -> Result<bool, Stop> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        CoverGame::analyze_with_skeleton_int(d, a, d2, b, skeleton, intr)
+            .map(|g| self.solve_counted(&g))
+    }
+
     /// [`GameCache::implies`] minus the memo table: counted as a miss and
     /// solved afresh, but the table is neither consulted nor updated —
     /// the `no_cache` execution mode of an engine.
@@ -187,6 +252,37 @@ impl GameCache {
         let ans = solve();
         shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
         ans
+    }
+
+    /// The interruptible twin of [`GameCache::lookup_or`]: a stopped
+    /// solve propagates [`Stop`] and leaves the table untouched.
+    fn lookup_or_int(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        k: usize,
+        solve: impl FnOnce() -> Result<bool, Stop>,
+    ) -> Result<bool, Stop> {
+        let key: Key = (d.fingerprint(), d2.fingerprint(), a.to_vec(), b.to_vec(), k);
+        let shard = &self.shards[Self::shard_of(&key)];
+        {
+            let mut g = shard.lock().unwrap();
+            if let Some(&ans) = g.cur.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(ans);
+            }
+            if let Some(ans) = g.prev.remove(&key) {
+                g.insert(key, ans, self.per_shard_cap);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(ans);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let ans = solve()?;
+        shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
+        Ok(ans)
     }
 
     fn shard_of(key: &Key) -> usize {

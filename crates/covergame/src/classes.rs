@@ -10,6 +10,7 @@
 //! algorithms use *without materializing it*.
 
 use crate::cache::GameCache;
+use interrupt::{Interrupt, Stop};
 use relational::{Database, Val};
 
 /// The computed preorder `⪯` over a list of elements of one database.
@@ -43,6 +44,36 @@ impl CoverPreorder {
     /// for tests and for callers that want an isolated lifetime or
     /// capacity.
     pub fn compute_with(d: &Database, elems: &[Val], k: usize, cache: &GameCache) -> CoverPreorder {
+        Self::compute_inner(d, elems, k, cache, None)
+            .expect("uninterruptible preorder sweep cannot stop")
+    }
+
+    /// Interruptible [`CoverPreorder::compute_with`]: every pairwise game
+    /// observes `intr`. Workers that trip mid-batch report a filler
+    /// verdict; stickiness means the post-fan-in re-check below sees the
+    /// trip, discards the whole (possibly bogus) matrix, and propagates
+    /// [`Stop`]. Completed games keep their cache entries, so a re-run on
+    /// the same cache resumes where the sweep left off.
+    pub fn compute_int(
+        d: &Database,
+        elems: &[Val],
+        k: usize,
+        cache: &GameCache,
+        intr: &Interrupt,
+    ) -> Result<CoverPreorder, Stop> {
+        Self::compute_inner(d, elems, k, cache, Some(intr))
+    }
+
+    fn compute_inner(
+        d: &Database,
+        elems: &[Val],
+        k: usize,
+        cache: &GameCache,
+        intr: Option<&Interrupt>,
+    ) -> Result<CoverPreorder, Stop> {
+        if let Some(h) = intr {
+            h.check()?;
+        }
         let n = elems.len();
         // One skeleton for all n² games (the unions depend only on D).
         let skeleton = crate::skeleton::UnionSkeleton::build(d, k);
@@ -50,9 +81,16 @@ impl CoverPreorder {
             .flat_map(|i| (0..n).map(move |j| (i, j)))
             .filter(|&(i, j)| i != j)
             .collect();
-        let verdicts = relational::hom::par::par_map(&cells, |&(i, j)| {
-            cache.implies_with_skeleton(d, &[elems[i]], d, &[elems[j]], &skeleton)
+        let verdicts = relational::hom::par::par_map(&cells, |&(i, j)| match intr {
+            None => cache.implies_with_skeleton(d, &[elems[i]], d, &[elems[j]], &skeleton),
+            Some(h) => cache
+                .implies_with_skeleton_int(d, &[elems[i]], d, &[elems[j]], &skeleton, h)
+                .unwrap_or(false),
         });
+        if let Some(h) = intr {
+            // The sticky re-check that makes the filler verdicts safe.
+            h.check()?;
+        }
         let mut leq = vec![vec![false; n]; n];
         for (i, row) in leq.iter_mut().enumerate() {
             row[i] = true;
@@ -60,7 +98,7 @@ impl CoverPreorder {
         for (&(i, j), v) in cells.iter().zip(verdicts) {
             leq[i][j] = v;
         }
-        Self::from_matrix(elems.to_vec(), leq, k)
+        Ok(Self::from_matrix(elems.to_vec(), leq, k))
     }
 
     /// The original sequential, uncached sweep. Kept as the reference
@@ -197,6 +235,29 @@ impl CoverPreorder {
                 } else {
                     -1
                 }
+            })
+            .collect()
+    }
+
+    /// Interruptible [`CoverPreorder::chain_vector_for_with`]: each of
+    /// the `class_count` games observes `intr`; the partial vector is
+    /// discarded on [`Stop`].
+    pub fn chain_vector_for_int(
+        &self,
+        d: &Database,
+        d2: &Database,
+        f: Val,
+        cache: &GameCache,
+        intr: &Interrupt,
+    ) -> Result<Vec<i32>, Stop> {
+        (0..self.class_count())
+            .map(|j| {
+                let rep = self.elems[self.representative(j)];
+                Ok(if cache.implies_int(d, &[rep], d2, &[f], self.k, intr)? {
+                    1
+                } else {
+                    -1
+                })
             })
             .collect()
     }

@@ -7,6 +7,7 @@
 //! unfolds into a distinguishing `GHW(k)` query.
 
 use crate::skeleton::UnionSkeleton;
+use interrupt::{Interrupt, Stop};
 use relational::{Database, Val};
 use std::collections::HashMap;
 
@@ -67,6 +68,24 @@ impl<'a> CoverGame<'a> {
         CoverGame::analyze_with_skeleton(d, a, d2, b, &skeleton)
     }
 
+    /// Interruptible [`CoverGame::analyze`]: the position exploration and
+    /// every fixpoint sweep observe `intr` at bounded intervals. On
+    /// [`Stop`] the partial effort (positions enumerated, sweeps run so
+    /// far) is still flushed to the global stats; the half-built game is
+    /// discarded.
+    pub fn analyze_int(
+        d: &'a Database,
+        a: &[Val],
+        d2: &'a Database,
+        b: &[Val],
+        k: usize,
+        intr: &Interrupt,
+    ) -> Result<CoverGame<'a>, Stop> {
+        intr.check()?;
+        let skeleton = UnionSkeleton::build(d, k);
+        CoverGame::analyze_inner(d, a, d2, b, &skeleton, Some(intr))
+    }
+
     /// Analyze reusing a prebuilt [`UnionSkeleton`] of `(d, k)`. The
     /// paper's algorithms solve `O(|η(D)|²)` games over one database —
     /// sharing the skeleton removes the dominant per-game setup cost.
@@ -77,8 +96,36 @@ impl<'a> CoverGame<'a> {
         b: &[Val],
         skeleton: &UnionSkeleton,
     ) -> CoverGame<'a> {
+        CoverGame::analyze_inner(d, a, d2, b, skeleton, None)
+            .expect("uninterruptible analysis cannot stop")
+    }
+
+    /// Interruptible [`CoverGame::analyze_with_skeleton`].
+    pub fn analyze_with_skeleton_int(
+        d: &'a Database,
+        a: &[Val],
+        d2: &'a Database,
+        b: &[Val],
+        skeleton: &UnionSkeleton,
+        intr: &Interrupt,
+    ) -> Result<CoverGame<'a>, Stop> {
+        CoverGame::analyze_inner(d, a, d2, b, skeleton, Some(intr))
+    }
+
+    fn analyze_inner(
+        d: &'a Database,
+        a: &[Val],
+        d2: &'a Database,
+        b: &[Val],
+        skeleton: &UnionSkeleton,
+        intr: Option<&Interrupt>,
+    ) -> Result<CoverGame<'a>, Stop> {
         assert_eq!(a.len(), b.len(), "distinguished tuples must align");
         assert_eq!(d.schema(), d2.schema(), "cover game requires one schema");
+
+        if let Some(i) = intr {
+            i.check()?;
+        }
 
         let mut game = CoverGame {
             d,
@@ -97,14 +144,17 @@ impl<'a> CoverGame<'a> {
         if game.base.is_none() {
             // Spoiler wins before any position exists.
             crate::stats::record_game(0, 0);
-            return game;
+            return Ok(game);
         }
         game.instantiate_unions(skeleton);
-        game.build_positions();
-        game.fixpoint(&skeleton.neighbors);
+        let run = game
+            .build_positions(intr)
+            .and_then(|()| game.fixpoint(&skeleton.neighbors, intr));
+        // Flush effort whether the analysis completed or was stopped:
+        // partial work is still attributable work.
         let positions: u64 = game.positions.iter().map(|p| p.len() as u64).sum();
         crate::stats::record_game(positions, game.sweeps as u64);
-        game
+        run.map(|()| game)
     }
 
     /// Does Duplicator win, i.e. does `(D, ā) →_k (D', b̄)` hold?
@@ -180,23 +230,28 @@ impl<'a> CoverGame<'a> {
             .collect();
     }
 
-    /// Enumerate all valid Duplicator responses at every union.
-    fn build_positions(&mut self) {
+    /// Enumerate all valid Duplicator responses at every union. With an
+    /// interrupt handle, the DFS stops between node expansions; the
+    /// partially filled position table stays on `self` for accounting.
+    fn build_positions(&mut self, intr: Option<&Interrupt>) -> Result<(), Stop> {
         let base = self.base.clone().unwrap();
         for u in &self.unions {
             let mut maps: Vec<Vec<Val>> = Vec::new();
             let mut cur: Vec<Option<Val>> = vec![None; u.elems.len()];
-            self.enumerate_maps(u, &base, 0, &mut cur, &mut maps);
+            let run = self.enumerate_maps(u, &base, 0, &mut cur, &mut maps, intr);
             self.positions.push(
                 maps.into_iter()
                     .map(|map| Position { map, death: None })
                     .collect(),
             );
+            run?;
         }
+        Ok(())
     }
 
     /// DFS over assignments of `u.elems`, pruning with facts whose
-    /// arguments are fully decided.
+    /// arguments are fully decided. Observes `intr` once per node
+    /// expansion (the same cadence as the hom backtracker).
     fn enumerate_maps(
         &self,
         u: &Union,
@@ -204,10 +259,14 @@ impl<'a> CoverGame<'a> {
         i: usize,
         cur: &mut Vec<Option<Val>>,
         out: &mut Vec<Vec<Val>>,
-    ) {
+        intr: Option<&Interrupt>,
+    ) -> Result<(), Stop> {
+        if let Some(h) = intr {
+            h.check()?;
+        }
         if i == u.elems.len() {
             out.push(cur.iter().map(|x| x.unwrap()).collect());
-            return;
+            return Ok(());
         }
         let e = u.elems[i];
         let choices: Vec<Val> = match base.get(&e) {
@@ -217,10 +276,11 @@ impl<'a> CoverGame<'a> {
         for c in choices {
             cur[i] = Some(c);
             if self.consistent_so_far(u, base, cur, i) {
-                self.enumerate_maps(u, base, i + 1, cur, out);
+                self.enumerate_maps(u, base, i + 1, cur, out, intr)?;
             }
         }
         cur[i] = None;
+        Ok(())
     }
 
     /// Check all inside-facts whose arguments are decided once position `i`
@@ -263,10 +323,14 @@ impl<'a> CoverGame<'a> {
     /// neighboring union refutes; if a union runs dry, every remaining
     /// position (and the empty starting position) dies with that union as
     /// witness.
-    fn fixpoint(&mut self, neighbors: &[crate::skeleton::NeighborRow]) {
+    fn fixpoint(
+        &mut self,
+        neighbors: &[crate::skeleton::NeighborRow],
+        intr: Option<&Interrupt>,
+    ) -> Result<(), Stop> {
         let n = self.unions.len();
         if n == 0 {
-            return;
+            return Ok(());
         }
         let mut alive_count: Vec<usize> = self.positions.iter().map(|p| p.len()).collect();
 
@@ -274,8 +338,15 @@ impl<'a> CoverGame<'a> {
         let mut sweeps = 0u32;
         loop {
             sweeps += 1;
+            self.sweeps = sweeps;
             let mut changed = false;
             for ui in 0..n {
+                // One check per union per sweep: each row below scans
+                // `neighbors × positions`, so this bounds the interval
+                // between checks without taxing the innermost loop.
+                if let Some(h) = intr {
+                    h.check()?;
+                }
                 for hi in 0..self.positions[ui].len() {
                     if self.positions[ui][hi].death.is_some() {
                         continue;
@@ -317,12 +388,10 @@ impl<'a> CoverGame<'a> {
                     }
                 }
                 self.spoiler_opening = Some(zero as u32);
-                self.sweeps = sweeps;
-                return;
+                return Ok(());
             }
             if !changed {
-                self.sweeps = sweeps;
-                return;
+                return Ok(());
             }
         }
     }
@@ -332,6 +401,18 @@ impl<'a> CoverGame<'a> {
 /// transfer to `b̄` (Proposition 5.2)?
 pub fn cover_implies(d: &Database, a: &[Val], d2: &Database, b: &[Val], k: usize) -> bool {
     CoverGame::analyze(d, a, d2, b, k).duplicator_wins()
+}
+
+/// Interruptible [`cover_implies`].
+pub fn cover_implies_int(
+    d: &Database,
+    a: &[Val],
+    d2: &Database,
+    b: &[Val],
+    k: usize,
+    intr: &Interrupt,
+) -> Result<bool, Stop> {
+    Ok(CoverGame::analyze_int(d, a, d2, b, k, intr)?.duplicator_wins())
 }
 
 /// Mutual `→_k`: the entities are `GHW(k)`-indistinguishable.

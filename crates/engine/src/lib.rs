@@ -32,6 +32,7 @@
 //! [`EngineStats`] reports the process-wide figure (see
 //! [`numeric::rat::promotion_count`]).
 
+pub mod ctx;
 pub mod persist;
 
 use covergame::{CoverPreorder, GameCache, GameStats, UnionSkeleton};
@@ -42,7 +43,10 @@ use qbe::QbeError;
 use relational::{Database, HomCache, HomStats, Val};
 use std::path::Path;
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
+pub use ctx::{Ctx, Interrupted};
+pub use interrupt::{Interrupt, Reason, Stop};
 pub use persist::RestoreSummary;
 
 /// Environment toggle honored by [`Engine::global`]: setting
@@ -114,6 +118,28 @@ impl Engine {
             threads: None,
             use_cache: std::env::var(NO_CACHE_ENV).map_or(true, |v| v != "1"),
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Task contexts
+    // ------------------------------------------------------------------
+
+    /// An unbounded [`Ctx`] over this engine (no deadline; cancellable
+    /// through a clone of its handle).
+    pub fn ctx(&self) -> Ctx<'_> {
+        Ctx::new(self)
+    }
+
+    /// A [`Ctx`] whose deadline is `budget` from now. `Duration::ZERO`
+    /// is already expired.
+    pub fn ctx_with_deadline(&self, budget: Duration) -> Ctx<'_> {
+        Ctx::with_deadline(self, budget)
+    }
+
+    /// A [`Ctx`] around a caller-owned [`Interrupt`] handle (the service
+    /// layer keeps a clone per in-flight task for its shutdown path).
+    pub fn ctx_with_interrupt(&self, interrupt: Interrupt) -> Ctx<'_> {
+        Ctx::with_interrupt(self, interrupt)
     }
 
     // ------------------------------------------------------------------
@@ -400,7 +426,35 @@ impl EngineStats {
 
 // ----------------------------------------------------------------------
 // Engine-threaded QBE entry points
+//
+// `foo_in(&Ctx, ...)` is the interruptible implementation; `foo_with`
+// delegates with an unbounded context (whose Interrupted arm cannot
+// fire, so the shim unwraps it). See `ctx` module docs for the
+// convention.
 // ----------------------------------------------------------------------
+
+/// [`qbe::cq_qbe_decide`] with the product-hom tests routed through the
+/// context's engine and observing its interrupt handle.
+pub fn cq_qbe_decide_in(
+    ctx: &Ctx,
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    product_budget: usize,
+) -> Result<Result<bool, QbeError>, Interrupted> {
+    ctx.check()?;
+    // Workers report a filler verdict on Stop; the sticky post-check
+    // below discards the (possibly bogus) result.
+    let out = qbe::cq_qbe_decide_via(
+        &|f, t, x| ctx.hom_exists(f, t, x).unwrap_or(false),
+        d,
+        pos,
+        neg,
+        product_budget,
+    );
+    ctx.check()?;
+    Ok(out)
+}
 
 /// [`qbe::cq_qbe_decide`] with the product-hom tests routed through
 /// `engine`'s cache and counters.
@@ -411,13 +465,29 @@ pub fn cq_qbe_decide_with(
     neg: &[Val],
     product_budget: usize,
 ) -> Result<bool, QbeError> {
-    qbe::cq_qbe_decide_via(
-        &|f, t, x| engine.hom_exists(f, t, x),
+    cq_qbe_decide_in(&engine.ctx(), d, pos, neg, product_budget)
+        .expect("unbounded ctx cannot interrupt")
+}
+
+/// [`qbe::cq_qbe_explain`] with the product-hom tests routed through the
+/// context's engine and observing its interrupt handle.
+pub fn cq_qbe_explain_in(
+    ctx: &Ctx,
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    product_budget: usize,
+) -> Result<Result<Option<Cq>, QbeError>, Interrupted> {
+    ctx.check()?;
+    let out = qbe::cq_qbe_explain_via(
+        &|f, t, x| ctx.hom_exists(f, t, x).unwrap_or(false),
         d,
         pos,
         neg,
         product_budget,
-    )
+    );
+    ctx.check()?;
+    Ok(out)
 }
 
 /// [`qbe::cq_qbe_explain`] with the product-hom tests routed through
@@ -429,13 +499,31 @@ pub fn cq_qbe_explain_with(
     neg: &[Val],
     product_budget: usize,
 ) -> Result<Option<Cq>, QbeError> {
-    qbe::cq_qbe_explain_via(
-        &|f, t, x| engine.hom_exists(f, t, x),
+    cq_qbe_explain_in(&engine.ctx(), d, pos, neg, product_budget)
+        .expect("unbounded ctx cannot interrupt")
+}
+
+/// [`qbe::ghw_qbe_decide`] with the cover-game tests routed through the
+/// context's engine and observing its interrupt handle.
+pub fn ghw_qbe_decide_in(
+    ctx: &Ctx,
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    k: usize,
+    product_budget: usize,
+) -> Result<Result<bool, QbeError>, Interrupted> {
+    ctx.check()?;
+    let out = qbe::ghw_qbe_decide_via(
+        &|g, a, g2, b, kk| ctx.cover_implies(g, a, g2, b, kk).unwrap_or(false),
         d,
         pos,
         neg,
+        k,
         product_budget,
-    )
+    );
+    ctx.check()?;
+    Ok(out)
 }
 
 /// [`qbe::ghw_qbe_decide`] with the cover-game tests routed through
@@ -448,23 +536,34 @@ pub fn ghw_qbe_decide_with(
     k: usize,
     product_budget: usize,
 ) -> Result<bool, QbeError> {
-    qbe::ghw_qbe_decide_via(
-        &|g, a, g2, b, kk| engine.cover_implies(g, a, g2, b, kk),
-        d,
-        pos,
-        neg,
-        k,
-        product_budget,
-    )
+    ghw_qbe_decide_in(&engine.ctx(), d, pos, neg, k, product_budget)
+        .expect("unbounded ctx cannot interrupt")
 }
 
-/// [`qbe::ghw_qbe_explain`] under an engine. Extraction unfolds
+/// [`qbe::ghw_qbe_explain`] under a context. Extraction unfolds
 /// Spoiler's strategy from the *analyzed game*, which a verdict cache
 /// cannot supply, so the games here run uncached regardless of the
-/// engine's configuration; the engine parameter exists for call-site
-/// uniformity and future instrumentation.
+/// engine's configuration. The extraction itself is budget-bounded, so
+/// interruption is observed at the entry and exit checks only.
+pub fn ghw_qbe_explain_in(
+    ctx: &Ctx,
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    k: usize,
+    product_budget: usize,
+    extract_budget: usize,
+) -> Result<Result<Option<Cq>, QbeError>, Interrupted> {
+    ctx.check()?;
+    let out = qbe::ghw_qbe_explain(d, pos, neg, k, product_budget, extract_budget);
+    ctx.check()?;
+    Ok(out)
+}
+
+/// [`qbe::ghw_qbe_explain`] under an engine (see
+/// [`ghw_qbe_explain_in`] for why the games run uncached).
 pub fn ghw_qbe_explain_with(
-    _engine: &Engine,
+    engine: &Engine,
     d: &Database,
     pos: &[Val],
     neg: &[Val],
@@ -472,12 +571,47 @@ pub fn ghw_qbe_explain_with(
     product_budget: usize,
     extract_budget: usize,
 ) -> Result<Option<Cq>, QbeError> {
-    qbe::ghw_qbe_explain(d, pos, neg, k, product_budget, extract_budget)
+    ghw_qbe_explain_in(
+        &engine.ctx(),
+        d,
+        pos,
+        neg,
+        k,
+        product_budget,
+        extract_budget,
+    )
+    .expect("unbounded ctx cannot interrupt")
+}
+
+/// [`qbe::cqm_qbe`] with the candidate scan fanned out under the
+/// context's thread budget, observed in blocks: the handle is checked
+/// between blocks of candidates, so a deadline lands within one block's
+/// worth of acceptance tests. Returns the same (lowest-index) first
+/// acceptable candidate as the sequential enumeration.
+pub fn cqm_qbe_in(
+    ctx: &Ctx,
+    d: &Database,
+    pos: &[Val],
+    neg: &[Val],
+    config: &EnumConfig,
+) -> Result<Option<Cq>, Interrupted> {
+    ctx.check()?;
+    let candidates = qbe::cqm_qbe_candidates(d, config);
+    const BLOCK: usize = 64;
+    for chunk in candidates.chunks(BLOCK) {
+        ctx.check()?;
+        if let Some(i) = ctx
+            .engine()
+            .par_find_first(chunk, |q| qbe::cqm_qbe_accepts(q, d, pos, neg))
+        {
+            return Ok(Some(chunk[i].clone()));
+        }
+    }
+    Ok(None)
 }
 
 /// [`qbe::cqm_qbe`] with the candidate scan fanned out under `engine`'s
-/// thread budget. Returns the same (lowest-index) first acceptable
-/// candidate as the sequential enumeration.
+/// thread budget.
 pub fn cqm_qbe_with(
     engine: &Engine,
     d: &Database,
@@ -485,10 +619,17 @@ pub fn cqm_qbe_with(
     neg: &[Val],
     config: &EnumConfig,
 ) -> Option<Cq> {
-    let candidates = qbe::cqm_qbe_candidates(d, config);
-    engine
-        .par_find_first(&candidates, |q| qbe::cqm_qbe_accepts(q, d, pos, neg))
-        .map(|i| candidates[i].clone())
+    cqm_qbe_in(&engine.ctx(), d, pos, neg, config).expect("unbounded ctx cannot interrupt")
+}
+
+/// Interruptible [`separate_with`] (the free-function form of
+/// [`Ctx::separate`]).
+pub fn separate_in(
+    ctx: &Ctx,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+) -> Result<Option<LinearClassifier>, Interrupted> {
+    ctx.separate(vectors, labels)
 }
 
 /// [`linsep::separate`] counted against `engine`'s LP counters.

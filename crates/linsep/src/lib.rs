@@ -35,11 +35,14 @@ pub mod simplex_big;
 pub mod stats;
 
 pub use classifier::LinearClassifier;
-pub use minerror::{min_error_classifier, min_error_classifier_counted, MinErrorResult};
-pub use separate::{
-    has_label_conflict, separate, separate_counted, separate_with_margin,
-    separate_with_margin_counted,
+pub use minerror::{
+    min_error_classifier, min_error_classifier_counted, min_error_classifier_counted_int,
+    MinErrorResult,
 };
-pub use simplex::{solve_lp, solve_lp_counted, LpOutcome};
+pub use separate::{
+    has_label_conflict, separate, separate_counted, separate_counted_int, separate_with_margin,
+    separate_with_margin_counted, separate_with_margin_counted_int,
+};
+pub use simplex::{solve_lp, solve_lp_counted, solve_lp_counted_int, LpOutcome};
 pub use simplex_big::{solve_lp_big, LpOutcomeBig};
 pub use stats::{LpCounters, LpStats};

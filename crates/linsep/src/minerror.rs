@@ -16,8 +16,9 @@
 //! initial upper bound — when it happens to be separable it is optimal.
 
 use crate::classifier::LinearClassifier;
-use crate::separate::separate_counted;
+use crate::separate::{separate_counted, separate_counted_int};
 use crate::stats::{global_counters, LpCounters};
+use interrupt::{Interrupt, Stop};
 use std::collections::HashMap;
 
 /// Result of [`min_error_classifier`].
@@ -48,13 +49,39 @@ pub fn min_error_classifier_counted(
     vectors: &[Vec<i32>],
     labels: &[i32],
 ) -> MinErrorResult {
+    min_error_inner(counters, vectors, labels, None)
+        .expect("uninterruptible min-error search cannot stop")
+}
+
+/// Interruptible [`min_error_classifier_counted`]: the branch-and-bound
+/// observes `intr` at every search node and inside every pruning LP. The
+/// partial incumbent is discarded on [`Stop`] (a truncated search cannot
+/// certify minimality).
+pub fn min_error_classifier_counted_int(
+    counters: &LpCounters,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+    intr: &Interrupt,
+) -> Result<MinErrorResult, Stop> {
+    min_error_inner(counters, vectors, labels, Some(intr))
+}
+
+fn min_error_inner(
+    counters: &LpCounters,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+    intr: Option<&Interrupt>,
+) -> Result<MinErrorResult, Stop> {
     assert_eq!(vectors.len(), labels.len());
+    if let Some(h) = intr {
+        h.check()?;
+    }
     if vectors.is_empty() {
-        return MinErrorResult {
+        return Ok(MinErrorResult {
             classifier: LinearClassifier::new(numeric::qint(0), Vec::new()),
             errors: 0,
             labels: Vec::new(),
-        };
+        });
     }
 
     // Group into types.
@@ -100,7 +127,7 @@ pub fn min_error_classifier_counted(
         let cost: usize = (0..ntypes)
             .map(|t| if majority[t] == 1 { neg[t] } else { pos[t] })
             .sum();
-        if cost < best_cost && assignment_separable(counters, &types, &majority) {
+        if cost < best_cost && assignment_separable(counters, &types, &majority, intr)? {
             best_cost = cost;
             best_assign = majority;
         }
@@ -126,7 +153,8 @@ pub fn min_error_classifier_counted(
         &mut assign,
         &mut best_cost,
         &mut best_assign,
-    );
+        intr,
+    )?;
 
     // Realize the best assignment with an actual classifier.
     let classifier = separate_counted(
@@ -145,11 +173,11 @@ pub fn min_error_classifier_counted(
         .filter(|(a, b)| a != b)
         .count();
     debug_assert_eq!(errors, best_cost);
-    MinErrorResult {
+    Ok(MinErrorResult {
         classifier,
         errors,
         labels: labels_out,
-    }
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -165,15 +193,19 @@ fn branch(
     assign: &mut Vec<i32>,
     best_cost: &mut usize,
     best_assign: &mut Vec<i32>,
-) {
+    intr: Option<&Interrupt>,
+) -> Result<(), Stop> {
+    if let Some(h) = intr {
+        h.check()?;
+    }
     if cost + suffix_min[i] >= *best_cost {
-        return;
+        return Ok(());
     }
     if i == order.len() {
         // cost < best, and the prefix checks kept us separable.
         *best_cost = cost;
         *best_assign = assign.clone();
-        return;
+        return Ok(());
     }
     let t = order[i];
     // Try the cheaper side first.
@@ -182,7 +214,7 @@ fn branch(
         let step = if side == 1 { neg[t] } else { pos[t] };
         assign[t] = side;
         if cost + step + suffix_min[i + 1] < *best_cost
-            && prefix_separable(counters, types, order, i, assign)
+            && prefix_separable(counters, types, order, i, assign, intr)?
         {
             branch(
                 counters,
@@ -196,10 +228,12 @@ fn branch(
                 assign,
                 best_cost,
                 best_assign,
-            );
+                intr,
+            )?;
         }
     }
     assign[t] = 0;
+    Ok(())
 }
 
 fn prefix_separable(
@@ -208,19 +242,31 @@ fn prefix_separable(
     order: &[usize],
     upto: usize,
     assign: &[i32],
-) -> bool {
+    intr: Option<&Interrupt>,
+) -> Result<bool, Stop> {
     let mut vs = Vec::with_capacity(upto + 1);
     let mut ys = Vec::with_capacity(upto + 1);
     for &t in &order[..=upto] {
         vs.push(types[t].to_vec());
         ys.push(assign[t]);
     }
-    separate_counted(counters, &vs, &ys).is_some()
+    Ok(match intr {
+        None => separate_counted(counters, &vs, &ys).is_some(),
+        Some(h) => separate_counted_int(counters, &vs, &ys, h)?.is_some(),
+    })
 }
 
-fn assignment_separable(counters: &LpCounters, types: &[&[i32]], assign: &[i32]) -> bool {
+fn assignment_separable(
+    counters: &LpCounters,
+    types: &[&[i32]],
+    assign: &[i32],
+    intr: Option<&Interrupt>,
+) -> Result<bool, Stop> {
     let vs: Vec<Vec<i32>> = types.iter().map(|t| t.to_vec()).collect();
-    separate_counted(counters, &vs, assign).is_some()
+    Ok(match intr {
+        None => separate_counted(counters, &vs, assign).is_some(),
+        Some(h) => separate_counted_int(counters, &vs, assign, h)?.is_some(),
+    })
 }
 
 #[cfg(test)]

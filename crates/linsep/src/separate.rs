@@ -24,8 +24,9 @@
 //!    [`Rat`] arithmetic.
 
 use crate::classifier::LinearClassifier;
-use crate::simplex::{solve_lp_counted, LpOutcome};
+use crate::simplex::{solve_lp_counted, solve_lp_counted_int, LpOutcome};
 use crate::stats::{global_counters, LpCounters};
+use interrupt::{Interrupt, Stop};
 use numeric::{qint, Rat};
 use std::collections::HashMap;
 
@@ -46,6 +47,19 @@ pub fn separate_counted(
     labels: &[i32],
 ) -> Option<LinearClassifier> {
     separate_with_margin_counted(counters, vectors, labels).map(|(c, _)| c)
+}
+
+/// Interruptible [`separate_counted`]: the conflict scan runs to
+/// completion (one cheap pass), the perceptron observes `intr` per epoch,
+/// and the margin LP observes it per pivot. Effort spent before the stop
+/// is still recorded into `counters`.
+pub fn separate_counted_int(
+    counters: &LpCounters,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+    intr: &Interrupt,
+) -> Result<Option<LinearClassifier>, Stop> {
+    Ok(separate_with_margin_counted_int(counters, vectors, labels, intr)?.map(|(c, _)| c))
 }
 
 /// Do identical vectors appear with opposite labels? If so no classifier
@@ -80,9 +94,32 @@ pub fn separate_with_margin_counted(
     vectors: &[Vec<i32>],
     labels: &[i32],
 ) -> Option<(LinearClassifier, Rat)> {
+    separate_margin_inner(counters, vectors, labels, None)
+        .expect("uninterruptible separation cannot stop")
+}
+
+/// Interruptible [`separate_with_margin_counted`].
+pub fn separate_with_margin_counted_int(
+    counters: &LpCounters,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+    intr: &Interrupt,
+) -> Result<Option<(LinearClassifier, Rat)>, Stop> {
+    separate_margin_inner(counters, vectors, labels, Some(intr))
+}
+
+fn separate_margin_inner(
+    counters: &LpCounters,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+    intr: Option<&Interrupt>,
+) -> Result<Option<(LinearClassifier, Rat)>, Stop> {
     assert_eq!(vectors.len(), labels.len(), "one label per vector");
+    if let Some(h) = intr {
+        h.check()?;
+    }
     if vectors.is_empty() {
-        return Some((LinearClassifier::new(qint(0), Vec::new()), qint(1)));
+        return Ok(Some((LinearClassifier::new(qint(0), Vec::new()), qint(1))));
     }
     let n = vectors[0].len();
     for v in vectors {
@@ -97,12 +134,12 @@ pub fn separate_with_margin_counted(
     // Tier 1: refute duplicate-vector conflicts without any arithmetic.
     if has_label_conflict(vectors, labels) {
         counters.record_conflict_prune();
-        return None;
+        return Ok(None);
     }
 
     // Tier 2: the integer perceptron usually converges immediately on
     // the easy instances the enumeration algorithms generate.
-    if let Some(c) = perceptron(vectors, labels, 200 * (n + 1) * (vectors.len() + 1)) {
+    if let Some(c) = perceptron(vectors, labels, 200 * (n + 1) * (vectors.len() + 1), intr)? {
         debug_assert!(c.separates(
             vectors
                 .iter()
@@ -111,7 +148,7 @@ pub fn separate_with_margin_counted(
         ));
         counters.record_perceptron_hit();
         let margin = margin_of(&c_normalized(&c), vectors, labels);
-        return Some((c, margin));
+        return Ok(Some((c, margin)));
     }
 
     // Tier 3, exact LP: variables u_j = w_j + 1 ∈ [0, 2] (j = 1..n),
@@ -156,13 +193,21 @@ pub fn separate_with_margin_counted(
     let mut c = vec![Rat::zero(); nvars];
     c[n + 1] = qint(1);
 
-    let (outcome, pivots) = solve_lp_counted(&a, &b, &c);
+    let (outcome, pivots) = match intr {
+        None => {
+            let (out, pivots) = solve_lp_counted(&a, &b, &c);
+            (Ok(out), pivots)
+        }
+        Some(h) => solve_lp_counted_int(&a, &b, &c, h),
+    };
+    // Record the pivots whether or not the solve completed: partial
+    // effort is still attributable effort.
     counters.record_lp(pivots);
-    match outcome {
+    match outcome? {
         LpOutcome::Optimal { x, value } => {
             let t = value - qint(n as i64 + 2);
             if !t.is_positive() {
-                return None;
+                return Ok(None);
             }
             let weights: Vec<Rat> = (0..n).map(|j| &x[j] - &qint(1)).collect();
             let threshold = &x[n] - &qint(1);
@@ -173,7 +218,7 @@ pub fn separate_with_margin_counted(
                     .map(|v| v.as_slice())
                     .zip(labels.iter().copied())
             ));
-            Some((c, t))
+            Ok(Some((c, t)))
         }
         // The LP is a bounded feasibility problem with an always-feasible
         // box (e.g. all-zero weights, t = -(n+2) ⇒ t' = 0).
@@ -181,19 +226,24 @@ pub fn separate_with_margin_counted(
     }
 }
 
-/// Integer perceptron with an iteration cap; `None` means "gave up", not
-/// "inseparable". The boundary convention (`≥` ⇒ positive) is enforced by
-/// training with a strict margin of 1 on both sides.
+/// Integer perceptron with an iteration cap; `Ok(None)` means "gave up",
+/// not "inseparable". The boundary convention (`≥` ⇒ positive) is
+/// enforced by training with a strict margin of 1 on both sides.
+/// Observes `intr` once per epoch (a full pass over the examples).
 fn perceptron(
     vectors: &[Vec<i32>],
     labels: &[i32],
     max_updates: usize,
-) -> Option<LinearClassifier> {
+    intr: Option<&Interrupt>,
+) -> Result<Option<LinearClassifier>, Stop> {
     let n = vectors[0].len();
     let mut w = vec![0i64; n];
     let mut w0 = 0i64;
     let mut updates = 0usize;
     loop {
+        if let Some(h) = intr {
+            h.check()?;
+        }
         let mut clean = true;
         for (v, &y) in vectors.iter().zip(labels.iter()) {
             let score: i64 = w
@@ -215,19 +265,19 @@ fn perceptron(
                 w0 -= y as i64;
                 updates += 1;
                 if updates >= max_updates {
-                    return None;
+                    return Ok(None);
                 }
                 // Overflow guard: bail to the LP long before i64 limits.
                 if w.iter().any(|&x| x.abs() > (1 << 40)) || w0.abs() > (1 << 40) {
-                    return None;
+                    return Ok(None);
                 }
             }
         }
         if clean {
-            return Some(LinearClassifier::new(
+            return Ok(Some(LinearClassifier::new(
                 qint(w0),
                 w.iter().map(|&x| qint(x)).collect(),
-            ));
+            )));
         }
     }
 }

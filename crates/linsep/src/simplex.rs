@@ -46,6 +46,7 @@
 //! [`crate::stats`].
 
 use crate::stats;
+use interrupt::{Interrupt, Stop};
 use numeric::Rat;
 
 /// Result of [`solve_lp`].
@@ -203,12 +204,18 @@ impl Tableau {
     }
 
     /// Run pivots to optimality. Returns `false` on unboundedness.
-    fn optimize(&mut self) -> bool {
+    /// Observes `intr` once per pivot round — the bounded-interval check
+    /// of the simplex layer (a single pivot touches `rows × cols` cells,
+    /// so the check cost is negligible against it).
+    fn optimize(&mut self, intr: Option<&Interrupt>) -> Result<bool, Stop> {
         loop {
+            if let Some(h) = intr {
+                h.check()?;
+            }
             match self.step() {
-                None => return true,
+                None => return Ok(true),
                 Some(Ok(())) => {}
-                Some(Err(_)) => return false,
+                Some(Err(_)) => return Ok(false),
             }
         }
     }
@@ -231,11 +238,39 @@ pub fn solve_lp(a: &[Vec<Rat>], b: &[Rat], c: &[Rat]) -> LpOutcome {
 /// atomics, and lets per-engine counter sets attribute pivots to the
 /// engine that ran them (see `LpCounters`).
 pub fn solve_lp_counted(a: &[Vec<Rat>], b: &[Rat], c: &[Rat]) -> (LpOutcome, u64) {
+    let (out, pivots) = solve_lp_inner(a, b, c, None);
+    (out.expect("uninterruptible solve cannot stop"), pivots)
+}
+
+/// Interruptible [`solve_lp_counted`]: the pivot loop observes `intr`
+/// once per round. On [`Stop`] the pivots performed so far are still
+/// reported, so the caller's accounting sees the truncated solve's
+/// effort; the half-pivoted tableau is discarded.
+pub fn solve_lp_counted_int(
+    a: &[Vec<Rat>],
+    b: &[Rat],
+    c: &[Rat],
+    intr: &Interrupt,
+) -> (Result<LpOutcome, Stop>, u64) {
+    solve_lp_inner(a, b, c, Some(intr))
+}
+
+fn solve_lp_inner(
+    a: &[Vec<Rat>],
+    b: &[Rat],
+    c: &[Rat],
+    intr: Option<&Interrupt>,
+) -> (Result<LpOutcome, Stop>, u64) {
     let m = a.len();
     let n = c.len();
     assert_eq!(b.len(), m, "b must match the number of constraint rows");
     for row in a {
         assert_eq!(row.len(), n, "every row of A must match c's length");
+    }
+    if let Some(h) = intr {
+        if let Err(stop) = h.check() {
+            return (Err(stop), 0);
+        }
     }
 
     // Columns: n structural + m slack + (phase-1 artificials) + rhs.
@@ -293,12 +328,15 @@ pub fn solve_lp_counted(a: &[Vec<Rat>], b: &[Rat], c: &[Rat]) -> (LpOutcome, u64
         for &i in &negatives {
             tab.obj[art_of_row[i]] = Rat::zero();
         }
-        let bounded = tab.optimize();
+        let bounded = match tab.optimize(intr) {
+            Ok(b) => b,
+            Err(stop) => return (Err(stop), tab.pivots),
+        };
         debug_assert!(bounded, "phase-1 objective is bounded by 0");
         // Feasible iff all artificials are zero: the phase-1 optimum
         // (stored as obj[rhs], negated running value) must be 0.
         if !tab.obj[ncols - 1].is_zero() {
-            return (LpOutcome::Infeasible, tab.pivots);
+            return (Ok(LpOutcome::Infeasible), tab.pivots);
         }
         // Drive any artificial still basic (at value 0) out of the basis.
         for r in 0..m {
@@ -340,12 +378,14 @@ pub fn solve_lp_counted(a: &[Vec<Rat>], b: &[Rat], c: &[Rat]) -> (LpOutcome, u64
             tab.obj[j] = item.clone();
         }
     }
-    finish(tab, n)
+    finish(tab, n, intr)
 }
 
-fn finish(mut tab: Tableau, n: usize) -> (LpOutcome, u64) {
-    if !tab.optimize() {
-        return (LpOutcome::Unbounded, tab.pivots);
+fn finish(mut tab: Tableau, n: usize, intr: Option<&Interrupt>) -> (Result<LpOutcome, Stop>, u64) {
+    match tab.optimize(intr) {
+        Ok(true) => {}
+        Ok(false) => return (Ok(LpOutcome::Unbounded), tab.pivots),
+        Err(stop) => return (Err(stop), tab.pivots),
     }
     let rhs = tab.ncols - 1;
     let mut x = vec![Rat::zero(); n];
@@ -358,7 +398,7 @@ fn finish(mut tab: Tableau, n: usize) -> (LpOutcome, u64) {
     }
     // The objective row's RHS holds -(current value) relative to 0 start.
     let value = -&tab.obj[rhs];
-    (LpOutcome::Optimal { x, value }, tab.pivots)
+    (Ok(LpOutcome::Optimal { x, value }), tab.pivots)
 }
 
 #[cfg(test)]

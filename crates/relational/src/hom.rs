@@ -15,6 +15,7 @@
 
 use crate::database::Database;
 use crate::ids::Val;
+use interrupt::{Interrupt, Stop};
 use std::collections::HashMap;
 
 pub mod cache;
@@ -90,7 +91,17 @@ impl<'a> HomSearch<'a> {
     /// accounting. The process-global [`stats`] module is still updated,
     /// exactly as for `exists`.
     pub fn exists_counted(&self) -> (bool, SearchCounts) {
-        self.solve_counted(&mut |_| true)
+        let (found, counts) = self.solve_counted_int(&mut |_| true, None);
+        (found.expect("uninterruptible search cannot stop"), counts)
+    }
+
+    /// Interruptible [`HomSearch::exists_counted`]: the backtracking loop
+    /// checks `intr` at every node expansion and unwinds with
+    /// [`Stop`] as soon as it trips. The effort counters cover the work
+    /// done up to the stop (and are flushed to the global [`stats`]
+    /// either way), so partial effort stays attributable.
+    pub fn exists_counted_int(&self, intr: &Interrupt) -> (Result<bool, Stop>, SearchCounts) {
+        self.solve_counted_int(&mut |_| true, Some(intr))
     }
 
     /// Find one homomorphism as a map over the constrained elements.
@@ -122,19 +133,29 @@ impl<'a> HomSearch<'a> {
     /// Core search. `on_solution` receives each solution; returning `true`
     /// stops the search. Returns whether any solution was found.
     fn solve(&self, on_solution: &mut dyn FnMut(HashMap<Val, Val>) -> bool) -> bool {
-        self.solve_counted(on_solution).0
+        let (found, _) = self.solve_counted_int(on_solution, None);
+        found.expect("uninterruptible search cannot stop")
     }
 
-    /// [`HomSearch::solve`] plus the per-query effort counters. Early
+    /// [`HomSearch::solve`] plus the per-query effort counters and an
+    /// optional interrupt handle (`None` = run to completion). Early
     /// returns (before a search state is built) report zeroed counts and,
     /// matching the historical behaviour, do not flush the global stats.
-    fn solve_counted(
+    /// An interrupted search flushes the partial counters and reports
+    /// `Err(Stop)` instead of a verdict.
+    fn solve_counted_int(
         &self,
         on_solution: &mut dyn FnMut(HashMap<Val, Val>) -> bool,
-    ) -> (bool, SearchCounts) {
+        intr: Option<&Interrupt>,
+    ) -> (Result<bool, Stop>, SearchCounts) {
         let counts = SearchCounts::default();
+        if let Some(i) = intr {
+            if let Err(stop) = i.check() {
+                return (Err(stop), counts);
+            }
+        }
         if self.inconsistent {
-            return (false, counts);
+            return (Ok(false), counts);
         }
         // Collect variables: active elements plus fixed ones.
         let mut is_var = vec![false; self.from.dom_size()];
@@ -148,14 +169,14 @@ impl<'a> HomSearch<'a> {
                 // A constraint on an element outside dom(from) cannot be
                 // satisfied by any mapping — mirror the out-of-domain
                 // target convention below rather than indexing OOB.
-                return (false, counts);
+                return (Ok(false), counts);
             }
             is_var[a.index()] = true;
         }
         let vars: Vec<Val> = self.from.dom().filter(|v| is_var[v.index()]).collect();
         if vars.is_empty() {
             // The empty homomorphism: vacuously valid even into an empty DB.
-            return (on_solution(HashMap::new()), counts);
+            return (Ok(on_solution(HashMap::new())), counts);
         }
 
         // Initial candidate sets with node consistency.
@@ -164,7 +185,7 @@ impl<'a> HomSearch<'a> {
         for &v in &vars {
             if let Some(&b) = self.fixed.get(&v) {
                 if b.index() >= self.to.dom_size() {
-                    return (false, counts);
+                    return (Ok(false), counts);
                 }
                 cand[v.index()] = vec![b];
                 continue;
@@ -185,7 +206,7 @@ impl<'a> HomSearch<'a> {
             for (rel, pos) in occurrences {
                 cs.retain(|&d| !self.to.facts_with(rel, pos, d).is_empty());
                 if cs.is_empty() {
-                    return (false, counts);
+                    return (Ok(false), counts);
                 }
             }
             cand[v.index()] = cs;
@@ -202,13 +223,15 @@ impl<'a> HomSearch<'a> {
             wipeouts: 0,
             backtracks: 0,
         };
-        let found = state.backtrack(on_solution);
+        let found = state.backtrack(on_solution, intr);
         let counts = SearchCounts {
             solves: 1,
             nodes: state.nodes,
             wipeouts: state.wipeouts,
             backtracks: state.backtracks,
         };
+        // Partial effort is flushed even on an interrupted search, so the
+        // caller's partial-stats report covers the work actually done.
         stats::record_search(state.nodes, state.wipeouts, state.backtracks);
         (found, counts)
     }
@@ -230,7 +253,16 @@ impl SearchState<'_, '_> {
     /// Iterative backtracking search (an explicit frame stack — recursion
     /// depth equals the variable count, which can reach tens of thousands
     /// on product databases, far past the thread stack).
-    fn backtrack(&mut self, on_solution: &mut dyn FnMut(HashMap<Val, Val>) -> bool) -> bool {
+    ///
+    /// When `intr` is supplied it is checked once per node expansion —
+    /// the unit of search progress — so an interrupt is observed within
+    /// one forward-check of tripping, regardless of how deep or wide the
+    /// search has grown.
+    fn backtrack(
+        &mut self,
+        on_solution: &mut dyn FnMut(HashMap<Val, Val>) -> bool,
+        intr: Option<&Interrupt>,
+    ) -> Result<bool, Stop> {
         struct Frame {
             var: Val,
             options: Vec<Val>,
@@ -255,7 +287,7 @@ impl SearchState<'_, '_> {
                         .map(|&u| (u, self.assignment[u.index()].unwrap()))
                         .collect();
                     if on_solution(h) {
-                        return true;
+                        return Ok(true);
                     }
                     // Treat as a dead end: fall through to backtracking.
                 }
@@ -273,7 +305,7 @@ impl SearchState<'_, '_> {
             // pop exhausted frames.
             'advance: loop {
                 let frame = match stack.last_mut() {
-                    None => return false,
+                    None => return Ok(false),
                     Some(f) => f,
                 };
                 // Undo the previous attempt of this frame, if any.
@@ -293,6 +325,9 @@ impl SearchState<'_, '_> {
                 let var = frame.var;
                 self.assignment[var.index()] = Some(d);
                 self.nodes += 1;
+                if let Some(i) = intr {
+                    i.check()?;
+                }
                 // Borrow dance: forward_check needs &mut self.
                 let mut trail = Vec::new();
                 let ok = self.forward_check(var, &mut trail);
@@ -392,6 +427,21 @@ pub fn homomorphism_exists_counted(
         .iter()
         .fold(HomSearch::new(from, to), |s, &(a, b)| s.fix(a, b))
         .exists_counted()
+}
+
+/// Interruptible [`homomorphism_exists_counted`]: the backtracking search
+/// observes `intr` at every node expansion. The counts always report the
+/// effort actually spent, even when the verdict is `Err(Stop)`.
+pub fn homomorphism_exists_counted_int(
+    from: &Database,
+    to: &Database,
+    fixed: &[(Val, Val)],
+    intr: &Interrupt,
+) -> (Result<bool, Stop>, SearchCounts) {
+    fixed
+        .iter()
+        .fold(HomSearch::new(from, to), |s, &(a, b)| s.fix(a, b))
+        .exists_counted_int(intr)
 }
 
 /// Find a homomorphism `from → to` extending the given fixed pairs.

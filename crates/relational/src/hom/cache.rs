@@ -30,9 +30,10 @@
 //! can never change an answer.
 
 use super::stats::HomStats;
-use super::{homomorphism_exists_counted, SearchCounts};
+use super::{homomorphism_exists_counted, homomorphism_exists_counted_int, SearchCounts};
 use crate::database::Database;
 use crate::ids::Val;
+use interrupt::{Interrupt, Stop};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -157,6 +158,47 @@ impl HomCache {
         ans
     }
 
+    /// Interruptible [`HomCache::exists`]. Hits return instantly (a memo
+    /// lookup needs no interruption window); a miss runs the search under
+    /// `intr` and — critically — does **not** insert anything when the
+    /// search is stopped: an aborted search has no verdict, and caching
+    /// one would poison every later query for the same key. The partial
+    /// search effort still lands in this cache's counters.
+    pub fn exists_int(
+        &self,
+        from: &Database,
+        to: &Database,
+        fixed: &[(Val, Val)],
+        intr: &Interrupt,
+    ) -> Result<bool, Stop> {
+        let mut norm: Vec<(Val, Val)> = fixed.to_vec();
+        norm.sort_unstable();
+        norm.dedup();
+        if norm.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Ok(false);
+        }
+        let key: Key = (from.fingerprint(), to.fingerprint(), norm);
+        let shard = &self.shards[Self::shard_of(&key)];
+        {
+            let mut g = shard.lock().unwrap();
+            if let Some(&ans) = g.cur.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(ans);
+            }
+            if let Some(ans) = g.prev.remove(&key) {
+                g.insert(key, ans, self.per_shard_cap);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(ans);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (ans, counts) = homomorphism_exists_counted_int(from, to, &key.2, intr);
+        self.note_search(&counts);
+        let ans = ans?;
+        shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
+        Ok(ans)
+    }
+
     /// [`HomCache::exists`] minus the memo table: the query is normalized
     /// and counted against this cache's miss/search counters, but the
     /// table is neither consulted nor updated. This is the `no_cache`
@@ -171,6 +213,27 @@ impl HomCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let (ans, counts) = homomorphism_exists_counted(from, to, &norm);
+        self.note_search(&counts);
+        ans
+    }
+
+    /// Interruptible [`HomCache::exists_uncached`]: same accounting, no
+    /// memoization, search stops when `intr` trips.
+    pub fn exists_uncached_int(
+        &self,
+        from: &Database,
+        to: &Database,
+        fixed: &[(Val, Val)],
+        intr: &Interrupt,
+    ) -> Result<bool, Stop> {
+        let mut norm: Vec<(Val, Val)> = fixed.to_vec();
+        norm.sort_unstable();
+        norm.dedup();
+        if norm.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Ok(false);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (ans, counts) = homomorphism_exists_counted_int(from, to, &norm, intr);
         self.note_search(&counts);
         ans
     }

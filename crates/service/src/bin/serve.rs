@@ -1,0 +1,104 @@
+//! `cqsep-serve`: a long-lived solver service speaking newline-delimited
+//! JSON over stdin/stdout (default) or a Unix domain socket
+//! (`--socket <path>`). See `service::server` for the wire format.
+
+use engine::Engine;
+use service::ServeOpts;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: cqsep-serve [options]
+  --workers <n>        worker threads sharing the engine (default 2)
+  --queue <n>          bounded job-queue capacity (default 64)
+  --timeout <secs>     default per-task budget for requests without one
+  --socket <path>      serve a Unix domain socket instead of stdin/stdout
+  --threads <n>        cap solver parallelism per task at n threads
+  --no-cache           run every hom/game query unmemoized
+protocol: one JSON request per line in, one JSON response per line out;
+          end of input drains, {\"op\":\"shutdown\"} cancels in-flight work";
+
+fn parse_args(args: &[String]) -> Result<(ServeOpts, Option<String>, Engine), String> {
+    let mut opts = ServeOpts::default();
+    let mut socket = None;
+    let mut engine = Engine::new();
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                let v = value(args, i, "--workers")?;
+                opts.workers = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad --workers value {v:?}"))?;
+                i += 1;
+            }
+            "--queue" => {
+                let v = value(args, i, "--queue")?;
+                opts.queue_cap = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad --queue value {v:?}"))?;
+                i += 1;
+            }
+            "--timeout" => {
+                let v = value(args, i, "--timeout")?;
+                let secs = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| *s >= 0.0 && s.is_finite())
+                    .ok_or_else(|| format!("bad --timeout value {v:?}"))?;
+                opts.default_timeout = Some(Duration::from_secs_f64(secs));
+                i += 1;
+            }
+            "--socket" => {
+                socket = Some(value(args, i, "--socket")?);
+                i += 1;
+            }
+            "--threads" => {
+                let v = value(args, i, "--threads")?;
+                let n = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad --threads value {v:?}"))?;
+                engine = engine.with_threads(n);
+                i += 1;
+            }
+            "--no-cache" => engine = engine.without_cache(),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok((opts, socket, engine))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, socket, engine) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let engine = Arc::new(engine);
+    let result = match socket {
+        Some(path) => service::serve_unix(engine, std::path::Path::new(&path), &opts),
+        None => {
+            let stdin = std::io::stdin().lock();
+            service::serve(engine, stdin, std::io::stdout(), &opts).map(|_| ())
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("cqsep-serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,41 @@
+//! The task layer: every solver call packaged as an interruptible job
+//! behind a long-lived front-end.
+//!
+//! The stack, bottom to top:
+//!
+//! * [`task`] — the typed [`Task`] / [`Outcome`] vocabulary and the
+//!   interruptible executor [`run_task_in`] (both the CLI subcommands
+//!   and the server workers are thin clients of it);
+//! * [`queue`] — a bounded, blocking priority queue
+//!   (`Mutex` + `Condvar` + `BinaryHeap`) providing backpressure;
+//! * [`pool`] — worker threads sharing one [`engine::Engine`] (one set
+//!   of memo tables), each job executed under its own
+//!   [`Ctx`](engine::Ctx) built from the job's timeout, with every
+//!   in-flight interrupt handle registered for shutdown cancellation;
+//! * [`server`] — the `cqsep-serve` NDJSON protocol over
+//!   stdin/stdout or a Unix domain socket;
+//! * [`json`] — the minimal hand-written JSON the protocol rides on
+//!   (the workspace `serde` is an offline marker-trait stand-in).
+//!
+//! Two shutdown disciplines, both leaving exactly one [`pool::Response`]
+//! per submitted job: end-of-input *drains* (queued jobs still run);
+//! an explicit `{"op":"shutdown"}` *cancels* — queued jobs are failed
+//! without running and in-flight solvers are tripped through their
+//! interrupt handles, unwinding with
+//! [`Interrupted`](engine::Interrupted) at the next cancellation check.
+
+pub mod json;
+pub mod pool;
+pub mod queue;
+pub mod server;
+pub mod task;
+
+pub use pool::{Job, Pool, Response};
+pub use queue::{Closed, JobQueue};
+#[cfg(unix)]
+pub use server::serve_unix;
+pub use server::{serve, ServeOpts, ServeSummary};
+pub use task::{
+    execute_in, load_database, load_training, render_labels, run_task_in, run_task_with, ClassSpec,
+    Outcome, Task, TaskOutput, DEFAULT_CHECK_CLASSES,
+};

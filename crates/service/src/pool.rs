@@ -1,0 +1,269 @@
+//! The worker pool: N threads sharing one [`Engine`] (one set of memo
+//! tables — later jobs reuse verdicts proved by earlier ones), pulling
+//! jobs from a bounded priority [`JobQueue`], executing each under its
+//! own [`Ctx`](engine::Ctx) built from the job's timeout.
+//!
+//! Every in-flight job's [`Interrupt`] handle is registered in a shared
+//! table while it runs; the cancelling shutdown path walks the table and
+//! trips every handle, so running solvers unwind with
+//! `Interrupted { reason: Cancelled, .. }` at their next check instead
+//! of running to completion. Exactly one [`Response`] is delivered per
+//! submitted job — completed, interrupted, failed, or (for jobs still
+//! queued when a cancelling shutdown starts) cancelled-before-start.
+
+use crate::queue::{Closed, JobQueue};
+use crate::task::{execute_in, Outcome, Task};
+use engine::{Engine, Interrupted};
+use interrupt::{Interrupt, Reason};
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A submitted unit of work: the task plus its scheduling envelope.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Caller-chosen correlation id, echoed in the [`Response`].
+    pub id: u64,
+    pub task: Task,
+    /// Per-task budget; `None` runs unbounded (still cancellable).
+    pub timeout: Option<Duration>,
+    /// Higher pops first; default 0 is FIFO.
+    pub priority: i64,
+}
+
+/// The terminal report for one [`Job`].
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub id: u64,
+    pub outcome: Outcome,
+    /// Wall-clock execution time (zero for jobs cancelled while queued).
+    pub elapsed: Duration,
+}
+
+type QueuedJob = (Job, Sender<Response>);
+
+/// See the module docs.
+pub struct Pool {
+    engine: Arc<Engine>,
+    queue: Arc<JobQueue<QueuedJob>>,
+    inflight: Arc<Mutex<HashMap<u64, Interrupt>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn `workers ≥ 1` threads over a queue admitting `queue_cap`
+    /// pending jobs.
+    pub fn new(engine: Arc<Engine>, workers: usize, queue_cap: usize) -> Pool {
+        assert!(workers >= 1, "need at least one worker");
+        let queue = Arc::new(JobQueue::bounded(queue_cap));
+        let inflight = Arc::new(Mutex::new(HashMap::new()));
+        let handles = (0..workers)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let queue = Arc::clone(&queue);
+                let inflight = Arc::clone(&inflight);
+                std::thread::spawn(move || worker_loop(&engine, &queue, &inflight))
+            })
+            .collect();
+        Pool {
+            engine,
+            queue,
+            inflight,
+            workers: handles,
+        }
+    }
+
+    /// The shared engine (for stats reporting around a batch).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Submit a job; its [`Response`] will arrive on `reply`. Blocks
+    /// while the queue is full; fails once the pool is shutting down.
+    pub fn submit(&self, job: Job, reply: Sender<Response>) -> Result<(), Closed> {
+        let priority = job.priority;
+        self.queue.push((job, reply), priority)
+    }
+
+    /// Trip the interrupt handle of one in-flight job. Returns whether
+    /// the id was actually running (queued/finished jobs are not).
+    pub fn cancel(&self, id: u64) -> bool {
+        match self.inflight.lock().unwrap().get(&id) {
+            Some(handle) => {
+                handle.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Graceful drain: stop admitting jobs, let the workers finish
+    /// everything already queued, then join them.
+    pub fn shutdown_drain(self) {
+        self.queue.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Cancelling shutdown: stop admitting jobs, report every
+    /// still-queued job as cancelled *without running it*, trip every
+    /// in-flight job's handle (the solvers unwind at their next check
+    /// and report `Interrupted`), then join the workers.
+    pub fn shutdown_cancel(self) {
+        self.queue.close();
+        let zero = self.engine.stats();
+        for (job, reply) in self.queue.drain_now() {
+            let _ = reply.send(Response {
+                id: job.id,
+                outcome: Outcome::Interrupted(Interrupted {
+                    reason: Reason::Cancelled,
+                    partial_stats: Box::new(self.engine.stats().since(&zero)),
+                }),
+                elapsed: Duration::ZERO,
+            });
+        }
+        for handle in self.inflight.lock().unwrap().values() {
+            handle.cancel();
+        }
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    engine: &Engine,
+    queue: &JobQueue<QueuedJob>,
+    inflight: &Mutex<HashMap<u64, Interrupt>>,
+) {
+    while let Some((job, reply)) = queue.pop() {
+        let handle = match job.timeout {
+            Some(budget) => Interrupt::with_deadline(budget),
+            None => Interrupt::none(),
+        };
+        inflight.lock().unwrap().insert(job.id, handle.clone());
+        let started = Instant::now();
+        let ctx = engine.ctx_with_interrupt(handle);
+        let outcome = execute_in(&ctx, &job.task);
+        inflight.lock().unwrap().remove(&job.id);
+        // A receiver that hung up just discards the report.
+        let _ = reply.send(Response {
+            id: job.id,
+            outcome,
+            elapsed: started.elapsed(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::ClassSpec;
+    use std::sync::mpsc::channel;
+
+    const TRAIN: &str = "\
+rel E/2
+fact E(a,b)
+fact E(b,c)
+entity a +
+entity b +
+entity c -
+";
+
+    fn check_job(id: u64) -> Job {
+        Job {
+            id,
+            task: Task::Check {
+                train: TRAIN.to_string(),
+                classes: vec![ClassSpec::Cq],
+            },
+            timeout: None,
+            priority: 0,
+        }
+    }
+
+    #[test]
+    fn jobs_complete_and_correlate_by_id() {
+        let pool = Pool::new(Arc::new(Engine::new()), 2, 8);
+        let (tx, rx) = channel();
+        for id in 0..4 {
+            pool.submit(check_job(id), tx.clone()).unwrap();
+        }
+        drop(tx);
+        let mut responses: Vec<Response> = rx.iter().collect();
+        responses.sort_by_key(|r| r.id);
+        assert_eq!(responses.len(), 4);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            assert!(r.outcome.is_success(), "{:?}", r.outcome);
+        }
+        pool.shutdown_drain();
+    }
+
+    #[test]
+    fn zero_timeout_reports_interrupted_not_success() {
+        let pool = Pool::new(Arc::new(Engine::new()), 1, 4);
+        let (tx, rx) = channel();
+        let mut job = check_job(9);
+        job.timeout = Some(Duration::ZERO);
+        pool.submit(job, tx).unwrap();
+        let r = rx.recv().unwrap();
+        assert_eq!(r.id, 9);
+        match r.outcome {
+            Outcome::Interrupted(i) => assert!(i.deadline_exceeded()),
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+        pool.shutdown_drain();
+    }
+
+    #[test]
+    fn graceful_drain_finishes_queued_jobs() {
+        let pool = Pool::new(Arc::new(Engine::new()), 1, 16);
+        let (tx, rx) = channel();
+        for id in 0..6 {
+            pool.submit(check_job(id), tx.clone()).unwrap();
+        }
+        drop(tx);
+        pool.shutdown_drain();
+        let responses: Vec<Response> = rx.iter().collect();
+        assert_eq!(responses.len(), 6);
+        assert!(responses.iter().all(|r| r.outcome.is_success()));
+    }
+
+    #[test]
+    fn cancelling_shutdown_reports_queued_jobs_as_cancelled() {
+        // One worker, several queued jobs: at least the backlog must be
+        // reported as cancelled-before-start.
+        let pool = Pool::new(Arc::new(Engine::new()), 1, 16);
+        let (tx, rx) = channel();
+        for id in 0..8 {
+            pool.submit(check_job(id), tx.clone()).unwrap();
+        }
+        drop(tx);
+        pool.shutdown_cancel();
+        let responses: Vec<Response> = rx.iter().collect();
+        assert_eq!(responses.len(), 8, "every job gets exactly one response");
+        let cancelled = responses
+            .iter()
+            .filter(|r| {
+                matches!(
+                    &r.outcome,
+                    Outcome::Interrupted(i) if i.reason == Reason::Cancelled
+                )
+            })
+            .count();
+        let completed = responses.iter().filter(|r| r.outcome.is_success()).count();
+        assert_eq!(cancelled + completed, 8);
+        assert!(cancelled >= 1, "the backlog cannot all have run already");
+    }
+
+    #[test]
+    fn cancel_by_id_only_hits_running_jobs() {
+        let pool = Pool::new(Arc::new(Engine::new()), 1, 4);
+        assert!(!pool.cancel(12345), "unknown id is not in flight");
+        pool.shutdown_drain();
+    }
+}

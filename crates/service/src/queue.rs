@@ -1,0 +1,232 @@
+//! A bounded, blocking priority queue (`Mutex` + two `Condvar`s +
+//! `BinaryHeap`): the admission-control stage between the protocol
+//! front-end and the worker pool.
+//!
+//! Higher priority pops first; within one priority level jobs pop in
+//! submission order (a monotone sequence number breaks ties), so the
+//! default priority 0 degrades to plain FIFO. `push` blocks while the
+//! queue is at capacity — backpressure reaches the submitting client
+//! instead of growing an unbounded backlog. [`JobQueue::close`] starts
+//! the drain: pushes fail fast, poppers empty what is queued and then
+//! receive `None`; [`JobQueue::drain_now`] instead takes the backlog
+//! away from the workers so a cancelling shutdown can fail those jobs
+//! without running them.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Error returned by [`JobQueue::push`] after [`JobQueue::close`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Closed;
+
+impl std::fmt::Display for Closed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "queue closed")
+    }
+}
+
+impl std::error::Error for Closed {}
+
+struct Entry<T> {
+    priority: i64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then *lower* sequence number
+        // (earlier submission) first.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct State<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// See the module docs.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `cap ≥ 1` queued items.
+    pub fn bounded(cap: usize) -> JobQueue<T> {
+        assert!(cap >= 1, "queue capacity must be at least 1");
+        JobQueue {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueue an item, blocking while the queue is full. Fails with
+    /// [`Closed`] once [`close`](JobQueue::close) has been called (also
+    /// when the call was already blocked at that moment).
+    pub fn push(&self, item: T, priority: i64) -> Result<(), Closed> {
+        let mut st = self.state.lock().unwrap();
+        while !st.closed && st.heap.len() >= self.cap {
+            st = self.not_full.wait(st).unwrap();
+        }
+        if st.closed {
+            return Err(Closed);
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.heap.push(Entry {
+            priority,
+            seq,
+            item,
+        });
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the highest-priority item, blocking while the queue is
+    /// empty. Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(entry) = st.heap.pop() {
+                self.not_full.notify_one();
+                return Some(entry.item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Stop admitting new items; wake every blocked `push` (to fail) and
+    /// `pop` (to drain). Idempotent.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Remove and return everything queued, in pop order. Used by the
+    /// cancelling shutdown to report queued-but-unstarted jobs without
+    /// running them.
+    pub fn drain_now(&self) -> Vec<T> {
+        let mut st = self.state.lock().unwrap();
+        let mut out = Vec::with_capacity(st.heap.len());
+        while let Some(entry) = st.heap.pop() {
+            out.push(entry.item);
+        }
+        self.not_full.notify_all();
+        out
+    }
+
+    /// Number of queued (not yet popped) items.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_one_priority() {
+        let q = JobQueue::bounded(8);
+        for i in 0..5 {
+            q.push(i, 0).unwrap();
+        }
+        q.close();
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn higher_priority_pops_first() {
+        let q = JobQueue::bounded(8);
+        q.push("low", -1).unwrap();
+        q.push("mid", 0).unwrap();
+        q.push("high", 7).unwrap();
+        q.push("mid2", 0).unwrap();
+        q.close();
+        let drained: Vec<&str> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, vec!["high", "mid", "mid2", "low"]);
+    }
+
+    #[test]
+    fn push_blocks_at_capacity_until_a_pop() {
+        let q = Arc::new(JobQueue::bounded(1));
+        q.push(1, 0).unwrap();
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(2, 0));
+        // Give the pusher time to block, then make room.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "second push must be blocked, not queued");
+        assert_eq!(q.pop(), Some(1));
+        pusher.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_fails_pushes_and_drains_pops() {
+        let q = Arc::new(JobQueue::bounded(4));
+        q.push(1, 0).unwrap();
+        q.close();
+        assert_eq!(q.push(2, 0), Err(Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_pop() {
+        let q = Arc::new(JobQueue::<i32>::bounded(4));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+
+    #[test]
+    fn drain_now_empties_the_backlog() {
+        let q = JobQueue::bounded(8);
+        q.push("a", 0).unwrap();
+        q.push("b", 5).unwrap();
+        assert_eq!(q.drain_now(), vec!["b", "a"]);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,531 @@
+//! The `cqsep-serve` protocol: newline-delimited JSON requests in,
+//! newline-delimited JSON responses out, over any `BufRead`/`Write`
+//! pair (stdin/stdout, a Unix socket connection, or an in-memory
+//! buffer in the test suite).
+//!
+//! # Requests (one JSON object per line)
+//!
+//! ```text
+//! {"id":1,"task":"check","train":"rel E/2\n…","classes":["cq","ghw1"]}
+//! {"id":2,"task":"train","train_path":"t.db","class":"cqm2"}
+//! {"id":3,"task":"classify","train":"…","eval":"…","class":"ghw1","timeout_secs":1.0}
+//! {"id":4,"task":"relabel","train":"…","k":1,"priority":5}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Databases come inline (`train`, `eval`: spec-format text) or by path
+//! (`train_path`, `eval_path`: read server-side). `id` defaults to a
+//! per-connection counter, `timeout_secs` to the server's default
+//! budget, `priority` to 0 (higher runs first).
+//!
+//! # Responses (one JSON object per line, in completion order)
+//!
+//! ```text
+//! {"id":1,"status":"ok","elapsed_s":0.004,"output":"…"}
+//! {"id":2,"status":"ok","elapsed_s":0.1,"output":"…","model":"…"}
+//! {"id":3,"status":"interrupted","reason":"deadline exceeded","elapsed_s":1.0,"stats":"…"}
+//! {"id":4,"status":"error","error":"…"}
+//! ```
+//!
+//! With more than one worker, responses interleave across jobs —
+//! correlate by `id`. End of input drains gracefully (queued jobs still
+//! run); `{"op":"shutdown"}` is the cancelling path: queued jobs are
+//! reported as `interrupted`/`cancelled` without running, in-flight
+//! solvers are tripped via their [`Ctx`](engine::Ctx) handles and
+//! unwind at their next cancellation check.
+
+use crate::json::Json;
+use crate::pool::{Job, Pool, Response};
+use crate::task::{ClassSpec, Outcome, Task};
+use engine::Engine;
+use std::io::{BufRead, Write};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Worker threads sharing the engine.
+    pub workers: usize,
+    /// Bounded queue capacity (backpressure past this).
+    pub queue_cap: usize,
+    /// Budget applied to requests that carry no `timeout_secs`.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServeOpts {
+    fn default() -> ServeOpts {
+        ServeOpts {
+            workers: 2,
+            queue_cap: 64,
+            default_timeout: None,
+        }
+    }
+}
+
+/// What one `serve` call processed, for callers that loop (the Unix
+/// socket accept loop) or assert (the test suite).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Responses written, by status.
+    pub ok: usize,
+    pub interrupted: usize,
+    pub failed: usize,
+    /// A `{"op":"shutdown"}` line was received: the whole server (not
+    /// just this connection) should stop.
+    pub shutdown_requested: bool,
+}
+
+impl ServeSummary {
+    pub fn total(&self) -> usize {
+        self.ok + self.interrupted + self.failed
+    }
+}
+
+enum Line {
+    Job(Job),
+    Shutdown,
+}
+
+/// Serve one connection: read requests until EOF or shutdown, write one
+/// response per job in completion order. See the module docs for the
+/// wire format.
+pub fn serve<R, W>(
+    engine: Arc<Engine>,
+    reader: R,
+    writer: W,
+    opts: &ServeOpts,
+) -> std::io::Result<ServeSummary>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let pool = Pool::new(engine, opts.workers, opts.queue_cap);
+    let (tx, rx) = mpsc::channel::<Response>();
+    std::thread::scope(|s| {
+        let writer_handle = s.spawn(move || write_responses(writer, rx));
+        let mut next_id: u64 = 0;
+        let mut shutdown = false;
+        let mut read_error = None;
+        for line in reader.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            next_id += 1;
+            match parse_request(&line, next_id, opts) {
+                Ok(Line::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Ok(Line::Job(job)) => {
+                    if pool.submit(job, tx.clone()).is_err() {
+                        break;
+                    }
+                }
+                Err((id, msg)) => {
+                    let _ = tx.send(Response {
+                        id,
+                        outcome: Outcome::Failed(msg),
+                        elapsed: Duration::ZERO,
+                    });
+                }
+            }
+        }
+        // Drop our sender so the writer loop terminates once every
+        // worker-held clone is gone too.
+        drop(tx);
+        if shutdown {
+            pool.shutdown_cancel();
+        } else {
+            pool.shutdown_drain();
+        }
+        let mut summary = writer_handle.join().expect("writer thread panicked")?;
+        summary.shutdown_requested = shutdown;
+        match read_error {
+            Some(e) => Err(e),
+            None => Ok(summary),
+        }
+    })
+}
+
+/// Accept loop over a Unix domain socket: one connection at a time,
+/// all connections sharing the engine (memo tables persist across
+/// connections). A `{"op":"shutdown"}` on any connection stops the
+/// loop; the socket file is removed on the way out.
+#[cfg(unix)]
+pub fn serve_unix(
+    engine: Arc<Engine>,
+    path: &std::path::Path,
+    opts: &ServeOpts,
+) -> std::io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = std::io::BufReader::new(stream.try_clone()?);
+        let summary = serve(Arc::clone(&engine), reader, stream, opts)?;
+        if summary.shutdown_requested {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+fn write_responses<W: Write>(
+    mut writer: W,
+    rx: mpsc::Receiver<Response>,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for resp in rx {
+        match &resp.outcome {
+            Outcome::Success(_) => summary.ok += 1,
+            Outcome::Interrupted(_) => summary.interrupted += 1,
+            Outcome::Failed(_) => summary.failed += 1,
+        }
+        writeln!(writer, "{}", render_response(&resp))?;
+        writer.flush()?;
+    }
+    Ok(summary)
+}
+
+fn render_response(resp: &Response) -> Json {
+    let mut fields = vec![("id".to_string(), Json::Num(resp.id as f64))];
+    let elapsed = (
+        "elapsed_s".to_string(),
+        Json::Num((resp.elapsed.as_secs_f64() * 1e6).round() / 1e6),
+    );
+    match &resp.outcome {
+        Outcome::Success(out) => {
+            fields.push(("status".to_string(), Json::Str("ok".to_string())));
+            fields.push(elapsed);
+            fields.push(("output".to_string(), Json::Str(out.output.clone())));
+            if let Some(model) = &out.model {
+                fields.push(("model".to_string(), Json::Str(model.clone())));
+            }
+        }
+        Outcome::Interrupted(i) => {
+            fields.push(("status".to_string(), Json::Str("interrupted".to_string())));
+            fields.push(("reason".to_string(), Json::Str(i.reason.to_string())));
+            fields.push(elapsed);
+            fields.push(("stats".to_string(), Json::Str(i.partial_stats.report())));
+        }
+        Outcome::Failed(msg) => {
+            fields.push(("status".to_string(), Json::Str("error".to_string())));
+            fields.push(("error".to_string(), Json::Str(msg.clone())));
+        }
+    }
+    Json::Obj(fields)
+}
+
+fn parse_request(line: &str, auto_id: u64, opts: &ServeOpts) -> Result<Line, (u64, String)> {
+    let value = Json::parse(line).map_err(|e| (auto_id, format!("bad request: {e}")))?;
+    if let Some(op) = value.get("op").and_then(Json::as_str) {
+        return match op {
+            "shutdown" => Ok(Line::Shutdown),
+            other => Err((auto_id, format!("unknown op {other:?}"))),
+        };
+    }
+    let id = value.get("id").and_then(Json::as_u64).unwrap_or(auto_id);
+    let fail = |msg: String| (id, msg);
+    let verb = value
+        .get("task")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail("request needs a \"task\" verb".to_string()))?;
+
+    let text_field = |inline: &str, path: &str| -> Result<String, (u64, String)> {
+        if let Some(text) = value.get(inline).and_then(Json::as_str) {
+            return Ok(text.to_string());
+        }
+        if let Some(p) = value.get(path).and_then(Json::as_str) {
+            return std::fs::read_to_string(p).map_err(|e| fail(format!("cannot read {p}: {e}")));
+        }
+        Err(fail(format!(
+            "{verb} needs {inline:?} (inline text) or {path:?} (server-side file)"
+        )))
+    };
+    let class_field = || -> Result<ClassSpec, (u64, String)> {
+        match value.get("class").and_then(Json::as_str) {
+            Some(s) => ClassSpec::parse(s).map_err(fail),
+            None => Ok(ClassSpec::Cqm(2)),
+        }
+    };
+
+    let task = match verb {
+        "check" => {
+            let mut classes = Vec::new();
+            if let Some(list) = value.get("classes").and_then(Json::as_array) {
+                for item in list {
+                    let s = item
+                        .as_str()
+                        .ok_or_else(|| fail("\"classes\" must hold strings".to_string()))?;
+                    classes.push(ClassSpec::parse(s).map_err(fail)?);
+                }
+            }
+            Task::Check {
+                train: text_field("train", "train_path")?,
+                classes,
+            }
+        }
+        "train" => Task::Train {
+            train: text_field("train", "train_path")?,
+            class: class_field()?,
+        },
+        "classify" => Task::Classify {
+            train: text_field("train", "train_path")?,
+            eval: text_field("eval", "eval_path")?,
+            class: class_field()?,
+        },
+        "relabel" => Task::Relabel {
+            train: text_field("train", "train_path")?,
+            k: match value.get("k") {
+                None => 1,
+                Some(v) => v
+                    .as_u64()
+                    .filter(|&k| k >= 1)
+                    .ok_or_else(|| fail("\"k\" must be an integer ≥ 1".to_string()))?
+                    as usize,
+            },
+        },
+        other => return Err(fail(format!("unknown task {other:?}"))),
+    };
+
+    let timeout = match value.get("timeout_secs") {
+        None => opts.default_timeout,
+        Some(v) => {
+            let secs = v
+                .as_f64()
+                .filter(|s| *s >= 0.0 && s.is_finite())
+                .ok_or_else(|| {
+                    fail("\"timeout_secs\" must be a non-negative number".to_string())
+                })?;
+            Some(Duration::from_secs_f64(secs))
+        }
+    };
+    let priority = match value.get("priority") {
+        None => 0,
+        Some(v) => v
+            .as_i64()
+            .ok_or_else(|| fail("\"priority\" must be an integer".to_string()))?,
+    };
+
+    Ok(Line::Job(Job {
+        id,
+        task,
+        timeout,
+        priority,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRAIN: &str = "rel E/2\nfact E(a,b)\nfact E(b,c)\nentity a +\nentity b +\nentity c -\n";
+    const EVAL: &str = "rel E/2\nfact E(u,v)\nentity u\nentity v\n";
+
+    fn run_lines(lines: &[String], opts: &ServeOpts) -> (Vec<Json>, ServeSummary) {
+        let input = lines.join("\n");
+        let mut output = Vec::new();
+        let summary = serve(Arc::new(Engine::new()), input.as_bytes(), &mut output, opts).unwrap();
+        let responses = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        (responses, summary)
+    }
+
+    fn req(fields: &[(&str, Json)]) -> String {
+        Json::Obj(
+            fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+        .to_string()
+    }
+
+    fn status_of(responses: &[Json], id: u64) -> String {
+        responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_u64) == Some(id))
+            .and_then(|r| r.get("status"))
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("no response with id {id}"))
+            .to_string()
+    }
+
+    #[test]
+    fn batch_of_mixed_tasks_round_trips() {
+        let lines = vec![
+            req(&[
+                ("id", Json::Num(1.0)),
+                ("task", Json::Str("check".to_string())),
+                ("train", Json::Str(TRAIN.to_string())),
+                (
+                    "classes",
+                    Json::Arr(vec![
+                        Json::Str("cq".to_string()),
+                        Json::Str("ghw1".to_string()),
+                    ]),
+                ),
+            ]),
+            req(&[
+                ("id", Json::Num(2.0)),
+                ("task", Json::Str("classify".to_string())),
+                ("train", Json::Str(TRAIN.to_string())),
+                ("eval", Json::Str(EVAL.to_string())),
+                ("class", Json::Str("ghw1".to_string())),
+            ]),
+            req(&[
+                ("id", Json::Num(3.0)),
+                ("task", Json::Str("train".to_string())),
+                ("train", Json::Str(TRAIN.to_string())),
+                ("class", Json::Str("cqm1".to_string())),
+            ]),
+        ];
+        let (responses, summary) = run_lines(&lines, &ServeOpts::default());
+        assert_eq!(summary.ok, 3, "{responses:?}");
+        assert_eq!(summary.total(), 3);
+        assert!(!summary.shutdown_requested);
+        assert_eq!(status_of(&responses, 1), "ok");
+        assert_eq!(status_of(&responses, 2), "ok");
+        assert_eq!(status_of(&responses, 3), "ok");
+        let train_resp = responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_u64) == Some(3))
+            .unwrap();
+        assert!(
+            train_resp.get("model").and_then(Json::as_str).is_some(),
+            "train response carries the model text"
+        );
+    }
+
+    #[test]
+    fn zero_timeout_reports_interrupted() {
+        let lines = vec![req(&[
+            ("id", Json::Num(7.0)),
+            ("task", Json::Str("check".to_string())),
+            ("train", Json::Str(TRAIN.to_string())),
+            ("timeout_secs", Json::Num(0.0)),
+        ])];
+        let (responses, summary) = run_lines(&lines, &ServeOpts::default());
+        assert_eq!(summary.interrupted, 1);
+        assert_eq!(status_of(&responses, 7), "interrupted");
+        let resp = &responses[0];
+        assert_eq!(
+            resp.get("reason").and_then(Json::as_str),
+            Some("deadline exceeded")
+        );
+        assert!(resp.get("stats").and_then(Json::as_str).is_some());
+    }
+
+    #[test]
+    fn malformed_lines_get_error_responses_and_serving_continues() {
+        let lines = vec![
+            "{not json".to_string(),
+            req(&[
+                ("task", Json::Str("check".to_string())),
+                ("train", Json::Str(TRAIN.to_string())),
+                ("classes", Json::Arr(vec![Json::Str("ghw0".to_string())])),
+            ]),
+            req(&[
+                ("id", Json::Num(5.0)),
+                ("task", Json::Str("check".to_string())),
+                ("train", Json::Str(TRAIN.to_string())),
+                ("classes", Json::Arr(vec![Json::Str("cq".to_string())])),
+            ]),
+        ];
+        let (responses, summary) = run_lines(&lines, &ServeOpts::default());
+        assert_eq!(summary.failed, 2);
+        assert_eq!(summary.ok, 1);
+        assert_eq!(status_of(&responses, 5), "ok");
+        // The unified ClassSpec message crosses the protocol verbatim.
+        let class_err = responses
+            .iter()
+            .filter_map(|r| r.get("error").and_then(Json::as_str))
+            .find(|e| e.contains("bad class"));
+        assert_eq!(
+            class_err,
+            Some("bad class \"ghw0\" (expected cq, ghw<k≥1>, cqm<m≥1>)")
+        );
+    }
+
+    #[test]
+    fn shutdown_op_stops_reading_and_cancels() {
+        let lines = vec![
+            req(&[
+                ("id", Json::Num(1.0)),
+                ("task", Json::Str("check".to_string())),
+                ("train", Json::Str(TRAIN.to_string())),
+                ("classes", Json::Arr(vec![Json::Str("cq".to_string())])),
+            ]),
+            "{\"op\":\"shutdown\"}".to_string(),
+            // Past the shutdown line: must never be parsed or served.
+            req(&[
+                ("id", Json::Num(99.0)),
+                ("task", Json::Str("check".to_string())),
+                ("train", Json::Str(TRAIN.to_string())),
+            ]),
+        ];
+        let (responses, summary) = run_lines(&lines, &ServeOpts::default());
+        assert!(summary.shutdown_requested);
+        assert!(
+            responses
+                .iter()
+                .all(|r| r.get("id").and_then(Json::as_u64) != Some(99)),
+            "lines after shutdown must be ignored: {responses:?}"
+        );
+        // Job 1 either completed or was cancelled; it got exactly one
+        // response either way.
+        assert_eq!(summary.total(), 1);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_serves_a_connection() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::os::unix::net::UnixStream;
+
+        let dir = std::env::temp_dir().join(format!("cqsep_sock_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.sock");
+        let spath = path.clone();
+        let server = std::thread::spawn(move || {
+            serve_unix(Arc::new(Engine::new()), &spath, &ServeOpts::default())
+        });
+        // Wait for the socket to appear.
+        let mut stream = loop {
+            match UnixStream::connect(&path) {
+                Ok(s) => break s,
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        };
+        let request = req(&[
+            ("id", Json::Num(1.0)),
+            ("task", Json::Str("check".to_string())),
+            ("train", Json::Str(TRAIN.to_string())),
+            ("classes", Json::Arr(vec![Json::Str("cq".to_string())])),
+        ]);
+        writeln!(stream, "{request}").unwrap();
+        let mut reply = String::new();
+        BufReader::new(stream.try_clone().unwrap())
+            .read_line(&mut reply)
+            .unwrap();
+        let parsed = Json::parse(reply.trim()).unwrap();
+        assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
+        writeln!(stream, "{{\"op\":\"shutdown\"}}").unwrap();
+        drop(stream);
+        server.join().unwrap().unwrap();
+        assert!(!path.exists(), "socket file is removed on shutdown");
+    }
+}

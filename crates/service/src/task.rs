@@ -1,0 +1,512 @@
+//! The typed task layer: what a job asks for ([`Task`]), what it
+//! produces ([`Outcome`]), and the interruptible executor
+//! [`run_task_in`] that both the CLI subcommands and the
+//! `cqsep-serve` worker pool are thin clients of.
+//!
+//! A [`Task`] carries its inputs *by value* (database text in the
+//! `relational::spec` format), so a job is self-contained: it can cross
+//! a process boundary on an NDJSON line, sit in the bounded queue, or
+//! be built in-process by the CLI from a file it just read — the
+//! executor cannot tell the difference.
+
+use cq::EnumConfig;
+use cqsep::{apx, cls_ghw, gen_ghw, sep_cq, sep_cqm, sep_ghw};
+use engine::{Ctx, Engine, Interrupted};
+use relational::spec::DatabaseSpec;
+use relational::{Database, Label, TrainingDb};
+use std::fmt::Write as _;
+
+/// A parsed feature-class specification: `cq`, `ghw<k>`, or `cqm<m>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassSpec {
+    Cq,
+    Ghw(usize),
+    Cqm(usize),
+}
+
+impl ClassSpec {
+    /// Parse `cq` / `ghw<k>` / `cqm<m>` (`k, m ≥ 1`). Every malformed
+    /// spelling — unknown prefix, `ghw0`, `cqm0`, bare `ghw`, non-numeric
+    /// suffix — produces the same one-line message.
+    pub fn parse(s: &str) -> Result<ClassSpec, String> {
+        let bad = || format!("bad class {s:?} (expected cq, ghw<k≥1>, cqm<m≥1>)");
+        if s == "cq" {
+            return Ok(ClassSpec::Cq);
+        }
+        if let Some(k) = s.strip_prefix("ghw") {
+            return k
+                .parse::<usize>()
+                .ok()
+                .filter(|&k| k >= 1)
+                .map(ClassSpec::Ghw)
+                .ok_or_else(bad);
+        }
+        if let Some(m) = s.strip_prefix("cqm") {
+            return m
+                .parse::<usize>()
+                .ok()
+                .filter(|&m| m >= 1)
+                .map(ClassSpec::Cqm)
+                .ok_or_else(bad);
+        }
+        Err(bad())
+    }
+}
+
+impl std::fmt::Display for ClassSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClassSpec::Cq => write!(f, "CQ"),
+            ClassSpec::Ghw(k) => write!(f, "GHW({k})"),
+            ClassSpec::Cqm(m) => write!(f, "CQ[{m}]"),
+        }
+    }
+}
+
+/// The default class list for a [`Task::Check`] with no explicit
+/// classes, matching the CLI's historical default.
+pub const DEFAULT_CHECK_CLASSES: [ClassSpec; 4] = [
+    ClassSpec::Cq,
+    ClassSpec::Ghw(1),
+    ClassSpec::Cqm(1),
+    ClassSpec::Cqm(2),
+];
+
+/// The atom-count budget [`Task::Train`] grants explicit `GHW(k)`
+/// feature extraction (Proposition 5.6 is worst-case exponential).
+pub const TRAIN_GHW_BUDGET: usize = 1_000_000;
+
+/// One unit of work. Databases are inline text in the
+/// `relational::spec` format (`rel`/`fact`/`entity` lines).
+#[derive(Clone, Debug)]
+pub enum Task {
+    /// Separability report over `classes` (all four defaults if empty).
+    Check {
+        train: String,
+        classes: Vec<ClassSpec>,
+    },
+    /// Generate a separator model for one class.
+    Train { train: String, class: ClassSpec },
+    /// Train on `train`, label the entities of `eval`.
+    Classify {
+        train: String,
+        eval: String,
+        class: ClassSpec,
+    },
+    /// Algorithm 2: optimal `GHW(k)`-separable relabeling.
+    Relabel { train: String, k: usize },
+}
+
+impl Task {
+    /// The protocol verb for this task (`check`, `train`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Task::Check { .. } => "check",
+            Task::Train { .. } => "train",
+            Task::Classify { .. } => "classify",
+            Task::Relabel { .. } => "relabel",
+        }
+    }
+}
+
+/// What a successfully executed [`Task`] produced.
+#[derive(Clone, Debug)]
+pub struct TaskOutput {
+    /// Human-readable report (the CLI prints this verbatim).
+    pub output: String,
+    /// For [`Task::Train`]: the persisted model text.
+    pub model: Option<String>,
+}
+
+/// The terminal state of a job: exactly one of these comes back for
+/// every submitted task, including tasks cancelled by shutdown.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The task ran to completion.
+    Success(TaskOutput),
+    /// The task's deadline passed or its handle was cancelled;
+    /// [`Interrupted`] carries the reason and the partial engine stats.
+    Interrupted(Interrupted),
+    /// The task failed (unparsable database, inseparable training data,
+    /// budget exhaustion, …).
+    Failed(String),
+}
+
+impl Outcome {
+    pub fn is_success(&self) -> bool {
+        matches!(self, Outcome::Success(_))
+    }
+
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, Outcome::Interrupted(_))
+    }
+}
+
+/// Parse training-database text (spec format, labeled entities).
+pub fn load_training(text: &str) -> Result<TrainingDb, String> {
+    DatabaseSpec::parse(text)
+        .map_err(|e| e.to_string())?
+        .to_training()
+        .map_err(|e| e.to_string())
+}
+
+/// Parse evaluation-database text (spec format, labels optional).
+pub fn load_database(text: &str) -> Result<Database, String> {
+    DatabaseSpec::parse(text)
+        .map_err(|e| e.to_string())?
+        .to_database()
+        .map_err(|e| e.to_string())
+}
+
+/// Execute a task under a [`Ctx`]. The outer `Err` is interruption
+/// (deadline passed or handle cancelled — the task should be reported
+/// as [`Outcome::Interrupted`]); the inner `Err` is a domain failure
+/// (bad input, inseparable data, exhausted budget).
+pub fn run_task_in(ctx: &Ctx, task: &Task) -> Result<Result<TaskOutput, String>, Interrupted> {
+    ctx.check()?;
+    match task {
+        Task::Check { train, classes } => {
+            let train = match load_training(train) {
+                Ok(t) => t,
+                Err(e) => return Ok(Err(e)),
+            };
+            let classes: &[ClassSpec] = if classes.is_empty() {
+                &DEFAULT_CHECK_CLASSES
+            } else {
+                classes
+            };
+            let output = check_in(ctx, &train, classes)?;
+            Ok(Ok(TaskOutput {
+                output,
+                model: None,
+            }))
+        }
+        Task::Train { train, class } => {
+            let train = match load_training(train) {
+                Ok(t) => t,
+                Err(e) => return Ok(Err(e)),
+            };
+            train_in(ctx, &train, *class)
+        }
+        Task::Classify { train, eval, class } => {
+            let (train, eval) = match (load_training(train), load_database(eval)) {
+                (Ok(t), Ok(e)) => (t, e),
+                (Err(e), _) | (_, Err(e)) => return Ok(Err(e)),
+            };
+            classify_in(ctx, &train, &eval, *class)
+        }
+        Task::Relabel { train, k } => {
+            let train = match load_training(train) {
+                Ok(t) => t,
+                Err(e) => return Ok(Err(e)),
+            };
+            let output = relabel_in(ctx, &train, *k)?;
+            Ok(Ok(TaskOutput {
+                output,
+                model: None,
+            }))
+        }
+    }
+}
+
+/// [`run_task_in`] against a bare engine (unbounded context).
+pub fn run_task_with(engine: &Engine, task: &Task) -> Result<TaskOutput, String> {
+    run_task_in(&engine.ctx(), task).expect("unbounded ctx cannot interrupt")
+}
+
+/// Execute a task and flatten all three terminal states into an
+/// [`Outcome`] — what the worker pool reports per job.
+pub fn execute_in(ctx: &Ctx, task: &Task) -> Outcome {
+    match run_task_in(ctx, task) {
+        Ok(Ok(out)) => Outcome::Success(out),
+        Ok(Err(msg)) => Outcome::Failed(msg),
+        Err(interrupted) => Outcome::Interrupted(interrupted),
+    }
+}
+
+fn check_in(ctx: &Ctx, train: &TrainingDb, classes: &[ClassSpec]) -> Result<String, Interrupted> {
+    let mut out = String::new();
+    let n = train.entities().len();
+    let _ = writeln!(
+        out,
+        "{} entities ({} positive, {} negative), {} facts",
+        n,
+        train.positives().len(),
+        train.negatives().len(),
+        train.db.fact_count()
+    );
+    for &c in classes {
+        let answer = match c {
+            ClassSpec::Cq => sep_cq::cq_separable_in(ctx, train)?,
+            ClassSpec::Ghw(k) => sep_ghw::ghw_separable_in(ctx, train, k)?,
+            ClassSpec::Cqm(m) => sep_cqm::cqm_separable_in(ctx, train, &EnumConfig::cqm(m))?,
+        };
+        let _ = writeln!(out, "{c:>8}-separable: {answer}");
+        if !answer {
+            let witness = match c {
+                ClassSpec::Cq => sep_cq::cq_inseparability_witness_in(ctx, train)?,
+                ClassSpec::Ghw(k) => sep_ghw::ghw_inseparability_witness_in(ctx, train, k)?,
+                ClassSpec::Cqm(_) => None,
+            };
+            if let Some((p, q)) = witness {
+                let _ = writeln!(
+                    out,
+                    "         witness: {} (+) and {} (-) are indistinguishable",
+                    train.db.val_name(p),
+                    train.db.val_name(q)
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn train_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    class: ClassSpec,
+) -> Result<Result<TaskOutput, String>, Interrupted> {
+    let model = match class {
+        ClassSpec::Cq => match sep_cq::cq_generate_in(ctx, train)? {
+            Some(m) => m,
+            None => return Ok(Err("not CQ-separable".to_string())),
+        },
+        ClassSpec::Ghw(k) => match gen_ghw::ghw_generate_in(ctx, train, k, TRAIN_GHW_BUDGET)? {
+            Ok(m) => m,
+            Err(e) => return Ok(Err(e.to_string())),
+        },
+        ClassSpec::Cqm(m) => match sep_cqm::cqm_generate_in(ctx, train, &EnumConfig::cqm(m))? {
+            Some(model) => model,
+            None => return Ok(Err(format!("not CQ[{m}]-separable"))),
+        },
+    };
+    let report = format!(
+        "{class}: {} features, {} total atoms\n",
+        model.statistic.dimension(),
+        model.statistic.total_atoms()
+    );
+    Ok(Ok(TaskOutput {
+        output: report,
+        model: Some(cqsep::persist::model_to_text(&model)),
+    }))
+}
+
+fn classify_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    eval: &Database,
+    class: ClassSpec,
+) -> Result<Result<TaskOutput, String>, Interrupted> {
+    let labels = match class {
+        ClassSpec::Ghw(k) => match cls_ghw::ghw_classify_in(ctx, train, eval, k)? {
+            Ok(l) => l,
+            Err(_) => return Ok(Err(format!("training data is not GHW({k})-separable"))),
+        },
+        ClassSpec::Cq => match sep_cq::cq_classify_in(ctx, train, eval)? {
+            Some(l) => l,
+            None => return Ok(Err("training data is not CQ-separable".to_string())),
+        },
+        ClassSpec::Cqm(m) => match sep_cqm::cqm_classify_in(ctx, train, eval, &EnumConfig::cqm(m))?
+        {
+            Some(l) => l,
+            None => return Ok(Err(format!("training data is not CQ[{m}]-separable"))),
+        },
+    };
+    Ok(Ok(TaskOutput {
+        output: render_labels(eval, |e| labels.get(e)),
+        model: None,
+    }))
+}
+
+fn relabel_in(ctx: &Ctx, train: &TrainingDb, k: usize) -> Result<String, Interrupted> {
+    let relabeled = apx::ghw_optimal_relabeling_in(ctx, train, k)?;
+    let errors = train.labeling.disagreement(&relabeled);
+    let mut out = format!(
+        "optimal GHW({k})-separable relabeling: {} disagreement(s)\n",
+        errors
+    );
+    for e in train.entities() {
+        let old = train.labeling.get(e);
+        let new = relabeled.get(e);
+        let mark = if old == new { " " } else { "*" };
+        let _ = writeln!(
+            out,
+            "{mark} {} {} -> {}",
+            train.db.val_name(e),
+            sign(old),
+            sign(new)
+        );
+    }
+    Ok(out)
+}
+
+/// Render entity labels one per line, sorted by entity name — the
+/// classification output format shared by `classify` and
+/// `classify-model`.
+pub fn render_labels(db: &Database, get: impl Fn(relational::Val) -> Label) -> String {
+    let mut out = String::new();
+    let mut named: Vec<(String, relational::Val)> = db
+        .entities()
+        .into_iter()
+        .map(|e| (db.val_name(e).to_string(), e))
+        .collect();
+    named.sort();
+    for (name, e) in named {
+        let _ = writeln!(out, "{name} {}", sign(get(e)));
+    }
+    out
+}
+
+fn sign(l: Label) -> &'static str {
+    match l {
+        Label::Positive => "+",
+        Label::Negative => "-",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const TRAIN: &str = "\
+rel E/2
+fact E(a,b)
+fact E(b,c)
+entity a +
+entity b +
+entity c -
+";
+
+    const EVAL: &str = "\
+rel E/2
+fact E(u,v)
+entity u
+entity v
+";
+
+    #[test]
+    fn class_spec_parses_valid_forms() {
+        assert_eq!(ClassSpec::parse("cq"), Ok(ClassSpec::Cq));
+        assert_eq!(ClassSpec::parse("ghw2"), Ok(ClassSpec::Ghw(2)));
+        assert_eq!(ClassSpec::parse("cqm3"), Ok(ClassSpec::Cqm(3)));
+    }
+
+    /// Satellite requirement: every malformed spelling produces the one
+    /// unified message — `ghw0`/`cqm0`, empty suffixes, and unknown
+    /// prefixes are indistinguishable to the caller.
+    #[test]
+    fn class_spec_errors_are_unified() {
+        for bad in ["ghw0", "cqm0", "ghw", "cqm", "ghwx", "cqm-1", "nope", ""] {
+            let err = ClassSpec::parse(bad).unwrap_err();
+            assert_eq!(
+                err,
+                format!("bad class {bad:?} (expected cq, ghw<k≥1>, cqm<m≥1>)"),
+                "spelling {bad:?} must use the unified message"
+            );
+        }
+    }
+
+    #[test]
+    fn check_task_reports_all_default_classes() {
+        let engine = Engine::new();
+        let out = run_task_with(
+            &engine,
+            &Task::Check {
+                train: TRAIN.to_string(),
+                classes: vec![],
+            },
+        )
+        .unwrap();
+        assert!(out.output.contains("CQ-separable: true"), "{}", out.output);
+        assert!(
+            out.output.contains("GHW(1)-separable: true"),
+            "{}",
+            out.output
+        );
+        assert!(
+            out.output.contains("CQ[2]-separable: true"),
+            "{}",
+            out.output
+        );
+        assert!(out.model.is_none());
+    }
+
+    #[test]
+    fn train_task_returns_a_model() {
+        let engine = Engine::new();
+        let out = run_task_with(
+            &engine,
+            &Task::Train {
+                train: TRAIN.to_string(),
+                class: ClassSpec::Cqm(1),
+            },
+        )
+        .unwrap();
+        assert!(out.output.contains("features"), "{}", out.output);
+        let model = out.model.expect("train returns the model text");
+        assert!(model.contains("feature"), "{model}");
+    }
+
+    #[test]
+    fn classify_task_labels_eval_entities() {
+        let engine = Engine::new();
+        let out = run_task_with(
+            &engine,
+            &Task::Classify {
+                train: TRAIN.to_string(),
+                eval: EVAL.to_string(),
+                class: ClassSpec::Ghw(1),
+            },
+        )
+        .unwrap();
+        assert!(out.output.contains("u "), "{}", out.output);
+        assert!(out.output.contains("v "), "{}", out.output);
+    }
+
+    #[test]
+    fn relabel_task_reports_disagreements() {
+        let engine = Engine::new();
+        let noisy = "rel E/2\nfact E(a,b)\nfact E(b,a)\nentity a +\nentity b -\n";
+        let out = run_task_with(
+            &engine,
+            &Task::Relabel {
+                train: noisy.to_string(),
+                k: 1,
+            },
+        )
+        .unwrap();
+        assert!(out.output.contains("1 disagreement"), "{}", out.output);
+    }
+
+    #[test]
+    fn bad_database_text_is_a_domain_failure_not_a_panic() {
+        let engine = Engine::new();
+        let err = run_task_with(
+            &engine,
+            &Task::Check {
+                train: "this is not a database".to_string(),
+                classes: vec![],
+            },
+        )
+        .unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_yields_interrupted_outcome() {
+        let engine = Engine::new();
+        let ctx = engine.ctx_with_deadline(Duration::ZERO);
+        let outcome = execute_in(
+            &ctx,
+            &Task::Check {
+                train: TRAIN.to_string(),
+                classes: vec![],
+            },
+        );
+        match outcome {
+            Outcome::Interrupted(i) => assert!(i.deadline_exceeded()),
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+    }
+}
