@@ -72,6 +72,7 @@ fn service_throughput_single_vs_default_threads() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let effective_threads = Engine::new().effective_parallelism();
     let tasks = service_batch();
     let checks = tasks.iter().filter(|t| t.kind() == "check").count();
     let classifies = tasks.len() - checks;
@@ -103,22 +104,47 @@ fn service_throughput_single_vs_default_threads() {
     assert!(lp_activity > 0, "batch did no LP-engine work");
     assert_eq!(stats.restored_entries, 0, "nothing was loaded from disk");
 
-    let single_s = time_median(3, || {
+    // The batch is only a few ms per leg, so medians need enough
+    // repetitions to shrug off scheduler hiccups.
+    let single_s = time_median(9, || {
         std::hint::black_box(run_batch(&single, &tasks));
     });
-    let default_s = time_median(3, || {
+    let default_s = time_median(9, || {
         std::hint::black_box(run_batch(&default, &tasks));
     });
     let per_sec = |s: f64| tasks.len() as f64 / s;
 
+    // The default engine must never lose to the single-threaded one by
+    // more than noise: with adaptive parallelism, an engine that cannot
+    // actually fan out (single-core host) takes the same sequential
+    // paths. On multi-core hosts this is a weak floor, not a speedup
+    // claim — single-task parallelism depends on the workload shape.
+    if cores >= 2 {
+        assert!(
+            default_s <= single_s * 1.25,
+            "default engine lost to single-threaded: default={default_s:.6}s single={single_s:.6}s"
+        );
+    } else {
+        eprintln!(
+            "note: {cores} core(s), effective budget {effective_threads} — \
+             both legs run the adaptive sequential paths; no parallel assertion"
+        );
+        assert!(
+            default_s <= single_s * 1.25,
+            "adaptive fallback must make the legs equivalent on one core: \
+             default={default_s:.6}s single={single_s:.6}s"
+        );
+    }
+
     let json = format!(
-        "{{\n  \"cores\": {cores},\n  \"service_batch\": {{\n    \"tasks\": {},\n    \"check_tasks\": {checks},\n    \"classify_tasks\": {classifies},\n    \"single_thread_s\": {single_s:.6},\n    \"default_threads_s\": {default_s:.6},\n    \"single_thread_tasks_per_s\": {:.2},\n    \"default_tasks_per_s\": {:.2},\n    \"speedup\": {:.2},\n    \"hom_solves\": {},\n    \"games_solved\": {},\n    \"lp_activity\": {lp_activity}\n  }}\n}}\n",
+        "{{\n  \"available_parallelism\": {cores},\n  \"effective_threads\": {effective_threads},\n  \"service_batch\": {{\n    \"tasks\": {},\n    \"check_tasks\": {checks},\n    \"classify_tasks\": {classifies},\n    \"single_thread_s\": {single_s:.6},\n    \"default_threads_s\": {default_s:.6},\n    \"single_thread_tasks_per_s\": {:.2},\n    \"default_tasks_per_s\": {:.2},\n    \"speedup\": {:.2},\n    \"hom_solves\": {},\n    \"games_solved\": {},\n    \"lp_activity\": {lp_activity},\n    \"warm_start_hits\": {}\n  }}\n}}\n",
         tasks.len(),
         per_sec(single_s),
         per_sec(default_s),
         single_s / default_s,
         stats.hom.solves,
         stats.game.games_solved,
+        stats.lp.warm_start_hits,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     std::fs::write(path, json).expect("write BENCH_service.json");

@@ -1,18 +1,24 @@
 //! Speedup acceptance test for the exact LP engine: the hybrid
 //! small/big `Rat` simplex must beat the seed `BigRational` simplex on
-//! identical LP batches, and the parallel ≤ℓ-subset sweep must beat
-//! the sequential one on a sweep-exhausting parity workload. Both
-//! comparisons are verified for agreement before they are timed, and
-//! the measured times plus the engine counters are recorded in
-//! `BENCH_lp.json` at the repository root. The parallel-sweep speedup
-//! assertion is skipped (with a note) on hosts with fewer than 4
-//! cores, matching the other engine tests; the solver comparison and
-//! all agreement checks run everywhere.
+//! identical LP batches, the warm-started sparse revised simplex must
+//! beat the cold dense tableau on the sweep-exhausting parity workload,
+//! and the adaptive parallel ≤ℓ-subset sweep must never lose to the
+//! sequential reference (on single-core hosts it *is* the sequential
+//! path — that is the adaptive fallback under test). All comparisons
+//! are verified for agreement before they are timed, and the measured
+//! times plus the engine counters are recorded in `BENCH_lp.json` at
+//! the repository root.
+//!
+//! Core-count honesty: the JSON records the host's
+//! `available_parallelism` and the engine's effective thread budget as
+//! separate fields, and the parallel-speedup assertion is *skipped with
+//! a printed note* — never silently passed, never failed — when the
+//! host cannot express parallelism (fewer than 2 cores).
 
 use bench::{lp_batch, search_workload, time_median, with_engine_stats, with_lp_stats};
-use cqsep::sep_dim::{search_columns_seq_with, search_columns_with};
+use cqsep::sep_dim::{search_columns_seq_with, search_columns_with, search_columns_with_backend};
 use cqsep::Engine;
-use linsep::{solve_lp, solve_lp_big, LpOutcome, LpOutcomeBig};
+use linsep::{solve_lp, solve_lp_big, LpBackend, LpOutcome, LpOutcomeBig};
 use numeric::BigRational;
 
 type BigLp = (Vec<Vec<BigRational>>, Vec<BigRational>, Vec<BigRational>);
@@ -22,6 +28,7 @@ fn hybrid_lp_engine_beats_seed_path() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let effective_threads = Engine::new().effective_parallelism();
 
     // ---- Leg 1: hybrid Rat simplex vs seed BigRational simplex ----
     let batch = lp_batch(24, 8, 16, 0x5EED);
@@ -76,13 +83,15 @@ fn hybrid_lp_engine_beats_seed_path() {
         "hybrid simplex must beat the seed solver: rat={rat_lp_s:.6}s big={big_lp_s:.6}s"
     );
 
-    // ---- Leg 2: parallel subset sweep vs sequential ----
+    // ---- Leg 2: adaptive subset sweep vs sequential reference ----
     // Each leg runs on its own isolated `Engine`, which makes the
     // counter accounting exact: the parity workload exhausts the sweep,
     // so both legs decide the identical multiset of column subsets and
-    // their per-engine LP counters must agree figure for figure
-    // (promotions are process-global and excluded), with zero hom- or
-    // game-engine traffic on either engine.
+    // their pre-LP tier counters must agree figure for figure. Pivot
+    // counters are *not* compared: the sweep warm-starts the sparse
+    // solver while the DFS reference cold-starts every LP, so identical
+    // verdicts are reached through different pivot counts — that gap is
+    // the optimization.
     let (columns, labels) = search_workload(4);
     let par_engine = Engine::new();
     let seq_engine = Engine::new();
@@ -104,17 +113,19 @@ fn hybrid_lp_engine_beats_seed_path() {
     assert_eq!(
         (
             sweep_stats.lps_solved,
-            sweep_stats.simplex_pivots,
             sweep_stats.perceptron_hits,
             sweep_stats.conflict_prunes,
         ),
         (
             seq_stats.lp.lps_solved,
-            seq_stats.lp.simplex_pivots,
             seq_stats.lp.perceptron_hits,
             seq_stats.lp.conflict_prunes,
         ),
-        "exhausting sweeps must do identical LP work"
+        "exhausting sweeps must decide identical subset multisets"
+    );
+    assert!(
+        sweep_stats.warm_start_hits >= 1,
+        "the 119-LP sweep must land warm starts: {sweep_stats:?}"
     );
     for st in [&par_stats, &seq_stats] {
         assert_eq!(st.hom.solves, 0, "pure LP sweep touched the hom engine");
@@ -124,10 +135,10 @@ fn hybrid_lp_engine_beats_seed_path() {
         );
         assert_eq!(st.restored_entries, 0, "nothing was loaded from disk");
     }
-    let seq_sweep_s = time_median(3, || {
+    let seq_sweep_s = time_median(5, || {
         std::hint::black_box(search_columns_seq_with(&seq_engine, &columns, &labels, 3));
     });
-    let par_sweep_s = time_median(3, || {
+    let par_sweep_s = time_median(5, || {
         std::hint::black_box(search_columns_with(&par_engine, &columns, &labels, 3));
     });
     if cores >= 4 {
@@ -136,22 +147,117 @@ fn hybrid_lp_engine_beats_seed_path() {
             par_sweep_s * 1.2 < seq_sweep_s,
             "parallel sweep must beat sequential: par={par_sweep_s:.6}s seq={seq_sweep_s:.6}s"
         );
+    } else if cores >= 2 {
+        eprintln!(
+            "note: only {cores} cores — requiring parity with sequential, not a speedup floor"
+        );
     } else {
         eprintln!("skipping parallel-sweep speedup assertion: only {cores} core(s) available");
     }
+    // The adaptive guard holds on every host: when real parallelism is
+    // unavailable the sweep must take the direct sequential path, so it
+    // can never lose badly to the sequential reference. This is the
+    // regression test for the historical 0.82× parallel slowdown.
+    assert!(
+        par_sweep_s <= seq_sweep_s * 1.1,
+        "adaptive sweep lost to sequential: par={par_sweep_s:.6}s seq={seq_sweep_s:.6}s"
+    );
+
+    // ---- Leg 3: warm sparse backend vs cold dense backend ----
+    // Same sweep, same enumeration order, backend pinned explicitly:
+    // the warm-started sparse revised simplex must beat the cold dense
+    // tableau on the identical 119-LP workload (the headline win).
+    let sparse_engine = Engine::new();
+    let dense_engine = Engine::new();
+    let sparse_verdict =
+        search_columns_with_backend(&sparse_engine, &columns, &labels, 3, LpBackend::SparseWarm);
+    let dense_verdict =
+        search_columns_with_backend(&dense_engine, &columns, &labels, 3, LpBackend::DenseCold);
+    assert_eq!(
+        sparse_verdict, dense_verdict,
+        "LP backends disagree on the sweep verdict"
+    );
+    let sparse_sweep_s = time_median(5, || {
+        std::hint::black_box(search_columns_with_backend(
+            &sparse_engine,
+            &columns,
+            &labels,
+            3,
+            LpBackend::SparseWarm,
+        ));
+    });
+    let dense_sweep_s = time_median(5, || {
+        std::hint::black_box(search_columns_with_backend(
+            &dense_engine,
+            &columns,
+            &labels,
+            3,
+            LpBackend::DenseCold,
+        ));
+    });
+    assert!(
+        sparse_sweep_s < dense_sweep_s,
+        "warm sparse backend must beat cold dense: sparse={sparse_sweep_s:.6}s dense={dense_sweep_s:.6}s"
+    );
 
     let json = format!(
-        "{{\n  \"cores\": {cores},\n  \"lp_batch\": {{\n    \"instances\": {},\n    \"big_rational_s\": {big_lp_s:.6},\n    \"hybrid_rat_s\": {rat_lp_s:.6},\n    \"speedup\": {:.2},\n    \"lps_solved\": {},\n    \"simplex_pivots\": {},\n    \"bignum_promotions\": {}\n  }},\n  \"subset_sweep\": {{\n    \"columns\": {},\n    \"rows\": {},\n    \"ell\": 3,\n    \"sequential_s\": {seq_sweep_s:.6},\n    \"parallel_s\": {par_sweep_s:.6},\n    \"speedup\": {:.2},\n    \"conflict_prunes\": {},\n    \"lps_solved\": {}\n  }}\n}}\n",
-        batch.len(),
-        big_lp_s / rat_lp_s,
-        lp_stats.lps_solved,
-        lp_stats.simplex_pivots,
-        lp_stats.bignum_promotions,
-        columns.len(),
-        labels.len(),
-        seq_sweep_s / par_sweep_s,
-        sweep_stats.conflict_prunes,
-        sweep_stats.lps_solved,
+        concat!(
+            "{{\n",
+            "  \"available_parallelism\": {cores},\n",
+            "  \"effective_threads\": {threads},\n",
+            "  \"lp_batch\": {{\n",
+            "    \"instances\": {instances},\n",
+            "    \"big_rational_s\": {big_lp_s:.6},\n",
+            "    \"hybrid_rat_s\": {rat_lp_s:.6},\n",
+            "    \"speedup\": {batch_speedup:.2},\n",
+            "    \"lps_solved\": {batch_lps},\n",
+            "    \"simplex_pivots\": {batch_pivots},\n",
+            "    \"bignum_promotions\": {batch_promotions}\n",
+            "  }},\n",
+            "  \"subset_sweep\": {{\n",
+            "    \"columns\": {ncols},\n",
+            "    \"rows\": {nrows},\n",
+            "    \"ell\": 3,\n",
+            "    \"sequential_s\": {seq_sweep_s:.6},\n",
+            "    \"parallel_s\": {par_sweep_s:.6},\n",
+            "    \"speedup\": {sweep_speedup:.2},\n",
+            "    \"conflict_prunes\": {prunes},\n",
+            "    \"lps_solved\": {sweep_lps},\n",
+            "    \"warm_start_hits\": {warm_hits},\n",
+            "    \"warm_start_misses\": {warm_misses},\n",
+            "    \"sparse_pivots\": {sparse_pivots},\n",
+            "    \"basis_reuse_depth\": {reuse_depth}\n",
+            "  }},\n",
+            "  \"lp_backend\": {{\n",
+            "    \"dense_cold_s\": {dense_sweep_s:.6},\n",
+            "    \"sparse_warm_s\": {sparse_sweep_s:.6},\n",
+            "    \"speedup\": {backend_speedup:.2}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        cores = cores,
+        threads = effective_threads,
+        instances = batch.len(),
+        big_lp_s = big_lp_s,
+        rat_lp_s = rat_lp_s,
+        batch_speedup = big_lp_s / rat_lp_s,
+        batch_lps = lp_stats.lps_solved,
+        batch_pivots = lp_stats.simplex_pivots,
+        batch_promotions = lp_stats.bignum_promotions,
+        ncols = columns.len(),
+        nrows = labels.len(),
+        seq_sweep_s = seq_sweep_s,
+        par_sweep_s = par_sweep_s,
+        sweep_speedup = seq_sweep_s / par_sweep_s,
+        prunes = sweep_stats.conflict_prunes,
+        sweep_lps = sweep_stats.lps_solved,
+        warm_hits = sweep_stats.warm_start_hits,
+        warm_misses = sweep_stats.warm_start_misses,
+        sparse_pivots = sweep_stats.sparse_pivots,
+        reuse_depth = sweep_stats.basis_reuse_depth,
+        dense_sweep_s = dense_sweep_s,
+        sparse_sweep_s = sparse_sweep_s,
+        backend_speedup = dense_sweep_s / sparse_sweep_s,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_lp.json");
     std::fs::write(path, json).expect("write BENCH_lp.json");

@@ -28,11 +28,12 @@
 //! LP is assembled.
 
 use engine::{Ctx, Engine, Interrupted};
-use linsep::has_label_conflict;
+use linsep::{has_label_conflict, LpBackend, SepBasis};
 use qbe::QbeError;
 use relational::{Database, TrainingDb, Val};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::{Arc, Mutex};
 
 /// Which feature class the dimension-bounded search runs over.
 #[derive(Clone, Debug)]
@@ -723,6 +724,135 @@ fn subset_separates(ctx: &Ctx, columns: &[Vec<i32>], labels: &[i32], chosen: &[u
         .unwrap_or(false)
 }
 
+/// Cap on retained parent bases per size class: beyond this many subsets
+/// the full map stops growing (lookups just miss; correctness is
+/// untouched — a miss means a cold solve).
+const BASIS_STORE_CAP: usize = 1 << 16;
+
+/// Optimal-basis cache for the size-ascending subset sweep: the reason
+/// the warm-started sparse backend pays off.
+///
+/// Two maps, both keyed so that the *next* LP can find a starting basis
+/// in O(1):
+///
+/// * `full` — bases from the **previous** size class, keyed by the whole
+///   subset that produced them. When the sweep at size `k` tests
+///   `S ∪ {j}`, the key `S` (= the first `k − 1` chosen columns, since
+///   enumeration is lexicographic) recovers the parent's basis, offered
+///   as a [`Warm::Basis`] extension.
+/// * `sibling` — the latest basis from the **current** size class, keyed
+///   by the subset's `k − 1`-column prefix. Lexicographic order visits
+///   all `prefix + [j]` consecutively, and sibling bases that exclude
+///   the one dirty column are reusable verbatim (the near-free
+///   [`Warm::Reuse`] path) — this is what keeps the sweep warm even when
+///   every smaller subset was conflict-pruned and `full` is empty.
+///
+/// Shared across the parallel fan-out behind a mutex; entries are
+/// `Arc`-cloned out so the lock is never held across an LP. Warm offers
+/// are *verified* downstream (feasibility of the reassembled basis
+/// against the actual instance), so a stale or concurrent overwrite can
+/// cost pivots but never change a verdict.
+struct BasisStore {
+    maps: Mutex<BasisMaps>,
+}
+
+#[derive(Default)]
+struct BasisMaps {
+    full: HashMap<Vec<usize>, Arc<SepBasis>>,
+    sibling: HashMap<Vec<usize>, Arc<SepBasis>>,
+    /// Newest basis of the current size class, offered when both keyed
+    /// lookups miss. A basis from *any* same-shape subset is a valid
+    /// seed — the variable tags remap positionally and feasibility is
+    /// re-verified against the actual columns — so even a subset whose
+    /// prefix was never solved starts from a plausible vertex instead
+    /// of the all-slack origin.
+    latest: Option<Arc<SepBasis>>,
+}
+
+impl BasisStore {
+    fn new() -> BasisStore {
+        BasisStore {
+            maps: Mutex::new(BasisMaps::default()),
+        }
+    }
+
+    /// Enter size class `k`: siblings from the previous class are no
+    /// longer siblings, and only bases of arity `k − 1` can still serve
+    /// as parents.
+    fn begin_size_class(&self, k: usize) {
+        let mut maps = self.maps.lock().unwrap();
+        maps.sibling.clear();
+        maps.latest = None;
+        maps.full.retain(|key, _| key.len() + 1 == k);
+    }
+
+    /// Best available starting basis for `chosen`, preferring a clean
+    /// sibling (whole-factorization reuse) over the parent (basis
+    /// extension) over a dirty sibling (remap + refactorize) over the
+    /// newest same-shape basis from anywhere in the size class.
+    fn lookup(&self, chosen: &[usize], nrows: usize) -> Option<Arc<SepBasis>> {
+        let prefix = &chosen[..chosen.len() - 1];
+        let maps = self.maps.lock().unwrap();
+        let sib = maps.sibling.get(prefix);
+        if let Some(sb) = sib {
+            if sb.reuses_cleanly(chosen.len(), nrows) {
+                return Some(Arc::clone(sb));
+            }
+        }
+        maps.full
+            .get(prefix)
+            .or(sib)
+            .or(maps.latest.as_ref())
+            .map(Arc::clone)
+    }
+
+    /// Record the optimal basis of `chosen` for its lexicographic
+    /// successors (sibling map and same-class fallback, latest wins) and
+    /// for the next size class (full map, capped).
+    fn store(&self, chosen: &[usize], basis: Arc<SepBasis>) {
+        let mut maps = self.maps.lock().unwrap();
+        maps.sibling
+            .insert(chosen[..chosen.len() - 1].to_vec(), Arc::clone(&basis));
+        maps.latest = Some(Arc::clone(&basis));
+        if maps.full.len() < BASIS_STORE_CAP {
+            maps.full.insert(chosen.to_vec(), basis);
+        }
+    }
+}
+
+/// [`subset_separates`] through the warm-start machinery: consult the
+/// [`BasisStore`] for a starting basis, solve on the chosen backend, and
+/// bank the optimal basis (returned even for inseparable subsets — the
+/// LP is solved to optimality either way) for the subsets still to come.
+fn subset_separates_warm(
+    ctx: &Ctx,
+    columns: &[Vec<i32>],
+    labels: &[i32],
+    chosen: &[usize],
+    store: &BasisStore,
+    backend: LpBackend,
+) -> bool {
+    let rows: Vec<Vec<i32>> = (0..labels.len())
+        .map(|r| chosen.iter().map(|&c| columns[c][r]).collect())
+        .collect();
+    if has_label_conflict(&rows, labels) {
+        ctx.engine().record_conflict_prune();
+        return false;
+    }
+    let warm = store.lookup(chosen, labels.len());
+    // A Stop mid-LP yields a filler `false`; the callers' sticky
+    // re-checks discard the whole sweep when the handle tripped.
+    match ctx.separate_warm(&rows, labels, warm.as_deref(), backend) {
+        Ok(out) => {
+            if let Some(basis) = out.basis {
+                store.store(chosen, Arc::new(basis));
+            }
+            out.result.is_some()
+        }
+        Err(_) => false,
+    }
+}
+
 /// Is there a choice of ≤ ℓ columns whose induced vectors (rows = the
 /// matrix rows) linearly separate `labels`? Returns the chosen column
 /// indices (possibly empty when the labels are uniform).
@@ -759,14 +889,66 @@ pub fn search_columns_in(
     labels: &[i32],
     ell: usize,
 ) -> Result<Option<Vec<usize>>, Interrupted> {
+    search_columns_backend_in(ctx, columns, labels, ell, LpBackend::default())
+}
+
+/// [`search_columns`] against a caller-supplied [`Engine`] and an
+/// explicit LP backend. With [`LpBackend::DenseCold`] every subset LP is
+/// a cold dense solve (the pre-warm-start behavior, kept as the
+/// benchmark baseline and agreement oracle).
+pub fn search_columns_with_backend(
+    engine: &Engine,
+    columns: &[Vec<i32>],
+    labels: &[i32],
+    ell: usize,
+    backend: LpBackend,
+) -> Option<Vec<usize>> {
+    search_columns_backend_in(&engine.ctx(), columns, labels, ell, backend)
+        .expect("unbounded ctx cannot interrupt")
+}
+
+/// [`search_columns_in`] with an explicit LP backend — the full sweep:
+/// size classes ascend, combinations within a class are lexicographic,
+/// and every solved subset banks its optimal basis in a [`BasisStore`]
+/// to warm its siblings and extensions.
+///
+/// Parallelism is adaptive: when the engine's effective parallelism is
+/// below 2 (single-core hardware, or a thread budget of 1) the sweep
+/// takes a direct sequential path — same enumeration order, no block
+/// materialization, no channel/worker setup — instead of paying the
+/// parallel driver's coordination cost for zero concurrency. Warm-start
+/// hit rates are also strictly better sequentially (every sibling LP
+/// sees its immediate predecessor's basis), so the fallback is faster on
+/// two counts.
+pub fn search_columns_backend_in(
+    ctx: &Ctx,
+    columns: &[Vec<i32>],
+    labels: &[i32],
+    ell: usize,
+    backend: LpBackend,
+) -> Result<Option<Vec<usize>>, Interrupted> {
     ctx.check()?;
     // Trivial case: uniform labels need zero features.
     if labels.iter().all(|&l| l == 1) || labels.iter().all(|&l| l == -1) {
         return Ok(Some(Vec::new()));
     }
+    let store = BasisStore::new();
+    let sequential = ctx.engine().effective_parallelism() < 2;
     let mut block: Vec<Vec<usize>> = Vec::with_capacity(SEARCH_BLOCK);
     for k in 1..=ell.min(columns.len()) {
+        store.begin_size_class(k);
         let mut combos = Combinations::new(columns.len(), k);
+        if sequential {
+            // Direct path: one LP at a time on the calling thread, with
+            // the handle observed before every subset.
+            while let Some(chosen) = combos.next_combo() {
+                ctx.check()?;
+                if subset_separates_warm(ctx, columns, labels, &chosen, &store, backend) {
+                    return Ok(Some(chosen));
+                }
+            }
+            continue;
+        }
         loop {
             ctx.check()?;
             block.clear();
@@ -780,7 +962,7 @@ pub fn search_columns_in(
                 break;
             }
             let hit = ctx.engine().par_find_first(&block, |chosen| {
-                subset_separates(ctx, columns, labels, chosen)
+                subset_separates_warm(ctx, columns, labels, chosen, &store, backend)
             });
             // Sticky re-check: a hit found by a tripped worker's filler
             // verdict must not be reported as a witness.
@@ -790,6 +972,9 @@ pub fn search_columns_in(
             }
         }
     }
+    // A Stop that produced only filler verdicts in the tail must not be
+    // reported as a definitive "no witness".
+    ctx.check()?;
     Ok(None)
 }
 
@@ -1088,6 +1273,116 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn warm_sparse_and_cold_dense_backends_find_identical_witnesses() {
+        // Both backends are deterministic — lexicographically first
+        // witness of minimum size — so they must return *identical*
+        // witnesses, not merely matching verdicts. This is the
+        // S → S ∪ {j} regression guard: a warm-started basis that
+        // changed any subset's feasibility verdict would change which
+        // witness the sweep finds first.
+        let warm_engine = Engine::new();
+        let cold_engine = Engine::new();
+        let mut x = 0x2545f4914f6cdd1du64;
+        let mut rnd = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as usize
+        };
+        for trial in 0..40 {
+            let nrows = 3 + rnd() % 6;
+            let ncols = 1 + rnd() % 6;
+            let ell = 1 + rnd() % 3;
+            let columns: Vec<Vec<i32>> = (0..ncols)
+                .map(|_| {
+                    (0..nrows)
+                        .map(|_| if rnd() % 2 == 0 { 1 } else { -1 })
+                        .collect()
+                })
+                .collect();
+            let labels: Vec<i32> = (0..nrows)
+                .map(|_| if rnd() % 2 == 0 { 1 } else { -1 })
+                .collect();
+            let warm = search_columns_with_backend(
+                &warm_engine,
+                &columns,
+                &labels,
+                ell,
+                LpBackend::SparseWarm,
+            );
+            let cold = search_columns_with_backend(
+                &cold_engine,
+                &columns,
+                &labels,
+                ell,
+                LpBackend::DenseCold,
+            );
+            assert_eq!(
+                warm, cold,
+                "trial {trial}: {columns:?} {labels:?} ell={ell}"
+            );
+            if let Some(witness) = &warm {
+                let rows: Vec<Vec<i32>> = (0..labels.len())
+                    .map(|r| witness.iter().map(|&c| columns[c][r]).collect())
+                    .collect();
+                assert!(separate(&rows, &labels).is_some());
+            }
+        }
+        // Both tiers did real LP work; only the warm backend may have
+        // touched the sparse solver.
+        let warm_stats = warm_engine.stats();
+        let cold_stats = cold_engine.stats();
+        assert_eq!(cold_stats.lp.sparse_pivots, 0);
+        assert_eq!(cold_stats.lp.warm_start_hits, 0);
+        assert!(warm_stats.lp.lps_solved > 0);
+        // The warm backend skips the perceptron tier whenever a basis is
+        // on offer, so it can only send *more* subsets to the LP tier —
+        // never fewer, and never with a different verdict.
+        assert!(
+            warm_stats.lp.lps_solved >= cold_stats.lp.lps_solved,
+            "warm backend decided fewer subsets by LP than cold: {warm_stats:?} vs {cold_stats:?}"
+        );
+        assert_eq!(
+            warm_stats.lp.conflict_prunes, cold_stats.lp.conflict_prunes,
+            "the conflict tier is backend-independent"
+        );
+    }
+
+    #[test]
+    fn warm_start_hits_fire_on_the_sibling_sweep() {
+        // A size-1 sweep over many columns on an inseparable instance
+        // solves one LP per column with a shared (empty) prefix: after
+        // the first cold solve, every sibling should start warm.
+        let labels = vec![1, -1, 1, -1, -1];
+        let columns: Vec<Vec<i32>> = vec![
+            vec![1, 1, -1, -1, 1],
+            vec![-1, 1, 1, -1, 1],
+            vec![1, -1, -1, 1, 1],
+            vec![1, 1, 1, -1, -1],
+        ];
+        let engine = Engine::new();
+        let found =
+            search_columns_with_backend(&engine, &columns, &labels, 1, LpBackend::SparseWarm);
+        let stats = engine.stats();
+        // Whatever the verdict, every LP after the first in the size
+        // class had a sibling basis on offer.
+        if stats.lp.lps_solved >= 2 {
+            assert!(
+                stats.lp.warm_start_hits + stats.lp.warm_start_misses >= stats.lp.lps_solved - 1,
+                "sibling bases were never offered: {stats:?}"
+            );
+            assert!(
+                stats.lp.warm_start_hits >= 1,
+                "no sibling warm start ever succeeded: {stats:?}"
+            );
+        }
+        // Cross-check the verdict against the cold reference.
+        let cold =
+            search_columns_with_backend(&Engine::new(), &columns, &labels, 1, LpBackend::DenseCold);
+        assert_eq!(found, cold);
     }
 
     #[test]

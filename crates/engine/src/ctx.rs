@@ -226,6 +226,31 @@ impl<'e> Ctx<'e> {
         .map_err(|stop| self.wrap(stop))
     }
 
+    /// Warm-capable interruptible separation: as [`Ctx::separate`] but
+    /// accepting the final basis of a related instance (subset `S` of the
+    /// ≤ℓ sweep warm-starting `S ∪ {j}` or a same-size sibling — see
+    /// [`linsep::SepBasis`]) and returning the verdict together with this
+    /// instance's final basis. Verdicts are warm- and
+    /// backend-independent.
+    pub fn separate_warm(
+        &self,
+        vectors: &[Vec<i32>],
+        labels: &[i32],
+        warm: Option<&linsep::SepBasis>,
+        backend: linsep::LpBackend,
+    ) -> Result<linsep::SepOutcome, Interrupted> {
+        self.check()?;
+        linsep::separate_warm_counted_int(
+            self.engine.lp_counters(),
+            vectors,
+            labels,
+            warm,
+            backend,
+            &self.interrupt,
+        )
+        .map_err(|stop| self.wrap(stop))
+    }
+
     /// Interruptible [`Engine::min_error`].
     pub fn min_error(
         &self,

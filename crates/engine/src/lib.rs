@@ -151,6 +151,17 @@ impl Engine {
         self.threads
     }
 
+    /// The worker count this engine's parallel drivers can actually use:
+    /// the configured budget clamped to the host's available parallelism
+    /// (and at least 1). Callers use `< 2` as the signal to skip
+    /// parallel orchestration entirely — on a 1-core host, or an engine
+    /// pinned to one thread, materializing work lists and spawning
+    /// scoped workers is pure overhead.
+    pub fn effective_parallelism(&self) -> usize {
+        let hw = relational::hom::par::hardware_parallelism();
+        self.threads.map_or(hw, |t| t.clamp(1, hw))
+    }
+
     /// Is memoization enabled?
     pub fn caching_enabled(&self) -> bool {
         self.use_cache
@@ -325,6 +336,37 @@ impl Engine {
         F: Fn(&T) -> bool + Sync,
     {
         relational::hom::par::par_find_first_capped(items, self.threads, pred)
+    }
+
+    /// [`Engine::par_map`] with a per-item cost hint: trivial items run
+    /// sequentially unless the batch is large enough to amortize thread
+    /// spawns (see [`relational::hom::par::WorkHint`]).
+    pub fn par_map_hinted<T, U, F>(
+        &self,
+        items: &[T],
+        hint: relational::hom::par::WorkHint,
+        f: F,
+    ) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        relational::hom::par::par_map_hinted(items, self.threads, hint, f)
+    }
+
+    /// [`Engine::par_find_first`] with a per-item cost hint.
+    pub fn par_find_first_hinted<T, F>(
+        &self,
+        items: &[T],
+        hint: relational::hom::par::WorkHint,
+        pred: F,
+    ) -> Option<usize>
+    where
+        T: Sync,
+        F: Fn(&T) -> bool + Sync,
+    {
+        relational::hom::par::par_find_first_hinted(items, self.threads, hint, pred)
     }
 
     // ------------------------------------------------------------------
@@ -724,6 +766,35 @@ mod tests {
             seq.par_find_first(&items, |&x| x > 42),
             par.par_find_first(&items, |&x| x > 42)
         );
+    }
+
+    #[test]
+    fn effective_parallelism_clamps_to_hardware() {
+        let hw = relational::hom::par::hardware_parallelism();
+        assert_eq!(Engine::new().effective_parallelism(), hw);
+        assert_eq!(Engine::new().with_threads(1).effective_parallelism(), 1);
+        // 0 means "sequential, but make progress".
+        assert_eq!(Engine::new().with_threads(0).effective_parallelism(), 1);
+        // A budget above the core count cannot manufacture parallelism.
+        assert!(Engine::new().with_threads(4096).effective_parallelism() <= hw);
+    }
+
+    #[test]
+    fn budget_one_engine_runs_drivers_on_the_calling_thread() {
+        // Regression for the parallel-slowdown bug: an engine pinned to
+        // one thread must not pay scoped-spawn overhead — every driver
+        // closure runs on the caller.
+        let e = Engine::new().with_threads(1);
+        assert_eq!(e.effective_parallelism(), 1);
+        let caller = std::thread::current().id();
+        let items: Vec<usize> = (0..64).collect();
+        let ids = e.par_map(&items, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == caller));
+        let found = e.par_find_first(&items, |&x| {
+            assert_eq!(std::thread::current().id(), caller);
+            x == 40
+        });
+        assert_eq!(found, Some(40));
     }
 
     #[test]

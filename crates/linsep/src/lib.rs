@@ -29,6 +29,7 @@
 
 pub mod classifier;
 pub mod minerror;
+pub mod revised;
 pub mod separate;
 pub mod simplex;
 pub mod simplex_big;
@@ -39,9 +40,14 @@ pub use minerror::{
     min_error_classifier, min_error_classifier_counted, min_error_classifier_counted_int,
     MinErrorResult,
 };
+pub use revised::{
+    solve_lp_sparse, solve_lp_sparse_with_pricing, Pricing, SparseBasis, SparseOutcome,
+    SparseReport, Warm,
+};
 pub use separate::{
-    has_label_conflict, separate, separate_counted, separate_counted_int, separate_with_margin,
-    separate_with_margin_counted, separate_with_margin_counted_int,
+    has_label_conflict, separate, separate_counted, separate_counted_int,
+    separate_warm_counted_int, separate_with_margin, separate_with_margin_counted,
+    separate_with_margin_counted_int, LpBackend, SepBasis, SepOutcome, VarTag,
 };
 pub use simplex::{solve_lp, solve_lp_counted, solve_lp_counted_int, LpOutcome};
 pub use simplex_big::{solve_lp_big, LpOutcomeBig};

@@ -24,11 +24,176 @@
 //!    [`Rat`] arithmetic.
 
 use crate::classifier::LinearClassifier;
+use crate::revised::{solve_lp_sparse, SparseBasis, SparseOutcome, Warm};
 use crate::simplex::{solve_lp_counted, solve_lp_counted_int, LpOutcome};
 use crate::stats::{global_counters, LpCounters};
 use interrupt::{Interrupt, Stop};
 use numeric::{qint, Rat};
 use std::collections::HashMap;
+
+/// Which LP engine decides the margin LP.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LpBackend {
+    /// Sparse revised simplex with warm-start support (the default);
+    /// falls back to the dense tableau on the—here impossible—negative
+    /// RHS case.
+    #[default]
+    SparseWarm,
+    /// The PR-3 dense in-place tableau, always cold. Kept selectable so
+    /// benches can compare engines on identical workloads.
+    DenseCold,
+}
+
+/// Instance-independent identity of one margin-LP variable, so a basis
+/// can be carried from subset `S` to `S ∪ {j}` (or to a same-arity
+/// sibling) by *meaning* rather than by raw column index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarTag {
+    /// `u_{p+1} = w_{p+1} + 1` — the weight of projected column `p`.
+    Weight(usize),
+    /// `u_0 = w_0 + 1` — the threshold.
+    Threshold,
+    /// `t' = t + (n + 2)` — the margin.
+    Margin,
+    /// Slack of example row `i`.
+    ExampleSlack(usize),
+    /// Slack of the `u_{p+1} ≤ 2` box row.
+    WeightBox(usize),
+    /// Slack of the `u_0 ≤ 2` box row.
+    ThresholdBox,
+    /// Slack of the `t' ≤ n + 3` box row.
+    MarginBox,
+}
+
+/// A margin-LP basis annotated with enough structure to warm-start a
+/// related instance: variable tags, the arity/row shape it came from,
+/// and how long its reuse chain already is.
+#[derive(Clone, Debug)]
+pub struct SepBasis {
+    tags: Vec<VarTag>,
+    arity: usize,
+    nrows: usize,
+    depth: u64,
+    sparse: SparseBasis,
+}
+
+impl SepBasis {
+    fn tag_of(arity: usize, nrows: usize, var: usize) -> VarTag {
+        let nvars = arity + 2;
+        if var < nvars {
+            match var {
+                p if p < arity => VarTag::Weight(p),
+                p if p == arity => VarTag::Threshold,
+                _ => VarTag::Margin,
+            }
+        } else {
+            let s = var - nvars;
+            match s {
+                i if i < nrows => VarTag::ExampleSlack(i),
+                i if i - nrows < arity => VarTag::WeightBox(i - nrows),
+                i if i - nrows == arity => VarTag::ThresholdBox,
+                _ => VarTag::MarginBox,
+            }
+        }
+    }
+
+    fn index_of(arity: usize, nrows: usize, tag: VarTag) -> Option<usize> {
+        let nvars = arity + 2;
+        Some(match tag {
+            VarTag::Weight(p) => (p < arity).then_some(p)?,
+            VarTag::Threshold => arity,
+            VarTag::Margin => arity + 1,
+            VarTag::ExampleSlack(i) => (i < nrows).then_some(nvars + i)?,
+            VarTag::WeightBox(p) => (p < arity).then_some(nvars + nrows + p)?,
+            VarTag::ThresholdBox => nvars + nrows + arity,
+            VarTag::MarginBox => nvars + nrows + arity + 1,
+        })
+    }
+
+    fn from_sparse(arity: usize, nrows: usize, depth: u64, sparse: SparseBasis) -> SepBasis {
+        let tags = sparse
+            .vars()
+            .iter()
+            .map(|&v| SepBasis::tag_of(arity, nrows, v))
+            .collect();
+        SepBasis {
+            tags,
+            arity,
+            nrows,
+            depth,
+            sparse,
+        }
+    }
+
+    /// How many consecutive warm reuses this basis sits on top of.
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+
+    /// Would [`SepBasis::offer`] to a same-shape instance clone the whole
+    /// factorization (the near-free [`Warm::Reuse`] path)? True iff the
+    /// shapes match and the basis excludes the dirty variable
+    /// `Weight(arity − 1)`, the only column whose data differs between
+    /// lexicographic siblings `prefix + [j]`. Callers holding several
+    /// candidate bases use this to prefer the cheap one.
+    pub fn reuses_cleanly(&self, arity: usize, nrows: usize) -> bool {
+        self.arity == arity
+            && self.nrows == nrows
+            && arity > 0
+            && !self.tags.contains(&VarTag::Weight(arity - 1))
+    }
+
+    /// Translate this basis into a [`Warm`] offer for an instance of
+    /// shape `(arity, nrows)`, or `None` when the shapes are unrelated.
+    ///
+    /// * Same shape, basis free of the *dirty* variable `Weight(arity-1)`
+    ///   (whose projected column is the only data differing between
+    ///   lexicographic siblings `prefix + [j]`): the whole factorization
+    ///   is cloned — [`Warm::Reuse`], near-zero restart cost.
+    /// * Same shape but dirty, or a parent one arity smaller: remap the
+    ///   tags to the target's indices (appending the new box row's slack
+    ///   for a parent) and refactorize — [`Warm::Basis`].
+    fn offer(&self, arity: usize, nrows: usize) -> Option<Warm<'_>> {
+        if self.nrows != nrows {
+            return None;
+        }
+        if self.arity == arity {
+            let dirty = VarTag::Weight(arity.checked_sub(1)?);
+            if !self.tags.contains(&dirty) {
+                return Some(Warm::Reuse(&self.sparse));
+            }
+        } else if self.arity + 1 != arity {
+            return None;
+        }
+        let mut vars: Vec<usize> = self
+            .tags
+            .iter()
+            .map(|&t| SepBasis::index_of(arity, nrows, t))
+            .collect::<Option<_>>()?;
+        if self.arity + 1 == arity {
+            // The child has one extra constraint row (the new weight's
+            // box); its slack completes the basis and is trivially
+            // feasible at value 2.
+            vars.push(SepBasis::index_of(
+                arity,
+                nrows,
+                VarTag::WeightBox(arity - 1),
+            )?);
+        }
+        Some(Warm::Basis(vars))
+    }
+}
+
+/// Outcome of a warm-capable separation: the verdict (as elsewhere:
+/// `Some` with the classifier and its positive margin iff separable) plus
+/// the final LP basis when an LP actually ran — reusable to warm-start a
+/// related instance. Conflict prunes, perceptron hits, and dense-backend
+/// solves carry no basis.
+#[derive(Clone, Debug)]
+pub struct SepOutcome {
+    pub result: Option<(LinearClassifier, Rat)>,
+    pub basis: Option<SepBasis>,
+}
 
 /// Find a linear classifier separating the examples, or `None` if they
 /// are not linearly separable. Exact. Counts against the process-global
@@ -108,18 +273,49 @@ pub fn separate_with_margin_counted_int(
     separate_margin_inner(counters, vectors, labels, Some(intr))
 }
 
+/// The warm-capable separation entry point: as
+/// [`separate_with_margin_counted_int`] but accepting a basis from a
+/// related instance to warm-start the LP (see [`SepBasis::offer`] for
+/// which shapes qualify) and an explicit backend, and returning the final
+/// basis alongside the verdict. The verdict is backend- and
+/// warm-independent — a rejected or absent warm offer only costs pivots.
+pub fn separate_warm_counted_int(
+    counters: &LpCounters,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+    warm: Option<&SepBasis>,
+    backend: LpBackend,
+    intr: &Interrupt,
+) -> Result<SepOutcome, Stop> {
+    separate_warm_inner(counters, vectors, labels, warm, backend, Some(intr))
+}
+
 fn separate_margin_inner(
     counters: &LpCounters,
     vectors: &[Vec<i32>],
     labels: &[i32],
     intr: Option<&Interrupt>,
 ) -> Result<Option<(LinearClassifier, Rat)>, Stop> {
+    Ok(separate_warm_inner(counters, vectors, labels, None, LpBackend::default(), intr)?.result)
+}
+
+fn separate_warm_inner(
+    counters: &LpCounters,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+    warm: Option<&SepBasis>,
+    backend: LpBackend,
+    intr: Option<&Interrupt>,
+) -> Result<SepOutcome, Stop> {
     assert_eq!(vectors.len(), labels.len(), "one label per vector");
     if let Some(h) = intr {
         h.check()?;
     }
     if vectors.is_empty() {
-        return Ok(Some((LinearClassifier::new(qint(0), Vec::new()), qint(1))));
+        return Ok(SepOutcome {
+            result: Some((LinearClassifier::new(qint(0), Vec::new()), qint(1))),
+            basis: None,
+        });
     }
     let n = vectors[0].len();
     for v in vectors {
@@ -134,12 +330,28 @@ fn separate_margin_inner(
     // Tier 1: refute duplicate-vector conflicts without any arithmetic.
     if has_label_conflict(vectors, labels) {
         counters.record_conflict_prune();
-        return Ok(None);
+        return Ok(SepOutcome {
+            result: None,
+            basis: None,
+        });
     }
 
     // Tier 2: the integer perceptron usually converges immediately on
-    // the easy instances the enumeration algorithms generate.
-    if let Some(c) = perceptron(vectors, labels, 200 * (n + 1) * (vectors.len() + 1), intr)? {
+    // the easy instances the enumeration algorithms generate. It exists
+    // to dodge *cold* LP solves, and its value is asymmetric: a hit
+    // costs a few integer epochs, but a miss burns the whole update
+    // budget before the LP runs anyway. With a warm basis on offer the
+    // LP is expected to be nearly pivot-free — cheaper than even a
+    // perceptron hit — so the heuristic tier is skipped entirely. (This
+    // means which tier decides a subset, and hence `lps_solved`, can
+    // depend on the backend and warm offer; verdicts never do.)
+    let warm_offered = backend == LpBackend::SparseWarm && warm.is_some();
+    let heuristic = if warm_offered {
+        None
+    } else {
+        perceptron(vectors, labels, 200 * (n + 1) * (vectors.len() + 1), intr)?
+    };
+    if let Some(c) = heuristic {
         debug_assert!(c.separates(
             vectors
                 .iter()
@@ -148,7 +360,10 @@ fn separate_margin_inner(
         ));
         counters.record_perceptron_hit();
         let margin = margin_of(&c_normalized(&c), vectors, labels);
-        return Ok(Some((c, margin)));
+        return Ok(SepOutcome {
+            result: Some((c, margin)),
+            basis: None,
+        });
     }
 
     // Tier 3, exact LP: variables u_j = w_j + 1 ∈ [0, 2] (j = 1..n),
@@ -193,6 +408,29 @@ fn separate_margin_inner(
     let mut c = vec![Rat::zero(); nvars];
     c[n + 1] = qint(1);
 
+    if backend == LpBackend::SparseWarm {
+        // The margin LP always has b ≥ 1, so the single-phase sparse
+        // solver applies unconditionally; a warm offer comes from a
+        // related subset's final basis and can only save pivots, never
+        // change the verdict (rejected offers cold-start).
+        let offer = warm.and_then(|sb| sb.offer(n, vectors.len()));
+        let depth = warm.map_or(0, |sb| sb.depth + 1);
+        if let Some((res, report)) = solve_lp_sparse(&a, &b, &c, offer, intr) {
+            // Record effort whether or not the solve completed: partial
+            // effort is still attributable effort.
+            counters.record_sparse_lp(report.pivots, report.warm_used.then_some(depth));
+            return match res? {
+                SparseOutcome::Optimal { x, value, basis } => {
+                    let chain = if report.warm_used { depth } else { 0 };
+                    let sep = SepBasis::from_sparse(n, vectors.len(), chain, basis);
+                    Ok(margin_outcome(n, vectors, labels, &x, value, Some(sep)))
+                }
+                SparseOutcome::Unbounded => unreachable!("margin LP is box-bounded"),
+            };
+        }
+        // b ≥ 1 makes the decline branch unreachable for this LP family,
+        // but keep the dense fallback real rather than asserting.
+    }
     let (outcome, pivots) = match intr {
         None => {
             let (out, pivots) = solve_lp_counted(&a, &b, &c);
@@ -204,25 +442,45 @@ fn separate_margin_inner(
     // effort is still attributable effort.
     counters.record_lp(pivots);
     match outcome? {
-        LpOutcome::Optimal { x, value } => {
-            let t = value - qint(n as i64 + 2);
-            if !t.is_positive() {
-                return Ok(None);
-            }
-            let weights: Vec<Rat> = (0..n).map(|j| &x[j] - &qint(1)).collect();
-            let threshold = &x[n] - &qint(1);
-            let c = LinearClassifier::new(threshold, weights);
-            debug_assert!(c.separates(
-                vectors
-                    .iter()
-                    .map(|v| v.as_slice())
-                    .zip(labels.iter().copied())
-            ));
-            Ok(Some((c, t)))
-        }
+        LpOutcome::Optimal { x, value } => Ok(margin_outcome(n, vectors, labels, &x, value, None)),
         // The LP is a bounded feasibility problem with an always-feasible
         // box (e.g. all-zero weights, t = -(n+2) ⇒ t' = 0).
         other => unreachable!("margin LP cannot be {other:?}"),
+    }
+}
+
+/// Turn the margin LP's optimal point into the separation verdict:
+/// `t = value − (n+2) > 0` iff separable, with the classifier read off
+/// the shifted variables. The final basis rides along regardless of the
+/// verdict — an inseparable subset's basis still warm-starts its
+/// successors.
+fn margin_outcome(
+    n: usize,
+    vectors: &[Vec<i32>],
+    labels: &[i32],
+    x: &[Rat],
+    value: Rat,
+    basis: Option<SepBasis>,
+) -> SepOutcome {
+    let t = value - qint(n as i64 + 2);
+    if !t.is_positive() {
+        return SepOutcome {
+            result: None,
+            basis,
+        };
+    }
+    let weights: Vec<Rat> = (0..n).map(|j| &x[j] - &qint(1)).collect();
+    let threshold = &x[n] - &qint(1);
+    let c = LinearClassifier::new(threshold, weights);
+    debug_assert!(c.separates(
+        vectors
+            .iter()
+            .map(|v| v.as_slice())
+            .zip(labels.iter().copied())
+    ));
+    SepOutcome {
+        result: Some((c, t)),
+        basis,
     }
 }
 

@@ -34,6 +34,12 @@ use std::sync::{Arc, OnceLock};
 pub struct LpCounters {
     lps_solved: AtomicU64,
     simplex_pivots: AtomicU64,
+    sparse_pivots: AtomicU64,
+    warm_start_hits: AtomicU64,
+    warm_start_misses: AtomicU64,
+    /// High-water mark, not a counter: the deepest S → S ∪ {j} basis
+    /// reuse chain observed (0 = every sparse LP cold-started).
+    basis_reuse_depth: AtomicU64,
     perceptron_hits: AtomicU64,
     conflict_prunes: AtomicU64,
 }
@@ -47,6 +53,24 @@ impl LpCounters {
     pub fn record_lp(&self, pivots: u64) {
         self.lps_solved.fetch_add(1, Ordering::Relaxed);
         self.simplex_pivots.fetch_add(pivots, Ordering::Relaxed);
+    }
+
+    /// Note one LP decided by the sparse revised simplex. `warm_depth`
+    /// is `Some(d)` when the solve started from a reused basis whose
+    /// reuse chain is `d` links long, `None` for a cold (all-slack or
+    /// rejected-warm) start.
+    pub fn record_sparse_lp(&self, pivots: u64, warm_depth: Option<u64>) {
+        self.lps_solved.fetch_add(1, Ordering::Relaxed);
+        self.sparse_pivots.fetch_add(pivots, Ordering::Relaxed);
+        match warm_depth {
+            Some(d) => {
+                self.warm_start_hits.fetch_add(1, Ordering::Relaxed);
+                self.basis_reuse_depth.fetch_max(d, Ordering::Relaxed);
+            }
+            None => {
+                self.warm_start_misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Note a separation decided by the integer perceptron fast path.
@@ -67,17 +91,25 @@ impl LpCounters {
         LpStats {
             lps_solved: self.lps_solved.load(Ordering::Relaxed),
             simplex_pivots: self.simplex_pivots.load(Ordering::Relaxed),
+            sparse_pivots: self.sparse_pivots.load(Ordering::Relaxed),
+            warm_start_hits: self.warm_start_hits.load(Ordering::Relaxed),
+            warm_start_misses: self.warm_start_misses.load(Ordering::Relaxed),
+            basis_reuse_depth: self.basis_reuse_depth.load(Ordering::Relaxed),
             perceptron_hits: self.perceptron_hits.load(Ordering::Relaxed),
             bignum_promotions: 0,
             conflict_prunes: self.conflict_prunes.load(Ordering::Relaxed),
         }
     }
 
-    /// Zero every counter.
+    /// Zero every counter (and the reuse-depth high-water mark).
     pub fn reset(&self) {
         for c in [
             &self.lps_solved,
             &self.simplex_pivots,
+            &self.sparse_pivots,
+            &self.warm_start_hits,
+            &self.warm_start_misses,
+            &self.basis_reuse_depth,
             &self.perceptron_hits,
             &self.conflict_prunes,
         ] {
@@ -119,10 +151,22 @@ pub fn record_conflict_prune() {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LpStats {
     /// Simplex solves run to completion (perceptron hits excluded — a
-    /// fast-path hit never builds a tableau).
+    /// fast-path hit never builds a tableau). Counts both dense-tableau
+    /// and sparse revised-simplex solves.
     pub lps_solved: u64,
-    /// Tableau pivots across all solves (phase 1 + phase 2).
+    /// Dense-tableau pivots across all dense solves (phase 1 + phase 2).
     pub simplex_pivots: u64,
+    /// Revised-simplex pivots across all sparse solves — the
+    /// sparse-vs-dense split of the engine's total pivot work.
+    pub sparse_pivots: u64,
+    /// Sparse solves that started from a reused (warm) basis.
+    pub warm_start_hits: u64,
+    /// Sparse solves that cold-started (no warm basis available, or the
+    /// offered basis was singular/infeasible for the new instance).
+    pub warm_start_misses: u64,
+    /// High-water mark of the S → S ∪ {j} basis-reuse chain length (a
+    /// gauge, not a counter: `since` passes it through unchanged).
+    pub basis_reuse_depth: u64,
     /// Separations decided by the integer perceptron without an LP.
     pub perceptron_hits: u64,
     /// Hybrid-rational values that overflowed the inline `i64`
@@ -148,6 +192,14 @@ impl LpStats {
         LpStats {
             lps_solved: self.lps_solved.saturating_sub(earlier.lps_solved),
             simplex_pivots: self.simplex_pivots.saturating_sub(earlier.simplex_pivots),
+            sparse_pivots: self.sparse_pivots.saturating_sub(earlier.sparse_pivots),
+            warm_start_hits: self.warm_start_hits.saturating_sub(earlier.warm_start_hits),
+            warm_start_misses: self
+                .warm_start_misses
+                .saturating_sub(earlier.warm_start_misses),
+            // A gauge, not a counter: the later high-water mark already
+            // covers the interval, so pass it through unsubtracted.
+            basis_reuse_depth: self.basis_reuse_depth,
             perceptron_hits: self.perceptron_hits.saturating_sub(earlier.perceptron_hits),
             bignum_promotions: self
                 .bignum_promotions
@@ -169,12 +221,20 @@ impl LpStats {
             "lp engine stats:\n\
              \x20 LPs solved:          {}\n\
              \x20 simplex pivots:      {}\n\
+             \x20 sparse pivots:       {}\n\
+             \x20 warm-start hits:     {}\n\
+             \x20 warm-start misses:   {}\n\
+             \x20 basis reuse depth:   {}\n\
              \x20 perceptron hits:     {}\n\
              \x20 conflict prunes:     {}\n\
              \x20 bignum promotions:   {}\n\
              \x20 fast-path rate:      {fast_rate:.1}%",
             self.lps_solved,
             self.simplex_pivots,
+            self.sparse_pivots,
+            self.warm_start_hits,
+            self.warm_start_misses,
+            self.basis_reuse_depth,
             self.perceptron_hits,
             self.conflict_prunes,
             self.bignum_promotions,
@@ -206,6 +266,10 @@ mod tests {
         let st = LpStats {
             lps_solved: 1,
             simplex_pivots: 2,
+            sparse_pivots: 5,
+            warm_start_hits: 6,
+            warm_start_misses: 7,
+            basis_reuse_depth: 2,
             perceptron_hits: 3,
             bignum_promotions: 4,
             conflict_prunes: 1,
@@ -213,7 +277,11 @@ mod tests {
         let r = st.report();
         for needle in [
             "LPs solved",
-            "pivots",
+            "simplex pivots",
+            "sparse pivots",
+            "warm-start hits",
+            "warm-start misses",
+            "basis reuse depth",
             "perceptron",
             "promotions",
             "prunes",
@@ -221,5 +289,29 @@ mod tests {
         ] {
             assert!(r.contains(needle), "missing {needle:?} in {r}");
         }
+    }
+
+    #[test]
+    fn since_passes_reuse_depth_through_and_subtracts_counters() {
+        let earlier = LpStats {
+            lps_solved: 10,
+            sparse_pivots: 4,
+            warm_start_hits: 2,
+            basis_reuse_depth: 3,
+            ..LpStats::default()
+        };
+        let later = LpStats {
+            lps_solved: 15,
+            sparse_pivots: 9,
+            warm_start_hits: 5,
+            basis_reuse_depth: 3,
+            ..LpStats::default()
+        };
+        let delta = later.since(&earlier);
+        assert_eq!(delta.lps_solved, 5);
+        assert_eq!(delta.sparse_pivots, 5);
+        assert_eq!(delta.warm_start_hits, 3);
+        // Gauge semantics: the high-water mark is not differenced.
+        assert_eq!(delta.basis_reuse_depth, 3);
     }
 }

@@ -7,7 +7,11 @@
 //! neither reduced costs nor ratio tests, so the pivot sequences — and
 //! hence the exact optimal vertex, not just the value — must coincide.
 
-use linsep::{solve_lp, solve_lp_big, LpOutcome, LpOutcomeBig};
+use interrupt::Interrupt;
+use linsep::{
+    separate_warm_counted_int, solve_lp, solve_lp_big, solve_lp_sparse_with_pricing, LpBackend,
+    LpCounters, LpOutcome, LpOutcomeBig, Pricing, SepBasis, SparseOutcome,
+};
 use numeric::Rat;
 use proptest::prelude::*;
 
@@ -77,5 +81,185 @@ proptest! {
                 prop_assert!(false, "verdicts diverge: hybrid={fast:?} big={slow:?}");
             }
         }
+    }
+}
+
+/// Strategy: a random ±1 training matrix with ±1 labels — the separation
+/// instance family. Small dimensions make degenerate shapes (duplicate
+/// rows, ties in the ratio test) and inseparable instances (label
+/// conflicts, XOR-like patterns) common rather than rare.
+fn sep_instance() -> impl Strategy<Value = (Vec<Vec<i32>>, Vec<i32>)> {
+    (1usize..=6, 1usize..=4).prop_flat_map(|(rows, n)| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(prop_oneof![Just(1i32), Just(-1i32)], n),
+                rows,
+            ),
+            proptest::collection::vec(prop_oneof![Just(1i32), Just(-1i32)], rows),
+        )
+    })
+}
+
+/// Mirror of the margin-LP assembly in `separate.rs` — same variable
+/// order (`u_1..u_n`, `u_0`, `t'`) and row order (examples, boxes,
+/// margin box) — so the sparse solver is pinned against the oracle on
+/// exactly the LPs the separation path emits.
+fn margin_lp(vectors: &[Vec<i32>], labels: &[i32]) -> (Vec<Vec<Rat>>, Vec<Rat>, Vec<Rat>) {
+    let n = vectors[0].len();
+    let q = |v: i64| Rat::new(v, 1);
+    let nvars = n + 2;
+    let mut a: Vec<Vec<Rat>> = Vec::new();
+    let mut b: Vec<Rat> = Vec::new();
+    for (v, &y) in vectors.iter().zip(labels.iter()) {
+        let s = y as i64;
+        let mut row = vec![Rat::zero(); nvars];
+        let mut sum_b = 0i64;
+        for (j, &bij) in v.iter().enumerate() {
+            row[j] = q(-s * bij as i64);
+            sum_b += bij as i64;
+        }
+        row[n] = q(s);
+        row[n + 1] = q(1);
+        a.push(row);
+        b.push(q(n as i64 + 2 - s * (1 - sum_b)));
+    }
+    for j in 0..=n {
+        let mut row = vec![Rat::zero(); nvars];
+        row[j] = q(1);
+        a.push(row);
+        b.push(q(2));
+    }
+    let mut row = vec![Rat::zero(); nvars];
+    row[n + 1] = q(1);
+    a.push(row);
+    b.push(q(n as i64 + 3));
+    let mut c = vec![Rat::zero(); nvars];
+    c[n + 1] = q(1);
+    (a, b, c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The sparse revised simplex agrees with the all-`BigRational`
+    /// oracle on every margin LP: same verdict (always Optimal — the LP
+    /// is box-bounded and feasible) and the same optimal value under
+    /// partial pricing; under Bland pricing the pivot sequence matches
+    /// the dense tableau's, so the exact optimal vertex must coincide
+    /// coordinatewise too.
+    #[test]
+    fn sparse_and_big_simplex_agree_on_margin_lps((vectors, labels) in sep_instance()) {
+        let (a, b, c) = margin_lp(&vectors, &labels);
+        let a_big: Vec<Vec<_>> = a
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_big()).collect())
+            .collect();
+        let b_big: Vec<_> = b.iter().map(|v| v.to_big()).collect();
+        let c_big: Vec<_> = c.iter().map(|v| v.to_big()).collect();
+        let oracle = match solve_lp_big(&a_big, &b_big, &c_big) {
+            LpOutcomeBig::Optimal { x, value } => (x, value),
+            other => {
+                prop_assert!(false, "oracle says {:?}", other);
+                unreachable!()
+            }
+        };
+
+        for pricing in [Pricing::Partial, Pricing::Bland] {
+            let (res, report) = solve_lp_sparse_with_pricing(&a, &b, &c, None, pricing, None)
+                .expect("margin LPs have b ≥ 1; the sparse solver must accept them");
+            prop_assert!(!report.warm_used, "no warm offer was made");
+            match res.expect("no interrupt handle was installed") {
+                SparseOutcome::Optimal { x, value, .. } => {
+                    prop_assert_eq!(value.to_big(), oracle.1.clone());
+                    if pricing == Pricing::Bland {
+                        // Bland mode replays the dense pivot sequence,
+                        // which the existing property pins to the big
+                        // solver — so the vertex itself must match.
+                        prop_assert_eq!(x.len(), oracle.0.len());
+                        for (xi, xbi) in x.iter().zip(oracle.0.iter()) {
+                            prop_assert_eq!(xi.to_big(), xbi.clone());
+                        }
+                    }
+                }
+                SparseOutcome::Unbounded => {
+                    prop_assert!(false, "margin LP cannot be unbounded");
+                }
+            }
+        }
+    }
+
+    /// `S → S ∪ {j}` basis reuse never changes a feasibility verdict:
+    /// growing a column subset one column at a time, each step solved
+    /// warm from the previous step's basis, must classify exactly like
+    /// independent cold dense solves — and like the sibling-warmed
+    /// variant that reuses a same-size neighbor's basis.
+    #[test]
+    fn warm_chains_preserve_separability_verdicts((vectors, labels) in sep_instance()) {
+        let intr = Interrupt::none();
+        let ncols = vectors[0].len();
+        let project = |upto: usize| -> Vec<Vec<i32>> {
+            vectors.iter().map(|v| v[..upto].to_vec()).collect()
+        };
+
+        // Parent chain: basis of columns 0..k warms columns 0..k+1.
+        let warm_counters = LpCounters::new();
+        let mut parent: Option<SepBasis> = None;
+        let mut warm_verdicts = Vec::with_capacity(ncols);
+        for k in 1..=ncols {
+            let out = separate_warm_counted_int(
+                &warm_counters,
+                &project(k),
+                &labels,
+                parent.as_ref(),
+                LpBackend::SparseWarm,
+                &intr,
+            )
+            .expect("no deadline");
+            warm_verdicts.push(out.result.is_some());
+            parent = out.basis;
+        }
+
+        // Cold dense reference, one independent solve per prefix.
+        let cold_counters = LpCounters::new();
+        for (k, &warm_verdict) in (1..=ncols).zip(warm_verdicts.iter()) {
+            let cold = separate_warm_counted_int(
+                &cold_counters,
+                &project(k),
+                &labels,
+                None,
+                LpBackend::DenseCold,
+                &intr,
+            )
+            .expect("no deadline");
+            prop_assert_eq!(
+                warm_verdict,
+                cold.result.is_some(),
+                "prefix of {} columns: warm chain and cold dense disagree",
+                k
+            );
+        }
+
+        // Sibling chain at full arity: the basis of (prefix + [last])
+        // offered to itself re-solved — a same-shape reuse — and the
+        // verdict must be stable under it.
+        if let Some(basis) = parent {
+            let sibling = separate_warm_counted_int(
+                &LpCounters::new(),
+                &project(ncols),
+                &labels,
+                Some(&basis),
+                LpBackend::SparseWarm,
+                &intr,
+            )
+            .expect("no deadline");
+            prop_assert_eq!(sibling.result.is_some(), *warm_verdicts.last().unwrap());
+        }
+
+        // The warm chain skips the perceptron tier whenever a basis is
+        // on offer, so it can only decide *more* prefixes by LP than the
+        // cold reference — never fewer.
+        prop_assert!(
+            warm_counters.snapshot().lps_solved >= cold_counters.snapshot().lps_solved
+        );
     }
 }

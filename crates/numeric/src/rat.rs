@@ -219,6 +219,31 @@ impl Rat {
         let big = self.to_big() - self::mul_big(f, x);
         *self = from_big(big);
     }
+
+    /// Fused `self += f * x` — the accumulation kernel of the revised
+    /// simplex (FTRAN/BTRAN substitution sums and pricing dot products).
+    /// Same shape as [`Rat::sub_mul`]: all-small inputs run as checked
+    /// `i128` multiplies with no allocation; overflow or big operands
+    /// fall back to [`BigRational`] arithmetic and demote if they fit.
+    pub fn add_mul(&mut self, f: &Rat, x: &Rat) {
+        if let (Rat::Small(sn, sd), Rat::Small(fn_, fd), Rat::Small(xn, xd)) = (&*self, f, x) {
+            // self + f*x = (sn*(fd*xd) + (fn*xn)*sd) / (sd*fd*xd)
+            let fx_d = *fd as i128 * *xd as i128; // < 2^126, exact
+            let fx_n = *fn_ as i128 * *xn as i128; // < 2^126, exact
+            if let (Some(l), Some(r), Some(d)) = (
+                (*sn as i128).checked_mul(fx_d),
+                fx_n.checked_mul(*sd as i128),
+                (*sd as i128).checked_mul(fx_d),
+            ) {
+                if let Some(n) = l.checked_add(r) {
+                    *self = norm128(n, d);
+                    return;
+                }
+            }
+        }
+        let big = self.to_big() + self::mul_big(f, x);
+        *self = from_big(big);
+    }
 }
 
 fn mul_big(a: &Rat, b: &Rat) -> BigRational {
@@ -485,6 +510,24 @@ mod tests {
         b.sub_mul(&r(i64::MAX, 3), &r(i64::MAX, 5));
         let expect = &ratio(i64::MAX, 2) - &(&ratio(i64::MAX, 3) * &ratio(i64::MAX, 5));
         assert_eq!(b.to_big(), expect);
+    }
+
+    #[test]
+    fn add_mul_matches_composed_ops() {
+        let mut a = r(3, 4);
+        a.add_mul(&r(2, 3), &r(-5, 7));
+        assert_eq!(a, &r(3, 4) + &(&r(2, 3) * &r(-5, 7)));
+        // Overflowing fused op falls back to big and stays exact.
+        let mut b = r(i64::MAX, 2);
+        b.add_mul(&r(i64::MAX, 3), &r(i64::MAX, 5));
+        let expect = &ratio(i64::MAX, 2) + &(&ratio(i64::MAX, 3) * &ratio(i64::MAX, 5));
+        assert_eq!(b.to_big(), expect);
+        // Zero accumulator and zero factor stay small and exact.
+        let mut z = Rat::zero();
+        z.add_mul(&r(1, 3), &r(3, 1));
+        assert_eq!(z, Rat::one());
+        z.add_mul(&Rat::zero(), &r(9, 7));
+        assert_eq!(z, Rat::one());
     }
 
     #[test]

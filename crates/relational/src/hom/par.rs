@@ -17,18 +17,53 @@
 //! lazily-computed fingerprint is behind a `OnceLock`).
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::thread;
 
+/// Below this many items per worker, a [`WorkHint::Trivial`] task is not
+/// worth a thread spawn: `std::thread::scope` setup plus cache traffic on
+/// the shared cursor costs on the order of hundreds of microseconds,
+/// which dwarfs that many trivial closure calls. Solver-sized items
+/// (an LP, a hom search) amortize a spawn individually and are exempt.
+const TRIVIAL_SPAWN_FLOOR: usize = 512;
+
+/// `std::thread::available_parallelism`, probed once per process. The
+/// drivers consult this on every call, and the syscall behind it is not
+/// free on all platforms.
+pub fn hardware_parallelism() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Caller's estimate of per-item cost, used to decide whether spawning
+/// workers can pay for itself (see [`TRIVIAL_SPAWN_FLOOR`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkHint {
+    /// Sub-microsecond items (arithmetic, a hash probe): parallelize
+    /// only with hundreds of items per worker.
+    Trivial,
+    /// Items that individually amortize a spawn (an LP solve, a hom
+    /// search, a subset block): parallelize whenever cores allow.
+    Solver,
+}
+
 /// Worker count for `n_items` independent tasks under an optional thread
-/// budget (an engine's configured cap): the available parallelism,
-/// capped by the budget and the number of items. `Some(0)` is treated as
-/// 1 — the drivers always make progress.
-fn worker_count_capped(n_items: usize, budget: Option<usize>) -> usize {
-    let hw = thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+/// budget (an engine's configured cap) and a per-item cost hint: the
+/// available parallelism, capped by the budget and the number of items,
+/// then throttled so trivial items keep at least
+/// [`TRIVIAL_SPAWN_FLOOR`] of them per worker. `Some(0)` is treated as
+/// 1 — the drivers always make progress. Pure in `hw` for testability.
+fn worker_count(hw: usize, n_items: usize, budget: Option<usize>, hint: WorkHint) -> usize {
     let cap = budget.unwrap_or(hw).max(1);
-    hw.min(cap).min(n_items).max(1)
+    let w = hw.min(cap).min(n_items).max(1);
+    match hint {
+        WorkHint::Solver => w,
+        WorkHint::Trivial => w.min(n_items / TRIVIAL_SPAWN_FLOOR).max(1),
+    }
 }
 
 /// Does `pred` hold for **all** pairs? Early-exits on the first
@@ -52,7 +87,24 @@ where
     B: Copy + Sync,
     F: Fn(A, B) -> bool + Sync,
 {
-    let workers = worker_count_capped(pairs.len(), budget);
+    par_all_pairs_hinted(pairs, budget, WorkHint::Solver, pred)
+}
+
+/// [`par_all_pairs_capped`] with a per-item cost hint: trivial items run
+/// sequentially unless there are enough of them per worker to amortize
+/// the spawns.
+pub fn par_all_pairs_hinted<A, B, F>(
+    pairs: &[(A, B)],
+    budget: Option<usize>,
+    hint: WorkHint,
+    pred: F,
+) -> bool
+where
+    A: Copy + Sync,
+    B: Copy + Sync,
+    F: Fn(A, B) -> bool + Sync,
+{
+    let workers = worker_count(hardware_parallelism(), pairs.len(), budget, hint);
     if workers <= 1 {
         return pairs.iter().all(|&(a, b)| pred(a, b));
     }
@@ -97,7 +149,19 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let workers = worker_count_capped(items.len(), budget);
+    par_map_hinted(items, budget, WorkHint::Solver, f)
+}
+
+/// [`par_map_capped`] with a per-item cost hint: trivial items run
+/// sequentially unless there are enough of them per worker to amortize
+/// the spawns.
+pub fn par_map_hinted<T, U, F>(items: &[T], budget: Option<usize>, hint: WorkHint, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = worker_count(hardware_parallelism(), items.len(), budget, hint);
     if workers <= 1 {
         return items.iter().map(f).collect();
     }
@@ -151,7 +215,23 @@ where
     T: Sync,
     F: Fn(&T) -> bool + Sync,
 {
-    let workers = worker_count_capped(items.len(), budget);
+    par_find_first_hinted(items, budget, WorkHint::Solver, pred)
+}
+
+/// [`par_find_first_capped`] with a per-item cost hint: trivial items run
+/// sequentially unless there are enough of them per worker to amortize
+/// the spawns. Still returns the *lowest* matching index.
+pub fn par_find_first_hinted<T, F>(
+    items: &[T],
+    budget: Option<usize>,
+    hint: WorkHint,
+    pred: F,
+) -> Option<usize>
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let workers = worker_count(hardware_parallelism(), items.len(), budget, hint);
     if workers <= 1 {
         return items.iter().position(pred);
     }
@@ -225,5 +305,84 @@ mod tests {
         assert_eq!(par_find_first(&items, |&x| x >= 123), Some(123));
         assert_eq!(par_find_first(&items, |&x| x > 10_000), None);
         assert_eq!(par_find_first(&Vec::<usize>::new(), |_| true), None);
+    }
+
+    #[test]
+    fn worker_count_respects_budget_items_and_hint() {
+        // Budget and item count cap the hardware figure.
+        assert_eq!(worker_count(8, 100, None, WorkHint::Solver), 8);
+        assert_eq!(worker_count(8, 100, Some(3), WorkHint::Solver), 3);
+        assert_eq!(worker_count(8, 2, None, WorkHint::Solver), 2);
+        assert_eq!(worker_count(8, 0, None, WorkHint::Solver), 1);
+        // Budget 0 and 1 both mean "sequential, but make progress".
+        assert_eq!(worker_count(8, 100, Some(0), WorkHint::Solver), 1);
+        assert_eq!(worker_count(8, 100, Some(1), WorkHint::Solver), 1);
+        assert_eq!(worker_count(1, 100, None, WorkHint::Solver), 1);
+        // Trivial items need TRIVIAL_SPAWN_FLOOR of themselves per
+        // worker before a spawn pays; solver items do not.
+        assert_eq!(worker_count(8, 100, None, WorkHint::Trivial), 1);
+        assert_eq!(
+            worker_count(8, TRIVIAL_SPAWN_FLOOR * 2, None, WorkHint::Trivial),
+            2
+        );
+        assert_eq!(
+            worker_count(8, TRIVIAL_SPAWN_FLOOR * 100, None, WorkHint::Trivial),
+            8
+        );
+    }
+
+    #[test]
+    fn budget_one_never_spawns_a_thread() {
+        // The bug this pins: the drivers used to enter `thread::scope`
+        // even when the effective budget was 1, paying spawn overhead to
+        // do strictly sequential work. At budget 1 every closure must run
+        // on the calling thread itself.
+        let caller = thread::current().id();
+        let items: Vec<usize> = (0..256).collect();
+
+        let seen = par_map_capped(&items, Some(1), |_| thread::current().id());
+        assert!(seen.iter().all(|&id| id == caller), "par_map spawned");
+
+        let on_caller = AtomicUsize::new(0);
+        let found = par_find_first_capped(&items, Some(1), |&x| {
+            if thread::current().id() == caller {
+                on_caller.fetch_add(1, Ordering::Relaxed);
+            }
+            x == 200
+        });
+        assert_eq!(found, Some(200));
+        assert_eq!(
+            on_caller.load(Ordering::Relaxed),
+            201,
+            "par_find_first spawned"
+        );
+
+        let pairs: Vec<(usize, usize)> = items.iter().map(|&i| (i, i)).collect();
+        let on_caller = AtomicUsize::new(0);
+        assert!(par_all_pairs_capped(&pairs, Some(1), |_, _| {
+            if thread::current().id() == caller {
+                on_caller.fetch_add(1, Ordering::Relaxed);
+            }
+            true
+        }));
+        assert_eq!(
+            on_caller.load(Ordering::Relaxed),
+            pairs.len(),
+            "par_all_pairs spawned"
+        );
+    }
+
+    #[test]
+    fn trivial_hint_stays_sequential_on_small_batches() {
+        let caller = thread::current().id();
+        let items: Vec<usize> = (0..TRIVIAL_SPAWN_FLOOR - 1).collect();
+        // Regardless of core count, fewer than a floor's worth of
+        // trivial items must not spawn.
+        let seen = par_map_hinted(&items, None, WorkHint::Trivial, |_| thread::current().id());
+        assert!(seen.iter().all(|&id| id == caller));
+        assert_eq!(
+            par_find_first_hinted(&items, None, WorkHint::Trivial, |&x| x == 17),
+            Some(17)
+        );
     }
 }
