@@ -11,15 +11,21 @@
 //! cqsep-cli classify <train.db> <eval.db> [--class <spec>]
 //! cqsep-cli classify-model <model.txt> <eval.db>
 //! cqsep-cli relabel <train.db> [--k <k>]             Algorithm 2
+//! cqsep-cli evaluate <train.db> <test.db> [--method <mspec>]... [--fit-timeout <secs>]
 //! cqsep-cli info <file.db>
 //! ```
 //!
 //! `<spec>` is one of `cq`, `ghw<k>` (e.g. `ghw1`), `cqm<m>` (e.g.
 //! `cqm2`). Defaults: `check` runs all of `cq`, `ghw1`, `cqm1`, `cqm2`;
-//! `train`/`classify` default to `cqm2`.
+//! `train`/`classify` default to `cqm2`. `<mspec>` is a generalization
+//! fit method — `cqm<m>`, `ghw<k>`, `sep<ℓ>` (features from the `CQ[2]`
+//! bank), or `minerr<m>`; `evaluate` defaults to the
+//! [`service::DEFAULT_EVALUATE_METHODS`] sweep and `--fit-timeout`
+//! bounds each individual fit (the whole command is still bounded by
+//! `--timeout`).
 //!
 //! The solver-facing subcommands (`check`, `train`, `classify`,
-//! `relabel`) are thin clients of the [`service`] task layer: each
+//! `relabel`, `evaluate`) are thin clients of the [`service`] task layer: each
 //! builds a [`service::Task`] from the files it read and hands it to
 //! [`service::run_task_in`] under a [`Ctx`] — the same executor the
 //! `cqsep-serve` worker pool drives.
@@ -43,6 +49,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Duration;
 
+pub use cqsep::generalize::FitMethod;
 pub use service::ClassSpec;
 
 /// Global engine flags stripped from a command line by
@@ -286,6 +293,40 @@ pub fn run_in(ctx: &Ctx, args: &[String]) -> Result<Result<String, String>, Inte
             };
             Ok(task_output(Task::Relabel { train, k })?.map(|out| out.output))
         }
+        Some("evaluate") => {
+            let (train_path, test_path) = match (args.get(1), args.get(2)) {
+                (Some(t), Some(e)) => (t, e),
+                _ => return Ok(Err(USAGE.to_string())),
+            };
+            let methods = match parse_methods(&args[3..]) {
+                Ok(m) => m,
+                Err(e) => return Ok(Err(e)),
+            };
+            let fit_timeout = match flag_value(&args[3..], "--fit-timeout")
+                .map(|v| {
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|s| *s >= 0.0 && s.is_finite())
+                        .map(Duration::from_secs_f64)
+                        .ok_or_else(|| format!("bad --fit-timeout value {v:?}"))
+                })
+                .transpose()
+            {
+                Ok(t) => t,
+                Err(e) => return Ok(Err(e)),
+            };
+            let (train, test) = match (read(train_path), read(test_path)) {
+                (Ok(t), Ok(e)) => (t, e),
+                (Err(e), _) | (_, Err(e)) => return Ok(Err(e)),
+            };
+            Ok(task_output(Task::Evaluate {
+                train,
+                test,
+                methods,
+                fit_timeout,
+            })?
+            .map(|out| out.output))
+        }
         Some("classify-model") => Ok((|| {
             let model_path = args.get(1).ok_or(USAGE)?;
             let eval_path = args.get(2).ok_or(USAGE)?;
@@ -318,6 +359,7 @@ const USAGE: &str = "usage:
   cqsep-cli classify <train.db> <eval.db> [--class <spec>]
   cqsep-cli classify-model <model.txt> <eval.db>
   cqsep-cli relabel <train.db> [--k <k>]
+  cqsep-cli evaluate <train.db> <test.db> [--method cqm<m>|ghw<k>|sep<l>|minerr<m>]... [--fit-timeout <secs>]
   cqsep-cli info <file.db>
 engine flags (any command, any position):
   --stats              append the unified engine counter report
@@ -335,6 +377,23 @@ fn parse_classes(args: &[String]) -> Result<Vec<ClassSpec>, String> {
         if args[i] == "--class" {
             let v = args.get(i + 1).ok_or("--class needs a value")?;
             out.push(ClassSpec::parse(v)?);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Collect every `--method <mspec>` occurrence (empty when none given —
+/// the task layer applies the default sweep).
+fn parse_methods(args: &[String]) -> Result<Vec<FitMethod>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--method" {
+            let v = args.get(i + 1).ok_or("--method needs a value")?;
+            out.push(FitMethod::parse(v)?);
             i += 2;
         } else {
             i += 1;
@@ -474,6 +533,50 @@ entity v
         let out = run(&s(&["relabel", p.to_str().unwrap()])).unwrap();
         assert!(out.contains("1 disagreement"), "{out}");
         assert!(out.contains('*'), "{out}");
+    }
+
+    #[test]
+    fn evaluate_reports_heldout_accuracy_table() {
+        with_files(|train, _| {
+            let dir = std::env::temp_dir().join(format!("cqsep_cli_e_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let test = dir.join("test.db");
+            std::fs::write(
+                &test,
+                "rel E/2\nfact E(t,u)\nfact E(u,v)\nentity t +\nentity u +\nentity v -\n",
+            )
+            .unwrap();
+            let test = test.to_str().unwrap();
+            // Default sweep: every default method appears with a header.
+            let out = run(&s(&["evaluate", train, test])).unwrap();
+            assert!(out.contains("method"), "{out}");
+            for needle in ["CQ[1]", "CQ[2]", "GHW(1)", "CQ[2]-Sep[1]", "MinErr[2]"] {
+                assert!(out.contains(needle), "missing {needle}: {out}");
+            }
+            // Explicit methods narrow the table; the out-edge split is
+            // aced exactly.
+            let out = run(&s(&[
+                "evaluate",
+                train,
+                test,
+                "--method",
+                "cqm1",
+                "--method",
+                "sep1",
+                "--fit-timeout",
+                "30",
+            ]))
+            .unwrap();
+            assert!(out.contains("CQ[1]"), "{out}");
+            assert!(out.contains("CQ[2]-Sep[1]"), "{out}");
+            assert!(!out.contains("GHW"), "{out}");
+            assert!(out.contains("1.000"), "{out}");
+            assert!(out.contains("exact"), "{out}");
+            // Usage and method-spelling errors.
+            assert!(run(&s(&["evaluate", train])).is_err());
+            assert!(run(&s(&["evaluate", train, test, "--method", "cqm0"])).is_err());
+            assert!(run(&s(&["evaluate", train, test, "--fit-timeout", "soon"])).is_err());
+        });
     }
 
     #[test]

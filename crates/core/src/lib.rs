@@ -24,6 +24,7 @@
 //! | [`sep_dim_naive`] | Lemma 6.3 | the literal guess-and-check test (cross-validation oracle) |
 //! | [`reduction`] | Lemma 6.5 | the executable QBE → Sep[ℓ] reduction |
 //! | [`apx`] | §7 | approximate separability: Algorithm 2, min-error `CQ[m]`, the ε-padding reduction (Prop 7.1) |
+//! | [`generalize`] | §7, motivation | train/test evaluation of the regularized languages (held-out accuracy) |
 //! | [`fo`] | §8 | FO / FO_k / ∃FO⁺ separability, dimension collapse, unbounded dimension |
 //! | [`statistic`] | §2–3 | statistics, separator models, verification |
 //! | [`persist`] | — | text (de)serialization of separator models |
@@ -65,6 +66,7 @@ pub mod chain;
 pub mod cls_ghw;
 pub mod fo;
 pub mod gen_ghw;
+pub mod generalize;
 pub mod persist;
 pub mod reduction;
 pub mod sep_cq;
@@ -74,6 +76,7 @@ pub mod sep_dim_naive;
 pub mod sep_ghw;
 pub mod statistic;
 
+pub use generalize::{evaluate, evaluate_in, evaluate_with, EvalReport, FitMethod};
 pub use statistic::{SeparatorModel, Statistic};
 
 // Re-export the building blocks users need alongside the algorithms.

@@ -66,7 +66,9 @@ impl std::fmt::Display for Stop {
 impl std::error::Error for Stop {}
 
 struct Inner {
-    cancelled: AtomicBool,
+    // The cancel flag is its own `Arc` so a [`Interrupt::child`] can
+    // share it while carrying a tighter deadline of its own.
+    cancelled: Arc<AtomicBool>,
     deadline: Option<Instant>,
 }
 
@@ -85,7 +87,7 @@ impl Interrupt {
     pub fn none() -> Interrupt {
         Interrupt {
             inner: Arc::new(Inner {
-                cancelled: AtomicBool::new(false),
+                cancelled: Arc::new(AtomicBool::new(false)),
                 deadline: None,
             }),
         }
@@ -104,7 +106,32 @@ impl Interrupt {
     pub fn at(deadline: Instant) -> Interrupt {
         Interrupt {
             inner: Arc::new(Inner {
-                cancelled: AtomicBool::new(false),
+                cancelled: Arc::new(AtomicBool::new(false)),
+                deadline: Some(deadline),
+            }),
+        }
+    }
+
+    /// A *child* handle sharing this handle's cancel flag but bounded by
+    /// its own `budget` from now — never outliving the parent's deadline
+    /// (the child deadline is the minimum of the two). Cancelling either
+    /// handle trips both; the child's deadline expiring trips only the
+    /// child. This is the per-fit timeout primitive: a task running many
+    /// solver fits gives each one a `child` budget so a single runaway
+    /// fit times out while the task (and its shutdown path) stays in
+    /// control of the whole run.
+    pub fn child(&self, budget: Duration) -> Interrupt {
+        let own = Instant::now().checked_add(budget).unwrap_or_else(|| {
+            // Saturate absurd budgets to "effectively never".
+            Instant::now() + Duration::from_secs(u32::MAX as u64)
+        });
+        let deadline = match self.inner.deadline {
+            Some(parent) => parent.min(own),
+            None => own,
+        };
+        Interrupt {
+            inner: Arc::new(Inner {
+                cancelled: Arc::clone(&self.inner.cancelled),
                 deadline: Some(deadline),
             }),
         }
@@ -214,6 +241,35 @@ mod tests {
     fn future_deadline_does_not_trip_early() {
         let i = Interrupt::with_deadline(Duration::from_secs(3600));
         assert_eq!(i.check(), Ok(()));
+    }
+
+    #[test]
+    fn child_shares_cancel_flag_both_ways() {
+        let parent = Interrupt::none();
+        let child = parent.child(Duration::from_secs(3600));
+        assert_eq!(child.check(), Ok(()));
+        parent.cancel();
+        assert_eq!(child.status(), Some(Reason::Cancelled));
+
+        let parent = Interrupt::none();
+        let child = parent.child(Duration::from_secs(3600));
+        child.cancel();
+        assert_eq!(parent.status(), Some(Reason::Cancelled));
+    }
+
+    #[test]
+    fn child_deadline_trips_only_the_child() {
+        let parent = Interrupt::with_deadline(Duration::from_secs(3600));
+        let child = parent.child(Duration::ZERO);
+        assert_eq!(child.status(), Some(Reason::Deadline));
+        assert_eq!(parent.check(), Ok(()));
+    }
+
+    #[test]
+    fn child_never_outlives_parent_deadline() {
+        let parent = Interrupt::with_deadline(Duration::ZERO);
+        let child = parent.child(Duration::from_secs(3600));
+        assert_eq!(child.status(), Some(Reason::Deadline));
     }
 
     #[test]

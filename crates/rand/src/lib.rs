@@ -4,10 +4,11 @@
 //! the real `rand` cannot be fetched. This crate provides exactly the
 //! 0.9-style API surface the workspace uses — [`Rng::random`],
 //! [`Rng::random_range`], [`Rng::random_bool`], [`SeedableRng::seed_from_u64`],
-//! [`rngs::StdRng`], and [`seq::SliceRandom::shuffle`] — backed by a
-//! deterministic SplitMix64 generator. Workload generators only need a
-//! seeded, well-mixed stream; they do not depend on the upstream `StdRng`
-//! bit sequence.
+//! [`rngs::StdRng`], and the [`seq::SliceRandom`] slice helpers
+//! (`shuffle`, `choose`, `choose_weighted`) — backed by a deterministic
+//! SplitMix64 generator. Workload generators only need a seeded,
+//! well-mixed stream; they do not depend on the upstream `StdRng` bit
+//! sequence.
 
 use std::ops::{Range, RangeInclusive};
 
@@ -157,18 +158,71 @@ pub mod rngs {
 pub mod seq {
     use super::RngCore;
 
-    /// Slice helpers; only `shuffle` is provided.
+    /// Slice helpers: `shuffle`, plus the uniform and weighted `choose`
+    /// forms the planted-query workload samplers use.
     pub trait SliceRandom {
+        type Item;
+
         /// Fisher–Yates shuffle.
         fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` on an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// An element drawn with probability proportional to
+        /// `weight(item)`. Non-finite or negative weights count as zero;
+        /// `None` when the slice is empty or the total weight is zero.
+        fn choose_weighted<R, F>(&self, rng: &mut R, weight: F) -> Option<&Self::Item>
+        where
+            R: RngCore + ?Sized,
+            F: Fn(&Self::Item) -> f64;
     }
 
     impl<T> SliceRandom for [T] {
+        type Item = T;
+
         fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
             for i in (1..self.len()).rev() {
                 let j = (rng.next_u64() % (i as u64 + 1)) as usize;
                 self.swap(i, j);
             }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+            }
+        }
+
+        fn choose_weighted<R, F>(&self, rng: &mut R, weight: F) -> Option<&T>
+        where
+            R: RngCore + ?Sized,
+            F: Fn(&T) -> f64,
+        {
+            let w = |item: &T| {
+                let w = weight(item);
+                if w.is_finite() && w > 0.0 {
+                    w
+                } else {
+                    0.0
+                }
+            };
+            let total: f64 = self.iter().map(&w).sum();
+            if total <= 0.0 {
+                return None;
+            }
+            let mut target = <f64 as super::Random>::random(rng) * total;
+            for item in self {
+                target -= w(item);
+                if target < 0.0 {
+                    return Some(item);
+                }
+            }
+            // Floating-point slack put the target at/past the total:
+            // return the last positively weighted element.
+            self.iter().rev().find(|item| w(item) > 0.0)
         }
     }
 }
@@ -219,5 +273,59 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
         assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn choose_is_deterministic_per_seed_and_in_bounds() {
+        let items: Vec<usize> = (0..13).collect();
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50)
+                .map(|_| *items.choose(&mut rng).unwrap())
+                .collect::<Vec<_>>()
+        };
+        let a = draw(17);
+        assert_eq!(a, draw(17), "same seed must reproduce the draw stream");
+        assert_ne!(a, draw(18), "different seeds must diverge");
+        assert!(a.iter().all(|&x| x < 13));
+        let empty: [usize; 0] = [];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_weighted_is_deterministic_and_respects_weights() {
+        let items = [0usize, 1, 2, 3];
+        let weight = |&i: &usize| [0.0, 1.0, 3.0, 0.0][i];
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..3000)
+                .map(|_| *items.choose_weighted(&mut rng, weight).unwrap())
+                .collect::<Vec<_>>()
+        };
+        let a = draw(5);
+        assert_eq!(a, draw(5), "same seed must reproduce the draw stream");
+        // Zero-weight items never appear; the 3:1 ratio roughly holds.
+        assert!(a.iter().all(|&x| x == 1 || x == 2));
+        let twos = a.iter().filter(|&&x| x == 2).count();
+        assert!((2000..2500).contains(&twos), "twos={twos}");
+    }
+
+    #[test]
+    fn choose_weighted_degenerate_cases() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let empty: [usize; 0] = [];
+        assert!(empty.choose_weighted(&mut rng, |_| 1.0).is_none());
+        let dead = [1usize, 2, 3];
+        assert!(dead.choose_weighted(&mut rng, |_| 0.0).is_none());
+        // Negative and non-finite weights are treated as zero.
+        assert_eq!(
+            dead.choose_weighted(&mut rng, |&i| if i == 2 { 1.0 } else { -5.0 }),
+            Some(&2)
+        );
+        assert_eq!(
+            dead.choose_weighted(&mut rng, |&i| if i == 3 { 2.0 } else { f64::NAN }),
+            Some(&3)
+        );
     }
 }

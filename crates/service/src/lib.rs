@@ -37,5 +37,5 @@ pub use server::serve_unix;
 pub use server::{serve, ServeOpts, ServeSummary};
 pub use task::{
     execute_in, load_database, load_training, render_labels, run_task_in, run_task_with, ClassSpec,
-    Outcome, Task, TaskOutput, DEFAULT_CHECK_CLASSES,
+    Outcome, Task, TaskOutput, DEFAULT_CHECK_CLASSES, DEFAULT_EVALUATE_METHODS,
 };

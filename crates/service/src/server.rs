@@ -10,13 +10,19 @@
 //! {"id":2,"task":"train","train_path":"t.db","class":"cqm2"}
 //! {"id":3,"task":"classify","train":"…","eval":"…","class":"ghw1","timeout_secs":1.0}
 //! {"id":4,"task":"relabel","train":"…","k":1,"priority":5}
+//! {"id":5,"task":"evaluate","train":"…","test":"…","methods":["cqm2","ghw1"],"fit_timeout_secs":2.0}
 //! {"op":"shutdown"}
 //! ```
 //!
-//! Databases come inline (`train`, `eval`: spec-format text) or by path
-//! (`train_path`, `eval_path`: read server-side). `id` defaults to a
-//! per-connection counter, `timeout_secs` to the server's default
-//! budget, `priority` to 0 (higher runs first).
+//! Databases come inline (`train`, `eval`, `test`: spec-format text) or
+//! by path (`train_path`, `eval_path`, `test_path`: read server-side).
+//! `id` defaults to a per-connection counter, `timeout_secs` to the
+//! server's default budget, `priority` to 0 (higher runs first). An
+//! `evaluate` request may bound each individual fit with
+//! `fit_timeout_secs` (a per-method child budget inside the job's
+//! overall timeout); `methods` defaults to the
+//! [`DEFAULT_EVALUATE_METHODS`](crate::task::DEFAULT_EVALUATE_METHODS)
+//! sweep when absent.
 //!
 //! # Responses (one JSON object per line, in completion order)
 //!
@@ -37,6 +43,7 @@
 use crate::json::Json;
 use crate::pool::{Job, Pool, Response};
 use crate::task::{ClassSpec, Outcome, Task};
+use cqsep::generalize::FitMethod;
 use engine::Engine;
 use std::io::{BufRead, Write};
 use std::sync::mpsc;
@@ -295,6 +302,35 @@ fn parse_request(line: &str, auto_id: u64, opts: &ServeOpts) -> Result<Line, (u6
                     as usize,
             },
         },
+        "evaluate" => {
+            let mut methods = Vec::new();
+            if let Some(list) = value.get("methods").and_then(Json::as_array) {
+                for item in list {
+                    let s = item
+                        .as_str()
+                        .ok_or_else(|| fail("\"methods\" must hold strings".to_string()))?;
+                    methods.push(FitMethod::parse(s).map_err(fail)?);
+                }
+            }
+            let fit_timeout = match value.get("fit_timeout_secs") {
+                None => None,
+                Some(v) => {
+                    let secs = v
+                        .as_f64()
+                        .filter(|s| *s >= 0.0 && s.is_finite())
+                        .ok_or_else(|| {
+                            fail("\"fit_timeout_secs\" must be a non-negative number".to_string())
+                        })?;
+                    Some(Duration::from_secs_f64(secs))
+                }
+            };
+            Task::Evaluate {
+                train: text_field("train", "train_path")?,
+                test: text_field("test", "test_path")?,
+                methods,
+                fit_timeout,
+            }
+        }
         other => return Err(fail(format!("unknown task {other:?}"))),
     };
 
@@ -427,6 +463,54 @@ mod tests {
             Some("deadline exceeded")
         );
         assert!(resp.get("stats").and_then(Json::as_str).is_some());
+    }
+
+    #[test]
+    fn evaluate_request_round_trips_with_methods_and_fit_timeout() {
+        let test_db = "rel E/2\nfact E(t,u)\nfact E(u,v)\nentity t +\nentity u +\nentity v -\n";
+        let lines = vec![
+            req(&[
+                ("id", Json::Num(1.0)),
+                ("task", Json::Str("evaluate".to_string())),
+                ("train", Json::Str(TRAIN.to_string())),
+                ("test", Json::Str(test_db.to_string())),
+                (
+                    "methods",
+                    Json::Arr(vec![
+                        Json::Str("cqm1".to_string()),
+                        Json::Str("minerr1".to_string()),
+                    ]),
+                ),
+                ("fit_timeout_secs", Json::Num(30.0)),
+            ]),
+            // Malformed method spelling: error response, serving continues.
+            req(&[
+                ("id", Json::Num(2.0)),
+                ("task", Json::Str("evaluate".to_string())),
+                ("train", Json::Str(TRAIN.to_string())),
+                ("test", Json::Str(test_db.to_string())),
+                ("methods", Json::Arr(vec![Json::Str("cqm0".to_string())])),
+            ]),
+        ];
+        let (responses, summary) = run_lines(&lines, &ServeOpts::default());
+        assert_eq!(summary.ok, 1, "{responses:?}");
+        assert_eq!(summary.failed, 1);
+        assert_eq!(status_of(&responses, 1), "ok");
+        let out = responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_u64) == Some(1))
+            .and_then(|r| r.get("output"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(out.contains("CQ[1]"), "{out}");
+        assert!(out.contains("MinErr[1]"), "{out}");
+        let err = responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_u64) == Some(2))
+            .and_then(|r| r.get("error"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(err.contains("bad method"), "{err}");
     }
 
     #[test]

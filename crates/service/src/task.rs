@@ -10,11 +10,13 @@
 //! executor cannot tell the difference.
 
 use cq::EnumConfig;
+use cqsep::generalize::{self, FitMethod};
 use cqsep::{apx, cls_ghw, gen_ghw, sep_cq, sep_cqm, sep_ghw};
 use engine::{Ctx, Engine, Interrupted};
 use relational::spec::DatabaseSpec;
 use relational::{Database, Label, TrainingDb};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// A parsed feature-class specification: `cq`, `ghw<k>`, or `cqm<m>`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -76,6 +78,18 @@ pub const DEFAULT_CHECK_CLASSES: [ClassSpec; 4] = [
 /// feature extraction (Proposition 5.6 is worst-case exponential).
 pub const TRAIN_GHW_BUDGET: usize = 1_000_000;
 
+/// The default method list for a [`Task::Evaluate`] with no explicit
+/// methods: one strength sweep per regularized language plus the
+/// min-error path.
+pub const DEFAULT_EVALUATE_METHODS: [FitMethod; 6] = [
+    FitMethod::Cqm(1),
+    FitMethod::Cqm(2),
+    FitMethod::Ghw(1),
+    FitMethod::Sep { m: 2, ell: 1 },
+    FitMethod::Sep { m: 2, ell: 2 },
+    FitMethod::MinError(2),
+];
+
 /// One unit of work. Databases are inline text in the
 /// `relational::spec` format (`rel`/`fact`/`entity` lines).
 #[derive(Clone, Debug)]
@@ -95,6 +109,16 @@ pub enum Task {
     },
     /// Algorithm 2: optimal `GHW(k)`-separable relabeling.
     Relabel { train: String, k: usize },
+    /// Generalization report: fit each method on `train`, score held-out
+    /// accuracy/precision/recall on the labeled `test`. Each fit runs
+    /// under its own `fit_timeout` child budget (when set), so one
+    /// runaway method times out without sinking the whole report.
+    Evaluate {
+        train: String,
+        test: String,
+        methods: Vec<FitMethod>,
+        fit_timeout: Option<Duration>,
+    },
 }
 
 impl Task {
@@ -105,6 +129,7 @@ impl Task {
             Task::Train { .. } => "train",
             Task::Classify { .. } => "classify",
             Task::Relabel { .. } => "relabel",
+            Task::Evaluate { .. } => "evaluate",
         }
     }
 }
@@ -201,6 +226,27 @@ pub fn run_task_in(ctx: &Ctx, task: &Task) -> Result<Result<TaskOutput, String>,
                 Err(e) => return Ok(Err(e)),
             };
             let output = relabel_in(ctx, &train, *k)?;
+            Ok(Ok(TaskOutput {
+                output,
+                model: None,
+            }))
+        }
+        Task::Evaluate {
+            train,
+            test,
+            methods,
+            fit_timeout,
+        } => {
+            let (train, test) = match (load_training(train), load_training(test)) {
+                (Ok(t), Ok(e)) => (t, e),
+                (Err(e), _) | (_, Err(e)) => return Ok(Err(e)),
+            };
+            let methods: &[FitMethod] = if methods.is_empty() {
+                &DEFAULT_EVALUATE_METHODS
+            } else {
+                methods
+            };
+            let output = evaluate_in(ctx, &train, &test, methods, *fit_timeout)?;
             Ok(Ok(TaskOutput {
                 output,
                 model: None,
@@ -336,6 +382,86 @@ fn relabel_in(ctx: &Ctx, train: &TrainingDb, k: usize) -> Result<String, Interru
             sign(old),
             sign(new)
         );
+    }
+    Ok(out)
+}
+
+fn evaluate_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    test: &TrainingDb,
+    methods: &[FitMethod],
+    fit_timeout: Option<Duration>,
+) -> Result<String, Interrupted> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "train: {} entities ({}+ {}-), {} facts | test: {} entities ({}+ {}-), {} facts",
+        train.entities().len(),
+        train.positives().len(),
+        train.negatives().len(),
+        train.db.fact_count(),
+        test.entities().len(),
+        test.positives().len(),
+        test.negatives().len(),
+        test.db.fact_count()
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>5} {:>6} {:>6} {:>6} {:>9} {:>4}  fit",
+        "method", "acc", "prec", "rec", "tp/fp", "train_err", "dim"
+    );
+    for &method in methods {
+        // Each fit gets a child handle: its own budget capped by the
+        // task deadline, sharing the task's cancel flag. A fit that
+        // exhausts only its own budget becomes a "timed out" row; any
+        // trip of the *task* handle aborts the whole report.
+        let result = match fit_timeout {
+            Some(budget) => {
+                let fit_ctx = Ctx::with_interrupt(ctx.engine(), ctx.interrupt().child(budget));
+                generalize::evaluate_in(&fit_ctx, train, test, method)
+            }
+            None => generalize::evaluate_in(ctx, train, test, method),
+        };
+        match result {
+            Ok(r) => {
+                let fit = if r.fit_exact {
+                    "exact"
+                } else {
+                    match method {
+                        FitMethod::Cqm(_) | FitMethod::Sep { .. } => "fallback(majority)",
+                        FitMethod::Ghw(_) | FitMethod::MinError(_) => "approx",
+                    }
+                };
+                let dim = r
+                    .dimension
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                let _ = writeln!(
+                    out,
+                    "{:<14} {:>5.3} {:>6.3} {:>6.3} {:>6} {:>9} {:>4}  {fit}",
+                    method.to_string(),
+                    r.accuracy(),
+                    r.precision(),
+                    r.recall(),
+                    format!("{}/{}", r.tp, r.fp),
+                    r.train_errors,
+                    dim
+                );
+            }
+            Err(_) => {
+                // Distinguish "this fit's budget ran out" (a row; keep
+                // going) from "the task handle tripped" (abort): the
+                // sticky task handle answers directly.
+                ctx.check()?;
+                let _ = writeln!(
+                    out,
+                    "{:<14} fit timed out (budget {:.1}s)",
+                    method.to_string(),
+                    fit_timeout.map(|d| d.as_secs_f64()).unwrap_or(0.0)
+                );
+            }
+        }
     }
     Ok(out)
 }
@@ -477,6 +603,76 @@ entity v
         )
         .unwrap();
         assert!(out.output.contains("1 disagreement"), "{}", out.output);
+    }
+
+    const TEST_DB: &str = "\
+rel E/2
+fact E(t,u)
+fact E(u,v)
+entity t +
+entity u +
+entity v -
+";
+
+    #[test]
+    fn evaluate_task_reports_heldout_metrics_for_all_default_methods() {
+        let engine = Engine::new();
+        let out = run_task_with(
+            &engine,
+            &Task::Evaluate {
+                train: TRAIN.to_string(),
+                test: TEST_DB.to_string(),
+                methods: vec![],
+                fit_timeout: None,
+            },
+        )
+        .unwrap();
+        for m in DEFAULT_EVALUATE_METHODS {
+            assert!(out.output.contains(&m.to_string()), "{m}: {}", out.output);
+        }
+        // The out-edge split is aced by every default method.
+        assert!(out.output.contains("1.000"), "{}", out.output);
+        assert!(!out.output.contains("timed out"), "{}", out.output);
+        assert!(out.model.is_none());
+    }
+
+    #[test]
+    fn evaluate_fit_timeout_marks_rows_without_sinking_the_task() {
+        let engine = Engine::new();
+        let out = run_task_with(
+            &engine,
+            &Task::Evaluate {
+                train: TRAIN.to_string(),
+                test: TEST_DB.to_string(),
+                methods: vec![FitMethod::Cqm(1), FitMethod::Ghw(1)],
+                fit_timeout: Some(Duration::ZERO),
+            },
+        )
+        .unwrap();
+        // Every fit's child budget is already expired, but the task
+        // itself succeeds with per-method timeout rows.
+        assert_eq!(
+            out.output.matches("fit timed out").count(),
+            2,
+            "{}",
+            out.output
+        );
+    }
+
+    #[test]
+    fn evaluate_task_respects_the_outer_deadline() {
+        let engine = Engine::new();
+        let ctx = engine.ctx_with_deadline(Duration::ZERO);
+        let outcome = execute_in(
+            &ctx,
+            &Task::Evaluate {
+                train: TRAIN.to_string(),
+                test: TEST_DB.to_string(),
+                methods: vec![],
+                fit_timeout: Some(Duration::from_secs(3600)),
+            },
+        );
+        assert!(outcome.is_interrupted(), "{outcome:?}");
     }
 
     #[test]

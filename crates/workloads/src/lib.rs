@@ -16,10 +16,15 @@
 
 pub mod lowerbound;
 pub mod noise;
+pub mod planted;
 pub mod synthetic;
 
 pub use lowerbound::{alternating_paths, example_6_2, twin_cycles, twin_paths};
 pub use noise::flip_labels;
+pub use planted::{
+    families, family_by_name, planted_split, sample_labeled, PlantedFamily, PlantedSplit,
+    SampleConfig,
+};
 pub use synthetic::{
     cycle_with_chords, grid_train, planted_feature_graph, random_digraph_train, replicated_paths,
     PlantedConfig,
