@@ -1,0 +1,139 @@
+//! `Model::save`/`Model::load` round-trip and corruption behavior,
+//! mirroring the all-or-nothing contract of `Engine::load`.
+
+use classifier::Model;
+use cq::parse::parse_cq;
+use linsep::LinearClassifier;
+use numeric::qint;
+use relational::{DbBuilder, Schema};
+use std::fs;
+use std::path::Path;
+
+fn schema() -> Schema {
+    let mut s = Schema::entity_schema();
+    s.add_relation("E", 2);
+    s.add_relation("T", 3);
+    s
+}
+
+fn compiled() -> Model {
+    let s = schema();
+    let stat = cqsep::Statistic::new(vec![
+        parse_cq(&s, "q(x) :- eta(x)").unwrap(),
+        parse_cq(&s, "q(x) :- eta(x), E(x,y)").unwrap(),
+        parse_cq(&s, "q(x) :- eta(x), E(x,y), E(y,x)").unwrap(),
+        parse_cq(&s, "q(x) :- eta(x), T(x,y,z), E(y,z)").unwrap(),
+        parse_cq(&s, "q(u) :- eta(u), E(u,v)").unwrap(), // dup of feature 1
+    ]);
+    let cls = LinearClassifier::new(
+        "3/2".parse().unwrap(),
+        vec![qint(1), qint(2), qint(-1), "1/3".parse().unwrap(), qint(4)],
+    );
+    Model::compile(&stat, &cls)
+}
+
+/// The serving pattern under test: load if a good artifact exists,
+/// otherwise compile cold.
+fn load_or_compile(path: &Path) -> (Model, bool) {
+    match Model::load(path) {
+        Some(m) => (m, true),
+        None => (compiled(), false),
+    }
+}
+
+#[test]
+fn save_load_round_trip_preserves_model_and_predictions() {
+    let dir = tempdir("roundtrip");
+    let path = dir.join("model.bin");
+    let m = compiled();
+    m.save(&path).unwrap();
+    let loaded = Model::load(&path).expect("saved model loads");
+    assert_eq!(m, loaded);
+    assert_eq!(m.trie_nodes(), loaded.trie_nodes());
+    assert_eq!(m.compiled_dimension(), loaded.compiled_dimension());
+
+    // Loaded model predicts identically.
+    let d = DbBuilder::new(schema())
+        .fact("E", &["a", "b"])
+        .fact("E", &["b", "a"])
+        .fact("T", &["a", "b", "c"])
+        .fact("E", &["b", "c"])
+        .entity("a")
+        .entity("b")
+        .entity("c")
+        .build();
+    let engine = engine::Engine::new();
+    let (orig, _) = m.classify_with(&engine, &d);
+    let (redo, _) = loaded.classify_with(&engine, &d);
+    for e in d.entities() {
+        assert_eq!(orig.get(e), redo.get(e));
+    }
+}
+
+#[test]
+fn missing_file_falls_back_to_cold_compile() {
+    let dir = tempdir("missing");
+    let (m, warm) = load_or_compile(&dir.join("nope.bin"));
+    assert!(!warm);
+    assert_eq!(m, compiled());
+}
+
+#[test]
+fn every_truncation_falls_back_to_cold_compile() {
+    let dir = tempdir("truncate");
+    let path = dir.join("model.bin");
+    let m = compiled();
+    m.save(&path).unwrap();
+    let bytes = fs::read(&path).unwrap();
+    // Step through prefixes (stride keeps the test fast; boundaries
+    // near the start are covered exhaustively).
+    for len in (0..64.min(bytes.len())).chain((64..bytes.len()).step_by(7)) {
+        fs::write(&path, &bytes[..len]).unwrap();
+        let (got, warm) = load_or_compile(&path);
+        assert!(!warm, "truncation at {len} must not load");
+        assert_eq!(got, m);
+    }
+}
+
+#[test]
+fn corrupt_bytes_fall_back_to_cold_compile() {
+    let dir = tempdir("corrupt");
+    let path = dir.join("model.bin");
+    let m = compiled();
+    m.save(&path).unwrap();
+    let good = fs::read(&path).unwrap();
+
+    // Bad magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0xFF;
+    fs::write(&path, &bad).unwrap();
+    assert!(Model::load(&path).is_none());
+
+    // Trailing garbage: count fields and payload disagree.
+    let mut bad = good.clone();
+    bad.push(0xAB);
+    fs::write(&path, &bad).unwrap();
+    assert!(Model::load(&path).is_none());
+
+    // Restored intact file loads again.
+    fs::write(&path, &good).unwrap();
+    let (got, warm) = load_or_compile(&path);
+    assert!(warm);
+    assert_eq!(got, m);
+}
+
+#[test]
+fn save_is_atomic_no_tmp_left_behind() {
+    let dir = tempdir("atomic");
+    let path = dir.join("model.bin");
+    compiled().save(&path).unwrap();
+    assert!(path.exists());
+    assert!(!dir.join("model.bin.tmp").exists());
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("classifier-persist-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}

@@ -9,6 +9,7 @@
 //! cqsep-cli check <train.db> [--class <spec>]...     separability report
 //! cqsep-cli train <train.db> --class <spec> [-o F]   generate a model
 //! cqsep-cli classify <train.db> <eval.db> [--class <spec>]
+//! cqsep-cli classify-batch <train.db> <eval.db> [--class <spec>]
 //! cqsep-cli classify-model <model.txt> <eval.db>
 //! cqsep-cli relabel <train.db> [--k <k>]             Algorithm 2
 //! cqsep-cli evaluate <train.db> <test.db> [--method <mspec>]... [--fit-timeout <secs>]
@@ -17,7 +18,9 @@
 //!
 //! `<spec>` is one of `cq`, `ghw<k>` (e.g. `ghw1`), `cqm<m>` (e.g.
 //! `cqm2`). Defaults: `check` runs all of `cq`, `ghw1`, `cqm1`, `cqm2`;
-//! `train`/`classify` default to `cqm2`. `<mspec>` is a generalization
+//! `train`/`classify`/`classify-batch` default to `cqm2` (`classify-batch`
+//! always evaluates through the compiled trie artifact and appends the
+//! `ClassifierStats` counters as `#`-comment lines). `<mspec>` is a generalization
 //! fit method — `cqm<m>`, `ghw<k>`, `sep<ℓ>` (features from the `CQ[2]`
 //! bank), or `minerr<m>`; `evaluate` defaults to the
 //! [`service::DEFAULT_EVALUATE_METHODS`] sweep and `--fit-timeout`
@@ -25,7 +28,7 @@
 //! `--timeout`).
 //!
 //! The solver-facing subcommands (`check`, `train`, `classify`,
-//! `relabel`, `evaluate`) are thin clients of the [`service`] task layer: each
+//! `classify-batch`, `relabel`, `evaluate`) are thin clients of the [`service`] task layer: each
 //! builds a [`service::Task`] from the files it read and hands it to
 //! [`service::run_task_in`] under a [`Ctx`] — the same executor the
 //! `cqsep-serve` worker pool drives.
@@ -275,6 +278,22 @@ pub fn run_in(ctx: &Ctx, args: &[String]) -> Result<Result<String, String>, Inte
             };
             Ok(task_output(Task::Classify { train, eval, class })?.map(|out| out.output))
         }
+        Some("classify-batch") => {
+            let (train_path, eval_path) = match (args.get(1), args.get(2)) {
+                (Some(t), Some(e)) => (t, e),
+                _ => return Ok(Err(USAGE.to_string())),
+            };
+            let classes = match parse_classes(&args[3..]) {
+                Ok(c) => c,
+                Err(e) => return Ok(Err(e)),
+            };
+            let class = classes.first().copied().unwrap_or(ClassSpec::Cqm(2));
+            let (train, eval) = match (read(train_path), read(eval_path)) {
+                (Ok(t), Ok(e)) => (t, e),
+                (Err(e), _) | (_, Err(e)) => return Ok(Err(e)),
+            };
+            Ok(task_output(Task::ClassifyBatch { train, eval, class })?.map(|out| out.output))
+        }
         Some("relabel") => {
             let path = match args.get(1) {
                 Some(p) => p,
@@ -357,6 +376,7 @@ const USAGE: &str = "usage:
   cqsep-cli check <train.db> [--class cq|ghw<k>|cqm<m>]...
   cqsep-cli train <train.db> [--class <spec>] [-o model.txt]
   cqsep-cli classify <train.db> <eval.db> [--class <spec>]
+  cqsep-cli classify-batch <train.db> <eval.db> [--class <spec>]
   cqsep-cli classify-model <model.txt> <eval.db>
   cqsep-cli relabel <train.db> [--k <k>]
   cqsep-cli evaluate <train.db> <test.db> [--method cqm<m>|ghw<k>|sep<l>|minerr<m>]... [--fit-timeout <secs>]
@@ -517,6 +537,19 @@ entity v
             let out = run(&s(&["classify", train, eval, "--class", "ghw1"])).unwrap();
             assert!(out.contains("u "), "{out}");
             assert!(out.contains("v "), "{out}");
+        });
+    }
+
+    #[test]
+    fn classify_batch_reports_labels_and_stats() {
+        with_files(|train, eval| {
+            let out = run(&s(&["classify-batch", train, eval, "--class", "cqm1"])).unwrap();
+            assert!(out.contains("u +"), "{out}");
+            assert!(out.contains("v -"), "{out}");
+            assert!(out.contains("# compiled: "), "{out}");
+            assert!(out.contains("# batch: "), "{out}");
+            // Same positional-argument contract as classify.
+            assert!(run(&s(&["classify-batch", train])).is_err());
         });
     }
 

@@ -161,7 +161,10 @@ pub fn cqm_classify_in(
     eval: &Database,
     config: &EnumConfig,
 ) -> Result<Option<Labeling>, Interrupted> {
-    Ok(cqm_generate_in(ctx, train, config)?.map(|model| model.classify(eval)))
+    match cqm_generate_in(ctx, train, config)? {
+        None => Ok(None),
+        Some(model) => model.classify_in(ctx, eval).map(Some),
+    }
 }
 
 #[cfg(test)]

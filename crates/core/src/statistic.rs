@@ -98,13 +98,24 @@ pub struct SeparatorModel {
 impl SeparatorModel {
     /// Classify the entities of `d` (any database over the schema).
     pub fn classify(&self, d: &Database) -> Labeling {
+        self.classify_in(&engine::Engine::global().ctx(), d)
+            .expect("unbounded ctx cannot interrupt")
+    }
+
+    /// [`SeparatorModel::classify`] under a task context: the feature
+    /// sweep honours the context's engine and interrupt handle.
+    pub fn classify_in(
+        &self,
+        ctx: &engine::Ctx,
+        d: &Database,
+    ) -> Result<Labeling, engine::Interrupted> {
         let entities = d.entities();
-        let rows = self.statistic.apply(d, &entities);
-        entities
+        let rows = self.statistic.apply_in(ctx, d, &entities)?;
+        Ok(entities
             .into_iter()
             .zip(rows)
             .map(|(e, row)| (e, Label::from_sign(self.classifier.classify(&row))))
-            .collect()
+            .collect())
     }
 
     /// Does this model reproduce the training labels exactly

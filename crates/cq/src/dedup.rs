@@ -1,0 +1,161 @@
+//! Core-deduplication of feature banks.
+//!
+//! Enumerated and conjoined feature banks are highly redundant: many
+//! syntactically distinct queries share one core, hence one semantics
+//! (two CQs are equivalent iff their cores are hom-equivalent). For any
+//! consumer that evaluates a whole bank — the compiled classifier trie
+//! above all — collapsing each equivalence class to a single core both
+//! shrinks the work and guarantees that isomorphic features share one
+//! trie path.
+
+use crate::contain::equivalent;
+use crate::core::core_of;
+use crate::query::Cq;
+use relational::RelId;
+use std::collections::HashMap;
+
+/// The result of [`dedup_by_core`]: one core per equivalence class (in
+/// first-seen order) plus the class index of every input feature.
+#[derive(Clone, Debug)]
+pub struct CoreDedup {
+    /// One representative core per equivalence class.
+    pub cores: Vec<Cq>,
+    /// `class_of[i]` is the index into `cores` of input feature `i`.
+    pub class_of: Vec<usize>,
+}
+
+impl CoreDedup {
+    /// Number of distinct classes.
+    pub fn class_count(&self) -> usize {
+        self.cores.len()
+    }
+}
+
+/// Group `features` into equivalence classes and pick each class's core
+/// as representative. Deterministic: classes appear in the order their
+/// first member appears in `features`.
+///
+/// Cores of equivalent queries are isomorphic, so a cheap syntactic
+/// signature (atom count, variable count, relation multiset of the
+/// core) pre-buckets candidates and the quadratic
+/// [`equivalent`] checks only run within a bucket.
+pub fn dedup_by_core(features: &[Cq]) -> CoreDedup {
+    let mut cores: Vec<Cq> = Vec::new();
+    let mut class_of: Vec<usize> = Vec::with_capacity(features.len());
+    let mut buckets: HashMap<Signature, Vec<usize>> = HashMap::new();
+    for q in features {
+        let core = core_of(q);
+        let bucket = buckets.entry(signature(&core)).or_default();
+        match bucket
+            .iter()
+            .copied()
+            .find(|&i| equivalent(&cores[i], &core))
+        {
+            Some(class) => class_of.push(class),
+            None => {
+                let class = cores.len();
+                bucket.push(class);
+                cores.push(core);
+                class_of.push(class);
+            }
+        }
+    }
+    CoreDedup { cores, class_of }
+}
+
+/// Isomorphism-invariant syntactic key of a core: equivalent features
+/// have isomorphic cores, so they always land in the same bucket. The
+/// variable measure is the number of *distinct occurring* variables —
+/// `Cq::var_count` is max-id+1 and cores keep their original (possibly
+/// sparse) numbering after retraction.
+type Signature = (usize, usize, Vec<(RelId, usize)>);
+
+fn signature(core: &Cq) -> Signature {
+    let mut rels: HashMap<RelId, usize> = HashMap::new();
+    let mut vars: std::collections::HashSet<crate::query::Var> =
+        core.free_vars().iter().copied().collect();
+    for a in core.atoms() {
+        *rels.entry(a.rel).or_default() += 1;
+        vars.extend(a.args.iter().copied());
+    }
+    let mut rels: Vec<(RelId, usize)> = rels.into_iter().collect();
+    rels.sort();
+    (core.atoms().len(), vars.len(), rels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_cq;
+    use relational::Schema;
+
+    fn schema() -> Schema {
+        let mut s = Schema::entity_schema();
+        s.add_relation("E", 2);
+        s
+    }
+
+    fn q(text: &str) -> Cq {
+        parse_cq(&schema(), text).unwrap()
+    }
+
+    #[test]
+    fn isomorphic_features_collapse() {
+        // Same out-edge feature under three variable namings, plus a
+        // redundant-branch variant whose core is again the out-edge.
+        let bank = vec![
+            q("q(x) :- eta(x), E(x,y)"),
+            q("q(a) :- eta(a), E(a,b)"),
+            q("q(x) :- eta(x), E(x,z)"),
+            q("q(x) :- eta(x), E(x,y), E(x,z)"),
+        ];
+        let d = dedup_by_core(&bank);
+        assert_eq!(d.class_count(), 1);
+        assert_eq!(d.class_of, vec![0, 0, 0, 0]);
+        assert_eq!(d.cores[0].atom_count_for_cqm(), 1);
+    }
+
+    #[test]
+    fn inequivalent_features_stay_separate() {
+        let bank = vec![
+            q("q(x) :- eta(x), E(x,y)"),
+            q("q(x) :- eta(x), E(y,x)"),
+            q("q(x) :- eta(x), E(x,y), E(y,z)"),
+            q("q(x) :- eta(x)"),
+        ];
+        let d = dedup_by_core(&bank);
+        assert_eq!(d.class_count(), 4);
+        assert_eq!(d.class_of, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn classes_appear_in_first_seen_order() {
+        let bank = vec![
+            q("q(x) :- eta(x), E(x,y), E(y,z)"), // class 0
+            q("q(x) :- eta(x), E(x,y)"),         // class 1
+            q("q(x) :- eta(x), E(x,z), E(z,w)"), // back to class 0
+            q("q(a) :- eta(a), E(a,b)"),         // back to class 1
+        ];
+        let d = dedup_by_core(&bank);
+        assert_eq!(d.class_of, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn representative_is_the_core() {
+        // A 2-path conjoined with itself folds back to the 2-path.
+        let path = q("q(x) :- eta(x), E(x,y), E(y,z)");
+        let fat = path.conjoin(&path);
+        assert!(fat.atom_count_for_cqm() > path.atom_count_for_cqm());
+        let d = dedup_by_core(&[fat, path.clone()]);
+        assert_eq!(d.class_count(), 1);
+        assert_eq!(d.cores[0].atom_count_for_cqm(), path.atom_count_for_cqm());
+        assert!(crate::core::is_core(&d.cores[0]));
+    }
+
+    #[test]
+    fn empty_bank() {
+        let d = dedup_by_core(&[]);
+        assert_eq!(d.class_count(), 0);
+        assert!(d.class_of.is_empty());
+    }
+}

@@ -20,6 +20,7 @@
 pub mod contain;
 pub mod core;
 pub mod decomp;
+pub mod dedup;
 pub mod enumerate;
 pub mod eval;
 pub mod parse;
@@ -27,6 +28,7 @@ pub mod query;
 
 pub use contain::{contained_in, equivalent};
 pub use decomp::{ghw, ghw_at_most, TreeDecomposition};
+pub use dedup::{dedup_by_core, CoreDedup};
 pub use enumerate::{enumerate_feature_queries, EnumConfig};
 pub use eval::{evaluate_unary, indicator, selects};
 pub use query::{Atom, Cq, Var};

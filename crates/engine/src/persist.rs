@@ -10,7 +10,8 @@
 //! # Format
 //!
 //! Two files under the cache directory, one per table, each a simple
-//! versioned little-endian binary dump:
+//! versioned little-endian binary dump in the shared
+//! [`serde::bytes`] wire style:
 //!
 //! ```text
 //! hom.cache:   "CQSEPCH1" | u64 count | count × entry
@@ -31,6 +32,7 @@
 
 use crate::Engine;
 use relational::Val;
+use serde::bytes::{write_atomic, ByteReader, ByteWriter};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
@@ -84,58 +86,56 @@ pub(crate) fn load(engine: &Engine, dir: &Path) -> io::Result<RestoreSummary> {
     Ok(summary)
 }
 
-/// Write `bytes` to `path` via a sibling temp file and an atomic rename.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = Path::new(&tmp);
-    fs::write(tmp, bytes)?;
-    fs::rename(tmp, path)
-}
-
 fn encode_hom(engine: &Engine) -> Vec<u8> {
     let entries = engine.hom_cache().export_entries();
-    let mut out = Vec::new();
-    out.extend_from_slice(&HOM_MAGIC);
-    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    let mut w = ByteWriter::with_magic(&HOM_MAGIC);
+    w.u64(entries.len() as u64);
     for (from_fp, to_fp, fixed, ans) in entries {
-        out.extend_from_slice(&from_fp.to_le_bytes());
-        out.extend_from_slice(&to_fp.to_le_bytes());
-        out.extend_from_slice(&(fixed.len() as u32).to_le_bytes());
+        w.u128(from_fp);
+        w.u128(to_fp);
+        w.u32(fixed.len() as u32);
         for (a, b) in fixed {
-            out.extend_from_slice(&a.0.to_le_bytes());
-            out.extend_from_slice(&b.0.to_le_bytes());
+            w.u32(a.0);
+            w.u32(b.0);
         }
-        out.push(ans as u8);
+        w.verdict(ans);
     }
-    out
+    w.finish()
 }
 
 fn encode_game(engine: &Engine) -> Vec<u8> {
     let entries = engine.game_cache().export_entries();
-    let mut out = Vec::new();
-    out.extend_from_slice(&GAME_MAGIC);
-    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    let mut w = ByteWriter::with_magic(&GAME_MAGIC);
+    w.u64(entries.len() as u64);
     for (d_fp, d2_fp, a, b, k, ans) in entries {
-        out.extend_from_slice(&d_fp.to_le_bytes());
-        out.extend_from_slice(&d2_fp.to_le_bytes());
-        out.extend_from_slice(&(a.len() as u32).to_le_bytes());
+        w.u128(d_fp);
+        w.u128(d2_fp);
+        w.u32(a.len() as u32);
         for v in a {
-            out.extend_from_slice(&v.0.to_le_bytes());
+            w.u32(v.0);
         }
-        out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+        w.u32(b.len() as u32);
         for v in b {
-            out.extend_from_slice(&v.0.to_le_bytes());
+            w.u32(v.0);
         }
-        out.extend_from_slice(&(k as u32).to_le_bytes());
-        out.push(ans as u8);
+        w.u32(k as u32);
+        w.verdict(ans);
     }
-    out
+    w.finish()
+}
+
+fn val_vec(r: &mut ByteReader<'_>) -> Option<Vec<Val>> {
+    let n = r.u32()?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push(Val(r.u32()?));
+    }
+    Some(out)
 }
 
 #[allow(clippy::type_complexity)]
 fn decode_hom(bytes: Vec<u8>) -> Option<Vec<(u128, u128, Vec<(Val, Val)>, bool)>> {
-    let mut r = Reader::with_magic(&bytes, &HOM_MAGIC)?;
+    let mut r = ByteReader::with_magic(&bytes, &HOM_MAGIC)?;
     let count = r.u64()?;
     let mut out = Vec::new();
     for _ in 0..count {
@@ -153,74 +153,18 @@ fn decode_hom(bytes: Vec<u8>) -> Option<Vec<(u128, u128, Vec<(Val, Val)>, bool)>
 
 #[allow(clippy::type_complexity)]
 fn decode_game(bytes: Vec<u8>) -> Option<Vec<(u128, u128, Vec<Val>, Vec<Val>, usize, bool)>> {
-    let mut r = Reader::with_magic(&bytes, &GAME_MAGIC)?;
+    let mut r = ByteReader::with_magic(&bytes, &GAME_MAGIC)?;
     let count = r.u64()?;
     let mut out = Vec::new();
     for _ in 0..count {
         let d_fp = r.u128()?;
         let d2_fp = r.u128()?;
-        let a = r.val_vec()?;
-        let b = r.val_vec()?;
+        let a = val_vec(&mut r)?;
+        let b = val_vec(&mut r)?;
         let k = r.u32()? as usize;
         out.push((d_fp, d2_fp, a, b, k, r.verdict()?));
     }
     r.finished().then_some(out)
-}
-
-/// A bounds-checked little-endian cursor. Every accessor returns `None`
-/// on underrun, so corrupted length fields fail cleanly instead of
-/// panicking or over-allocating (vectors grow one element per 4–8 bytes
-/// actually present in the buffer).
-struct Reader<'a> {
-    rest: &'a [u8],
-}
-
-impl<'a> Reader<'a> {
-    fn with_magic(bytes: &'a [u8], magic: &[u8; 8]) -> Option<Reader<'a>> {
-        let rest = bytes.strip_prefix(magic.as_slice())?;
-        Some(Reader { rest })
-    }
-
-    fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
-        let (head, tail) = self.rest.split_at_checked(N)?;
-        self.rest = tail;
-        head.try_into().ok()
-    }
-
-    fn u32(&mut self) -> Option<u32> {
-        self.take().map(u32::from_le_bytes)
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        self.take().map(u64::from_le_bytes)
-    }
-
-    fn u128(&mut self) -> Option<u128> {
-        self.take().map(u128::from_le_bytes)
-    }
-
-    fn verdict(&mut self) -> Option<bool> {
-        match self.take::<1>()? {
-            [0] => Some(false),
-            [1] => Some(true),
-            _ => None,
-        }
-    }
-
-    fn val_vec(&mut self) -> Option<Vec<Val>> {
-        let n = self.u32()?;
-        let mut out = Vec::new();
-        for _ in 0..n {
-            out.push(Val(self.u32()?));
-        }
-        Some(out)
-    }
-
-    /// All bytes consumed? Trailing garbage means the count field and the
-    /// payload disagree — treated as corruption by the decoders.
-    fn finished(&self) -> bool {
-        self.rest.is_empty()
-    }
 }
 
 #[cfg(test)]
@@ -229,10 +173,10 @@ mod tests {
 
     #[test]
     fn reader_rejects_bad_magic_and_underruns() {
-        assert!(Reader::with_magic(b"NOTMAGIC", &HOM_MAGIC).is_none());
+        assert!(ByteReader::with_magic(b"NOTMAGIC", &HOM_MAGIC).is_none());
         let mut ok = HOM_MAGIC.to_vec();
         ok.extend_from_slice(&3u64.to_le_bytes());
-        let mut r = Reader::with_magic(&ok, &HOM_MAGIC).unwrap();
+        let mut r = ByteReader::with_magic(&ok, &HOM_MAGIC).unwrap();
         assert_eq!(r.u64(), Some(3));
         assert_eq!(r.u32(), None, "underrun must fail, not panic");
     }
@@ -241,7 +185,7 @@ mod tests {
     fn verdict_bytes_are_strict() {
         let mut buf = HOM_MAGIC.to_vec();
         buf.push(2);
-        let mut r = Reader::with_magic(&buf, &HOM_MAGIC).unwrap();
+        let mut r = ByteReader::with_magic(&buf, &HOM_MAGIC).unwrap();
         assert_eq!(r.verdict(), None);
     }
 

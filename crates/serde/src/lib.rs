@@ -6,7 +6,13 @@
 //! non-generic types (see `serde_derive`), so persistence structs can
 //! carry `T: Serialize` bounds; the actual encodings stay hand-written
 //! (the text formats in `relational::spec` and `cqsep::persist`, the
-//! binary cache tables in `engine::persist`).
+//! binary formats built on [`bytes`]).
+//!
+//! [`bytes`] is the one shared binary wire style: magic-tagged,
+//! little-endian, bounds-checked, all-or-nothing. Both the engine's
+//! cache tables and the compiled classifier model encode through it.
+
+pub mod bytes;
 
 pub use serde_derive::{Deserialize, Serialize};
 

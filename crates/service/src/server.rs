@@ -9,6 +9,7 @@
 //! {"id":1,"task":"check","train":"rel E/2\n…","classes":["cq","ghw1"]}
 //! {"id":2,"task":"train","train_path":"t.db","class":"cqm2"}
 //! {"id":3,"task":"classify","train":"…","eval":"…","class":"ghw1","timeout_secs":1.0}
+//! {"id":6,"task":"classify-batch","train":"…","eval":"…","class":"cqm2"}
 //! {"id":4,"task":"relabel","train":"…","k":1,"priority":5}
 //! {"id":5,"task":"evaluate","train":"…","test":"…","methods":["cqm2","ghw1"],"fit_timeout_secs":2.0}
 //! {"op":"shutdown"}
@@ -291,6 +292,11 @@ fn parse_request(line: &str, auto_id: u64, opts: &ServeOpts) -> Result<Line, (u6
             eval: text_field("eval", "eval_path")?,
             class: class_field()?,
         },
+        "classify-batch" => Task::ClassifyBatch {
+            train: text_field("train", "train_path")?,
+            eval: text_field("eval", "eval_path")?,
+            class: class_field()?,
+        },
         "relabel" => Task::Relabel {
             train: text_field("train", "train_path")?,
             k: match value.get("k") {
@@ -444,6 +450,28 @@ mod tests {
             train_resp.get("model").and_then(Json::as_str).is_some(),
             "train response carries the model text"
         );
+    }
+
+    #[test]
+    fn classify_batch_request_reports_labels_and_stats() {
+        let lines = vec![req(&[
+            ("id", Json::Num(4.0)),
+            ("task", Json::Str("classify-batch".to_string())),
+            ("train", Json::Str(TRAIN.to_string())),
+            ("eval", Json::Str(EVAL.to_string())),
+            ("class", Json::Str("cqm1".to_string())),
+        ])];
+        let (responses, summary) = run_lines(&lines, &ServeOpts::default());
+        assert_eq!(summary.ok, 1, "{responses:?}");
+        assert_eq!(status_of(&responses, 4), "ok");
+        let out = responses[0]
+            .get("output")
+            .and_then(Json::as_str)
+            .expect("classify-batch carries an output");
+        assert!(out.contains("u +"), "{out}");
+        assert!(out.contains("v -"), "{out}");
+        assert!(out.contains("# compiled: "), "{out}");
+        assert!(out.contains("# batch: "), "{out}");
     }
 
     #[test]

@@ -78,6 +78,13 @@ pub const DEFAULT_CHECK_CLASSES: [ClassSpec; 4] = [
 /// feature extraction (Proposition 5.6 is worst-case exponential).
 pub const TRAIN_GHW_BUDGET: usize = 1_000_000;
 
+/// Feature-bank size beyond which [`Task::Classify`] routes evaluation
+/// through the compiled trie model instead of the per-feature sweep.
+/// Below it, compile cost (core computations) is not worth amortizing;
+/// predictions are identical either way (regression-tested across the
+/// planted families).
+pub const COMPILED_CLASSIFY_THRESHOLD: usize = 16;
+
 /// The default method list for a [`Task::Evaluate`] with no explicit
 /// methods: one strength sweep per regularized language plus the
 /// min-error path.
@@ -107,6 +114,15 @@ pub enum Task {
         eval: String,
         class: ClassSpec,
     },
+    /// Train on `train`, compile the model into the shared-prefix trie
+    /// artifact, and stream the entities of `eval` through it. Output
+    /// is the per-entity predictions plus the `ClassifierStats`
+    /// counters (nodes visited, prefix prunes, reuse hits).
+    ClassifyBatch {
+        train: String,
+        eval: String,
+        class: ClassSpec,
+    },
     /// Algorithm 2: optimal `GHW(k)`-separable relabeling.
     Relabel { train: String, k: usize },
     /// Generalization report: fit each method on `train`, score held-out
@@ -128,6 +144,7 @@ impl Task {
             Task::Check { .. } => "check",
             Task::Train { .. } => "train",
             Task::Classify { .. } => "classify",
+            Task::ClassifyBatch { .. } => "classify-batch",
             Task::Relabel { .. } => "relabel",
             Task::Evaluate { .. } => "evaluate",
         }
@@ -220,6 +237,13 @@ pub fn run_task_in(ctx: &Ctx, task: &Task) -> Result<Result<TaskOutput, String>,
             };
             classify_in(ctx, &train, &eval, *class)
         }
+        Task::ClassifyBatch { train, eval, class } => {
+            let (train, eval) = match (load_training(train), load_database(eval)) {
+                (Ok(t), Ok(e)) => (t, e),
+                (Err(e), _) | (_, Err(e)) => return Ok(Err(e)),
+            };
+            classify_batch_in(ctx, &train, &eval, *class)
+        }
         Task::Relabel { train, k } => {
             let train = match load_training(train) {
                 Ok(t) => t,
@@ -307,11 +331,13 @@ fn check_in(ctx: &Ctx, train: &TrainingDb, classes: &[ClassSpec]) -> Result<Stri
     Ok(out)
 }
 
-fn train_in(
+/// Generate a separator model for one class — the shared front half of
+/// [`Task::Train`] and [`Task::ClassifyBatch`].
+fn generate_model_in(
     ctx: &Ctx,
     train: &TrainingDb,
     class: ClassSpec,
-) -> Result<Result<TaskOutput, String>, Interrupted> {
+) -> Result<Result<cqsep::SeparatorModel, String>, Interrupted> {
     let model = match class {
         ClassSpec::Cq => match sep_cq::cq_generate_in(ctx, train)? {
             Some(m) => m,
@@ -325,6 +351,18 @@ fn train_in(
             Some(model) => model,
             None => return Ok(Err(format!("not CQ[{m}]-separable"))),
         },
+    };
+    Ok(Ok(model))
+}
+
+fn train_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    class: ClassSpec,
+) -> Result<Result<TaskOutput, String>, Interrupted> {
+    let model = match generate_model_in(ctx, train, class)? {
+        Ok(m) => m,
+        Err(e) => return Ok(Err(e)),
     };
     let report = format!(
         "{class}: {} features, {} total atoms\n",
@@ -352,14 +390,53 @@ fn classify_in(
             Some(l) => l,
             None => return Ok(Err("training data is not CQ-separable".to_string())),
         },
-        ClassSpec::Cqm(m) => match sep_cqm::cqm_classify_in(ctx, train, eval, &EnumConfig::cqm(m))?
-        {
-            Some(l) => l,
-            None => return Ok(Err(format!("training data is not CQ[{m}]-separable"))),
-        },
+        ClassSpec::Cqm(m) => {
+            let model = match sep_cqm::cqm_generate_in(ctx, train, &EnumConfig::cqm(m))? {
+                Some(model) => model,
+                None => return Ok(Err(format!("training data is not CQ[{m}]-separable"))),
+            };
+            // Wide enumerated banks amortize through the compiled trie;
+            // small ones are cheaper to sweep directly. Either route
+            // produces identical labels (regression-tested on the
+            // planted families).
+            if model.statistic.dimension() > COMPILED_CLASSIFY_THRESHOLD {
+                classifier::Model::compile_separator(&model)
+                    .classify_in(ctx, eval)?
+                    .0
+            } else {
+                model.classify_in(ctx, eval)?
+            }
+        }
     };
     Ok(Ok(TaskOutput {
         output: render_labels(eval, |e| labels.get(e)),
+        model: None,
+    }))
+}
+
+fn classify_batch_in(
+    ctx: &Ctx,
+    train: &TrainingDb,
+    eval: &Database,
+    class: ClassSpec,
+) -> Result<Result<TaskOutput, String>, Interrupted> {
+    let model = match generate_model_in(ctx, train, class)? {
+        Ok(m) => m,
+        Err(e) => return Ok(Err(e)),
+    };
+    let compiled = classifier::Model::compile_separator(&model);
+    let (labels, stats) = compiled.classify_in(ctx, eval)?;
+    let mut output = render_labels(eval, |e| labels.get(e));
+    let _ = writeln!(
+        output,
+        "# compiled: {} features -> {} cores, {} trie nodes",
+        compiled.original_dimension(),
+        compiled.compiled_dimension(),
+        compiled.trie_nodes()
+    );
+    let _ = writeln!(output, "# batch: {}", stats.report());
+    Ok(Ok(TaskOutput {
+        output,
         model: None,
     }))
 }
@@ -588,6 +665,50 @@ entity v
         .unwrap();
         assert!(out.output.contains("u "), "{}", out.output);
         assert!(out.output.contains("v "), "{}", out.output);
+    }
+
+    #[test]
+    fn classify_batch_task_labels_and_reports_stats() {
+        let engine = Engine::new();
+        let out = run_task_with(
+            &engine,
+            &Task::ClassifyBatch {
+                train: TRAIN.to_string(),
+                eval: EVAL.to_string(),
+                class: ClassSpec::Cqm(1),
+            },
+        )
+        .unwrap();
+        assert!(out.output.contains("u +"), "{}", out.output);
+        assert!(out.output.contains("v -"), "{}", out.output);
+        assert!(out.output.contains("# compiled: "), "{}", out.output);
+        assert!(out.output.contains("# batch: "), "{}", out.output);
+        assert!(out.model.is_none());
+    }
+
+    /// The batch path and the plain classify path agree on every entity —
+    /// the compiled trie is an evaluation strategy, not a new model.
+    #[test]
+    fn classify_batch_agrees_with_classify() {
+        let engine = Engine::new();
+        let run = |task| run_task_with(&engine, &task).unwrap().output;
+        let plain = run(Task::Classify {
+            train: TRAIN.to_string(),
+            eval: EVAL.to_string(),
+            class: ClassSpec::Cqm(2),
+        });
+        let batch = run(Task::ClassifyBatch {
+            train: TRAIN.to_string(),
+            eval: EVAL.to_string(),
+            class: ClassSpec::Cqm(2),
+        });
+        let labels_only = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(labels_only(&plain), labels_only(&batch));
     }
 
     #[test]
