@@ -1,0 +1,285 @@
+//! Incremental-engine acceptance benchmark: after an insert-only delta
+//! to the evaluation database, a warm engine (same memo tables, lineage
+//! edge recorded by `Engine::apply_delta`) must redo strictly less hom
+//! and game work than a cold engine on the identical post-edit
+//! workload, and be ≥ 3× faster wall-clock. Recorded in
+//! `BENCH_incremental.json` at the repository root.
+//!
+//! The workload models the `append`/`recheck` serving shape: a fixed
+//! training database (its preorder games repeat verbatim — exact cache
+//! hits) and a growing evaluation database (cross games and feature hom
+//! tests keep one stable-fingerprint side, so positive verdicts proved
+//! before the edit transfer through the insert-only subsumption rule).
+//! Per-query agreement between the warm and cold legs is asserted for
+//! every chain vector and every feature bit.
+//!
+//! Hard assertions (the CI contract):
+//!
+//! * warm and cold legs agree on every query of every family;
+//! * the warm leg performs strictly fewer hom searches and strictly
+//!   fewer game solves than the cold leg;
+//! * subsumption actually fired (hom + game subsumption hits > 0);
+//! * aggregate warm wall-clock is ≥ 3× faster than cold.
+
+use cq::{enumerate_feature_queries, EnumConfig};
+use engine::{Engine, EngineStats};
+use relational::{Database, Delta, Val};
+use std::fmt::Write as _;
+use std::time::Instant;
+use workloads::synthetic::graph_schema;
+use workloads::{family_by_name, planted_split, SampleConfig};
+
+const FAMILIES: [&str; 3] = ["out_edge", "out_path2", "two_cycle"];
+const TRAIN_N: usize = 28;
+const EVAL_N: usize = 12;
+/// Required aggregate warm-vs-cold wall-clock speedup.
+const MIN_SPEEDUP: f64 = 3.0;
+
+/// One full post-edit evaluation pass: the training preorder, a chain
+/// vector per evaluation entity, and the `CQ[2]` feature bits of every
+/// evaluation entity. Returns everything it computed so the warm and
+/// cold legs can be compared query by query.
+fn evaluation_pass(
+    engine: &Engine,
+    train: &relational::TrainingDb,
+    eval: &Database,
+    bank: &[(Database, Val)],
+) -> (Vec<Vec<i32>>, Vec<Vec<bool>>) {
+    let ctx = engine.ctx();
+    let pre = ctx
+        .preorder(&train.db, &train.entities(), 1)
+        .expect("unbounded ctx cannot interrupt");
+    let chains = eval
+        .entities()
+        .iter()
+        .map(|&f| {
+            ctx.chain_vector_for(&pre, &train.db, eval, f)
+                .expect("unbounded ctx cannot interrupt")
+        })
+        .collect();
+    let features = eval
+        .entities()
+        .iter()
+        .map(|&e| {
+            bank.iter()
+                .map(|(canon, root)| {
+                    ctx.hom_exists(canon, eval, &[(*root, e)])
+                        .expect("unbounded ctx cannot interrupt")
+                })
+                .collect()
+        })
+        .collect();
+    (chains, features)
+}
+
+/// The insert-only growth: two fresh entities wired into the existing
+/// evaluation graph (named so they cannot collide with the sampler's
+/// `v<i>` vertices).
+fn growth_delta(eval: &Database) -> Delta {
+    let anchor = eval.val_name(eval.entities()[0]).to_string();
+    Delta::new()
+        .add_entity("zx", None)
+        .add_entity("zy", None)
+        .add_fact("E", &["zx", &anchor])
+        .add_fact("E", &[&anchor, "zy"])
+        .add_fact("E", &["zx", "zy"])
+}
+
+struct FamilyResult {
+    name: &'static str,
+    eval_facts: usize,
+    cold_s: f64,
+    warm_s: f64,
+    cold: EngineStats,
+    warm: EngineStats,
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "sized for release builds; debug-mode delta/subsumption coverage \
+              lives in incremental_props.rs and the engine/service test suites"
+)]
+fn warm_engine_beats_cold_recheck_after_append() {
+    let bank: Vec<(Database, Val)> =
+        enumerate_feature_queries(&graph_schema(), &EnumConfig::cqm(2).syntactic())
+            .iter()
+            .map(|q| {
+                let (canon, frees) = q.canonical_db();
+                (canon, frees[0])
+            })
+            .collect();
+    assert!(!bank.is_empty(), "feature bank must be non-empty");
+
+    let mut results = Vec::new();
+    for (i, name) in FAMILIES.into_iter().enumerate() {
+        let family = family_by_name(name).expect("built-in family");
+        let config = SampleConfig::for_family(&family, TRAIN_N, EVAL_N, 0xBEEF + i as u64);
+        let split = planted_split(&family, &config);
+        let eval = split.test.db;
+
+        // Warm leg: run the full pass once pre-edit (untimed), apply the
+        // growth through the engine so the lineage edge is recorded,
+        // then time the post-edit pass.
+        let warm = Engine::new().with_threads(1);
+        evaluation_pass(&warm, &split.train, &eval, &bank);
+        let mut grown = eval.clone();
+        let receipt = warm
+            .apply_delta(&mut grown, &growth_delta(&eval))
+            .expect("growth delta applies cleanly");
+        assert_eq!(receipt.kind, relational::DeltaKind::InsertOnly);
+        let before_warm = warm.stats();
+        let warm_start = Instant::now();
+        let (warm_chains, warm_feats) = evaluation_pass(&warm, &split.train, &grown, &bank);
+        let warm_s = warm_start.elapsed().as_secs_f64();
+        let warm_stats = warm.stats().since(&before_warm);
+
+        // Cold leg: a fresh engine runs the identical post-edit pass.
+        let cold = Engine::new().with_threads(1);
+        let cold_start = Instant::now();
+        let (cold_chains, cold_feats) = evaluation_pass(&cold, &split.train, &grown, &bank);
+        let cold_s = cold_start.elapsed().as_secs_f64();
+        let cold_stats = cold.stats();
+
+        // Per-query agreement: every chain vector, every feature bit.
+        assert_eq!(
+            warm_chains, cold_chains,
+            "{name}: warm and cold chain vectors must agree"
+        );
+        assert_eq!(
+            warm_feats, cold_feats,
+            "{name}: warm and cold feature bits must agree"
+        );
+
+        results.push(FamilyResult {
+            name,
+            eval_facts: grown.fact_count(),
+            cold_s,
+            warm_s,
+            cold: cold_stats,
+            warm: warm_stats,
+        });
+    }
+
+    let agg = |f: fn(&FamilyResult) -> u64| results.iter().map(f).sum::<u64>();
+    let warm_solves = agg(|r| r.warm.hom.solves);
+    let cold_solves = agg(|r| r.cold.hom.solves);
+    let warm_games = agg(|r| r.warm.game.games_solved);
+    let cold_games = agg(|r| r.cold.game.games_solved);
+    let hom_sub = agg(|r| r.warm.sub.hom_subsumption_hits);
+    let game_sub = agg(|r| r.warm.sub.game_subsumption_hits);
+    let warm_s: f64 = results.iter().map(|r| r.warm_s).sum();
+    let cold_s: f64 = results.iter().map(|r| r.cold_s).sum();
+    let speedup = cold_s / warm_s.max(1e-9);
+
+    for r in &results {
+        println!(
+            "{:<10} cold {:.3}s ({} homs, {} games)  warm {:.3}s ({} homs, {} games, \
+             {} hom-sub, {} game-sub)",
+            r.name,
+            r.cold_s,
+            r.cold.hom.solves,
+            r.cold.game.games_solved,
+            r.warm_s,
+            r.warm.hom.solves,
+            r.warm.game.games_solved,
+            r.warm.sub.hom_subsumption_hits,
+            r.warm.sub.game_subsumption_hits
+        );
+    }
+    println!("aggregate: cold {cold_s:.3}s warm {warm_s:.3}s speedup {speedup:.1}x");
+
+    let mut fam_json = String::new();
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            fam_json,
+            concat!(
+                "    {{\n",
+                "      \"family\": \"{name}\",\n",
+                "      \"eval_facts\": {facts},\n",
+                "      \"cold_s\": {cold_s:.6},\n",
+                "      \"warm_s\": {warm_s:.6},\n",
+                "      \"cold_hom_searches\": {ch},\n",
+                "      \"warm_hom_searches\": {wh},\n",
+                "      \"cold_game_solves\": {cg},\n",
+                "      \"warm_game_solves\": {wg},\n",
+                "      \"warm_hom_subsumption_hits\": {hs},\n",
+                "      \"warm_game_subsumption_hits\": {gs}\n",
+                "    }}{comma}\n",
+            ),
+            name = r.name,
+            facts = r.eval_facts,
+            cold_s = r.cold_s,
+            warm_s = r.warm_s,
+            ch = r.cold.hom.solves,
+            wh = r.warm.hom.solves,
+            cg = r.cold.game.games_solved,
+            wg = r.warm.game.games_solved,
+            hs = r.warm.sub.hom_subsumption_hits,
+            gs = r.warm.sub.game_subsumption_hits,
+            comma = if i + 1 < results.len() { "," } else { "" },
+        );
+    }
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        concat!(
+            "{{\n",
+            "  \"workload\": {{\n",
+            "    \"train_entities\": {train_n},\n",
+            "    \"eval_entities\": {eval_n},\n",
+            "    \"feature_bank\": {bank},\n",
+            "    \"delta\": \"2 entities, 3 edges (insert-only)\"\n",
+            "  }},\n",
+            "  \"families\": [\n{fams}  ],\n",
+            "  \"aggregate\": {{\n",
+            "    \"cold_s\": {cold_s:.6},\n",
+            "    \"warm_s\": {warm_s:.6},\n",
+            "    \"speedup\": {speedup:.2},\n",
+            "    \"min_speedup\": {min_speedup:.1},\n",
+            "    \"cold_hom_searches\": {cold_solves},\n",
+            "    \"warm_hom_searches\": {warm_solves},\n",
+            "    \"cold_game_solves\": {cold_games},\n",
+            "    \"warm_game_solves\": {warm_games},\n",
+            "    \"hom_subsumption_hits\": {hom_sub},\n",
+            "    \"game_subsumption_hits\": {game_sub},\n",
+            "    \"agreement\": true\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        train_n = TRAIN_N,
+        eval_n = EVAL_N,
+        bank = bank.len(),
+        fams = fam_json,
+        cold_s = cold_s,
+        warm_s = warm_s,
+        speedup = speedup,
+        min_speedup = MIN_SPEEDUP,
+        cold_solves = cold_solves,
+        warm_solves = warm_solves,
+        cold_games = cold_games,
+        warm_games = warm_games,
+        hom_sub = hom_sub,
+        game_sub = game_sub,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+    std::fs::write(path, json).expect("write BENCH_incremental.json");
+
+    assert!(
+        warm_solves < cold_solves,
+        "warm leg must run strictly fewer hom searches ({warm_solves} vs {cold_solves})"
+    );
+    assert!(
+        warm_games < cold_games,
+        "warm leg must solve strictly fewer games ({warm_games} vs {cold_games})"
+    );
+    assert!(
+        hom_sub + game_sub > 0,
+        "subsumption never fired — the warm wins would be exact hits only"
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "aggregate speedup {speedup:.2}x below the {MIN_SPEEDUP:.1}x floor \
+         (cold {cold_s:.3}s, warm {warm_s:.3}s)"
+    );
+}

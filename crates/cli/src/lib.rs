@@ -13,8 +13,20 @@
 //! cqsep-cli classify-model <model.txt> <eval.db>
 //! cqsep-cli relabel <train.db> [--k <k>]             Algorithm 2
 //! cqsep-cli evaluate <train.db> <test.db> [--method <mspec>]... [--fit-timeout <secs>]
+//! cqsep-cli append <file.db> <delta.txt> [-o out.db]
+//! cqsep-cli recheck <train.db> [<delta.txt>] [--class <spec>]...
 //! cqsep-cli info <file.db>
 //! ```
+//!
+//! `append` applies an edit script (`relational::Delta` text format:
+//! `add-value`/`add-fact`/`del-fact`/`add-entity`/`flip-label` lines) to
+//! a database through the engine's delta layer and prints the descendant
+//! spec (or writes it with `-o`), with the delta receipt — parent and
+//! child fingerprints, op counts — as a leading `#` comment. `recheck`
+//! loads a training database as a resident, optionally appends a delta,
+//! and reruns the separability report warm; combined with `--cache-dir`
+//! both commands persist the fingerprint lineage alongside the verdict
+//! tables, so a later run can subsume across the edit.
 //!
 //! `<spec>` is one of `cq`, `ghw<k>` (e.g. `ghw1`), `cqm<m>` (e.g.
 //! `cqm2`). Defaults: `check` runs all of `cq`, `ghw1`, `cqm1`, `cqm2`;
@@ -47,7 +59,11 @@
 
 use engine::{Ctx, Engine, Interrupted};
 use relational::spec::DatabaseSpec;
-use service::{load_database, render_labels, run_task_in, Task, TaskOutput};
+use relational::Delta;
+use service::{
+    load_database, load_training, render_labels, run_task_in, run_task_res_in, Residents, Task,
+    TaskOutput,
+};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Duration;
@@ -310,7 +326,118 @@ pub fn run_in(ctx: &Ctx, args: &[String]) -> Result<Result<String, String>, Inte
                 Ok(t) => t,
                 Err(e) => return Ok(Err(e)),
             };
-            Ok(task_output(Task::Relabel { train, k })?.map(|out| out.output))
+            Ok(task_output(Task::Relabel {
+                train,
+                k,
+                name: None,
+            })?
+            .map(|out| out.output))
+        }
+        Some("append") => {
+            let (db_path, delta_path) = match (args.get(1), args.get(2)) {
+                (Some(d), Some(t)) => (d, t),
+                _ => return Ok(Err(USAGE.to_string())),
+            };
+            let out_path = flag_value(&args[3..], "-o");
+            let (db_text, delta_text) = match (read(db_path), read(delta_path)) {
+                (Ok(d), Ok(t)) => (d, t),
+                (Err(e), _) | (_, Err(e)) => return Ok(Err(e)),
+            };
+            let delta = match Delta::parse(&delta_text) {
+                Ok(d) => d,
+                Err(e) => return Ok(Err(e.to_string())),
+            };
+            let spec = match DatabaseSpec::parse(&db_text) {
+                Ok(s) => s,
+                Err(e) => return Ok(Err(e.to_string())),
+            };
+            // A labeled spec goes through the training path so label ops
+            // (add-entity with +/-, flip-label) are legal; either way the
+            // edit runs through the engine's lineage registry, so with
+            // `--cache-dir` the fingerprint edge survives to later runs.
+            let labeled = spec.entities.iter().any(|(_, l)| l.is_some());
+            let (receipt, descendant) = if labeled {
+                let mut train = match load_training(&db_text) {
+                    Ok(t) => t,
+                    Err(e) => return Ok(Err(e)),
+                };
+                match ctx.apply_training_delta(&mut train, &delta)? {
+                    Ok(r) => {
+                        let spec = DatabaseSpec::from_database(&train.db, Some(&train.labeling));
+                        (r, spec.to_text())
+                    }
+                    Err(e) => return Ok(Err(e.to_string())),
+                }
+            } else {
+                let mut db = match load_database(&db_text) {
+                    Ok(d) => d,
+                    Err(e) => return Ok(Err(e)),
+                };
+                match ctx.apply_delta(&mut db, &delta)? {
+                    Ok(r) => (r, DatabaseSpec::from_database(&db, None).to_text()),
+                    Err(e) => return Ok(Err(e.to_string())),
+                }
+            };
+            Ok(Ok(match out_path {
+                Some(p) => match std::fs::write(&p, &descendant) {
+                    Ok(()) => format!("{}\ndescendant written to {p}\n", receipt.summary()),
+                    Err(e) => return Ok(Err(format!("cannot write {p}: {e}"))),
+                },
+                // No -o: emit a valid spec on stdout, receipt as comment.
+                None => format!("# {}\n{descendant}", receipt.summary()),
+            }))
+        }
+        Some("recheck") => {
+            let path = match args.get(1) {
+                Some(p) => p,
+                None => return Ok(Err(USAGE.to_string())),
+            };
+            let delta_path = args.get(2).filter(|a| !a.starts_with("--"));
+            let classes = match parse_classes(&args[2..]) {
+                Ok(c) => c,
+                Err(e) => return Ok(Err(e)),
+            };
+            let train = match read(path) {
+                Ok(t) => t,
+                Err(e) => return Ok(Err(e)),
+            };
+            // Thin client of the service residents path: make the file a
+            // resident, optionally append the delta, then recheck — the
+            // same append/recheck flow `cqsep-serve` runs, so verdicts
+            // proved before the edit are reusable after it.
+            let residents = Residents::new();
+            let name = "db".to_string();
+            let birth = Task::Append {
+                name: name.clone(),
+                base: Some(train),
+                delta: String::new(),
+            };
+            if let Err(e) = run_task_res_in(ctx, &residents, &birth)? {
+                return Ok(Err(e));
+            }
+            let mut out = String::new();
+            if let Some(dp) = delta_path {
+                let delta = match read(dp) {
+                    Ok(d) => d,
+                    Err(e) => return Ok(Err(e)),
+                };
+                let append = Task::Append {
+                    name: name.clone(),
+                    base: None,
+                    delta,
+                };
+                match run_task_res_in(ctx, &residents, &append)? {
+                    Ok(o) => out.push_str(&o.output),
+                    Err(e) => return Ok(Err(e)),
+                }
+            }
+            match run_task_res_in(ctx, &residents, &Task::Recheck { name, classes })? {
+                Ok(o) => {
+                    out.push_str(&o.output);
+                    Ok(Ok(out))
+                }
+                Err(e) => Ok(Err(e)),
+            }
         }
         Some("evaluate") => {
             let (train_path, test_path) = match (args.get(1), args.get(2)) {
@@ -380,6 +507,8 @@ const USAGE: &str = "usage:
   cqsep-cli classify-model <model.txt> <eval.db>
   cqsep-cli relabel <train.db> [--k <k>]
   cqsep-cli evaluate <train.db> <test.db> [--method cqm<m>|ghw<k>|sep<l>|minerr<m>]... [--fit-timeout <secs>]
+  cqsep-cli append <file.db> <delta.txt> [-o out.db]
+  cqsep-cli recheck <train.db> [<delta.txt>] [--class <spec>]...
   cqsep-cli info <file.db>
 engine flags (any command, any position):
   --stats              append the unified engine counter report
@@ -609,6 +738,64 @@ entity v
             assert!(run(&s(&["evaluate", train])).is_err());
             assert!(run(&s(&["evaluate", train, test, "--method", "cqm0"])).is_err());
             assert!(run(&s(&["evaluate", train, test, "--fit-timeout", "soon"])).is_err());
+        });
+    }
+
+    #[test]
+    fn append_applies_a_delta_and_emits_the_descendant_spec() {
+        with_files(|train, eval| {
+            let dir = std::env::temp_dir().join(format!("cqsep_cli_a_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let delta = dir.join("grow.delta");
+            std::fs::write(&delta, "add-fact E(c,d)\nadd-entity d -\n").unwrap();
+            let delta = delta.to_str().unwrap();
+            // Labeled database, stdout descendant: a valid spec with the
+            // receipt as a leading comment.
+            let out = run(&s(&["append", train, delta])).unwrap();
+            assert!(out.starts_with("# applied insert-only delta"), "{out}");
+            assert!(out.contains("fact E(c,d)"), "{out}");
+            assert!(out.contains("entity d -"), "{out}");
+            DatabaseSpec::parse(&out).expect("stdout descendant must reparse");
+            // -o writes the descendant and reports where.
+            let grown = dir.join("grown.db");
+            let out = run(&s(&["append", train, delta, "-o", grown.to_str().unwrap()])).unwrap();
+            assert!(out.contains("applied insert-only delta"), "{out}");
+            assert!(out.contains("descendant written to"), "{out}");
+            let text = std::fs::read_to_string(&grown).unwrap();
+            assert!(text.contains("entity d -"), "{text}");
+            // Unlabeled databases take the plain-database path; label ops
+            // are rejected there.
+            let plain = dir.join("plain.delta");
+            std::fs::write(&plain, "add-fact E(v,u)\n").unwrap();
+            let out = run(&s(&["append", eval, plain.to_str().unwrap()])).unwrap();
+            assert!(out.contains("fact E(v,u)"), "{out}");
+            let bad = dir.join("bad.delta");
+            std::fs::write(&bad, "flip-label u\n").unwrap();
+            let err = run(&s(&["append", eval, bad.to_str().unwrap()])).unwrap_err();
+            assert!(err.contains("labeled"), "{err}");
+            // Usage errors.
+            assert!(run(&s(&["append", train])).is_err());
+            assert!(run(&s(&["append", train, "/no/such.delta"])).is_err());
+        });
+    }
+
+    #[test]
+    fn recheck_reports_after_an_optional_delta() {
+        with_files(|train, _| {
+            let dir = std::env::temp_dir().join(format!("cqsep_cli_rc_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            // Without a delta: the plain separability report.
+            let out = run(&s(&["recheck", train, "--class", "cq"])).unwrap();
+            assert!(out.contains("CQ-separable: true"), "{out}");
+            // With a delta: the receipt lines, then the report over the
+            // grown database.
+            let delta = dir.join("grow.delta");
+            std::fs::write(&delta, "add-fact E(c,d)\nadd-entity d -\n").unwrap();
+            let out = run(&s(&["recheck", train, delta.to_str().unwrap()])).unwrap();
+            assert!(out.contains("applied insert-only delta"), "{out}");
+            assert!(out.contains("4 entities"), "{out}");
+            assert!(out.contains("CQ-separable"), "{out}");
+            assert!(run(&s(&["recheck"])).is_err());
         });
     }
 

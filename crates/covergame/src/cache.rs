@@ -21,7 +21,7 @@ use crate::game::CoverGame;
 use crate::skeleton::UnionSkeleton;
 use crate::stats::GameStats;
 use interrupt::{Interrupt, Stop};
-use relational::{Database, Val};
+use relational::{Containment, Database, Lineage, Val};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -69,6 +69,9 @@ pub struct GameCache {
     sweeps: AtomicU64,
     /// Entries imported from a persisted table (see `import_entry`).
     restored: AtomicU64,
+    /// Verdicts served by delta subsumption instead of a fresh analysis
+    /// (see [`GameCache::implies_sub`]); counted as neither hit nor miss.
+    sub_hits: AtomicU64,
 }
 
 impl GameCache {
@@ -90,6 +93,7 @@ impl GameCache {
             positions: AtomicU64::new(0),
             sweeps: AtomicU64::new(0),
             restored: AtomicU64::new(0),
+            sub_hits: AtomicU64::new(0),
         }
     }
 
@@ -110,6 +114,75 @@ impl GameCache {
     pub fn implies(&self, d: &Database, a: &[Val], d2: &Database, b: &[Val], k: usize) -> bool {
         self.lookup_or(d, a, d2, b, k, || {
             self.solve_counted(&CoverGame::analyze(d, a, d2, b, k))
+        })
+    }
+
+    /// [`GameCache::implies`] with delta subsumption: on an exact-key
+    /// miss, verdicts cached for lineage ancestors of either database are
+    /// consulted under the monotone rules of `subsumed_via` before a
+    /// fresh analysis. Subsumption-served verdicts count only in
+    /// [`GameCache::subsumption_hits`].
+    pub fn implies_sub(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        k: usize,
+        lineage: Option<&Lineage>,
+    ) -> bool {
+        self.lookup_or_sub(d, a, d2, b, k, lineage, || {
+            self.solve_counted(&CoverGame::analyze(d, a, d2, b, k))
+        })
+    }
+
+    /// [`GameCache::implies_with_skeleton`] with delta subsumption.
+    pub fn implies_with_skeleton_sub(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        skeleton: &UnionSkeleton,
+        lineage: Option<&Lineage>,
+    ) -> bool {
+        self.lookup_or_sub(d, a, d2, b, skeleton.k, lineage, || {
+            self.solve_counted(&CoverGame::analyze_with_skeleton(d, a, d2, b, skeleton))
+        })
+    }
+
+    /// Interruptible [`GameCache::implies_sub`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn implies_sub_int(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        k: usize,
+        lineage: Option<&Lineage>,
+        intr: &Interrupt,
+    ) -> Result<bool, Stop> {
+        self.lookup_or_sub_int(d, a, d2, b, k, lineage, || {
+            CoverGame::analyze_int(d, a, d2, b, k, intr).map(|g| self.solve_counted(&g))
+        })
+    }
+
+    /// Interruptible [`GameCache::implies_with_skeleton_sub`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn implies_with_skeleton_sub_int(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        skeleton: &UnionSkeleton,
+        lineage: Option<&Lineage>,
+        intr: &Interrupt,
+    ) -> Result<bool, Stop> {
+        self.lookup_or_sub_int(d, a, d2, b, skeleton.k, lineage, || {
+            CoverGame::analyze_with_skeleton_int(d, a, d2, b, skeleton, intr)
+                .map(|g| self.solve_counted(&g))
         })
     }
 
@@ -222,6 +295,105 @@ impl GameCache {
         })
     }
 
+    /// Exact-key probe with previous-generation promotion; counts a hit.
+    fn probe_exact(&self, key: &Key) -> Option<bool> {
+        let shard = &self.shards[Self::shard_of(key)];
+        let mut g = shard.lock().unwrap();
+        if let Some(&ans) = g.cur.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(ans);
+        }
+        if let Some(ans) = g.prev.remove(key) {
+            g.insert(key.clone(), ans, self.per_shard_cap);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(ans);
+        }
+        None
+    }
+
+    /// Read-only probe of either generation — no promotion, no counters.
+    fn peek(&self, key: &Key) -> Option<bool> {
+        let g = self.shards[Self::shard_of(key)].lock().unwrap();
+        g.cur.get(key).or_else(|| g.prev.get(key)).copied()
+    }
+
+    fn store(&self, key: Key, ans: bool) {
+        let shard = &self.shards[Self::shard_of(&key)];
+        shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
+    }
+
+    /// Try to answer `key` from verdicts cached for lineage ancestors.
+    /// `(D, ā) →_k (D', b̄)` says every ≤k-cover of `ā` in `D` is matched
+    /// by one of `b̄` in `D'` — duplicator's options grow with `D'` and
+    /// spoiler's with `D`, so the verdict is monotone in the right-hand
+    /// database and antitone in the left, the exact shape of the hom
+    /// rules (documented on `relational::HomCache`):
+    ///
+    /// * right side: positive from an ancestor `A ⊆ D'` carries up;
+    ///   negative from `A ⊇ D'` carries down;
+    /// * left side: positive from `A ⊇ D` restricts; negative from
+    ///   `A ⊆ D` extends.
+    ///
+    /// The pinned tuples `ā`/`b̄` carry over verbatim: `Val`s are
+    /// append-only interned indices, stable along any edit chain.
+    fn subsumed_via(&self, key: &Key, lineage: &Lineage) -> Option<bool> {
+        for (anc, cont) in lineage.ancestors(key.1) {
+            if let Some(ans) = self.peek(&(key.0, anc, key.2.clone(), key.3.clone(), key.4)) {
+                match cont {
+                    Containment::Subset if ans => return Some(true),
+                    Containment::Superset if !ans => return Some(false),
+                    _ => {}
+                }
+            }
+        }
+        for (anc, cont) in lineage.ancestors(key.0) {
+            if let Some(ans) = self.peek(&(anc, key.1, key.2.clone(), key.3.clone(), key.4)) {
+                match cont {
+                    Containment::Superset if ans => return Some(true),
+                    Containment::Subset if !ans => return Some(false),
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
+    fn try_subsume(&self, key: &Key, lineage: Option<&Lineage>) -> Option<bool> {
+        let lineage = lineage.filter(|l| !l.no_edges())?;
+        let ans = self.subsumed_via(key, lineage)?;
+        self.sub_hits.fetch_add(1, Ordering::Relaxed);
+        // Promote to an exact entry: the next query is a plain hit.
+        self.store(key.clone(), ans);
+        Some(ans)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lookup_or_sub(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        k: usize,
+        lineage: Option<&Lineage>,
+        solve: impl FnOnce() -> bool,
+    ) -> bool {
+        let key: Key = (d.fingerprint(), d2.fingerprint(), a.to_vec(), b.to_vec(), k);
+        if let Some(ans) = self.probe_exact(&key) {
+            return ans;
+        }
+        if let Some(ans) = self.try_subsume(&key, lineage) {
+            return ans;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Solve with the lock released; a fixpoint analysis must not
+        // serialize unrelated lookups on this shard. Two threads may race
+        // to compute the same key; both get the same verdict.
+        let ans = solve();
+        self.store(key, ans);
+        ans
+    }
+
     fn lookup_or(
         &self,
         d: &Database,
@@ -231,31 +403,35 @@ impl GameCache {
         k: usize,
         solve: impl FnOnce() -> bool,
     ) -> bool {
-        let key: Key = (d.fingerprint(), d2.fingerprint(), a.to_vec(), b.to_vec(), k);
-        let shard = &self.shards[Self::shard_of(&key)];
-        {
-            let mut g = shard.lock().unwrap();
-            if let Some(&ans) = g.cur.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return ans;
-            }
-            if let Some(ans) = g.prev.remove(&key) {
-                g.insert(key, ans, self.per_shard_cap);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return ans;
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Solve with the lock released; a fixpoint analysis must not
-        // serialize unrelated lookups on this shard. Two threads may race
-        // to compute the same key; both get the same verdict.
-        let ans = solve();
-        shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
-        ans
+        self.lookup_or_sub(d, a, d2, b, k, None, solve)
     }
 
-    /// The interruptible twin of [`GameCache::lookup_or`]: a stopped
+    /// The interruptible twin of [`GameCache::lookup_or_sub`]: a stopped
     /// solve propagates [`Stop`] and leaves the table untouched.
+    #[allow(clippy::too_many_arguments)]
+    fn lookup_or_sub_int(
+        &self,
+        d: &Database,
+        a: &[Val],
+        d2: &Database,
+        b: &[Val],
+        k: usize,
+        lineage: Option<&Lineage>,
+        solve: impl FnOnce() -> Result<bool, Stop>,
+    ) -> Result<bool, Stop> {
+        let key: Key = (d.fingerprint(), d2.fingerprint(), a.to_vec(), b.to_vec(), k);
+        if let Some(ans) = self.probe_exact(&key) {
+            return Ok(ans);
+        }
+        if let Some(ans) = self.try_subsume(&key, lineage) {
+            return Ok(ans);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let ans = solve()?;
+        self.store(key, ans);
+        Ok(ans)
+    }
+
     fn lookup_or_int(
         &self,
         d: &Database,
@@ -265,24 +441,7 @@ impl GameCache {
         k: usize,
         solve: impl FnOnce() -> Result<bool, Stop>,
     ) -> Result<bool, Stop> {
-        let key: Key = (d.fingerprint(), d2.fingerprint(), a.to_vec(), b.to_vec(), k);
-        let shard = &self.shards[Self::shard_of(&key)];
-        {
-            let mut g = shard.lock().unwrap();
-            if let Some(&ans) = g.cur.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(ans);
-            }
-            if let Some(ans) = g.prev.remove(&key) {
-                g.insert(key, ans, self.per_shard_cap);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(ans);
-            }
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let ans = solve()?;
-        shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
-        Ok(ans)
+        self.lookup_or_sub_int(d, a, d2, b, k, None, solve)
     }
 
     fn shard_of(key: &Key) -> usize {
@@ -303,6 +462,11 @@ impl GameCache {
 
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Verdicts served by delta subsumption (neither hit nor miss).
+    pub fn subsumption_hits(&self) -> u64 {
+        self.sub_hits.load(Ordering::Relaxed)
     }
 
     /// Number of memoized verdicts (both generations; they are disjoint).
@@ -358,6 +522,7 @@ impl GameCache {
             &self.positions,
             &self.sweeps,
             &self.restored,
+            &self.sub_hits,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -492,6 +657,55 @@ mod tests {
         assert_eq!(first, cover_implies(&p, &[t], &p, &[s], 1));
         assert_eq!(cache.implies(&p, &[t], &p, &[s], 1), first);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn subsumption_reuses_verdicts_across_deltas() {
+        use relational::{Delta, Lineage};
+        let cache = GameCache::new();
+        let lineage = Lineage::new();
+        let d = graph(&[("a", "b"), ("b", "c"), ("c", "a")]); // 3-cycle
+        let mut d2 = graph(&[("x", "y"), ("y", "x")]); // 2-cycle
+        let positive = cache.implies_sub(&d, &[], &d2, &[], 1, Some(&lineage));
+        assert!(positive, "C3 ->_1 C2 holds");
+        // Enrich the right side: duplicator only gains options.
+        d2.apply_via(&Delta::new().add_fact("E", &["y", "z"]), &lineage)
+            .unwrap();
+        assert!(cache.implies_sub(&d, &[], &d2, &[], 1, Some(&lineage)));
+        assert_eq!(cache.misses(), 1, "no fresh analysis after the append");
+        assert_eq!(cache.subsumption_hits(), 1);
+        // Against the cold solver: subsumption was exact.
+        assert!(cover_implies(&d, &[], &d2, &[], 1));
+
+        // Negative verdicts survive right-side deletions.
+        let d3 = graph(&[("a", "b"), ("b", "c"), ("c", "a")]);
+        let mut poor = graph(&[("x", "y"), ("y", "x")]);
+        assert!(!cache.implies_sub(&d3, &[], &poor, &[], 2, Some(&lineage)));
+        poor.apply_via(&Delta::new().remove_fact("E", &["y", "x"]), &lineage)
+            .unwrap();
+        assert!(!cache.implies_sub(&d3, &[], &poor, &[], 2, Some(&lineage)));
+        assert_eq!(cache.subsumption_hits(), 2);
+        assert!(!cover_implies(&d3, &[], &poor, &[], 2));
+    }
+
+    #[test]
+    fn subsumption_respects_direction_for_games() {
+        use relational::{Delta, Lineage};
+        let cache = GameCache::new();
+        let lineage = Lineage::new();
+        // Positive with a pinned tuple, then delete from the RIGHT side:
+        // the positive may not carry over, and the fresh analysis gives
+        // the true (now negative) verdict.
+        let d = graph(&[("s", "t")]);
+        let mut d2 = graph(&[("u", "v")]);
+        let (s, u) = (v(&d, "s"), v(&d2, "u"));
+        assert!(cache.implies_sub(&d, &[s], &d2, &[u], 1, Some(&lineage)));
+        d2.apply_via(&Delta::new().remove_fact("E", &["u", "v"]), &lineage)
+            .unwrap();
+        let after = cache.implies_sub(&d, &[s], &d2, &[u], 1, Some(&lineage));
+        assert_eq!(after, cover_implies(&d, &[s], &d2, &[u], 1));
+        assert_eq!(cache.subsumption_hits(), 0);
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

@@ -154,7 +154,13 @@ impl<'e> Ctx<'e> {
         self.check()?;
         let cache = self.engine.hom_cache();
         let ans = if self.engine.caching_enabled() {
-            cache.exists_int(from, to, fixed, &self.interrupt)
+            cache.exists_sub_int(
+                from,
+                to,
+                fixed,
+                Some(self.engine.lineage()),
+                &self.interrupt,
+            )
         } else {
             cache.exists_uncached_int(from, to, fixed, &self.interrupt)
         };
@@ -173,7 +179,7 @@ impl<'e> Ctx<'e> {
         self.check()?;
         let cache = self.engine.game_cache();
         let ans = if self.engine.caching_enabled() {
-            cache.implies_int(d, a, d2, b, k, &self.interrupt)
+            cache.implies_sub_int(d, a, d2, b, k, Some(self.engine.lineage()), &self.interrupt)
         } else {
             cache.implies_uncached_int(d, a, d2, b, k, &self.interrupt)
         };
@@ -192,11 +198,43 @@ impl<'e> Ctx<'e> {
         self.check()?;
         let cache = self.engine.game_cache();
         let ans = if self.engine.caching_enabled() {
-            cache.implies_with_skeleton_int(d, a, d2, b, skeleton, &self.interrupt)
+            cache.implies_with_skeleton_sub_int(
+                d,
+                a,
+                d2,
+                b,
+                skeleton,
+                Some(self.engine.lineage()),
+                &self.interrupt,
+            )
         } else {
             cache.implies_with_skeleton_uncached_int(d, a, d2, b, skeleton, &self.interrupt)
         };
         ans.map_err(|stop| self.wrap(stop))
+    }
+
+    /// Interruptible [`Engine::apply_delta`]: mutate `db` by `delta`,
+    /// recording the fingerprint edge in the engine's lineage registry.
+    /// Delta application itself is cheap and atomic, so only the entry
+    /// check observes the handle; the nested `Result` keeps interruption
+    /// composing with [`DeltaError`] like every other `foo_in`.
+    pub fn apply_delta(
+        &self,
+        db: &mut Database,
+        delta: &relational::Delta,
+    ) -> Result<Result<relational::DeltaReceipt, relational::DeltaError>, Interrupted> {
+        self.check()?;
+        Ok(self.engine.apply_delta(db, delta))
+    }
+
+    /// Interruptible [`Engine::apply_training_delta`] (labels allowed).
+    pub fn apply_training_delta(
+        &self,
+        train: &mut relational::TrainingDb,
+        delta: &relational::Delta,
+    ) -> Result<Result<relational::DeltaReceipt, relational::DeltaError>, Interrupted> {
+        self.check()?;
+        Ok(self.engine.apply_training_delta(train, delta))
     }
 
     /// Interruptible [`Engine::separate`].

@@ -40,7 +40,9 @@ use cq::{Cq, EnumConfig};
 use linsep::{LinearClassifier, LpCounters, LpStats};
 use numeric::Rat;
 use qbe::QbeError;
-use relational::{Database, HomCache, HomStats, Val};
+use relational::{
+    Database, Delta, DeltaError, DeltaReceipt, HomCache, HomStats, Lineage, TrainingDb, Val,
+};
 use std::path::Path;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
@@ -61,6 +63,9 @@ pub struct Engine {
     hom: Arc<HomCache>,
     game: Arc<GameCache>,
     lp: Arc<LpCounters>,
+    /// Fingerprint lineage: which database contents are deltas of which
+    /// (see [`relational::delta`]). Feeds the caches' subsumption reads.
+    lineage: Arc<Lineage>,
     /// Worker-thread cap for the parallel drivers (`None` = all cores).
     threads: Option<usize>,
     /// When false, queries bypass the memo tables entirely.
@@ -75,6 +80,7 @@ impl Engine {
             hom: Arc::new(HomCache::new()),
             game: Arc::new(GameCache::new()),
             lp: Arc::new(LpCounters::new()),
+            lineage: Arc::new(Lineage::new()),
             threads: None,
             use_cache: true,
         }
@@ -115,6 +121,7 @@ impl Engine {
             hom: relational::hom::cache::global_arc(),
             game: covergame::cache::global_arc(),
             lp: linsep::stats::global_counters_arc(),
+            lineage: relational::global_lineage_arc(),
             threads: None,
             use_cache: std::env::var(NO_CACHE_ENV).map_or(true, |v| v != "1"),
         })
@@ -182,15 +189,48 @@ impl Engine {
         &self.lp
     }
 
+    /// The fingerprint-lineage registry (delta history + subsumption).
+    pub fn lineage(&self) -> &Lineage {
+        &self.lineage
+    }
+
+    // ------------------------------------------------------------------
+    // Deltas
+    // ------------------------------------------------------------------
+
+    /// Apply a structural delta to `db`, recording the fingerprint edge
+    /// in this engine's lineage registry so later cache lookups against
+    /// the descendant can subsume from entries cached for the parent
+    /// (and a repeat of the same edit skips the fingerprint recompute).
+    pub fn apply_delta(
+        &self,
+        db: &mut Database,
+        delta: &Delta,
+    ) -> Result<DeltaReceipt, DeltaError> {
+        db.apply_via(delta, &self.lineage)
+    }
+
+    /// [`Engine::apply_delta`] for training databases (label ops
+    /// allowed; label-only deltas keep the fingerprint, so every cached
+    /// verdict stays exactly valid).
+    pub fn apply_training_delta(
+        &self,
+        train: &mut TrainingDb,
+        delta: &Delta,
+    ) -> Result<DeltaReceipt, DeltaError> {
+        train.apply_via(delta, &self.lineage)
+    }
+
     // ------------------------------------------------------------------
     // Solver entry points
     // ------------------------------------------------------------------
 
     /// Does a homomorphism `from → to` extending `fixed` exist?
-    /// Memoized through this engine's table (unless caching is off).
+    /// Memoized through this engine's table (unless caching is off),
+    /// with delta subsumption against this engine's lineage registry.
     pub fn hom_exists(&self, from: &Database, to: &Database, fixed: &[(Val, Val)]) -> bool {
         if self.use_cache {
-            self.hom.exists(from, to, fixed)
+            self.hom.exists_sub(from, to, fixed, Some(&self.lineage))
         } else {
             self.hom.exists_uncached(from, to, fixed)
         }
@@ -206,7 +246,7 @@ impl Engine {
         k: usize,
     ) -> bool {
         if self.use_cache {
-            self.game.implies(d, a, d2, b, k)
+            self.game.implies_sub(d, a, d2, b, k, Some(&self.lineage))
         } else {
             self.game.implies_uncached(d, a, d2, b, k)
         }
@@ -223,7 +263,8 @@ impl Engine {
         skeleton: &UnionSkeleton,
     ) -> bool {
         if self.use_cache {
-            self.game.implies_with_skeleton(d, a, d2, b, skeleton)
+            self.game
+                .implies_with_skeleton_sub(d, a, d2, b, skeleton, Some(&self.lineage))
         } else {
             self.game
                 .implies_with_skeleton_uncached(d, a, d2, b, skeleton)
@@ -385,17 +426,24 @@ impl Engine {
                 bignum_promotions: numeric::rat::promotion_count(),
                 ..self.lp.snapshot()
             },
-            restored_entries: self.hom.restored() + self.game.restored(),
+            sub: SubsumeStats {
+                hom_subsumption_hits: self.hom.subsumption_hits(),
+                game_subsumption_hits: self.game.subsumption_hits(),
+                lineage_edges: self.lineage.edge_count(),
+                lineage_registry_hits: self.lineage.registry_hits(),
+            },
+            restored_entries: self.hom.restored() + self.game.restored() + self.lineage.restored(),
         }
     }
 
-    /// Zero every per-engine counter (memo tables are untouched; the
-    /// process-wide promotion counter is not per-engine and keeps
-    /// running).
+    /// Zero every per-engine counter (memo tables and the lineage edge
+    /// table are untouched; the process-wide promotion counter is not
+    /// per-engine and keeps running).
     pub fn reset_stats(&self) {
         self.hom.reset_stats();
         self.game.reset_stats();
         self.lp.reset();
+        self.lineage.reset_stats();
     }
 
     /// Persist both verdict tables under `dir` (created if missing).
@@ -433,7 +481,10 @@ pub struct EngineStats {
     /// is the process-wide figure (promotions are not attributable to an
     /// engine).
     pub lp: LpStats,
-    /// Cache entries imported by [`Engine::load`] since the last reset.
+    /// Delta/lineage layer: subsumption reuse across related databases.
+    pub sub: SubsumeStats,
+    /// Cache entries imported by [`Engine::load`] since the last reset
+    /// (verdict tables plus lineage edges).
     pub restored_entries: u64,
 }
 
@@ -444,6 +495,7 @@ impl EngineStats {
             hom: self.hom.since(&earlier.hom),
             game: self.game.since(&earlier.game),
             lp: self.lp.since(&earlier.lp),
+            sub: self.sub.since(&earlier.sub),
             restored_entries: self
                 .restored_entries
                 .saturating_sub(earlier.restored_entries),
@@ -451,17 +503,70 @@ impl EngineStats {
     }
 
     /// The unified human-readable report (the CLI's `--stats` output):
-    /// one banner, the three per-layer sections, and the restored-entry
-    /// count.
+    /// one banner, the per-layer sections, the subsumption section, and
+    /// the restored-entry count.
     pub fn report(&self) -> String {
         format!(
             "engine stats (hom + cover-game + LP):\n\
              \x20 restored cache entries: {}\n\
-             {}\n{}\n{}",
+             {}\n{}\n{}\n{}",
             self.restored_entries,
             self.hom.report(),
             self.game.report(),
             self.lp.report(),
+            self.sub.report(),
+        )
+    }
+}
+
+/// Counters for the delta-aware reuse paths: how many cache probes were
+/// answered by a subsumption rule instead of an exact key, and how much
+/// lineage (parent/child fingerprint edges from [`Engine::apply_delta`])
+/// the engine is tracking.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubsumeStats {
+    /// Hom-cache probes answered via a lineage-related database.
+    pub hom_subsumption_hits: u64,
+    /// Game-cache probes answered via a lineage-related database.
+    pub game_subsumption_hits: u64,
+    /// Fingerprint edges currently recorded in the lineage registry.
+    pub lineage_edges: u64,
+    /// `apply_delta` calls whose child fingerprint was answered by the
+    /// registry memo instead of a recompute.
+    pub lineage_registry_hits: u64,
+}
+
+impl SubsumeStats {
+    /// Counter deltas since an earlier snapshot (saturating).
+    /// `lineage_edges` is a gauge, not a counter: the current value is
+    /// carried through unchanged.
+    pub fn since(&self, earlier: &SubsumeStats) -> SubsumeStats {
+        SubsumeStats {
+            hom_subsumption_hits: self
+                .hom_subsumption_hits
+                .saturating_sub(earlier.hom_subsumption_hits),
+            game_subsumption_hits: self
+                .game_subsumption_hits
+                .saturating_sub(earlier.game_subsumption_hits),
+            lineage_edges: self.lineage_edges,
+            lineage_registry_hits: self
+                .lineage_registry_hits
+                .saturating_sub(earlier.lineage_registry_hits),
+        }
+    }
+
+    /// The `subsumption:` section of [`EngineStats::report`].
+    pub fn report(&self) -> String {
+        format!(
+            "subsumption:\n\
+             \x20 hom subsumption hits:   {}\n\
+             \x20 game subsumption hits:  {}\n\
+             \x20 lineage edges:          {}\n\
+             \x20 lineage registry hits:  {}",
+            self.hom_subsumption_hits,
+            self.game_subsumption_hits,
+            self.lineage_edges,
+            self.lineage_registry_hits,
         )
     }
 }
@@ -856,9 +961,41 @@ mod tests {
             "lp engine stats",
             "simplex pivots",
             "bignum promotions",
+            "subsumption:",
+            "lineage registry hits",
         ] {
             assert!(r.contains(needle), "missing {needle:?} in {r}");
         }
+    }
+
+    #[test]
+    fn apply_delta_records_lineage_and_enables_subsumption() {
+        let e = Engine::new();
+        let p = graph(&[("a", "b"), ("b", "c")], &[]);
+        let mut c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")], &[]);
+        // Warm the cache on the original target.
+        assert!(e.hom_exists(&p, &c3, &[]));
+        // Grow the target by one fresh edge through the engine: the
+        // lineage registry learns (parent, delta) -> child.
+        let delta = relational::Delta::new()
+            .add_value("w")
+            .add_fact("E", &["z", "w"]);
+        let receipt = e.apply_delta(&mut c3, &delta).unwrap();
+        assert_eq!(receipt.kind, relational::DeltaKind::InsertOnly);
+        assert!(e.stats().sub.lineage_edges >= 1);
+        // The positive verdict transfers to the grown target without a
+        // fresh search: a subsumption hit, not a miss.
+        let before = e.stats();
+        assert!(e.hom_exists(&p, &c3, &[]));
+        let d = e.stats().since(&before);
+        assert_eq!(d.sub.hom_subsumption_hits, 1);
+        assert_eq!(d.hom.solves, 0);
+        // Re-applying the identical delta to a fresh copy of the parent
+        // is answered by the registry memo.
+        let mut again = graph(&[("x", "y"), ("y", "z"), ("z", "x")], &[]);
+        let r2 = e.apply_delta(&mut again, &delta).unwrap();
+        assert!(r2.registry_hit);
+        assert!(e.stats().sub.lineage_registry_hits >= 1);
     }
 
     #[test]

@@ -9,29 +9,32 @@
 //!
 //! # Format
 //!
-//! Two files under the cache directory, one per table, each a simple
-//! versioned little-endian binary dump in the shared
-//! [`serde::bytes`] wire style:
+//! Three files under the cache directory — one per verdict table plus
+//! the lineage edge table — each a simple versioned little-endian
+//! binary dump in the shared [`serde::bytes`] wire style:
 //!
 //! ```text
-//! hom.cache:   "CQSEPCH1" | u64 count | count × entry
-//!     entry:   u128 from_fp | u128 to_fp | u32 npairs
-//!              | npairs × (u32 from_val, u32 to_val) | u8 verdict
-//! game.cache:  "CQSEPCG1" | u64 count | count × entry
-//!     entry:   u128 d_fp | u128 d2_fp | u32 na | na × u32
-//!              | u32 nb | nb × u32 | u32 k | u8 verdict
+//! hom.cache:     "CQSEPCH1" | u64 count | count × entry
+//!     entry:     u128 from_fp | u128 to_fp | u32 npairs
+//!                | npairs × (u32 from_val, u32 to_val) | u8 verdict
+//! game.cache:    "CQSEPCG1" | u64 count | count × entry
+//!     entry:     u128 d_fp | u128 d2_fp | u32 na | na × u32
+//!                | u32 nb | nb × u32 | u32 k | u8 verdict
+//! lineage.table: "CQSEPLN1" | u64 count | count × entry
+//!     entry:     u128 parent_fp | u128 delta_fp | u128 child_fp
+//!                | u8 kind
 //! ```
 //!
-//! Verdict bytes are strictly `0`/`1`. Loading is all-or-nothing per
-//! file: a missing file, wrong magic, truncated entry, trailing garbage,
-//! or invalid verdict byte discards that file's table entirely (a *cold*
-//! start for that layer) rather than importing a prefix of unknown
-//! integrity. Saving writes a temp file in the target directory and
-//! renames it into place, so a crash mid-save cannot clobber a previous
-//! good table.
+//! Verdict bytes are strictly `0`/`1`; lineage kind bytes must be valid
+//! [`DeltaKind`] codes. Loading is all-or-nothing per file: a missing
+//! file, wrong magic, truncated entry, trailing garbage, or invalid
+//! byte discards that file's table entirely (a *cold* start for that
+//! layer) rather than importing a prefix of unknown integrity. Saving
+//! writes a temp file in the target directory and renames it into
+//! place, so a crash mid-save cannot clobber a previous good table.
 
 use crate::Engine;
-use relational::Val;
+use relational::{DeltaKind, Val};
 use serde::bytes::{write_atomic, ByteReader, ByteWriter};
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -41,9 +44,11 @@ use std::path::Path;
 /// File names within a cache directory.
 pub const HOM_FILE: &str = "hom.cache";
 pub const GAME_FILE: &str = "game.cache";
+pub const LINEAGE_FILE: &str = "lineage.table";
 
 const HOM_MAGIC: [u8; 8] = *b"CQSEPCH1";
 const GAME_MAGIC: [u8; 8] = *b"CQSEPCG1";
+const LINEAGE_MAGIC: [u8; 8] = *b"CQSEPLN1";
 
 /// What [`Engine::load`](crate::Engine::load) found in a cache
 /// directory. A corrupted or missing table reports zero entries.
@@ -53,12 +58,14 @@ pub struct RestoreSummary {
     pub hom_entries: u64,
     /// Cover-game verdicts imported.
     pub game_entries: u64,
+    /// Lineage fingerprint edges imported.
+    pub lineage_edges: u64,
 }
 
 impl RestoreSummary {
-    /// Total verdicts imported across both tables.
+    /// Total entries imported across all tables.
     pub fn total(&self) -> u64 {
-        self.hom_entries + self.game_entries
+        self.hom_entries + self.game_entries + self.lineage_edges
     }
 }
 
@@ -66,6 +73,7 @@ pub(crate) fn save(engine: &Engine, dir: &Path) -> io::Result<()> {
     fs::create_dir_all(dir)?;
     write_atomic(&dir.join(HOM_FILE), &encode_hom(engine))?;
     write_atomic(&dir.join(GAME_FILE), &encode_game(engine))?;
+    write_atomic(&dir.join(LINEAGE_FILE), &encode_lineage(engine))?;
     Ok(())
 }
 
@@ -81,6 +89,17 @@ pub(crate) fn load(engine: &Engine, dir: &Path) -> io::Result<RestoreSummary> {
         summary.game_entries = entries.len() as u64;
         for (d_fp, d2_fp, a, b, k, ans) in entries {
             engine.game_cache().import_entry(d_fp, d2_fp, a, b, k, ans);
+        }
+    }
+    if let Some(entries) = fs::read(dir.join(LINEAGE_FILE))
+        .ok()
+        .and_then(decode_lineage)
+    {
+        summary.lineage_edges = entries.len() as u64;
+        for (parent_fp, delta_fp, child_fp, kind) in entries {
+            engine
+                .lineage()
+                .import_edge(parent_fp, delta_fp, child_fp, kind);
         }
     }
     Ok(summary)
@@ -122,6 +141,34 @@ fn encode_game(engine: &Engine) -> Vec<u8> {
         w.verdict(ans);
     }
     w.finish()
+}
+
+fn encode_lineage(engine: &Engine) -> Vec<u8> {
+    let edges = engine.lineage().export_edges();
+    let mut w = ByteWriter::with_magic(&LINEAGE_MAGIC);
+    w.u64(edges.len() as u64);
+    for (parent_fp, delta_fp, child_fp, kind) in edges {
+        w.u128(parent_fp);
+        w.u128(delta_fp);
+        w.u128(child_fp);
+        w.u8(kind.code());
+    }
+    w.finish()
+}
+
+#[allow(clippy::type_complexity)]
+fn decode_lineage(bytes: Vec<u8>) -> Option<Vec<(u128, u128, u128, DeltaKind)>> {
+    let mut r = ByteReader::with_magic(&bytes, &LINEAGE_MAGIC)?;
+    let count = r.u64()?;
+    let mut out = Vec::new();
+    for _ in 0..count {
+        let parent_fp = r.u128()?;
+        let delta_fp = r.u128()?;
+        let child_fp = r.u128()?;
+        let kind = DeltaKind::from_code(r.u8()?)?;
+        out.push((parent_fp, delta_fp, child_fp, kind));
+    }
+    r.finished().then_some(out)
 }
 
 fn val_vec(r: &mut ByteReader<'_>) -> Option<Vec<Val>> {

@@ -2,9 +2,9 @@
 //! including the corruption fallbacks: a damaged or truncated cache file
 //! must degrade to a cold start, never to a wrong answer or a panic.
 
-use engine::persist::{GAME_FILE, HOM_FILE};
+use engine::persist::{GAME_FILE, HOM_FILE, LINEAGE_FILE};
 use engine::Engine;
-use relational::{Database, DbBuilder, Schema, Val};
+use relational::{Database, DbBuilder, Delta, Schema, Val};
 use std::fs;
 use std::path::PathBuf;
 
@@ -128,6 +128,59 @@ fn partial_corruption_keeps_the_intact_table() {
     assert_eq!(summary.game_entries, 0, "damaged game table must not");
     let s2 = second.stats();
     assert_eq!(s2.restored_entries, 2);
+}
+
+#[test]
+fn lineage_edges_round_trip_and_pay_off_after_reload() {
+    let tmp = TempDir::new("lineage");
+    let first = Engine::new();
+    let p = graph(&[("a", "b"), ("b", "c")]);
+    let mut c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")]);
+    assert!(first.hom_exists(&p, &c3, &[]));
+    let delta = Delta::new().add_value("w").add_fact("E", &["z", "w"]);
+    first.apply_delta(&mut c3, &delta).unwrap();
+    assert_eq!(first.stats().sub.lineage_edges, 1);
+    first.save(&tmp.0).unwrap();
+
+    // A fresh engine restores the verdicts AND the lineage edge, so the
+    // subsumption read works across the process boundary: the grown
+    // target is answered without a search.
+    let second = Engine::new();
+    let summary = second.load(&tmp.0).unwrap();
+    assert_eq!(summary.lineage_edges, 1);
+    assert!(summary.total() >= 2);
+    assert!(second.hom_exists(&p, &c3, &[]));
+    let s2 = second.stats();
+    assert_eq!(s2.sub.hom_subsumption_hits, 1);
+    assert_eq!(s2.hom.solves, 0, "warm lineage must avoid the search");
+    // And the registry memo answers a replayed apply.
+    let mut parent = graph(&[("x", "y"), ("y", "z"), ("z", "x")]);
+    let receipt = second.apply_delta(&mut parent, &delta).unwrap();
+    assert!(receipt.registry_hit);
+}
+
+#[test]
+fn corrupt_lineage_table_is_a_cold_start_for_lineage_only() {
+    let tmp = TempDir::new("lineage-corrupt");
+    let first = Engine::new();
+    run_workload(&first);
+    let mut c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")]);
+    let delta = Delta::new().add_value("w").add_fact("E", &["z", "w"]);
+    first.apply_delta(&mut c3, &delta).unwrap();
+    first.save(&tmp.0).unwrap();
+
+    // Truncate the lineage table mid-entry: the whole file is discarded,
+    // the verdict tables still restore.
+    let path = tmp.0.join(LINEAGE_FILE);
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+    let second = Engine::new();
+    let summary = second.load(&tmp.0).unwrap();
+    assert_eq!(summary.lineage_edges, 0, "damaged lineage must not load");
+    assert_eq!(summary.hom_entries, 2);
+    assert_eq!(summary.game_entries, 2);
+    assert_eq!(second.stats().sub.lineage_edges, 0);
 }
 
 #[test]

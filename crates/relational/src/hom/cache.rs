@@ -32,6 +32,7 @@
 use super::stats::HomStats;
 use super::{homomorphism_exists_counted, homomorphism_exists_counted_int, SearchCounts};
 use crate::database::Database;
+use crate::delta::{Containment, Lineage};
 use crate::ids::Val;
 use interrupt::{Interrupt, Stop};
 use std::collections::HashMap;
@@ -85,6 +86,9 @@ pub struct HomCache {
     backtracks: AtomicU64,
     /// Entries imported from a persisted table (see `import_entry`).
     restored: AtomicU64,
+    /// Answers served by delta subsumption instead of a fresh search
+    /// (see [`HomCache::exists_sub`]); counted as neither hit nor miss.
+    sub_hits: AtomicU64,
 }
 
 impl HomCache {
@@ -107,6 +111,7 @@ impl HomCache {
             wipeouts: AtomicU64::new(0),
             backtracks: AtomicU64::new(0),
             restored: AtomicU64::new(0),
+            sub_hits: AtomicU64::new(0),
         }
     }
 
@@ -117,6 +122,87 @@ impl HomCache {
         self.backtracks.fetch_add(c.backtracks, Ordering::Relaxed);
     }
 
+    /// Normalize the fixed pairs into key form: sorted, deduplicated;
+    /// `None` means contradictory constraints (two targets for one
+    /// source) — a guaranteed `false`, not worth a table entry.
+    fn normalize(from: &Database, to: &Database, fixed: &[(Val, Val)]) -> Option<Key> {
+        let mut norm: Vec<(Val, Val)> = fixed.to_vec();
+        norm.sort_unstable();
+        norm.dedup();
+        if norm.windows(2).any(|w| w[0].0 == w[1].0) {
+            return None;
+        }
+        Some((from.fingerprint(), to.fingerprint(), norm))
+    }
+
+    /// Exact-key probe with previous-generation promotion; counts a hit.
+    fn probe_exact(&self, key: &Key) -> Option<bool> {
+        let shard = &self.shards[Self::shard_of(key)];
+        let mut g = shard.lock().unwrap();
+        if let Some(&ans) = g.cur.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(ans);
+        }
+        if let Some(ans) = g.prev.remove(key) {
+            // Promote: a previous-generation hit rejoins the current
+            // working set so rotation keeps what is actually used.
+            g.insert(key.clone(), ans, self.per_shard_cap);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(ans);
+        }
+        None
+    }
+
+    /// Read-only probe of either generation — no promotion, no counters.
+    /// This is what subsumption uses to look at *ancestor* keys it will
+    /// never own.
+    fn peek(&self, key: &Key) -> Option<bool> {
+        let g = self.shards[Self::shard_of(key)].lock().unwrap();
+        g.cur.get(key).or_else(|| g.prev.get(key)).copied()
+    }
+
+    fn store(&self, key: Key, ans: bool) {
+        let shard = &self.shards[Self::shard_of(&key)];
+        shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
+    }
+
+    /// Try to answer `key` from entries cached for lineage *ancestors*
+    /// of its databases. Hom existence is monotone in the target and
+    /// antitone in the source, so (writing `A` for the ancestor content
+    /// and `⊆` for an insert-only edit chain):
+    ///
+    /// * target side: `C → A` and `A ⊆ to`  ⟹  `C → to` (compose with
+    ///   the inclusion); `C ↛ A` and `A ⊇ to` ⟹ `C ↛ to` (a hom into
+    ///   the sub-database would also be one into `A`);
+    /// * source side: `A → to` and `A ⊇ from` ⟹ `from → to` (restrict
+    ///   the hom); `A ↛ to` and `A ⊆ from` ⟹ `from ↛ to`.
+    ///
+    /// Fixed pairs carry over verbatim: `Val`s are append-only interned
+    /// indices, so an element means the same thing in every database on
+    /// an edit chain, and the restricted/composed hom above still maps
+    /// each fixed source to its fixed target.
+    fn subsumed_via(&self, key: &Key, lineage: &Lineage) -> Option<bool> {
+        for (anc, cont) in lineage.ancestors(key.1) {
+            if let Some(ans) = self.peek(&(key.0, anc, key.2.clone())) {
+                match cont {
+                    Containment::Subset if ans => return Some(true),
+                    Containment::Superset if !ans => return Some(false),
+                    _ => {}
+                }
+            }
+        }
+        for (anc, cont) in lineage.ancestors(key.0) {
+            if let Some(ans) = self.peek(&(anc, key.1, key.2.clone())) {
+                match cont {
+                    Containment::Superset if ans => return Some(true),
+                    Containment::Subset if !ans => return Some(false),
+                    _ => {}
+                }
+            }
+        }
+        None
+    }
+
     /// Memoized [`homomorphism_exists`]: does a hom `from → to` extending
     /// `fixed` exist?
     ///
@@ -125,37 +211,46 @@ impl HomCache {
     /// share one entry. Contradictory constraints short-circuit to
     /// `false` without occupying cache space.
     pub fn exists(&self, from: &Database, to: &Database, fixed: &[(Val, Val)]) -> bool {
-        let mut norm: Vec<(Val, Val)> = fixed.to_vec();
-        norm.sort_unstable();
-        norm.dedup();
-        if norm.windows(2).any(|w| w[0].0 == w[1].0) {
-            // Two different targets for one source: no hom, and not worth
-            // a table entry.
+        self.exists_sub(from, to, fixed, None)
+    }
+
+    /// [`HomCache::exists`] with delta subsumption: on an exact-key miss,
+    /// entries cached for lineage ancestors of `from`/`to` are consulted
+    /// under the monotone rules of `subsumed_via` before falling back to
+    /// a fresh search. A subsumption-served answer is promoted to an
+    /// exact entry (so the next query is a plain hit) and counts only in
+    /// [`HomCache::subsumption_hits`].
+    pub fn exists_sub(
+        &self,
+        from: &Database,
+        to: &Database,
+        fixed: &[(Val, Val)],
+        lineage: Option<&Lineage>,
+    ) -> bool {
+        let Some(key) = Self::normalize(from, to, fixed) else {
             return false;
+        };
+        if let Some(ans) = self.probe_exact(&key) {
+            return ans;
         }
-        let key: Key = (from.fingerprint(), to.fingerprint(), norm);
-        let shard = &self.shards[Self::shard_of(&key)];
-        {
-            let mut g = shard.lock().unwrap();
-            if let Some(&ans) = g.cur.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return ans;
-            }
-            if let Some(ans) = g.prev.remove(&key) {
-                // Promote: a previous-generation hit rejoins the current
-                // working set so rotation keeps what is actually used.
-                g.insert(key, ans, self.per_shard_cap);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return ans;
-            }
+        if let Some(ans) = self.try_subsume(&key, lineage) {
+            return ans;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Search with the lock released; the solve can be exponential and
         // must not serialize unrelated lookups on this shard.
         let (ans, counts) = homomorphism_exists_counted(from, to, &key.2);
         self.note_search(&counts);
-        shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
+        self.store(key, ans);
         ans
+    }
+
+    fn try_subsume(&self, key: &Key, lineage: Option<&Lineage>) -> Option<bool> {
+        let lineage = lineage.filter(|l| !l.no_edges())?;
+        let ans = self.subsumed_via(key, lineage)?;
+        self.sub_hits.fetch_add(1, Ordering::Relaxed);
+        self.store(key.clone(), ans);
+        Some(ans)
     }
 
     /// Interruptible [`HomCache::exists`]. Hits return instantly (a memo
@@ -171,31 +266,33 @@ impl HomCache {
         fixed: &[(Val, Val)],
         intr: &Interrupt,
     ) -> Result<bool, Stop> {
-        let mut norm: Vec<(Val, Val)> = fixed.to_vec();
-        norm.sort_unstable();
-        norm.dedup();
-        if norm.windows(2).any(|w| w[0].0 == w[1].0) {
+        self.exists_sub_int(from, to, fixed, None, intr)
+    }
+
+    /// Interruptible [`HomCache::exists_sub`] (subsumption probes are
+    /// memo reads and need no interruption window of their own).
+    pub fn exists_sub_int(
+        &self,
+        from: &Database,
+        to: &Database,
+        fixed: &[(Val, Val)],
+        lineage: Option<&Lineage>,
+        intr: &Interrupt,
+    ) -> Result<bool, Stop> {
+        let Some(key) = Self::normalize(from, to, fixed) else {
             return Ok(false);
+        };
+        if let Some(ans) = self.probe_exact(&key) {
+            return Ok(ans);
         }
-        let key: Key = (from.fingerprint(), to.fingerprint(), norm);
-        let shard = &self.shards[Self::shard_of(&key)];
-        {
-            let mut g = shard.lock().unwrap();
-            if let Some(&ans) = g.cur.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(ans);
-            }
-            if let Some(ans) = g.prev.remove(&key) {
-                g.insert(key, ans, self.per_shard_cap);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(ans);
-            }
+        if let Some(ans) = self.try_subsume(&key, lineage) {
+            return Ok(ans);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let (ans, counts) = homomorphism_exists_counted_int(from, to, &key.2, intr);
         self.note_search(&counts);
         let ans = ans?;
-        shard.lock().unwrap().insert(key, ans, self.per_shard_cap);
+        self.store(key, ans);
         Ok(ans)
     }
 
@@ -259,6 +356,11 @@ impl HomCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Answers served by delta subsumption (neither hit nor miss).
+    pub fn subsumption_hits(&self) -> u64 {
+        self.sub_hits.load(Ordering::Relaxed)
+    }
+
     /// Number of memoized answers (both generations; they are disjoint).
     pub fn len(&self) -> usize {
         self.shards
@@ -315,6 +417,7 @@ impl HomCache {
             &self.wipeouts,
             &self.backtracks,
             &self.restored,
+            &self.sub_hits,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -513,6 +616,91 @@ mod tests {
                 "re-query after eviction"
             );
         }
+    }
+
+    #[test]
+    fn subsumption_reuses_positive_across_insert_only_delta() {
+        use crate::delta::{Delta, Lineage};
+        let cache = HomCache::new();
+        let lineage = Lineage::new();
+        let p = graph(&[("a", "b"), ("b", "c")]); // path of length 2
+        let mut c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")]);
+        assert!(cache.exists_sub(&p, &c3, &[], Some(&lineage)));
+        assert_eq!(cache.misses(), 1);
+        // Append a fact: the positive hom into c3 survives into c3 ∪ Δ.
+        c3.apply_via(&Delta::new().add_fact("E", &["x", "w"]), &lineage)
+            .unwrap();
+        assert!(cache.exists_sub(&p, &c3, &[], Some(&lineage)));
+        assert_eq!(cache.misses(), 1, "no fresh search after the append");
+        assert_eq!(cache.subsumption_hits(), 1);
+        // The subsumed answer was promoted to an exact entry.
+        assert!(cache.exists_sub(&p, &c3, &[], Some(&lineage)));
+        assert_eq!(cache.subsumption_hits(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn subsumption_reuses_negative_across_delete_only_delta() {
+        use crate::delta::{Delta, Lineage};
+        let cache = HomCache::new();
+        let lineage = Lineage::new();
+        let c3 = graph(&[("a", "b"), ("b", "c"), ("c", "a")]); // 3-cycle
+        let mut p = graph(&[("1", "2"), ("2", "3")]);
+        assert!(!cache.exists_sub(&c3, &p, &[], Some(&lineage)));
+        // Deleting a fact can only make the target poorer: the negative
+        // verdict survives.
+        p.apply_via(&Delta::new().remove_fact("E", &["2", "3"]), &lineage)
+            .unwrap();
+        assert!(!cache.exists_sub(&c3, &p, &[], Some(&lineage)));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.subsumption_hits(), 1);
+    }
+
+    #[test]
+    fn subsumption_respects_direction() {
+        use crate::delta::{Delta, Lineage};
+        let cache = HomCache::new();
+        let lineage = Lineage::new();
+        // p = single edge maps into the 2-path; after deleting the only
+        // edge of the target the positive entry must NOT be reused (a
+        // positive does not survive target deletions) — the fresh search
+        // finds the true answer: no hom.
+        let p = graph(&[("a", "b")]);
+        let mut t = graph(&[("x", "y")]);
+        assert!(cache.exists_sub(&p, &t, &[], Some(&lineage)));
+        t.apply_via(&Delta::new().remove_fact("E", &["x", "y"]), &lineage)
+            .unwrap();
+        assert!(!cache.exists_sub(&p, &t, &[], Some(&lineage)));
+        assert_eq!(cache.subsumption_hits(), 0);
+        assert_eq!(cache.misses(), 2, "direction mismatch forces a search");
+    }
+
+    #[test]
+    fn subsumption_works_on_the_source_side() {
+        use crate::delta::{Delta, Lineage};
+        let cache = HomCache::new();
+        let lineage = Lineage::new();
+        // A positive verdict from a *larger* source restricts to any
+        // sub-source: cache (p2 → c3), then delete a fact from p2.
+        let mut p2 = graph(&[("a", "b"), ("b", "c")]);
+        let c3 = graph(&[("x", "y"), ("y", "z"), ("z", "x")]);
+        assert!(cache.exists_sub(&p2, &c3, &[], Some(&lineage)));
+        p2.apply_via(&Delta::new().remove_fact("E", &["b", "c"]), &lineage)
+            .unwrap();
+        assert!(cache.exists_sub(&p2, &c3, &[], Some(&lineage)));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.subsumption_hits(), 1);
+
+        // A negative verdict from a smaller source blocks any extension:
+        // cache (c3 ↛ p1), then append a fact to c3.
+        let mut c3b = graph(&[("a", "b"), ("b", "c"), ("c", "a")]);
+        let p1 = graph(&[("1", "2")]);
+        assert!(!cache.exists_sub(&c3b, &p1, &[], Some(&lineage)));
+        c3b.apply_via(&Delta::new().add_fact("E", &["a", "d"]), &lineage)
+            .unwrap();
+        assert!(!cache.exists_sub(&c3b, &p1, &[], Some(&lineage)));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.subsumption_hits(), 2);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 pub mod builder;
 pub mod database;
+pub mod delta;
 pub mod hom;
 pub mod ids;
 pub mod iso;
@@ -33,7 +34,10 @@ pub mod schema;
 pub mod spec;
 
 pub use builder::DbBuilder;
-pub use database::{Database, Fact};
+pub use database::{fingerprint_computations, Database, Fact};
+pub use delta::{
+    global_lineage_arc, Containment, Delta, DeltaError, DeltaKind, DeltaOp, DeltaReceipt, Lineage,
+};
 pub use hom::cache::{exists_cached, HomCache};
 pub use hom::stats::HomStats;
 pub use hom::{

@@ -34,8 +34,9 @@ pub use pool::{Job, Pool, Response};
 pub use queue::{Closed, JobQueue};
 #[cfg(unix)]
 pub use server::serve_unix;
-pub use server::{serve, ServeOpts, ServeSummary};
+pub use server::{serve, serve_with_residents, ServeOpts, ServeSummary};
 pub use task::{
-    execute_in, load_database, load_training, render_labels, run_task_in, run_task_with, ClassSpec,
-    Outcome, Task, TaskOutput, DEFAULT_CHECK_CLASSES, DEFAULT_EVALUATE_METHODS,
+    execute_in, execute_res_in, load_database, load_training, render_labels, run_task_in,
+    run_task_res_in, run_task_with, ClassSpec, Outcome, Residents, Task, TaskOutput,
+    DEFAULT_CHECK_CLASSES, DEFAULT_EVALUATE_METHODS,
 };

@@ -12,7 +12,7 @@
 //! queued when a cancelling shutdown starts) cancelled-before-start.
 
 use crate::queue::{Closed, JobQueue};
-use crate::task::{execute_in, Outcome, Task};
+use crate::task::{execute_res_in, Outcome, Residents, Task};
 use engine::{Engine, Interrupted};
 use interrupt::{Interrupt, Reason};
 use std::collections::HashMap;
@@ -54,8 +54,20 @@ pub struct Pool {
 
 impl Pool {
     /// Spawn `workers ≥ 1` threads over a queue admitting `queue_cap`
-    /// pending jobs.
+    /// pending jobs, with a pool-private resident registry.
     pub fn new(engine: Arc<Engine>, workers: usize, queue_cap: usize) -> Pool {
+        Pool::with_residents(engine, Residents::new(), workers, queue_cap)
+    }
+
+    /// [`Pool::new`] sharing a caller-owned resident registry, so
+    /// residents created by `append` jobs outlive the pool (the Unix
+    /// socket accept loop keeps one registry across connections).
+    pub fn with_residents(
+        engine: Arc<Engine>,
+        residents: Residents,
+        workers: usize,
+        queue_cap: usize,
+    ) -> Pool {
         assert!(workers >= 1, "need at least one worker");
         let queue = Arc::new(JobQueue::bounded(queue_cap));
         let inflight = Arc::new(Mutex::new(HashMap::new()));
@@ -64,7 +76,8 @@ impl Pool {
                 let engine = Arc::clone(&engine);
                 let queue = Arc::clone(&queue);
                 let inflight = Arc::clone(&inflight);
-                std::thread::spawn(move || worker_loop(&engine, &queue, &inflight))
+                let residents = residents.clone();
+                std::thread::spawn(move || worker_loop(&engine, &residents, &queue, &inflight))
             })
             .collect();
         Pool {
@@ -136,6 +149,7 @@ impl Pool {
 
 fn worker_loop(
     engine: &Engine,
+    residents: &Residents,
     queue: &JobQueue<QueuedJob>,
     inflight: &Mutex<HashMap<u64, Interrupt>>,
 ) {
@@ -147,7 +161,7 @@ fn worker_loop(
         inflight.lock().unwrap().insert(job.id, handle.clone());
         let started = Instant::now();
         let ctx = engine.ctx_with_interrupt(handle);
-        let outcome = execute_in(&ctx, &job.task);
+        let outcome = execute_res_in(&ctx, residents, &job.task);
         inflight.lock().unwrap().remove(&job.id);
         // A receiver that hung up just discards the report.
         let _ = reply.send(Response {

@@ -12,11 +12,22 @@
 //! {"id":6,"task":"classify-batch","train":"…","eval":"…","class":"cqm2"}
 //! {"id":4,"task":"relabel","train":"…","k":1,"priority":5}
 //! {"id":5,"task":"evaluate","train":"…","test":"…","methods":["cqm2","ghw1"],"fit_timeout_secs":2.0}
+//! {"id":7,"task":"append","name":"t","base":"rel E/2\n…","delta":"add-fact E(c,d)\nadd-entity d -\n"}
+//! {"id":8,"task":"append","name":"t","delta":"add-fact E(d,e)\nadd-entity e -\n"}
+//! {"id":9,"task":"recheck","name":"t","classes":["cq","cqm2"]}
+//! {"id":10,"task":"relabel","name":"t","k":1}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! Databases come inline (`train`, `eval`, `test`: spec-format text) or
 //! by path (`train_path`, `eval_path`, `test_path`: read server-side).
+//! `append`/`recheck` address *resident* databases by `name`: an
+//! `append` with `base` (or `base_path`) text parks that database under
+//! the name, later `append`s mutate it in place by the `delta` (or
+//! `delta_path`) script, and `recheck`/`relabel`-by-`name` re-query it
+//! warm — the engine's lineage registry lets cached verdicts survive
+//! the edits. Residents live as long as the worker pool (the Unix
+//! socket loop keeps one registry across connections).
 //! `id` defaults to a per-connection counter, `timeout_secs` to the
 //! server's default budget, `priority` to 0 (higher runs first). An
 //! `evaluate` request may bound each individual fit with
@@ -43,7 +54,7 @@
 
 use crate::json::Json;
 use crate::pool::{Job, Pool, Response};
-use crate::task::{ClassSpec, Outcome, Task};
+use crate::task::{ClassSpec, Outcome, Residents, Task};
 use cqsep::generalize::FitMethod;
 use engine::Engine;
 use std::io::{BufRead, Write};
@@ -109,7 +120,23 @@ where
     R: BufRead,
     W: Write + Send,
 {
-    let pool = Pool::new(engine, opts.workers, opts.queue_cap);
+    serve_with_residents(engine, Residents::new(), reader, writer, opts)
+}
+
+/// [`serve`] with a caller-owned resident registry, so databases parked
+/// by `append` requests survive this connection.
+pub fn serve_with_residents<R, W>(
+    engine: Arc<Engine>,
+    residents: Residents,
+    reader: R,
+    writer: W,
+    opts: &ServeOpts,
+) -> std::io::Result<ServeSummary>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let pool = Pool::with_residents(engine, residents, opts.workers, opts.queue_cap);
     let (tx, rx) = mpsc::channel::<Response>();
     std::thread::scope(|s| {
         let writer_handle = s.spawn(move || write_responses(writer, rx));
@@ -176,10 +203,14 @@ pub fn serve_unix(
 ) -> std::io::Result<()> {
     let _ = std::fs::remove_file(path);
     let listener = std::os::unix::net::UnixListener::bind(path)?;
+    // One registry for the whole accept loop: residents appended on one
+    // connection answer rechecks on the next.
+    let residents = Residents::new();
     for stream in listener.incoming() {
         let stream = stream?;
         let reader = std::io::BufReader::new(stream.try_clone()?);
-        let summary = serve(Arc::clone(&engine), reader, stream, opts)?;
+        let summary =
+            serve_with_residents(Arc::clone(&engine), residents.clone(), reader, stream, opts)?;
         if summary.shutdown_requested {
             break;
         }
@@ -267,22 +298,31 @@ fn parse_request(line: &str, auto_id: u64, opts: &ServeOpts) -> Result<Line, (u6
         }
     };
 
-    let task = match verb {
-        "check" => {
-            let mut classes = Vec::new();
-            if let Some(list) = value.get("classes").and_then(Json::as_array) {
-                for item in list {
-                    let s = item
-                        .as_str()
-                        .ok_or_else(|| fail("\"classes\" must hold strings".to_string()))?;
-                    classes.push(ClassSpec::parse(s).map_err(fail)?);
-                }
-            }
-            Task::Check {
-                train: text_field("train", "train_path")?,
-                classes,
+    let classes_field = || -> Result<Vec<ClassSpec>, (u64, String)> {
+        let mut classes = Vec::new();
+        if let Some(list) = value.get("classes").and_then(Json::as_array) {
+            for item in list {
+                let s = item
+                    .as_str()
+                    .ok_or_else(|| fail("\"classes\" must hold strings".to_string()))?;
+                classes.push(ClassSpec::parse(s).map_err(fail)?);
             }
         }
+        Ok(classes)
+    };
+    let name_field = || -> Result<String, (u64, String)> {
+        value
+            .get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| fail(format!("{verb} needs a \"name\" (resident database)")))
+    };
+
+    let task = match verb {
+        "check" => Task::Check {
+            train: text_field("train", "train_path")?,
+            classes: classes_field()?,
+        },
         "train" => Task::Train {
             train: text_field("train", "train_path")?,
             class: class_field()?,
@@ -297,16 +337,41 @@ fn parse_request(line: &str, auto_id: u64, opts: &ServeOpts) -> Result<Line, (u6
             eval: text_field("eval", "eval_path")?,
             class: class_field()?,
         },
-        "relabel" => Task::Relabel {
-            train: text_field("train", "train_path")?,
-            k: match value.get("k") {
-                None => 1,
-                Some(v) => v
-                    .as_u64()
-                    .filter(|&k| k >= 1)
-                    .ok_or_else(|| fail("\"k\" must be an integer ≥ 1".to_string()))?
-                    as usize,
-            },
+        "relabel" => {
+            let name = value.get("name").and_then(Json::as_str).map(str::to_string);
+            let train = match &name {
+                // Resident-addressed: no database text travels.
+                Some(_) => String::new(),
+                None => text_field("train", "train_path")?,
+            };
+            Task::Relabel {
+                train,
+                k: match value.get("k") {
+                    None => 1,
+                    Some(v) => v
+                        .as_u64()
+                        .filter(|&k| k >= 1)
+                        .ok_or_else(|| fail("\"k\" must be an integer ≥ 1".to_string()))?
+                        as usize,
+                },
+                name,
+            }
+        }
+        "append" => {
+            let base = if value.get("base").is_some() || value.get("base_path").is_some() {
+                Some(text_field("base", "base_path")?)
+            } else {
+                None
+            };
+            Task::Append {
+                name: name_field()?,
+                base,
+                delta: text_field("delta", "delta_path")?,
+            }
+        }
+        "recheck" => Task::Recheck {
+            name: name_field()?,
+            classes: classes_field()?,
         },
         "evaluate" => {
             let mut methods = Vec::new();
@@ -539,6 +604,82 @@ mod tests {
             .and_then(Json::as_str)
             .unwrap();
         assert!(err.contains("bad method"), "{err}");
+    }
+
+    #[test]
+    fn append_recheck_relabel_round_trip_on_one_connection() {
+        // One worker so the jobs run in submission order: the recheck
+        // must observe both appends.
+        let opts = ServeOpts {
+            workers: 1,
+            ..ServeOpts::default()
+        };
+        let lines = vec![
+            req(&[
+                ("id", Json::Num(1.0)),
+                ("task", Json::Str("append".to_string())),
+                ("name", Json::Str("t".to_string())),
+                ("base", Json::Str(TRAIN.to_string())),
+                (
+                    "delta",
+                    Json::Str("add-fact E(c,d)\nadd-entity d -\n".to_string()),
+                ),
+            ]),
+            req(&[
+                ("id", Json::Num(2.0)),
+                ("task", Json::Str("append".to_string())),
+                ("name", Json::Str("t".to_string())),
+                (
+                    "delta",
+                    Json::Str("add-fact E(d,e)\nadd-entity e -\n".to_string()),
+                ),
+            ]),
+            req(&[
+                ("id", Json::Num(3.0)),
+                ("task", Json::Str("recheck".to_string())),
+                ("name", Json::Str("t".to_string())),
+                ("classes", Json::Arr(vec![Json::Str("cq".to_string())])),
+            ]),
+            req(&[
+                ("id", Json::Num(4.0)),
+                ("task", Json::Str("relabel".to_string())),
+                ("name", Json::Str("t".to_string())),
+                ("k", Json::Num(1.0)),
+            ]),
+            // Unknown resident: a domain failure, serving continues.
+            req(&[
+                ("id", Json::Num(5.0)),
+                ("task", Json::Str("recheck".to_string())),
+                ("name", Json::Str("ghost".to_string())),
+            ]),
+        ];
+        let (responses, summary) = run_lines(&lines, &opts);
+        assert_eq!(summary.ok, 4, "{responses:?}");
+        assert_eq!(summary.failed, 1);
+        let output_of = |id: u64| {
+            responses
+                .iter()
+                .find(|r| r.get("id").and_then(Json::as_u64) == Some(id))
+                .and_then(|r| r.get("output"))
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string()
+        };
+        assert!(
+            output_of(1).contains("applied insert-only"),
+            "{responses:?}"
+        );
+        assert!(output_of(2).contains("5 entities"), "{responses:?}");
+        let recheck = output_of(3);
+        assert!(recheck.contains("5 entities"), "{recheck}");
+        assert!(recheck.contains("CQ-separable"), "{recheck}");
+        let ghost = responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_u64) == Some(5))
+            .and_then(|r| r.get("error"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(ghost.contains("no resident database"), "{ghost}");
     }
 
     #[test]

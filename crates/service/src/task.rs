@@ -14,8 +14,10 @@ use cqsep::generalize::{self, FitMethod};
 use cqsep::{apx, cls_ghw, gen_ghw, sep_cq, sep_cqm, sep_ghw};
 use engine::{Ctx, Engine, Interrupted};
 use relational::spec::DatabaseSpec;
-use relational::{Database, Label, TrainingDb};
+use relational::{Database, Delta, Label, TrainingDb};
+use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A parsed feature-class specification: `cq`, `ghw<k>`, or `cqm<m>`.
@@ -123,8 +125,36 @@ pub enum Task {
         eval: String,
         class: ClassSpec,
     },
-    /// Algorithm 2: optimal `GHW(k)`-separable relabeling.
-    Relabel { train: String, k: usize },
+    /// Algorithm 2: optimal `GHW(k)`-separable relabeling. With `name`
+    /// set, relabel the resident database of that name instead of
+    /// parsing `train` (which is then ignored and conventionally
+    /// empty). The repair is routed through the delta layer, so
+    /// repeated identical requests are lineage-registry hits.
+    Relabel {
+        train: String,
+        k: usize,
+        name: Option<String>,
+    },
+    /// Mutate the named resident training database by a delta script
+    /// (`add-fact` / `del-fact` / `add-entity` / `flip-label` lines).
+    /// With `base` set, park that spec text under `name` first — the
+    /// way a resident is born. The edit goes through the engine, so the
+    /// lineage registry learns the fingerprint edge and later queries
+    /// against the grown database can reuse cached verdicts.
+    Append {
+        name: String,
+        base: Option<String>,
+        delta: String,
+    },
+    /// Re-run a separability check against the named resident, warm:
+    /// same report as [`Task::Check`], but the databases and the
+    /// engine's caches persist across requests, so repeat checks after
+    /// an [`Task::Append`] reuse prior verdicts (exactly or by
+    /// subsumption) instead of recomputing them.
+    Recheck {
+        name: String,
+        classes: Vec<ClassSpec>,
+    },
     /// Generalization report: fit each method on `train`, score held-out
     /// accuracy/precision/recall on the labeled `test`. Each fit runs
     /// under its own `fit_timeout` child budget (when set), so one
@@ -147,6 +177,54 @@ impl Task {
             Task::ClassifyBatch { .. } => "classify-batch",
             Task::Relabel { .. } => "relabel",
             Task::Evaluate { .. } => "evaluate",
+            Task::Append { .. } => "append",
+            Task::Recheck { .. } => "recheck",
+        }
+    }
+}
+
+/// Named resident training databases: parsed once, mutated in place by
+/// [`Task::Append`], and re-queried warm by [`Task::Recheck`] and
+/// [`Task::Relabel`]. A cheap cloneable handle (the map lives behind an
+/// `Arc`); the server keeps one per process so residents — and their
+/// cached fingerprints — survive across jobs.
+#[derive(Clone, Debug, Default)]
+pub struct Residents {
+    inner: Arc<Mutex<HashMap<String, TrainingDb>>>,
+}
+
+impl Residents {
+    pub fn new() -> Residents {
+        Residents::default()
+    }
+
+    /// Park `train` under `name`, replacing any previous resident.
+    pub fn insert(&self, name: &str, train: TrainingDb) {
+        self.inner.lock().unwrap().insert(name.to_string(), train);
+    }
+
+    /// Clone out the resident named `name`. The clone carries the
+    /// cached fingerprint, so readers pay no recompute.
+    pub fn get(&self, name: &str) -> Option<TrainingDb> {
+        self.inner.lock().unwrap().get(name).cloned()
+    }
+
+    /// Resident names, sorted (for diagnostics).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.lock().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn missing(&self, name: &str) -> String {
+        let names = self.names();
+        if names.is_empty() {
+            format!("no resident database named {name:?} (create one with append + base text)")
+        } else {
+            format!(
+                "no resident database named {name:?} (residents: {})",
+                names.join(", ")
+            )
         }
     }
 }
@@ -203,8 +281,21 @@ pub fn load_database(text: &str) -> Result<Database, String> {
 /// Execute a task under a [`Ctx`]. The outer `Err` is interruption
 /// (deadline passed or handle cancelled — the task should be reported
 /// as [`Outcome::Interrupted`]); the inner `Err` is a domain failure
-/// (bad input, inseparable data, exhausted budget).
+/// (bad input, inseparable data, exhausted budget). Stateless form:
+/// resident-addressed tasks run against a throwaway registry, so an
+/// `Append` with base text works (and reports its receipt) but nothing
+/// survives the call — use [`run_task_res_in`] to keep residents.
 pub fn run_task_in(ctx: &Ctx, task: &Task) -> Result<Result<TaskOutput, String>, Interrupted> {
+    run_task_res_in(ctx, &Residents::new(), task)
+}
+
+/// [`run_task_in`] against a caller-owned resident registry — the warm
+/// path the server and the CLI's `append`/`recheck` subcommands use.
+pub fn run_task_res_in(
+    ctx: &Ctx,
+    residents: &Residents,
+    task: &Task,
+) -> Result<Result<TaskOutput, String>, Interrupted> {
     ctx.check()?;
     match task {
         Task::Check { train, classes } => {
@@ -244,12 +335,70 @@ pub fn run_task_in(ctx: &Ctx, task: &Task) -> Result<Result<TaskOutput, String>,
             };
             classify_batch_in(ctx, &train, &eval, *class)
         }
-        Task::Relabel { train, k } => {
-            let train = match load_training(train) {
-                Ok(t) => t,
-                Err(e) => return Ok(Err(e)),
+        Task::Relabel { train, k, name } => {
+            let train = match name {
+                Some(n) => match residents.get(n) {
+                    Some(t) => t,
+                    None => return Ok(Err(residents.missing(n))),
+                },
+                None => match load_training(train) {
+                    Ok(t) => t,
+                    Err(e) => return Ok(Err(e)),
+                },
             };
             let output = relabel_in(ctx, &train, *k)?;
+            Ok(Ok(TaskOutput {
+                output,
+                model: None,
+            }))
+        }
+        Task::Append { name, base, delta } => {
+            let delta = match Delta::parse(delta) {
+                Ok(d) => d,
+                Err(e) => return Ok(Err(e.to_string())),
+            };
+            if let Some(base) = base {
+                let train = match load_training(base) {
+                    Ok(t) => t,
+                    Err(e) => return Ok(Err(e)),
+                };
+                residents.insert(name, train);
+            }
+            // Mutate in place under the registry lock: delta application
+            // is cheap (clone + ops + fingerprint bookkeeping), and
+            // atomicity means a failed apply leaves the resident intact.
+            let mut map = residents.inner.lock().unwrap();
+            let Some(train) = map.get_mut(name.as_str()) else {
+                drop(map);
+                return Ok(Err(residents.missing(name)));
+            };
+            let receipt = match ctx.apply_training_delta(train, &delta)? {
+                Ok(r) => r,
+                Err(e) => return Ok(Err(e.to_string())),
+            };
+            let output = format!(
+                "{name}: {}\n{name}: now {} entities ({} positive, {} negative), {} facts\n",
+                receipt.summary(),
+                train.entities().len(),
+                train.positives().len(),
+                train.negatives().len(),
+                train.db.fact_count()
+            );
+            Ok(Ok(TaskOutput {
+                output,
+                model: None,
+            }))
+        }
+        Task::Recheck { name, classes } => {
+            let Some(train) = residents.get(name) else {
+                return Ok(Err(residents.missing(name)));
+            };
+            let classes: &[ClassSpec] = if classes.is_empty() {
+                &DEFAULT_CHECK_CLASSES
+            } else {
+                classes
+            };
+            let output = check_in(ctx, &train, classes)?;
             Ok(Ok(TaskOutput {
                 output,
                 model: None,
@@ -285,9 +434,16 @@ pub fn run_task_with(engine: &Engine, task: &Task) -> Result<TaskOutput, String>
 }
 
 /// Execute a task and flatten all three terminal states into an
-/// [`Outcome`] — what the worker pool reports per job.
+/// [`Outcome`]. Stateless registry — see [`execute_res_in`].
 pub fn execute_in(ctx: &Ctx, task: &Task) -> Outcome {
-    match run_task_in(ctx, task) {
+    execute_res_in(ctx, &Residents::new(), task)
+}
+
+/// Execute a task against a caller-owned resident registry and flatten
+/// all three terminal states into an [`Outcome`] — what the worker pool
+/// reports per job.
+pub fn execute_res_in(ctx: &Ctx, residents: &Residents, task: &Task) -> Outcome {
+    match run_task_res_in(ctx, residents, task) {
         Ok(Ok(out)) => Outcome::Success(out),
         Ok(Err(msg)) => Outcome::Failed(msg),
         Err(interrupted) => Outcome::Interrupted(interrupted),
@@ -444,6 +600,22 @@ fn classify_batch_in(
 fn relabel_in(ctx: &Ctx, train: &TrainingDb, k: usize) -> Result<String, Interrupted> {
     let relabeled = apx::ghw_optimal_relabeling_in(ctx, train, k)?;
     let errors = train.labeling.disagreement(&relabeled);
+    // Express the repair as a label-only delta and push it through the
+    // engine's delta layer against a scratch copy (relabel reports, it
+    // does not mutate its input). Label flips are fingerprint-neutral,
+    // so the receipt's edge is an identity edge — and a repeated
+    // identical request is a lineage-registry hit: no fingerprint is
+    // recomputed the second time.
+    let mut delta = Delta::new();
+    for e in train.entities() {
+        if train.labeling.get(e) != relabeled.get(e) {
+            delta = delta.flip_label(train.db.val_name(e));
+        }
+    }
+    let mut scratch = train.clone();
+    let receipt = ctx
+        .apply_training_delta(&mut scratch, &delta)?
+        .expect("flip-label delta over the training database's own entities cannot fail");
     let mut out = format!(
         "optimal GHW({k})-separable relabeling: {} disagreement(s)\n",
         errors
@@ -460,6 +632,7 @@ fn relabel_in(ctx: &Ctx, train: &TrainingDb, k: usize) -> Result<String, Interru
             sign(new)
         );
     }
+    let _ = writeln!(out, "# {}", receipt.summary());
     Ok(out)
 }
 
@@ -720,10 +893,111 @@ entity v
             &Task::Relabel {
                 train: noisy.to_string(),
                 k: 1,
+                name: None,
             },
         )
         .unwrap();
         assert!(out.output.contains("1 disagreement"), "{}", out.output);
+        assert!(
+            out.output.contains("applied label-only delta"),
+            "{}",
+            out.output
+        );
+    }
+
+    #[test]
+    fn append_creates_mutates_and_recheck_reads_residents() {
+        let engine = Engine::new();
+        let residents = Residents::new();
+        let ctx = engine.ctx();
+        // Born from base text, immediately grown by one entity.
+        let out = run_task_res_in(
+            &ctx,
+            &residents,
+            &Task::Append {
+                name: "t".to_string(),
+                base: Some(TRAIN.to_string()),
+                delta: "add-fact E(c,d)\nadd-entity d -\n".to_string(),
+            },
+        )
+        .unwrap()
+        .unwrap();
+        assert!(out.output.contains("applied insert-only"), "{}", out.output);
+        assert!(out.output.contains("4 entities"), "{}", out.output);
+        // The resident grew in place...
+        assert_eq!(residents.get("t").unwrap().entities().len(), 4);
+        // ...and recheck sees the grown database.
+        let check = run_task_res_in(
+            &ctx,
+            &residents,
+            &Task::Recheck {
+                name: "t".to_string(),
+                classes: vec![ClassSpec::Cq],
+            },
+        )
+        .unwrap()
+        .unwrap();
+        assert!(check.output.contains("4 entities"), "{}", check.output);
+        assert!(check.output.contains("CQ-separable"), "{}", check.output);
+        // The engine recorded the fingerprint edge.
+        assert!(engine.stats().sub.lineage_edges >= 1);
+    }
+
+    #[test]
+    fn append_without_base_or_resident_is_a_domain_failure() {
+        let engine = Engine::new();
+        let residents = Residents::new();
+        let err = run_task_res_in(
+            &engine.ctx(),
+            &residents,
+            &Task::Append {
+                name: "ghost".to_string(),
+                base: None,
+                delta: "add-fact E(a,b)\n".to_string(),
+            },
+        )
+        .unwrap()
+        .unwrap_err();
+        assert!(err.contains("no resident database"), "{err}");
+        // A bad delta is atomic: the resident is untouched.
+        residents.insert("t", load_training(TRAIN).unwrap());
+        let before = residents.get("t").unwrap().db.fact_count();
+        let err = run_task_res_in(
+            &engine.ctx(),
+            &residents,
+            &Task::Append {
+                name: "t".to_string(),
+                base: None,
+                delta: "add-fact E(a,b)\ndel-fact E(z,z)\n".to_string(),
+            },
+        )
+        .unwrap()
+        .unwrap_err();
+        assert!(err.contains("unknown element"), "{err}");
+        assert_eq!(residents.get("t").unwrap().db.fact_count(), before);
+    }
+
+    #[test]
+    fn relabel_by_name_reads_the_resident() {
+        let engine = Engine::new();
+        let residents = Residents::new();
+        let noisy = "rel E/2\nfact E(a,b)\nfact E(b,a)\nentity a +\nentity b -\n";
+        residents.insert("noisy", load_training(noisy).unwrap());
+        let out = run_task_res_in(
+            &engine.ctx(),
+            &residents,
+            &Task::Relabel {
+                train: String::new(),
+                k: 1,
+                name: Some("noisy".to_string()),
+            },
+        )
+        .unwrap()
+        .unwrap();
+        assert!(out.output.contains("1 disagreement"), "{}", out.output);
+        // Report-only: the resident keeps its labels.
+        let t = residents.get("noisy").unwrap();
+        assert_eq!(t.positives().len(), 1);
     }
 
     const TEST_DB: &str = "\

@@ -1,0 +1,144 @@
+//! Regression tests for the delta-routed warm paths. These live in
+//! their own integration binary (one process) because they assert on
+//! `relational::fingerprint_computations()`, a process-global counter
+//! that concurrent tests in a shared binary would perturb — and they
+//! serialize against each other through [`COUNTER`] for the same
+//! reason.
+
+use engine::Engine;
+use relational::Delta;
+use service::task::{load_training, run_task_res_in, Residents, Task};
+use std::sync::Mutex;
+
+/// Held for the duration of any test that reads the global fingerprint
+/// counter, so the two tests here never interleave their measurements.
+static COUNTER: Mutex<()> = Mutex::new(());
+
+const NOISY: &str = "rel E/2\nfact E(a,b)\nfact E(b,a)\nentity a +\nentity b -\n";
+
+/// Satellite regression: `Task::Relabel` routes its repair through
+/// `Delta::flip_label`, so a second identical request is answered by
+/// the lineage registry instead of rehashing the database.
+#[test]
+fn repeated_relabel_hits_the_registry_without_fingerprint_recomputes() {
+    let _serial = COUNTER.lock().unwrap();
+    let engine = Engine::new();
+    let residents = Residents::new();
+    residents.insert("noisy", load_training(NOISY).unwrap());
+    let task = Task::Relabel {
+        train: String::new(),
+        k: 1,
+        name: Some("noisy".to_string()),
+    };
+    let ctx = engine.ctx();
+
+    let fp_start = relational::fingerprint_computations();
+    let first = run_task_res_in(&ctx, &residents, &task).unwrap().unwrap();
+    let first_cost = relational::fingerprint_computations() - fp_start;
+    assert!(first.output.contains("1 disagreement"), "{}", first.output);
+    assert!(
+        first.output.contains("applied label-only delta"),
+        "{}",
+        first.output
+    );
+    assert_eq!(engine.stats().sub.lineage_registry_hits, 0);
+
+    let fp_mid = relational::fingerprint_computations();
+    let second = run_task_res_in(&ctx, &residents, &task).unwrap().unwrap();
+    let second_cost = relational::fingerprint_computations() - fp_mid;
+    assert!(
+        second.output.contains("lineage registry hit"),
+        "{}",
+        second.output
+    );
+    assert!(engine.stats().sub.lineage_registry_hits >= 1);
+    // Both passes pay only for the per-call preorder skeleton; the
+    // warm one must not add anything on top — in particular not the
+    // child fingerprint of the flip delta (checked exactly below).
+    assert!(
+        second_cost <= first_cost,
+        "second relabel recomputed {second_cost} fingerprints vs {first_cost} cold"
+    );
+    // Identical report modulo the registry-hit marker.
+    assert_eq!(
+        first.output.replace(" (lineage registry hit)", ""),
+        second.output.replace(" (lineage registry hit)", "")
+    );
+
+    // The delta apply itself — the step the registry memoizes — does
+    // zero fingerprint work on a repeat: replay the same flip against a
+    // fresh copy of the resident and count.
+    let flipped = second
+        .output
+        .lines()
+        .find_map(|l| l.strip_prefix("* ").and_then(|r| r.split(' ').next()))
+        .expect("the report marks the flipped entity with '*'");
+    let mut copy = residents.get("noisy").unwrap();
+    let delta = Delta::new().flip_label(flipped);
+    let _ = copy.db.fingerprint(); // parent is known before the edit
+    let fp_before = relational::fingerprint_computations();
+    let receipt = engine.apply_training_delta(&mut copy, &delta).unwrap();
+    assert!(receipt.registry_hit, "the task's relabels seeded this edge");
+    assert_eq!(
+        relational::fingerprint_computations(),
+        fp_before,
+        "a registry-hit apply must not recompute any fingerprint"
+    );
+}
+
+/// `Recheck` against a resident is warm across requests: a repeat check
+/// with no intervening edit is answered entirely from the caches, and
+/// after an `append` the recheck sees the grown database (with the
+/// fingerprint edge recorded for cross-database reuse).
+#[test]
+fn recheck_is_warm_across_requests_and_tracks_appends() {
+    let _serial = COUNTER.lock().unwrap();
+    let engine = Engine::new();
+    let residents = Residents::new();
+    let ctx = engine.ctx();
+    let base = "rel E/2\nfact E(a,b)\nfact E(b,c)\nentity a +\nentity b +\nentity c -\n";
+    run_task_res_in(
+        &ctx,
+        &residents,
+        &Task::Append {
+            name: "t".to_string(),
+            base: Some(base.to_string()),
+            delta: "# no-op birth\n".to_string(),
+        },
+    )
+    .unwrap()
+    .unwrap();
+    let check = Task::Recheck {
+        name: "t".to_string(),
+        classes: vec![],
+    };
+    let cold = run_task_res_in(&ctx, &residents, &check).unwrap().unwrap();
+    let after_cold = engine.stats();
+    assert!(after_cold.hom.solves + after_cold.game.games_solved > 0);
+
+    // Repeat with no edit: pure exact hits, zero fresh solving.
+    let warm = run_task_res_in(&ctx, &residents, &check).unwrap().unwrap();
+    assert_eq!(warm.output, cold.output);
+    let since = engine.stats().since(&after_cold);
+    assert_eq!(since.hom.solves, 0, "repeat recheck must not search");
+    assert_eq!(since.game.games_solved, 0, "repeat recheck must not solve");
+    assert!(since.hom.cache_hits + since.game.cache_hits > 0);
+
+    // Grow the resident; the recheck reports the new shape and the
+    // engine holds the lineage edge for cross-database subsumption.
+    run_task_res_in(
+        &ctx,
+        &residents,
+        &Task::Append {
+            name: "t".to_string(),
+            base: None,
+            delta: "add-fact E(c,d)\nadd-entity d -\n".to_string(),
+        },
+    )
+    .unwrap()
+    .unwrap();
+    let grown = run_task_res_in(&ctx, &residents, &check).unwrap().unwrap();
+    assert!(grown.output.contains("4 entities"), "{}", grown.output);
+    assert!(grown.output.contains("CQ-separable"), "{}", grown.output);
+    assert!(engine.stats().sub.lineage_edges >= 1);
+}
