@@ -51,6 +51,9 @@
 //!   this call;
 //! * `--cache-dir <path>` — load persisted hom/game verdict tables from
 //!   `<path>` before running (warm start) and save them back after;
+//! * `--tenant <id>` — scope `--cache-dir` to `<path>/<id>`, the same
+//!   per-tenant snapshot layout `cqsep-serve --cache-dir` maintains, so
+//!   the CLI can warm-start from (and feed) one tenant of a service;
 //! * `--threads <n>` — cap solver parallelism at `n` worker threads;
 //! * `--no-cache` — run every hom/game query uncached;
 //! * `--timeout <secs>` — give the whole command a deadline. On expiry
@@ -81,6 +84,9 @@ pub struct EngineOpts {
     /// Load persisted verdict tables from here before running; save the
     /// (grown) tables back after.
     pub cache_dir: Option<String>,
+    /// Scope `--cache-dir` to one tenant's snapshot (`<dir>/<tenant>`),
+    /// the same layout `cqsep-serve --cache-dir` maintains.
+    pub tenant: Option<String>,
     /// Cap solver parallelism at this many worker threads.
     pub threads: Option<usize>,
     /// Run every hom/game query uncached.
@@ -111,6 +117,12 @@ pub fn split_engine_flags(args: &[String]) -> Result<(EngineOpts, Vec<String>), 
             "--cache-dir" => {
                 let v = args.get(i + 1).ok_or("--cache-dir needs a path")?;
                 opts.cache_dir = Some(v.clone());
+                i += 1;
+            }
+            "--tenant" => {
+                let v = args.get(i + 1).ok_or("--tenant needs an id")?;
+                service::validate_tenant_id(v)?;
+                opts.tenant = Some(v.clone());
                 i += 1;
             }
             "--threads" => {
@@ -171,10 +183,18 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Engine::global()
     };
     let before = engine.stats();
-    if let Some(dir) = &opts.cache_dir {
+    let cache_dir = match (&opts.cache_dir, &opts.tenant) {
+        (Some(dir), Some(tenant)) => Some(Path::new(dir).join(tenant)),
+        (Some(dir), None) => Some(Path::new(dir).to_path_buf()),
+        (None, Some(_)) => {
+            return Err("--tenant scopes a cache: it needs --cache-dir <path>".to_string())
+        }
+        (None, None) => None,
+    };
+    if let Some(dir) = &cache_dir {
         engine
-            .load(Path::new(dir))
-            .map_err(|e| format!("cannot load cache from {dir}: {e}"))?;
+            .load(dir)
+            .map_err(|e| format!("cannot load cache from {}: {e}", dir.display()))?;
     }
     let ctx = match opts.timeout {
         Some(budget) => engine.ctx_with_deadline(budget),
@@ -189,10 +209,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
             return Ok(interrupted_report(&interrupted, started.elapsed()));
         }
     };
-    if let Some(dir) = &opts.cache_dir {
+    if let Some(dir) = &cache_dir {
         engine
-            .save(Path::new(dir))
-            .map_err(|e| format!("cannot save cache to {dir}: {e}"))?;
+            .save(dir)
+            .map_err(|e| format!("cannot save cache to {}: {e}", dir.display()))?;
     }
     if opts.stats {
         let delta = engine.stats().since(&before);
@@ -513,6 +533,8 @@ const USAGE: &str = "usage:
 engine flags (any command, any position):
   --stats              append the unified engine counter report
   --cache-dir <path>   warm-start from (and save back to) a verdict cache
+  --tenant <id>        scope --cache-dir to <path>/<id> (the cqsep-serve
+                       multi-tenant snapshot layout)
   --threads <n>        cap solver parallelism at n worker threads
   --no-cache           run every hom/game query unmemoized
   --timeout <secs>     deadline for the whole command (report on expiry)";
@@ -947,6 +969,45 @@ entity v
             // Same verdicts either way.
             assert!(warm.contains("CQ-separable: true"), "{warm}");
             assert!(warm.contains("GHW(1)-separable: true"), "{warm}");
+        });
+    }
+
+    #[test]
+    fn tenant_flag_scopes_the_cache_dir() {
+        with_files(|train, _| {
+            let dir = std::env::temp_dir().join(format!("cqsep_cli_t_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let cache = dir.to_str().unwrap().to_string();
+            let out = run(&s(&[
+                "check",
+                train,
+                "--threads",
+                "2",
+                "--cache-dir",
+                &cache,
+                "--tenant",
+                "acme",
+            ]))
+            .unwrap();
+            assert!(out.contains("CQ-separable: true"), "{out}");
+            // The snapshot landed under the tenant's directory, exactly
+            // where cqsep-serve would warm-start it from.
+            assert!(dir.join("acme").join("hom.cache").exists());
+            assert!(!dir.join("hom.cache").exists());
+            // Bad ids and an unscoped --tenant are rejected up front.
+            let err = run(&s(&[
+                "check",
+                train,
+                "--cache-dir",
+                &cache,
+                "--tenant",
+                "../up",
+            ]))
+            .unwrap_err();
+            assert!(err.contains("bad tenant id"), "{err}");
+            let err = run(&s(&["check", train, "--tenant", "acme"])).unwrap_err();
+            assert!(err.contains("needs --cache-dir"), "{err}");
         });
     }
 }

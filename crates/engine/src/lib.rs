@@ -502,6 +502,24 @@ impl EngineStats {
         }
     }
 
+    /// A scalar work estimate for fair-share scheduling: the dominant
+    /// effort counters of each solver layer summed into one figure.
+    /// Search nodes and game positions dwarf the per-call counters, so
+    /// the weight of a job tracks how deep its solves actually went;
+    /// memo hits cost (almost) nothing and are deliberately excluded.
+    /// Only meaningful on deltas ([`EngineStats::since`]) billed to one
+    /// job at a time.
+    pub fn cost(&self) -> u64 {
+        self.hom
+            .solves
+            .saturating_add(self.hom.nodes_expanded)
+            .saturating_add(self.game.games_solved)
+            .saturating_add(self.game.positions_explored)
+            .saturating_add(self.lp.lps_solved)
+            .saturating_add(self.lp.simplex_pivots)
+            .saturating_add(self.lp.sparse_pivots)
+    }
+
     /// The unified human-readable report (the CLI's `--stats` output):
     /// one banner, the per-layer sections, the subsumption section, and
     /// the restored-entry count.

@@ -1,0 +1,93 @@
+//! `cqsep-router`: the shard front-end. Spawns and supervises N
+//! `cqsep-serve --tcp` worker processes, rendezvous-hashes each
+//! request's tenant onto one of them, and proxies NDJSON lines to the
+//! owning shard (resending in-flight lines across a worker
+//! crash-restart). See `service::router` for the protocol details.
+
+use service::RouterOpts;
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: cqsep-router [options]
+  --shards <n>         worker processes to hash tenants across (default 2)
+  --listen <addr>      listen address (default 127.0.0.1:0); the bound
+                       address is printed as 'listening on <addr>'
+  --serve-bin <path>   cqsep-serve binary (default: sibling of this one)
+  --cache-dir <dir>    snapshot root; shard i snapshots under <dir>/shard-i
+  --workers <n>        forwarded to every worker
+  --queue <n>          forwarded to every worker
+  --timeout <secs>     forwarded to every worker
+  --tenants <n>        forwarded to every worker (tenant LRU capacity)
+  --threads <n>        forwarded to every worker
+  --no-cache           forwarded to every worker
+protocol: NDJSON as cqsep-serve; {\"op\":\"stats\"} answers with shard
+          addresses/generations, {\"op\":\"shutdown\"} stops workers and
+          router";
+
+fn parse_args(args: &[String]) -> Result<(RouterOpts, String), String> {
+    let mut opts = RouterOpts::default();
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => {
+                let v = value(args, i, "--shards")?;
+                opts.shards = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad --shards value {v:?}"))?;
+                i += 1;
+            }
+            "--listen" => {
+                listen = value(args, i, "--listen")?;
+                i += 1;
+            }
+            "--serve-bin" => {
+                opts.serve_bin = Some(PathBuf::from(value(args, i, "--serve-bin")?));
+                i += 1;
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(PathBuf::from(value(args, i, "--cache-dir")?));
+                i += 1;
+            }
+            flag @ ("--workers" | "--queue" | "--timeout" | "--tenants" | "--threads") => {
+                let v = value(args, i, flag)?;
+                opts.worker_args.push(flag.to_string());
+                opts.worker_args.push(v);
+                i += 1;
+            }
+            "--no-cache" => opts.worker_args.push("--no-cache".to_string()),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok((opts, listen))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, listen) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let listener = match std::net::TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cqsep-router: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = service::run_router(listener, &opts) {
+        eprintln!("cqsep-router: {e}");
+        std::process::exit(1);
+    }
+}

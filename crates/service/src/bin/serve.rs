@@ -1,26 +1,41 @@
 //! `cqsep-serve`: a long-lived solver service speaking newline-delimited
-//! JSON over stdin/stdout (default) or a Unix domain socket
-//! (`--socket <path>`). See `service::server` for the wire format.
+//! JSON over stdin/stdout (default), a Unix domain socket
+//! (`--socket <path>`), or TCP (`--tcp <addr>` — concurrent
+//! connections, multi-tenant engine LRU, snapshot warm starts). See
+//! `service::server` for the wire format.
 
-use engine::Engine;
-use service::ServeOpts;
+use service::{ServeOpts, TenantConfig, TenantRegistry};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: cqsep-serve [options]
-  --workers <n>        worker threads sharing the engine (default 2)
+  --workers <n>        worker threads sharing the engine pool (default 2)
   --queue <n>          bounded job-queue capacity (default 64)
   --timeout <secs>     default per-task budget for requests without one
   --socket <path>      serve a Unix domain socket instead of stdin/stdout
+  --tcp <addr>         serve TCP (e.g. 127.0.0.1:0); prints the bound
+                       address as 'listening on <addr>' on stdout
+  --tenants <n>        resident-tenant LRU capacity (default 8)
+  --cache-dir <dir>    tenant snapshot root: warm-start tenants from
+                       <dir>/<tenant>/, snapshot on evict and shutdown
   --threads <n>        cap solver parallelism per task at n threads
   --no-cache           run every hom/game query unmemoized
 protocol: one JSON request per line in, one JSON response per line out;
-          end of input drains, {\"op\":\"shutdown\"} cancels in-flight work";
+          requests may carry \"tenant\" for isolated engines;
+          {\"op\":\"stats\"} reports counters, end of input drains,
+          {\"op\":\"shutdown\"} cancels in-flight work";
 
-fn parse_args(args: &[String]) -> Result<(ServeOpts, Option<String>, Engine), String> {
+enum Mode {
+    Stdio,
+    Socket(String),
+    Tcp(String),
+}
+
+fn parse_args(args: &[String]) -> Result<(ServeOpts, Mode, TenantConfig), String> {
     let mut opts = ServeOpts::default();
-    let mut socket = None;
-    let mut engine = Engine::new();
+    let mut mode = Mode::Stdio;
+    let mut config = TenantConfig::default();
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
         args.get(i + 1)
@@ -58,7 +73,24 @@ fn parse_args(args: &[String]) -> Result<(ServeOpts, Option<String>, Engine), St
                 i += 1;
             }
             "--socket" => {
-                socket = Some(value(args, i, "--socket")?);
+                mode = Mode::Socket(value(args, i, "--socket")?);
+                i += 1;
+            }
+            "--tcp" => {
+                mode = Mode::Tcp(value(args, i, "--tcp")?);
+                i += 1;
+            }
+            "--tenants" => {
+                let v = value(args, i, "--tenants")?;
+                config.capacity = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("bad --tenants value {v:?}"))?;
+                i += 1;
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(PathBuf::from(value(args, i, "--cache-dir")?));
                 i += 1;
             }
             "--threads" => {
@@ -68,33 +100,72 @@ fn parse_args(args: &[String]) -> Result<(ServeOpts, Option<String>, Engine), St
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| format!("bad --threads value {v:?}"))?;
-                engine = engine.with_threads(n);
+                config.threads = Some(n);
                 i += 1;
             }
-            "--no-cache" => engine = engine.without_cache(),
+            "--no-cache" => config.use_cache = false,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
         i += 1;
     }
-    Ok((opts, socket, engine))
+    Ok((opts, mode, config))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (opts, socket, engine) = match parse_args(&args) {
+    let (opts, mode, config) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);
         }
     };
-    let engine = Arc::new(engine);
-    let result = match socket {
-        Some(path) => service::serve_unix(engine, std::path::Path::new(&path), &opts),
-        None => {
+    let tenants = Arc::new(TenantRegistry::new(config));
+    let result = match mode {
+        Mode::Socket(path) => {
+            #[cfg(unix)]
+            {
+                service::serve_unix(
+                    Arc::clone(tenants.default_engine()),
+                    std::path::Path::new(&path),
+                    &opts,
+                )
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                eprintln!("cqsep-serve: --socket is only available on Unix");
+                std::process::exit(2);
+            }
+        }
+        Mode::Tcp(addr) => match std::net::TcpListener::bind(&addr) {
+            Ok(listener) => match listener.local_addr() {
+                Ok(bound) => {
+                    // The router (and scripts) parse this line.
+                    println!("cqsep-serve: listening on {bound}");
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                    service::serve_tcp(tenants, listener, &opts).map(|summary| {
+                        eprintln!(
+                            "cqsep-serve: done: {} connection(s), {} ok, {} interrupted, {} error",
+                            summary.connections, summary.ok, summary.interrupted, summary.failed
+                        );
+                    })
+                }
+                Err(e) => Err(e),
+            },
+            Err(e) => Err(e),
+        },
+        Mode::Stdio => {
             let stdin = std::io::stdin().lock();
-            service::serve(engine, stdin, std::io::stdout(), &opts).map(|_| ())
+            service::serve(
+                Arc::clone(tenants.default_engine()),
+                stdin,
+                std::io::stdout(),
+                &opts,
+            )
+            .map(|_| ())
         }
     };
     if let Err(e) = result {

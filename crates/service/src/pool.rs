@@ -1,7 +1,13 @@
-//! The worker pool: N threads sharing one [`Engine`] (one set of memo
-//! tables — later jobs reuse verdicts proved by earlier ones), pulling
-//! jobs from a bounded priority [`JobQueue`], executing each under its
-//! own [`Ctx`](engine::Ctx) built from the job's timeout.
+//! The worker pool: N threads pulling jobs from a bounded priority
+//! [`JobQueue`] and executing each under the [`Ctx`](engine::Ctx) of
+//! *its tenant's* engine — jobs without a tenant share the registry's
+//! default engine (one set of memo tables — later jobs reuse verdicts
+//! proved by earlier ones), jobs with one run fully isolated.
+//!
+//! Every finished job's `EngineStats` delta is billed to its tenant in
+//! the shared [`FairShare`] ledger, which the queue consults to break
+//! priority ties toward the lightest tenant; the queue's priority aging
+//! keeps low-priority jobs from starving under sustained load.
 //!
 //! Every in-flight job's [`Interrupt`] handle is registered in a shared
 //! table while it runs; the cancelling shutdown path walks the table and
@@ -11,11 +17,13 @@
 //! submitted job — completed, interrupted, failed, or (for jobs still
 //! queued when a cancelling shutdown starts) cancelled-before-start.
 
-use crate::queue::{Closed, JobQueue};
+use crate::queue::{Closed, FairShare, JobQueue};
 use crate::task::{execute_res_in, Outcome, Residents, Task};
+use crate::tenant::{TenantHandle, TenantRegistry};
 use engine::{Engine, Interrupted};
 use interrupt::{Interrupt, Reason};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -29,8 +37,10 @@ pub struct Job {
     pub task: Task,
     /// Per-task budget; `None` runs unbounded (still cancellable).
     pub timeout: Option<Duration>,
-    /// Higher pops first; default 0 is FIFO.
+    /// Higher pops first; default 0 is FIFO (see the queue's aging).
     pub priority: i64,
+    /// Tenant to run as; `None` is the shared default tenant.
+    pub tenant: Option<String>,
 }
 
 /// The terminal report for one [`Job`].
@@ -44,12 +54,23 @@ pub struct Response {
 
 type QueuedJob = (Job, Sender<Response>);
 
+/// Executed-job counters, by terminal status (the `stats` op's source).
+#[derive(Debug, Default)]
+pub struct PoolCounters {
+    pub executed: AtomicU64,
+    pub ok: AtomicU64,
+    pub interrupted: AtomicU64,
+    pub failed: AtomicU64,
+}
+
 /// See the module docs.
 pub struct Pool {
-    engine: Arc<Engine>,
+    tenants: Arc<TenantRegistry>,
     queue: Arc<JobQueue<QueuedJob>>,
+    fair: Arc<FairShare>,
+    counters: Arc<PoolCounters>,
     inflight: Arc<Mutex<HashMap<u64, Interrupt>>>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Pool {
@@ -68,36 +89,75 @@ impl Pool {
         workers: usize,
         queue_cap: usize,
     ) -> Pool {
+        Pool::with_tenants(
+            Arc::new(TenantRegistry::single(engine, residents)),
+            workers,
+            queue_cap,
+        )
+    }
+
+    /// The full multi-tenant form: jobs are routed to per-tenant
+    /// engines/residents owned by `tenants`.
+    pub fn with_tenants(tenants: Arc<TenantRegistry>, workers: usize, queue_cap: usize) -> Pool {
         assert!(workers >= 1, "need at least one worker");
-        let queue = Arc::new(JobQueue::bounded(queue_cap));
+        let fair = Arc::new(FairShare::new());
+        let queue = Arc::new(JobQueue::bounded(queue_cap).with_fair_share(Arc::clone(&fair)));
+        let counters = Arc::new(PoolCounters::default());
         let inflight = Arc::new(Mutex::new(HashMap::new()));
         let handles = (0..workers)
             .map(|_| {
-                let engine = Arc::clone(&engine);
+                let tenants = Arc::clone(&tenants);
                 let queue = Arc::clone(&queue);
                 let inflight = Arc::clone(&inflight);
-                let residents = residents.clone();
-                std::thread::spawn(move || worker_loop(&engine, &residents, &queue, &inflight))
+                let fair = Arc::clone(&fair);
+                let counters = Arc::clone(&counters);
+                std::thread::spawn(move || {
+                    worker_loop(&tenants, &queue, &inflight, &fair, &counters)
+                })
             })
             .collect();
         Pool {
-            engine,
+            tenants,
             queue,
+            fair,
+            counters,
             inflight,
-            workers: handles,
+            workers: Mutex::new(handles),
         }
     }
 
-    /// The shared engine (for stats reporting around a batch).
+    /// The default tenant's engine (for stats reporting around a batch).
     pub fn engine(&self) -> &Arc<Engine> {
-        &self.engine
+        self.tenants.default_engine()
+    }
+
+    /// The tenant registry jobs are routed through.
+    pub fn tenants(&self) -> &Arc<TenantRegistry> {
+        &self.tenants
+    }
+
+    /// The per-tenant cost ledger (for the `stats` op).
+    pub fn fair_share(&self) -> &Arc<FairShare> {
+        &self.fair
+    }
+
+    /// Executed-job counters (for the `stats` op).
+    pub fn counters(&self) -> &Arc<PoolCounters> {
+        &self.counters
+    }
+
+    /// Jobs queued but not yet picked up by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
     }
 
     /// Submit a job; its [`Response`] will arrive on `reply`. Blocks
     /// while the queue is full; fails once the pool is shutting down.
     pub fn submit(&self, job: Job, reply: Sender<Response>) -> Result<(), Closed> {
         let priority = job.priority;
-        self.queue.push((job, reply), priority)
+        let tenant = job.tenant.clone();
+        self.queue
+            .push_tagged((job, reply), priority, tenant.as_deref())
     }
 
     /// Trip the interrupt handle of one in-flight job. Returns whether
@@ -112,28 +172,28 @@ impl Pool {
         }
     }
 
-    /// Graceful drain: stop admitting jobs, let the workers finish
-    /// everything already queued, then join them.
-    pub fn shutdown_drain(self) {
+    /// Stop admitting jobs; workers drain the backlog then exit. Does
+    /// not wait — pair with [`Pool::join`].
+    pub fn close(&self) {
         self.queue.close();
-        for w in self.workers {
-            let _ = w.join();
-        }
     }
 
-    /// Cancelling shutdown: stop admitting jobs, report every
-    /// still-queued job as cancelled *without running it*, trip every
-    /// in-flight job's handle (the solvers unwind at their next check
-    /// and report `Interrupted`), then join the workers.
-    pub fn shutdown_cancel(self) {
+    /// Cancelling close: stop admitting jobs, report every still-queued
+    /// job as cancelled *without running it*, and trip every in-flight
+    /// job's handle (the solvers unwind at their next check and report
+    /// `Interrupted`). Does not wait — pair with [`Pool::join`]. Safe
+    /// to call from a connection thread while other connections still
+    /// hold the pool.
+    pub fn cancel_all(&self) {
         self.queue.close();
-        let zero = self.engine.stats();
+        let engine = self.tenants.default_engine();
+        let zero = engine.stats();
         for (job, reply) in self.queue.drain_now() {
             let _ = reply.send(Response {
                 id: job.id,
                 outcome: Outcome::Interrupted(Interrupted {
                     reason: Reason::Cancelled,
-                    partial_stats: Box::new(self.engine.stats().since(&zero)),
+                    partial_stats: Box::new(engine.stats().since(&zero)),
                 }),
                 elapsed: Duration::ZERO,
             });
@@ -141,28 +201,72 @@ impl Pool {
         for handle in self.inflight.lock().unwrap().values() {
             handle.cancel();
         }
-        for w in self.workers {
+    }
+
+    /// Join the worker threads (after [`Pool::close`] or
+    /// [`Pool::cancel_all`]; blocks until the backlog resolves).
+    pub fn join(&self) {
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock().unwrap());
+        for w in handles {
             let _ = w.join();
         }
+    }
+
+    /// Graceful drain: stop admitting jobs, let the workers finish
+    /// everything already queued, then join them.
+    pub fn shutdown_drain(self) {
+        self.close();
+        self.join();
+    }
+
+    /// Cancelling shutdown: [`Pool::cancel_all`] then join the workers.
+    pub fn shutdown_cancel(self) {
+        self.cancel_all();
+        self.join();
     }
 }
 
 fn worker_loop(
-    engine: &Engine,
-    residents: &Residents,
+    tenants: &TenantRegistry,
     queue: &JobQueue<QueuedJob>,
     inflight: &Mutex<HashMap<u64, Interrupt>>,
+    fair: &FairShare,
+    counters: &PoolCounters,
 ) {
     while let Some((job, reply)) = queue.pop() {
+        let TenantHandle { engine, residents } = match tenants.checkout(job.tenant.as_deref()) {
+            Ok(handle) => handle,
+            Err(msg) => {
+                counters.executed.fetch_add(1, Ordering::Relaxed);
+                counters.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Response {
+                    id: job.id,
+                    outcome: Outcome::Failed(msg),
+                    elapsed: Duration::ZERO,
+                });
+                continue;
+            }
+        };
         let handle = match job.timeout {
             Some(budget) => Interrupt::with_deadline(budget),
             None => Interrupt::none(),
         };
         inflight.lock().unwrap().insert(job.id, handle.clone());
         let started = Instant::now();
+        let before = engine.stats();
         let ctx = engine.ctx_with_interrupt(handle);
-        let outcome = execute_res_in(&ctx, residents, &job.task);
+        let outcome = execute_res_in(&ctx, &residents, &job.task);
         inflight.lock().unwrap().remove(&job.id);
+        fair.charge(
+            job.tenant.as_deref(),
+            engine.stats().since(&before).cost().max(1),
+        );
+        counters.executed.fetch_add(1, Ordering::Relaxed);
+        match &outcome {
+            Outcome::Success(_) => counters.ok.fetch_add(1, Ordering::Relaxed),
+            Outcome::Interrupted(_) => counters.interrupted.fetch_add(1, Ordering::Relaxed),
+            Outcome::Failed(_) => counters.failed.fetch_add(1, Ordering::Relaxed),
+        };
         // A receiver that hung up just discards the report.
         let _ = reply.send(Response {
             id: job.id,
@@ -196,6 +300,7 @@ entity c -
             },
             timeout: None,
             priority: 0,
+            tenant: None,
         }
     }
 
@@ -214,6 +319,12 @@ entity c -
             assert_eq!(r.id, i as u64);
             assert!(r.outcome.is_success(), "{:?}", r.outcome);
         }
+        assert_eq!(pool.counters().executed.load(Ordering::Relaxed), 4);
+        assert_eq!(pool.counters().ok.load(Ordering::Relaxed), 4);
+        assert!(
+            pool.fair_share().cost(None) >= 4,
+            "every job bills at least one cost unit to its tenant"
+        );
         pool.shutdown_drain();
     }
 
@@ -278,6 +389,47 @@ entity c -
     fn cancel_by_id_only_hits_running_jobs() {
         let pool = Pool::new(Arc::new(Engine::new()), 1, 4);
         assert!(!pool.cancel(12345), "unknown id is not in flight");
+        pool.shutdown_drain();
+    }
+
+    #[test]
+    fn tenant_jobs_run_on_isolated_engines() {
+        let pool = Pool::new(Arc::new(Engine::new()), 1, 8);
+        let (tx, rx) = channel();
+        let mut job = check_job(1);
+        job.tenant = Some("acme".to_string());
+        pool.submit(job, tx.clone()).unwrap();
+        drop(tx);
+        let r = rx.recv().unwrap();
+        assert!(r.outcome.is_success(), "{:?}", r.outcome);
+        // The work was billed to the tenant, not the default engine.
+        assert!(pool.fair_share().cost(Some("acme")) >= 1);
+        assert_eq!(pool.fair_share().cost(None), 0);
+        let default_stats = pool.engine().stats();
+        assert_eq!(
+            default_stats.hom.solves, 0,
+            "tenant work must not touch the default engine"
+        );
+        pool.shutdown_drain();
+    }
+
+    #[test]
+    fn bad_tenant_id_fails_the_job_not_the_pool() {
+        let pool = Pool::new(Arc::new(Engine::new()), 1, 8);
+        let (tx, rx) = channel();
+        let mut job = check_job(1);
+        job.tenant = Some("../escape".to_string());
+        pool.submit(job, tx.clone()).unwrap();
+        let r = rx.recv().unwrap();
+        match &r.outcome {
+            Outcome::Failed(msg) => assert!(msg.contains("bad tenant id"), "{msg}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // The pool still serves.
+        pool.submit(check_job(2), tx.clone()).unwrap();
+        drop(tx);
+        let r2 = rx.recv().unwrap();
+        assert!(r2.outcome.is_success());
         pool.shutdown_drain();
     }
 }

@@ -1,18 +1,31 @@
-//! A bounded, blocking priority queue (`Mutex` + two `Condvar`s +
-//! `BinaryHeap`): the admission-control stage between the protocol
-//! front-end and the worker pool.
+//! A bounded, blocking priority queue with starvation-free scheduling:
+//! the admission-control stage between the protocol front-end and the
+//! worker pool.
 //!
-//! Higher priority pops first; within one priority level jobs pop in
-//! submission order (a monotone sequence number breaks ties), so the
-//! default priority 0 degrades to plain FIFO. `push` blocks while the
-//! queue is at capacity — backpressure reaches the submitting client
-//! instead of growing an unbounded backlog. [`JobQueue::close`] starts
-//! the drain: pushes fail fast, poppers empty what is queued and then
-//! receive `None`; [`JobQueue::drain_now`] instead takes the backlog
-//! away from the workers so a cancelling shutdown can fail those jobs
-//! without running them.
+//! Selection order is governed by three signals:
+//!
+//! 1. **Effective priority** — the caller's priority plus an *aging
+//!    boost*: every [`aging period`](JobQueue::with_aging) successful
+//!    pops a waiting entry gains one priority level, so a low-priority
+//!    job under sustained high-priority load catches up within a
+//!    bounded number of queue cycles (`deficit × period` pops) instead
+//!    of starving forever.
+//! 2. **Fair share** — within one effective priority level, the tenant
+//!    that has consumed the least engine work (as accounted in a shared
+//!    [`FairShare`] ledger, fed by the pool from `EngineStats` deltas)
+//!    pops first. Untagged entries bill to the default tenant.
+//! 3. **Submission order** — a monotone sequence number breaks the
+//!    remaining ties, so the default priority 0 with one tenant
+//!    degrades to plain FIFO.
+//!
+//! `push` blocks while the queue is at capacity — backpressure reaches
+//! the submitting client instead of growing an unbounded backlog.
+//! [`JobQueue::close`] starts the drain: pushes fail fast, poppers
+//! empty what is queued and then receive `None`; [`JobQueue::drain_now`]
+//! instead takes the backlog away from the workers so a cancelling
+//! shutdown can fail those jobs without running them.
 
-use std::collections::BinaryHeap;
+use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 
 /// Error returned by [`JobQueue::push`] after [`JobQueue::close`].
@@ -27,39 +40,93 @@ impl std::fmt::Display for Closed {
 
 impl std::error::Error for Closed {}
 
+/// Pops a waiting entry must observe before its effective priority
+/// rises one level (the default aging period).
+pub const DEFAULT_AGING_PERIOD: u64 = 8;
+
+/// Per-tenant cost ledger shared between the pool (writer: charges each
+/// finished job's `EngineStats` delta) and the queue (reader: breaks
+/// priority ties in favor of the lightest-billed tenant). Costs are
+/// cumulative for the ledger's lifetime — fairness is long-run, not
+/// per-window.
+#[derive(Debug, Default)]
+pub struct FairShare {
+    ledger: Mutex<HashMap<String, TenantBill>>,
+}
+
+/// One tenant's row in the [`FairShare`] ledger.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TenantBill {
+    /// Jobs executed on behalf of the tenant.
+    pub jobs: u64,
+    /// Accumulated engine cost ([`engine::EngineStats::cost`] deltas).
+    pub cost: u64,
+}
+
+impl FairShare {
+    pub fn new() -> FairShare {
+        FairShare::default()
+    }
+
+    /// Bill `cost` units (and one job) to `tenant`. `None` bills the
+    /// default tenant.
+    pub fn charge(&self, tenant: Option<&str>, cost: u64) {
+        let mut ledger = self.ledger.lock().unwrap();
+        let bill = ledger.entry(tenant.unwrap_or("").to_string()).or_default();
+        bill.jobs += 1;
+        bill.cost = bill.cost.saturating_add(cost);
+    }
+
+    /// The tenant's accumulated cost (0 if never billed).
+    pub fn cost(&self, tenant: Option<&str>) -> u64 {
+        self.ledger
+            .lock()
+            .unwrap()
+            .get(tenant.unwrap_or(""))
+            .map(|b| b.cost)
+            .unwrap_or(0)
+    }
+
+    /// All rows, sorted by tenant name (for the `stats` op).
+    pub fn snapshot(&self) -> Vec<(String, TenantBill)> {
+        let mut rows: Vec<(String, TenantBill)> = self
+            .ledger
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+}
+
 struct Entry<T> {
     priority: i64,
     seq: u64,
+    /// Value of the queue's pop counter when this entry arrived; the
+    /// difference to the current counter is the entry's age in cycles.
+    born_at_pop: u64,
+    tenant: Option<String>,
     item: T,
 }
 
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.priority == other.priority && self.seq == other.seq
-    }
-}
-
-impl<T> Eq for Entry<T> {}
-
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap: higher priority first, then *lower* sequence number
-        // (earlier submission) first.
+impl<T> Entry<T> {
+    fn effective_priority(&self, pops: u64, aging_period: u64) -> i64 {
+        if aging_period == 0 {
+            return self.priority;
+        }
+        let age = pops.saturating_sub(self.born_at_pop) / aging_period;
         self.priority
-            .cmp(&other.priority)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .saturating_add(age.min(i64::MAX as u64) as i64)
     }
 }
 
 struct State<T> {
-    heap: BinaryHeap<Entry<T>>,
+    entries: Vec<Entry<T>>,
     next_seq: u64,
+    /// Successful pops so far — the aging clock.
+    pops: u64,
     closed: bool,
 }
 
@@ -69,30 +136,55 @@ pub struct JobQueue<T> {
     not_empty: Condvar,
     not_full: Condvar,
     cap: usize,
+    aging_period: u64,
+    fair: Option<std::sync::Arc<FairShare>>,
 }
 
 impl<T> JobQueue<T> {
-    /// A queue admitting at most `cap ≥ 1` queued items.
+    /// A queue admitting at most `cap ≥ 1` queued items, with the
+    /// default aging period and no fair-share ledger.
     pub fn bounded(cap: usize) -> JobQueue<T> {
         assert!(cap >= 1, "queue capacity must be at least 1");
         JobQueue {
             state: Mutex::new(State {
-                heap: BinaryHeap::new(),
+                entries: Vec::new(),
                 next_seq: 0,
+                pops: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             cap,
+            aging_period: DEFAULT_AGING_PERIOD,
+            fair: None,
         }
     }
 
-    /// Enqueue an item, blocking while the queue is full. Fails with
-    /// [`Closed`] once [`close`](JobQueue::close) has been called (also
-    /// when the call was already blocked at that moment).
+    /// Set the aging period (pops per priority level gained while
+    /// waiting); `0` disables aging entirely.
+    pub fn with_aging(mut self, period: u64) -> JobQueue<T> {
+        self.aging_period = period;
+        self
+    }
+
+    /// Attach a fair-share ledger consulted to break priority ties.
+    pub fn with_fair_share(mut self, fair: std::sync::Arc<FairShare>) -> JobQueue<T> {
+        self.fair = Some(fair);
+        self
+    }
+
+    /// Enqueue an untagged item (bills/ranks as the default tenant).
     pub fn push(&self, item: T, priority: i64) -> Result<(), Closed> {
+        self.push_tagged(item, priority, None)
+    }
+
+    /// Enqueue an item on behalf of `tenant`, blocking while the queue
+    /// is full. Fails with [`Closed`] once [`close`](JobQueue::close)
+    /// has been called (also when the call was already blocked at that
+    /// moment).
+    pub fn push_tagged(&self, item: T, priority: i64, tenant: Option<&str>) -> Result<(), Closed> {
         let mut st = self.state.lock().unwrap();
-        while !st.closed && st.heap.len() >= self.cap {
+        while !st.closed && st.entries.len() >= self.cap {
             st = self.not_full.wait(st).unwrap();
         }
         if st.closed {
@@ -100,21 +192,51 @@ impl<T> JobQueue<T> {
         }
         let seq = st.next_seq;
         st.next_seq += 1;
-        st.heap.push(Entry {
+        let born_at_pop = st.pops;
+        st.entries.push(Entry {
             priority,
             seq,
+            born_at_pop,
+            tenant: tenant.map(str::to_string),
             item,
         });
         self.not_empty.notify_one();
         Ok(())
     }
 
-    /// Dequeue the highest-priority item, blocking while the queue is
-    /// empty. Returns `None` once the queue is closed *and* drained.
+    /// Index of the entry that should pop next: highest effective
+    /// priority, then lightest-billed tenant, then earliest submission.
+    fn select(&self, st: &State<T>) -> Option<usize> {
+        let mut best: Option<(usize, i64, u64, u64)> = None;
+        for (i, e) in st.entries.iter().enumerate() {
+            let eff = e.effective_priority(st.pops, self.aging_period);
+            let cost = match &self.fair {
+                Some(fair) => fair.cost(e.tenant.as_deref()),
+                None => 0,
+            };
+            let better = match best {
+                None => true,
+                Some((_, b_eff, b_cost, b_seq)) => {
+                    (eff, std::cmp::Reverse(cost), std::cmp::Reverse(e.seq))
+                        > (b_eff, std::cmp::Reverse(b_cost), std::cmp::Reverse(b_seq))
+                }
+            };
+            if better {
+                best = Some((i, eff, cost, e.seq));
+            }
+        }
+        best.map(|(i, ..)| i)
+    }
+
+    /// Dequeue the best entry (see the module docs for the order),
+    /// blocking while the queue is empty. Returns `None` once the
+    /// queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
         let mut st = self.state.lock().unwrap();
         loop {
-            if let Some(entry) = st.heap.pop() {
+            if let Some(i) = self.select(&st) {
+                let entry = st.entries.swap_remove(i);
+                st.pops += 1;
                 self.not_full.notify_one();
                 return Some(entry.item);
             }
@@ -140,9 +262,9 @@ impl<T> JobQueue<T> {
     /// running them.
     pub fn drain_now(&self) -> Vec<T> {
         let mut st = self.state.lock().unwrap();
-        let mut out = Vec::with_capacity(st.heap.len());
-        while let Some(entry) = st.heap.pop() {
-            out.push(entry.item);
+        let mut out = Vec::with_capacity(st.entries.len());
+        while let Some(i) = self.select(&st) {
+            out.push(st.entries.swap_remove(i).item);
         }
         self.not_full.notify_all();
         out
@@ -150,7 +272,7 @@ impl<T> JobQueue<T> {
 
     /// Number of queued (not yet popped) items.
     pub fn len(&self) -> usize {
-        self.state.lock().unwrap().heap.len()
+        self.state.lock().unwrap().entries.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -228,5 +350,100 @@ mod tests {
         q.push("b", 5).unwrap();
         assert_eq!(q.drain_now(), vec!["b", "a"]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn aging_prevents_starvation_under_sustained_high_priority_load() {
+        // One low-priority job against an endless stream of
+        // high-priority jobs (one new arrival per pop — the queue never
+        // runs dry). With aging period 4 and a deficit of 5 levels the
+        // low job must surface within roughly (deficit + 1) × period
+        // cycles — recent high arrivals age a little too, so the bound
+        // is slightly past deficit × period = 20. Without aging it
+        // would wait forever.
+        let q = JobQueue::bounded(64).with_aging(4);
+        q.push("low", 0).unwrap();
+        for _ in 0..4 {
+            q.push_tagged("high", 5, None).unwrap();
+        }
+        let mut cycles = 0u64;
+        loop {
+            let popped = q.pop().unwrap();
+            cycles += 1;
+            if popped == "low" {
+                break;
+            }
+            assert!(
+                cycles <= 32,
+                "low-priority job starved past the aging bound"
+            );
+            // Sustained load: replace what we consumed.
+            q.push("high", 5).unwrap();
+        }
+        assert!(
+            (21..=32).contains(&cycles),
+            "low popped after {cycles} cycles; expected within the \
+             (deficit + 1) × period = 24-cycle band plus tie-breaks"
+        );
+    }
+
+    #[test]
+    fn aging_disabled_keeps_strict_priority_order() {
+        let q = JobQueue::bounded(32).with_aging(0);
+        q.push("low", -1).unwrap();
+        for _ in 0..20 {
+            q.push("high", 1).unwrap();
+        }
+        for _ in 0..20 {
+            assert_eq!(q.pop(), Some("high"));
+        }
+        assert_eq!(q.pop(), Some("low"));
+    }
+
+    #[test]
+    fn fair_share_breaks_ties_toward_the_lightest_tenant() {
+        let fair = Arc::new(FairShare::new());
+        fair.charge(Some("heavy"), 1_000);
+        fair.charge(Some("light"), 10);
+        let q = JobQueue::bounded(8).with_fair_share(Arc::clone(&fair));
+        q.push_tagged("h1", 0, Some("heavy")).unwrap();
+        q.push_tagged("l1", 0, Some("light")).unwrap();
+        q.push_tagged("h2", 0, Some("heavy")).unwrap();
+        q.push_tagged("l2", 0, Some("light")).unwrap();
+        q.close();
+        let drained: Vec<&str> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(
+            drained,
+            vec!["l1", "l2", "h1", "h2"],
+            "equal priority must favor the lightest-billed tenant"
+        );
+    }
+
+    #[test]
+    fn fair_share_never_overrides_priority() {
+        let fair = Arc::new(FairShare::new());
+        fair.charge(Some("heavy"), 1_000_000);
+        let q = JobQueue::bounded(8).with_fair_share(Arc::clone(&fair));
+        q.push_tagged("urgent-heavy", 5, Some("heavy")).unwrap();
+        q.push_tagged("idle-light", 0, Some("light")).unwrap();
+        assert_eq!(q.pop(), Some("urgent-heavy"));
+    }
+
+    #[test]
+    fn fair_share_ledger_accumulates_and_snapshots() {
+        let fair = FairShare::new();
+        fair.charge(Some("a"), 5);
+        fair.charge(Some("a"), 7);
+        fair.charge(None, 3);
+        assert_eq!(fair.cost(Some("a")), 12);
+        assert_eq!(fair.cost(None), 3);
+        assert_eq!(fair.cost(Some("ghost")), 0);
+        let rows = fair.snapshot();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, "");
+        assert_eq!(rows[0].1.jobs, 1);
+        assert_eq!(rows[1].0, "a");
+        assert_eq!(rows[1].1.jobs, 2);
+        assert_eq!(rows[1].1.cost, 12);
     }
 }

@@ -1,7 +1,7 @@
 //! The `cqsep-serve` protocol: newline-delimited JSON requests in,
 //! newline-delimited JSON responses out, over any `BufRead`/`Write`
-//! pair (stdin/stdout, a Unix socket connection, or an in-memory
-//! buffer in the test suite).
+//! pair (stdin/stdout, a Unix socket connection, a TCP connection, or
+//! an in-memory buffer in the test suite).
 //!
 //! # Requests (one JSON object per line)
 //!
@@ -13,28 +13,35 @@
 //! {"id":4,"task":"relabel","train":"…","k":1,"priority":5}
 //! {"id":5,"task":"evaluate","train":"…","test":"…","methods":["cqm2","ghw1"],"fit_timeout_secs":2.0}
 //! {"id":7,"task":"append","name":"t","base":"rel E/2\n…","delta":"add-fact E(c,d)\nadd-entity d -\n"}
-//! {"id":8,"task":"append","name":"t","delta":"add-fact E(d,e)\nadd-entity e -\n"}
-//! {"id":9,"task":"recheck","name":"t","classes":["cq","cqm2"]}
-//! {"id":10,"task":"relabel","name":"t","k":1}
+//! {"id":8,"task":"append","name":"t","delta":"add-fact E(d,e)\nadd-entity e -\n","tenant":"acme"}
+//! {"id":9,"task":"recheck","name":"t","classes":["cq","cqm2"],"tenant":"acme"}
+//! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! Databases come inline (`train`, `eval`, `test`: spec-format text) or
 //! by path (`train_path`, `eval_path`, `test_path`: read server-side).
-//! `append`/`recheck` address *resident* databases by `name`: an
-//! `append` with `base` (or `base_path`) text parks that database under
-//! the name, later `append`s mutate it in place by the `delta` (or
-//! `delta_path`) script, and `recheck`/`relabel`-by-`name` re-query it
-//! warm — the engine's lineage registry lets cached verdicts survive
-//! the edits. Residents live as long as the worker pool (the Unix
-//! socket loop keeps one registry across connections).
-//! `id` defaults to a per-connection counter, `timeout_secs` to the
-//! server's default budget, `priority` to 0 (higher runs first). An
-//! `evaluate` request may bound each individual fit with
-//! `fit_timeout_secs` (a per-method child budget inside the job's
-//! overall timeout); `methods` defaults to the
-//! [`DEFAULT_EVALUATE_METHODS`](crate::task::DEFAULT_EVALUATE_METHODS)
+//! `append`/`recheck` address *resident* databases by `name` (see the
+//! module docs of [`crate::task`]). An optional `tenant` field routes
+//! the request to that tenant's private engine and resident registry
+//! (see [`crate::tenant`]); requests without one share the default
+//! tenant. `id` defaults to a per-connection counter, `timeout_secs`
+//! to the server's default budget, `priority` to 0 (higher runs first,
+//! with aging — see [`crate::queue`]). An `evaluate` request may bound
+//! each individual fit with `fit_timeout_secs`; `methods` defaults to
+//! the [`DEFAULT_EVALUATE_METHODS`](crate::task::DEFAULT_EVALUATE_METHODS)
 //! sweep when absent.
+//!
+//! Request lines are size-capped at [`MAX_REQUEST_BYTES`]: an oversized
+//! or non-UTF-8 line yields a typed `error` response (the remainder of
+//! the line is discarded to resynchronize) and serving continues.
+//!
+//! `{"op":"stats"}` answers immediately — without queueing — with a
+//! snapshot of the server's counters as a JSON document in the
+//! response's `output` field: connections (total/live), pool totals
+//! (executed/ok/interrupted/failed/queue depth), tenant-registry state
+//! (resident/evictions/warm restores/restored entries), and the
+//! per-tenant fair-share ledger.
 //!
 //! # Responses (one JSON object per line, in completion order)
 //!
@@ -50,22 +57,32 @@
 //! run); `{"op":"shutdown"}` is the cancelling path: queued jobs are
 //! reported as `interrupted`/`cancelled` without running, in-flight
 //! solvers are tripped via their [`Ctx`](engine::Ctx) handles and
-//! unwind at their next cancellation check.
+//! unwind at their next cancellation check. Over TCP ([`serve_tcp`])
+//! a shutdown additionally stops the accept loop, drains every live
+//! connection, and snapshots all resident tenants to the cache
+//! directory before returning.
 
 use crate::json::Json;
 use crate::pool::{Job, Pool, Response};
 use crate::task::{ClassSpec, Outcome, Residents, Task};
+use crate::tenant::{validate_tenant_id, TenantRegistry};
 use cqsep::generalize::FitMethod;
 use engine::Engine;
-use std::io::{BufRead, Write};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::io::{BufRead, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
+
+/// Hard cap on one request line (bytes, newline included). Inline
+/// databases are text, so the cap is generous; anything past it is a
+/// protocol error, not a memory commitment.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024 * 1024;
 
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServeOpts {
-    /// Worker threads sharing the engine.
+    /// Worker threads sharing the tenant registry.
     pub workers: usize,
     /// Bounded queue capacity (backpressure past this).
     pub queue_cap: usize,
@@ -83,8 +100,8 @@ impl Default for ServeOpts {
     }
 }
 
-/// What one `serve` call processed, for callers that loop (the Unix
-/// socket accept loop) or assert (the test suite).
+/// What one connection processed, for callers that loop (the accept
+/// loops) or assert (the test suite).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServeSummary {
     /// Responses written, by status.
@@ -102,14 +119,91 @@ impl ServeSummary {
     }
 }
 
+/// What one [`serve_tcp`] run processed across all connections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TcpSummary {
+    /// Connections accepted over the listener's lifetime.
+    pub connections: u64,
+    /// Responses written across all connections, by status.
+    pub ok: usize,
+    pub interrupted: usize,
+    pub failed: usize,
+    pub shutdown_requested: bool,
+}
+
+/// Live connection gauges shared by every connection of one server.
+#[derive(Debug, Default)]
+struct ServerStats {
+    connections_total: AtomicU64,
+    connections_live: AtomicU64,
+}
+
 enum Line {
     Job(Job),
     Shutdown,
+    Stats { id: u64 },
 }
 
-/// Serve one connection: read requests until EOF or shutdown, write one
-/// response per job in completion order. See the module docs for the
-/// wire format.
+/// One bounded read from the wire (see [`MAX_REQUEST_BYTES`]).
+pub(crate) enum RawLine {
+    Eof,
+    Line(String),
+    /// The line exceeded the cap; `bytes` were discarded up to the next
+    /// newline (or EOF) to resynchronize the stream.
+    Oversized {
+        bytes: usize,
+    },
+    NotUtf8,
+}
+
+/// Read one `\n`-terminated request line without ever buffering more
+/// than [`MAX_REQUEST_BYTES`] + one block of it.
+pub(crate) fn read_request_line<R: BufRead>(reader: &mut R) -> std::io::Result<RawLine> {
+    let mut buf = Vec::new();
+    let n = reader
+        .by_ref()
+        .take((MAX_REQUEST_BYTES + 1) as u64)
+        .read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(RawLine::Eof);
+    }
+    if buf.last() != Some(&b'\n') && buf.len() > MAX_REQUEST_BYTES {
+        let mut discarded = buf.len();
+        loop {
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                break;
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    reader.consume(i + 1);
+                    discarded += i + 1;
+                    break;
+                }
+                None => {
+                    let len = chunk.len();
+                    reader.consume(len);
+                    discarded += len;
+                }
+            }
+        }
+        return Ok(RawLine::Oversized { bytes: discarded });
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    }
+    match String::from_utf8(buf) {
+        Ok(s) => Ok(RawLine::Line(s)),
+        Err(_) => Ok(RawLine::NotUtf8),
+    }
+}
+
+/// Serve one connection on a fresh single-connection pool: read
+/// requests until EOF or shutdown, write one response per job in
+/// completion order. See the module docs for the wire format.
 pub fn serve<R, W>(
     engine: Arc<Engine>,
     reader: R,
@@ -137,15 +231,59 @@ where
     W: Write + Send,
 {
     let pool = Pool::with_residents(engine, residents, opts.workers, opts.queue_cap);
+    let summary = serve_conn(&pool, reader, writer, opts, None);
+    // Graceful EOF still has live workers; a shutdown op already ran
+    // the cancelling close inside `serve_conn`.
+    pool.close();
+    pool.join();
+    summary
+}
+
+/// Serve one connection against a shared pool. On a shutdown op this
+/// runs the pool's cancelling close (so this connection's queued jobs
+/// resolve and every other connection's submit fails fast) but leaves
+/// joining the workers to the caller.
+fn serve_conn<R, W>(
+    pool: &Pool,
+    mut reader: R,
+    writer: W,
+    opts: &ServeOpts,
+    server: Option<&ServerStats>,
+) -> std::io::Result<ServeSummary>
+where
+    R: BufRead,
+    W: Write + Send,
+{
     let (tx, rx) = mpsc::channel::<Response>();
     std::thread::scope(|s| {
         let writer_handle = s.spawn(move || write_responses(writer, rx));
         let mut next_id: u64 = 0;
         let mut shutdown = false;
         let mut read_error = None;
-        for line in reader.lines() {
-            let line = match line {
-                Ok(l) => l,
+        loop {
+            let line = match read_request_line(&mut reader) {
+                Ok(RawLine::Eof) => break,
+                Ok(RawLine::Line(l)) => l,
+                Ok(RawLine::Oversized { bytes }) => {
+                    next_id += 1;
+                    let _ = tx.send(Response {
+                        id: next_id,
+                        outcome: Outcome::Failed(format!(
+                            "request line exceeds {MAX_REQUEST_BYTES} bytes ({bytes} discarded)"
+                        )),
+                        elapsed: Duration::ZERO,
+                    });
+                    continue;
+                }
+                Ok(RawLine::NotUtf8) => {
+                    next_id += 1;
+                    let _ = tx.send(Response {
+                        id: next_id,
+                        outcome: Outcome::Failed("request line is not valid UTF-8".to_string()),
+                        elapsed: Duration::ZERO,
+                    });
+                    continue;
+                }
                 Err(e) => {
                     read_error = Some(e);
                     break;
@@ -159,6 +297,16 @@ where
                 Ok(Line::Shutdown) => {
                     shutdown = true;
                     break;
+                }
+                Ok(Line::Stats { id }) => {
+                    let _ = tx.send(Response {
+                        id,
+                        outcome: Outcome::Success(crate::task::TaskOutput {
+                            output: render_stats(pool, server).to_string(),
+                            model: None,
+                        }),
+                        elapsed: Duration::ZERO,
+                    });
                 }
                 Ok(Line::Job(job)) => {
                     if pool.submit(job, tx.clone()).is_err() {
@@ -174,14 +322,14 @@ where
                 }
             }
         }
+        if shutdown {
+            // Resolve queued jobs (ours and everyone else's) as
+            // cancelled so every connection's writer can finish.
+            pool.cancel_all();
+        }
         // Drop our sender so the writer loop terminates once every
         // worker-held clone is gone too.
         drop(tx);
-        if shutdown {
-            pool.shutdown_cancel();
-        } else {
-            pool.shutdown_drain();
-        }
         let mut summary = writer_handle.join().expect("writer thread panicked")?;
         summary.shutdown_requested = shutdown;
         match read_error {
@@ -217,6 +365,119 @@ pub fn serve_unix(
     }
     let _ = std::fs::remove_file(path);
     Ok(())
+}
+
+/// TCP accept loop: concurrent connections, each served on its own
+/// thread, all sharing one worker pool and one tenant registry (one
+/// queue — scheduling is global, memo tables are per tenant). A
+/// `{"op":"shutdown"}` on any connection stops the accept loop, shuts
+/// down every live connection's stream (their readers see EOF and
+/// drain), joins everything, and snapshots all resident tenants to the
+/// registry's cache directory. Connection-level stats go to stderr on
+/// close and aggregate into the returned [`TcpSummary`].
+pub fn serve_tcp(
+    tenants: Arc<TenantRegistry>,
+    listener: TcpListener,
+    opts: &ServeOpts,
+) -> std::io::Result<TcpSummary> {
+    let addr = listener.local_addr()?;
+    let pool = Arc::new(Pool::with_tenants(
+        Arc::clone(&tenants),
+        opts.workers,
+        opts.queue_cap,
+    ));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    let live: Arc<Mutex<std::collections::HashMap<u64, TcpStream>>> =
+        Arc::new(Mutex::new(std::collections::HashMap::new()));
+    let totals = Arc::new(Mutex::new(TcpSummary::default()));
+    let mut conn_threads = Vec::new();
+
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(e) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                return Err(e);
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            // The wake-up (or a raced client): refuse and stop.
+            drop(stream);
+            break;
+        }
+        let conn_id = stats.connections_total.fetch_add(1, Ordering::SeqCst);
+        stats.connections_live.fetch_add(1, Ordering::SeqCst);
+        if let Ok(clone) = stream.try_clone() {
+            live.lock().unwrap().insert(conn_id, clone);
+        }
+        let pool = Arc::clone(&pool);
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        let live = Arc::clone(&live);
+        let totals = Arc::clone(&totals);
+        let opts = opts.clone();
+        conn_threads.push(std::thread::spawn(move || {
+            let result = stream
+                .try_clone()
+                .map(std::io::BufReader::new)
+                .and_then(|reader| serve_conn(&pool, reader, &stream, &opts, Some(&stats)));
+            live.lock().unwrap().remove(&conn_id);
+            stats.connections_live.fetch_sub(1, Ordering::SeqCst);
+            let summary = match result {
+                Ok(summary) => summary,
+                Err(e) => {
+                    eprintln!("cqsep-serve: connection {conn_id} ({peer}): {e}");
+                    return;
+                }
+            };
+            eprintln!(
+                "cqsep-serve: connection {conn_id} ({peer}) closed: {} ok, {} interrupted, {} error{}",
+                summary.ok,
+                summary.interrupted,
+                summary.failed,
+                if summary.shutdown_requested {
+                    "; shutdown requested"
+                } else {
+                    ""
+                }
+            );
+            {
+                let mut t = totals.lock().unwrap();
+                t.ok += summary.ok;
+                t.interrupted += summary.interrupted;
+                t.failed += summary.failed;
+                t.shutdown_requested |= summary.shutdown_requested;
+            }
+            if summary.shutdown_requested && !shutdown.swap(true, Ordering::SeqCst) {
+                // Unblock every other connection's reader, then the
+                // accept loop. The pool's cancelling close already ran
+                // inside serve_conn.
+                for (_, s) in live.lock().unwrap().iter() {
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                let _ = TcpStream::connect(addr);
+            }
+        }));
+    }
+
+    for t in conn_threads {
+        let _ = t.join();
+    }
+    pool.close();
+    pool.join();
+    match tenants.snapshot_all() {
+        Ok(saved) if saved > 0 => {
+            eprintln!("cqsep-serve: snapshotted {saved} tenant(s) on shutdown")
+        }
+        Ok(_) => {}
+        Err(e) => eprintln!("cqsep-serve: shutdown snapshot failed: {e}"),
+    }
+    let mut summary = *totals.lock().unwrap();
+    summary.connections = stats.connections_total.load(Ordering::SeqCst);
+    Ok(summary)
 }
 
 fn write_responses<W: Write>(
@@ -265,11 +526,89 @@ fn render_response(resp: &Response) -> Json {
     Json::Obj(fields)
 }
 
+/// The `{"op":"stats"}` document (serialized into the response's
+/// `output` field).
+fn render_stats(pool: &Pool, server: Option<&ServerStats>) -> Json {
+    let num = |v: u64| Json::Num(v as f64);
+    let counters = pool.counters();
+    let tenants = pool.tenants();
+    let mut fields = Vec::new();
+    if let Some(s) = server {
+        fields.push((
+            "connections".to_string(),
+            Json::Obj(vec![
+                (
+                    "total".to_string(),
+                    num(s.connections_total.load(Ordering::SeqCst)),
+                ),
+                (
+                    "live".to_string(),
+                    num(s.connections_live.load(Ordering::SeqCst)),
+                ),
+            ]),
+        ));
+    }
+    fields.push((
+        "pool".to_string(),
+        Json::Obj(vec![
+            (
+                "executed".to_string(),
+                num(counters.executed.load(Ordering::Relaxed)),
+            ),
+            ("ok".to_string(), num(counters.ok.load(Ordering::Relaxed))),
+            (
+                "interrupted".to_string(),
+                num(counters.interrupted.load(Ordering::Relaxed)),
+            ),
+            (
+                "failed".to_string(),
+                num(counters.failed.load(Ordering::Relaxed)),
+            ),
+            ("queue_depth".to_string(), num(pool.queue_depth() as u64)),
+        ]),
+    ));
+    fields.push((
+        "tenants".to_string(),
+        Json::Obj(vec![
+            (
+                "resident".to_string(),
+                num(tenants.resident_tenants() as u64),
+            ),
+            ("evictions".to_string(), num(tenants.evictions())),
+            ("warm_restores".to_string(), num(tenants.warm_restores())),
+            (
+                "restored_entries".to_string(),
+                num(tenants.restored_entries()),
+            ),
+        ]),
+    ));
+    fields.push((
+        "fair_share".to_string(),
+        Json::Arr(
+            pool.fair_share()
+                .snapshot()
+                .into_iter()
+                .map(|(tenant, bill)| {
+                    Json::Obj(vec![
+                        ("tenant".to_string(), Json::Str(tenant)),
+                        ("jobs".to_string(), num(bill.jobs)),
+                        ("cost".to_string(), num(bill.cost)),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Json::Obj(fields)
+}
+
 fn parse_request(line: &str, auto_id: u64, opts: &ServeOpts) -> Result<Line, (u64, String)> {
     let value = Json::parse(line).map_err(|e| (auto_id, format!("bad request: {e}")))?;
     if let Some(op) = value.get("op").and_then(Json::as_str) {
         return match op {
             "shutdown" => Ok(Line::Shutdown),
+            "stats" => Ok(Line::Stats {
+                id: value.get("id").and_then(Json::as_u64).unwrap_or(auto_id),
+            }),
             other => Err((auto_id, format!("unknown op {other:?}"))),
         };
     }
@@ -386,13 +725,11 @@ fn parse_request(line: &str, auto_id: u64, opts: &ServeOpts) -> Result<Line, (u6
             let fit_timeout = match value.get("fit_timeout_secs") {
                 None => None,
                 Some(v) => {
-                    let secs = v
-                        .as_f64()
-                        .filter(|s| *s >= 0.0 && s.is_finite())
-                        .ok_or_else(|| {
-                            fail("\"fit_timeout_secs\" must be a non-negative number".to_string())
-                        })?;
-                    Some(Duration::from_secs_f64(secs))
+                    // try_from: from_secs_f64 panics past u64::MAX secs.
+                    let secs = v.as_f64().and_then(|s| Duration::try_from_secs_f64(s).ok());
+                    Some(secs.ok_or_else(|| {
+                        fail("\"fit_timeout_secs\" must be a non-negative number".to_string())
+                    })?)
                 }
             };
             Task::Evaluate {
@@ -408,13 +745,11 @@ fn parse_request(line: &str, auto_id: u64, opts: &ServeOpts) -> Result<Line, (u6
     let timeout = match value.get("timeout_secs") {
         None => opts.default_timeout,
         Some(v) => {
-            let secs = v
-                .as_f64()
-                .filter(|s| *s >= 0.0 && s.is_finite())
-                .ok_or_else(|| {
-                    fail("\"timeout_secs\" must be a non-negative number".to_string())
-                })?;
-            Some(Duration::from_secs_f64(secs))
+            // try_from: from_secs_f64 panics past u64::MAX secs.
+            let secs = v.as_f64().and_then(|s| Duration::try_from_secs_f64(s).ok());
+            Some(secs.ok_or_else(|| {
+                fail("\"timeout_secs\" must be a non-negative number".to_string())
+            })?)
         }
     };
     let priority = match value.get("priority") {
@@ -423,12 +758,23 @@ fn parse_request(line: &str, auto_id: u64, opts: &ServeOpts) -> Result<Line, (u6
             .as_i64()
             .ok_or_else(|| fail("\"priority\" must be an integer".to_string()))?,
     };
+    let tenant = match value.get("tenant") {
+        None => None,
+        Some(v) => {
+            let id = v
+                .as_str()
+                .ok_or_else(|| fail("\"tenant\" must be a string".to_string()))?;
+            validate_tenant_id(id).map_err(fail)?;
+            Some(id.to_string())
+        }
+    };
 
     Ok(Line::Job(Job {
         id,
         task,
         timeout,
         priority,
+        tenant,
     }))
 }
 
@@ -743,6 +1089,145 @@ mod tests {
         assert_eq!(summary.total(), 1);
     }
 
+    #[test]
+    fn stats_op_reports_pool_and_tenant_counters() {
+        let lines = vec![
+            req(&[
+                ("id", Json::Num(1.0)),
+                ("task", Json::Str("check".to_string())),
+                ("train", Json::Str(TRAIN.to_string())),
+                ("classes", Json::Arr(vec![Json::Str("cq".to_string())])),
+                ("tenant", Json::Str("acme".to_string())),
+            ]),
+            "{\"op\":\"stats\",\"id\":50}".to_string(),
+        ];
+        // One worker so the stats line is answered after the job ran…
+        // except stats never queues: it reads counters at arrival time.
+        // Ordering is therefore not asserted beyond "both answered".
+        let (responses, summary) = run_lines(&lines, &ServeOpts::default());
+        assert_eq!(summary.ok, 2, "{responses:?}");
+        let stats_out = responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_u64) == Some(50))
+            .and_then(|r| r.get("output"))
+            .and_then(Json::as_str)
+            .expect("stats response carries an output document");
+        let doc = Json::parse(stats_out).expect("stats output is JSON");
+        assert!(doc.get("pool").is_some(), "{stats_out}");
+        assert!(doc.get("tenants").is_some(), "{stats_out}");
+        assert!(doc.get("fair_share").is_some(), "{stats_out}");
+    }
+
+    #[test]
+    fn tenant_requests_are_isolated_by_engine_and_residents() {
+        // Same resident name, conflicting labels, two tenants: each
+        // recheck must answer from its own tenant's resident.
+        let opts = ServeOpts {
+            workers: 1,
+            ..ServeOpts::default()
+        };
+        let a_base = "rel E/2\nfact E(a,b)\nentity a +\nentity b -\n";
+        let b_base = "rel E/2\nfact E(a,b)\nentity a -\nentity b +\n";
+        let lines = vec![
+            req(&[
+                ("id", Json::Num(1.0)),
+                ("task", Json::Str("append".to_string())),
+                ("name", Json::Str("t".to_string())),
+                ("base", Json::Str(a_base.to_string())),
+                ("delta", Json::Str(String::new())),
+                ("tenant", Json::Str("alpha".to_string())),
+            ]),
+            req(&[
+                ("id", Json::Num(2.0)),
+                ("task", Json::Str("append".to_string())),
+                ("name", Json::Str("t".to_string())),
+                ("base", Json::Str(b_base.to_string())),
+                ("delta", Json::Str(String::new())),
+                ("tenant", Json::Str("beta".to_string())),
+            ]),
+            req(&[
+                ("id", Json::Num(3.0)),
+                ("task", Json::Str("relabel".to_string())),
+                ("name", Json::Str("t".to_string())),
+                ("tenant", Json::Str("alpha".to_string())),
+            ]),
+            // No tenant: the default registry has no resident "t".
+            req(&[
+                ("id", Json::Num(4.0)),
+                ("task", Json::Str("recheck".to_string())),
+                ("name", Json::Str("t".to_string())),
+            ]),
+        ];
+        let (responses, summary) = run_lines(&lines, &opts);
+        assert_eq!(summary.ok, 3, "{responses:?}");
+        assert_eq!(summary.failed, 1);
+        let relabel_out = responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_u64) == Some(3))
+            .and_then(|r| r.get("output"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(relabel_out.contains("a +"), "{relabel_out}");
+        let ghost = responses
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_u64) == Some(4))
+            .and_then(|r| r.get("error"))
+            .and_then(Json::as_str)
+            .unwrap();
+        assert!(
+            ghost.contains("no resident database"),
+            "default tenant must not see tenant residents: {ghost}"
+        );
+    }
+
+    #[test]
+    fn bad_tenant_ids_are_rejected_at_parse_time() {
+        let lines = vec![req(&[
+            ("id", Json::Num(1.0)),
+            ("task", Json::Str("check".to_string())),
+            ("train", Json::Str(TRAIN.to_string())),
+            ("tenant", Json::Str("../../etc".to_string())),
+        ])];
+        let (responses, summary) = run_lines(&lines, &ServeOpts::default());
+        assert_eq!(summary.failed, 1);
+        let err = responses[0].get("error").and_then(Json::as_str).unwrap();
+        assert!(err.contains("bad tenant id"), "{err}");
+    }
+
+    #[test]
+    fn oversized_and_non_utf8_lines_get_typed_errors() {
+        let mut input = Vec::new();
+        // An oversized line: valid JSON prefix, then padding past the cap.
+        input.extend_from_slice(b"{\"task\":\"check\",\"train\":\"");
+        input.extend_from_slice(&vec![b'x'; MAX_REQUEST_BYTES]);
+        input.extend_from_slice(b"\"}\n");
+        // A non-UTF-8 line.
+        input.extend_from_slice(&[0xFF, 0xFE, b'{', b'}', b'\n']);
+        // A well-formed request: serving must have resynchronized.
+        let good = req(&[
+            ("id", Json::Num(9.0)),
+            ("task", Json::Str("check".to_string())),
+            ("train", Json::Str(TRAIN.to_string())),
+            ("classes", Json::Arr(vec![Json::Str("cq".to_string())])),
+        ]);
+        input.extend_from_slice(good.as_bytes());
+        input.push(b'\n');
+
+        let mut output = Vec::new();
+        let summary = serve(
+            Arc::new(Engine::new()),
+            input.as_slice(),
+            &mut output,
+            &ServeOpts::default(),
+        )
+        .unwrap();
+        assert_eq!(summary.failed, 2, "oversized + non-UTF-8");
+        assert_eq!(summary.ok, 1);
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("exceeds"), "{text}");
+        assert!(text.contains("not valid UTF-8"), "{text}");
+    }
+
     #[cfg(unix)]
     #[test]
     fn unix_socket_serves_a_connection() {
@@ -780,5 +1265,55 @@ mod tests {
         drop(stream);
         server.join().unwrap().unwrap();
         assert!(!path.exists(), "socket file is removed on shutdown");
+    }
+
+    #[test]
+    fn tcp_serves_concurrent_connections_and_shuts_down() {
+        use std::io::{BufRead, BufReader, Write};
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let tenants = Arc::new(TenantRegistry::new(crate::tenant::TenantConfig::default()));
+        let opts = ServeOpts::default();
+        let server = std::thread::spawn(move || serve_tcp(tenants, listener, &opts));
+
+        let request = |tenant: &str| {
+            req(&[
+                ("id", Json::Num(1.0)),
+                ("task", Json::Str("check".to_string())),
+                ("train", Json::Str(TRAIN.to_string())),
+                ("classes", Json::Arr(vec![Json::Str("cq".to_string())])),
+                ("tenant", Json::Str(tenant.to_string())),
+            ])
+        };
+        let clients: Vec<_> = (0..4)
+            .map(|i| {
+                let line = request(&format!("t{i}"));
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    writeln!(stream, "{line}").unwrap();
+                    let mut reply = String::new();
+                    BufReader::new(stream.try_clone().unwrap())
+                        .read_line(&mut reply)
+                        .unwrap();
+                    drop(stream);
+                    Json::parse(reply.trim())
+                        .unwrap()
+                        .get("status")
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                })
+            })
+            .collect();
+        for c in clients {
+            assert_eq!(c.join().unwrap().as_deref(), Some("ok"));
+        }
+        let mut stream = TcpStream::connect(addr).unwrap();
+        writeln!(stream, "{{\"op\":\"shutdown\"}}").unwrap();
+        drop(stream);
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.shutdown_requested);
+        assert_eq!(summary.connections, 5);
+        assert_eq!(summary.ok, 4);
     }
 }

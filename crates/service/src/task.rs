@@ -216,6 +216,29 @@ impl Residents {
         names
     }
 
+    /// Clone out every resident, sorted by name — the snapshot the
+    /// tenant registry persists before evicting a cold tenant.
+    pub fn entries(&self) -> Vec<(String, TrainingDb)> {
+        let mut entries: Vec<(String, TrainingDb)> = self
+            .inner
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Number of parked residents.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     fn missing(&self, name: &str) -> String {
         let names = self.names();
         if names.is_empty() {
